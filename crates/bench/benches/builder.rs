@@ -1,0 +1,69 @@
+//! Benchmarks of the engine-build pipeline (Figure 2) and its passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use trtsim_core::passes;
+use trtsim_core::{Builder, BuilderConfig};
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_models::ModelId;
+
+fn bench_full_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("builder/full");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    for model in [ModelId::TinyYolov3, ModelId::Resnet18, ModelId::Googlenet] {
+        let network = model.descriptor();
+        group.bench_function(model.info().name, |b| {
+            b.iter(|| {
+                Builder::new(
+                    DeviceSpec::xavier_nx(),
+                    BuilderConfig::default().with_build_seed(1),
+                )
+                .build(black_box(&network))
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let network = ModelId::InceptionV4.descriptor();
+    let mut group = c.benchmark_group("builder/passes");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("dead_layer", |b| {
+        b.iter(|| passes::dead_layer::run(black_box(&network)).unwrap())
+    });
+    let (clean, _) = passes::dead_layer::run(&network).unwrap();
+    group.bench_function("vertical_fusion", |b| {
+        b.iter(|| passes::vertical_fusion::run(black_box(&clean)).unwrap())
+    });
+    let (fused, _) = passes::vertical_fusion::run(&clean).unwrap();
+    group.bench_function("horizontal_merge", |b| {
+        b.iter(|| passes::horizontal_merge::run(black_box(&fused)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_plan_roundtrip(c: &mut Criterion) {
+    let engine = trtsim_bench::engine_fixture(ModelId::TinyYolov3);
+    let blob = trtsim_core::plan::serialize(&engine);
+    let mut group = c.benchmark_group("builder/plan");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("serialize", |b| {
+        b.iter(|| trtsim_core::plan::serialize(black_box(&engine)))
+    });
+    group.bench_function("deserialize", |b| {
+        b.iter(|| trtsim_core::plan::deserialize(black_box(&blob)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_builds, bench_passes, bench_plan_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks of engine execution: numeric inference and simulated timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use trtsim_core::runtime::{ExecutionContext, TimingOptions};
+use trtsim_core::{Builder, BuilderConfig};
+use trtsim_data::SyntheticImageNet;
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_ir::ReferenceExecutor;
+use trtsim_models::numeric::{build_classifier, NUMERIC_INPUT};
+use trtsim_models::ModelId;
+
+fn bench_numeric_inference(c: &mut Criterion) {
+    let dataset = SyntheticImageNet::new(8, NUMERIC_INPUT, 5);
+    let prototypes: Vec<_> = (0..8).map(|i| dataset.prototype(i)).collect();
+    let network = build_classifier(ModelId::Resnet18, &prototypes, 0.3, 1);
+    let image = dataset.sample(0, 0).image;
+    let device = DeviceSpec::xavier_nx();
+    let engine = Builder::new(device.clone(), BuilderConfig::default().with_build_seed(1))
+        .build(&network)
+        .unwrap();
+    let ctx = ExecutionContext::new(&engine, device);
+    let reference = ReferenceExecutor::new(&network).unwrap();
+
+    let mut group = c.benchmark_group("inference/numeric");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("reference_fp32", |b| {
+        b.iter(|| reference.run(black_box(&image)).unwrap())
+    });
+    group.bench_function("engine_fp16", |b| {
+        b.iter(|| ctx.infer(black_box(&image)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_timed_inference(c: &mut Criterion) {
+    let engine = trtsim_bench::engine_fixture(ModelId::Googlenet);
+    let ctx = ExecutionContext::new(&engine, DeviceSpec::xavier_nx());
+    let opts = TimingOptions::default();
+    let mut group = c.benchmark_group("inference/simulated_timing");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("measure_latency_10_runs", |b| {
+        b.iter(|| ctx.measure_latency(black_box(&opts), 10, 0))
+    });
+    group.bench_function("engine_profile", |b| b.iter(|| ctx.profile(black_box(2000.0))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_numeric_inference, bench_timed_inference);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmark support: shared fixtures for the Criterion benches.
+//!
+//! The benches live under `benches/`: `builder` (engine-build pipeline and
+//! individual passes), `inference` (numeric and timed execution), and
+//! `experiments` (the paper's table harnesses end to end).
+
+#![warn(missing_docs)]
+
+use trtsim_core::{Builder, BuilderConfig, Engine};
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_models::ModelId;
+
+/// Builds a deterministic engine fixture for benches.
+pub fn engine_fixture(model: ModelId) -> Engine {
+    Builder::new(
+        DeviceSpec::xavier_nx(),
+        BuilderConfig::default().with_build_seed(1),
+    )
+    .build(&model.descriptor())
+    .expect("zoo models build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        assert!(engine_fixture(ModelId::Mtcnn).launch_count() > 5);
+    }
+}

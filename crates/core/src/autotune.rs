@@ -1,0 +1,250 @@
+//! Timing-based tactic selection (Figure 2, step 5) — the non-determinism
+//! engine.
+//!
+//! For every layer, each candidate tactic is "measured" on the build device:
+//! the analytic timing model provides the true cost, and each measurement
+//! adds multiplicative noise drawn from the build's RNG (a real SoC's
+//! run-to-run variation under DVFS, thermal, and co-tenant load). The fastest
+//! *measured* tactic wins. Near-tied candidates — common, because several
+//! tile shapes suit a layer almost equally — therefore resolve differently
+//! from build to build: different builds of the same network genuinely run
+//! different kernels (paper Tables XII/XIII) and produce different
+//! accumulation orders (paper Tables V/VI).
+
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_gpu::kernel::KernelDesc;
+use trtsim_gpu::timing::kernel_time_us;
+use trtsim_ir::flops::graph_costs;
+use trtsim_ir::graph::LayerKind;
+use trtsim_ir::Graph;
+use trtsim_kernels::catalog::{candidate_tactics, PrecisionPolicy};
+use trtsim_kernels::cost::kernel_desc;
+use trtsim_kernels::tactic::Tactic;
+use trtsim_util::rng::Pcg32;
+
+use crate::calibrate::CalibrationTable;
+use crate::error::EngineError;
+
+/// A layer's selected implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Choice {
+    /// The winning tactic.
+    pub tactic: Tactic,
+    /// Its kernel descriptor at this layer's shape.
+    pub kernel: KernelDesc,
+    /// The noisy time that won selection, µs (diagnostic).
+    pub measured_us: f64,
+    /// How many candidates were measured.
+    pub candidates: usize,
+}
+
+/// Selects a tactic for every node; `None` for structural nodes.
+///
+/// # Errors
+///
+/// Propagates shape errors from the graph.
+pub fn select(
+    graph: &Graph,
+    policy: PrecisionPolicy,
+    calibration: &CalibrationTable,
+    device: &DeviceSpec,
+    rng: &mut Pcg32,
+    noise_sd: f64,
+    samples: u32,
+) -> Result<Vec<Option<Choice>>, EngineError> {
+    let shapes = graph.infer_shapes()?;
+    let costs = graph_costs(graph)?;
+    let mut out = Vec::with_capacity(graph.len());
+    for node in graph.nodes() {
+        let mut candidates = candidate_tactics(&node.kind, policy);
+        // INT8 tactics are only usable where calibration observed the layer.
+        if !calibration.contains_key(&node.id) {
+            candidates.retain(|t| t.precision != trtsim_gpu::kernel::Precision::Int8);
+        }
+        if candidates.is_empty() {
+            let needs_compute = costs[node.id].flops() > 0
+                && !matches!(node.kind, LayerKind::Input);
+            if needs_compute {
+                return Err(EngineError::NoTactic {
+                    node: node.name.clone(),
+                });
+            }
+            out.push(None);
+            continue;
+        }
+        let n_candidates = candidates.len();
+        let mut best: Option<Choice> = None;
+        for tactic in candidates {
+            let kernel = kernel_desc(&tactic, &node.kind, &costs[node.id], shapes[node.id]);
+            let true_us = kernel_time_us(&kernel, device);
+            let measured_us = measure(true_us, rng, noise_sd, samples);
+            if best.as_ref().is_none_or(|b| measured_us < b.measured_us) {
+                best = Some(Choice {
+                    tactic,
+                    kernel,
+                    measured_us,
+                    candidates: n_candidates,
+                });
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// One averaged noisy measurement.
+fn measure(true_us: f64, rng: &mut Pcg32, noise_sd: f64, samples: u32) -> f64 {
+    let samples = samples.max(1);
+    let mut total = 0.0;
+    for _ in 0..samples {
+        total += true_us * (1.0 + noise_sd * rng.normal()).max(0.05);
+    }
+    total / f64::from(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_gpu::device::DeviceSpec;
+    use trtsim_ir::graph::{Graph, LayerKind, PoolKind};
+
+    fn conv_net() -> Graph {
+        let mut g = Graph::new("t", [16, 32, 32]);
+        let c1 = g.add_layer("c1", LayerKind::conv_seeded(96, 16, 3, 1, 1, 0), &[Graph::INPUT]);
+        let p = g.add_layer(
+            "p",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
+        let c2 = g.add_layer("c2", LayerKind::conv_seeded(80, 96, 3, 1, 1, 1), &[p]);
+        g.mark_output(c2);
+        g
+    }
+
+    fn run_select(seed: u64, noise: f64) -> Vec<Option<Choice>> {
+        let g = conv_net();
+        let mut rng = Pcg32::seed_from_u64(seed);
+        select(
+            &g,
+            PrecisionPolicy::fp16(),
+            &CalibrationTable::new(),
+            &DeviceSpec::xavier_nx(),
+            &mut rng,
+            noise,
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compute_nodes_get_choices() {
+        let choices = run_select(1, 0.06);
+        assert!(choices[0].is_none()); // input
+        assert!(choices[1].is_some());
+        assert!(choices[2].is_some()); // pool
+        assert!(choices[3].is_some());
+        assert!(choices[1].as_ref().unwrap().candidates > 1);
+    }
+
+    #[test]
+    fn same_seed_same_choices() {
+        let a = run_select(7, 0.06);
+        let b = run_select(7, 0.06);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_eventually_pick_different_kernels() {
+        // The paper's core observation: rebuilds select different tactics.
+        let baseline = run_select(0, 0.06);
+        let mut any_diff = false;
+        for seed in 1..24 {
+            let other = run_select(seed, 0.06);
+            for (a, b) in baseline.iter().zip(&other) {
+                if let (Some(a), Some(b)) = (a, b) {
+                    if a.tactic != b.tactic {
+                        any_diff = true;
+                    }
+                }
+            }
+            if any_diff {
+                break;
+            }
+        }
+        assert!(any_diff, "24 rebuilds never changed a tactic — noise too weak");
+    }
+
+    #[test]
+    fn zero_noise_is_deterministic_across_seeds() {
+        let a = run_select(1, 0.0);
+        let b = run_select(2, 0.0);
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Some(x), Some(y)) => assert_eq!(x.tactic, y.tactic),
+                (None, None) => {}
+                _ => panic!("structural mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn noise_changes_with_more_samples_less() {
+        // Averaging 16 samples should flip fewer decisions than 1 sample.
+        let flips = |samples: u32| {
+            let g = conv_net();
+            let dev = DeviceSpec::xavier_nx();
+            let mut base: Option<Vec<Option<Choice>>> = None;
+            let mut flips = 0;
+            for seed in 0..16 {
+                let mut rng = Pcg32::seed_from_u64(seed);
+                let c = select(
+                    &g,
+                    PrecisionPolicy::fp16(),
+                    &CalibrationTable::new(),
+                    &dev,
+                    &mut rng,
+                    0.06,
+                    samples,
+                )
+                .unwrap();
+                if let Some(b) = &base {
+                    for (x, y) in b.iter().zip(&c) {
+                        if let (Some(x), Some(y)) = (x, y) {
+                            if x.tactic != y.tactic {
+                                flips += 1;
+                            }
+                        }
+                    }
+                } else {
+                    base = Some(c);
+                }
+            }
+            flips
+        };
+        assert!(flips(16) <= flips(1), "{} > {}", flips(16), flips(1));
+    }
+
+    #[test]
+    fn int8_requires_calibration_entry() {
+        let g = conv_net();
+        let mut rng = Pcg32::seed_from_u64(0);
+        let choices = select(
+            &g,
+            PrecisionPolicy::all(),
+            &CalibrationTable::new(), // empty: no INT8 anywhere
+            &DeviceSpec::xavier_nx(),
+            &mut rng,
+            0.0,
+            1,
+        )
+        .unwrap();
+        for c in choices.into_iter().flatten() {
+            assert_ne!(c.tactic.precision, trtsim_gpu::kernel::Precision::Int8);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! INT8 entropy-free amax calibration.
+//!
+//! TensorRT's INT8 mode runs a calibration batch through the FP32 network and
+//! derives a per-tensor dynamic range; we use the simple amax calibrator
+//! (`scale = amax / 127`). Convolutions whose input activations were observed
+//! get a [`QuantDesc`]; layers never reached by calibration stay in FP16/FP32.
+
+use std::collections::HashMap;
+
+use trtsim_ir::graph::LayerKind;
+use trtsim_ir::tensor::Tensor;
+use trtsim_ir::{Graph, NodeId, ReferenceExecutor};
+use trtsim_kernels::numeric::QuantDesc;
+use trtsim_util::f16::QuantParams;
+
+use crate::error::EngineError;
+
+/// Per-layer INT8 scales derived from a calibration batch.
+pub type CalibrationTable = HashMap<NodeId, QuantDesc>;
+
+/// Runs calibration over the optimized graph.
+///
+/// # Errors
+///
+/// Returns [`EngineError::MissingCalibration`] for an empty batch and
+/// execution errors if the graph cannot run numerically (descriptor-scale
+/// models cannot be INT8-calibrated).
+pub fn calibrate(graph: &Graph, images: &[Tensor]) -> Result<CalibrationTable, EngineError> {
+    if images.is_empty() {
+        return Err(EngineError::MissingCalibration);
+    }
+    let exec = ReferenceExecutor::new(graph).map_err(EngineError::Execution)?;
+    // Observed amax of every node's *output* activation.
+    let mut amax = vec![0.0f32; graph.len()];
+    for image in images {
+        let trace = exec.run_trace(image).map_err(EngineError::Execution)?;
+        for (slot, tensor) in amax.iter_mut().zip(&trace) {
+            *slot = slot.max(tensor.amax());
+        }
+    }
+    let mut table = CalibrationTable::new();
+    for node in graph.nodes() {
+        let LayerKind::Conv(c) = &node.kind else {
+            continue;
+        };
+        let input_amax = amax[node.inputs[0]];
+        table.insert(
+            node.id,
+            QuantDesc {
+                input: QuantParams::from_amax(input_amax),
+                weights: QuantParams::from_amax(c.weights.amax()),
+            },
+        );
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_ir::graph::{Graph, LayerKind};
+    use trtsim_util::rng::Pcg32;
+
+    fn net() -> Graph {
+        let mut g = Graph::new("t", [3, 8, 8]);
+        let c1 = g.add_layer("c1", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c2 = g.add_layer("c2", LayerKind::conv_seeded(4, 4, 3, 1, 1, 1), &[c1]);
+        g.mark_output(c2);
+        g
+    }
+
+    fn images(n: usize) -> Vec<Tensor> {
+        let mut rng = Pcg32::seed_from_u64(0);
+        (0..n)
+            .map(|_| Tensor::from_fn([3, 8, 8], |_, _, _| rng.normal() as f32))
+            .collect()
+    }
+
+    #[test]
+    fn every_conv_gets_scales() {
+        let g = net();
+        let table = calibrate(&g, &images(4)).unwrap();
+        assert_eq!(table.len(), 2);
+        for q in table.values() {
+            assert!(q.input.scale > 0.0);
+            assert!(q.weights.scale > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_images_never_shrink_ranges() {
+        let g = net();
+        let few = calibrate(&g, &images(2)).unwrap();
+        let many = calibrate(&g, &images(8)).unwrap();
+        for (id, q) in &few {
+            assert!(many[id].input.scale >= q.input.scale - 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_an_error() {
+        assert_eq!(
+            calibrate(&net(), &[]).unwrap_err(),
+            EngineError::MissingCalibration
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = net();
+        let imgs = images(3);
+        let a = calibrate(&g, &imgs).unwrap();
+        let b = calibrate(&g, &imgs).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (id, q) in &a {
+            assert_eq!(b[id], *q);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Builder configuration.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use trtsim_ir::tensor::Tensor;
+use trtsim_kernels::catalog::PrecisionPolicy;
+
+/// Process-global counter making default builds distinct, like real TensorRT
+/// builds are (each `build` call draws fresh timing noise).
+static BUILD_COUNTER: AtomicU64 = AtomicU64::new(0x5eed);
+
+/// Configuration for [`crate::Builder`].
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_core::config::BuilderConfig;
+/// let config = BuilderConfig::default()
+///     .with_build_seed(7)       // reproducible build (the simulator's extra knob)
+///     .with_clustering(true);   // weight clustering compression
+/// assert_eq!(config.build_seed, Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuilderConfig {
+    /// Which precisions tactics may use.
+    pub policy: PrecisionPolicy,
+    /// Explicit build seed. `None` (the default, and TensorRT's only
+    /// behaviour) draws a fresh seed per build, so two builds of the same
+    /// network differ — the paper's central observation. Tests pin this.
+    pub build_seed: Option<u64>,
+    /// Relative standard deviation of tactic timing measurements. Real
+    /// autotuning measures kernels on a busy SoC; ±6 % run-to-run spread is
+    /// typical of the boards.
+    pub timing_noise_sd: f64,
+    /// How many noisy measurements are averaged per tactic (TensorRT's
+    /// `avgTiming`); more samples = less build non-determinism.
+    pub timing_samples: u32,
+    /// Enable weight clustering (compression step; improves over-fitted
+    /// models' accuracy, see Finding 1).
+    pub enable_clustering: bool,
+    /// log2 of the clustering codebook size.
+    pub cluster_bits: u32,
+    /// Enable magnitude pruning.
+    pub enable_pruning: bool,
+    /// Prune weights with `|w| < threshold · std(w)`.
+    pub prune_threshold: f32,
+    /// Calibration images for INT8 (empty disables INT8 even if allowed).
+    pub calibration: Vec<Tensor>,
+    /// Run the dead-layer-removal pass (ablation switch; on in real builds).
+    pub enable_dead_layer: bool,
+    /// Run the vertical-fusion pass (ablation switch; on in real builds).
+    pub enable_vertical_fusion: bool,
+    /// Run the horizontal-merge pass (ablation switch; on in real builds).
+    pub enable_horizontal_merge: bool,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        Self {
+            policy: PrecisionPolicy::fp16(),
+            build_seed: None,
+            timing_noise_sd: 0.06,
+            timing_samples: 1,
+            enable_clustering: false,
+            cluster_bits: 6,
+            enable_pruning: false,
+            prune_threshold: 0.05,
+            calibration: Vec::new(),
+            enable_dead_layer: true,
+            enable_vertical_fusion: true,
+            enable_horizontal_merge: true,
+        }
+    }
+}
+
+impl BuilderConfig {
+    /// Pins the build seed, making the build reproducible.
+    pub fn with_build_seed(mut self, seed: u64) -> Self {
+        self.build_seed = Some(seed);
+        self
+    }
+
+    /// Sets the precision policy.
+    pub fn with_policy(mut self, policy: PrecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables weight clustering.
+    pub fn with_clustering(mut self, on: bool) -> Self {
+        self.enable_clustering = on;
+        self
+    }
+
+    /// Enables or disables magnitude pruning.
+    pub fn with_pruning(mut self, on: bool) -> Self {
+        self.enable_pruning = on;
+        self
+    }
+
+    /// Disables all graph-rewriting passes (ablation baseline: quantization
+    /// and kernel mapping only).
+    pub fn without_graph_passes(mut self) -> Self {
+        self.enable_dead_layer = false;
+        self.enable_vertical_fusion = false;
+        self.enable_horizontal_merge = false;
+        self
+    }
+
+    /// Sets the autotimer's averaging count (TensorRT's `avgTiming`): more
+    /// samples shrink measurement noise and with it build non-determinism.
+    pub fn with_timing_samples(mut self, samples: u32) -> Self {
+        self.timing_samples = samples.max(1);
+        self
+    }
+
+    /// Provides INT8 calibration images (also enables INT8 in the policy).
+    pub fn with_calibration(mut self, images: Vec<Tensor>) -> Self {
+        self.calibration = images;
+        self.policy.allow_int8 = true;
+        self
+    }
+
+    /// The seed this build will use: the pinned one, or a fresh draw.
+    pub fn resolve_seed(&self) -> u64 {
+        self.build_seed
+            .unwrap_or_else(|| BUILD_COUNTER.fetch_add(0x9e37_79b9, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fp16_noisy() {
+        let c = BuilderConfig::default();
+        assert!(c.policy.allow_fp16);
+        assert!(!c.policy.allow_int8);
+        assert!(c.build_seed.is_none());
+        assert!(c.timing_noise_sd > 0.0);
+    }
+
+    #[test]
+    fn unpinned_seeds_differ() {
+        let c = BuilderConfig::default();
+        assert_ne!(c.resolve_seed(), c.resolve_seed());
+    }
+
+    #[test]
+    fn pinned_seed_is_stable() {
+        let c = BuilderConfig::default().with_build_seed(99);
+        assert_eq!(c.resolve_seed(), 99);
+        assert_eq!(c.resolve_seed(), 99);
+    }
+
+    #[test]
+    fn pass_switches_default_on() {
+        let c = BuilderConfig::default();
+        assert!(c.enable_dead_layer && c.enable_vertical_fusion && c.enable_horizontal_merge);
+        let off = c.without_graph_passes();
+        assert!(!off.enable_dead_layer && !off.enable_vertical_fusion && !off.enable_horizontal_merge);
+    }
+
+    #[test]
+    fn timing_samples_floor_at_one() {
+        assert_eq!(BuilderConfig::default().with_timing_samples(0).timing_samples, 1);
+    }
+
+    #[test]
+    fn calibration_enables_int8() {
+        let c = BuilderConfig::default().with_calibration(vec![Tensor::zeros([1, 2, 2])]);
+        assert!(c.policy.allow_int8);
+        assert_eq!(c.calibration.len(), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! The built engine: an optimized graph with kernel assignments.
+
+use std::collections::BTreeMap;
+
+use trtsim_gpu::device::Platform;
+use trtsim_gpu::kernel::Precision;
+use trtsim_ir::graph::LayerKind;
+use trtsim_ir::Graph;
+use trtsim_kernels::numeric::QuantDesc;
+
+use crate::autotune::Choice;
+use crate::passes::PassReport;
+
+/// Per-platform bytes of embedded runtime/cubin payload in a serialized plan
+/// (TensorRT plans carry device code; the AGX build embeds more SM
+/// configurations). Calibrated against Table II's MTCNN row, where the
+/// payload dominates a 1.9 MB model's 3.8 / 4.78 MB engines.
+pub fn runtime_payload_bytes(platform: Platform) -> u64 {
+    match platform {
+        Platform::Nx => 2_800_000,
+        Platform::Agx => 3_750_000,
+    }
+}
+
+/// Serialized per-node metadata overhead (tactic record, tensor descriptors).
+pub const NODE_METADATA_BYTES: u64 = 256;
+
+/// One node's execution assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecUnit {
+    /// Selected tactic and kernel, `None` for structural nodes.
+    pub choice: Option<Choice>,
+    /// INT8 scales, if this node runs quantized.
+    pub quant: Option<QuantDesc>,
+}
+
+/// What the build did (pass statistics), kept for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildReport {
+    /// Pass counters.
+    pub passes: PassReport,
+    /// Weight blobs compressed by clustering/pruning.
+    pub compressed_blobs: usize,
+}
+
+/// An immutable, runnable inference engine (TensorRT `ICudaEngine` analog).
+///
+/// Engines are produced by [`crate::Builder`] and consumed by
+/// [`crate::runtime::ExecutionContext`]. Two engines built from the same
+/// network are **not** guaranteed to be identical — that is the paper's
+/// subject — unless the build seed was pinned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Engine {
+    pub(crate) name: String,
+    pub(crate) graph: Graph,
+    pub(crate) shapes: Vec<[usize; 3]>,
+    pub(crate) units: Vec<ExecUnit>,
+    pub(crate) build_platform: Platform,
+    pub(crate) build_seed: u64,
+    pub(crate) report: BuildReport,
+}
+
+impl Engine {
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The optimized graph this engine executes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Output shape of every optimized node.
+    pub fn shapes(&self) -> &[[usize; 3]] {
+        &self.shapes
+    }
+
+    /// Per-node execution assignments (aligned with `graph().nodes()`).
+    pub fn units(&self) -> &[ExecUnit] {
+        &self.units
+    }
+
+    /// Platform the engine was built (autotuned) on.
+    pub fn build_platform(&self) -> Platform {
+        self.build_platform
+    }
+
+    /// The build's resolved seed (diagnostic; real TensorRT has no analog).
+    pub fn build_seed(&self) -> u64 {
+        self.build_seed
+    }
+
+    /// Build statistics.
+    pub fn report(&self) -> &BuildReport {
+        &self.report
+    }
+
+    /// Kernel launch sequence, one name per compute node, in execution order.
+    pub fn kernel_names(&self) -> Vec<String> {
+        self.units
+            .iter()
+            .filter_map(|u| u.choice.as_ref().map(|c| c.kernel.name.clone()))
+            .collect()
+    }
+
+    /// Invocation count per kernel symbol — the paper's Table XIII view.
+    pub fn kernel_invocations(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for name in self.kernel_names() {
+            *out.entry(name).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Number of kernel launches one inference performs.
+    pub fn launch_count(&self) -> usize {
+        self.units.iter().filter(|u| u.choice.is_some()).count()
+    }
+
+    /// Bytes of weights the plan stores, in each layer's selected precision.
+    pub fn stored_weight_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for (node, unit) in self.graph.nodes().iter().zip(&self.units) {
+            let params = match &node.kind {
+                LayerKind::Conv(c) => Some((c.weights.len(), c.bias.len())),
+                LayerKind::InnerProduct { weights, bias, .. } => {
+                    Some((weights.len(), bias.len()))
+                }
+                _ => None,
+            };
+            let Some((w_len, b_len)) = params else {
+                continue;
+            };
+            let precision = unit
+                .choice
+                .as_ref()
+                .map(|c| c.tactic.precision)
+                .unwrap_or(Precision::Fp32);
+            // Bias stays FP32 in all precisions (it adds into the accumulator).
+            total += w_len as u64 * precision.bytes() as u64 + b_len as u64 * 4;
+        }
+        total
+    }
+
+    /// Count of compute layers per precision `(fp32, fp16, int8)`.
+    pub fn precision_mix(&self) -> (usize, usize, usize) {
+        let mut mix = (0, 0, 0);
+        for unit in &self.units {
+            if let Some(c) = &unit.choice {
+                match c.tactic.precision {
+                    Precision::Fp32 => mix.0 += 1,
+                    Precision::Fp16 => mix.1 += 1,
+                    Precision::Int8 => mix.2 += 1,
+                }
+            }
+        }
+        mix
+    }
+
+    /// Size of the serialized plan in bytes — the paper's Table II
+    /// "TensorRT engine size".
+    pub fn plan_size_bytes(&self) -> u64 {
+        self.stored_weight_bytes()
+            + self.launch_count() as u64 * NODE_METADATA_BYTES
+            + runtime_payload_bytes(self.build_platform)
+    }
+
+    /// Total bytes of all activation bindings at FP16 (execution contexts
+    /// allocate every binding).
+    pub fn total_activation_bytes(&self) -> u64 {
+        self.shapes
+            .iter()
+            .skip(1)
+            .map(|s| (s[0] * s[1] * s[2]) as u64 * 2)
+            .sum()
+    }
+
+    /// Largest activation tensor in bytes at the widest stored precision
+    /// (FP16 activations unless an FP32 layer touches them; conservatively 2
+    /// bytes minimum).
+    pub fn max_activation_bytes(&self) -> u64 {
+        self.shapes
+            .iter()
+            .map(|s| (s[0] * s[1] * s[2]) as u64 * 2)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::BuilderConfig;
+    use trtsim_gpu::device::DeviceSpec;
+    use trtsim_ir::graph::{Graph, LayerKind, PoolKind};
+
+    fn small_engine(seed: u64) -> Engine {
+        let mut g = Graph::new("m", [3, 32, 32]);
+        let c1 = g.add_layer("c1", LayerKind::conv_seeded(64, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let p = g.add_layer(
+            "p",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
+        let c2 = g.add_layer("c2", LayerKind::conv_seeded(64, 64, 3, 1, 1, 1), &[p]);
+        g.mark_output(c2);
+        Builder::new(DeviceSpec::xavier_nx(), BuilderConfig::default().with_build_seed(seed))
+            .build(&g)
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_reports_kernels_and_sizes() {
+        let e = small_engine(1);
+        assert_eq!(e.launch_count(), 3); // 2 convs + pool
+        assert_eq!(e.kernel_names().len(), 3);
+        assert!(e.plan_size_bytes() > runtime_payload_bytes(Platform::Nx));
+        assert!(e.stored_weight_bytes() > 0);
+        assert!(e.max_activation_bytes() >= 64 * 32 * 32 * 2);
+    }
+
+    #[test]
+    fn fp16_plan_is_smaller_than_fp32_weights() {
+        let e = small_engine(2);
+        let (_, fp16, _) = e.precision_mix();
+        if fp16 > 0 {
+            assert!(e.stored_weight_bytes() < e.graph.fp32_bytes() as u64);
+        }
+    }
+
+    #[test]
+    fn invocation_counts_sum_to_launches() {
+        let e = small_engine(3);
+        let total: usize = e.kernel_invocations().values().sum();
+        assert_eq!(total, e.launch_count());
+    }
+
+    #[test]
+    fn agx_payload_exceeds_nx() {
+        assert!(runtime_payload_bytes(Platform::Agx) > runtime_payload_bytes(Platform::Nx));
+    }
+}

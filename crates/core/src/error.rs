@@ -1,0 +1,73 @@
+//! Engine error types.
+
+use std::fmt;
+
+use trtsim_ir::IrError;
+
+/// Errors from building, serializing, or running an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The source network is invalid.
+    InvalidNetwork(IrError),
+    /// A layer had no implementable tactic under the configured policy.
+    NoTactic {
+        /// Offending layer name.
+        node: String,
+    },
+    /// INT8 was requested without calibration data.
+    MissingCalibration,
+    /// A serialized plan is corrupt or from an incompatible version.
+    MalformedPlan(String),
+    /// Numeric execution failed.
+    Execution(IrError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidNetwork(e) => write!(f, "invalid network: {e}"),
+            EngineError::NoTactic { node } => {
+                write!(f, "no tactic can implement layer `{node}` under this policy")
+            }
+            EngineError::MissingCalibration => {
+                write!(f, "INT8 mode requires a calibration set")
+            }
+            EngineError::MalformedPlan(detail) => write!(f, "malformed plan: {detail}"),
+            EngineError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::InvalidNetwork(e) | EngineError::Execution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for EngineError {
+    fn from(e: IrError) -> Self {
+        EngineError::InvalidNetwork(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EngineError::InvalidNetwork(IrError::NoOutputs);
+        assert!(e.to_string().contains("invalid network"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&EngineError::MissingCalibration).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<EngineError>();
+    }
+}

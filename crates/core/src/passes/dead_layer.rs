@@ -1,0 +1,125 @@
+//! Dead-layer removal (Figure 2, step 1).
+//!
+//! Two classes of dead weight are removed: layers that are no-ops at
+//! inference time (dropout, identity — training-only artifacts that frameworks
+//! leave in deploy graphs), and layers whose outputs cannot reach any marked
+//! network output (auxiliary training heads, e.g. GoogLeNet's side
+//! classifiers).
+
+use trtsim_ir::{Graph, IrError};
+
+use super::{PassReport, Rewriter};
+
+/// Runs the pass.
+///
+/// # Errors
+///
+/// Returns an error if the source graph is invalid.
+pub fn run(graph: &Graph) -> Result<(Graph, PassReport), IrError> {
+    graph.validate()?;
+
+    // Reverse reachability from the outputs.
+    let mut reachable = vec![false; graph.len()];
+    let mut stack: Vec<usize> = graph.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if reachable[id] {
+            continue;
+        }
+        reachable[id] = true;
+        stack.extend(graph.node(id).inputs.iter().copied());
+    }
+
+    let mut rw = Rewriter::new(graph);
+    let mut report = PassReport::default();
+    for node in graph.nodes().iter().skip(1) {
+        if !reachable[node.id] {
+            report.removed += 1;
+            continue;
+        }
+        if node.kind.is_inference_noop() {
+            // Splice out: consumers read the producer directly.
+            rw.map[node.id] = rw.map[node.inputs[0]];
+            report.removed += 1;
+            continue;
+        }
+        rw.emit(node);
+    }
+    Ok((rw.finish(graph), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_ir::graph::{Graph, LayerKind};
+    use trtsim_ir::{ReferenceExecutor, Tensor};
+    use trtsim_util::rng::Pcg32;
+
+    fn graph_with_dead_weight() -> Graph {
+        let mut g = Graph::new("t", [3, 8, 8]);
+        let c1 = g.add_layer("c1", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let drop = g.add_layer("drop", LayerKind::Dropout { rate: 0.5 }, &[c1]);
+        let c2 = g.add_layer("c2", LayerKind::conv_seeded(4, 4, 3, 1, 1, 1), &[drop]);
+        // Auxiliary head that reaches no output.
+        let aux = g.add_layer("aux", LayerKind::conv_seeded(2, 4, 1, 1, 0, 2), &[c1]);
+        let _aux_sm = g.add_layer("aux_sm", LayerKind::Softmax, &[aux]);
+        g.mark_output(c2);
+        g
+    }
+
+    #[test]
+    fn removes_noops_and_unreachable() {
+        let g = graph_with_dead_weight();
+        let (out, report) = run(&g).unwrap();
+        assert_eq!(report.removed, 3); // dropout + aux + aux_sm
+        assert_eq!(out.len(), 3); // input + c1 + c2
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn preserves_semantics() {
+        let g = graph_with_dead_weight();
+        let (opt, _) = run(&g).unwrap();
+        let mut rng = Pcg32::seed_from_u64(3);
+        let input = Tensor::from_fn([3, 8, 8], |_, _, _| rng.normal() as f32);
+        let a = ReferenceExecutor::new(&g).unwrap().run(&input).unwrap();
+        let b = ReferenceExecutor::new(&opt).unwrap().run(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clean_graph_is_untouched() {
+        let mut g = Graph::new("t", [3, 8, 8]);
+        let c = g.add_layer("c", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        g.mark_output(c);
+        let (out, report) = run(&g).unwrap();
+        assert_eq!(report.removed, 0);
+        assert_eq!(out.len(), g.len());
+    }
+
+    #[test]
+    fn chained_noops_all_collapse() {
+        let mut g = Graph::new("t", [1, 4, 4]);
+        let a = g.add_layer("a", LayerKind::Identity, &[Graph::INPUT]);
+        let b = g.add_layer("b", LayerKind::Dropout { rate: 0.2 }, &[a]);
+        let c = g.add_layer("c", LayerKind::Identity, &[b]);
+        let s = g.add_layer("s", LayerKind::Softmax, &[c]);
+        g.mark_output(s);
+        let (out, report) = run(&g).unwrap();
+        assert_eq!(report.removed, 3);
+        assert_eq!(out.len(), 2);
+        // Softmax now reads the input directly.
+        assert_eq!(out.node(1).inputs, vec![Graph::INPUT]);
+    }
+
+    #[test]
+    fn noop_as_output_survives_via_producer() {
+        let mut g = Graph::new("t", [1, 4, 4]);
+        let s = g.add_layer("s", LayerKind::Softmax, &[Graph::INPUT]);
+        let id = g.add_layer("id", LayerKind::Identity, &[s]);
+        g.mark_output(id);
+        let (out, _) = run(&g).unwrap();
+        // The identity output remaps to the softmax node.
+        assert_eq!(out.outputs(), &[1]);
+        assert!(out.validate().is_ok());
+    }
+}

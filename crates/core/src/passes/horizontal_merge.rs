@@ -1,0 +1,284 @@
+//! Horizontal merging (Figure 2, step 3).
+//!
+//! Sibling convolutions that read the same tensor with identical geometry —
+//! the 1×1 branches of an Inception module, the per-anchor heads of a
+//! detector — merge into a single wider convolution, replacing several small
+//! kernel launches (each under-filling the GPU) with one well-shaped launch.
+//! Consumers of the original branches read channel [`trtsim_ir::graph::LayerKind::Slice`]
+//! views of the merged output, which cost nothing at runtime.
+
+use trtsim_ir::graph::{ConvParams, LayerKind};
+use trtsim_ir::weights::Weights;
+use trtsim_ir::{Graph, IrError, NodeId};
+use trtsim_util::derive_seed;
+
+use super::{PassReport, Rewriter};
+
+/// Key under which sibling convolutions are mergeable.
+#[derive(Debug, Clone, PartialEq)]
+struct MergeKey {
+    producer: NodeId,
+    kernel: (usize, usize),
+    stride: usize,
+    pad: (usize, usize),
+    in_channels: usize,
+    activation: Option<trtsim_ir::Activation>,
+}
+
+/// Runs the pass.
+///
+/// # Errors
+///
+/// Returns an error if the source graph is invalid.
+pub fn run(graph: &Graph) -> Result<(Graph, PassReport), IrError> {
+    graph.validate()?;
+
+    // Group mergeable siblings by producer+geometry, in id order.
+    let mut groups: Vec<(MergeKey, Vec<NodeId>)> = Vec::new();
+    for node in graph.nodes() {
+        let LayerKind::Conv(c) = &node.kind else {
+            continue;
+        };
+        if node.inputs.len() != 1 || c.groups != 1 {
+            continue;
+        }
+        let key = MergeKey {
+            producer: node.inputs[0],
+            kernel: (c.kernel_h, c.kernel_w),
+            stride: c.stride,
+            pad: (c.pad_h, c.pad_w),
+            in_channels: c.in_channels,
+            activation: c.activation,
+        };
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(node.id),
+            None => groups.push((key, vec![node.id])),
+        }
+    }
+    groups.retain(|(_, members)| members.len() >= 2 && weights_compatible(graph, members));
+
+    // member id → (group index, channel offset, channel count)
+    let mut member_info: Vec<Option<(usize, usize, usize)>> = vec![None; graph.len()];
+    for (gi, (_, members)) in groups.iter().enumerate() {
+        let mut offset = 0;
+        for &m in members {
+            let LayerKind::Conv(c) = &graph.node(m).kind else {
+                unreachable!()
+            };
+            member_info[m] = Some((gi, offset, c.out_channels));
+            offset += c.out_channels;
+        }
+    }
+    // New id of each group's merged conv, once emitted.
+    let mut merged_id: Vec<Option<NodeId>> = vec![None; groups.len()];
+
+    let mut rw = Rewriter::new(graph);
+    let mut report = PassReport::default();
+    for node in graph.nodes().iter().skip(1) {
+        let Some((gi, offset, channels)) = member_info[node.id] else {
+            rw.emit(node);
+            continue;
+        };
+        // First member encountered emits the merged conv.
+        if merged_id[gi].is_none() {
+            let (key, members) = &groups[gi];
+            let merged = build_merged(graph, members);
+            let producer = rw.map[key.producer].expect("producer mapped");
+            let name = format!("{}_hmerged", node.name);
+            let id = rw.graph.add_layer(name, LayerKind::Conv(merged), &[producer]);
+            merged_id[gi] = Some(id);
+            report.merged += members.len() - 1;
+        }
+        // Every member becomes a slice view of the merged output.
+        let slice = rw.graph.add_layer(
+            format!("{}_slice", node.name),
+            LayerKind::Slice {
+                begin: offset,
+                len: channels,
+            },
+            &[merged_id[gi].expect("merged conv emitted")],
+        );
+        rw.map[node.id] = Some(slice);
+    }
+    Ok((rw.finish(graph), report))
+}
+
+fn weights_compatible(graph: &Graph, members: &[NodeId]) -> bool {
+    // All dense (exact concatenation) or all seeded (descriptor models).
+    let dense = members.iter().all(|&m| {
+        matches!(
+            &graph.node(m).kind,
+            LayerKind::Conv(c) if matches!(c.weights, Weights::Dense(_))
+        )
+    });
+    let seeded = members.iter().all(|&m| {
+        matches!(
+            &graph.node(m).kind,
+            LayerKind::Conv(c) if matches!(c.weights, Weights::Seeded { .. })
+        )
+    });
+    dense || seeded
+}
+
+fn build_merged(graph: &Graph, members: &[NodeId]) -> ConvParams {
+    let convs: Vec<&ConvParams> = members
+        .iter()
+        .map(|&m| match &graph.node(m).kind {
+            LayerKind::Conv(c) => c,
+            _ => unreachable!(),
+        })
+        .collect();
+    let total_out: usize = convs.iter().map(|c| c.out_channels).sum();
+    let first = convs[0];
+
+    let weights = if convs.iter().all(|c| matches!(c.weights, Weights::Dense(_))) {
+        let mut w = Vec::new();
+        for c in &convs {
+            w.extend(c.weights.iter());
+        }
+        Weights::Dense(w)
+    } else {
+        // Seeded descriptors: a fresh deterministic stream of the right size.
+        let base = match first.weights {
+            Weights::Seeded { seed, .. } => seed,
+            _ => 0,
+        };
+        let len = convs.iter().map(|c| c.weights.len()).sum();
+        Weights::Seeded {
+            seed: derive_seed(base, "hmerge", members[0] as u64),
+            len,
+            scale: match first.weights {
+                Weights::Seeded { scale, .. } => scale,
+                _ => 0.05,
+            },
+        }
+    };
+    let mut bias = Vec::new();
+    for c in &convs {
+        if c.bias.is_empty() {
+            bias.extend(std::iter::repeat_n(0.0, c.out_channels));
+        } else {
+            bias.extend(c.bias.iter());
+        }
+    }
+    ConvParams {
+        out_channels: total_out,
+        in_channels: first.in_channels,
+        kernel_h: first.kernel_h,
+        kernel_w: first.kernel_w,
+        stride: first.stride,
+        pad_h: first.pad_h,
+        pad_w: first.pad_w,
+        groups: 1,
+        weights,
+        bias: Weights::Dense(bias),
+        activation: first.activation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_ir::graph::{Graph, LayerKind};
+    use trtsim_ir::{ReferenceExecutor, Tensor};
+    use trtsim_util::rng::Pcg32;
+
+    fn dense_conv(out_c: usize, in_c: usize, k: usize, seed: u64) -> LayerKind {
+        let mut kind = LayerKind::conv_seeded(out_c, in_c, k, 1, k / 2, seed);
+        if let LayerKind::Conv(c) = &mut kind {
+            c.weights = Weights::Dense(c.weights.iter().collect());
+            let mut rng = Pcg32::seed_from_u64(seed ^ 77);
+            c.bias = Weights::Dense((0..out_c).map(|_| rng.normal() as f32 * 0.1).collect());
+        }
+        kind
+    }
+
+    /// Inception-ish: three 1×1 branches off the same tensor, then concat.
+    fn branchy() -> Graph {
+        let mut g = Graph::new("t", [4, 8, 8]);
+        let stem = g.add_layer("stem", dense_conv(8, 4, 3, 0), &[Graph::INPUT]);
+        let b1 = g.add_layer("b1", dense_conv(4, 8, 1, 1), &[stem]);
+        let b2 = g.add_layer("b2", dense_conv(6, 8, 1, 2), &[stem]);
+        let b3 = g.add_layer("b3", dense_conv(2, 8, 1, 3), &[stem]);
+        let cat = g.add_layer("cat", LayerKind::Concat, &[b1, b2, b3]);
+        g.mark_output(cat);
+        g
+    }
+
+    #[test]
+    fn merges_sibling_branches() {
+        let (out, report) = run(&branchy()).unwrap();
+        assert_eq!(report.merged, 2); // 3 convs -> 1
+        assert_eq!(out.conv_count(), 2); // stem + merged
+        assert!(out.validate().is_ok());
+        // Slices exist for each branch.
+        let slices = out
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Slice { .. }))
+            .count();
+        assert_eq!(slices, 3);
+    }
+
+    #[test]
+    fn merge_preserves_semantics_exactly() {
+        let g = branchy();
+        let (opt, _) = run(&g).unwrap();
+        let mut rng = Pcg32::seed_from_u64(5);
+        let input = Tensor::from_fn([4, 8, 8], |_, _, _| rng.normal() as f32);
+        let a = ReferenceExecutor::new(&g).unwrap().run(&input).unwrap();
+        let b = ReferenceExecutor::new(&opt).unwrap().run(&input).unwrap();
+        assert_eq!(a, b, "merged+sliced must be bit-identical");
+    }
+
+    #[test]
+    fn different_geometry_does_not_merge() {
+        let mut g = Graph::new("t", [4, 8, 8]);
+        let b1 = g.add_layer("b1", dense_conv(4, 4, 1, 1), &[Graph::INPUT]);
+        let b2 = g.add_layer("b2", dense_conv(4, 4, 3, 2), &[Graph::INPUT]); // 3x3
+        let cat = g.add_layer("cat", LayerKind::Concat, &[b1, b2]);
+        g.mark_output(cat);
+        let (_, report) = run(&g).unwrap();
+        assert_eq!(report.merged, 0);
+    }
+
+    #[test]
+    fn single_branch_untouched() {
+        let mut g = Graph::new("t", [4, 8, 8]);
+        let c = g.add_layer("c", dense_conv(4, 4, 1, 1), &[Graph::INPUT]);
+        g.mark_output(c);
+        let (out, report) = run(&g).unwrap();
+        assert_eq!(report.merged, 0);
+        assert_eq!(out.len(), g.len());
+    }
+
+    #[test]
+    fn merged_output_can_be_graph_output() {
+        let mut g = Graph::new("t", [4, 8, 8]);
+        let b1 = g.add_layer("b1", dense_conv(4, 4, 1, 1), &[Graph::INPUT]);
+        let b2 = g.add_layer("b2", dense_conv(4, 4, 1, 2), &[Graph::INPUT]);
+        g.mark_output(b1);
+        g.mark_output(b2);
+        let (opt, report) = run(&g).unwrap();
+        assert_eq!(report.merged, 1);
+        let mut rng = Pcg32::seed_from_u64(6);
+        let input = Tensor::from_fn([4, 8, 8], |_, _, _| rng.normal() as f32);
+        let a = ReferenceExecutor::new(&g).unwrap().run(&input).unwrap();
+        let b = ReferenceExecutor::new(&opt).unwrap().run(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_branches_merge_structurally() {
+        let mut g = Graph::new("t", [4, 8, 8]);
+        let b1 = g.add_layer("b1", LayerKind::conv_seeded(4, 4, 1, 1, 0, 1), &[Graph::INPUT]);
+        let b2 = g.add_layer("b2", LayerKind::conv_seeded(4, 4, 1, 1, 0, 2), &[Graph::INPUT]);
+        let cat = g.add_layer("cat", LayerKind::Concat, &[b1, b2]);
+        g.mark_output(cat);
+        let (out, report) = run(&g).unwrap();
+        assert_eq!(report.merged, 1);
+        assert!(out.validate().is_ok());
+        // Parameter count is conserved.
+        assert_eq!(out.param_count(), g.param_count());
+    }
+}

@@ -1,0 +1,120 @@
+//! Graph-rewriting optimization passes (paper Figure 2, steps 1–3).
+//!
+//! Each pass consumes an [`trtsim_ir::Graph`] and produces a rewritten graph
+//! plus a [`PassReport`]. Passes preserve observable semantics: the rewritten
+//! graph computes the same outputs (bit-for-bit for dead-layer removal and
+//! horizontal merging; to FP32 rounding for vertical fusion, which refactors
+//! arithmetic).
+
+pub mod dead_layer;
+pub mod horizontal_merge;
+pub mod vertical_fusion;
+
+/// What a pass did, for build reporting and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassReport {
+    /// Nodes deleted (dead-layer removal).
+    pub removed: usize,
+    /// Layers folded into a producer (vertical fusion).
+    pub fused: usize,
+    /// Sibling convolutions eliminated by merging (horizontal merge).
+    pub merged: usize,
+}
+
+impl PassReport {
+    /// Accumulates another report.
+    pub fn merge(&mut self, other: &PassReport) {
+        self.removed += other.removed;
+        self.fused += other.fused;
+        self.merged += other.merged;
+    }
+}
+
+/// Helper shared by the passes: rewrites a graph by visiting original nodes
+/// in topological order. `map[old]` is the new id that consumers of `old`
+/// should reference (a pass sets this to a producer's id to splice a node
+/// out, or `None` to drop an unreachable node).
+#[derive(Debug)]
+pub struct Rewriter {
+    /// old node id → new node id carrying its value.
+    pub map: Vec<Option<trtsim_ir::NodeId>>,
+    /// The graph being built.
+    pub graph: trtsim_ir::Graph,
+}
+
+impl Rewriter {
+    /// Starts rewriting `source`, mapping the input node to itself.
+    pub fn new(source: &trtsim_ir::Graph) -> Self {
+        let mut map = vec![None; source.len()];
+        map[trtsim_ir::Graph::INPUT] = Some(trtsim_ir::Graph::INPUT);
+        Self {
+            map,
+            graph: trtsim_ir::Graph::new(source.name().to_string(), source.input_shape()),
+        }
+    }
+
+    /// Emits a copy of `node` with remapped inputs; records the mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a producer of `node` was dropped without a replacement.
+    pub fn emit(&mut self, node: &trtsim_ir::Node) -> trtsim_ir::NodeId {
+        let inputs: Vec<trtsim_ir::NodeId> = node
+            .inputs
+            .iter()
+            .map(|&i| self.map[i].expect("producer must be mapped"))
+            .collect();
+        let id = self
+            .graph
+            .add_layer(node.name.clone(), node.kind.clone(), &inputs);
+        self.map[node.id] = Some(id);
+        id
+    }
+
+    /// Finalizes: marks the remapped outputs of `source` on the new graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output of `source` was dropped.
+    pub fn finish(mut self, source: &trtsim_ir::Graph) -> trtsim_ir::Graph {
+        for &out in source.outputs() {
+            let mapped = self.map[out].expect("output must survive rewriting");
+            self.graph.mark_output(mapped);
+        }
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_ir::graph::{Graph, LayerKind};
+
+    #[test]
+    fn rewriter_identity_round_trip() {
+        let mut g = Graph::new("t", [1, 4, 4]);
+        let a = g.add_layer("a", LayerKind::Identity, &[Graph::INPUT]);
+        let b = g.add_layer("b", LayerKind::Softmax, &[a]);
+        g.mark_output(b);
+
+        let mut rw = Rewriter::new(&g);
+        for node in g.nodes().iter().skip(1) {
+            rw.emit(node);
+        }
+        let out = rw.finish(&g);
+        assert_eq!(out.len(), g.len());
+        assert_eq!(out.outputs().len(), 1);
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn report_merges() {
+        let mut a = PassReport {
+            removed: 1,
+            fused: 2,
+            merged: 3,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a, PassReport { removed: 2, fused: 4, merged: 6 });
+    }
+}

@@ -1,0 +1,454 @@
+//! Engine execution: numeric inference and simulated timing.
+//!
+//! An [`ExecutionContext`] binds an [`Engine`] to a device. It can:
+//!
+//! * run real numerics ([`ExecutionContext::infer`]) — convolutions and FC
+//!   layers execute under their selected tactic's precision and accumulation
+//!   order, so two engines with different tactic sets can (rarely) emit
+//!   different labels for the same image;
+//! * enqueue simulated work on a [`GpuTimeline`]
+//!   ([`ExecutionContext::enqueue_inference`]) for latency/throughput
+//!   studies, including the per-run engine upload the paper's harness
+//!   performs (its Table X separates that memcpy out);
+//! * summarize itself as an [`EngineProfile`] for the concurrency model.
+
+use trtsim_gpu::contention::EngineProfile;
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_gpu::kernel::Precision;
+use trtsim_gpu::timeline::{GpuTimeline, ProfilingOverhead, StreamId};
+use trtsim_gpu::timing::kernel_busy_us;
+use trtsim_ir::graph::{Graph, LayerKind};
+use trtsim_ir::ops;
+use trtsim_ir::tensor::Tensor;
+use trtsim_kernels::numeric::{apply_precision, conv_forward, fc_forward};
+use trtsim_util::rng::Pcg32;
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+
+/// cuDNN workspace each kernel reserves in an execution context (calibrated
+/// against the thread counts of the paper's Figures 3/4).
+pub const PER_KERNEL_WORKSPACE_BYTES: u64 = 4 << 20;
+
+/// Fixed CUDA context overhead per stream.
+pub const PER_CONTEXT_OVERHEAD_BYTES: u64 = 48 << 20;
+
+/// How a timed inference is measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingOptions {
+    /// Include the engine-upload `cudaMemcpyHostToDevice` in each run (the
+    /// paper's harness does; Table X subtracts it).
+    pub include_engine_upload: bool,
+    /// Profiler instrumentation (nvprof attached vs not — Tables VIII vs IX).
+    pub profiling: ProfilingOverhead,
+    /// Host-side glue per inference, µs (pre/post-processing, sync). Model
+    /// zoo entries carry calibrated values.
+    pub host_glue_us: f64,
+    /// Run-to-run relative jitter applied by the measurement harness.
+    pub run_jitter_sd: f64,
+}
+
+impl Default for TimingOptions {
+    fn default() -> Self {
+        Self {
+            include_engine_upload: true,
+            profiling: ProfilingOverhead::none(),
+            host_glue_us: 1_500.0,
+            run_jitter_sd: 0.02,
+        }
+    }
+}
+
+impl TimingOptions {
+    /// With nvprof attached (Table VIII conditions).
+    pub fn profiled(mut self) -> Self {
+        self.profiling = ProfilingOverhead::nvprof();
+        self
+    }
+
+    /// Without the per-run engine upload (Table X "memcpy excluded").
+    pub fn without_engine_upload(mut self) -> Self {
+        self.include_engine_upload = false;
+        self
+    }
+
+    /// Sets the host glue time.
+    pub fn with_host_glue_us(mut self, us: f64) -> Self {
+        self.host_glue_us = us;
+        self
+    }
+}
+
+/// A bound (engine, device) pair ready to run (TensorRT
+/// `IExecutionContext` analog).
+#[derive(Debug, Clone)]
+pub struct ExecutionContext<'e> {
+    engine: &'e Engine,
+    device: DeviceSpec,
+}
+
+impl<'e> ExecutionContext<'e> {
+    /// Binds an engine to a device. Running an engine on a different
+    /// platform than it was built for is allowed — exactly what the paper's
+    /// cNX_rAGX / cAGX_rNX experiments do.
+    pub fn new(engine: &'e Engine, device: DeviceSpec) -> Self {
+        Self { engine, device }
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// The device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Numeric inference under each layer's selected tactic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Execution`] on shape mismatch or if the engine
+    /// holds descriptor-scale weights too large to materialize.
+    pub fn infer(&self, input: &Tensor) -> Result<Vec<Tensor>, EngineError> {
+        let graph: &Graph = &self.engine.graph;
+        if input.shape() != graph.input_shape() {
+            return Err(EngineError::Execution(trtsim_ir::IrError::ShapeMismatch {
+                node: "input".into(),
+                detail: format!(
+                    "expected {:?}, got {:?}",
+                    graph.input_shape(),
+                    input.shape()
+                ),
+            }));
+        }
+        let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
+        values[Graph::INPUT] = Some(input.clone());
+        for node in graph.nodes().iter().skip(1) {
+            let unit = &self.engine.units[node.id];
+            let get = |i: usize| -> &Tensor {
+                values[node.inputs[i]].as_ref().expect("producer computed")
+            };
+            let precision = unit
+                .choice
+                .as_ref()
+                .map(|c| c.tactic.precision)
+                .unwrap_or(Precision::Fp32);
+            let mut out = match &node.kind {
+                LayerKind::Input => unreachable!(),
+                LayerKind::Conv(c) => {
+                    let tactic = &unit
+                        .choice
+                        .as_ref()
+                        .expect("conv nodes always have a tactic")
+                        .tactic;
+                    conv_forward(c, get(0), tactic, unit.quant.as_ref())
+                }
+                LayerKind::InnerProduct {
+                    out_features,
+                    weights,
+                    bias,
+                    activation,
+                    ..
+                } => {
+                    let tactic = &unit
+                        .choice
+                        .as_ref()
+                        .expect("fc nodes always have a tactic")
+                        .tactic;
+                    let w = weights.materialize();
+                    let b: Vec<f32> = bias.iter().collect();
+                    fc_forward(get(0), &w, &b, *out_features, *activation, tactic)
+                }
+                LayerKind::Pool {
+                    kind,
+                    kernel,
+                    stride,
+                    pad,
+                } => precision_rounded(
+                    ops::pool2d(get(0), *kind, *kernel, *stride, *pad),
+                    precision,
+                ),
+                LayerKind::GlobalPool { kind } => {
+                    precision_rounded(ops::global_pool(get(0), *kind), precision)
+                }
+                LayerKind::Act(a) => precision_rounded(ops::activate(get(0), *a), precision),
+                LayerKind::BatchNorm {
+                    mean,
+                    var,
+                    gamma,
+                    beta,
+                    eps,
+                } => precision_rounded(
+                    ops::batch_norm(get(0), mean, var, gamma, beta, *eps),
+                    precision,
+                ),
+                LayerKind::Scale { scale, bias } => {
+                    precision_rounded(ops::scale(get(0), scale, bias), precision)
+                }
+                LayerKind::Lrn {
+                    local_size,
+                    alpha,
+                    beta,
+                    k,
+                } => precision_rounded(ops::lrn(get(0), *local_size, *alpha, *beta, *k), precision),
+                LayerKind::Eltwise { op } => {
+                    let ins: Vec<&Tensor> = (0..node.inputs.len()).map(get).collect();
+                    precision_rounded(ops::eltwise(&ins, *op), precision)
+                }
+                LayerKind::Concat => {
+                    let ins: Vec<&Tensor> = (0..node.inputs.len()).map(get).collect();
+                    ops::concat(&ins)
+                }
+                LayerKind::Softmax => ops::softmax(get(0)),
+                LayerKind::Upsample { factor } => ops::upsample(get(0), *factor),
+                LayerKind::Flatten => get(0).clone().into_flat(),
+                LayerKind::Slice { begin, len } => ops::slice_channels(get(0), *begin, *len),
+                LayerKind::Dropout { .. } | LayerKind::Identity => get(0).clone(),
+            };
+            debug_assert_eq!(out.shape(), self.engine.shapes[node.id]);
+            // Keep NaN out of downstream argmaxes if an fp16 overflowed.
+            if out.as_slice().iter().any(|v| v.is_nan()) {
+                out.map_inplace(|v| if v.is_nan() { 0.0 } else { v });
+            }
+            values[node.id] = Some(out);
+        }
+        Ok(graph
+            .outputs()
+            .iter()
+            .map(|&id| values[id].take().expect("output computed"))
+            .collect())
+    }
+
+    /// Predicted class of a classification engine (argmax of first output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecutionContext::infer`] errors.
+    pub fn classify(&self, input: &Tensor) -> Result<usize, EngineError> {
+        let out = self.infer(input)?;
+        Ok(out[0].argmax().unwrap_or(0))
+    }
+
+    /// Uploads the engine to the device (plan-sized H2D copy).
+    pub fn upload_engine(&self, timeline: &mut GpuTimeline, stream: StreamId) -> f64 {
+        timeline.enqueue_h2d(stream, self.engine.plan_size_bytes())
+    }
+
+    /// Enqueues one inference: input H2D, every kernel, output D2H, host glue.
+    /// Returns the completion time (µs).
+    pub fn enqueue_inference(
+        &self,
+        timeline: &mut GpuTimeline,
+        stream: StreamId,
+        opts: &TimingOptions,
+    ) -> f64 {
+        let in_shape = self.engine.graph.input_shape();
+        timeline.enqueue_h2d(stream, (in_shape[0] * in_shape[1] * in_shape[2]) as u64 * 4);
+        for unit in &self.engine.units {
+            if let Some(choice) = &unit.choice {
+                timeline.enqueue_kernel(stream, &choice.kernel);
+            }
+        }
+        let out_bytes: u64 = self
+            .engine
+            .graph
+            .outputs()
+            .iter()
+            .map(|&id| {
+                let s = self.engine.shapes[id];
+                (s[0] * s[1] * s[2]) as u64 * 4
+            })
+            .sum();
+        timeline.enqueue_d2h(stream, out_bytes.max(4));
+        timeline.host_gap(stream, opts.host_glue_us)
+    }
+
+    /// Measures `runs` end-to-end latencies (µs) under the paper's harness
+    /// conditions, with run-to-run jitter drawn from `seed`.
+    pub fn measure_latency(&self, opts: &TimingOptions, runs: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        (0..runs)
+            .map(|_| {
+                let mut tl = GpuTimeline::with_overhead(self.device.clone(), opts.profiling);
+                let s = tl.create_stream();
+                if opts.include_engine_upload {
+                    self.upload_engine(&mut tl, s);
+                }
+                let end = self.enqueue_inference(&mut tl, s, opts);
+                (end * (1.0 + opts.run_jitter_sd * rng.normal())).max(0.0)
+            })
+            .collect()
+    }
+
+    /// GPU busy time of one inference (kernel roofline sum, no launches), µs.
+    pub fn gpu_busy_us(&self) -> f64 {
+        self.engine
+            .units
+            .iter()
+            .filter_map(|u| u.choice.as_ref())
+            .map(|c| kernel_busy_us(&c.kernel, &self.device))
+            .sum()
+    }
+
+    /// Total post-cache DRAM traffic of one inference, bytes.
+    pub fn dram_bytes_per_inference(&self) -> u64 {
+        self.engine
+            .units
+            .iter()
+            .filter_map(|u| u.choice.as_ref())
+            .map(|c| c.kernel.dram_bytes)
+            .sum()
+    }
+
+    /// Summarizes this context for the multi-stream concurrency model
+    /// (Figures 3/4). `host_glue_us` should match the serving loop's.
+    ///
+    /// Per-stream context memory is what bounds the thread count in the
+    /// paper's Figures 3/4: each stream's context allocates its activation
+    /// bindings (multiply-buffered for pipelining), a cuDNN workspace per
+    /// kernel, and fixed CUDA overhead. Deeper engines (GoogLeNet: ~70
+    /// launches) therefore support fewer streams than shallow ones
+    /// (Tiny-YOLOv3: ~20) even at similar activation volume.
+    pub fn profile(&self, host_glue_us: f64) -> EngineProfile {
+        let launches = self.engine.launch_count() as u64;
+        EngineProfile {
+            busy_us: self.gpu_busy_us(),
+            gap_us: launches as f64 * self.device.kernel_launch_us + host_glue_us,
+            dram_bytes: self.dram_bytes_per_inference(),
+            activation_bytes: 4 * self.engine.total_activation_bytes()
+                + launches * PER_KERNEL_WORKSPACE_BYTES
+                + PER_CONTEXT_OVERHEAD_BYTES,
+            weight_bytes: self.engine.stored_weight_bytes(),
+        }
+    }
+}
+
+fn precision_rounded(mut t: Tensor, precision: Precision) -> Tensor {
+    if precision == Precision::Fp16 {
+        apply_precision(&mut t, Precision::Fp16);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::BuilderConfig;
+    use trtsim_ir::graph::{Graph, LayerKind, PoolKind};
+
+    fn net() -> Graph {
+        let mut g = Graph::new("m", [3, 16, 16]);
+        let c1 = g.add_layer("c1", LayerKind::conv_seeded(16, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let p = g.add_layer(
+            "p",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
+        let gp = g.add_layer("gp", LayerKind::GlobalPool { kind: PoolKind::Avg }, &[p]);
+        let fc = g.add_layer("fc", LayerKind::fc_seeded(10, 16, 3), &[gp]);
+        g.mark_output(fc);
+        g
+    }
+
+    fn engine(seed: u64) -> Engine {
+        Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default().with_build_seed(seed),
+        )
+        .build(&net())
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_inference_close_to_reference() {
+        let e = engine(1);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        let mut rng = Pcg32::seed_from_u64(2);
+        let input = Tensor::from_fn([3, 16, 16], |_, _, _| rng.normal() as f32);
+        let opt = ctx.infer(&input).unwrap();
+        let src = net();
+        let reference = trtsim_ir::ReferenceExecutor::new(&src)
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        for (a, b) in reference[0].as_slice().iter().zip(opt[0].as_slice()) {
+            assert!((a - b).abs() < 0.05 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn latency_is_positive_and_jittered() {
+        let e = engine(2);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        let lats = ctx.measure_latency(&TimingOptions::default(), 10, 7);
+        assert_eq!(lats.len(), 10);
+        assert!(lats.iter().all(|&l| l > 0.0));
+        let first = lats[0];
+        assert!(lats.iter().any(|&l| (l - first).abs() > 1e-9), "no jitter");
+    }
+
+    #[test]
+    fn profiling_and_upload_increase_latency() {
+        let e = engine(3);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        let base = TimingOptions {
+            run_jitter_sd: 0.0,
+            ..TimingOptions::default()
+        };
+        let with_all = ctx.measure_latency(&base, 1, 0)[0];
+        let no_upload = ctx.measure_latency(&base.without_engine_upload(), 1, 0)[0];
+        let profiled = ctx.measure_latency(&base.profiled(), 1, 0)[0];
+        assert!(no_upload < with_all);
+        assert!(profiled > with_all);
+    }
+
+    #[test]
+    fn cross_platform_context_runs() {
+        let e = engine(4); // built on NX
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_agx());
+        let opts = TimingOptions {
+            run_jitter_sd: 0.0,
+            ..TimingOptions::default()
+        };
+        let lat = ctx.measure_latency(&opts, 1, 0)[0];
+        assert!(lat > 0.0);
+    }
+
+    #[test]
+    fn profile_quantities_are_consistent() {
+        let e = engine(5);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        let p = ctx.profile(1000.0);
+        assert!(p.busy_us > 0.0);
+        assert!(p.gap_us >= 1000.0);
+        assert!(p.dram_bytes > 0);
+        assert!(p.weight_bytes > 0);
+        assert!(p.activation_bytes > (48 << 20));
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let e = engine(6);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        assert!(ctx.infer(&Tensor::zeros([3, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn timeline_records_all_kernels() {
+        let e = engine(7);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s = tl.create_stream();
+        ctx.enqueue_inference(&mut tl, s, &TimingOptions::default());
+        assert_eq!(tl.kernels().len(), e.launch_count());
+        assert_eq!(tl.memcpys().len(), 2); // input h2d + output d2h
+    }
+}

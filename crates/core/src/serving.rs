@@ -1,0 +1,172 @@
+//! Multi-threaded inference serving over the simulated GPU.
+//!
+//! The paper's deployment pattern (§IV-B, §VI-A): N host threads, each bound
+//! to its own CUDA stream inside one shared context, all running the same
+//! engine — an intersection controller fanning camera feeds onto one board.
+//! This module runs that architecture with *real* OS threads (crossbeam
+//! channels dispatch frames, `parking_lot` guards the device) against the
+//! *simulated* timeline, so the concurrency structure is genuine while time
+//! remains modeled and reproducible.
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_gpu::tegrastats;
+use trtsim_gpu::timeline::{GpuTimeline, StreamId};
+
+use crate::engine::Engine;
+use crate::runtime::{ExecutionContext, TimingOptions};
+
+/// Outcome of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Worker (= stream) count.
+    pub threads: usize,
+    /// Total frames processed.
+    pub frames: u64,
+    /// Simulated wall time consumed, seconds.
+    pub simulated_seconds: f64,
+    /// Aggregate throughput, frames per simulated second.
+    pub aggregate_fps: f64,
+    /// Frames each worker processed.
+    pub frames_per_thread: Vec<u64>,
+    /// Mean GR3D utilization over the run, percent.
+    pub gr3d_percent: f64,
+}
+
+/// Serves `frames` inferences across `threads` worker threads, each with its
+/// own stream on a shared timeline. Frames are pulled from a shared queue
+/// (work-stealing, like a camera fan-in), so load balances naturally.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn serve(
+    engine: &Engine,
+    device: &DeviceSpec,
+    threads: usize,
+    frames: u64,
+    opts: &TimingOptions,
+) -> ServingReport {
+    assert!(threads > 0, "need at least one worker");
+    let timeline = Arc::new(Mutex::new(GpuTimeline::new(device.clone())));
+    let streams: Vec<StreamId> = {
+        let mut tl = timeline.lock();
+        (0..threads).map(|_| tl.create_stream()).collect()
+    };
+
+    let (tx, rx) = channel::bounded::<u64>(threads * 2);
+    let counts = Mutex::new(vec![0u64; threads]);
+
+    std::thread::scope(|scope| {
+        for (worker, &stream) in streams.iter().enumerate() {
+            let rx = rx.clone();
+            let timeline = Arc::clone(&timeline);
+            let counts = &counts;
+            let device = device.clone();
+            scope.spawn(move || {
+                let ctx = ExecutionContext::new(engine, device);
+                while rx.recv().is_ok() {
+                    let mut tl = timeline.lock();
+                    ctx.enqueue_inference(&mut tl, stream, opts);
+                    drop(tl);
+                    counts.lock()[worker] += 1;
+                }
+            });
+        }
+        drop(rx);
+        for frame in 0..frames {
+            tx.send(frame).expect("workers alive");
+        }
+        drop(tx);
+    });
+
+    let tl = timeline.lock();
+    let simulated_seconds = tl.elapsed_us() / 1e6;
+    let gr3d_percent = tegrastats::mean_gr3d_percent(&tl);
+    let frames_per_thread = counts.into_inner();
+    ServingReport {
+        threads,
+        frames,
+        simulated_seconds,
+        aggregate_fps: frames as f64 / simulated_seconds.max(1e-12),
+        frames_per_thread,
+        gr3d_percent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::BuilderConfig;
+    use trtsim_ir::graph::{Graph, LayerKind};
+
+    fn engine() -> Engine {
+        let mut g = Graph::new("serve", [3, 32, 32]);
+        let c1 = g.add_layer("c1", LayerKind::conv_seeded(32, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c2 = g.add_layer("c2", LayerKind::conv_seeded(32, 32, 3, 1, 1, 1), &[c1]);
+        g.mark_output(c2);
+        Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default().with_build_seed(2),
+        )
+        .build(&g)
+        .unwrap()
+    }
+
+    fn opts() -> TimingOptions {
+        let mut o = TimingOptions::default().without_engine_upload();
+        o.run_jitter_sd = 0.0;
+        o.host_glue_us = 200.0;
+        o
+    }
+
+    #[test]
+    fn all_frames_are_processed() {
+        let e = engine();
+        let report = serve(&e, &DeviceSpec::xavier_nx(), 4, 64, &opts());
+        assert_eq!(report.frames, 64);
+        assert_eq!(report.frames_per_thread.iter().sum::<u64>(), 64);
+        assert!(report.aggregate_fps > 0.0);
+    }
+
+    #[test]
+    fn more_threads_do_not_lose_throughput() {
+        let e = engine();
+        let dev = DeviceSpec::xavier_nx();
+        let one = serve(&e, &dev, 1, 48, &opts());
+        let four = serve(&e, &dev, 4, 48, &opts());
+        // Streams overlap on the simulated timeline: aggregate FPS must not
+        // regress when adding workers.
+        assert!(
+            four.aggregate_fps >= one.aggregate_fps * 0.95,
+            "{} vs {}",
+            four.aggregate_fps,
+            one.aggregate_fps
+        );
+    }
+
+    #[test]
+    fn work_is_distributed() {
+        let e = engine();
+        let report = serve(&e, &DeviceSpec::xavier_nx(), 4, 100, &opts());
+        let active = report.frames_per_thread.iter().filter(|&&n| n > 0).count();
+        assert!(active >= 2, "work stuck on one thread: {:?}", report.frames_per_thread);
+    }
+
+    #[test]
+    fn utilization_is_reported() {
+        let e = engine();
+        let report = serve(&e, &DeviceSpec::xavier_nx(), 2, 32, &opts());
+        assert!(report.gr3d_percent > 0.0 && report.gr3d_percent <= 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        serve(&engine(), &DeviceSpec::xavier_nx(), 0, 1, &opts());
+    }
+}

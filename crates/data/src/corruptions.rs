@@ -1,0 +1,382 @@
+//! The paper's 15 corruption families × 5 severities (ImageNet-C style).
+//!
+//! "We additionally use an adversarially perturbed image dataset consisting
+//! of images with 15 different types of noises and five different severity
+//! levels" (§II-D). The families below follow the ImageNet-C taxonomy:
+//! noise (3), blur (4), weather (4), and digital (4) corruptions, each
+//! parameterized so severity 5 is far more damaging than severity 1.
+
+use trtsim_ir::tensor::Tensor;
+use trtsim_util::rng::Pcg32;
+
+/// Corruption severity, 1 (mild) through 5 (harsh).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Severity(u8);
+
+impl Severity {
+    /// Creates a severity level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ level ≤ 5`.
+    pub fn new(level: u8) -> Self {
+        assert!((1..=5).contains(&level), "severity must be 1..=5");
+        Severity(level)
+    }
+
+    /// The raw level.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// A normalized intensity in `(0, 1]`.
+    pub fn intensity(self) -> f32 {
+        f32::from(self.0) / 5.0
+    }
+}
+
+/// The 15 corruption families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corruption {
+    /// Additive white Gaussian noise.
+    GaussianNoise,
+    /// Poisson-like photon noise.
+    ShotNoise,
+    /// Salt-and-pepper noise.
+    ImpulseNoise,
+    /// Uniform disk blur.
+    DefocusBlur,
+    /// Local pixel shuffling behind frosted glass.
+    GlassBlur,
+    /// Directional blur.
+    MotionBlur,
+    /// Radial blur toward the center.
+    ZoomBlur,
+    /// Additive bright speckles on a dimmed image.
+    Snow,
+    /// Low-frequency occlusion patches.
+    Frost,
+    /// Additive smooth haze pulling pixels toward a fog value.
+    Fog,
+    /// Global brightness shift.
+    Brightness,
+    /// Contrast reduction toward the mean.
+    Contrast,
+    /// Smooth spatial warping.
+    ElasticTransform,
+    /// Block down-sampling.
+    Pixelate,
+    /// Coarse value quantization (DCT-free JPEG stand-in).
+    JpegCompression,
+}
+
+impl Corruption {
+    /// All 15 families in the ImageNet-C order.
+    pub fn all() -> [Corruption; 15] {
+        use Corruption::*;
+        [
+            GaussianNoise,
+            ShotNoise,
+            ImpulseNoise,
+            DefocusBlur,
+            GlassBlur,
+            MotionBlur,
+            ZoomBlur,
+            Snow,
+            Frost,
+            Fog,
+            Brightness,
+            Contrast,
+            ElasticTransform,
+            Pixelate,
+            JpegCompression,
+        ]
+    }
+
+    /// Short snake-case label.
+    pub fn label(self) -> &'static str {
+        use Corruption::*;
+        match self {
+            GaussianNoise => "gaussian_noise",
+            ShotNoise => "shot_noise",
+            ImpulseNoise => "impulse_noise",
+            DefocusBlur => "defocus_blur",
+            GlassBlur => "glass_blur",
+            MotionBlur => "motion_blur",
+            ZoomBlur => "zoom_blur",
+            Snow => "snow",
+            Frost => "frost",
+            Fog => "fog",
+            Brightness => "brightness",
+            Contrast => "contrast",
+            ElasticTransform => "elastic_transform",
+            Pixelate => "pixelate",
+            JpegCompression => "jpeg_compression",
+        }
+    }
+}
+
+/// Applies a corruption at a severity; deterministic in `seed`.
+pub fn apply_corruption(
+    image: &Tensor,
+    corruption: Corruption,
+    severity: Severity,
+    seed: u64,
+) -> Tensor {
+    let mut rng = Pcg32::seed_from_u64(seed ^ (corruption as u64) << 8 ^ u64::from(severity.0));
+    let s = severity.intensity();
+    let mut out = image.clone();
+    match corruption {
+        Corruption::GaussianNoise => {
+            let sd = 1.2 * s;
+            for v in out.as_mut_slice() {
+                *v += sd * rng.normal() as f32;
+            }
+        }
+        Corruption::ShotNoise => {
+            // Signal-dependent noise ∝ sqrt(|x|).
+            let sd = 1.4 * s;
+            for v in out.as_mut_slice() {
+                *v += sd * v.abs().sqrt() * rng.normal() as f32;
+            }
+        }
+        Corruption::ImpulseNoise => {
+            let amax = image.amax().max(1.0);
+            let p = 0.25 * f64::from(s);
+            for v in out.as_mut_slice() {
+                if rng.chance(p) {
+                    *v = if rng.chance(0.5) { 2.0 * amax } else { -2.0 * amax };
+                }
+            }
+        }
+        Corruption::DefocusBlur => {
+            let radius = (1.0 + 4.0 * s).round() as isize;
+            out = box_blur(image, radius);
+        }
+        Corruption::GlassBlur => {
+            let reach = (1.0 + 4.0 * s) as isize;
+            let [c, h, w] = image.shape();
+            out = Tensor::from_fn([c, h, w], |ch, y, x| {
+                let dy = rng.range_u64((2 * reach + 1) as u64) as isize - reach;
+                let dx = rng.range_u64((2 * reach + 1) as u64) as isize - reach;
+                let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                image.at(ch, sy, sx)
+            });
+        }
+        Corruption::MotionBlur => {
+            let taps = (1.0 + 6.0 * s).round() as isize;
+            let [c, h, w] = image.shape();
+            out = Tensor::from_fn([c, h, w], |ch, y, x| {
+                let mut acc = 0.0;
+                for t in 0..taps {
+                    let sx = (x as isize + t).clamp(0, w as isize - 1) as usize;
+                    acc += image.at(ch, y, sx);
+                }
+                acc / taps as f32
+            });
+        }
+        Corruption::ZoomBlur => {
+            let [c, h, w] = image.shape();
+            let steps = 4;
+            let max_zoom = 1.0 + 0.3 * f64::from(s);
+            out = Tensor::from_fn([c, h, w], |ch, y, x| {
+                let mut acc = 0.0;
+                for k in 0..steps {
+                    let z = 1.0 + (max_zoom - 1.0) * k as f64 / steps as f64;
+                    let cy = h as f64 / 2.0;
+                    let cx = w as f64 / 2.0;
+                    let sy = (cy + (y as f64 - cy) / z).clamp(0.0, h as f64 - 1.0) as usize;
+                    let sx = (cx + (x as f64 - cx) / z).clamp(0.0, w as f64 - 1.0) as usize;
+                    acc += image.at(ch, sy, sx);
+                }
+                acc / steps as f32
+            });
+        }
+        Corruption::Snow => {
+            let amax = image.amax().max(1.0);
+            let dim = 1.0 - 0.3 * s;
+            let p = 0.15 * f64::from(s);
+            for v in out.as_mut_slice() {
+                *v *= dim;
+                if rng.chance(p) {
+                    *v = 1.8 * amax;
+                }
+            }
+        }
+        Corruption::Frost => {
+            let [c, h, w] = image.shape();
+            let patches = (2.0 + 8.0 * s) as usize;
+            let amax = image.amax().max(1.0);
+            for _ in 0..patches {
+                let py = rng.range_usize(h);
+                let px = rng.range_usize(w);
+                let r = 1 + rng.range_usize((1.0 + 3.0 * s) as usize + 1);
+                for ch in 0..c {
+                    for y in py.saturating_sub(r)..(py + r).min(h) {
+                        for x in px.saturating_sub(r)..(px + r).min(w) {
+                            *out.at_mut(ch, y, x) = 0.7 * amax;
+                        }
+                    }
+                }
+            }
+        }
+        Corruption::Fog => {
+            let amax = image.amax().max(1.0);
+            let t = 0.7 * s; // haze strength
+            for v in out.as_mut_slice() {
+                *v = (1.0 - t) * *v + t * 0.8 * amax;
+            }
+        }
+        Corruption::Brightness => {
+            let amax = image.amax().max(1.0);
+            let shift = 0.8 * s * amax;
+            for v in out.as_mut_slice() {
+                *v += shift;
+            }
+        }
+        Corruption::Contrast => {
+            let mean: f32 =
+                image.as_slice().iter().sum::<f32>() / image.len().max(1) as f32;
+            let k = 1.0 - 0.85 * s;
+            for v in out.as_mut_slice() {
+                *v = mean + (*v - mean) * k;
+            }
+        }
+        Corruption::ElasticTransform => {
+            let [c, h, w] = image.shape();
+            let amp = 4.0 * f64::from(s);
+            let fy = rng.uniform(1.0, 2.0);
+            let fx = rng.uniform(1.0, 2.0);
+            let py = rng.uniform(0.0, std::f64::consts::TAU);
+            let px = rng.uniform(0.0, std::f64::consts::TAU);
+            out = Tensor::from_fn([c, h, w], |ch, y, x| {
+                let dy = amp * (std::f64::consts::TAU * fx * x as f64 / w as f64 + py).sin();
+                let dx = amp * (std::f64::consts::TAU * fy * y as f64 / h as f64 + px).sin();
+                let sy = (y as f64 + dy).clamp(0.0, h as f64 - 1.0) as usize;
+                let sx = (x as f64 + dx).clamp(0.0, w as f64 - 1.0) as usize;
+                image.at(ch, sy, sx)
+            });
+        }
+        Corruption::Pixelate => {
+            let block = 1 + (5.0 * s) as usize;
+            let [c, h, w] = image.shape();
+            out = Tensor::from_fn([c, h, w], |ch, y, x| {
+                let by = (y / block) * block;
+                let bx = (x / block) * block;
+                image.at(ch, by.min(h - 1), bx.min(w - 1))
+            });
+        }
+        Corruption::JpegCompression => {
+            let amax = image.amax().max(1e-6);
+            let levels = (64.0 * (1.0 - 0.9 * s)).max(2.0);
+            for v in out.as_mut_slice() {
+                let q = (*v / amax * levels).round() / levels * amax;
+                *v = q;
+            }
+        }
+    }
+    out
+}
+
+fn box_blur(image: &Tensor, radius: isize) -> Tensor {
+    let [c, h, w] = image.shape();
+    Tensor::from_fn([c, h, w], |ch, y, x| {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                let sy = y as isize + dy;
+                let sx = x as isize + dx;
+                if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
+                    acc += image.at(ch, sy as usize, sx as usize);
+                    n += 1;
+                }
+            }
+        }
+        acc / n as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_util::rng::Pcg32;
+
+    fn image() -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(5);
+        Tensor::from_fn([3, 16, 16], |_, y, x| {
+            ((y as f32 / 4.0).sin() + (x as f32 / 3.0).cos()) + 0.1 * rng.normal() as f32
+        })
+    }
+
+    fn distortion(a: &Tensor, b: &Tensor) -> f32 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            / a.len() as f32
+    }
+
+    #[test]
+    fn all_families_distort() {
+        let img = image();
+        for c in Corruption::all() {
+            let out = apply_corruption(&img, c, Severity::new(3), 0);
+            assert_eq!(out.shape(), img.shape());
+            assert!(
+                distortion(&img, &out) > 1e-6,
+                "{} did nothing",
+                c.label()
+            );
+            assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn severity_5_distorts_more_than_1() {
+        let img = image();
+        for c in Corruption::all() {
+            let mild = apply_corruption(&img, c, Severity::new(1), 0);
+            let harsh = apply_corruption(&img, c, Severity::new(5), 0);
+            assert!(
+                distortion(&img, &harsh) > distortion(&img, &mild),
+                "{} severity ordering broken",
+                c.label()
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let img = image();
+        for c in [Corruption::GaussianNoise, Corruption::GlassBlur, Corruption::Frost] {
+            let a = apply_corruption(&img, c, Severity::new(4), 9);
+            let b = apply_corruption(&img, c, Severity::new(4), 9);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn there_are_fifteen_families() {
+        let all = Corruption::all();
+        assert_eq!(all.len(), 15);
+        let mut labels: Vec<&str> = all.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn severity_zero_rejected() {
+        Severity::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn severity_six_rejected() {
+        Severity::new(6);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic datasets standing in for the paper's image corpora.
+//!
+//! The paper evaluates on (a) an ImageNet subset ("benign data"), (b) the
+//! same images under 15 corruption families at 5 severities ("adversarial
+//! data", the ImageNet-C construction of Hendrycks & Dietterich), and (c) a
+//! developing-region traffic dataset with vehicle bounding boxes. None of
+//! those corpora can ship with a simulator, so this crate generates
+//! statistically controlled substitutes:
+//!
+//! * [`imagenet`] — a class-prototype generative model: each class has a
+//!   deterministic smooth prototype image, and samples are
+//!   `signal · prototype + pixel noise`. Classification difficulty (and thus
+//!   top-1 error) is set by the signal-to-noise ratio, which lets the
+//!   experiment harness hit the paper's error-rate regime honestly: the
+//!   *deltas* between engines are measured, the absolute level is dialed in.
+//! * [`corruptions`] — the 15 corruption families of the paper's adversarial
+//!   set, each with 5 severity levels.
+//! * [`traffic`] — seeded traffic scenes with ground-truth vehicle boxes for
+//!   the detection-metric path (IoU-0.75 precision/recall).
+
+#![warn(missing_docs)]
+
+pub mod corruptions;
+pub mod imagenet;
+pub mod traffic;
+
+pub use corruptions::{apply_corruption, Corruption, Severity};
+pub use imagenet::{LabeledImage, SyntheticImageNet};
+pub use traffic::{BBox, TrafficDataset, TrafficScene, VehicleClass};

@@ -1,0 +1,258 @@
+//! Simulated CUDA kernel launch descriptors.
+//!
+//! A [`KernelDesc`] carries everything the timing model and the BSP
+//! performance model need to know about one launch: geometry, arithmetic
+//! work, memory traffic by level, and precision. The tactic catalog in
+//! `trtsim-kernels` constructs these from layer shapes.
+
+/// Numeric precision a kernel computes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 32-bit floating point on CUDA cores.
+    Fp32,
+    /// 16-bit floating point (tensor cores when the kernel supports them).
+    Fp16,
+    /// 8-bit integer dot products (DP4A).
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per element in this precision.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+
+    /// Short label used in kernel names ("fp32"/"h884"/"i8816").
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "fp32",
+            Precision::Fp16 => "h884",
+            Precision::Int8 => "i8816",
+        }
+    }
+}
+
+/// One simulated kernel launch.
+///
+/// Construct with the builder-style methods; all quantities default to a
+/// trivial empty kernel.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_gpu::kernel::{KernelDesc, Precision};
+/// let k = KernelDesc::new("trt_volta_h884cudnn_256x64")
+///     .grid(24, 256)
+///     .flops(1_000_000)
+///     .dram_bytes(65_536)
+///     .precision(Precision::Fp16, true)
+///     .efficiency(0.55);
+/// assert_eq!(k.total_threads(), 24 * 256);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Kernel symbol name (TensorRT-style, produced by the tactic catalog).
+    pub name: String,
+    /// Thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Concurrent blocks one SM can host for this kernel (occupancy).
+    pub blocks_per_sm: u32,
+    /// Total floating-point (or int) operations performed.
+    pub flops: u64,
+    /// Bytes moved to/from DRAM after cache filtering.
+    pub dram_bytes: u64,
+    /// Bytes served from L2.
+    pub l2_bytes: u64,
+    /// Bytes served from shared memory (per-block staging traffic).
+    pub shared_bytes: u64,
+    /// Per-resident-block L2 working set in bytes. Both Xavier boards have
+    /// 512 KiB of L2, but the AGX's 8 SMs each get a smaller share than the
+    /// NX's 6; tactics whose working set straddles the two shares spill to
+    /// DRAM on AGX only — the microarchitectural root of the paper's
+    /// "same kernel slower on the bigger board" anomaly (Table XI).
+    pub l2_working_set_bytes: u64,
+    /// Compute precision.
+    pub precision: Precision,
+    /// Whether the kernel uses tensor cores (HMMA path).
+    pub uses_tensor_cores: bool,
+    /// Fraction of peak arithmetic throughput this kernel sustains
+    /// (tactic-specific; tuned kernels reach 0.5–0.8, generic ones 0.1–0.3).
+    pub compute_efficiency: f64,
+}
+
+impl KernelDesc {
+    /// Creates an empty kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            grid_blocks: 1,
+            threads_per_block: 128,
+            blocks_per_sm: 2,
+            flops: 0,
+            dram_bytes: 0,
+            l2_bytes: 0,
+            shared_bytes: 0,
+            l2_working_set_bytes: 0,
+            precision: Precision::Fp32,
+            uses_tensor_cores: false,
+            compute_efficiency: 0.5,
+        }
+    }
+
+    /// Sets grid geometry.
+    pub fn grid(mut self, blocks: u64, threads_per_block: u32) -> Self {
+        self.grid_blocks = blocks.max(1);
+        self.threads_per_block = threads_per_block.max(1);
+        self
+    }
+
+    /// Sets occupancy (concurrent blocks per SM).
+    pub fn occupancy(mut self, blocks_per_sm: u32) -> Self {
+        self.blocks_per_sm = blocks_per_sm.max(1);
+        self
+    }
+
+    /// Sets total arithmetic work.
+    pub fn flops(mut self, flops: u64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Sets DRAM traffic.
+    pub fn dram_bytes(mut self, bytes: u64) -> Self {
+        self.dram_bytes = bytes;
+        self
+    }
+
+    /// Sets L2 traffic.
+    pub fn l2_bytes(mut self, bytes: u64) -> Self {
+        self.l2_bytes = bytes;
+        self
+    }
+
+    /// Sets shared-memory traffic.
+    pub fn shared_bytes(mut self, bytes: u64) -> Self {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-resident-block L2 working set.
+    pub fn l2_working_set(mut self, bytes: u64) -> Self {
+        self.l2_working_set_bytes = bytes;
+        self
+    }
+
+    /// Sets precision and tensor-core usage.
+    pub fn precision(mut self, precision: Precision, tensor_cores: bool) -> Self {
+        self.precision = precision;
+        self.uses_tensor_cores = tensor_cores && precision == Precision::Fp16;
+        self
+    }
+
+    /// Sets sustained fraction of peak throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff` is outside `(0, 1]`.
+    pub fn efficiency(mut self, eff: f64) -> Self {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency must be in (0, 1]");
+        self.compute_efficiency = eff;
+        self
+    }
+
+    /// Total threads across the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks * u64::from(self.threads_per_block)
+    }
+
+    /// Arithmetic instructions per thread (for the BSP model's `Comp` term);
+    /// FLOPs divided evenly across threads.
+    pub fn ops_per_thread(&self) -> f64 {
+        self.flops as f64 / self.total_threads() as f64
+    }
+
+    /// Global loads+stores per thread in 4-byte words (BSP `ldg+stg`).
+    pub fn global_words_per_thread(&self) -> f64 {
+        (self.dram_bytes + self.l2_bytes) as f64 / 4.0 / self.total_threads() as f64
+    }
+
+    /// Shared loads+stores per thread in 4-byte words (BSP `lds+sts`).
+    pub fn shared_words_per_thread(&self) -> f64 {
+        self.shared_bytes as f64 / 4.0 / self.total_threads() as f64
+    }
+
+    /// Fraction of global accesses served by L2 (BSP cache-hit terms).
+    pub fn l2_hit_fraction(&self) -> f64 {
+        let total = (self.dram_bytes + self.l2_bytes) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.l2_bytes as f64 / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let k = KernelDesc::new("k")
+            .grid(10, 64)
+            .flops(100)
+            .dram_bytes(32)
+            .l2_bytes(32)
+            .shared_bytes(128)
+            .precision(Precision::Fp16, true)
+            .efficiency(0.7)
+            .occupancy(4);
+        assert_eq!(k.grid_blocks, 10);
+        assert_eq!(k.total_threads(), 640);
+        assert!(k.uses_tensor_cores);
+        assert_eq!(k.l2_hit_fraction(), 0.5);
+        assert_eq!(k.blocks_per_sm, 4);
+    }
+
+    #[test]
+    fn tensor_cores_require_fp16() {
+        let k = KernelDesc::new("k").precision(Precision::Int8, true);
+        assert!(!k.uses_tensor_cores);
+        let k = KernelDesc::new("k").precision(Precision::Fp32, true);
+        assert!(!k.uses_tensor_cores);
+    }
+
+    #[test]
+    fn per_thread_quantities() {
+        let k = KernelDesc::new("k").grid(2, 50).flops(1000).dram_bytes(400);
+        assert_eq!(k.ops_per_thread(), 10.0);
+        assert_eq!(k.global_words_per_thread(), 1.0);
+    }
+
+    #[test]
+    fn precision_sizes() {
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Int8.bytes(), 1);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let k = KernelDesc::new("k").grid(0, 0);
+        assert_eq!(k.grid_blocks, 1);
+        assert_eq!(k.threads_per_block, 1);
+        assert_eq!(KernelDesc::new("k").l2_hit_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn efficiency_bounds_enforced() {
+        KernelDesc::new("k").efficiency(1.5);
+    }
+}

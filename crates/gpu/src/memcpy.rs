@@ -1,0 +1,75 @@
+//! Host-to-device / device-to-host copy cost model.
+//!
+//! On Jetson boards, CPU and GPU share LPDDR4x, but `cudaMemcpyHostToDevice`
+//! from pageable memory still stages through the CPU and the SMMU-managed
+//! carveout, so it is *much* slower than the DRAM peak and pays a substantial
+//! per-transfer setup. The paper's Table X shows the engine-upload memcpy
+//! dominating several networks' inference time (e.g. ~9 ms of ResNet-18's
+//! 12.65 ms), and being *slower on the AGX* despite its wider bus — captured
+//! here by the AGX's larger `h2d_latency_us`.
+
+use crate::device::DeviceSpec;
+
+/// Time to copy `bytes` host→device, in µs.
+pub fn h2d_time_us(bytes: u64, device: &DeviceSpec) -> f64 {
+    device.h2d_latency_us + bytes as f64 / (device.h2d_bandwidth_gbps * 1e9 / 1e6)
+}
+
+/// Time to copy `bytes` device→host, in µs. Reads from the carveout are
+/// modestly faster than writes into it (no SMMU page pinning on the way out).
+pub fn d2h_time_us(bytes: u64, device: &DeviceSpec) -> f64 {
+    0.6 * device.h2d_latency_us + bytes as f64 / (1.25 * device.h2d_bandwidth_gbps * 1e9 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn h2d_is_latency_plus_bandwidth() {
+        let nx = DeviceSpec::xavier_nx();
+        let t0 = h2d_time_us(0, &nx);
+        assert_eq!(t0, nx.h2d_latency_us);
+        let t1 = h2d_time_us(1 << 20, &nx);
+        assert!(t1 > t0);
+    }
+
+    #[test]
+    fn engine_sized_copy_lands_in_paper_range() {
+        // Paper Table X: ResNet-18's 22.5 MB engine upload costs ~9 ms.
+        let nx = DeviceSpec::xavier_nx();
+        let t_ms = h2d_time_us(22_500_000, &nx) / 1000.0;
+        assert!((7.0..11.0).contains(&t_ms), "got {t_ms} ms");
+    }
+
+    #[test]
+    fn agx_slower_for_small_and_medium_copies() {
+        // The Table X anomaly: AGX memcpy ≥ NX memcpy for engine uploads.
+        let nx = DeviceSpec::xavier_nx();
+        let agx = DeviceSpec::xavier_agx();
+        for bytes in [1u64 << 10, 1 << 20, 22_500_000, 50_000_000] {
+            assert!(
+                h2d_time_us(bytes, &agx) > h2d_time_us(bytes, &nx),
+                "bytes {bytes}"
+            );
+        }
+    }
+
+    #[test]
+    fn d2h_cheaper_than_h2d() {
+        let nx = DeviceSpec::xavier_nx();
+        assert!(d2h_time_us(1 << 20, &nx) < h2d_time_us(1 << 20, &nx));
+    }
+
+    #[test]
+    fn monotone_in_size() {
+        let nx = DeviceSpec::xavier_nx();
+        let mut last = 0.0;
+        for bytes in [0u64, 1 << 10, 1 << 16, 1 << 20, 1 << 24] {
+            let t = h2d_time_us(bytes, &nx);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

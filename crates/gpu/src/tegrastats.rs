@@ -1,0 +1,159 @@
+//! A `tegrastats`-like sampler over a simulated timeline.
+//!
+//! The real utility prints RAM usage, GR3D (GPU) utilization, CPU load and
+//! thermals once per interval. The paper uses it for GPU utilization and RAM
+//! statistics in the concurrency experiments; this module reproduces the GPU
+//! and RAM columns by sampling a [`GpuTimeline`].
+
+use crate::device::{DeviceSpec, Platform};
+use crate::timeline::GpuTimeline;
+
+/// One sampled line of tegrastats output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TegraSample {
+    /// Sample timestamp, µs.
+    pub time_us: f64,
+    /// GR3D utilization over the preceding interval, percent.
+    pub gr3d_percent: f64,
+    /// Simulated RAM in use, MiB.
+    pub ram_used_mib: f64,
+    /// Total RAM, MiB.
+    pub ram_total_mib: f64,
+    /// Estimated GPU-rail power draw, milliwatts.
+    pub gpu_power_mw: f64,
+}
+
+/// GPU-rail power estimate: idle floor plus dynamic power scaling with
+/// utilization and quadratically with clock (CV²f at roughly constant
+/// voltage steps — the usual first-order Jetson power model).
+pub fn gpu_power_mw(device: &DeviceSpec, utilization: f64) -> f64 {
+    let (idle_mw, dyn_mw) = match device.platform {
+        Platform::Nx => (900.0, 9_500.0),
+        Platform::Agx => (1_400.0, 19_000.0),
+    };
+    let clock_ratio = device.gpu_clock_mhz / device.max_gpu_clock_mhz;
+    idle_mw + utilization.clamp(0.0, 1.0) * dyn_mw * clock_ratio * clock_ratio
+}
+
+impl std::fmt::Display for TegraSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RAM {:.0}/{:.0}MB GR3D_FREQ {:.0}% VDD_GPU {:.0}mW",
+            self.ram_used_mib, self.ram_total_mib, self.gr3d_percent, self.gpu_power_mw
+        )
+    }
+}
+
+/// Samples a finished timeline at a fixed interval, attributing `ram_used`
+/// bytes of allocations (weights + activations) for the whole run.
+///
+/// # Panics
+///
+/// Panics if `interval_us` is not positive.
+pub fn sample(timeline: &GpuTimeline, interval_us: f64, ram_used_bytes: u64) -> Vec<TegraSample> {
+    assert!(interval_us > 0.0, "sampling interval must be positive");
+    let total = timeline.elapsed_us();
+    let ram_total_mib = f64::from(timeline.device().dram_gib) * 1024.0;
+    let ram_used_mib = ram_used_bytes as f64 / (1 << 20) as f64;
+    let mut out = Vec::new();
+    let mut t = interval_us;
+    while t <= total + interval_us {
+        let t0 = t - interval_us;
+        let utilization = timeline.utilization_between(t0, t.min(total));
+        out.push(TegraSample {
+            time_us: t,
+            gr3d_percent: utilization * 100.0,
+            ram_used_mib,
+            ram_total_mib,
+            gpu_power_mw: gpu_power_mw(timeline.device(), utilization),
+        });
+        t += interval_us;
+    }
+    out
+}
+
+/// Mean GR3D utilization over the busy part of a run, percent.
+pub fn mean_gr3d_percent(timeline: &GpuTimeline) -> f64 {
+    let total = timeline.elapsed_us();
+    if total == 0.0 {
+        return 0.0;
+    }
+    timeline.utilization_between(0.0, total) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::kernel::{KernelDesc, Precision};
+
+    fn busy_timeline() -> GpuTimeline {
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s = tl.create_stream();
+        for _ in 0..5 {
+            tl.enqueue_kernel(
+                s,
+                &KernelDesc::new("k")
+                    .grid(48, 128)
+                    .flops(200_000_000)
+                    .precision(Precision::Fp16, true),
+            );
+        }
+        tl
+    }
+
+    #[test]
+    fn samples_cover_the_run() {
+        let tl = busy_timeline();
+        let samples = sample(&tl, 100.0, 64 << 20);
+        assert!(!samples.is_empty());
+        assert!(samples.last().unwrap().time_us >= tl.elapsed_us());
+    }
+
+    #[test]
+    fn busy_run_shows_high_utilization() {
+        let tl = busy_timeline();
+        assert!(mean_gr3d_percent(&tl) > 50.0);
+    }
+
+    #[test]
+    fn ram_fields_are_consistent() {
+        let tl = busy_timeline();
+        let samples = sample(&tl, 100.0, 512 << 20);
+        let s = &samples[0];
+        assert_eq!(s.ram_used_mib, 512.0);
+        assert_eq!(s.ram_total_mib, 8.0 * 1024.0);
+    }
+
+    #[test]
+    fn display_looks_like_tegrastats() {
+        let tl = busy_timeline();
+        let line = sample(&tl, 100.0, 1 << 30)[0].to_string();
+        assert!(line.contains("RAM") && line.contains("GR3D_FREQ") && line.contains("VDD_GPU"));
+    }
+
+    #[test]
+    fn power_scales_with_utilization_and_clock() {
+        let nx = DeviceSpec::xavier_nx();
+        assert!(gpu_power_mw(&nx, 0.8) > gpu_power_mw(&nx, 0.2));
+        let pinned = DeviceSpec::pinned_clock(Platform::Nx);
+        assert!(gpu_power_mw(&pinned, 0.8) < gpu_power_mw(&nx, 0.8));
+        // Idle floor.
+        assert!(gpu_power_mw(&nx, 0.0) > 0.0);
+        let agx = DeviceSpec::xavier_agx();
+        assert!(gpu_power_mw(&agx, 1.0) > gpu_power_mw(&nx, 1.0));
+    }
+
+    #[test]
+    fn empty_timeline_has_zero_utilization() {
+        let tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        assert_eq!(mean_gr3d_percent(&tl), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        sample(&busy_timeline(), 0.0, 0);
+    }
+}

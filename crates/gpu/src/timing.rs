@@ -1,0 +1,233 @@
+//! Kernel execution-time model: roofline with wave quantization.
+//!
+//! A kernel's time is the maximum of its arithmetic time and its DRAM time,
+//! with the arithmetic term inflated by *wave quantization*: a grid of `B`
+//! blocks executes in `ceil(B / (SMs · blocks_per_SM))` waves, and a
+//! partially-filled trailing wave takes as long as a full one. This single
+//! mechanism is responsible for one of the paper's central anomalies — a grid
+//! shaped for 6 SMs can run as fast or faster on the NX than on the 8-SM AGX
+//! at near-equal clocks (paper Table XI: `h884cudnn` kernels slower on AGX).
+
+use crate::device::DeviceSpec;
+use crate::kernel::{KernelDesc, Precision};
+
+/// Execution time of one kernel on a device, in microseconds, excluding
+/// launch overhead.
+pub fn kernel_busy_us(kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
+    let compute = compute_time_us(kernel, device);
+    let memory = memory_time_us(kernel, device);
+    compute.max(memory)
+}
+
+/// Execution time including the per-launch driver overhead.
+pub fn kernel_time_us(kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
+    kernel_busy_us(kernel, device) + device.kernel_launch_us
+}
+
+/// Arithmetic component: FLOPs over sustained throughput, inflated by wave
+/// quantization.
+pub fn compute_time_us(kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
+    if kernel.flops == 0 {
+        return 0.0;
+    }
+    let peak_tflops = match (kernel.precision, kernel.uses_tensor_cores) {
+        (Precision::Fp16, true) => device.fp16_tensor_tflops(),
+        (Precision::Fp16, false) => device.fp16_cuda_tflops(),
+        (Precision::Fp32, _) => device.fp32_tflops(),
+        (Precision::Int8, _) => device.int8_tops(),
+    };
+    let sustained_flops_per_us = peak_tflops * kernel.compute_efficiency * 1e6;
+    let ideal_us = kernel.flops as f64 / sustained_flops_per_us;
+    ideal_us * wave_inflation(kernel, device)
+}
+
+/// Memory component: post-cache DRAM traffic over achievable bandwidth, plus
+/// an L2 term at 4× DRAM bandwidth. L2 reuse traffic whose per-block working
+/// set exceeds this device's L2 share spills to DRAM (see
+/// [`l2_spill_fraction`]); on identical-L2 boards with different SM counts
+/// this is what makes a cache-tuned kernel slower on the board with *more*
+/// SMs.
+pub fn memory_time_us(kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
+    let spill = l2_spill_fraction(kernel, device);
+    let spilled = kernel.l2_bytes as f64 * spill;
+    // Streaming DRAM traffic runs at full effective bandwidth; spilled reuse
+    // traffic is scattered cache-line fetches, latency-bound at a fraction of
+    // streaming bandwidth.
+    let dram = kernel.dram_bytes as f64 / device.effective_dram_bytes_per_us();
+    let spill_time = spilled / (SPILL_BANDWIDTH_FRACTION * device.effective_dram_bytes_per_us());
+    let l2 = (kernel.l2_bytes as f64 - spilled) / device.l2_bytes_per_us();
+    dram + spill_time + l2
+}
+
+/// Fraction of streaming DRAM bandwidth that scattered (cache-miss) traffic
+/// sustains. Spilled L2 reuse traffic is pseudo-random single-line fetches —
+/// latency-bound with little memory-level parallelism — which on LPDDR4x
+/// sustains under a tenth of the streaming rate.
+pub const SPILL_BANDWIDTH_FRACTION: f64 = 0.08;
+
+/// Fraction of L2 reuse traffic that misses to DRAM because the per-block
+/// working set exceeds the L2 share available to each resident block
+/// (`L2_size / (SMs · blocks_per_SM)`).
+pub fn l2_spill_fraction(kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
+    if kernel.l2_working_set_bytes == 0 {
+        return 0.0;
+    }
+    let resident_blocks =
+        (u64::from(device.sm_count) * u64::from(kernel.blocks_per_sm)).min(kernel.grid_blocks.max(1));
+    let share = f64::from(device.l2_kib) * 1024.0 / resident_blocks as f64;
+    let ws = kernel.l2_working_set_bytes as f64;
+    if ws <= share {
+        0.0
+    } else {
+        1.0 - share / ws
+    }
+}
+
+/// Wave-quantization inflation factor ≥ 1: ratio of slots in the rounded-up
+/// wave count to actual blocks.
+pub fn wave_inflation(kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
+    let slots_per_wave = u64::from(device.sm_count) * u64::from(kernel.blocks_per_sm);
+    let waves = kernel.grid_blocks.div_ceil(slots_per_wave);
+    (waves * slots_per_wave) as f64 / kernel.grid_blocks as f64
+}
+
+/// Number of full-or-partial waves the grid needs on this device.
+pub fn wave_count(kernel: &KernelDesc, device: &DeviceSpec) -> u64 {
+    let slots_per_wave = u64::from(device.sm_count) * u64::from(kernel.blocks_per_sm);
+    kernel.grid_blocks.div_ceil(slots_per_wave)
+}
+
+/// Fraction of SM capacity this kernel occupies while resident (for
+/// utilization accounting): 1.0 when the grid fills every SM slot.
+pub fn sm_occupancy_fraction(kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
+    let slots_per_wave = u64::from(device.sm_count) * u64::from(kernel.blocks_per_sm);
+    (kernel.grid_blocks as f64 / slots_per_wave as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn fp16_kernel(blocks: u64) -> KernelDesc {
+        KernelDesc::new("k")
+            .grid(blocks, 256)
+            .occupancy(1)
+            .flops(100_000_000)
+            .dram_bytes(0)
+            .precision(Precision::Fp16, true)
+            .efficiency(0.6)
+    }
+
+    #[test]
+    fn compute_scales_inversely_with_clock() {
+        let nx = DeviceSpec::xavier_nx();
+        let slow = nx.clone().with_clock_mhz(nx.max_gpu_clock_mhz / 2.0);
+        let k = fp16_kernel(12);
+        let ratio = compute_time_us(&k, &slow) / compute_time_us(&k, &nx);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_kernel_ignores_flops_mix() {
+        let nx = DeviceSpec::xavier_nx();
+        let k = KernelDesc::new("k")
+            .grid(128, 256)
+            .flops(1000)
+            .dram_bytes(100 << 20);
+        let t = kernel_busy_us(&k, &nx);
+        let expected = (100u64 << 20) as f64 / nx.effective_dram_bytes_per_us();
+        assert!((t - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn wave_quantization_counts() {
+        let nx = DeviceSpec::xavier_nx(); // 6 SMs
+        let agx = DeviceSpec::xavier_agx(); // 8 SMs
+        let k = fp16_kernel(12);
+        assert_eq!(wave_count(&k, &nx), 2); // 12 / 6
+        assert_eq!(wave_count(&k, &agx), 2); // ceil(12/8) — half-empty tail
+        assert!((wave_inflation(&k, &nx) - 1.0).abs() < 1e-12);
+        assert!((wave_inflation(&k, &agx) - 16.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_tuned_kernel_slower_on_agx() {
+        // The paper's Table XI anomaly: the exact same kernel (same engine)
+        // runs slower on the bigger board. Mechanism: 512 KiB of L2 shared by
+        // 8 SMs instead of 6 — a working set sized for the NX share spills on
+        // AGX, and the spilled reuse traffic swamps AGX's bandwidth edge.
+        let nx = DeviceSpec::pinned_clock(crate::device::Platform::Nx);
+        let agx = DeviceSpec::pinned_clock(crate::device::Platform::Agx);
+        // Working set between the AGX share (512K/8 = 64K) and NX share
+        // (512K/6 ≈ 85K) at one block per SM; heavy L2 reuse.
+        let k = fp16_kernel(48)
+            .dram_bytes(512 << 10)
+            .l2_bytes(64 << 20)
+            .l2_working_set(80 << 10);
+        assert_eq!(l2_spill_fraction(&k, &nx), 0.0);
+        assert!(l2_spill_fraction(&k, &agx) > 0.15);
+        let t_nx = kernel_busy_us(&k, &nx);
+        let t_agx = kernel_busy_us(&k, &agx);
+        assert!(
+            t_agx > t_nx,
+            "expected AGX ({t_agx:.2} µs) slower than NX ({t_nx:.2} µs)"
+        );
+    }
+
+    #[test]
+    fn wave_tail_offsets_agx_core_advantage() {
+        // A 12-block grid fills NX exactly (2 waves of 6) but leaves AGX's
+        // second wave half empty; at near-equal pinned clocks AGX loses its
+        // hardware edge and only ties.
+        let nx = DeviceSpec::pinned_clock(crate::device::Platform::Nx);
+        let agx = DeviceSpec::pinned_clock(crate::device::Platform::Agx);
+        let k = fp16_kernel(12);
+        let ratio = compute_time_us(&k, &agx) / compute_time_us(&k, &nx);
+        assert!(ratio > 0.9, "AGX should not be meaningfully faster: {ratio}");
+    }
+
+    #[test]
+    fn agx_wins_on_well_shaped_grids() {
+        let nx = DeviceSpec::pinned_clock(crate::device::Platform::Nx);
+        let agx = DeviceSpec::pinned_clock(crate::device::Platform::Agx);
+        let k = fp16_kernel(240); // divides both 6 and 8
+        assert!(compute_time_us(&k, &agx) < compute_time_us(&k, &nx));
+    }
+
+    #[test]
+    fn tensor_cores_accelerate_fp16() {
+        let nx = DeviceSpec::xavier_nx();
+        let with_tc = fp16_kernel(48);
+        let without_tc = {
+            let mut k = with_tc.clone();
+            k.uses_tensor_cores = false;
+            k
+        };
+        assert!(compute_time_us(&with_tc, &nx) < compute_time_us(&without_tc, &nx));
+    }
+
+    #[test]
+    fn launch_overhead_added_once() {
+        let nx = DeviceSpec::xavier_nx();
+        let k = fp16_kernel(6);
+        assert!((kernel_time_us(&k, &nx) - kernel_busy_us(&k, &nx) - nx.kernel_launch_us).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_fraction_saturates() {
+        let nx = DeviceSpec::xavier_nx();
+        let small = fp16_kernel(3);
+        let big = fp16_kernel(600);
+        assert!(sm_occupancy_fraction(&small, &nx) < 1.0);
+        assert_eq!(sm_occupancy_fraction(&big, &nx), 1.0);
+    }
+
+    #[test]
+    fn empty_kernel_costs_only_launch() {
+        let nx = DeviceSpec::xavier_nx();
+        let k = KernelDesc::new("noop");
+        assert_eq!(kernel_busy_us(&k, &nx), 0.0);
+        assert_eq!(kernel_time_us(&k, &nx), nx.kernel_launch_us);
+    }
+}

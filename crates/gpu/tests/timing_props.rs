@@ -1,0 +1,103 @@
+//! Property tests for the GPU timing, memcpy, and contention models.
+
+use proptest::prelude::*;
+use trtsim_gpu::contention::{max_threads, point_at, EngineProfile};
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_gpu::kernel::{KernelDesc, Precision};
+use trtsim_gpu::memcpy::{d2h_time_us, h2d_time_us};
+use trtsim_gpu::timing::{compute_time_us, kernel_busy_us, l2_spill_fraction, memory_time_us};
+
+fn devices() -> [DeviceSpec; 2] {
+    [DeviceSpec::xavier_nx(), DeviceSpec::xavier_agx()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_times_are_finite_and_nonnegative(
+        blocks in 1u64..100_000,
+        threads in 1u32..1024,
+        flops in 0u64..10_000_000_000,
+        dram in 0u64..1_000_000_000,
+        l2 in 0u64..1_000_000_000,
+        ws in 0u64..1_000_000,
+        eff_pct in 1u32..100,
+    ) {
+        let k = KernelDesc::new("k")
+            .grid(blocks, threads)
+            .flops(flops)
+            .dram_bytes(dram)
+            .l2_bytes(l2)
+            .l2_working_set(ws)
+            .precision(Precision::Fp16, true)
+            .efficiency(f64::from(eff_pct) / 100.0);
+        for dev in devices() {
+            let t = kernel_busy_us(&k, &dev);
+            prop_assert!(t.is_finite() && t >= 0.0);
+            prop_assert!(t >= compute_time_us(&k, &dev).max(memory_time_us(&k, &dev)) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn spill_fraction_is_a_fraction(
+        blocks in 1u64..10_000,
+        bpsm in 1u32..8,
+        ws in 0u64..10_000_000,
+    ) {
+        let k = KernelDesc::new("k").grid(blocks, 128).occupancy(bpsm).l2_working_set(ws);
+        for dev in devices() {
+            let f = l2_spill_fraction(&k, &dev);
+            prop_assert!((0.0..1.0).contains(&f) || (f - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agx_spills_at_least_as_much_as_nx(
+        blocks in 48u64..10_000, // grid fills both devices
+        ws in 1u64..1_000_000,
+    ) {
+        // Same kernel, smaller per-SM L2 share on the 8-SM board.
+        let k = KernelDesc::new("k").grid(blocks, 128).occupancy(1).l2_working_set(ws);
+        let f_nx = l2_spill_fraction(&k, &DeviceSpec::xavier_nx());
+        let f_agx = l2_spill_fraction(&k, &DeviceSpec::xavier_agx());
+        prop_assert!(f_agx >= f_nx - 1e-12);
+    }
+
+    #[test]
+    fn memcpy_monotone_and_agx_slower(a in 0u64..100_000_000, b in 0u64..100_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for dev in devices() {
+            prop_assert!(h2d_time_us(lo, &dev) <= h2d_time_us(hi, &dev));
+            prop_assert!(d2h_time_us(lo, &dev) <= d2h_time_us(hi, &dev));
+        }
+        prop_assert!(h2d_time_us(hi, &DeviceSpec::xavier_agx()) > h2d_time_us(hi, &DeviceSpec::xavier_nx()));
+    }
+
+    #[test]
+    fn concurrency_points_are_sane(
+        busy in 100.0f64..50_000.0,
+        gap in 100.0f64..50_000.0,
+        dram_mb in 1u64..200,
+        act_mb in 10u64..2_000,
+    ) {
+        let profile = EngineProfile {
+            busy_us: busy,
+            gap_us: gap,
+            dram_bytes: dram_mb << 20,
+            activation_bytes: act_mb << 20,
+            weight_bytes: 16 << 20,
+        };
+        for dev in devices() {
+            let (n_max, _) = max_threads(&profile, &dev);
+            prop_assert!(n_max >= 1);
+            let p1 = point_at(&profile, &dev, 1);
+            let p_last = point_at(&profile, &dev, n_max);
+            prop_assert!(p1.fps > 0.0 && p1.fps.is_finite());
+            prop_assert!(p_last.utilization <= dev.max_gr3d_utilization + 1e-9);
+            prop_assert!(p_last.utilization >= 0.0);
+            // Single-stream utilization can never exceed the busy fraction.
+            prop_assert!(p1.utilization <= profile.utilization_single() * 1.3 + 1e-9);
+        }
+    }
+}

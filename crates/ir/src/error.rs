@@ -1,0 +1,100 @@
+//! Error types for graph construction, validation, and execution.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or executing an IR graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A node references an input id that does not exist in the graph.
+    DanglingInput {
+        /// Node whose input list is invalid.
+        node: String,
+        /// The missing input id.
+        input: usize,
+    },
+    /// A layer received the wrong number of inputs.
+    ArityMismatch {
+        /// Offending node name.
+        node: String,
+        /// Inputs the layer requires.
+        expected: usize,
+        /// Inputs the node was given.
+        actual: usize,
+    },
+    /// Input tensor shape is incompatible with the layer's parameters.
+    ShapeMismatch {
+        /// Offending node name.
+        node: String,
+        /// Human-readable description of the incompatibility.
+        detail: String,
+    },
+    /// A weight blob has the wrong number of elements.
+    WeightSizeMismatch {
+        /// Offending node name.
+        node: String,
+        /// Elements the layer requires.
+        expected: usize,
+        /// Elements present.
+        actual: usize,
+    },
+    /// The graph has no output nodes marked.
+    NoOutputs,
+    /// Numeric execution was requested but the layer has seeded (virtual)
+    /// weights too large to materialize, or an op lacks a numeric kernel.
+    NotExecutable {
+        /// Offending node name.
+        node: String,
+        /// Why it cannot run numerically.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DanglingInput { node, input } => {
+                write!(f, "node `{node}` references nonexistent input {input}")
+            }
+            IrError::ArityMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(f, "node `{node}` expects {expected} inputs, got {actual}"),
+            IrError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at `{node}`: {detail}")
+            }
+            IrError::WeightSizeMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(f, "node `{node}` expects {expected} weight elements, got {actual}"),
+            IrError::NoOutputs => write!(f, "graph has no output nodes"),
+            IrError::NotExecutable { node, detail } => {
+                write!(f, "node `{node}` is not numerically executable: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = IrError::ShapeMismatch {
+            node: "conv1".into(),
+            detail: "3 channels vs 4 expected".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("conv1") && msg.contains("3 channels"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<IrError>();
+    }
+}

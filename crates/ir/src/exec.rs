@@ -1,0 +1,307 @@
+//! Layer-by-layer FP32 reference executor — the paper's "un-optimized" path.
+//!
+//! This mirrors how a framework (Caffe/TensorFlow/Darknet in the paper's
+//! Table II) runs inference without an inference engine: every layer is a
+//! separate operation on freshly materialized tensors, with no fusion and no
+//! reduced precision. Its outputs define ground-truth semantics for the
+//! optimized engine.
+
+use crate::error::IrError;
+use crate::graph::{Graph, LayerKind, NodeId};
+use crate::ops;
+use crate::tensor::Tensor;
+use crate::weights::{Weights, MATERIALIZE_LIMIT};
+
+/// Executes a validated graph in FP32, one layer at a time.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_ir::graph::{Graph, LayerKind};
+/// use trtsim_ir::{ReferenceExecutor, Tensor};
+///
+/// let mut g = Graph::new("m", [1, 4, 4]);
+/// let id = g.add_layer("id", LayerKind::Identity, &[Graph::INPUT]);
+/// g.mark_output(id);
+/// let exec = ReferenceExecutor::new(&g).unwrap();
+/// let input = Tensor::zeros([1, 4, 4]);
+/// let outs = exec.run(&input).unwrap();
+/// assert_eq!(outs[0], input);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReferenceExecutor<'g> {
+    graph: &'g Graph,
+    shapes: Vec<[usize; 3]>,
+}
+
+impl<'g> ReferenceExecutor<'g> {
+    /// Validates the graph and prepares shape information.
+    ///
+    /// # Errors
+    ///
+    /// Returns any validation error ([`IrError`]) the graph carries, plus
+    /// [`IrError::NotExecutable`] if a layer's seeded weights are too large to
+    /// materialize.
+    pub fn new(graph: &'g Graph) -> Result<Self, IrError> {
+        graph.validate()?;
+        let shapes = graph.infer_shapes()?;
+        for node in graph.nodes() {
+            let weights_len = match &node.kind {
+                LayerKind::Conv(c) => c.weights.len(),
+                LayerKind::InnerProduct { weights, .. } => weights.len(),
+                _ => 0,
+            };
+            if weights_len > MATERIALIZE_LIMIT {
+                return Err(IrError::NotExecutable {
+                    node: node.name.clone(),
+                    detail: format!(
+                        "{weights_len} weights exceed the materialization limit; \
+                         use the numeric-scale variant of this model"
+                    ),
+                });
+            }
+        }
+        Ok(Self { graph, shapes })
+    }
+
+    /// The graph being executed.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Inferred output shape of every node.
+    pub fn shapes(&self) -> &[[usize; 3]] {
+        &self.shapes
+    }
+
+    /// Runs the network on one input image, returning the marked outputs in
+    /// marking order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ShapeMismatch`] if the input does not match the
+    /// graph's declared input shape.
+    pub fn run(&self, input: &Tensor) -> Result<Vec<Tensor>, IrError> {
+        let mut values = self.run_all(input)?;
+        Ok(self
+            .graph
+            .outputs()
+            .iter()
+            .map(|&id| values[id].take().expect("output computed"))
+            .collect())
+    }
+
+    /// Runs the network and returns every node's activation (None for values
+    /// consumed by outputs via [`ReferenceExecutor::run`]'s take; here all are
+    /// present). Useful for per-layer debugging and calibration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReferenceExecutor::run`].
+    pub fn run_trace(&self, input: &Tensor) -> Result<Vec<Tensor>, IrError> {
+        let values = self.run_all(input)?;
+        Ok(values.into_iter().map(|v| v.expect("all computed")).collect())
+    }
+
+    fn run_all(&self, input: &Tensor) -> Result<Vec<Option<Tensor>>, IrError> {
+        if input.shape() != self.graph.input_shape() {
+            return Err(IrError::ShapeMismatch {
+                node: "input".to_string(),
+                detail: format!(
+                    "expected {:?}, got {:?}",
+                    self.graph.input_shape(),
+                    input.shape()
+                ),
+            });
+        }
+        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
+        values[Graph::INPUT] = Some(input.clone());
+        for node in self.graph.nodes().iter().skip(1) {
+            let out = self.eval_node(node.id, &values)?;
+            values[node.id] = Some(out);
+        }
+        Ok(values)
+    }
+
+    fn eval_node(&self, id: NodeId, values: &[Option<Tensor>]) -> Result<Tensor, IrError> {
+        let node = self.graph.node(id);
+        let input = |i: usize| -> &Tensor {
+            values[node.inputs[i]]
+                .as_ref()
+                .expect("topological order guarantees producers are computed")
+        };
+        let out = match &node.kind {
+            LayerKind::Input => unreachable!("input handled by run_all"),
+            LayerKind::Conv(c) => {
+                let w = c.weights.materialize();
+                let b = materialize_bias(&c.bias);
+                ops::conv2d(input(0), &w, &b, c)
+            }
+            LayerKind::Pool {
+                kind,
+                kernel,
+                stride,
+                pad,
+            } => ops::pool2d(input(0), *kind, *kernel, *stride, *pad),
+            LayerKind::GlobalPool { kind } => ops::global_pool(input(0), *kind),
+            LayerKind::InnerProduct {
+                out_features,
+                weights,
+                bias,
+                activation,
+                ..
+            } => {
+                let w = weights.materialize();
+                let b = materialize_bias(bias);
+                ops::inner_product(input(0), &w, &b, *out_features, *activation)
+            }
+            LayerKind::Act(a) => ops::activate(input(0), *a),
+            LayerKind::BatchNorm {
+                mean,
+                var,
+                gamma,
+                beta,
+                eps,
+            } => ops::batch_norm(input(0), mean, var, gamma, beta, *eps),
+            LayerKind::Scale { scale, bias } => ops::scale(input(0), scale, bias),
+            LayerKind::Lrn {
+                local_size,
+                alpha,
+                beta,
+                k,
+            } => ops::lrn(input(0), *local_size, *alpha, *beta, *k),
+            LayerKind::Eltwise { op } => {
+                let ins: Vec<&Tensor> = (0..node.inputs.len()).map(input).collect();
+                ops::eltwise(&ins, *op)
+            }
+            LayerKind::Concat => {
+                let ins: Vec<&Tensor> = (0..node.inputs.len()).map(input).collect();
+                ops::concat(&ins)
+            }
+            LayerKind::Softmax => ops::softmax(input(0)),
+            LayerKind::Upsample { factor } => ops::upsample(input(0), *factor),
+            LayerKind::Flatten => input(0).clone().into_flat(),
+            LayerKind::Slice { begin, len } => ops::slice_channels(input(0), *begin, *len),
+            LayerKind::Dropout { .. } | LayerKind::Identity => input(0).clone(),
+        };
+        debug_assert_eq!(out.shape(), self.shapes[id], "shape inference disagrees at {id}");
+        Ok(out)
+    }
+}
+
+fn materialize_bias(bias: &Weights) -> Vec<f32> {
+    bias.iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EltwiseOp, PoolKind};
+    use trtsim_util::rng::Pcg32;
+
+    fn small_net() -> Graph {
+        let mut g = Graph::new("small", [3, 8, 8]);
+        let c1 = g.add_layer("c1", LayerKind::conv_seeded(4, 3, 3, 1, 1, 10), &[Graph::INPUT]);
+        let p1 = g.add_layer(
+            "p1",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
+        let c2a = g.add_layer("c2a", LayerKind::conv_seeded(4, 4, 3, 1, 1, 11), &[p1]);
+        let c2b = g.add_layer("c2b", LayerKind::conv_seeded(4, 4, 1, 1, 0, 12), &[p1]);
+        let add = g.add_layer("add", LayerKind::Eltwise { op: EltwiseOp::Sum }, &[c2a, c2b]);
+        let gp = g.add_layer("gp", LayerKind::GlobalPool { kind: PoolKind::Avg }, &[add]);
+        let fc = g.add_layer("fc", LayerKind::fc_seeded(5, 4, 13), &[gp]);
+        let sm = g.add_layer("sm", LayerKind::Softmax, &[fc]);
+        g.mark_output(sm);
+        g
+    }
+
+    fn random_input(shape: [usize; 3], seed: u64) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Tensor::from_fn(shape, |_, _, _| rng.normal() as f32)
+    }
+
+    #[test]
+    fn runs_branching_network() {
+        let g = small_net();
+        let exec = ReferenceExecutor::new(&g).unwrap();
+        let out = exec.run(&random_input([3, 8, 8], 1)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].shape(), [5, 1, 1]);
+        let sum: f32 = out[0].as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let g = small_net();
+        let exec = ReferenceExecutor::new(&g).unwrap();
+        let input = random_input([3, 8, 8], 2);
+        let a = exec.run(&input).unwrap();
+        let b = exec.run(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_exposes_every_layer() {
+        let g = small_net();
+        let exec = ReferenceExecutor::new(&g).unwrap();
+        let trace = exec.run_trace(&random_input([3, 8, 8], 3)).unwrap();
+        assert_eq!(trace.len(), g.len());
+        for (t, s) in trace.iter().zip(exec.shapes()) {
+            assert_eq!(t.shape(), *s);
+        }
+    }
+
+    #[test]
+    fn wrong_input_shape_is_reported() {
+        let g = small_net();
+        let exec = ReferenceExecutor::new(&g).unwrap();
+        let err = exec.run(&Tensor::zeros([3, 9, 9])).unwrap_err();
+        assert!(matches!(err, IrError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn invalid_graph_is_rejected_at_construction() {
+        let mut g = Graph::new("bad", [3, 8, 8]);
+        // conv expecting 4 channels fed with a 3-channel input
+        let c = g.add_layer("c", LayerKind::conv_seeded(4, 4, 3, 1, 1, 0), &[Graph::INPUT]);
+        g.mark_output(c);
+        assert!(ReferenceExecutor::new(&g).is_err());
+    }
+
+    #[test]
+    fn oversized_seeded_weights_not_executable() {
+        let mut g = Graph::new("huge", [3, 8, 8]);
+        let c = g.add_layer(
+            "c",
+            LayerKind::Conv(crate::graph::ConvParams {
+                out_channels: 8192,
+                in_channels: 3,
+                kernel_h: 64,
+                kernel_w: 64,
+                stride: 1,
+                pad_h: 32,
+                pad_w: 32,
+                groups: 1,
+                weights: Weights::Seeded {
+                    seed: 0,
+                    len: 8192 * 3 * 64 * 64,
+                    scale: 0.01,
+                },
+                bias: Weights::Dense(vec![]),
+                activation: None,
+            }),
+            &[Graph::INPUT],
+        );
+        g.mark_output(c);
+        let err = ReferenceExecutor::new(&g).unwrap_err();
+        assert!(matches!(err, IrError::NotExecutable { .. }));
+    }
+}

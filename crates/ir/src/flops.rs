@@ -1,0 +1,242 @@
+//! Per-layer compute and memory-traffic accounting.
+//!
+//! The GPU timing model, the BSP performance model, and the Table II size
+//! report all consume these numbers. Conventions: one multiply-accumulate is
+//! two FLOPs; element counts are converted to bytes by the precision in force
+//! when a kernel is generated (this module reports *elements*).
+
+use crate::graph::{Graph, LayerKind, NodeId};
+use crate::IrError;
+
+/// Work and traffic of one layer at a given input shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerCost {
+    /// Multiply-accumulate count.
+    pub macs: u64,
+    /// Non-MAC arithmetic operations (activations, normalization maths…).
+    pub other_ops: u64,
+    /// Elements read from activations.
+    pub input_elems: u64,
+    /// Elements written to the output activation.
+    pub output_elems: u64,
+    /// Weight elements read.
+    pub weight_elems: u64,
+}
+
+impl LayerCost {
+    /// Total floating-point operations (2 per MAC plus the rest).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs + self.other_ops
+    }
+
+    /// Accumulates another cost (used for fused nodes).
+    pub fn merge(&mut self, other: &LayerCost) {
+        self.macs += other.macs;
+        self.other_ops += other.other_ops;
+        self.input_elems += other.input_elems;
+        self.output_elems += other.output_elems;
+        self.weight_elems += other.weight_elems;
+    }
+}
+
+/// Computes the cost of a layer given input and output shapes.
+pub fn layer_cost(kind: &LayerKind, inputs: &[[usize; 3]], output: [usize; 3]) -> LayerCost {
+    let elems = |s: [usize; 3]| (s[0] * s[1] * s[2]) as u64;
+    let in_total: u64 = inputs.iter().copied().map(elems).sum();
+    let out_total = elems(output);
+    let mut cost = LayerCost {
+        input_elems: in_total,
+        output_elems: out_total,
+        ..LayerCost::default()
+    };
+    match kind {
+        LayerKind::Input
+        | LayerKind::Flatten
+        | LayerKind::Slice { .. }
+        | LayerKind::Dropout { .. }
+        | LayerKind::Identity => {}
+        LayerKind::Conv(c) => {
+            let per_output = (c.in_channels / c.groups) * c.kernel_h * c.kernel_w;
+            cost.macs = out_total * per_output as u64;
+            cost.weight_elems = c.weights.len() as u64 + c.bias.len() as u64;
+            if c.activation.is_some() {
+                cost.other_ops = out_total;
+            }
+        }
+        LayerKind::Pool { kernel, .. } => {
+            cost.other_ops = out_total * (*kernel * *kernel) as u64;
+        }
+        LayerKind::GlobalPool { .. } => {
+            cost.other_ops = in_total;
+        }
+        LayerKind::InnerProduct {
+            weights,
+            bias,
+            activation,
+            ..
+        } => {
+            cost.macs = weights.len() as u64;
+            cost.weight_elems = weights.len() as u64 + bias.len() as u64;
+            if activation.is_some() {
+                cost.other_ops = out_total;
+            }
+        }
+        LayerKind::Act(_) => cost.other_ops = out_total,
+        LayerKind::BatchNorm { .. } => {
+            // (x - mean) * inv_std * gamma + beta ≈ 4 ops/elem
+            cost.other_ops = 4 * out_total;
+            cost.weight_elems = 4 * output[0] as u64;
+        }
+        LayerKind::Scale { .. } => {
+            cost.other_ops = 2 * out_total;
+            cost.weight_elems = 2 * output[0] as u64;
+        }
+        LayerKind::Lrn { local_size, .. } => {
+            // square + window sum + powf + divide
+            cost.other_ops = out_total * (*local_size as u64 + 3);
+        }
+        LayerKind::Eltwise { .. } => {
+            cost.other_ops = in_total;
+        }
+        LayerKind::Concat => {
+            // pure data movement
+        }
+        LayerKind::Softmax => {
+            cost.other_ops = 4 * out_total; // max, exp, sum, divide
+        }
+        LayerKind::Upsample { .. } => {}
+    }
+    cost
+}
+
+/// Cost of every node in a graph, indexed by [`NodeId`].
+///
+/// # Errors
+///
+/// Propagates shape-inference errors.
+pub fn graph_costs(graph: &Graph) -> Result<Vec<LayerCost>, IrError> {
+    let shapes = graph.infer_shapes()?;
+    Ok(graph
+        .nodes()
+        .iter()
+        .map(|node| {
+            let ins: Vec<[usize; 3]> = node.inputs.iter().map(|&i| shapes[i]).collect();
+            layer_cost(&node.kind, &ins, shapes[node.id])
+        })
+        .collect())
+}
+
+/// Total MACs of a full forward pass.
+///
+/// # Errors
+///
+/// Propagates shape-inference errors.
+pub fn total_macs(graph: &Graph) -> Result<u64, IrError> {
+    Ok(graph_costs(graph)?.iter().map(|c| c.macs).sum())
+}
+
+/// The heaviest-compute nodes of a graph, descending by MACs; useful for
+/// choosing which layers get autotuned first.
+///
+/// # Errors
+///
+/// Propagates shape-inference errors.
+pub fn heaviest_nodes(graph: &Graph, n: usize) -> Result<Vec<(NodeId, LayerCost)>, IrError> {
+    let costs = graph_costs(graph)?;
+    let mut indexed: Vec<(NodeId, LayerCost)> = costs.into_iter().enumerate().collect();
+    indexed.sort_by_key(|(_, c)| std::cmp::Reverse(c.macs));
+    indexed.truncate(n);
+    Ok(indexed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, LayerKind, PoolKind};
+
+    #[test]
+    fn conv_macs_match_formula() {
+        let k = LayerKind::conv_seeded(16, 3, 3, 1, 1, 0);
+        let cost = layer_cost(&k, &[[3, 32, 32]], [16, 32, 32]);
+        assert_eq!(cost.macs, 16 * 32 * 32 * 3 * 3 * 3);
+        assert_eq!(cost.weight_elems, (16 * 3 * 3 * 3 + 16) as u64);
+        assert_eq!(cost.flops(), 2 * cost.macs + 16 * 32 * 32);
+    }
+
+    #[test]
+    fn depthwise_macs_shrink_by_groups() {
+        let mut params = match LayerKind::conv_seeded(16, 16, 3, 1, 1, 0) {
+            LayerKind::Conv(c) => c,
+            _ => unreachable!(),
+        };
+        params.groups = 16;
+        params.weights = crate::weights::Weights::Seeded {
+            seed: 0,
+            len: 16 * 9,
+            scale: 0.1,
+        };
+        let cost = layer_cost(&LayerKind::Conv(params), &[[16, 8, 8]], [16, 8, 8]);
+        assert_eq!(cost.macs, 16 * 8 * 8 * 9);
+    }
+
+    #[test]
+    fn fc_macs_equal_weight_count() {
+        let k = LayerKind::fc_seeded(10, 100, 0);
+        let cost = layer_cost(&k, &[[100, 1, 1]], [10, 1, 1]);
+        assert_eq!(cost.macs, 1000);
+    }
+
+    #[test]
+    fn concat_has_no_arithmetic() {
+        let cost = layer_cost(&LayerKind::Concat, &[[4, 2, 2], [4, 2, 2]], [8, 2, 2]);
+        assert_eq!(cost.macs, 0);
+        assert_eq!(cost.other_ops, 0);
+        assert_eq!(cost.input_elems, 32);
+    }
+
+    #[test]
+    fn graph_costs_align_with_nodes() {
+        let mut g = Graph::new("t", [3, 16, 16]);
+        let c = g.add_layer("c", LayerKind::conv_seeded(8, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let p = g.add_layer(
+            "p",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c],
+        );
+        g.mark_output(p);
+        let costs = graph_costs(&g).unwrap();
+        assert_eq!(costs.len(), 3);
+        assert_eq!(costs[0].macs, 0);
+        assert!(costs[1].macs > 0);
+        assert_eq!(total_macs(&g).unwrap(), costs[1].macs);
+    }
+
+    #[test]
+    fn heaviest_nodes_sorted() {
+        let mut g = Graph::new("t", [3, 32, 32]);
+        let small = g.add_layer("s", LayerKind::conv_seeded(4, 3, 1, 1, 0, 0), &[Graph::INPUT]);
+        let big = g.add_layer("b", LayerKind::conv_seeded(64, 4, 3, 1, 1, 1), &[small]);
+        g.mark_output(big);
+        let top = heaviest_nodes(&g, 1).unwrap();
+        assert_eq!(top[0].0, big);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LayerCost {
+            macs: 10,
+            other_ops: 1,
+            input_elems: 2,
+            output_elems: 3,
+            weight_elems: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.macs, 20);
+        assert_eq!(a.weight_elems, 8);
+    }
+}

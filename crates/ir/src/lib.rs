@@ -1,0 +1,62 @@
+//! Neural-network intermediate representation and reference executor.
+//!
+//! This crate plays the role of the *framework layer* in the paper's stack
+//! (level 4 of its Figure 1): it can describe a trained network — layers,
+//! weights, connectivity — and execute it layer-by-layer in FP32, exactly the
+//! "un-optimized" path that the paper benchmarks TensorRT against.
+//!
+//! The TensorRT-like engine in `trtsim-core` consumes graphs defined here,
+//! rewrites them (dead-layer removal, fusion, quantization) and maps them onto
+//! the simulated GPU's kernel catalog.
+//!
+//! # Design notes
+//!
+//! * Tensors are batch-1 CHW, matching the paper's single-image inference
+//!   measurements; batching is expressed by repeated enqueues.
+//! * Numeric data is stored as `f32` even for reduced-precision tensors; the
+//!   engine applies FP16/INT8 *rounding* at kernel boundaries (the standard
+//!   "fake quantization" formulation), which reproduces precision effects
+//!   while keeping a single data path.
+//! * Weights can be **dense** (real numbers, used by the accuracy experiments)
+//!   or **seeded** (a deterministic generator plus a length, used by the
+//!   full-size model descriptors where materializing hundreds of MB of weights
+//!   would be wasteful). See [`weights::Weights`].
+//!
+//! # Examples
+//!
+//! ```
+//! use trtsim_ir::graph::{Graph, LayerKind};
+//! use trtsim_ir::tensor::Tensor;
+//!
+//! let mut g = Graph::new("tiny", [3, 8, 8]);
+//! let conv = g.add_layer(
+//!     "conv1",
+//!     LayerKind::conv_seeded(4, 3, 3, 1, 1, 42),
+//!     &[Graph::INPUT],
+//! );
+//! g.mark_output(conv);
+//! g.validate().unwrap();
+//!
+//! let out = trtsim_ir::exec::ReferenceExecutor::new(&g)
+//!     .unwrap()
+//!     .run(&Tensor::zeros([3, 8, 8]))
+//!     .unwrap();
+//! assert_eq!(out[0].shape(), [4, 8, 8]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod flops;
+pub mod graph;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+pub mod weights;
+
+pub use error::IrError;
+pub use exec::ReferenceExecutor;
+pub use graph::{Activation, Graph, LayerKind, Node, NodeId, PoolKind};
+pub use tensor::Tensor;
+pub use weights::Weights;

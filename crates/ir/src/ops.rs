@@ -1,0 +1,482 @@
+//! Canonical FP32 numeric implementations of every layer.
+//!
+//! These are the *reference semantics*: straightforward sequential
+//! accumulation, exactly what a framework's CPU/GPU path computes before any
+//! engine optimization. The tactic implementations in `trtsim-kernels`
+//! deliberately deviate from these in accumulation order and precision; their
+//! correctness is defined as closeness to this module's output.
+
+use crate::graph::{Activation, ConvParams, EltwiseOp, PoolKind};
+use crate::tensor::Tensor;
+
+/// Direct 2-D convolution with groups, stride, zero padding, bias, and an
+/// optional fused activation.
+///
+/// # Panics
+///
+/// Panics if the weight slice length does not match the parameters, or the
+/// input channel count differs from `params.in_channels`.
+pub fn conv2d(input: &Tensor, weights: &[f32], bias: &[f32], params: &ConvParams) -> Tensor {
+    let [ic, ih, iw] = input.shape();
+    assert_eq!(ic, params.in_channels, "conv input channel mismatch");
+    assert_eq!(
+        weights.len(),
+        params.expected_weight_len(),
+        "conv weight length mismatch"
+    );
+    let (kh, kw) = (params.kernel_h, params.kernel_w);
+    let s = params.stride;
+    let (ph, pw) = (params.pad_h as isize, params.pad_w as isize);
+    let oh = (ih + 2 * params.pad_h - kh) / s + 1;
+    let ow = (iw + 2 * params.pad_w - kw) / s + 1;
+    let cpg_in = params.in_channels / params.groups;
+    let cpg_out = params.out_channels / params.groups;
+
+    let mut out = Tensor::zeros([params.out_channels, oh, ow]);
+    for oc in 0..params.out_channels {
+        let group = oc / cpg_out;
+        let b = bias.get(oc).copied().unwrap_or(0.0);
+        let w_base = oc * cpg_in * kh * kw;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b;
+                for icg in 0..cpg_in {
+                    let c_in = group * cpg_in + icg;
+                    for ky in 0..kh {
+                        let iy = (oy * s) as isize + ky as isize - ph;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * s) as isize + kx as isize - pw;
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            acc += input.at(c_in, iy as usize, ix as usize)
+                                * weights[w_base + (icg * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+                *out.at_mut(oc, oy, ox) = match params.activation {
+                    Some(a) => a.apply(acc),
+                    None => acc,
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Spatial max/average pooling.
+///
+/// Average pooling divides by the full window area (count-includes-padding
+/// convention, as in Caffe's default).
+pub fn pool2d(input: &Tensor, kind: PoolKind, kernel: usize, stride: usize, pad: usize) -> Tensor {
+    let [c, ih, iw] = input.shape();
+    let oh = (ih + 2 * pad - kernel) / stride + 1;
+    let ow = (iw + 2 * pad - kernel) / stride + 1;
+    let p = pad as isize;
+    let mut out = Tensor::zeros([c, oh, ow]);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut sum = 0.0f32;
+                for ky in 0..kernel {
+                    let iy = (oy * stride) as isize + ky as isize - p;
+                    for kx in 0..kernel {
+                        let ix = (ox * stride) as isize + kx as isize - p;
+                        let v = if iy < 0 || ix < 0 || iy >= ih as isize || ix >= iw as isize {
+                            0.0
+                        } else {
+                            input.at(ch, iy as usize, ix as usize)
+                        };
+                        best = best.max(v);
+                        sum += v;
+                    }
+                }
+                *out.at_mut(ch, oy, ox) = match kind {
+                    PoolKind::Max => best,
+                    PoolKind::Avg => sum / (kernel * kernel) as f32,
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Pooling over the whole spatial extent, producing `[c, 1, 1]`.
+pub fn global_pool(input: &Tensor, kind: PoolKind) -> Tensor {
+    let [c, h, w] = input.shape();
+    let mut out = Tensor::zeros([c, 1, 1]);
+    for ch in 0..c {
+        let plane = input.channel(ch);
+        *out.at_mut(ch, 0, 0) = match kind {
+            PoolKind::Max => plane.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b)),
+            PoolKind::Avg => plane.iter().sum::<f32>() / (h * w) as f32,
+        };
+    }
+    out
+}
+
+/// Fully-connected layer over the flattened input.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != out_features * input.len()`.
+pub fn inner_product(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_features: usize,
+    activation: Option<Activation>,
+) -> Tensor {
+    let in_features = input.len();
+    assert_eq!(weights.len(), out_features * in_features, "fc weight mismatch");
+    let x = input.as_slice();
+    let mut out = Tensor::zeros([out_features, 1, 1]);
+    for o in 0..out_features {
+        let row = &weights[o * in_features..(o + 1) * in_features];
+        let mut acc = bias.get(o).copied().unwrap_or(0.0);
+        for (xi, wi) in x.iter().zip(row.iter()) {
+            acc += xi * wi;
+        }
+        *out.at_mut(o, 0, 0) = match activation {
+            Some(a) => a.apply(acc),
+            None => acc,
+        };
+    }
+    out
+}
+
+/// Standalone activation.
+pub fn activate(input: &Tensor, activation: Activation) -> Tensor {
+    let mut out = input.clone();
+    out.map_inplace(|x| activation.apply(x));
+    out
+}
+
+/// Inference-form batch normalization.
+pub fn batch_norm(
+    input: &Tensor,
+    mean: &[f32],
+    var: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Tensor {
+    let [c, h, w] = input.shape();
+    let mut out = Tensor::zeros([c, h, w]);
+    for ch in 0..c {
+        let inv_std = 1.0 / (var[ch] + eps).sqrt();
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(ch, y, x) = (input.at(ch, y, x) - mean[ch]) * inv_std * gamma[ch] + beta[ch];
+            }
+        }
+    }
+    out
+}
+
+/// Per-channel affine transform.
+pub fn scale(input: &Tensor, scale: &[f32], bias: &[f32]) -> Tensor {
+    let [c, h, w] = input.shape();
+    let mut out = Tensor::zeros([c, h, w]);
+    for (ch, &mult) in scale.iter().enumerate().take(c) {
+        let b = bias.get(ch).copied().unwrap_or(0.0);
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(ch, y, x) = input.at(ch, y, x) * mult + b;
+            }
+        }
+    }
+    out
+}
+
+/// Across-channel local response normalization (AlexNet-style):
+/// `out = in / (k + α/n · Σ in²)^β` over a window of `local_size` channels.
+pub fn lrn(input: &Tensor, local_size: usize, alpha: f32, beta: f32, k: f32) -> Tensor {
+    let [c, h, w] = input.shape();
+    let half = local_size / 2;
+    let mut out = Tensor::zeros([c, h, w]);
+    for ch in 0..c {
+        let lo = ch.saturating_sub(half);
+        let hi = (ch + half).min(c - 1);
+        for y in 0..h {
+            for x in 0..w {
+                let mut sq = 0.0f32;
+                for n in lo..=hi {
+                    let v = input.at(n, y, x);
+                    sq += v * v;
+                }
+                let denom = (k + alpha / local_size as f32 * sq).powf(beta);
+                *out.at_mut(ch, y, x) = input.at(ch, y, x) / denom;
+            }
+        }
+    }
+    out
+}
+
+/// Element-wise combination of equal-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if fewer than two inputs are given or shapes differ.
+pub fn eltwise(inputs: &[&Tensor], op: EltwiseOp) -> Tensor {
+    assert!(inputs.len() >= 2, "eltwise needs at least two inputs");
+    let shape = inputs[0].shape();
+    assert!(inputs.iter().all(|t| t.shape() == shape), "eltwise shape mismatch");
+    let mut out = inputs[0].clone();
+    for t in &inputs[1..] {
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {
+            *o = match op {
+                EltwiseOp::Sum => *o + v,
+                EltwiseOp::Max => o.max(v),
+                EltwiseOp::Prod => *o * v,
+            };
+        }
+    }
+    out
+}
+
+/// Channel-axis concatenation.
+///
+/// # Panics
+///
+/// Panics if inputs have differing spatial dims.
+pub fn concat(inputs: &[&Tensor]) -> Tensor {
+    assert!(!inputs.is_empty());
+    let h = inputs[0].height();
+    let w = inputs[0].width();
+    assert!(inputs.iter().all(|t| t.height() == h && t.width() == w));
+    let total_c: usize = inputs.iter().map(|t| t.channels()).sum();
+    let mut data = Vec::with_capacity(total_c * h * w);
+    for t in inputs {
+        data.extend_from_slice(t.as_slice());
+    }
+    Tensor::from_vec([total_c, h, w], data)
+}
+
+/// Channel-range view copy: channels `[begin, begin+len)`.
+///
+/// # Panics
+///
+/// Panics if the range exceeds the input's channels.
+pub fn slice_channels(input: &Tensor, begin: usize, len: usize) -> Tensor {
+    let [c, h, w] = input.shape();
+    assert!(begin + len <= c, "slice out of range");
+    let plane = h * w;
+    let data = input.as_slice()[begin * plane..(begin + len) * plane].to_vec();
+    Tensor::from_vec([len, h, w], data)
+}
+
+/// Numerically-stable softmax over all elements.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let max = input
+        .as_slice()
+        .iter()
+        .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let mut out = input.clone();
+    let mut sum = 0.0f32;
+    for v in out.as_mut_slice() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in out.as_mut_slice() {
+        *v /= sum;
+    }
+    out
+}
+
+/// Nearest-neighbour upsampling by an integer factor.
+pub fn upsample(input: &Tensor, factor: usize) -> Tensor {
+    let [c, h, w] = input.shape();
+    Tensor::from_fn([c, h * factor, w * factor], |ch, y, x| {
+        input.at(ch, y / factor, x / factor)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConvParams;
+    use crate::weights::Weights;
+
+    fn identity_conv(channels: usize) -> (ConvParams, Vec<f32>) {
+        // 1x1 conv that copies each channel.
+        let mut w = vec![0.0; channels * channels];
+        for c in 0..channels {
+            w[c * channels + c] = 1.0;
+        }
+        let params = ConvParams {
+            out_channels: channels,
+            in_channels: channels,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            pad_h: 0,
+            pad_w: 0,
+            groups: 1,
+            weights: Weights::Dense(w.clone()),
+            bias: Weights::Dense(vec![]),
+            activation: None,
+        };
+        (params, w)
+    }
+
+    #[test]
+    fn identity_conv_copies_input() {
+        let input = Tensor::from_fn([3, 4, 4], |c, h, w| (c + h + w) as f32);
+        let (params, w) = identity_conv(3);
+        let out = conv2d(&input, &w, &[], &params);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_box_filter_sums_window() {
+        let input = Tensor::from_vec([1, 3, 3], vec![1.0; 9]);
+        let params = ConvParams {
+            out_channels: 1,
+            in_channels: 1,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            pad_h: 1,
+            pad_w: 1,
+            groups: 1,
+            weights: Weights::Dense(vec![1.0; 9]),
+            bias: Weights::Dense(vec![]),
+            activation: None,
+        };
+        let out = conv2d(&input, &[1.0; 9], &[], &params);
+        // Center sees all 9 ones; corners see 4.
+        assert_eq!(out.at(0, 1, 1), 9.0);
+        assert_eq!(out.at(0, 0, 0), 4.0);
+        assert_eq!(out.at(0, 0, 1), 6.0);
+    }
+
+    #[test]
+    fn conv_bias_and_relu() {
+        let input = Tensor::from_vec([1, 1, 1], vec![1.0]);
+        let params = ConvParams {
+            out_channels: 2,
+            in_channels: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            pad_h: 0,
+            pad_w: 0,
+            groups: 1,
+            weights: Weights::Dense(vec![1.0, -5.0]),
+            bias: Weights::Dense(vec![0.5, 0.5]),
+            activation: Some(Activation::Relu),
+        };
+        let out = conv2d(&input, &[1.0, -5.0], &[0.5, 0.5], &params);
+        assert_eq!(out.at(0, 0, 0), 1.5);
+        assert_eq!(out.at(1, 0, 0), 0.0); // clipped by relu
+    }
+
+    #[test]
+    fn depthwise_conv_respects_groups() {
+        let input = Tensor::from_vec([2, 1, 1], vec![3.0, 5.0]);
+        let params = ConvParams {
+            out_channels: 2,
+            in_channels: 2,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            pad_h: 0,
+            pad_w: 0,
+            groups: 2,
+            weights: Weights::Dense(vec![2.0, 10.0]),
+            bias: Weights::Dense(vec![]),
+            activation: None,
+        };
+        let out = conv2d(&input, &[2.0, 10.0], &[], &params);
+        assert_eq!(out.at(0, 0, 0), 6.0);
+        assert_eq!(out.at(1, 0, 0), 50.0);
+    }
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let input = Tensor::from_vec([1, 2, 2], vec![1.0, 7.0, 3.0, 2.0]);
+        let out = pool2d(&input, PoolKind::Max, 2, 2, 0);
+        assert_eq!(out.shape(), [1, 1, 1]);
+        assert_eq!(out.at(0, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn avg_pool_divides_by_window() {
+        let input = Tensor::from_vec([1, 2, 2], vec![1.0, 7.0, 3.0, 2.0]);
+        let out = pool2d(&input, PoolKind::Avg, 2, 2, 0);
+        assert_eq!(out.at(0, 0, 0), 13.0 / 4.0);
+    }
+
+    #[test]
+    fn global_pool_variants() {
+        let input = Tensor::from_vec([1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(global_pool(&input, PoolKind::Max).at(0, 0, 0), 4.0);
+        assert_eq!(global_pool(&input, PoolKind::Avg).at(0, 0, 0), 2.5);
+    }
+
+    #[test]
+    fn inner_product_is_matvec() {
+        let input = Tensor::from_vec([2, 1, 1], vec![1.0, 2.0]);
+        let out = inner_product(&input, &[1.0, 0.0, 0.5, 0.5], &[0.0, 1.0], 2, None);
+        assert_eq!(out.at(0, 0, 0), 1.0);
+        assert_eq!(out.at(1, 0, 0), 2.5);
+    }
+
+    #[test]
+    fn batch_norm_standardizes() {
+        let input = Tensor::from_vec([1, 1, 2], vec![2.0, 4.0]);
+        let out = batch_norm(&input, &[3.0], &[1.0], &[1.0], &[0.0], 0.0);
+        assert!((out.at(0, 0, 0) + 1.0).abs() < 1e-6);
+        assert!((out.at(0, 0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lrn_normalizes_by_neighbourhood() {
+        let input = Tensor::from_vec([2, 1, 1], vec![1.0, 1.0]);
+        let out = lrn(&input, 2, 1.0, 1.0, 1.0);
+        // each channel sees both channels: denom = 1 + (1/2)*2 = 2
+        assert!((out.at(0, 0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eltwise_ops() {
+        let a = Tensor::from_vec([1, 1, 2], vec![1.0, 4.0]);
+        let b = Tensor::from_vec([1, 1, 2], vec![3.0, 2.0]);
+        assert_eq!(eltwise(&[&a, &b], EltwiseOp::Sum).as_slice(), &[4.0, 6.0]);
+        assert_eq!(eltwise(&[&a, &b], EltwiseOp::Max).as_slice(), &[3.0, 4.0]);
+        assert_eq!(eltwise(&[&a, &b], EltwiseOp::Prod).as_slice(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::from_vec([1, 1, 2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([2, 1, 2], vec![3.0, 4.0, 5.0, 6.0]);
+        let out = concat(&[&a, &b]);
+        assert_eq!(out.shape(), [3, 1, 2]);
+        assert_eq!(out.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let input = Tensor::from_vec([3, 1, 1], vec![1000.0, 1001.0, 1002.0]);
+        let out = softmax(&input);
+        let sum: f32 = out.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(out.at(2, 0, 0) > out.at(0, 0, 0));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn upsample_replicates() {
+        let input = Tensor::from_vec([1, 1, 2], vec![1.0, 2.0]);
+        let out = upsample(&input, 2);
+        assert_eq!(out.shape(), [1, 2, 4]);
+        assert_eq!(out.at(0, 1, 1), 1.0);
+        assert_eq!(out.at(0, 0, 3), 2.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Shape inference for every layer kind.
+
+use crate::error::IrError;
+use crate::graph::{Arity, LayerKind};
+
+/// Infers the output shape of `kind` given its input shapes.
+///
+/// # Errors
+///
+/// Returns [`IrError::ArityMismatch`], [`IrError::ShapeMismatch`], or
+/// [`IrError::WeightSizeMismatch`] when the node is inconsistent.
+pub fn infer(
+    kind: &LayerKind,
+    inputs: &[[usize; 3]],
+    node_name: &str,
+) -> Result<[usize; 3], IrError> {
+    check_arity(kind, inputs.len(), node_name)?;
+    let shape_err = |detail: String| IrError::ShapeMismatch {
+        node: node_name.to_string(),
+        detail,
+    };
+
+    match kind {
+        LayerKind::Input => unreachable!("input nodes are handled by the graph"),
+        LayerKind::Conv(c) => {
+            let [ic, h, w] = inputs[0];
+            if ic != c.in_channels {
+                return Err(shape_err(format!(
+                    "conv expects {} input channels, got {ic}",
+                    c.in_channels
+                )));
+            }
+            if c.groups == 0 || c.in_channels % c.groups != 0 || c.out_channels % c.groups != 0 {
+                return Err(shape_err(format!(
+                    "groups {} must divide in {} and out {}",
+                    c.groups, c.in_channels, c.out_channels
+                )));
+            }
+            if c.stride == 0 || c.kernel_h == 0 || c.kernel_w == 0 {
+                return Err(shape_err("kernel and stride must be positive".into()));
+            }
+            let expected = c.expected_weight_len();
+            if c.weights.len() != expected {
+                return Err(IrError::WeightSizeMismatch {
+                    node: node_name.to_string(),
+                    expected,
+                    actual: c.weights.len(),
+                });
+            }
+            if !c.bias.is_empty() && c.bias.len() != c.out_channels {
+                return Err(IrError::WeightSizeMismatch {
+                    node: node_name.to_string(),
+                    expected: c.out_channels,
+                    actual: c.bias.len(),
+                });
+            }
+            let oh = conv_extent(h, c.kernel_h, c.stride, c.pad_h)
+                .ok_or_else(|| shape_err(format!("kernel {} exceeds padded height {h}", c.kernel_h)))?;
+            let ow = conv_extent(w, c.kernel_w, c.stride, c.pad_w)
+                .ok_or_else(|| shape_err(format!("kernel {} exceeds padded width {w}", c.kernel_w)))?;
+            Ok([c.out_channels, oh, ow])
+        }
+        LayerKind::Pool {
+            kernel,
+            stride,
+            pad,
+            ..
+        } => {
+            let [c, h, w] = inputs[0];
+            if *stride == 0 || *kernel == 0 {
+                return Err(shape_err("kernel and stride must be positive".into()));
+            }
+            let oh = conv_extent(h, *kernel, *stride, *pad)
+                .ok_or_else(|| shape_err(format!("pool window {kernel} exceeds height {h}")))?;
+            let ow = conv_extent(w, *kernel, *stride, *pad)
+                .ok_or_else(|| shape_err(format!("pool window {kernel} exceeds width {w}")))?;
+            Ok([c, oh, ow])
+        }
+        LayerKind::GlobalPool { .. } => Ok([inputs[0][0], 1, 1]),
+        LayerKind::InnerProduct {
+            out_features,
+            in_features,
+            weights,
+            bias,
+            ..
+        } => {
+            let flat = inputs[0][0] * inputs[0][1] * inputs[0][2];
+            if flat != *in_features {
+                return Err(shape_err(format!(
+                    "inner product expects {in_features} input features, got {flat}"
+                )));
+            }
+            if weights.len() != out_features * in_features {
+                return Err(IrError::WeightSizeMismatch {
+                    node: node_name.to_string(),
+                    expected: out_features * in_features,
+                    actual: weights.len(),
+                });
+            }
+            if !bias.is_empty() && bias.len() != *out_features {
+                return Err(IrError::WeightSizeMismatch {
+                    node: node_name.to_string(),
+                    expected: *out_features,
+                    actual: bias.len(),
+                });
+            }
+            Ok([*out_features, 1, 1])
+        }
+        LayerKind::Act(_)
+        | LayerKind::Lrn { .. }
+        | LayerKind::Softmax
+        | LayerKind::Dropout { .. }
+        | LayerKind::Identity => Ok(inputs[0]),
+        LayerKind::BatchNorm {
+            mean,
+            var,
+            gamma,
+            beta,
+            ..
+        } => {
+            let c = inputs[0][0];
+            for (label, v) in [("mean", mean), ("var", var), ("gamma", gamma), ("beta", beta)] {
+                if v.len() != c {
+                    return Err(shape_err(format!(
+                        "batchnorm {label} has {} entries for {c} channels",
+                        v.len()
+                    )));
+                }
+            }
+            Ok(inputs[0])
+        }
+        LayerKind::Scale { scale, bias } => {
+            let c = inputs[0][0];
+            if scale.len() != c || (!bias.is_empty() && bias.len() != c) {
+                return Err(shape_err(format!(
+                    "scale has {} multipliers / {} offsets for {c} channels",
+                    scale.len(),
+                    bias.len()
+                )));
+            }
+            Ok(inputs[0])
+        }
+        LayerKind::Eltwise { .. } => {
+            let first = inputs[0];
+            if inputs.iter().any(|s| *s != first) {
+                return Err(shape_err(format!("eltwise inputs differ: {inputs:?}")));
+            }
+            Ok(first)
+        }
+        LayerKind::Concat => {
+            let [_, h, w] = inputs[0];
+            if inputs.iter().any(|s| s[1] != h || s[2] != w) {
+                return Err(shape_err(format!(
+                    "concat inputs have mismatched spatial dims: {inputs:?}"
+                )));
+            }
+            Ok([inputs.iter().map(|s| s[0]).sum(), h, w])
+        }
+        LayerKind::Upsample { factor } => {
+            if *factor == 0 {
+                return Err(shape_err("upsample factor must be positive".into()));
+            }
+            let [c, h, w] = inputs[0];
+            Ok([c, h * factor, w * factor])
+        }
+        LayerKind::Flatten => {
+            let [c, h, w] = inputs[0];
+            Ok([c * h * w, 1, 1])
+        }
+        LayerKind::Slice { begin, len } => {
+            let [c, h, w] = inputs[0];
+            if begin + len > c || *len == 0 {
+                return Err(shape_err(format!(
+                    "slice [{begin}, {}) exceeds {c} channels",
+                    begin + len
+                )));
+            }
+            Ok([*len, h, w])
+        }
+    }
+}
+
+/// Output extent of a strided window op: `floor((in + 2·pad − k)/s) + 1`,
+/// or `None` if the window exceeds the padded input.
+pub fn conv_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
+    let padded = input + 2 * pad;
+    if kernel > padded {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+fn check_arity(kind: &LayerKind, actual: usize, node_name: &str) -> Result<(), IrError> {
+    let ok = match kind.arity() {
+        Arity::Exact(n) => actual == n,
+        Arity::AtLeast(n) => actual >= n,
+    };
+    if ok {
+        Ok(())
+    } else {
+        let expected = match kind.arity() {
+            Arity::Exact(n) | Arity::AtLeast(n) => n,
+        };
+        Err(IrError::ArityMismatch {
+            node: node_name.to_string(),
+            expected,
+            actual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EltwiseOp, PoolKind};
+
+    #[test]
+    fn conv_shapes() {
+        let k = LayerKind::conv_seeded(16, 3, 3, 1, 1, 0);
+        assert_eq!(infer(&k, &[[3, 32, 32]], "c").unwrap(), [16, 32, 32]);
+        let k = LayerKind::conv_seeded(16, 3, 3, 2, 1, 0);
+        assert_eq!(infer(&k, &[[3, 32, 32]], "c").unwrap(), [16, 16, 16]);
+        let k = LayerKind::conv_seeded(16, 3, 7, 2, 3, 0);
+        assert_eq!(infer(&k, &[[3, 224, 224]], "c").unwrap(), [16, 112, 112]);
+    }
+
+    #[test]
+    fn conv_channel_mismatch_errors() {
+        let k = LayerKind::conv_seeded(16, 4, 3, 1, 1, 0);
+        assert!(matches!(
+            infer(&k, &[[3, 32, 32]], "c"),
+            Err(IrError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let k = LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+        };
+        assert_eq!(infer(&k, &[[64, 55, 55]], "p").unwrap(), [64, 27, 27]);
+    }
+
+    #[test]
+    fn global_pool_collapses_space() {
+        let k = LayerKind::GlobalPool { kind: PoolKind::Avg };
+        assert_eq!(infer(&k, &[[128, 7, 7]], "gp").unwrap(), [128, 1, 1]);
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        assert_eq!(
+            infer(&LayerKind::Concat, &[[8, 4, 4], [16, 4, 4], [4, 4, 4]], "cc").unwrap(),
+            [28, 4, 4]
+        );
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch() {
+        assert!(infer(&LayerKind::Concat, &[[8, 4, 4], [8, 5, 4]], "cc").is_err());
+    }
+
+    #[test]
+    fn eltwise_requires_equal_shapes() {
+        let k = LayerKind::Eltwise { op: EltwiseOp::Sum };
+        assert_eq!(infer(&k, &[[8, 4, 4], [8, 4, 4]], "e").unwrap(), [8, 4, 4]);
+        assert!(infer(&k, &[[8, 4, 4], [9, 4, 4]], "e").is_err());
+    }
+
+    #[test]
+    fn eltwise_arity_enforced() {
+        let k = LayerKind::Eltwise { op: EltwiseOp::Sum };
+        assert!(matches!(
+            infer(&k, &[[8, 4, 4]], "e"),
+            Err(IrError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn flatten_and_upsample() {
+        assert_eq!(infer(&LayerKind::Flatten, &[[8, 4, 4]], "f").unwrap(), [128, 1, 1]);
+        assert_eq!(
+            infer(&LayerKind::Upsample { factor: 2 }, &[[8, 4, 4]], "u").unwrap(),
+            [8, 8, 8]
+        );
+    }
+
+    #[test]
+    fn inner_product_checks_features() {
+        let k = LayerKind::fc_seeded(10, 128, 0);
+        assert_eq!(infer(&k, &[[8, 4, 4]], "fc").unwrap(), [10, 1, 1]);
+        assert!(infer(&k, &[[8, 4, 5]], "fc").is_err());
+    }
+
+    #[test]
+    fn oversized_window_is_error() {
+        let k = LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 9,
+            stride: 1,
+            pad: 0,
+        };
+        assert!(infer(&k, &[[8, 4, 4]], "p").is_err());
+    }
+
+    #[test]
+    fn conv_extent_boundaries() {
+        assert_eq!(conv_extent(5, 5, 1, 0), Some(1));
+        assert_eq!(conv_extent(5, 6, 1, 0), None);
+        assert_eq!(conv_extent(5, 6, 1, 1), Some(2));
+    }
+
+    #[test]
+    fn batchnorm_validates_channel_vectors() {
+        let k = LayerKind::BatchNorm {
+            mean: vec![0.0; 4],
+            var: vec![1.0; 4],
+            gamma: vec![1.0; 4],
+            beta: vec![0.0; 3], // wrong
+            eps: 1e-5,
+        };
+        assert!(infer(&k, &[[4, 2, 2]], "bn").is_err());
+    }
+}

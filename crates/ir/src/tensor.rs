@@ -1,0 +1,248 @@
+//! Batch-1 CHW tensors.
+
+use std::fmt;
+
+/// A dense rank-3 tensor in channel–height–width layout.
+///
+/// All simulator numerics run over `f32` storage; reduced-precision formats
+/// are modeled by rounding values onto the format's grid at kernel boundaries
+/// (see `trtsim-util`'s `f16` module).
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_ir::Tensor;
+/// let mut t = Tensor::zeros([2, 3, 3]);
+/// *t.at_mut(1, 2, 0) = 5.0;
+/// assert_eq!(t.at(1, 2, 0), 5.0);
+/// assert_eq!(t.len(), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: [usize; 3],
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of shape `[c, h, w]`.
+    pub fn zeros(shape: [usize; 3]) -> Self {
+        Self {
+            shape,
+            data: vec![0.0; shape[0] * shape[1] * shape[2]],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != c * h * w`.
+    pub fn from_vec(shape: [usize; 3], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape[0] * shape[1] * shape[2],
+            "tensor data length does not match shape {shape:?}"
+        );
+        Self { shape, data }
+    }
+
+    /// Builds a tensor by evaluating `f(c, h, w)` at every coordinate.
+    pub fn from_fn(shape: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+        let mut t = Tensor::zeros(shape);
+        for c in 0..shape[0] {
+            for h in 0..shape[1] {
+                for w in 0..shape[2] {
+                    *t.at_mut(c, h, w) = f(c, h, w);
+                }
+            }
+        }
+        t
+    }
+
+    /// Shape as `[channels, height, width]`.
+    pub fn shape(&self) -> [usize; 3] {
+        self.shape
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Height.
+    pub fn height(&self) -> usize {
+        self.shape[1]
+    }
+
+    /// Width.
+    pub fn width(&self) -> usize {
+        self.shape[2]
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing storage (CHW row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn at(&self, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert!(c < self.shape[0] && h < self.shape[1] && w < self.shape[2]);
+        self.data[(c * self.shape[1] + h) * self.shape[2] + w]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert!(c < self.shape[0] && h < self.shape[1] && w < self.shape[2]);
+        &mut self.data[(c * self.shape[1] + h) * self.shape[2] + w]
+    }
+
+    /// One whole channel plane as a slice.
+    pub fn channel(&self, c: usize) -> &[f32] {
+        let plane = self.shape[1] * self.shape[2];
+        &self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// Index of the maximum element (first one on ties), or `None` if empty.
+    ///
+    /// For a `[classes, 1, 1]` logits tensor this is the predicted class.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &v) in self.data.iter().enumerate() {
+            match best {
+                Some((_, b)) if v <= b => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    pub fn amax(&self) -> f32 {
+        self.data.iter().fold(0.0, |acc, &x| acc.max(x.abs()))
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Flattens to shape `[len, 1, 1]` without copying data.
+    pub fn into_flat(self) -> Tensor {
+        let len = self.data.len();
+        Tensor {
+            shape: [len, 1, 1],
+            data: self.data,
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor[{}x{}x{}]",
+            self.shape[0], self.shape[1], self.shape[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_correct_layout() {
+        let t = Tensor::zeros([2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), [2, 3, 4]);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn indexing_is_chw_row_major() {
+        let t = Tensor::from_vec([2, 2, 2], (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.at(0, 0, 0), 0.0);
+        assert_eq!(t.at(0, 0, 1), 1.0);
+        assert_eq!(t.at(0, 1, 0), 2.0);
+        assert_eq!(t.at(1, 0, 0), 4.0);
+        assert_eq!(t.at(1, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn from_fn_matches_at() {
+        let t = Tensor::from_fn([3, 4, 5], |c, h, w| (c * 100 + h * 10 + w) as f32);
+        assert_eq!(t.at(2, 3, 4), 234.0);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let mut t = Tensor::zeros([10, 1, 1]);
+        *t.at_mut(7, 0, 0) = 3.5;
+        assert_eq!(t.argmax(), Some(7));
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        let t = Tensor::from_vec([3, 1, 1], vec![1.0, 1.0, 0.0]);
+        assert_eq!(t.argmax(), Some(0));
+    }
+
+    #[test]
+    fn amax_is_absolute() {
+        let t = Tensor::from_vec([1, 1, 3], vec![0.5, -2.0, 1.0]);
+        assert_eq!(t.amax(), 2.0);
+    }
+
+    #[test]
+    fn channel_slices_planes() {
+        let t = Tensor::from_vec([2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.channel(0), &[1.0, 2.0]);
+        assert_eq!(t.channel(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn into_flat_preserves_data() {
+        let t = Tensor::from_vec([2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let flat = t.into_flat();
+        assert_eq!(flat.shape(), [4, 1, 1]);
+        assert_eq!(flat.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        Tensor::from_vec([2, 2, 2], vec![0.0; 7]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for shape inference and the reference executor.
+
+use proptest::prelude::*;
+use trtsim_ir::graph::{Graph, LayerKind, PoolKind};
+use trtsim_ir::shape::conv_extent;
+use trtsim_ir::{ReferenceExecutor, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conv_extent_matches_loop_count(
+        input in 1usize..64,
+        kernel in 1usize..8,
+        stride in 1usize..4,
+        pad in 0usize..4,
+    ) {
+        match conv_extent(input, kernel, stride, pad) {
+            Some(extent) => {
+                // Count valid window positions directly.
+                let padded = input + 2 * pad;
+                let mut count = 0;
+                let mut pos = 0;
+                while pos + kernel <= padded {
+                    count += 1;
+                    pos += stride;
+                }
+                prop_assert_eq!(extent, count);
+                prop_assert!(extent >= 1);
+            }
+            None => prop_assert!(kernel > input + 2 * pad),
+        }
+    }
+
+    #[test]
+    fn conv_output_shape_matches_execution(
+        in_c in 1usize..4,
+        out_c in 1usize..6,
+        size in 4usize..12,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+    ) {
+        prop_assume!(kernel <= size);
+        let pad = kernel / 2;
+        let mut g = Graph::new("p", [in_c, size, size]);
+        let c = g.add_layer(
+            "c",
+            LayerKind::conv_seeded(out_c, in_c, kernel, stride, pad, 1),
+            &[Graph::INPUT],
+        );
+        g.mark_output(c);
+        let shapes = g.infer_shapes().unwrap();
+        let exec = ReferenceExecutor::new(&g).unwrap();
+        let out = exec.run(&Tensor::zeros([in_c, size, size])).unwrap();
+        prop_assert_eq!(out[0].shape(), shapes[c]);
+    }
+
+    #[test]
+    fn pooling_never_grows_spatial_dims(
+        c in 1usize..4,
+        size in 4usize..16,
+        kernel in 1usize..4,
+        stride in 1usize..4,
+    ) {
+        prop_assume!(kernel <= size);
+        let mut g = Graph::new("p", [c, size, size]);
+        let p = g.add_layer(
+            "p",
+            LayerKind::Pool { kind: PoolKind::Max, kernel, stride, pad: 0 },
+            &[Graph::INPUT],
+        );
+        g.mark_output(p);
+        let shapes = g.infer_shapes().unwrap();
+        prop_assert!(shapes[p][1] <= size);
+        prop_assert!(shapes[p][2] <= size);
+    }
+
+    #[test]
+    fn max_pool_output_bounded_by_input_range(
+        seed in 0u64..500,
+        size in 4usize..10,
+    ) {
+        let mut rng = trtsim_util::rng::Pcg32::seed_from_u64(seed);
+        let input = Tensor::from_fn([2, size, size], |_, _, _| rng.normal() as f32);
+        let out = trtsim_ir::ops::pool2d(&input, PoolKind::Max, 2, 2, 0);
+        let in_max = input.as_slice().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        for &v in out.as_slice() {
+            prop_assert!(v <= in_max + 1e-6);
+        }
+    }
+
+    #[test]
+    fn relu_conv_outputs_nonnegative(seed in 0u64..500) {
+        let mut rng = trtsim_util::rng::Pcg32::seed_from_u64(seed);
+        let mut g = Graph::new("p", [2, 6, 6]);
+        let c = g.add_layer("c", LayerKind::conv_seeded(3, 2, 3, 1, 1, seed), &[Graph::INPUT]);
+        g.mark_output(c);
+        let input = Tensor::from_fn([2, 6, 6], |_, _, _| rng.normal() as f32);
+        let out = ReferenceExecutor::new(&g).unwrap().run(&input).unwrap();
+        for &v in out[0].as_slice() {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(seed in 0u64..500, n in 2usize..32) {
+        let mut rng = trtsim_util::rng::Pcg32::seed_from_u64(seed);
+        let input = Tensor::from_fn([n, 1, 1], |_, _, _| (rng.normal() * 10.0) as f32);
+        let out = trtsim_ir::ops::softmax(&input);
+        let sum: f32 = out.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

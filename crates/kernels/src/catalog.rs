@@ -1,0 +1,226 @@
+//! Which tactics can implement which layer.
+//!
+//! Mirrors cuDNN/TensorRT behaviour: convolutions have many tile variants in
+//! each enabled precision, depthwise convolutions have a dedicated kernel,
+//! and memory-bound layers (pool, LRN, softmax, pointwise) have exactly one
+//! implementation each. The builder's autotuner measures every candidate this
+//! module returns and keeps the fastest.
+
+use trtsim_gpu::kernel::Precision;
+use trtsim_ir::graph::LayerKind;
+
+use crate::tactic::{AccumOrder, Tactic, TacticFamily};
+
+/// Precisions the builder is allowed to use (its `BuilderFlag` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecisionPolicy {
+    /// Allow FP16 tensor-core kernels.
+    pub allow_fp16: bool,
+    /// Allow INT8 kernels (requires calibration data).
+    pub allow_int8: bool,
+}
+
+impl PrecisionPolicy {
+    /// TensorRT's default on Volta Jetson boards: FP16 enabled, INT8 only
+    /// with calibration.
+    pub fn fp16() -> Self {
+        Self {
+            allow_fp16: true,
+            allow_int8: false,
+        }
+    }
+
+    /// All precisions enabled.
+    pub fn all() -> Self {
+        Self {
+            allow_fp16: true,
+            allow_int8: true,
+        }
+    }
+
+    /// FP32 only (disables the optimized reduced-precision paths).
+    pub fn fp32_only() -> Self {
+        Self {
+            allow_fp16: false,
+            allow_int8: false,
+        }
+    }
+}
+
+/// The FP16 implicit-GEMM tile configurations in the catalog.
+pub const HMMA_TILES: [(u32, u32); 6] = [
+    (256, 64),
+    (128, 128),
+    (64, 64),
+    (256, 128),
+    (128, 64),
+    (64, 32),
+];
+
+/// The FP32 tile configurations.
+pub const FP32_TILES: [(u32, u32); 3] = [(128, 64), (128, 128), (64, 64)];
+
+/// The INT8 tile configurations.
+pub const INT8_TILES: [(u32, u32); 3] = [(128, 64), (128, 128), (256, 64)];
+
+/// Candidate tactics for a layer, given the precision policy.
+///
+/// Layers with no arithmetic (concat, flatten, dropout, input, identity)
+/// return an empty list — the builder elides or reformats them.
+pub fn candidate_tactics(kind: &LayerKind, policy: PrecisionPolicy) -> Vec<Tactic> {
+    match kind {
+        LayerKind::Conv(c) => {
+            if c.groups > 1 && c.groups == c.in_channels {
+                return vec![depthwise_tactic()];
+            }
+            let mut out = Vec::new();
+            if policy.allow_fp16 {
+                out.extend(HMMA_TILES.iter().map(|&(m, n)| Tactic::conv_hmma(m, n, "")));
+            }
+            if policy.allow_int8 {
+                out.extend(INT8_TILES.iter().map(|&(m, n)| Tactic::conv_int8(m, n)));
+            }
+            // FP32 fallbacks are always legal.
+            out.extend(FP32_TILES.iter().map(|&(m, n)| Tactic::conv_fp32(m, n)));
+            out
+        }
+        LayerKind::InnerProduct { .. } => {
+            let mut out = Vec::new();
+            if policy.allow_fp16 {
+                for (m, n) in [(128u32, 64u32), (256, 64)] {
+                    out.push(Tactic {
+                        family: TacticFamily::Gemm,
+                        ..Tactic::conv_hmma(m, n, "")
+                    });
+                }
+            }
+            out.push(Tactic {
+                family: TacticFamily::Gemm,
+                ..Tactic::conv_fp32(128, 64)
+            });
+            out
+        }
+        LayerKind::Pool { .. } | LayerKind::GlobalPool { .. } => vec![memory_bound_tactic(
+            TacticFamily::Pool,
+            policy.allow_fp16,
+        )],
+        LayerKind::Lrn { .. } => vec![memory_bound_tactic(TacticFamily::Lrn, false)],
+        // Element-wise sums keep FP32 math even in FP16 engines (residual
+        // joins accumulate; cuDNN's eltwise path upconverts half operands).
+        LayerKind::Eltwise { .. } => vec![memory_bound_tactic(TacticFamily::Pointwise, false)],
+        LayerKind::Act(_) | LayerKind::BatchNorm { .. } | LayerKind::Scale { .. } => {
+            vec![memory_bound_tactic(TacticFamily::Pointwise, policy.allow_fp16)]
+        }
+        LayerKind::Softmax => vec![memory_bound_tactic(TacticFamily::Softmax, false)],
+        LayerKind::Upsample { .. } | LayerKind::Concat => {
+            vec![memory_bound_tactic(TacticFamily::Reformat, policy.allow_fp16)]
+        }
+        LayerKind::Input
+        | LayerKind::Flatten
+        | LayerKind::Slice { .. }
+        | LayerKind::Dropout { .. }
+        | LayerKind::Identity => Vec::new(),
+    }
+}
+
+fn depthwise_tactic() -> Tactic {
+    Tactic {
+        family: TacticFamily::Depthwise,
+        tile_m: 32,
+        tile_n: 32,
+        tile_k: 9,
+        precision: Precision::Fp16,
+        tensor_core: true,
+        base_efficiency: 0.35, // depthwise is memory-bound; low arithmetic intensity
+        blocks_per_sm: 4,
+        threads_per_block: 128,
+        variant: "prefetch",
+        accum: AccumOrder::Sequential,
+    }
+}
+
+fn memory_bound_tactic(family: TacticFamily, fp16: bool) -> Tactic {
+    Tactic {
+        family,
+        tile_m: 1,
+        tile_n: 256,
+        tile_k: 1,
+        precision: if fp16 { Precision::Fp16 } else { Precision::Fp32 },
+        tensor_core: false,
+        base_efficiency: 0.5,
+        blocks_per_sm: 8,
+        threads_per_block: 256,
+        variant: "",
+        accum: AccumOrder::Sequential,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_ir::graph::{LayerKind, PoolKind};
+
+    #[test]
+    fn conv_gets_many_candidates_under_fp16() {
+        let k = LayerKind::conv_seeded(64, 32, 3, 1, 1, 0);
+        let fp16 = candidate_tactics(&k, PrecisionPolicy::fp16());
+        assert_eq!(fp16.len(), HMMA_TILES.len() + FP32_TILES.len());
+        let all = candidate_tactics(&k, PrecisionPolicy::all());
+        assert_eq!(all.len(), HMMA_TILES.len() + INT8_TILES.len() + FP32_TILES.len());
+        let fp32 = candidate_tactics(&k, PrecisionPolicy::fp32_only());
+        assert_eq!(fp32.len(), FP32_TILES.len());
+    }
+
+    #[test]
+    fn depthwise_conv_has_dedicated_kernel() {
+        let mut params = match LayerKind::conv_seeded(16, 16, 3, 1, 1, 0) {
+            LayerKind::Conv(c) => c,
+            _ => unreachable!(),
+        };
+        params.groups = 16;
+        params.weights = trtsim_ir::Weights::Seeded {
+            seed: 0,
+            len: 16 * 9,
+            scale: 0.1,
+        };
+        let t = candidate_tactics(&LayerKind::Conv(params), PrecisionPolicy::fp16());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].family, TacticFamily::Depthwise);
+    }
+
+    #[test]
+    fn memory_bound_layers_have_one_tactic() {
+        for kind in [
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            LayerKind::Softmax,
+            LayerKind::Lrn {
+                local_size: 5,
+                alpha: 1e-4,
+                beta: 0.75,
+                k: 1.0,
+            },
+        ] {
+            assert_eq!(candidate_tactics(&kind, PrecisionPolicy::fp16()).len(), 1);
+        }
+    }
+
+    #[test]
+    fn structural_layers_have_none() {
+        for kind in [LayerKind::Flatten, LayerKind::Identity, LayerKind::Dropout { rate: 0.5 }] {
+            assert!(candidate_tactics(&kind, PrecisionPolicy::all()).is_empty());
+        }
+    }
+
+    #[test]
+    fn fc_candidates_are_gemms() {
+        let k = LayerKind::fc_seeded(10, 100, 0);
+        let ts = candidate_tactics(&k, PrecisionPolicy::fp16());
+        assert!(ts.iter().all(|t| t.family == TacticFamily::Gemm));
+        assert!(ts.len() >= 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Converting (tactic, layer shape) into a timing-model kernel descriptor.
+//!
+//! Convolutions are modeled as implicit GEMMs: `M = out_channels`,
+//! `N = out_h · out_w`, `K = in_channels/groups · kernel²`. Tile quantization
+//! determines the grid and the sustained efficiency; panel re-fetch traffic
+//! determines L2 volume; first-touch traffic (activations and weights once
+//! each) determines DRAM volume.
+
+use trtsim_gpu::kernel::KernelDesc;
+use trtsim_ir::flops::LayerCost;
+use trtsim_ir::graph::LayerKind;
+
+use crate::tactic::{Tactic, TacticFamily};
+
+/// GEMM dimensions of a layer under a given tactic family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmDims {
+    /// Rows (output spatial positions for NHWC convolutions; output features
+    /// for FC).
+    pub m: u64,
+    /// Columns (output channels; 1 for FC).
+    pub n: u64,
+    /// Reduction depth.
+    pub k: u64,
+}
+
+/// Computes the implicit-GEMM dims for a layer, if it is GEMM-shaped.
+pub fn gemm_dims(kind: &LayerKind, out_shape: [usize; 3]) -> Option<GemmDims> {
+    match kind {
+        LayerKind::Conv(c) => Some(GemmDims {
+            m: (out_shape[1] * out_shape[2]) as u64,
+            n: c.out_channels as u64,
+            k: ((c.in_channels / c.groups) * c.kernel_h * c.kernel_w) as u64,
+        }),
+        LayerKind::InnerProduct {
+            out_features,
+            in_features,
+            ..
+        } => Some(GemmDims {
+            m: *out_features as u64,
+            n: 1,
+            k: *in_features as u64,
+        }),
+        _ => None,
+    }
+}
+
+/// Builds the kernel descriptor for running `kind` with `tactic`.
+///
+/// `cost` is the layer's arithmetic/traffic accounting and `out_shape` its
+/// output; both come from `trtsim-ir`.
+pub fn kernel_desc(
+    tactic: &Tactic,
+    kind: &LayerKind,
+    cost: &LayerCost,
+    out_shape: [usize; 3],
+) -> KernelDesc {
+    let name = tactic.kernel_name(out_shape);
+    let e = tactic.precision.bytes() as u64;
+    match tactic.family {
+        TacticFamily::ConvHmma
+        | TacticFamily::ConvFp32
+        | TacticFamily::ConvInt8
+        | TacticFamily::Gemm => {
+            let dims = gemm_dims(kind, out_shape).unwrap_or(GemmDims {
+                m: (out_shape[1] * out_shape[2]) as u64,
+                n: out_shape[0] as u64,
+                k: 1,
+            });
+            let grid = tactic.grid_blocks(dims.m, dims.n);
+            // Efficiency degrades with tile-quantization waste and with very
+            // small reductions (pipeline never fills).
+            let util = tactic.tile_utilization(dims.m, dims.n);
+            let depth_factor = (dims.k as f64 / (dims.k as f64 + 2.0 * f64::from(tactic.tile_k))).min(1.0);
+            let eff = (tactic.base_efficiency * (0.30 + 0.70 * util) * (0.4 + 0.6 * depth_factor))
+                .clamp(0.01, 1.0);
+
+            // First-touch traffic: input + weights + output, once each.
+            let dram = cost.input_elems * e + cost.weight_elems * e + cost.output_elems * e;
+            // Panel re-fetch traffic beyond first touch, served by L2.
+            let n_tiles = dims.n.div_ceil(u64::from(tactic.tile_n));
+            let m_tiles = dims.m.div_ceil(u64::from(tactic.tile_m));
+            let panel_total = n_tiles * dims.m * dims.k * e + m_tiles * dims.n * dims.k * e;
+            let l2 = panel_total.saturating_sub(cost.input_elems * e + cost.weight_elems * e);
+
+            KernelDesc::new(name)
+                .grid(grid, tactic.threads_per_block)
+                .occupancy(tactic.blocks_per_sm)
+                .flops(cost.flops())
+                .dram_bytes(dram)
+                .l2_bytes(l2)
+                .shared_bytes(panel_total)
+                .l2_working_set(tactic.l2_working_set_bytes())
+                .precision(tactic.precision, tactic.tensor_core)
+                .efficiency(eff)
+        }
+        TacticFamily::Depthwise => {
+            let dram = (cost.input_elems + cost.weight_elems + cost.output_elems) * e;
+            let grid = (cost.output_elems).div_ceil(u64::from(tactic.threads_per_block) * 4);
+            KernelDesc::new(name)
+                .grid(grid.max(1), tactic.threads_per_block)
+                .occupancy(tactic.blocks_per_sm)
+                .flops(cost.flops())
+                .dram_bytes(dram)
+                .precision(tactic.precision, tactic.tensor_core)
+                .efficiency(tactic.base_efficiency)
+        }
+        TacticFamily::Pool
+        | TacticFamily::Lrn
+        | TacticFamily::Pointwise
+        | TacticFamily::Softmax
+        | TacticFamily::Reformat => {
+            let dram = (cost.input_elems + cost.output_elems + cost.weight_elems) * e;
+            let grid = (cost.output_elems.max(cost.input_elems))
+                .div_ceil(u64::from(tactic.threads_per_block) * 4);
+            KernelDesc::new(name)
+                .grid(grid.max(1), tactic.threads_per_block)
+                .occupancy(tactic.blocks_per_sm)
+                .flops(cost.flops())
+                .dram_bytes(dram)
+                .precision(tactic.precision, false)
+                .efficiency(tactic.base_efficiency)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_gpu::device::DeviceSpec;
+    use trtsim_gpu::timing::kernel_busy_us;
+    use trtsim_ir::flops::layer_cost;
+    use trtsim_ir::graph::LayerKind;
+
+    fn conv_case(out_c: usize, in_c: usize, hw: usize) -> (LayerKind, LayerCost, [usize; 3]) {
+        let kind = LayerKind::conv_seeded(out_c, in_c, 3, 1, 1, 0);
+        let out = [out_c, hw, hw];
+        let cost = layer_cost(&kind, &[[in_c, hw, hw]], out);
+        (kind, cost, out)
+    }
+
+    #[test]
+    fn gemm_dims_for_conv() {
+        let (kind, _, out) = conv_case(64, 32, 14);
+        let d = gemm_dims(&kind, out).unwrap();
+        assert_eq!(d.m, 196, "M is spatial in NHWC implicit GEMM");
+        assert_eq!(d.n, 64);
+        assert_eq!(d.k, 32 * 9);
+    }
+
+    #[test]
+    fn descriptor_carries_work_and_traffic() {
+        let (kind, cost, out) = conv_case(64, 32, 14);
+        let t = Tactic::conv_hmma(128, 64, "");
+        let k = kernel_desc(&t, &kind, &cost, out);
+        assert_eq!(k.flops, cost.flops());
+        assert!(k.dram_bytes > 0);
+        assert!(k.grid_blocks >= 1);
+        assert!(k.uses_tensor_cores);
+        assert_eq!(k.l2_working_set_bytes, t.l2_working_set_bytes());
+    }
+
+    #[test]
+    fn fp16_tactic_beats_fp32_on_big_conv() {
+        let (kind, cost, out) = conv_case(256, 256, 28);
+        let dev = DeviceSpec::xavier_nx();
+        let fp16 = kernel_desc(&Tactic::conv_hmma(128, 128, ""), &kind, &cost, out);
+        let fp32 = kernel_desc(&Tactic::conv_fp32(128, 128), &kind, &cost, out);
+        assert!(kernel_busy_us(&fp16, &dev) < kernel_busy_us(&fp32, &dev));
+    }
+
+    #[test]
+    fn tile_mismatch_hurts_efficiency() {
+        // 65 output channels waste almost half of a 128-row tile.
+        let (kind_a, cost_a, out_a) = conv_case(128, 64, 28);
+        let (kind_b, cost_b, out_b) = conv_case(65, 64, 28);
+        let t = Tactic::conv_hmma(128, 64, "");
+        let a = kernel_desc(&t, &kind_a, &cost_a, out_a);
+        let b = kernel_desc(&t, &kind_b, &cost_b, out_b);
+        assert!(b.compute_efficiency < a.compute_efficiency);
+    }
+
+    #[test]
+    fn different_tiles_give_different_grids() {
+        let (kind, cost, out) = conv_case(256, 128, 28);
+        let a = kernel_desc(&Tactic::conv_hmma(256, 64, ""), &kind, &cost, out);
+        let b = kernel_desc(&Tactic::conv_hmma(64, 64, ""), &kind, &cost, out);
+        assert_ne!(a.grid_blocks, b.grid_blocks);
+        assert_ne!(a.name, b.name);
+    }
+
+    #[test]
+    fn pool_kernel_is_memory_bound() {
+        let kind = LayerKind::Pool {
+            kind: trtsim_ir::graph::PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        };
+        let cost = layer_cost(&kind, &[[64, 28, 28]], [64, 14, 14]);
+        let t = crate::catalog::candidate_tactics(&kind, crate::catalog::PrecisionPolicy::fp16())
+            .pop()
+            .unwrap();
+        let k = kernel_desc(&t, &kind, &cost, [64, 14, 14]);
+        let dev = DeviceSpec::xavier_nx();
+        use trtsim_gpu::timing::{compute_time_us, memory_time_us};
+        assert!(memory_time_us(&k, &dev) > compute_time_us(&k, &dev));
+    }
+}

@@ -1,0 +1,499 @@
+//! Order-sensitive numeric execution of tactics.
+//!
+//! The `h884` kernels the paper profiles accumulate in FP16. FP16 addition is
+//! far from associative, so the *order* in which a convolution's products are
+//! summed — which depends on the tactic's tile/chunk geometry — changes the
+//! result. When the autotuner picks different tactics on different builds
+//! (because measured timings carry noise), the same input image can cross a
+//! decision boundary differently: the paper's Finding 2.
+//!
+//! INT8 kernels accumulate in integers (exact and associative); their
+//! numeric identity across builds is a useful control in tests.
+
+use trtsim_gpu::kernel::Precision;
+use trtsim_ir::graph::{Activation, ConvParams};
+use trtsim_ir::tensor::Tensor;
+use trtsim_util::f16::{round_f16, QuantParams};
+
+use crate::tactic::{AccumOrder, Tactic};
+
+/// Calibration scales for INT8 execution of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantDesc {
+    /// Input activation quantization.
+    pub input: QuantParams,
+    /// Weight quantization.
+    pub weights: QuantParams,
+}
+
+/// Accumulates a sequence of values under a tactic's ordering and precision.
+///
+/// For FP16 tactics every partial sum is rounded back onto the binary16 grid
+/// (h884 semantics); chunked orders flush chunk subtotals into an FP32
+/// carry, reproducing split-K behaviour.
+#[derive(Debug, Clone)]
+pub struct Reducer {
+    order: AccumOrder,
+    fp16: bool,
+    scratch: Vec<f32>,
+}
+
+impl Reducer {
+    /// Creates a reducer for the tactic's accumulation semantics.
+    pub fn for_tactic(tactic: &Tactic) -> Self {
+        Self {
+            order: tactic.accum,
+            fp16: tactic.precision == Precision::Fp16,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Reduces `terms` (already precision-rounded products) to a scalar.
+    pub fn reduce(&mut self, terms: &[f32]) -> f32 {
+        match self.order {
+            AccumOrder::Sequential => self.fold_run(terms),
+            AccumOrder::Chunked(chunk) => {
+                let chunk = chunk.max(1) as usize;
+                let mut carry = 0.0f64; // split-K partials combine in FP32-ish carry
+                for c in terms.chunks(chunk) {
+                    carry += f64::from(self.fold_run(c));
+                }
+                carry as f32
+            }
+            AccumOrder::Pairwise => {
+                self.scratch.clear();
+                self.scratch.extend_from_slice(terms);
+                while self.scratch.len() > 1 {
+                    let half = self.scratch.len().div_ceil(2);
+                    for i in 0..self.scratch.len() / 2 {
+                        let s = self.scratch[2 * i] + self.scratch[2 * i + 1];
+                        self.scratch[i] = if self.fp16 { round_f16(s) } else { s };
+                    }
+                    if self.scratch.len() % 2 == 1 {
+                        self.scratch[half - 1] = self.scratch[self.scratch.len() - 1];
+                    }
+                    self.scratch.truncate(half);
+                }
+                self.scratch.first().copied().unwrap_or(0.0)
+            }
+        }
+    }
+
+    fn fold_run(&self, terms: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for &t in terms {
+            acc += t;
+            if self.fp16 {
+                acc = round_f16(acc);
+            }
+        }
+        acc
+    }
+}
+
+/// Executes a convolution under a tactic's numeric semantics.
+///
+/// * FP16 tactics round inputs, weights, and every partial sum to binary16.
+/// * INT8 tactics quantize inputs/weights with `quant` and accumulate exactly.
+/// * FP32 tactics match the reference executor bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if an INT8 tactic is used without calibration scales, or if the
+/// weight blob length mismatches the parameters.
+pub fn conv_forward(
+    params: &ConvParams,
+    input: &Tensor,
+    tactic: &Tactic,
+    quant: Option<&QuantDesc>,
+) -> Tensor {
+    let weights = params.weights.materialize();
+    let bias: Vec<f32> = params.bias.iter().collect();
+    match tactic.precision {
+        Precision::Fp32 => trtsim_ir::ops::conv2d(input, &weights, &bias, params),
+        Precision::Fp16 => conv_fp16(params, input, &weights, &bias, tactic),
+        Precision::Int8 => {
+            let q = quant.expect("INT8 tactic requires calibration scales");
+            conv_int8(params, input, &weights, &bias, q)
+        }
+    }
+}
+
+fn conv_fp16(
+    params: &ConvParams,
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    tactic: &Tactic,
+) -> Tensor {
+    let [ic, ih, iw] = input.shape();
+    assert_eq!(ic, params.in_channels);
+    let (kh, kw) = (params.kernel_h, params.kernel_w);
+    let s = params.stride;
+    let (ph, pw) = (params.pad_h as isize, params.pad_w as isize);
+    let oh = (ih + 2 * params.pad_h - kh) / s + 1;
+    let ow = (iw + 2 * params.pad_w - kw) / s + 1;
+    let cpg_in = params.in_channels / params.groups;
+    let cpg_out = params.out_channels / params.groups;
+
+    // Round operands onto the binary16 grid once (engine weights and
+    // activations are stored as FP16); per-term work is then one product
+    // round plus one accumulate round.
+    let rx: Vec<f32> = input.as_slice().iter().map(|&v| round_f16(v)).collect();
+    let rw: Vec<f32> = weights.iter().map(|&v| round_f16(v)).collect();
+
+    let chunk = match tactic.accum {
+        AccumOrder::Chunked(c) => c.max(1) as usize,
+        AccumOrder::Sequential => usize::MAX,
+        AccumOrder::Pairwise => 0, // buffered path below
+    };
+    let mut pairwise = (tactic.accum == AccumOrder::Pairwise)
+        .then(|| Reducer::for_tactic(tactic));
+    let mut terms: Vec<f32> = Vec::new();
+
+    let mut out = Tensor::zeros([params.out_channels, oh, ow]);
+    for oc in 0..params.out_channels {
+        let group = oc / cpg_out;
+        let b = bias.get(oc).copied().unwrap_or(0.0);
+        let w_base = oc * cpg_in * kh * kw;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                // FP16 accumulator with an FP32-ish carry at chunk flushes
+                // (split-K semantics; see `Reducer`).
+                let mut carry = 0.0f64;
+                let mut chunk_acc = 0.0f32;
+                let mut in_chunk = 0usize;
+                if pairwise.is_some() {
+                    terms.clear();
+                }
+                for icg in 0..cpg_in {
+                    let c_in = group * cpg_in + icg;
+                    for ky in 0..kh {
+                        let iy = (oy * s) as isize + ky as isize - ph;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        let row = (c_in * ih + iy as usize) * iw;
+                        for kx in 0..kw {
+                            let ix = (ox * s) as isize + kx as isize - pw;
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            let product = round_f16(
+                                rx[row + ix as usize]
+                                    * rw[w_base + (icg * kh + ky) * kw + kx],
+                            );
+                            if pairwise.is_some() {
+                                terms.push(product);
+                            } else {
+                                chunk_acc = round_f16(chunk_acc + product);
+                                in_chunk += 1;
+                                if in_chunk == chunk {
+                                    carry += f64::from(chunk_acc);
+                                    chunk_acc = 0.0;
+                                    in_chunk = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+                let acc = match &mut pairwise {
+                    Some(reducer) => reducer.reduce(&terms) + b,
+                    None => (carry + f64::from(chunk_acc)) as f32 + b,
+                };
+                *out.at_mut(oc, oy, ox) = match params.activation {
+                    Some(a) => a.apply(acc),
+                    None => acc,
+                };
+            }
+        }
+    }
+    out
+}
+
+fn conv_int8(
+    params: &ConvParams,
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    quant: &QuantDesc,
+) -> Tensor {
+    let [ic, ih, iw] = input.shape();
+    assert_eq!(ic, params.in_channels);
+    let (kh, kw) = (params.kernel_h, params.kernel_w);
+    let s = params.stride;
+    let (ph, pw) = (params.pad_h as isize, params.pad_w as isize);
+    let oh = (ih + 2 * params.pad_h - kh) / s + 1;
+    let ow = (iw + 2 * params.pad_w - kw) / s + 1;
+    let cpg_in = params.in_channels / params.groups;
+    let cpg_out = params.out_channels / params.groups;
+
+    // Quantize once up front (the engine stores INT8 weights).
+    let qw: Vec<i32> = weights.iter().map(|&w| i32::from(quant.weights.quantize(w))).collect();
+    let qx: Vec<i32> = input
+        .as_slice()
+        .iter()
+        .map(|&x| i32::from(quant.input.quantize(x)))
+        .collect();
+    let out_scale = quant.input.scale * quant.weights.scale;
+
+    let mut out = Tensor::zeros([params.out_channels, oh, ow]);
+    for oc in 0..params.out_channels {
+        let group = oc / cpg_out;
+        let b = bias.get(oc).copied().unwrap_or(0.0);
+        let w_base = oc * cpg_in * kh * kw;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i64 = 0;
+                for icg in 0..cpg_in {
+                    let c_in = group * cpg_in + icg;
+                    for ky in 0..kh {
+                        let iy = (oy * s) as isize + ky as isize - ph;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * s) as isize + kx as isize - pw;
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            let xi = qx[(c_in * ih + iy as usize) * iw + ix as usize];
+                            let wi = qw[w_base + (icg * kh + ky) * kw + kx];
+                            acc += i64::from(xi) * i64::from(wi);
+                        }
+                    }
+                }
+                let v = acc as f32 * out_scale + b;
+                *out.at_mut(oc, oy, ox) = match params.activation {
+                    Some(a) => a.apply(v),
+                    None => v,
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Executes a fully-connected layer under a tactic's numeric semantics
+/// (FP16 tactics round operands and partials to binary16 in tactic order).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != out_features · input.len()` or an INT8 tactic
+/// is used (FC layers in the catalog are FP16/FP32 only).
+pub fn fc_forward(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_features: usize,
+    activation: Option<Activation>,
+    tactic: &Tactic,
+) -> Tensor {
+    match tactic.precision {
+        Precision::Fp32 => {
+            trtsim_ir::ops::inner_product(input, weights, bias, out_features, activation)
+        }
+        Precision::Int8 => panic!("INT8 fully-connected tactics are not in the catalog"),
+        Precision::Fp16 => {
+            let in_features = input.len();
+            assert_eq!(weights.len(), out_features * in_features, "fc weight mismatch");
+            let mut reducer = Reducer::for_tactic(tactic);
+            let mut terms = Vec::with_capacity(in_features);
+            let x = input.as_slice();
+            let mut out = Tensor::zeros([out_features, 1, 1]);
+            for o in 0..out_features {
+                terms.clear();
+                let row = &weights[o * in_features..(o + 1) * in_features];
+                for (xi, wi) in x.iter().zip(row.iter()) {
+                    terms.push(round_f16(round_f16(*xi) * round_f16(*wi)));
+                }
+                let acc = reducer.reduce(&terms) + bias.get(o).copied().unwrap_or(0.0);
+                *out.at_mut(o, 0, 0) = match activation {
+                    Some(a) => a.apply(acc),
+                    None => acc,
+                };
+            }
+            out
+        }
+    }
+}
+
+/// Rounds an activation tensor onto a precision's grid (kernel-boundary
+/// fake quantization for non-GEMM layers in reduced-precision engines).
+pub fn apply_precision(tensor: &mut Tensor, precision: Precision) {
+    match precision {
+        Precision::Fp32 => {}
+        Precision::Fp16 => tensor.map_inplace(round_f16),
+        Precision::Int8 => {
+            let q = QuantParams::calibrate(tensor.as_slice());
+            tensor.map_inplace(|x| q.round_trip(x));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_ir::graph::LayerKind;
+    use trtsim_ir::weights::Weights;
+    use trtsim_util::rng::Pcg32;
+
+    fn test_conv(seed: u64) -> ConvParams {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let len = 8 * 8 * 3 * 3;
+        ConvParams {
+            out_channels: 8,
+            in_channels: 8,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            pad_h: 1,
+            pad_w: 1,
+            groups: 1,
+            weights: Weights::Dense((0..len).map(|_| rng.normal() as f32 * 0.2).collect()),
+            bias: Weights::Dense(vec![0.01; 8]),
+            activation: Some(Activation::Relu),
+        }
+    }
+
+    fn test_input(seed: u64) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Tensor::from_fn([8, 8, 8], |_, _, _| rng.normal() as f32)
+    }
+
+    #[test]
+    fn fp32_tactic_matches_reference() {
+        let params = test_conv(1);
+        let input = test_input(2);
+        let t = Tactic::conv_fp32(128, 64);
+        let got = conv_forward(&params, &input, &t, None);
+        let w = params.weights.materialize();
+        let b: Vec<f32> = params.bias.iter().collect();
+        let want = trtsim_ir::ops::conv2d(&input, &w, &b, &params);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fp16_is_close_but_not_equal_to_fp32() {
+        let params = test_conv(3);
+        let input = test_input(4);
+        let fp32 = conv_forward(&params, &input, &Tactic::conv_fp32(128, 64), None);
+        let fp16 = conv_forward(&params, &input, &Tactic::conv_hmma(128, 64, ""), None);
+        let mut max_rel = 0.0f32;
+        let mut any_diff = false;
+        for (a, b) in fp32.as_slice().iter().zip(fp16.as_slice()) {
+            if a != b {
+                any_diff = true;
+            }
+            if a.abs() > 0.1 {
+                max_rel = max_rel.max((a - b).abs() / a.abs());
+            }
+        }
+        assert!(any_diff, "fp16 should differ in low-order bits");
+        assert!(max_rel < 0.05, "fp16 error too large: {max_rel}");
+    }
+
+    #[test]
+    fn different_tiles_produce_different_fp16_results() {
+        // The heart of Finding 2: same layer, same input, different tactic ⇒
+        // different accumulation order ⇒ different bits.
+        let params = test_conv(5);
+        let input = test_input(6);
+        let a = conv_forward(&params, &input, &Tactic::conv_hmma(256, 64, ""), None);
+        let b = conv_forward(&params, &input, &Tactic::conv_hmma(128, 128, ""), None);
+        assert_ne!(a, b);
+        // But they agree to FP16 tolerance.
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= 0.01 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn int8_is_deterministic_across_tile_choices() {
+        let params = test_conv(7);
+        let input = test_input(8);
+        let q = QuantDesc {
+            input: QuantParams::calibrate(input.as_slice()),
+            weights: QuantParams::calibrate(&params.weights.materialize()),
+        };
+        let a = conv_forward(&params, &input, &Tactic::conv_int8(128, 64), Some(&q));
+        let b = conv_forward(&params, &input, &Tactic::conv_int8(256, 64), Some(&q));
+        assert_eq!(a, b, "integer accumulation is associative");
+    }
+
+    #[test]
+    fn int8_tracks_fp32_within_quant_error() {
+        let params = test_conv(9);
+        let input = test_input(10);
+        let q = QuantDesc {
+            input: QuantParams::calibrate(input.as_slice()),
+            weights: QuantParams::calibrate(&params.weights.materialize()),
+        };
+        let fp32 = conv_forward(&params, &input, &Tactic::conv_fp32(128, 64), None);
+        let int8 = conv_forward(&params, &input, &Tactic::conv_int8(128, 64), Some(&q));
+        let amax = fp32.amax();
+        for (a, b) in fp32.as_slice().iter().zip(int8.as_slice()) {
+            assert!((a - b).abs() < 0.08 * amax, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reducer_orders_differ_on_adversarial_input() {
+        let t_seq = Tactic::conv_fp32(1, 1); // sequential fp32
+        let mut seq = Reducer::for_tactic(&t_seq);
+        let mut chunked = Reducer {
+            order: AccumOrder::Chunked(2),
+            fp16: true,
+            scratch: Vec::new(),
+        };
+        let mut pair = Reducer {
+            order: AccumOrder::Pairwise,
+            fp16: true,
+            scratch: Vec::new(),
+        };
+        let terms: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 + i as f32 * 1e-3 } else { -1.0 })
+            .collect();
+        let a = seq.reduce(&terms);
+        let b = chunked.reduce(&terms);
+        let c = pair.reduce(&terms);
+        // All approximate the same sum...
+        let exact: f32 = terms.iter().sum();
+        for v in [a, b, c] {
+            assert!((v - exact).abs() < 0.1);
+        }
+        // ...but fp16 orders disagree with exact sequential fp32.
+        assert!(b != a || c != a);
+    }
+
+    #[test]
+    fn reducer_handles_empty_and_single() {
+        let mut r = Reducer::for_tactic(&Tactic::conv_hmma(128, 64, ""));
+        assert_eq!(r.reduce(&[]), 0.0);
+        assert_eq!(r.reduce(&[2.5]), 2.5);
+    }
+
+    #[test]
+    fn apply_precision_fp16_rounds() {
+        let mut t = Tensor::from_vec([1, 1, 2], vec![1.0 / 3.0, 1.0]);
+        apply_precision(&mut t, Precision::Fp16);
+        assert_ne!(t.at(0, 0, 0), 1.0 / 3.0);
+        assert_eq!(t.at(0, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn depthwise_numeric_fp16_runs() {
+        let mut params = match LayerKind::conv_seeded(4, 4, 3, 1, 1, 0) {
+            LayerKind::Conv(c) => c,
+            _ => unreachable!(),
+        };
+        params.groups = 4;
+        params.weights = Weights::Dense(vec![0.5; 4 * 9]);
+        let input = test_input(11);
+        let input = Tensor::from_vec([4, 8, 8], input.as_slice()[..4 * 64].to_vec());
+        let mut t = Tactic::conv_hmma(64, 64, "");
+        t.family = crate::tactic::TacticFamily::Depthwise;
+        let out = conv_forward(&params, &input, &t, None);
+        assert_eq!(out.shape(), [4, 8, 8]);
+    }
+}

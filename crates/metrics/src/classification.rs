@@ -1,0 +1,109 @@
+//! Top-1 error and output-consistency metrics.
+
+/// Top-1 error in percent: fraction of predictions differing from labels.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// let err = trtsim_metrics::top1_error_percent(&[0, 1, 2, 2], &[0, 1, 1, 2]);
+/// assert_eq!(err, 25.0);
+/// ```
+pub fn top1_error_percent(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "no predictions");
+    let wrong = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p != l)
+        .count();
+    100.0 * wrong as f64 / predictions.len() as f64
+}
+
+/// Output-consistency comparison between two engines' predictions on the
+/// same inputs (the paper's Tables V/VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsistencyReport {
+    /// Total predictions compared.
+    pub total: usize,
+    /// Predictions where the two engines disagreed.
+    pub mismatches: usize,
+}
+
+impl ConsistencyReport {
+    /// Mismatch rate in percent.
+    pub fn mismatch_percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.mismatches as f64 / self.total as f64
+        }
+    }
+
+    /// Scales the mismatch count to the paper's corpus size (60 000
+    /// predictions) for side-by-side comparison with Tables V/VI.
+    pub fn scaled_to(&self, corpus: usize) -> f64 {
+        self.mismatch_percent() / 100.0 * corpus as f64
+    }
+}
+
+/// Counts prediction disagreements between two engines.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn consistency(a: &[usize], b: &[usize]) -> ConsistencyReport {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    ConsistencyReport {
+        total: a.len(),
+        mismatches: a.iter().zip(b).filter(|(x, y)| x != y).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        assert_eq!(top1_error_percent(&[1, 2, 3], &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn all_wrong_is_hundred() {
+        assert_eq!(top1_error_percent(&[0, 0], &[1, 1]), 100.0);
+    }
+
+    #[test]
+    fn consistency_counts_mismatches() {
+        let r = consistency(&[1, 2, 3, 4], &[1, 9, 3, 9]);
+        assert_eq!(r.total, 4);
+        assert_eq!(r.mismatches, 2);
+        assert_eq!(r.mismatch_percent(), 50.0);
+    }
+
+    #[test]
+    fn identical_engines_are_consistent() {
+        let r = consistency(&[5; 100], &[5; 100]);
+        assert_eq!(r.mismatches, 0);
+    }
+
+    #[test]
+    fn scaling_to_paper_corpus() {
+        // 0.5% of 60,000 = 300 — the middle of the paper's Table V range.
+        let r = ConsistencyReport {
+            total: 1000,
+            mismatches: 5,
+        };
+        assert_eq!(r.scaled_to(60_000), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        top1_error_percent(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Object-detection precision/recall at an IoU threshold.
+//!
+//! The paper: "IOU of 0.5 is traditionally considered a true positive, with
+//! precision increasing as IOU tends towards 1. We report precision and
+//! recall values corresponding to IOU 0.75."
+
+use trtsim_data::traffic::BBox;
+
+/// Aggregated detection outcome over a test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectionEval {
+    /// Predictions matched to ground truth at the threshold.
+    pub true_positives: usize,
+    /// Predictions with no matching ground truth.
+    pub false_positives: usize,
+    /// Ground truths with no matching prediction.
+    pub false_negatives: usize,
+}
+
+impl DetectionEval {
+    /// Precision: TP / (TP + FP); 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall: TP / (TP + FN); 1.0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Accumulates another image's outcome.
+    pub fn merge(&mut self, other: &DetectionEval) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// Greedy one-to-one matching of predictions to ground truth at the IoU
+/// threshold; classes must also match.
+///
+/// Predictions are taken in the given order (callers sort by confidence);
+/// each ground-truth box matches at most one prediction.
+pub fn precision_recall(predictions: &[BBox], ground_truth: &[BBox], iou_threshold: f32) -> DetectionEval {
+    let mut matched = vec![false; ground_truth.len()];
+    let mut eval = DetectionEval::default();
+    for pred in predictions {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, gt) in ground_truth.iter().enumerate() {
+            if matched[i] || gt.class != pred.class {
+                continue;
+            }
+            let iou = pred.iou(gt);
+            if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
+                best = Some((i, iou));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                matched[i] = true;
+                eval.true_positives += 1;
+            }
+            None => eval.false_positives += 1,
+        }
+    }
+    eval.false_negatives = matched.iter().filter(|&&m| !m).count();
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_data::traffic::VehicleClass;
+
+    fn car(x: f32, y: f32, w: f32, h: f32) -> BBox {
+        BBox {
+            x,
+            y,
+            w,
+            h,
+            class: VehicleClass::Car,
+        }
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let gt = [car(0.0, 0.0, 10.0, 10.0), car(50.0, 50.0, 8.0, 8.0)];
+        let eval = precision_recall(&gt, &gt, 0.75);
+        assert_eq!(eval.true_positives, 2);
+        assert_eq!(eval.precision(), 1.0);
+        assert_eq!(eval.recall(), 1.0);
+    }
+
+    #[test]
+    fn shifted_box_fails_at_high_iou_passes_at_low() {
+        let gt = [car(0.0, 0.0, 10.0, 10.0)];
+        let pred = [car(2.0, 0.0, 10.0, 10.0)]; // IoU = 8/12 ≈ 0.667
+        let strict = precision_recall(&pred, &gt, 0.75);
+        assert_eq!(strict.true_positives, 0);
+        assert_eq!(strict.false_positives, 1);
+        let loose = precision_recall(&pred, &gt, 0.5);
+        assert_eq!(loose.true_positives, 1);
+    }
+
+    #[test]
+    fn class_mismatch_is_false_positive() {
+        let gt = [car(0.0, 0.0, 10.0, 10.0)];
+        let pred = [BBox {
+            class: VehicleClass::Bus,
+            ..gt[0]
+        }];
+        let eval = precision_recall(&pred, &gt, 0.5);
+        assert_eq!(eval.true_positives, 0);
+        assert_eq!(eval.false_positives, 1);
+        assert_eq!(eval.false_negatives, 1);
+    }
+
+    #[test]
+    fn each_gt_matches_once() {
+        let gt = [car(0.0, 0.0, 10.0, 10.0)];
+        let pred = [car(0.0, 0.0, 10.0, 10.0), car(0.5, 0.0, 10.0, 10.0)];
+        let eval = precision_recall(&pred, &gt, 0.5);
+        assert_eq!(eval.true_positives, 1);
+        assert_eq!(eval.false_positives, 1);
+    }
+
+    #[test]
+    fn missed_boxes_are_false_negatives() {
+        let gt = [car(0.0, 0.0, 10.0, 10.0), car(30.0, 30.0, 10.0, 10.0)];
+        let pred = [car(0.0, 0.0, 10.0, 10.0)];
+        let eval = precision_recall(&pred, &gt, 0.75);
+        assert_eq!(eval.false_negatives, 1);
+        assert_eq!(eval.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let eval = precision_recall(&[], &[], 0.75);
+        assert_eq!(eval.precision(), 1.0);
+        assert_eq!(eval.recall(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DetectionEval {
+            true_positives: 1,
+            false_positives: 2,
+            false_negatives: 3,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.true_positives, 2);
+        assert_eq!(a.false_negatives, 6);
+    }
+}

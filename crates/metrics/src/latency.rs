@@ -1,0 +1,87 @@
+//! Latency aggregation and the paper's table-cell formatting.
+
+use trtsim_util::stats::RunningStats;
+
+/// A latency table cell: mean and standard deviation over repeated runs, in
+/// milliseconds, printed like the paper's "12.65 (0.05)".
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_metrics::LatencyCell;
+/// let cell = LatencyCell::from_runs_us(&[12_600.0, 12_700.0]);
+/// assert_eq!(format!("{cell}"), "12.65 (0.07)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyCell {
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Sample standard deviation, ms.
+    pub std_ms: f64,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+impl LatencyCell {
+    /// Aggregates per-run latencies given in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs_us` is empty.
+    pub fn from_runs_us(runs_us: &[f64]) -> Self {
+        assert!(!runs_us.is_empty(), "no runs");
+        let stats: RunningStats = runs_us.iter().map(|us| us / 1000.0).collect();
+        Self {
+            mean_ms: stats.mean(),
+            std_ms: stats.std_dev(),
+            runs: runs_us.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ({:.2})", self.mean_ms, self.std_ms)
+    }
+}
+
+/// Frames per second from a mean latency in microseconds.
+///
+/// # Panics
+///
+/// Panics if `latency_us` is not positive.
+pub fn fps_from_latency_us(latency_us: f64) -> f64 {
+    assert!(latency_us > 0.0, "latency must be positive");
+    1e6 / latency_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_aggregates_and_formats() {
+        let cell = LatencyCell::from_runs_us(&[10_000.0, 12_000.0, 14_000.0]);
+        assert!((cell.mean_ms - 12.0).abs() < 1e-9);
+        assert_eq!(cell.runs, 3);
+        assert!(format!("{cell}").starts_with("12.00 ("));
+    }
+
+    #[test]
+    fn fps_inverts_latency() {
+        assert_eq!(fps_from_latency_us(10_000.0), 100.0);
+        assert!((fps_from_latency_us(4_405.0) - 227.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let cell = LatencyCell::from_runs_us(&[5_000.0]);
+        assert_eq!(cell.std_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be positive")]
+    fn zero_latency_rejected() {
+        fps_from_latency_us(0.0);
+    }
+}

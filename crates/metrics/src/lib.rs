@@ -1,0 +1,18 @@
+//! Evaluation metrics used by every experiment harness (paper §II-E).
+//!
+//! * [`classification`] — top-1 error and cross-engine output-consistency
+//!   counting (Tables III–VI).
+//! * [`detection`] — IoU-thresholded precision/recall for object detection
+//!   (the paper reports IoU 0.75).
+//! * [`latency`] — mean(σ) latency formatting matching the paper's
+//!   "12.65 (0.05)" table cells, plus FPS computation.
+
+#![warn(missing_docs)]
+
+pub mod classification;
+pub mod detection;
+pub mod latency;
+
+pub use classification::{consistency, top1_error_percent, ConsistencyReport};
+pub use detection::{precision_recall, DetectionEval};
+pub use latency::{fps_from_latency_us, LatencyCell};

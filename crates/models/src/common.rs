@@ -1,0 +1,332 @@
+//! Incremental network-construction helper used by every zoo model.
+
+use trtsim_ir::graph::{
+    Activation, ConvParams, EltwiseOp, Graph, LayerKind, NodeId, PoolKind,
+};
+use trtsim_ir::shape;
+use trtsim_ir::weights::Weights;
+use trtsim_util::derive_seed;
+
+/// Builds graphs layer by layer with automatic shape tracking and seeded
+/// weights derived from the model name.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_models::common::NetBuilder;
+/// use trtsim_ir::graph::{Activation, Graph};
+///
+/// let mut b = NetBuilder::new("demo", [3, 32, 32]);
+/// let c = b.conv(Graph::INPUT, 16, 3, 1, 1, Some(Activation::Relu));
+/// let p = b.max_pool(c, 2, 2, 0);
+/// assert_eq!(b.shape(p), [16, 16, 16]);
+/// let g = b.finish(&[p]);
+/// assert!(g.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct NetBuilder {
+    graph: Graph,
+    shapes: Vec<[usize; 3]>,
+    seed: u64,
+    counter: u64,
+}
+
+impl NetBuilder {
+    /// Starts a network named `name` with the given input shape.
+    pub fn new(name: &str, input: [usize; 3]) -> Self {
+        let seed = derive_seed(0x7a_11_c0_de, name, 0);
+        Self {
+            graph: Graph::new(name.to_string(), input),
+            shapes: vec![input],
+            seed,
+            counter: 0,
+        }
+    }
+
+    /// Output shape of a node.
+    pub fn shape(&self, id: NodeId) -> [usize; 3] {
+        self.shapes[id]
+    }
+
+    /// The graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    pub(crate) fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    pub(crate) fn shapes_mut(&mut self) -> &mut Vec<[usize; 3]> {
+        &mut self.shapes
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.counter += 1;
+        derive_seed(self.seed, "layer", self.counter)
+    }
+
+    fn push(&mut self, name: String, kind: LayerKind, inputs: &[NodeId]) -> NodeId {
+        let in_shapes: Vec<[usize; 3]> = inputs.iter().map(|&i| self.shapes[i]).collect();
+        let out = shape::infer(&kind, &in_shapes, &name)
+            .unwrap_or_else(|e| panic!("model construction error at {name}: {e}"));
+        let id = self.graph.add_layer(name, kind, inputs);
+        self.shapes.push(out);
+        id
+    }
+
+    /// A square convolution with seeded weights; input channels inferred.
+    pub fn conv(
+        &mut self,
+        from: NodeId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        activation: Option<Activation>,
+    ) -> NodeId {
+        self.conv_grouped(from, out_channels, kernel, stride, pad, 1, activation)
+    }
+
+    /// A grouped convolution (`groups == in == out` is depthwise).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_grouped(
+        &mut self,
+        from: NodeId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        activation: Option<Activation>,
+    ) -> NodeId {
+        self.conv_full(from, out_channels, (kernel, kernel), stride, (pad, pad), groups, activation)
+    }
+
+    /// A rectangular convolution (Inception-style 1×7 / 7×1 factorizations).
+    pub fn conv_rect(
+        &mut self,
+        from: NodeId,
+        out_channels: usize,
+        kernel: (usize, usize),
+        pad: (usize, usize),
+        activation: Option<Activation>,
+    ) -> NodeId {
+        self.conv_full(from, out_channels, kernel, 1, pad, 1, activation)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conv_full(
+        &mut self,
+        from: NodeId,
+        out_channels: usize,
+        (kh, kw): (usize, usize),
+        stride: usize,
+        (ph, pw): (usize, usize),
+        groups: usize,
+        activation: Option<Activation>,
+    ) -> NodeId {
+        let in_channels = self.shapes[from][0];
+        let len = out_channels * (in_channels / groups) * kh * kw;
+        let seed = self.next_seed();
+        let name = format!("conv{}", self.counter);
+        let params = ConvParams {
+            out_channels,
+            in_channels,
+            kernel_h: kh,
+            kernel_w: kw,
+            stride,
+            pad_h: ph,
+            pad_w: pw,
+            groups,
+            weights: Weights::seeded_he(seed, len, (in_channels / groups) * kh * kw),
+            bias: Weights::Dense(vec![0.0; out_channels]),
+            activation,
+        };
+        self.push(name, LayerKind::Conv(params), &[from])
+    }
+
+    /// Max pooling.
+    pub fn max_pool(&mut self, from: NodeId, kernel: usize, stride: usize, pad: usize) -> NodeId {
+        let name = format!("pool{}_max", self.counter);
+        self.push(
+            name,
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel,
+                stride,
+                pad,
+            },
+            &[from],
+        )
+    }
+
+    /// Average pooling.
+    pub fn avg_pool(&mut self, from: NodeId, kernel: usize, stride: usize, pad: usize) -> NodeId {
+        let name = format!("pool{}_avg", self.counter);
+        self.push(
+            name,
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                kernel,
+                stride,
+                pad,
+            },
+            &[from],
+        )
+    }
+
+    /// Global pooling to `[c, 1, 1]`.
+    pub fn global_pool(&mut self, from: NodeId, kind: PoolKind) -> NodeId {
+        let name = format!("gpool{}", self.counter);
+        self.push(name, LayerKind::GlobalPool { kind }, &[from])
+    }
+
+    /// Across-channel LRN with AlexNet's parameters.
+    pub fn lrn(&mut self, from: NodeId) -> NodeId {
+        let name = format!("lrn{}", self.counter);
+        self.push(
+            name,
+            LayerKind::Lrn {
+                local_size: 5,
+                alpha: 1e-4,
+                beta: 0.75,
+                k: 1.0,
+            },
+            &[from],
+        )
+    }
+
+    /// Fully-connected layer with seeded weights; input features inferred.
+    pub fn fc(&mut self, from: NodeId, out_features: usize, activation: Option<Activation>) -> NodeId {
+        let s = self.shapes[from];
+        let in_features = s[0] * s[1] * s[2];
+        let seed = self.next_seed();
+        let name = format!("fc{}", self.counter);
+        self.push(
+            name,
+            LayerKind::InnerProduct {
+                out_features,
+                in_features,
+                weights: Weights::seeded_he(seed, out_features * in_features, in_features),
+                bias: Weights::Dense(vec![0.0; out_features]),
+                activation,
+            },
+            &[from],
+        )
+    }
+
+    /// Channel concatenation.
+    pub fn concat(&mut self, inputs: &[NodeId]) -> NodeId {
+        let name = format!("concat{}", self.counter);
+        self.push(name, LayerKind::Concat, inputs)
+    }
+
+    /// Element-wise sum (residual join).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let name = format!("add{}", self.counter);
+        self.push(name, LayerKind::Eltwise { op: EltwiseOp::Sum }, &[a, b])
+    }
+
+    /// Standalone activation.
+    pub fn act(&mut self, from: NodeId, activation: Activation) -> NodeId {
+        let name = format!("act{}", self.counter);
+        self.push(name, LayerKind::Act(activation), &[from])
+    }
+
+    /// Softmax head.
+    pub fn softmax(&mut self, from: NodeId) -> NodeId {
+        let name = format!("softmax{}", self.counter);
+        self.push(name, LayerKind::Softmax, &[from])
+    }
+
+    /// Flatten to a feature vector.
+    pub fn flatten(&mut self, from: NodeId) -> NodeId {
+        let name = format!("flatten{}", self.counter);
+        self.push(name, LayerKind::Flatten, &[from])
+    }
+
+    /// Dropout (inference no-op; exercised by dead-layer removal).
+    pub fn dropout(&mut self, from: NodeId, rate: f32) -> NodeId {
+        let name = format!("dropout{}", self.counter);
+        self.push(name, LayerKind::Dropout { rate }, &[from])
+    }
+
+    /// Nearest-neighbour upsampling.
+    pub fn upsample(&mut self, from: NodeId, factor: usize) -> NodeId {
+        let name = format!("upsample{}", self.counter);
+        self.push(name, LayerKind::Upsample { factor }, &[from])
+    }
+
+    /// Finalizes the graph with the given outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting graph fails validation (a model-definition
+    /// bug, not a runtime condition).
+    pub fn finish(mut self, outputs: &[NodeId]) -> Graph {
+        for &o in outputs {
+            self.graph.mark_output(o);
+        }
+        self.graph
+            .validate()
+            .unwrap_or_else(|e| panic!("model `{}` invalid: {e}", self.graph.name()));
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_track_layers() {
+        let mut b = NetBuilder::new("t", [3, 32, 32]);
+        let c = b.conv(Graph::INPUT, 8, 3, 2, 1, Some(Activation::Relu));
+        assert_eq!(b.shape(c), [8, 16, 16]);
+        let p = b.max_pool(c, 2, 2, 0);
+        assert_eq!(b.shape(p), [8, 8, 8]);
+        let f = b.flatten(p);
+        assert_eq!(b.shape(f), [512, 1, 1]);
+        let fc = b.fc(f, 10, None);
+        assert_eq!(b.shape(fc), [10, 1, 1]);
+        let g = b.finish(&[fc]);
+        assert_eq!(g.conv_count(), 1);
+    }
+
+    #[test]
+    fn seeds_differ_per_layer() {
+        let mut b = NetBuilder::new("t", [3, 8, 8]);
+        let c1 = b.conv(Graph::INPUT, 4, 3, 1, 1, None);
+        let c2 = b.conv(c1, 4, 3, 1, 1, None);
+        let w1 = match &b.graph().node(c1).kind {
+            LayerKind::Conv(c) => c.weights.clone(),
+            _ => unreachable!(),
+        };
+        let w2 = match &b.graph().node(c2).kind {
+            LayerKind::Conv(c) => c.weights.clone(),
+            _ => unreachable!(),
+        };
+        assert_ne!(
+            w1.iter().collect::<Vec<_>>(),
+            w2.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn same_name_same_network() {
+        let build = || {
+            let mut b = NetBuilder::new("stable", [3, 8, 8]);
+            let c = b.conv(Graph::INPUT, 4, 3, 1, 1, None);
+            b.finish(&[c])
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "model construction error")]
+    fn bad_layer_panics_at_construction() {
+        let mut b = NetBuilder::new("t", [3, 4, 4]);
+        b.max_pool(Graph::INPUT, 9, 1, 0); // window larger than input
+    }
+}

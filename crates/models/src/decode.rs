@@ -1,0 +1,232 @@
+//! Detection-head decoding: YOLO grid outputs → boxes, plus NMS.
+//!
+//! The zoo's detectors emit raw prediction grids (the tensors TensorRT
+//! returns); turning them into boxes is host-side post-processing, exactly
+//! the code an application like the paper's intersection controller runs
+//! after each inference.
+
+use trtsim_ir::tensor::Tensor;
+
+/// One decoded detection, in input-image pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Left edge.
+    pub x: f32,
+    /// Top edge.
+    pub y: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+    /// Objectness × class probability.
+    pub confidence: f32,
+    /// Class index.
+    pub class: usize,
+}
+
+impl Detection {
+    /// Intersection-over-union with another detection.
+    pub fn iou(&self, other: &Detection) -> f32 {
+        let x1 = self.x.max(other.x);
+        let y1 = self.y.max(other.y);
+        let x2 = (self.x + self.w).min(other.x + other.w);
+        let y2 = (self.y + self.h).min(other.y + other.h);
+        let inter = (x2 - x1).max(0.0) * (y2 - y1).max(0.0);
+        let union = self.w * self.h + other.w * other.h - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Decodes one YOLOv3-style grid: `map` has `anchors.len() · (5 + classes)`
+/// channels over a `gh × gw` grid; boxes come out in `input_dim`-pixel
+/// coordinates. Detections below `conf_threshold` are dropped.
+///
+/// # Panics
+///
+/// Panics if the channel count does not match `anchors.len() · (5 + classes)`.
+pub fn decode_yolo_grid(
+    map: &Tensor,
+    anchors: &[(f32, f32)],
+    classes: usize,
+    input_dim: usize,
+    conf_threshold: f32,
+) -> Vec<Detection> {
+    let [c, gh, gw] = map.shape();
+    let per_anchor = 5 + classes;
+    assert_eq!(
+        c,
+        anchors.len() * per_anchor,
+        "channel count {c} != {} anchors x {per_anchor}",
+        anchors.len()
+    );
+    let cell_w = input_dim as f32 / gw as f32;
+    let cell_h = input_dim as f32 / gh as f32;
+    let mut out = Vec::new();
+    for (a, &(aw, ah)) in anchors.iter().enumerate() {
+        let base = a * per_anchor;
+        for gy in 0..gh {
+            for gx in 0..gw {
+                let objectness = sigmoid(map.at(base + 4, gy, gx));
+                if objectness < conf_threshold {
+                    continue;
+                }
+                let (mut best_class, mut best_p) = (0usize, 0.0f32);
+                for k in 0..classes {
+                    let p = sigmoid(map.at(base + 5 + k, gy, gx));
+                    if p > best_p {
+                        best_p = p;
+                        best_class = k;
+                    }
+                }
+                let confidence = objectness * best_p;
+                if confidence < conf_threshold {
+                    continue;
+                }
+                let bx = (gx as f32 + sigmoid(map.at(base, gy, gx))) * cell_w;
+                let by = (gy as f32 + sigmoid(map.at(base + 1, gy, gx))) * cell_h;
+                let bw = aw * map.at(base + 2, gy, gx).exp();
+                let bh = ah * map.at(base + 3, gy, gx).exp();
+                out.push(Detection {
+                    x: bx - bw / 2.0,
+                    y: by - bh / 2.0,
+                    w: bw,
+                    h: bh,
+                    confidence,
+                    class: best_class,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Greedy per-class non-maximum suppression; keeps detections in descending
+/// confidence, dropping any that overlap a kept same-class box at IoU ≥
+/// `iou_threshold`.
+pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+    let mut kept: Vec<Detection> = Vec::new();
+    for d in detections {
+        let suppressed = kept
+            .iter()
+            .any(|k| k.class == d.class && k.iou(&d) >= iou_threshold);
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    kept
+}
+
+/// Tiny-YOLOv3's anchors for its two scales (13×13 then 26×26), pixels.
+pub fn tiny_yolov3_anchors() -> [Vec<(f32, f32)>; 2] {
+    [
+        vec![(81.0, 82.0), (135.0, 169.0), (344.0, 319.0)],
+        vec![(10.0, 14.0), (23.0, 27.0), (37.0, 58.0)],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a grid with one strong detection at a known cell.
+    fn one_hot_grid(classes: usize) -> Tensor {
+        let anchors = 3;
+        let mut t = Tensor::zeros([anchors * (5 + classes), 4, 4]);
+        // Everything starts at logit 0 → sigmoid 0.5; suppress objectness.
+        for a in 0..anchors {
+            let base = a * (5 + classes);
+            for y in 0..4 {
+                for x in 0..4 {
+                    *t.at_mut(base + 4, y, x) = -10.0;
+                }
+            }
+        }
+        // One strong hit: anchor 1, cell (2, 1), class 2.
+        let base = 5 + classes;
+        *t.at_mut(base + 4, 2, 1) = 8.0; // objectness
+        *t.at_mut(base + 5 + 2, 2, 1) = 8.0; // class 2
+        *t.at_mut(base, 2, 1) = 0.0; // tx -> center of cell
+        *t.at_mut(base + 1, 2, 1) = 0.0;
+        t
+    }
+
+    #[test]
+    fn decodes_the_planted_detection() {
+        let grid = one_hot_grid(4);
+        let anchors = vec![(20.0, 20.0), (40.0, 40.0), (80.0, 80.0)];
+        let dets = decode_yolo_grid(&grid, &anchors, 4, 128, 0.5);
+        assert_eq!(dets.len(), 1);
+        let d = dets[0];
+        assert_eq!(d.class, 2);
+        assert!(d.confidence > 0.9);
+        // Cell (2,1) of a 4-grid over 128px: center (48, 80); anchor 40x40.
+        assert!((d.x - (48.0 - 20.0)).abs() < 1.0, "x {}", d.x);
+        assert!((d.y - (80.0 - 20.0)).abs() < 1.0, "y {}", d.y);
+        assert!((d.w - 40.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn threshold_filters_everything_when_high() {
+        let grid = one_hot_grid(4);
+        let anchors = vec![(20.0, 20.0), (40.0, 40.0), (80.0, 80.0)];
+        assert!(decode_yolo_grid(&grid, &anchors, 4, 128, 0.9999).is_empty());
+    }
+
+    #[test]
+    fn nms_suppresses_overlaps_keeps_distinct() {
+        let d = |x: f32, conf: f32, class: usize| Detection {
+            x,
+            y: 0.0,
+            w: 10.0,
+            h: 10.0,
+            confidence: conf,
+            class,
+        };
+        let kept = nms(
+            vec![d(0.0, 0.9, 0), d(1.0, 0.8, 0), d(50.0, 0.7, 0), d(1.0, 0.6, 1)],
+            0.5,
+        );
+        // The 0.8 box overlaps the 0.9 box (same class): suppressed. The far
+        // box and the different-class box survive.
+        assert_eq!(kept.len(), 3);
+        assert!((kept[0].confidence - 0.9).abs() < 1e-6);
+        assert!(kept.iter().any(|k| k.class == 1));
+    }
+
+    #[test]
+    fn iou_identity() {
+        let d = Detection {
+            x: 0.0,
+            y: 0.0,
+            w: 5.0,
+            h: 5.0,
+            confidence: 1.0,
+            class: 0,
+        };
+        assert!((d.iou(&d) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decodes_real_tiny_yolo_output_shapes() {
+        // The zoo model's det1 output is [255, 13, 13] = 3 anchors x 85.
+        let grid = Tensor::zeros([255, 13, 13]);
+        let dets = decode_yolo_grid(&grid, &tiny_yolov3_anchors()[0], 80, 416, 0.3);
+        assert!(dets.is_empty(), "all-zero logits give conf 0.25 < 0.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count")]
+    fn wrong_channels_panic() {
+        let grid = Tensor::zeros([10, 4, 4]);
+        decode_yolo_grid(&grid, &[(1.0, 1.0)], 4, 64, 0.5);
+    }
+}

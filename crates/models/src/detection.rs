@@ -1,0 +1,304 @@
+//! The detection networks of Table II: ssd-inception-v2, the DetectNet
+//! family (Detectnet-Coco-Dog / pednet / facenet), Tiny-YOLOv3,
+//! MobileNetV1-SSD, and MTCNN.
+//!
+//! Layer counts match Table II; channel plans follow the published
+//! architectures, with SSD head geometry simplified to square kernels.
+
+use trtsim_ir::graph::{Activation, Graph, NodeId, PoolKind};
+
+use crate::common::NetBuilder;
+
+const RELU: Option<Activation> = Some(Activation::Relu);
+const LEAKY: Option<Activation> = Some(Activation::LeakyRelu(0.1));
+
+fn inception_v2_module(
+    b: &mut NetBuilder,
+    x: NodeId,
+    c1: usize,
+    (c3r, c3): (usize, usize),
+    (c5r, c5): (usize, usize),
+    cp: usize,
+) -> NodeId {
+    // Inception-v2 factorizes the 5×5 into two 3×3s.
+    let b1 = b.conv(x, c1, 1, 1, 0, RELU);
+    let b3r = b.conv(x, c3r, 1, 1, 0, RELU);
+    let b3 = b.conv(b3r, c3, 3, 1, 1, RELU);
+    let b5r = b.conv(x, c5r, 1, 1, 0, RELU);
+    let b5a = b.conv(b5r, c5, 3, 1, 1, RELU);
+    let b5b = b.conv(b5a, c5, 3, 1, 1, RELU);
+    let bp = b.max_pool(x, 3, 1, 1);
+    let bpp = b.conv(bp, cp, 1, 1, 0, RELU);
+    b.concat(&[b1, b3, b5b, bpp])
+}
+
+/// ssd-inception-v2 (TensorFlow object-detection zoo): 90 conv, 12 max pool;
+/// 300×300 input. Outputs one fused detection feature map per scale.
+pub fn ssd_inception_v2() -> Graph {
+    let mut b = NetBuilder::new("ssd-inception-v2", [3, 300, 300]);
+    // Inception-v2 stem (depthwise-separable 7×7 split into 7×7 + 1×1 as
+    // in the TensorFlow graph).
+    let c1 = b.conv(Graph::INPUT, 24, 7, 2, 3, RELU);
+    let c1b = b.conv(c1, 64, 1, 1, 0, RELU);
+    let p1 = b.max_pool(c1b, 3, 2, 1);
+    let c2r = b.conv(p1, 64, 1, 1, 0, RELU);
+    let c2 = b.conv(c2r, 192, 3, 1, 1, RELU);
+    let p2 = b.max_pool(c2, 3, 2, 1);
+
+    let i3a = inception_v2_module(&mut b, p2, 64, (64, 64), (64, 96), 32);
+    let i3b = inception_v2_module(&mut b, i3a, 64, (64, 96), (64, 96), 64);
+    let p3 = b.max_pool(i3b, 3, 2, 1);
+    let i4a = inception_v2_module(&mut b, p3, 224, (64, 96), (96, 128), 128);
+    let i4b = inception_v2_module(&mut b, i4a, 192, (96, 128), (96, 128), 128);
+    let i4c = inception_v2_module(&mut b, i4b, 160, (128, 160), (128, 160), 96);
+    let i4d = inception_v2_module(&mut b, i4c, 96, (128, 192), (160, 192), 96);
+    let p4 = b.max_pool(i4d, 3, 2, 1);
+    let i5a = inception_v2_module(&mut b, p4, 352, (192, 320), (160, 224), 128);
+    let i5b = inception_v2_module(&mut b, i5a, 352, (192, 320), (192, 224), 128);
+
+    // SSD feature pyramid: a shared feature conv plus class/box heads per
+    // scale; four strided extra scales of three convs each off the backbone.
+    let mut heads: Vec<NodeId> = Vec::new();
+    let head = |b: &mut NetBuilder, src: NodeId| {
+        let feat = b.conv(src, 512, 3, 1, 1, RELU);
+        let cls = b.conv(feat, 6 * 91, 1, 1, 0, None);
+        let loc = b.conv(feat, 6 * 4, 1, 1, 0, None);
+        b.concat(&[cls, loc])
+    };
+    heads.push(head(&mut b, i4d));
+    heads.push(head(&mut b, i5b));
+    let mut x = i5b;
+    for out_c in [512usize, 256, 256, 128] {
+        let r = b.conv(x, out_c / 2, 1, 1, 0, RELU);
+        let e = b.conv(r, out_c / 2, 3, 1, 1, RELU);
+        x = b.conv(e, out_c, 3, 2, 1, RELU);
+        heads.push(head(&mut b, x));
+    }
+    b.finish(&heads)
+}
+
+/// The DetectNet family: a GoogLeNet-FCN backbone with coverage + bbox
+/// heads. `Detectnet-Coco-Dog`, `pednet`, and `facenet` share this exact
+/// architecture (the paper's Table II lists identical sizes); they differ
+/// in the head name and weight seeds.
+pub fn detectnet(name: &str) -> Graph {
+    let mut b = NetBuilder::new(name, [3, 640, 368]);
+    let c1 = b.conv(Graph::INPUT, 64, 7, 2, 3, RELU);
+    let p1 = b.max_pool(c1, 3, 2, 1);
+    let c2r = b.conv(p1, 64, 1, 1, 0, RELU);
+    let c2 = b.conv(c2r, 192, 3, 1, 1, RELU);
+    let p2 = b.max_pool(c2, 3, 2, 1);
+
+    let m = |b: &mut NetBuilder, x, c1, c3, c5, cp| {
+        super::detection::googlenet_module(b, x, c1, c3, c5, cp)
+    };
+    let i3a = m(&mut b, p2, 64, (96, 128), (16, 32), 32);
+    let i3b = m(&mut b, i3a, 128, (128, 192), (32, 96), 64);
+    let p3 = b.max_pool(i3b, 3, 2, 1);
+    let i4a = m(&mut b, p3, 192, (96, 208), (16, 48), 64);
+    let i4b = m(&mut b, i4a, 160, (112, 224), (24, 64), 64);
+    let i4c = m(&mut b, i4b, 128, (128, 256), (24, 64), 64);
+    let i4d = m(&mut b, i4c, 112, (144, 288), (32, 64), 64);
+    let i4e = m(&mut b, i4d, 256, (160, 320), (32, 128), 128);
+    let i5a = m(&mut b, i4e, 256, (160, 320), (32, 128), 128);
+    let i5b = m(&mut b, i5a, 384, (192, 384), (48, 128), 128);
+
+    // FCN heads: per-cell coverage and bbox regression.
+    let coverage = b.conv(i5b, 1, 1, 1, 0, Some(Activation::Sigmoid));
+    let bbox = b.conv(i5b, 4, 1, 1, 0, None);
+    b.finish(&[coverage, bbox])
+}
+
+pub(crate) fn googlenet_module(
+    b: &mut NetBuilder,
+    x: NodeId,
+    c1: usize,
+    (c3r, c3): (usize, usize),
+    (c5r, c5): (usize, usize),
+    cp: usize,
+) -> NodeId {
+    let b1 = b.conv(x, c1, 1, 1, 0, RELU);
+    let b3r = b.conv(x, c3r, 1, 1, 0, RELU);
+    let b3 = b.conv(b3r, c3, 3, 1, 1, RELU);
+    let b5r = b.conv(x, c5r, 1, 1, 0, RELU);
+    let b5 = b.conv(b5r, c5, 5, 1, 2, RELU);
+    let bp = b.max_pool(x, 3, 1, 1);
+    let bpp = b.conv(bp, cp, 1, 1, 0, RELU);
+    b.concat(&[b1, b3, b5, bpp])
+}
+
+/// Tiny-YOLOv3 (Darknet): 13 conv, 6 max pool, two detection scales;
+/// 416×416 input.
+pub fn tiny_yolov3() -> Graph {
+    let mut b = NetBuilder::new("Tiny-Yolov3", [3, 416, 416]);
+    let mut x = Graph::INPUT;
+    let mut route = Graph::INPUT; // the 256-channel feature map for scale 2
+    for (i, channels) in [16usize, 32, 64, 128, 256, 512].iter().enumerate() {
+        x = b.conv(x, *channels, 3, 1, 1, LEAKY);
+        if *channels == 256 {
+            route = x;
+        }
+        x = if i == 5 {
+            // Darknet's final size-2 stride-1 "same" pool keeps 13×13; the
+            // closest square-window equivalent is a 3×3 stride-1 pad-1 pool.
+            b.max_pool(x, 3, 1, 1)
+        } else {
+            b.max_pool(x, 2, 2, 0)
+        };
+    }
+    let c7 = b.conv(x, 1024, 3, 1, 1, LEAKY);
+    let c8 = b.conv(c7, 256, 1, 1, 0, LEAKY);
+    // Detection scale 1 (13×13).
+    let c9 = b.conv(c8, 512, 3, 1, 1, LEAKY);
+    let det1 = b.conv(c9, 255, 1, 1, 0, None);
+    // Detection scale 2 (26×26) via upsample + route.
+    let c11 = b.conv(c8, 128, 1, 1, 0, LEAKY);
+    let up = b.upsample(c11, 2);
+    let cat = b.concat(&[up, route]);
+    let c12 = b.conv(cat, 256, 3, 1, 1, LEAKY);
+    let det2 = b.conv(c12, 255, 1, 1, 0, None);
+    b.finish(&[det1, det2])
+}
+
+/// MobileNetV1-SSD (TensorFlow): 28 conv (13 depthwise-separable pairs plus
+/// stem and head), 1 max pool; 300×300 input.
+pub fn mobilenet_v1() -> Graph {
+    let mut b = NetBuilder::new("Mobilenetv1", [3, 300, 300]);
+    let mut x = b.conv(Graph::INPUT, 32, 3, 2, 1, RELU);
+    let plan: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (out_c, stride) in plan {
+        let in_c = b.shape(x)[0];
+        let dw = b.conv_grouped(x, in_c, 3, stride, 1, in_c, RELU);
+        x = b.conv(dw, out_c, 1, 1, 0, RELU);
+    }
+    // SSD feature-expansion head over the final map (paper counts 28 convs,
+    // 1 max pool; the expansion carries the SSD head's parameter volume).
+    let head = b.conv(x, 2048, 1, 1, 0, RELU);
+    let gp = b.global_pool(head, PoolKind::Max);
+    b.finish(&[head, gp])
+}
+
+/// MTCNN: the P-Net → R-Net → O-Net cascade flattened into one 12-conv,
+/// 6-max-pool graph at 48×48 (the cascade's final crop size). The real
+/// system invokes the three stages on image pyramids; the flattened form
+/// preserves layer counts, parameter volume, and kernel population.
+pub fn mtcnn() -> Graph {
+    let mut b = NetBuilder::new("MTCNN", [3, 48, 48]);
+    // P-Net-like stage.
+    let p1 = b.conv(Graph::INPUT, 20, 3, 1, 1, RELU);
+    let pp1 = b.max_pool(p1, 2, 2, 0);
+    let p2 = b.conv(pp1, 32, 3, 1, 1, RELU);
+    let p3 = b.conv(p2, 64, 3, 1, 1, RELU);
+    // R-Net-like stage.
+    let r1 = b.conv(p3, 56, 3, 1, 1, RELU);
+    let rp1 = b.max_pool(r1, 3, 2, 1);
+    let r2 = b.conv(rp1, 96, 3, 1, 1, RELU);
+    let rp2 = b.max_pool(r2, 3, 2, 1);
+    let r3 = b.conv(rp2, 128, 2, 1, 1, RELU);
+    // O-Net-like stage.
+    let o1 = b.conv(r3, 64, 3, 1, 1, RELU);
+    let op1 = b.max_pool(o1, 3, 2, 1);
+    let o2 = b.conv(op1, 128, 3, 1, 1, RELU);
+    let op2 = b.max_pool(o2, 3, 2, 1);
+    let o3 = b.conv(op2, 128, 2, 1, 1, RELU);
+    let op3 = b.max_pool(o3, 2, 2, 1);
+    let o4 = b.conv(op3, 256, 2, 1, 0, RELU);
+    // Face classification + bbox regression heads (1×1 convs, as in the
+    // fully-convolutional deployment of the cascade).
+    let face = b.conv(o4, 2, 1, 1, 0, None);
+    let bbox = b.conv(o4, 4, 1, 1, 0, None);
+    b.finish(&[face, bbox])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp32_mib(g: &Graph) -> f64 {
+        g.fp32_bytes() as f64 / (1 << 20) as f64
+    }
+
+    #[test]
+    fn ssd_inception_matches_table2() {
+        let g = ssd_inception_v2();
+        assert_eq!(g.conv_count(), 90, "paper: 90 conv");
+        assert_eq!(g.max_pool_count(), 12, "paper: 12 max pool");
+        let mib = fp32_mib(&g);
+        assert!((70.0..120.0).contains(&mib), "{mib:.1} MiB vs paper 95.58");
+    }
+
+    #[test]
+    fn detectnet_family_matches_table2() {
+        for name in ["Detectnet-Coco-Dog", "pednet", "facenet"] {
+            let g = detectnet(name);
+            assert_eq!(g.conv_count(), 59, "{name}: paper 59 conv");
+            assert_eq!(g.max_pool_count(), 12, "{name}: paper 12 max pool");
+            let mib = fp32_mib(&g);
+            assert!((18.0..27.0).contains(&mib), "{name}: {mib:.1} MiB vs paper 22.82");
+        }
+    }
+
+    #[test]
+    fn detectnet_variants_share_architecture() {
+        let a = detectnet("pednet");
+        let b = detectnet("facenet");
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.param_count(), b.param_count());
+        assert_ne!(a, b, "weights differ by seed");
+    }
+
+    #[test]
+    fn tiny_yolo_matches_table2() {
+        let g = tiny_yolov3();
+        assert_eq!(g.conv_count(), 13);
+        assert_eq!(g.max_pool_count(), 6);
+        let mib = fp32_mib(&g);
+        assert!((28.0..38.0).contains(&mib), "{mib:.1} MiB vs paper 33.1");
+        assert_eq!(g.outputs().len(), 2, "two detection scales");
+    }
+
+    #[test]
+    fn mobilenet_matches_table2() {
+        let g = mobilenet_v1();
+        assert_eq!(g.conv_count(), 28);
+        assert_eq!(g.max_pool_count(), 1);
+        let mib = fp32_mib(&g);
+        assert!((15.0..32.0).contains(&mib), "{mib:.1} MiB vs paper 26.07");
+    }
+
+    #[test]
+    fn mtcnn_matches_table2() {
+        let g = mtcnn();
+        assert_eq!(g.conv_count(), 12);
+        assert_eq!(g.max_pool_count(), 6);
+        let mib = fp32_mib(&g);
+        assert!((0.5..4.0).contains(&mib), "{mib:.1} MiB vs paper 1.9");
+    }
+
+    #[test]
+    fn all_detection_models_validate() {
+        for g in [
+            ssd_inception_v2(),
+            detectnet("pednet"),
+            tiny_yolov3(),
+            mobilenet_v1(),
+            mtcnn(),
+        ] {
+            assert!(g.validate().is_ok(), "{} invalid", g.name());
+        }
+    }
+}

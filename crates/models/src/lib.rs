@@ -1,0 +1,317 @@
+//! The paper's 13-network model zoo (Table II).
+//!
+//! Every network exists at **descriptor scale** — the full published
+//! architecture with seeded (virtual) weights, used by the size, latency,
+//! throughput, and concurrency experiments, where only shapes matter — and
+//! the classification networks also exist at **numeric scale**
+//! ([`numeric`]) — channel-reduced executable variants with real weights,
+//! used by the accuracy and output-consistency experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use trtsim_models::ModelId;
+//! let g = ModelId::TinyYolov3.descriptor();
+//! assert_eq!(g.conv_count(), 13); // Table II
+//! let info = ModelId::TinyYolov3.info();
+//! assert_eq!(info.framework, trtsim_models::Framework::Darknet);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classification;
+pub mod common;
+pub mod decode;
+pub mod detection;
+pub mod numeric;
+pub mod segmentation;
+
+use trtsim_ir::Graph;
+
+/// The computer-vision task a model performs (Table II's second column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisionTask {
+    /// Image classification.
+    Classification,
+    /// Object detection.
+    Detection,
+    /// Semantic segmentation.
+    Segmentation,
+}
+
+/// The framework the model was trained in (Table II's third column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// Caffe.
+    Caffe,
+    /// TensorFlow.
+    TensorFlow,
+    /// PyTorch.
+    PyTorch,
+    /// Darknet.
+    Darknet,
+}
+
+/// The 13 networks of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// AlexNet (classification, Caffe).
+    Alexnet,
+    /// ResNet-18 (classification, Caffe).
+    Resnet18,
+    /// VGG-16 (classification, Caffe).
+    Vgg16,
+    /// Inception-v4 (classification, Caffe).
+    InceptionV4,
+    /// GoogLeNet (classification, Caffe).
+    Googlenet,
+    /// ssd-inception-v2 (detection, TensorFlow).
+    SsdInceptionV2,
+    /// Detectnet-Coco-Dog (detection, Caffe).
+    DetectnetCocoDog,
+    /// pednet (detection, Caffe).
+    Pednet,
+    /// Tiny-YOLOv3 (detection, Darknet).
+    TinyYolov3,
+    /// facenet (detection, Caffe).
+    Facenet,
+    /// MobileNetV1-SSD (detection, TensorFlow).
+    Mobilenetv1,
+    /// MTCNN (detection, Caffe).
+    Mtcnn,
+    /// fcn-resnet18-cityscapes (segmentation, PyTorch).
+    FcnResnet18Cityscapes,
+}
+
+/// Static metadata for one zoo entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelInfo {
+    /// Display name matching the paper's tables.
+    pub name: &'static str,
+    /// Vision task.
+    pub task: VisionTask,
+    /// Training framework.
+    pub framework: Framework,
+    /// Host-side glue per inference in the serving loop, µs (pre/post
+    /// processing, synchronization; calibrated against Table VII FPS).
+    pub host_glue_us: f64,
+    /// Additional per-inference harness overhead in the paper's Table VIII
+    /// measurement setup, µs. Three models (GoogLeNet, Tiny-YOLOv3, MTCNN)
+    /// were driven through heavier wrappers there — their Table VIII
+    /// latencies are an order of magnitude above their kernel time — so this
+    /// is calibrated per model and documented in EXPERIMENTS.md.
+    pub table8_harness_us: f64,
+}
+
+impl ModelId {
+    /// All 13 models in Table II's row order.
+    pub fn all() -> [ModelId; 13] {
+        use ModelId::*;
+        [
+            Alexnet,
+            Resnet18,
+            Vgg16,
+            InceptionV4,
+            Googlenet,
+            SsdInceptionV2,
+            DetectnetCocoDog,
+            Pednet,
+            TinyYolov3,
+            Facenet,
+            Mobilenetv1,
+            Mtcnn,
+            FcnResnet18Cityscapes,
+        ]
+    }
+
+    /// The classification models evaluated in Tables III–VII.
+    pub fn classification_models() -> [ModelId; 5] {
+        [
+            ModelId::Alexnet,
+            ModelId::Resnet18,
+            ModelId::Vgg16,
+            ModelId::InceptionV4,
+            ModelId::Googlenet,
+        ]
+    }
+
+    /// Metadata.
+    pub fn info(self) -> ModelInfo {
+        use Framework::*;
+        use ModelId::*;
+        use VisionTask::*;
+        match self {
+            Alexnet => ModelInfo {
+                name: "Alexnet",
+                task: Classification,
+                framework: Caffe,
+                host_glue_us: 1_400.0,
+                table8_harness_us: 0.0,
+            },
+            Resnet18 => ModelInfo {
+                name: "ResNet-18",
+                task: Classification,
+                framework: Caffe,
+                host_glue_us: 2_800.0,
+                table8_harness_us: 0.0,
+            },
+            Vgg16 => ModelInfo {
+                name: "vgg-16",
+                task: Classification,
+                framework: Caffe,
+                host_glue_us: 4_000.0,
+                table8_harness_us: 0.0,
+            },
+            InceptionV4 => ModelInfo {
+                name: "inception-v4",
+                task: Classification,
+                framework: Caffe,
+                host_glue_us: 4_500.0,
+                table8_harness_us: 0.0,
+            },
+            Googlenet => ModelInfo {
+                name: "Googlenet",
+                task: Classification,
+                framework: Caffe,
+                host_glue_us: 4_200.0,
+                table8_harness_us: 500_000.0,
+            },
+            SsdInceptionV2 => ModelInfo {
+                name: "ssd-inception-v2",
+                task: Detection,
+                framework: TensorFlow,
+                host_glue_us: 5_000.0,
+                table8_harness_us: 0.0,
+            },
+            DetectnetCocoDog => ModelInfo {
+                name: "Detectnet-Coco-Dog",
+                task: Detection,
+                framework: Caffe,
+                host_glue_us: 5_000.0,
+                table8_harness_us: 0.0,
+            },
+            Pednet => ModelInfo {
+                name: "pednet",
+                task: Detection,
+                framework: Caffe,
+                host_glue_us: 5_000.0,
+                table8_harness_us: 0.0,
+            },
+            TinyYolov3 => ModelInfo {
+                name: "Tiny-Yolov3",
+                task: Detection,
+                framework: Darknet,
+                host_glue_us: 2_000.0,
+                table8_harness_us: 450_000.0,
+            },
+            Facenet => ModelInfo {
+                name: "facenet",
+                task: Detection,
+                framework: Caffe,
+                host_glue_us: 3_000.0,
+                table8_harness_us: 0.0,
+            },
+            Mobilenetv1 => ModelInfo {
+                name: "Mobilenetv1",
+                task: Detection,
+                framework: TensorFlow,
+                host_glue_us: 3_000.0,
+                table8_harness_us: 0.0,
+            },
+            Mtcnn => ModelInfo {
+                name: "MTCNN",
+                task: Detection,
+                framework: Caffe,
+                host_glue_us: 500.0,
+                table8_harness_us: 850_000.0,
+            },
+            FcnResnet18Cityscapes => ModelInfo {
+                name: "fcn-resnet18-cityscapes",
+                task: Segmentation,
+                framework: PyTorch,
+                host_glue_us: 5_000.0,
+                table8_harness_us: 0.0,
+            },
+        }
+    }
+
+    /// The full-size architecture with seeded weights (Table II geometry).
+    pub fn descriptor(self) -> Graph {
+        match self {
+            ModelId::Alexnet => classification::alexnet(),
+            ModelId::Resnet18 => classification::resnet18(),
+            ModelId::Vgg16 => classification::vgg16(),
+            ModelId::InceptionV4 => classification::inception_v4(),
+            ModelId::Googlenet => classification::googlenet(),
+            ModelId::SsdInceptionV2 => detection::ssd_inception_v2(),
+            ModelId::DetectnetCocoDog => detection::detectnet("Detectnet-Coco-Dog"),
+            ModelId::Pednet => detection::detectnet("pednet"),
+            ModelId::TinyYolov3 => detection::tiny_yolov3(),
+            ModelId::Facenet => detection::detectnet("facenet"),
+            ModelId::Mobilenetv1 => detection::mobilenet_v1(),
+            ModelId::Mtcnn => detection::mtcnn(),
+            ModelId::FcnResnet18Cityscapes => segmentation::fcn_resnet18_cityscapes(),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.info().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_thirteen_build_and_validate() {
+        for id in ModelId::all() {
+            let g = id.descriptor();
+            assert!(g.validate().is_ok(), "{id} invalid");
+            assert_eq!(g.name(), id.info().name);
+        }
+    }
+
+    #[test]
+    fn table2_unoptimized_sizes_are_in_range() {
+        // (model, paper MiB, tolerance fraction)
+        let expected: [(ModelId, f64, f64); 13] = [
+            (ModelId::Alexnet, 232.56, 0.12),
+            (ModelId::Resnet18, 44.65, 0.12),
+            (ModelId::Vgg16, 527.8, 0.08),
+            (ModelId::InceptionV4, 163.12, 0.25),
+            (ModelId::Googlenet, 51.05, 0.12),
+            (ModelId::SsdInceptionV2, 95.58, 0.35),
+            (ModelId::DetectnetCocoDog, 22.82, 0.25),
+            (ModelId::Pednet, 22.82, 0.25),
+            (ModelId::TinyYolov3, 33.1, 0.12),
+            (ModelId::Facenet, 22.82, 0.25),
+            (ModelId::Mobilenetv1, 26.07, 0.45),
+            (ModelId::Mtcnn, 1.9, 1.0),
+            (ModelId::FcnResnet18Cityscapes, 44.95, 0.12),
+        ];
+        for (id, paper, tol) in expected {
+            let mib = id.descriptor().fp32_bytes() as f64 / (1 << 20) as f64;
+            let rel = (mib - paper).abs() / paper;
+            assert!(rel <= tol, "{id}: {mib:.2} MiB vs paper {paper} (rel {rel:.2})");
+        }
+    }
+
+    #[test]
+    fn classification_subset_is_classification() {
+        for id in ModelId::classification_models() {
+            assert_eq!(id.info().task, VisionTask::Classification);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(ModelId::TinyYolov3.to_string(), "Tiny-Yolov3");
+        assert_eq!(
+            ModelId::FcnResnet18Cityscapes.to_string(),
+            "fcn-resnet18-cityscapes"
+        );
+    }
+}

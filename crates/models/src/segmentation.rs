@@ -1,0 +1,67 @@
+//! The segmentation network of Table II: fcn-resnet18-cityscapes.
+
+use trtsim_ir::graph::{Activation, Graph, NodeId};
+
+use crate::common::NetBuilder;
+
+const RELU: Option<Activation> = Some(Activation::Relu);
+
+fn basic_block(b: &mut NetBuilder, x: NodeId, channels: usize, stride: usize) -> NodeId {
+    let c1 = b.conv(x, channels, 3, stride, 1, RELU);
+    let c2 = b.conv(c1, channels, 3, 1, 1, None);
+    let skip = if stride != 1 || b.shape(x)[0] != channels {
+        b.conv(x, channels, 1, stride, 0, None)
+    } else {
+        x
+    };
+    let sum = b.add(c2, skip);
+    b.act(sum, Activation::Relu)
+}
+
+/// fcn-resnet18-cityscapes (PyTorch → jetson-inference): a ResNet-18
+/// backbone running fully convolutionally, a 1×1 class-score head over the
+/// Cityscapes classes, and nearest upsampling back to input resolution.
+/// 22 conv, 1 max pool; 512×256 input.
+pub fn fcn_resnet18_cityscapes() -> Graph {
+    let mut b = NetBuilder::new("fcn-resnet18-cityscapes", [3, 256, 512]);
+    let c1 = b.conv(Graph::INPUT, 64, 7, 2, 3, RELU);
+    let p1 = b.max_pool(c1, 3, 2, 1);
+    let mut x = p1;
+    for (stage, channels) in [64usize, 128, 256, 512].iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            x = basic_block(&mut b, x, *channels, stride);
+        }
+    }
+    // FCN head: intermediate projection + per-class scores (21 and 22nd conv).
+    let proj = b.conv(x, 128, 1, 1, 0, RELU);
+    let score = b.conv(proj, 21, 1, 1, 0, None);
+    let up = b.upsample(score, 8);
+    b.finish(&[up])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table2() {
+        let g = fcn_resnet18_cityscapes();
+        assert_eq!(g.conv_count(), 22, "paper: 22 conv");
+        assert_eq!(g.max_pool_count(), 1, "paper: 1 max pool");
+        let mib = g.fp32_bytes() as f64 / (1 << 20) as f64;
+        assert!((40.0..50.0).contains(&mib), "{mib:.1} MiB vs paper 44.95");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn output_is_upsampled_back() {
+        let g = fcn_resnet18_cityscapes();
+        let shapes = g.infer_shapes().unwrap();
+        let out = shapes[g.outputs()[0]];
+        assert_eq!(out[0], 21);
+        // Backbone downsamples 32x, head upsamples 8x: 1/4 input resolution.
+        assert_eq!(out[1], 64);
+        assert_eq!(out[2], 128);
+    }
+}

@@ -1,0 +1,100 @@
+//! Equation 2: the BSP kernel-time model.
+
+use trtsim_gpu::device::{DeviceSpec, MemLatencies};
+use trtsim_gpu::kernel::KernelDesc;
+
+/// Hardware parameters the BSP model needs, obtained from micro-benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BspParams {
+    /// Memory-access latencies in cycles (LSM, LL1, LL2, LGM).
+    pub latencies: MemLatencies,
+    /// Cycles per arithmetic instruction (issue + dependency average).
+    pub cycles_per_instr: f64,
+}
+
+impl BspParams {
+    /// Textbook Volta values (no measurement noise); micro-benchmarks add
+    /// realistic jitter on top of these.
+    pub fn nominal(device: &DeviceSpec) -> Self {
+        Self {
+            latencies: device.latency_cycles(),
+            cycles_per_instr: 4.0,
+        }
+    }
+}
+
+/// Raw Eq. 2 prediction with λ = 1, in µs.
+///
+/// `Comp` is the per-thread arithmetic cost, `CommSM` the shared-memory cost,
+/// and `CommGM` the global-memory cost split by the kernel's L2 hit fraction;
+/// the denominator is core throughput `F · C`.
+pub fn predict_raw_us(kernel: &KernelDesc, device: &DeviceSpec, params: &BspParams) -> f64 {
+    let n = kernel.total_threads() as f64;
+    let comp = kernel.ops_per_thread() * params.cycles_per_instr;
+    let comm_sm = kernel.shared_words_per_thread() * params.latencies.shared;
+    let global_words = kernel.global_words_per_thread();
+    let l2_fraction = kernel.l2_hit_fraction();
+    let comm_gm = global_words
+        * (l2_fraction * params.latencies.l2 + (1.0 - l2_fraction) * params.latencies.global);
+    let cycles = n * (comp + comm_sm + comm_gm);
+    // F in cycles/µs, C cores.
+    cycles / (device.gpu_clock_mhz * f64::from(device.cuda_cores()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_gpu::kernel::Precision;
+
+    fn kernel() -> KernelDesc {
+        KernelDesc::new("k")
+            .grid(48, 256)
+            .flops(100_000_000)
+            .dram_bytes(4 << 20)
+            .l2_bytes(16 << 20)
+            .shared_bytes(8 << 20)
+            .precision(Precision::Fp16, true)
+    }
+
+    #[test]
+    fn prediction_is_positive_and_finite() {
+        let dev = DeviceSpec::xavier_nx();
+        let t = predict_raw_us(&kernel(), &dev, &BspParams::nominal(&dev));
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn more_cores_predict_faster() {
+        let nx = DeviceSpec::xavier_nx();
+        let agx = DeviceSpec::xavier_agx();
+        let p = BspParams::nominal(&nx);
+        assert!(predict_raw_us(&kernel(), &agx, &p) < predict_raw_us(&kernel(), &nx, &p));
+    }
+
+    #[test]
+    fn higher_clock_predicts_faster() {
+        let full = DeviceSpec::xavier_nx();
+        let slow = full.clone().with_clock_mhz(599.0);
+        let p = BspParams::nominal(&full);
+        assert!(predict_raw_us(&kernel(), &full, &p) < predict_raw_us(&kernel(), &slow, &p));
+    }
+
+    #[test]
+    fn l2_hits_cheaper_than_dram() {
+        let dev = DeviceSpec::xavier_nx();
+        let p = BspParams::nominal(&dev);
+        let cached = kernel().dram_bytes(0).l2_bytes(20 << 20);
+        let uncached = kernel().dram_bytes(20 << 20).l2_bytes(0);
+        assert!(predict_raw_us(&cached, &dev, &p) < predict_raw_us(&uncached, &dev, &p));
+    }
+
+    #[test]
+    fn memory_free_kernel_is_compute_term_only() {
+        let dev = DeviceSpec::xavier_nx();
+        let p = BspParams::nominal(&dev);
+        let k = KernelDesc::new("k").grid(6, 256).flops(1_000_000);
+        let expected = k.total_threads() as f64 * k.ops_per_thread() * p.cycles_per_instr
+            / (dev.gpu_clock_mhz * f64::from(dev.cuda_cores()));
+        assert!((predict_raw_us(&k, &dev, &p) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! BSP-style micro-architecture performance prediction (paper §VI-B).
+//!
+//! The paper adopts the Bulk Synchronous Parallel GPU model of [56]:
+//!
+//! ```text
+//! T = N · (Comp + CommGM + CommSM) / (F · C · λ)     (Eq. 2)
+//! ```
+//!
+//! with per-kernel λ calibrated on one platform and reused on another. The
+//! paper's point is that the optimization engine breaks this workflow: every
+//! TensorRT build maps the network to a *different* set of kernels with
+//! different invocation counts, so λs calibrated against one engine do not
+//! transfer even to another engine of the same model on the same hardware —
+//! prediction error swings by 2–13 % across builds (Tables XVII/XVIII).
+//! This crate implements the model, its micro-benchmarks, λ calibration, and
+//! the cross-platform prediction experiment.
+
+#![warn(missing_docs)]
+
+pub mod bsp;
+pub mod lambda;
+pub mod microbench;
+
+pub use bsp::{predict_raw_us, BspParams};
+pub use lambda::{predict_engine_us, LambdaTable, PredictionOutcome};
+pub use microbench::measure_params;

@@ -1,0 +1,70 @@
+//! Micro-benchmarks that "measure" the BSP model's hardware parameters.
+//!
+//! The paper: "We use microbenchmarks to obtain the static hardware
+//! parameters such as LSM, LGM, LL1 and LL2 for our experimental hardwares."
+//! On the simulator, a micro-benchmark is a measurement of the device's true
+//! latency constants through the same noisy-measurement channel the
+//! autotuner uses — so two calibration runs produce slightly different
+//! parameter sets, exactly like pointer-chase benchmarks on real silicon.
+
+use trtsim_gpu::device::{DeviceSpec, MemLatencies};
+use trtsim_util::rng::Pcg32;
+
+use crate::bsp::BspParams;
+
+/// Relative measurement noise of one latency micro-benchmark run.
+const MICROBENCH_NOISE_SD: f64 = 0.03;
+
+/// Runs the micro-benchmark suite on a device.
+pub fn measure_params(device: &DeviceSpec, seed: u64) -> BspParams {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let t = device.latency_cycles();
+    let mut jitter = |x: f64| x * (1.0 + MICROBENCH_NOISE_SD * rng.normal()).max(0.5);
+    BspParams {
+        latencies: MemLatencies {
+            shared: jitter(t.shared),
+            l1: jitter(t.l1),
+            l2: jitter(t.l2),
+            global: jitter(t.global),
+        },
+        cycles_per_instr: jitter(4.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_near_truth() {
+        let dev = DeviceSpec::xavier_nx();
+        let p = measure_params(&dev, 1);
+        let t = dev.latency_cycles();
+        assert!((p.latencies.global - t.global).abs() / t.global < 0.15);
+        assert!((p.latencies.shared - t.shared).abs() / t.shared < 0.15);
+    }
+
+    #[test]
+    fn repeated_runs_differ_slightly() {
+        let dev = DeviceSpec::xavier_nx();
+        let a = measure_params(&dev, 1);
+        let b = measure_params(&dev, 2);
+        assert_ne!(a.latencies.global, b.latencies.global);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let dev = DeviceSpec::xavier_agx();
+        assert_eq!(measure_params(&dev, 7), measure_params(&dev, 7));
+    }
+
+    #[test]
+    fn ordering_of_memory_levels_preserved() {
+        let dev = DeviceSpec::xavier_nx();
+        for seed in 0..20 {
+            let p = measure_params(&dev, seed);
+            assert!(p.latencies.shared < p.latencies.l2);
+            assert!(p.latencies.l2 < p.latencies.global);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! An nvprof-like profiler over simulated timelines (paper §II-C).
+//!
+//! The real study drives nvprof in two modes: *summary mode* ("overview of
+//! GPU kernels and memory copies") and *GPU-trace mode* ("list of all kernel
+//! launches"). This crate reproduces both over a
+//! [`trtsim_gpu::timeline::GpuTimeline`], including the aggregation the
+//! paper's Tables X–XIII are built from. Attaching the profiler inflates
+//! runtimes (see [`trtsim_gpu::timeline::ProfilingOverhead`]), which is the
+//! Table VIII vs Table IX difference.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod summary;
+pub mod trace;
+
+pub use report::format_summary;
+pub use trace::{format_trace, gpu_trace, invocation_durations, TraceEntry};
+pub use summary::{summarize, KernelSummary, MemcpySummary, ProfileSummary};

@@ -1,0 +1,73 @@
+//! Text rendering of profiles, nvprof-style.
+
+use crate::summary::ProfileSummary;
+
+/// Renders a summary in nvprof's summary-mode layout.
+///
+/// ```text
+///  Time(%)  Time      Calls  Avg       Name
+///  62.10%   1234.5us  9      137.2us   trt_volta_h884cudnn_...
+/// ```
+pub fn format_summary(summary: &ProfileSummary) -> String {
+    let mut out = String::from("==PROF== Profiling result (summary mode):\n");
+    out.push_str(&format!(
+        "{:>8}  {:>12}  {:>6}  {:>12}  Name\n",
+        "Time(%)", "Time", "Calls", "Avg"
+    ));
+    let total: f64 = summary.gpu_total_us
+        + summary.memcpys.iter().map(|m| m.total_us).sum::<f64>();
+    for k in &summary.kernels {
+        out.push_str(&format!(
+            "{:>7.2}%  {:>10.1}us  {:>6}  {:>10.1}us  {}\n",
+            100.0 * k.total_us / total.max(1e-12),
+            k.total_us,
+            k.calls,
+            k.avg_us,
+            k.name
+        ));
+    }
+    for m in &summary.memcpys {
+        let name = match m.kind {
+            trtsim_gpu::timeline::CopyKind::HostToDevice => "[CUDA memcpy HtoD]",
+            trtsim_gpu::timeline::CopyKind::DeviceToHost => "[CUDA memcpy DtoH]",
+        };
+        out.push_str(&format!(
+            "{:>7.2}%  {:>10.1}us  {:>6}  {:>10.1}us  {}\n",
+            100.0 * m.total_us / total.max(1e-12),
+            m.total_us,
+            m.calls,
+            m.total_us / m.calls as f64,
+            name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::summarize;
+    use trtsim_gpu::device::DeviceSpec;
+    use trtsim_gpu::kernel::KernelDesc;
+    use trtsim_gpu::timeline::GpuTimeline;
+
+    #[test]
+    fn report_mentions_kernels_and_copies() {
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s = tl.create_stream();
+        tl.enqueue_h2d(s, 1024);
+        tl.enqueue_kernel(s, &KernelDesc::new("my_kernel").grid(6, 128).flops(1000));
+        let text = format_summary(&summarize(&tl));
+        assert!(text.contains("my_kernel"));
+        assert!(text.contains("[CUDA memcpy HtoD]"));
+        assert!(text.contains("Time(%)"));
+    }
+
+    #[test]
+    fn empty_profile_renders_header_only() {
+        let tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let text = format_summary(&summarize(&tl));
+        assert!(text.contains("summary mode"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs the ablation studies (DESIGN.md extensions): pass contributions,
+//! precision policies, and the avgTiming non-determinism knob.
+use trtsim_models::ModelId;
+use trtsim_repro::exp_ablation::*;
+
+fn main() {
+    for model in [ModelId::Googlenet, ModelId::TinyYolov3] {
+        println!("{}", render_pass_ablation(model, &run_pass_ablation(model)));
+    }
+    for model in [ModelId::Resnet18, ModelId::Vgg16] {
+        println!("{}", render_precision_ablation(model, &run_precision_ablation(model)));
+    }
+    println!("{}", render_avgtiming(ModelId::InceptionV4, &run_avgtiming_sweep(ModelId::InceptionV4, 8)));
+    let config = trtsim_repro::exp_accuracy::AccuracyConfig::quick();
+    let int8_rows: Vec<_> = [ModelId::Alexnet, ModelId::Vgg16]
+        .into_iter()
+        .map(|m| run_int8_accuracy(m, &config))
+        .collect();
+    println!("{}", render_int8(&int8_rows));
+}

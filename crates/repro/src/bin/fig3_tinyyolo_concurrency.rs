@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 3 (Tiny-YOLOv3 concurrency sweep).
+use trtsim_gpu::device::Platform;
+use trtsim_models::ModelId;
+use trtsim_repro::exp_concurrency::{render, run};
+fn main() {
+    for platform in Platform::all() {
+        println!("{}", render(&run(ModelId::TinyYolov3, platform)));
+    }
+}

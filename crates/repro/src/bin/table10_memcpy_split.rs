@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table X (memcpy included/excluded).
+use trtsim_repro::exp_memcpy::{render_table10, run_table10};
+fn main() {
+    println!("{}", render_table10(&run_table10()));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table XI (kernels slower on AGX).
+use trtsim_models::ModelId;
+use trtsim_repro::exp_memcpy::{render_table11, run_table11};
+fn main() {
+    let rows = run_table11(&[ModelId::Pednet, ModelId::Facenet, ModelId::Mobilenetv1]);
+    println!("{}", render_table11(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table XII (latency across engine builds, AGX).
+use trtsim_models::ModelId;
+use trtsim_repro::exp_variability::{render_table12, run_table12};
+fn main() {
+    println!("{}", render_table12(&run_table12(&ModelId::all())));
+}

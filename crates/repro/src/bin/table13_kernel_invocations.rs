@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table XIII (kernel invocation counts per build).
+use trtsim_models::ModelId;
+use trtsim_repro::exp_variability::{render_table13, run_table13};
+fn main() {
+    println!("{}", render_table13(&run_table13(ModelId::InceptionV4)));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Tables XIV-XVI (findings summary) from data.
+use trtsim_repro::exp_summary::{render, run};
+fn main() {
+    println!("{}", render(&run()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table XVII (BSP prediction, Inception-v4).
+use trtsim_models::ModelId;
+use trtsim_repro::exp_bsp::{render, run};
+fn main() {
+    println!("{}", render(&run(ModelId::InceptionV4, 3)));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table XVIII (BSP prediction, MobileNetV1).
+use trtsim_models::ModelId;
+use trtsim_repro::exp_bsp::{render, run};
+fn main() {
+    println!("{}", render(&run(ModelId::Mobilenetv1, 3)));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (evaluation platforms).
+fn main() {
+    println!("{}", trtsim_repro::exp_platforms::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II (model and engine sizes).
+fn main() {
+    println!("{}", trtsim_repro::exp_sizes::run().render());
+}

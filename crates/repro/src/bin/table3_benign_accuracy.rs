@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table III (top-1 error, benign data).
+use trtsim_repro::exp_accuracy::{render_table3, run_table3, AccuracyConfig};
+fn main() {
+    println!("{}", render_table3(&run_table3(&AccuracyConfig::default())));
+}

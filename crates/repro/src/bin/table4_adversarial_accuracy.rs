@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table IV (top-1 error, adversarial data).
+use trtsim_repro::exp_accuracy::{render_table4, run_table4, AccuracyConfig};
+fn main() {
+    println!("{}", render_table4(&run_table4(&AccuracyConfig::default())));
+}

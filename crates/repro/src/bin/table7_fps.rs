@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table VII (FPS, optimized vs un-optimized).
+fn main() {
+    println!("{}", trtsim_repro::exp_fps::run().render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table IX (latency without nvprof).
+fn main() {
+    let t = trtsim_repro::exp_latency::run_table9();
+    println!("Table IX: inference latency without nvprof\n{}", t.render());
+}

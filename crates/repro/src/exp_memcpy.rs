@@ -1,0 +1,210 @@
+//! Tables X and XI: decomposing the cross-platform latency anomaly into the
+//! `cudaMemcpyHostToDevice` term and per-kernel slowdowns.
+
+use trtsim_core::runtime::ExecutionContext;
+use trtsim_gpu::device::{DeviceSpec, Platform};
+use trtsim_gpu::timeline::GpuTimeline;
+use trtsim_metrics::LatencyCell;
+use trtsim_models::ModelId;
+use trtsim_profiler::{summarize, KernelSummary};
+
+use crate::support::{build_engine, table8_options, TextTable, RUNS};
+
+/// One Table X row: a model's latency with and without the engine-upload
+/// memcpy, on NX and AGX, using the same NX-built engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemcpyRow {
+    /// Model.
+    pub model: ModelId,
+    /// cNX_rNX with memcpy / without memcpy.
+    pub nx: [LatencyCell; 2],
+    /// cNX_rAGX with memcpy / without memcpy.
+    pub agx: [LatencyCell; 2],
+}
+
+impl MemcpyRow {
+    /// Whether removing the memcpy flips the NX/AGX ordering (the ResNet-18
+    /// / Inception-v4 pattern in the paper).
+    pub fn memcpy_explains_anomaly(&self) -> bool {
+        self.agx[0].mean_ms > self.nx[0].mean_ms && self.agx[1].mean_ms < self.nx[1].mean_ms
+    }
+}
+
+/// The models the paper examines in Table X.
+pub fn table10_models() -> [ModelId; 5] {
+    [
+        ModelId::Resnet18,
+        ModelId::InceptionV4,
+        ModelId::Pednet,
+        ModelId::Facenet,
+        ModelId::Mobilenetv1,
+    ]
+}
+
+/// Computes Table X.
+pub fn run_table10() -> Vec<MemcpyRow> {
+    table10_models()
+        .into_iter()
+        .map(|model| {
+            let engine = build_engine(model, Platform::Nx, 0).expect("build");
+            let opts = table8_options(model);
+            let measure = |platform: Platform, with_memcpy: bool| {
+                let ctx = ExecutionContext::new(&engine, DeviceSpec::pinned_clock(platform));
+                let opts = if with_memcpy {
+                    opts
+                } else {
+                    opts.without_engine_upload()
+                };
+                LatencyCell::from_runs_us(&ctx.measure_latency(&opts, RUNS, model as u64))
+            };
+            MemcpyRow {
+                model,
+                nx: [measure(Platform::Nx, true), measure(Platform::Nx, false)],
+                agx: [measure(Platform::Agx, true), measure(Platform::Agx, false)],
+            }
+        })
+        .collect()
+}
+
+/// Renders Table X.
+pub fn render_table10(rows: &[MemcpyRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "NN Model".into(),
+        "cNX_rNX memcpy incl.".into(),
+        "cNX_rNX memcpy excl.".into(),
+        "cNX_rAGX memcpy incl.".into(),
+        "cNX_rAGX memcpy excl.".into(),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.model.to_string(),
+            r.nx[0].to_string(),
+            r.nx[1].to_string(),
+            r.agx[0].to_string(),
+            r.agx[1].to_string(),
+        ]);
+    }
+    format!(
+        "Table X: run time with CUDA memcpy included and excluded\n{}",
+        t.render()
+    )
+}
+
+/// One Table XI row: a kernel that runs slower on AGX than on NX.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCompareRow {
+    /// Model whose engine contains the kernel.
+    pub model: ModelId,
+    /// Kernel symbol.
+    pub kernel: String,
+    /// Total time on NX, ms.
+    pub nx_ms: f64,
+    /// Total time on AGX, ms.
+    pub agx_ms: f64,
+}
+
+/// Computes Table XI: per-kernel times of the same NX-built engine on both
+/// platforms, reporting kernels slower on AGX.
+pub fn run_table11(models: &[ModelId]) -> Vec<KernelCompareRow> {
+    let mut out = Vec::new();
+    for &model in models {
+        let engine = build_engine(model, Platform::Nx, 0).expect("build");
+        let profile = |platform: Platform| -> Vec<KernelSummary> {
+            let mut tl = GpuTimeline::new(DeviceSpec::pinned_clock(platform));
+            let s = tl.create_stream();
+            let ctx = ExecutionContext::new(&engine, DeviceSpec::pinned_clock(platform));
+            ctx.enqueue_inference(&mut tl, s, &table8_options(model));
+            summarize(&tl).kernels
+        };
+        let nx = profile(Platform::Nx);
+        let agx = profile(Platform::Agx);
+        for k_nx in &nx {
+            let Some(k_agx) = agx.iter().find(|k| k.name == k_nx.name) else {
+                continue;
+            };
+            if k_agx.total_us > 1.02 * k_nx.total_us {
+                out.push(KernelCompareRow {
+                    model,
+                    kernel: k_nx.name.clone(),
+                    nx_ms: k_nx.total_us / 1000.0,
+                    agx_ms: k_agx.total_us / 1000.0,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders Table XI.
+pub fn render_table11(rows: &[KernelCompareRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "NN Model".into(),
+        "Kernel".into(),
+        "cNX_rNX (ms)".into(),
+        "cNX_rAGX (ms)".into(),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.model.to_string(),
+            r.kernel.clone(),
+            format!("{:.2}", r.nx_ms),
+            format!("{:.2}", r.agx_ms),
+        ]);
+    }
+    format!(
+        "Table XI: kernels running slower on AGX than NX (same NX-built engine)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_excluded_is_faster() {
+        let rows = run_table10();
+        for r in &rows {
+            assert!(r.nx[1].mean_ms < r.nx[0].mean_ms, "{}", r.model);
+            assert!(r.agx[1].mean_ms < r.agx[0].mean_ms, "{}", r.model);
+        }
+    }
+
+    #[test]
+    fn agx_memcpy_term_is_larger() {
+        // The engine upload is the same bytes; the AGX path costs more.
+        let rows = run_table10();
+        for r in &rows {
+            let nx_memcpy = r.nx[0].mean_ms - r.nx[1].mean_ms;
+            let agx_memcpy = r.agx[0].mean_ms - r.agx[1].mean_ms;
+            assert!(
+                agx_memcpy > nx_memcpy * 0.95,
+                "{}: {} vs {}",
+                r.model,
+                agx_memcpy,
+                nx_memcpy
+            );
+        }
+    }
+
+    #[test]
+    fn some_kernels_slower_on_agx() {
+        // The paper's Table XI finds such kernels in pednet/facenet/mobilenet.
+        let rows = run_table11(&[ModelId::Pednet, ModelId::Facenet, ModelId::Mobilenetv1]);
+        assert!(
+            !rows.is_empty(),
+            "no kernel ran slower on AGX — the L2-share mechanism is dead"
+        );
+        for r in &rows {
+            assert!(r.agx_ms > r.nx_ms);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let s10 = render_table10(&run_table10()[..1]);
+        assert!(s10.contains("memcpy incl."));
+        let s11 = render_table11(&run_table11(&[ModelId::Pednet]));
+        assert!(s11.contains("Kernel"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Table I: evaluation platforms.
+
+use trtsim_gpu::device::DeviceSpec;
+
+use crate::support::TextTable;
+
+/// Renders the Table I comparison of the two simulated boards.
+pub fn run() -> String {
+    let nx = DeviceSpec::xavier_nx();
+    let agx = DeviceSpec::xavier_agx();
+    let mut t = TextTable::new(vec![
+        "".into(),
+        "Xavier NX (GV10B)".into(),
+        "Xavier AGX (GV10B)".into(),
+    ]);
+    let mut push = |label: &str, f: &dyn Fn(&DeviceSpec) -> String| {
+        t.row(vec![label.to_string(), f(&nx), f(&agx)]);
+    };
+    push("# GPU cores", &|d| {
+        format!("{} ({} per SM)", d.cuda_cores(), d.cores_per_sm)
+    });
+    push("# SMs", &|d| d.sm_count.to_string());
+    push("# Tensor cores", &|d| {
+        format!("{} ({} per SM)", d.tensor_cores(), d.tensor_cores_per_sm)
+    });
+    push("L1 cache", &|d| format!("{}KB per SM", d.l1_kib_per_sm));
+    push("L2 cache", &|d| format!("{}KB", d.l2_kib));
+    push("Memory", &|d| {
+        format!(
+            "{}GB {}-bit LPDDR4x {:.1}GB/s",
+            d.dram_gib, d.mem_bus_bits, d.dram_bandwidth_gbps
+        )
+    });
+    push("GPU clock", &|d| {
+        format!("{:.3} GHz", d.max_gpu_clock_mhz / 1000.0)
+    });
+    format!("Table I: Evaluation platforms\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_matches_paper_values() {
+        let s = super::run();
+        for needle in ["384", "512", "6", "8", "48", "64", "51.2", "137", "128KB", "512KB"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

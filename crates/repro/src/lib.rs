@@ -1,0 +1,27 @@
+//! Experiment harnesses: one module per table/figure of the paper.
+//!
+//! Every module exposes a `run()` returning a structured result with a
+//! `render()` method producing the table text; the binaries under
+//! `src/bin/` are thin wrappers. `cargo run --release -p trtsim-repro --bin
+//! all_experiments` regenerates everything (EXPERIMENTS.md records the
+//! paper-vs-measured comparison).
+//!
+//! Experiment conditions follow §II-F: latency tables run at the pinned
+//! clocks (599 / 624 MHz) with ten measured runs; throughput/concurrency
+//! experiments run at the board-maximum clocks.
+
+#![warn(missing_docs)]
+
+pub mod exp_ablation;
+pub mod exp_accuracy;
+pub mod exp_bsp;
+pub mod exp_concurrency;
+pub mod exp_consistency;
+pub mod exp_fps;
+pub mod exp_latency;
+pub mod exp_memcpy;
+pub mod exp_platforms;
+pub mod exp_sizes;
+pub mod exp_summary;
+pub mod exp_variability;
+pub mod support;

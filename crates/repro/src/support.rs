@@ -1,0 +1,188 @@
+//! Shared harness plumbing: engine construction, measurement conditions,
+//! and plain-text table rendering.
+
+use trtsim_core::runtime::TimingOptions;
+use trtsim_core::{Builder, BuilderConfig, Engine, EngineError};
+use trtsim_gpu::device::{DeviceSpec, Platform};
+use trtsim_models::ModelId;
+use trtsim_util::derive_seed;
+
+/// Root seed of the whole experiment campaign; every stochastic input
+/// derives from it, so the entire reproduction is replayable.
+pub const CAMPAIGN_SEED: u64 = 0x1155_u64 << 32 | 2021; // IISWC 2021
+
+/// Builds engine number `build_index` of `model` on `platform` at the pinned
+/// experiment clock (the paper builds several engines per platform to study
+/// build-to-build variation).
+///
+/// # Errors
+///
+/// Propagates [`EngineError`] from the builder.
+pub fn build_engine(
+    model: ModelId,
+    platform: Platform,
+    build_index: u64,
+) -> Result<Engine, EngineError> {
+    let device = DeviceSpec::pinned_clock(platform);
+    let seed = derive_seed(
+        CAMPAIGN_SEED,
+        model.info().name,
+        (platform as u64) << 32 | build_index,
+    );
+    Builder::new(device, BuilderConfig::default().with_build_seed(seed)).build(&model.descriptor())
+}
+
+/// Timing conditions of the paper's Table VIII (nvprof attached, engine
+/// upload included, pinned clocks).
+pub fn table8_options(model: ModelId) -> TimingOptions {
+    let info = model.info();
+    TimingOptions::default()
+        .profiled()
+        .with_host_glue_us(info.host_glue_us + info.table8_harness_us)
+}
+
+/// Timing conditions of Table IX (same, without nvprof).
+pub fn table9_options(model: ModelId) -> TimingOptions {
+    let info = model.info();
+    TimingOptions::default().with_host_glue_us(info.host_glue_us + info.table8_harness_us)
+}
+
+/// Number of timed runs per cell ("each TensorRT engine obtained is executed
+/// for 10 runs", §II-F).
+pub const RUNS: usize = 10;
+
+/// A plain-text table builder with aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_repro::support::TextTable;
+/// let mut t = TextTable::new(vec!["model".into(), "fps".into()]);
+/// t.row(vec!["Alexnet".into(), "190.4".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Alexnet"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Self {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |row: &[String], widths: &mut Vec<usize>| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&self.header, &mut widths);
+        for row in &self.rows {
+            measure(row, &mut widths);
+        }
+        let render_row = |row: &[String]| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a mean in ms from µs samples (two decimals, paper style).
+pub fn ms(us: f64) -> String {
+    format!("{:.2}", us / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_build_for_both_platforms() {
+        for platform in Platform::all() {
+            let e = build_engine(ModelId::TinyYolov3, platform, 0).unwrap();
+            assert_eq!(e.build_platform(), platform);
+            assert!(e.launch_count() > 10);
+        }
+    }
+
+    #[test]
+    fn build_indices_give_different_engines() {
+        let a = build_engine(ModelId::Mtcnn, Platform::Nx, 0).unwrap();
+        let b = build_engine(ModelId::Mtcnn, Platform::Nx, 1).unwrap();
+        assert_ne!(a.build_seed(), b.build_seed());
+    }
+
+    #[test]
+    fn same_index_is_reproducible() {
+        let a = build_engine(ModelId::Mtcnn, Platform::Nx, 0).unwrap();
+        let b = build_engine(ModelId::Mtcnn, Platform::Nx, 0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn table8_options_attach_profiler() {
+        let o = table8_options(ModelId::Alexnet);
+        assert!(o.profiling.per_launch_us > 0.0);
+        let o9 = table9_options(ModelId::Alexnet);
+        assert_eq!(o9.profiling.per_launch_us, 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Software IEEE 754 binary16 ("half") and INT8 quantization helpers.
+//!
+//! TensorRT's headline optimization on Volta-class edge GPUs is running
+//! convolutions on FP16 tensor cores (the `h884` kernels the paper profiles)
+//! or as INT8 dot products. Reproducing the paper's accuracy findings requires
+//! the *actual rounding behaviour* of those formats, so this module implements
+//! binary16 conversion (round-to-nearest-even, denormal and infinity handling)
+//! and symmetric per-tensor INT8 quantization in portable Rust.
+
+/// IEEE 754 binary16 value stored as its bit pattern.
+///
+/// Arithmetic is performed by widening to `f32`, mirroring how tensor-core
+/// HMMA instructions multiply `f16` operands into an `f32` accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_util::F16;
+/// let x = F16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // binary16 has 11 bits of significand: 1/3 rounds.
+/// assert_ne!(F16::from_f32(1.0 / 3.0).to_f32(), 1.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7bff);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let mant = bits & 0x007f_ffff;
+
+        if exp == 0xff {
+            // Infinity or NaN; keep a quiet-NaN payload bit if NaN.
+            let nan_payload = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7c00 | nan_payload);
+        }
+
+        // Unbiased exponent for f32 is exp - 127; f16 bias is 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return F16(sign | 0x7c00); // overflow to infinity
+        }
+        if unbiased >= -14 {
+            // Normal range. Keep 10 mantissa bits, round to nearest even.
+            let mant16 = mant >> 13;
+            let round_bits = mant & 0x1fff;
+            let halfway = 0x1000;
+            let mut out = sign | (((unbiased + 15) as u16) << 10) | mant16 as u16;
+            if round_bits > halfway || (round_bits == halfway && (mant16 & 1) == 1) {
+                out = out.wrapping_add(1); // may carry into exponent: still correct
+            }
+            return F16(out);
+        }
+        if unbiased >= -25 {
+            // Subnormal range: shift the implicit leading 1 into the mantissa.
+            let full_mant = mant | 0x0080_0000;
+            let shift = (-14 - unbiased + 13) as u32;
+            let mant16 = full_mant >> shift;
+            let round_mask = (1u32 << shift) - 1;
+            let round_bits = full_mant & round_mask;
+            let halfway = 1u32 << (shift - 1);
+            let mut out = sign | mant16 as u16;
+            if round_bits > halfway || (round_bits == halfway && (mant16 & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        F16(sign) // underflow to signed zero
+    }
+
+    /// Converts to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & 0x8000) << 16;
+        let exp = (self.0 >> 10) & 0x1f;
+        let mant = u32::from(self.0 & 0x03ff);
+        let bits = match (exp, mant) {
+            (0, 0) => sign,
+            (0, m) => {
+                // Subnormal: value = m * 2^-24. Normalize so the top set bit of
+                // m becomes the implicit leading 1 of an f32 mantissa.
+                let shift = m.leading_zeros() - 21; // shift to place msb at bit 10
+                let frac = (m << shift) & 0x03ff;
+                let e = 113 - shift; // exponent field for 2^(msb_pos - 24)
+                sign | (e << 23) | (frac << 13)
+            }
+            (0x1f, 0) => sign | 0x7f80_0000,
+            (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
+            (e, m) => sign | ((u32::from(e) + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Returns `true` for NaN bit patterns.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7c00) == 0x7c00 && (self.0 & 0x03ff) != 0
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(value: f32) -> Self {
+        F16::from_f32(value)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(value: F16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Rounds an `f32` through binary16 and back; the basic FP16 quantization step.
+///
+/// Hot path: Veltkamp splitting (`c = v·(2¹³+1); hi = c − (c − v)`) rounds the
+/// significand to binary16's 11 bits with round-to-nearest-even in three
+/// flops, valid across the normal binary16 range; everything else (zeros,
+/// subnormals, overflow, NaN) takes the exact conversion.
+#[inline]
+pub fn round_f16(value: f32) -> f32 {
+    let a = value.abs();
+    // Normal range, and far enough from the top that `c` cannot overflow and
+    // the result cannot round past 65504.
+    if (6.103_515_6e-5..=32_768.0).contains(&a) {
+        let c = value * 8193.0;
+        c - (c - value)
+    } else {
+        F16::from_f32(value).to_f32()
+    }
+}
+
+/// Symmetric per-tensor INT8 quantization parameters.
+///
+/// TensorRT calibrates `scale = amax / 127` over a calibration set; values are
+/// quantized as `round(x / scale)` clamped to `[-127, 127]` (−128 unused, as in
+/// cuDNN's symmetric scheme).
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_util::f16::QuantParams;
+/// let q = QuantParams::from_amax(2.0);
+/// let code = q.quantize(1.0);
+/// assert!((q.dequantize(code) - 1.0).abs() < q.scale);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value represented by one integer step.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Builds parameters from the maximum absolute value observed.
+    ///
+    /// An `amax` of zero (an all-zero tensor) yields a tiny non-zero scale so
+    /// dequantization stays exact for zero inputs.
+    pub fn from_amax(amax: f32) -> Self {
+        let amax = if amax > 0.0 { amax } else { f32::MIN_POSITIVE };
+        Self { scale: amax / 127.0 }
+    }
+
+    /// Calibrates from data: `amax` over the slice.
+    pub fn calibrate(data: &[f32]) -> Self {
+        let amax = data.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
+        Self::from_amax(amax)
+    }
+
+    /// Quantizes one value to an INT8 code (round-to-nearest, clamp ±127).
+    pub fn quantize(&self, value: f32) -> i8 {
+        let q = (value / self.scale).round();
+        q.clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes an INT8 code back to `f32`.
+    pub fn dequantize(&self, code: i8) -> f32 {
+        f32::from(code) * self.scale
+    }
+
+    /// Convenience round trip: quantize then dequantize.
+    pub fn round_trip(&self, value: f32) -> f32 {
+        self.dequantize(self.quantize(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_exact_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25, 1024.0] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_one_has_canonical_bits() {
+        assert_eq!(F16::from_f32(1.0), F16::ONE);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+    }
+
+    #[test]
+    fn f16_overflow_is_infinity() {
+        assert_eq!(F16::from_f32(1e6).to_f32(), f32::INFINITY);
+        assert_eq!(F16::from_f32(-1e6).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_underflow_is_signed_zero() {
+        assert_eq!(F16::from_f32(1e-12).to_f32(), 0.0);
+        assert!(F16::from_f32(-1e-12).to_f32().is_sign_negative());
+    }
+
+    #[test]
+    fn f16_nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn f16_subnormals_round_trip() {
+        // Smallest positive subnormal of binary16 is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        let sub = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(sub).to_f32(), sub);
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10: rounds to even (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn f16_error_is_bounded_by_half_ulp() {
+        let mut worst = 0.0f32;
+        let mut x = 0.001f32;
+        while x < 1000.0 {
+            let r = round_f16(x);
+            let ulp = 2.0f32.powi(x.log2().floor() as i32 - 10);
+            worst = worst.max((r - x).abs() / ulp);
+            x *= 1.001;
+        }
+        assert!(worst <= 0.5 + 1e-3, "worst error {worst} ulp");
+    }
+
+    #[test]
+    fn fast_round_agrees_with_exact_conversion() {
+        // Sweep the fast-path boundary regions and a dense log grid.
+        let mut x = 1e-6f32;
+        while x < 1e5 {
+            for v in [x, -x] {
+                assert_eq!(
+                    round_f16(v),
+                    F16::from_f32(v).to_f32(),
+                    "disagreement at {v}"
+                );
+            }
+            x *= 1.0009;
+        }
+        for v in [0.0f32, -0.0, 65504.0, -65504.0, 6.1035156e-5, 32768.0] {
+            assert_eq!(round_f16(v), F16::from_f32(v).to_f32(), "edge {v}");
+        }
+    }
+
+    #[test]
+    fn quant_round_trip_error_bounded() {
+        let q = QuantParams::from_amax(4.0);
+        for i in -400..=400 {
+            let x = i as f32 / 100.0;
+            assert!((q.round_trip(x) - x).abs() <= q.scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quant_clamps_outliers() {
+        let q = QuantParams::from_amax(1.0);
+        assert_eq!(q.quantize(10.0), 127);
+        assert_eq!(q.quantize(-10.0), -127);
+    }
+
+    #[test]
+    fn quant_calibrate_uses_amax() {
+        let q = QuantParams::calibrate(&[0.5, -2.0, 1.0]);
+        assert!((q.scale - 2.0 / 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quant_zero_tensor_is_safe() {
+        let q = QuantParams::calibrate(&[0.0, 0.0]);
+        assert_eq!(q.round_trip(0.0), 0.0);
+        assert!(q.scale > 0.0);
+    }
+}

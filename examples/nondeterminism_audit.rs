@@ -1,0 +1,91 @@
+//! Auditing engine non-determinism end to end (paper Findings 2 and 6).
+//!
+//! Builds several engines of the same trained classifier, classifies the
+//! same images with each, and reports: which builds selected different
+//! kernels, which images received different labels, and how the paper's
+//! mitigation — shipping one serialized plan — removes the inconsistency.
+//!
+//! ```sh
+//! cargo run --release --example nondeterminism_audit
+//! ```
+
+use trtsim::data::SyntheticImageNet;
+use trtsim::engine::plan;
+use trtsim::engine::runtime::ExecutionContext;
+use trtsim::engine::{Builder, BuilderConfig, Engine, EngineError};
+use trtsim::gpu::device::DeviceSpec;
+use trtsim::metrics::consistency;
+use trtsim::models::numeric::{build_classifier, NUMERIC_INPUT};
+use trtsim::models::ModelId;
+
+fn main() -> Result<(), EngineError> {
+    // A trained classifier over a 10-class synthetic dataset.
+    let classes = 10;
+    let dataset = SyntheticImageNet::new(classes, NUMERIC_INPUT, 99).with_snr(1.0, 1.8);
+    let prototypes: Vec<_> = (0..classes).map(|c| dataset.prototype(c)).collect();
+    let network = build_classifier(ModelId::Resnet18, &prototypes, 0.3, 7);
+    let images = dataset.evaluation_set(40);
+
+    // Build four engines exactly as four deployments would.
+    let device = DeviceSpec::xavier_nx();
+    let engines: Vec<Engine> = (0..4)
+        .map(|_| Builder::new(device.clone(), BuilderConfig::default()).build(&network))
+        .collect::<Result<_, _>>()?;
+
+    // 1. Kernel-mapping audit.
+    println!("== kernel mapping per build ==");
+    for (i, e) in engines.iter().enumerate() {
+        let names = e.kernel_names();
+        println!(
+            "engine {i}: {} launches, first conv kernel: {}",
+            names.len(),
+            names.first().map(String::as_str).unwrap_or("-")
+        );
+    }
+    let identical_mappings = engines
+        .windows(2)
+        .all(|w| w[0].kernel_invocations() == w[1].kernel_invocations());
+    println!("all builds map to identical kernels: {identical_mappings}");
+
+    // 2. Output-label audit.
+    println!("\n== output labels per build ==");
+    let predictions: Vec<Vec<usize>> = engines
+        .iter()
+        .map(|e| {
+            let ctx = ExecutionContext::new(e, device.clone());
+            images
+                .iter()
+                .map(|img| ctx.classify(&img.image).expect("runs"))
+                .collect()
+        })
+        .collect();
+    for i in 1..predictions.len() {
+        let r = consistency(&predictions[0], &predictions[i]);
+        println!(
+            "engine 0 vs engine {i}: {} / {} labels differ ({:.2}%)",
+            r.mismatches,
+            r.total,
+            r.mismatch_percent()
+        );
+    }
+
+    // 3. The mitigation: deploy one plan everywhere.
+    println!("\n== mitigation: ship one serialized plan ==");
+    let blob = plan::serialize(&engines[0]);
+    let deployed_a = plan::deserialize(&blob)?;
+    let deployed_b = plan::deserialize(&blob)?;
+    let classify = |e: &Engine| -> Vec<usize> {
+        let ctx = ExecutionContext::new(e, device.clone());
+        images
+            .iter()
+            .map(|img| ctx.classify(&img.image).expect("runs"))
+            .collect()
+    };
+    let r = consistency(&classify(&deployed_a), &classify(&deployed_b));
+    println!(
+        "two deployments of the same plan: {} / {} labels differ",
+        r.mismatches, r.total
+    );
+    assert_eq!(r.mismatches, 0);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build an engine, run it, serialize it, time it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use trtsim::engine::plan;
+use trtsim::engine::runtime::{ExecutionContext, TimingOptions};
+use trtsim::engine::{Builder, BuilderConfig, EngineError};
+use trtsim::gpu::device::DeviceSpec;
+use trtsim::metrics::LatencyCell;
+use trtsim::models::ModelId;
+
+fn main() -> Result<(), EngineError> {
+    // 1. Pick a network from the paper's model zoo.
+    let network = ModelId::Googlenet.descriptor();
+    println!(
+        "network: {} ({} convs, {:.1} MiB FP32)",
+        network.name(),
+        network.conv_count(),
+        network.fp32_bytes() as f64 / (1 << 20) as f64
+    );
+
+    // 2. Build a TensorRT-like engine for the simulated Xavier NX.
+    let device = DeviceSpec::xavier_nx();
+    let engine = Builder::new(device.clone(), BuilderConfig::default()).build(&network)?;
+    let report = engine.report().passes;
+    println!(
+        "engine: {} kernel launches (removed {}, fused {}, merged {}), plan {:.1} MiB",
+        engine.launch_count(),
+        report.removed,
+        report.fused,
+        report.merged,
+        engine.plan_size_bytes() as f64 / (1 << 20) as f64
+    );
+
+    // 3. Show the kernel mapping (the names nvprof would print).
+    for (name, calls) in engine.kernel_invocations().iter().take(5) {
+        println!("  {calls:>3}x {name}");
+    }
+
+    // 4. Serialize and reload the plan — the paper's recommended deployment.
+    let blob = plan::serialize(&engine);
+    let restored = plan::deserialize(&blob)?;
+    assert_eq!(engine, restored);
+    println!("plan round-trip: {} bytes", blob.len());
+
+    // 5. Time ten inferences (the paper's measurement protocol).
+    let ctx = ExecutionContext::new(&restored, device);
+    let runs = ctx.measure_latency(&TimingOptions::default(), 10, 42);
+    println!("latency: {} ms (10 runs)", LatencyCell::from_runs_us(&runs));
+    Ok(())
+}

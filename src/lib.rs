@@ -1,0 +1,55 @@
+//! # trtsim
+//!
+//! A simulator-based reproduction of **"Demystifying TensorRT:
+//! Characterizing Neural Network Inference Engine on Nvidia Edge Devices"**
+//! (IISWC 2021): a TensorRT-like inference-engine builder and runtime, an
+//! analytic model of the Jetson Xavier NX/AGX GPUs, the paper's 13-network
+//! model zoo, synthetic datasets, profilers, and harnesses that regenerate
+//! every table and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace's public API under one roof:
+//!
+//! * [`ir`] — network IR and FP32 reference executor (the un-optimized path)
+//! * [`engine`] — the builder/runtime (`Builder`, `Engine`,
+//!   `ExecutionContext`, plan serialization)
+//! * [`gpu`] — device models, kernel timing, streams, concurrency
+//! * [`kernels`] — the tactic catalog and order-sensitive numerics
+//! * [`models`] — the 13 networks of the paper's Table II
+//! * [`data`] — synthetic benign/adversarial/traffic datasets
+//! * [`metrics`] — top-1 error, IoU precision/recall, latency cells
+//! * [`profiler`] — nvprof-like summaries over simulated timelines
+//! * [`perfmodel`] — the BSP prediction model (Eq. 2) and λ calibration
+//! * [`repro`] — one harness per paper table/figure
+//!
+//! # Quickstart
+//!
+//! ```
+//! use trtsim::engine::{Builder, BuilderConfig};
+//! use trtsim::gpu::device::DeviceSpec;
+//! use trtsim::models::ModelId;
+//!
+//! // Build a TensorRT-like engine for Tiny-YOLOv3 on a simulated Xavier NX.
+//! let network = ModelId::TinyYolov3.descriptor();
+//! let engine = Builder::new(DeviceSpec::xavier_nx(), BuilderConfig::default())
+//!     .build(&network)?;
+//! println!(
+//!     "{} kernels, plan {:.1} MiB",
+//!     engine.launch_count(),
+//!     engine.plan_size_bytes() as f64 / (1 << 20) as f64
+//! );
+//! # Ok::<(), trtsim::engine::EngineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use trtsim_core as engine;
+pub use trtsim_data as data;
+pub use trtsim_gpu as gpu;
+pub use trtsim_ir as ir;
+pub use trtsim_kernels as kernels;
+pub use trtsim_metrics as metrics;
+pub use trtsim_models as models;
+pub use trtsim_perfmodel as perfmodel;
+pub use trtsim_profiler as profiler;
+pub use trtsim_repro as repro;
+pub use trtsim_util as util;

@@ -1,0 +1,98 @@
+//! Cross-crate integration: every zoo model builds, serializes, reloads, and
+//! times on both platforms.
+
+use trtsim::engine::plan;
+use trtsim::engine::runtime::{ExecutionContext, TimingOptions};
+use trtsim::engine::{Builder, BuilderConfig};
+use trtsim::gpu::device::{DeviceSpec, Platform};
+use trtsim::models::ModelId;
+
+#[test]
+fn every_model_builds_on_both_platforms() {
+    for model in ModelId::all() {
+        for platform in Platform::all() {
+            let engine = Builder::new(
+                DeviceSpec::pinned_clock(platform),
+                BuilderConfig::default().with_build_seed(7),
+            )
+            .build(&model.descriptor())
+            .unwrap_or_else(|e| panic!("{model} on {platform}: {e}"));
+            assert!(engine.launch_count() > 0, "{model}: empty engine");
+            assert!(engine.plan_size_bytes() > 0);
+        }
+    }
+}
+
+#[test]
+fn every_engine_round_trips_through_its_plan() {
+    for model in ModelId::all() {
+        let engine = Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default().with_build_seed(3),
+        )
+        .build(&model.descriptor())
+        .unwrap();
+        let blob = plan::serialize(&engine);
+        let restored = plan::deserialize(&blob).unwrap_or_else(|e| panic!("{model}: {e}"));
+        assert_eq!(engine, restored, "{model}: plan round trip changed the engine");
+    }
+}
+
+#[test]
+fn every_engine_times_on_both_platforms() {
+    for model in ModelId::all() {
+        let engine = Builder::new(
+            DeviceSpec::pinned_clock(Platform::Nx),
+            BuilderConfig::default().with_build_seed(5),
+        )
+        .build(&model.descriptor())
+        .unwrap();
+        for platform in Platform::all() {
+            let ctx = ExecutionContext::new(&engine, DeviceSpec::pinned_clock(platform));
+            let opts = TimingOptions {
+                run_jitter_sd: 0.0,
+                ..TimingOptions::default()
+            };
+            let lat = ctx.measure_latency(&opts, 1, 0)[0];
+            assert!(
+                lat.is_finite() && lat > 0.0,
+                "{model} on {platform}: latency {lat}"
+            );
+            // Sanity ceiling: nothing takes longer than 10 simulated seconds.
+            assert!(lat < 10e6, "{model} on {platform}: latency {lat} µs");
+        }
+    }
+}
+
+#[test]
+fn pinned_seed_builds_are_bit_identical_across_calls() {
+    let model = ModelId::Googlenet.descriptor();
+    let builder = Builder::new(
+        DeviceSpec::xavier_agx(),
+        BuilderConfig::default().with_build_seed(11),
+    );
+    let a = builder.build(&model).unwrap();
+    let b = builder.build(&model).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(plan::serialize(&a), plan::serialize(&b));
+}
+
+#[test]
+fn dead_aux_heads_shrink_googlenet_engine() {
+    // The Table II mechanism: GoogLeNet's auxiliary training heads are dead
+    // at inference; the engine drops their ~6.4M parameters before FP16.
+    let network = ModelId::Googlenet.descriptor();
+    let engine = Builder::new(
+        DeviceSpec::xavier_nx(),
+        BuilderConfig::default().with_build_seed(0),
+    )
+    .build(&network)
+    .unwrap();
+    assert!(engine.report().passes.removed >= 6, "aux heads not removed");
+    let ratio = engine.stored_weight_bytes() as f64 / network.fp32_bytes() as f64;
+    assert!(
+        ratio < 0.35,
+        "engine weights {:.2} of model — aux heads survived",
+        ratio
+    );
+}
