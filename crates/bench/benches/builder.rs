@@ -1,8 +1,8 @@
 //! Benchmarks of the engine-build pipeline (Figure 2) and its passes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use trtsim_core::passes;
 use trtsim_core::{Builder, BuilderConfig};
 use trtsim_gpu::device::DeviceSpec;
@@ -65,5 +65,10 @@ fn bench_plan_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_builds, bench_passes, bench_plan_roundtrip);
+criterion_group!(
+    benches,
+    bench_full_builds,
+    bench_passes,
+    bench_plan_roundtrip
+);
 criterion_main!(benches);

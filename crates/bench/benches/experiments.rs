@@ -37,7 +37,9 @@ fn bench_accuracy(c: &mut Criterion) {
 
 fn bench_latency_and_concurrency(c: &mut Criterion) {
     let mut group = tight(c, "experiments-latency");
-    group.bench_function("table9_latency_two_models", |b| b.iter(exp_latency::run_table9));
+    group.bench_function("table9_latency_two_models", |b| {
+        b.iter(exp_latency::run_table9)
+    });
     group.bench_function("fig3_tinyyolo_nx", |b| {
         b.iter(|| exp_concurrency::run(ModelId::TinyYolov3, Platform::Nx))
     });

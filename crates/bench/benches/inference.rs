@@ -1,8 +1,8 @@
 //! Benchmarks of engine execution: numeric inference and simulated timing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use trtsim_core::runtime::{ExecutionContext, TimingOptions};
 use trtsim_core::{Builder, BuilderConfig};
 use trtsim_data::SyntheticImageNet;
@@ -47,7 +47,9 @@ fn bench_timed_inference(c: &mut Criterion) {
     group.bench_function("measure_latency_10_runs", |b| {
         b.iter(|| ctx.measure_latency(black_box(&opts), 10, 0))
     });
-    group.bench_function("engine_profile", |b| b.iter(|| ctx.profile(black_box(2000.0))));
+    group.bench_function("engine_profile", |b| {
+        b.iter(|| ctx.profile(black_box(2000.0)))
+    });
     group.finish();
 }
 

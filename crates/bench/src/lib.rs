@@ -1,8 +1,9 @@
 //! Benchmark support: shared fixtures for the Criterion benches.
 //!
 //! The benches live under `benches/`: `builder` (engine-build pipeline and
-//! individual passes), `inference` (numeric and timed execution), and
-//! `experiments` (the paper's table harnesses end to end).
+//! individual passes), `inference` (numeric and timed execution),
+//! `experiments` (the paper's table harnesses end to end), and `serving`
+//! (the inference server's submission path and batched serve runs).
 
 #![warn(missing_docs)]
 

@@ -62,8 +62,8 @@ pub fn select(
             candidates.retain(|t| t.precision != trtsim_gpu::kernel::Precision::Int8);
         }
         if candidates.is_empty() {
-            let needs_compute = costs[node.id].flops() > 0
-                && !matches!(node.kind, LayerKind::Input);
+            let needs_compute =
+                costs[node.id].flops() > 0 && !matches!(node.kind, LayerKind::Input);
             if needs_compute {
                 return Err(EngineError::NoTactic {
                     node: node.name.clone(),
@@ -110,7 +110,11 @@ mod tests {
 
     fn conv_net() -> Graph {
         let mut g = Graph::new("t", [16, 32, 32]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(96, 16, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(96, 16, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let p = g.add_layer(
             "p",
             LayerKind::Pool {
@@ -176,7 +180,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any_diff, "24 rebuilds never changed a tactic — noise too weak");
+        assert!(
+            any_diff,
+            "24 rebuilds never changed a tactic — noise too weak"
+        );
     }
 
     #[test]

@@ -87,12 +87,15 @@ impl Builder {
         }
 
         // Step 4a: weight compression.
-        let (g, compressed_blobs) = if self.config.enable_clustering || self.config.enable_pruning
-        {
+        let (g, compressed_blobs) = if self.config.enable_clustering || self.config.enable_pruning {
             compress::compress_graph(
                 &g,
-                self.config.enable_clustering.then_some(self.config.cluster_bits),
-                self.config.enable_pruning.then_some(self.config.prune_threshold),
+                self.config
+                    .enable_clustering
+                    .then_some(self.config.cluster_bits),
+                self.config
+                    .enable_pruning
+                    .then_some(self.config.prune_threshold),
             )
         } else {
             (g, 0)
@@ -122,9 +125,7 @@ impl Builder {
             .into_iter()
             .enumerate()
             .map(|(id, choice)| ExecUnit {
-                quant: choice
-                    .as_ref()
-                    .and_then(|_| calibration.get(&id).copied()),
+                quant: choice.as_ref().and_then(|_| calibration.get(&id).copied()),
                 choice,
             })
             .collect();

@@ -63,7 +63,11 @@ mod tests {
 
     fn net() -> Graph {
         let mut g = Graph::new("t", [3, 8, 8]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(4, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let c2 = g.add_layer("c2", LayerKind::conv_seeded(4, 4, 3, 1, 1, 1), &[c1]);
         g.mark_output(c2);
         g

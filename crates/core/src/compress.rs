@@ -186,7 +186,11 @@ mod tests {
         let noisy = overfit(&ideal, 0.15, 9);
         let recovered = cluster_weights(&noisy, 3, 12);
         let err = |a: &[f32]| -> f32 {
-            a.iter().zip(&ideal).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32
+            a.iter()
+                .zip(&ideal)
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f32>()
+                / a.len() as f32
         };
         assert!(
             err(&recovered) < err(&noisy),

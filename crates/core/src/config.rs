@@ -11,14 +11,23 @@ static BUILD_COUNTER: AtomicU64 = AtomicU64::new(0x5eed);
 
 /// Configuration for [`crate::Builder`].
 ///
+/// Follows the workspace's configuration convention (DESIGN §6): every
+/// config type implements `Default` with production-like values, every
+/// public field has a fluent `with_*` setter that validates or clamps its
+/// argument, and consumers chain setters off `default()`. New knobs get
+/// defaults, so adding one never breaks existing call sites.
+///
 /// # Examples
 ///
 /// ```
 /// use trtsim_core::config::BuilderConfig;
 /// let config = BuilderConfig::default()
-///     .with_build_seed(7)       // reproducible build (the simulator's extra knob)
-///     .with_clustering(true);   // weight clustering compression
+///     .with_build_seed(7)        // reproducible build (the simulator's extra knob)
+///     .with_timing_noise_sd(0.0) // noise-free autotuning measurements
+///     .with_clustering(true)     // weight clustering compression
+///     .with_cluster_bits(5);     // 32-entry codebook
 /// assert_eq!(config.build_seed, Some(7));
+/// assert_eq!(config.cluster_bits, 5);
 /// ```
 #[derive(Debug, Clone)]
 pub struct BuilderConfig {
@@ -86,15 +95,59 @@ impl BuilderConfig {
         self
     }
 
+    /// Sets the relative standard deviation of tactic timing measurements,
+    /// clamped to `[0, 1]`. Zero makes autotuning measurements exact, which
+    /// (with a pinned seed) removes build non-determinism entirely.
+    pub fn with_timing_noise_sd(mut self, sd: f64) -> Self {
+        self.timing_noise_sd = if sd.is_nan() { 0.0 } else { sd.clamp(0.0, 1.0) };
+        self
+    }
+
     /// Enables or disables weight clustering.
     pub fn with_clustering(mut self, on: bool) -> Self {
         self.enable_clustering = on;
         self
     }
 
+    /// Sets the log2 codebook size for weight clustering, clamped to
+    /// `1..=8` (2 to 256 centroids).
+    pub fn with_cluster_bits(mut self, bits: u32) -> Self {
+        self.cluster_bits = bits.clamp(1, 8);
+        self
+    }
+
     /// Enables or disables magnitude pruning.
     pub fn with_pruning(mut self, on: bool) -> Self {
         self.enable_pruning = on;
+        self
+    }
+
+    /// Sets the pruning threshold (in units of the weight tensor's standard
+    /// deviation); negative or NaN values clamp to zero (prune nothing).
+    pub fn with_prune_threshold(mut self, threshold: f32) -> Self {
+        self.prune_threshold = if threshold.is_nan() {
+            0.0
+        } else {
+            threshold.max(0.0)
+        };
+        self
+    }
+
+    /// Enables or disables the dead-layer-removal pass (ablation switch).
+    pub fn with_dead_layer(mut self, on: bool) -> Self {
+        self.enable_dead_layer = on;
+        self
+    }
+
+    /// Enables or disables the vertical-fusion pass (ablation switch).
+    pub fn with_vertical_fusion(mut self, on: bool) -> Self {
+        self.enable_vertical_fusion = on;
+        self
+    }
+
+    /// Enables or disables the horizontal-merge pass (ablation switch).
+    pub fn with_horizontal_merge(mut self, on: bool) -> Self {
+        self.enable_horizontal_merge = on;
         self
     }
 
@@ -159,12 +212,85 @@ mod tests {
         let c = BuilderConfig::default();
         assert!(c.enable_dead_layer && c.enable_vertical_fusion && c.enable_horizontal_merge);
         let off = c.without_graph_passes();
-        assert!(!off.enable_dead_layer && !off.enable_vertical_fusion && !off.enable_horizontal_merge);
+        assert!(
+            !off.enable_dead_layer && !off.enable_vertical_fusion && !off.enable_horizontal_merge
+        );
     }
 
     #[test]
     fn timing_samples_floor_at_one() {
-        assert_eq!(BuilderConfig::default().with_timing_samples(0).timing_samples, 1);
+        assert_eq!(
+            BuilderConfig::default()
+                .with_timing_samples(0)
+                .timing_samples,
+            1
+        );
+    }
+
+    #[test]
+    fn every_public_field_has_a_setter() {
+        let c = BuilderConfig::default()
+            .with_policy(PrecisionPolicy::fp32_only())
+            .with_build_seed(1)
+            .with_timing_noise_sd(0.1)
+            .with_timing_samples(3)
+            .with_clustering(true)
+            .with_cluster_bits(4)
+            .with_pruning(true)
+            .with_prune_threshold(0.2)
+            .with_calibration(vec![Tensor::zeros([1, 2, 2])])
+            .with_dead_layer(false)
+            .with_vertical_fusion(false)
+            .with_horizontal_merge(false);
+        assert_eq!(c.build_seed, Some(1));
+        assert_eq!(c.timing_noise_sd, 0.1);
+        assert_eq!(c.timing_samples, 3);
+        assert!(c.enable_clustering && c.enable_pruning);
+        assert_eq!(c.cluster_bits, 4);
+        assert_eq!(c.prune_threshold, 0.2);
+        assert!(!c.enable_dead_layer && !c.enable_vertical_fusion && !c.enable_horizontal_merge);
+    }
+
+    #[test]
+    fn setters_clamp_out_of_range_values() {
+        assert_eq!(
+            BuilderConfig::default()
+                .with_timing_noise_sd(-1.0)
+                .timing_noise_sd,
+            0.0
+        );
+        assert_eq!(
+            BuilderConfig::default()
+                .with_timing_noise_sd(2.0)
+                .timing_noise_sd,
+            1.0
+        );
+        assert_eq!(
+            BuilderConfig::default()
+                .with_timing_noise_sd(f64::NAN)
+                .timing_noise_sd,
+            0.0
+        );
+        assert_eq!(
+            BuilderConfig::default().with_cluster_bits(0).cluster_bits,
+            1
+        );
+        assert_eq!(
+            BuilderConfig::default().with_cluster_bits(99).cluster_bits,
+            8
+        );
+        assert_eq!(
+            BuilderConfig::default()
+                .with_prune_threshold(-0.5)
+                .prune_threshold,
+            0.0
+        );
+        assert_eq!(
+            BuilderConfig::default()
+                .with_prune_threshold(f32::NAN)
+                .prune_threshold,
+            0.0
+        );
     }
 
     #[test]

@@ -124,9 +124,7 @@ impl Engine {
         for (node, unit) in self.graph.nodes().iter().zip(&self.units) {
             let params = match &node.kind {
                 LayerKind::Conv(c) => Some((c.weights.len(), c.bias.len())),
-                LayerKind::InnerProduct { weights, bias, .. } => {
-                    Some((weights.len(), bias.len()))
-                }
+                LayerKind::InnerProduct { weights, bias, .. } => Some((weights.len(), bias.len())),
                 _ => None,
             };
             let Some((w_len, b_len)) = params else {
@@ -198,7 +196,11 @@ mod tests {
 
     fn small_engine(seed: u64) -> Engine {
         let mut g = Graph::new("m", [3, 32, 32]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(64, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(64, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let p = g.add_layer(
             "p",
             LayerKind::Pool {
@@ -211,9 +213,12 @@ mod tests {
         );
         let c2 = g.add_layer("c2", LayerKind::conv_seeded(64, 64, 3, 1, 1, 1), &[p]);
         g.mark_output(c2);
-        Builder::new(DeviceSpec::xavier_nx(), BuilderConfig::default().with_build_seed(seed))
-            .build(&g)
-            .unwrap()
+        Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default().with_build_seed(seed),
+        )
+        .build(&g)
+        .unwrap()
     }
 
     #[test]

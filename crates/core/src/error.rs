@@ -27,7 +27,10 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::InvalidNetwork(e) => write!(f, "invalid network: {e}"),
             EngineError::NoTactic { node } => {
-                write!(f, "no tactic can implement layer `{node}` under this policy")
+                write!(
+                    f,
+                    "no tactic can implement layer `{node}` under this policy"
+                )
             }
             EngineError::MissingCalibration => {
                 write!(f, "INT8 mode requires a calibration set")

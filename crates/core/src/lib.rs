@@ -62,3 +62,6 @@ pub use config::BuilderConfig;
 pub use engine::{Engine, ExecUnit};
 pub use error::EngineError;
 pub use runtime::{ExecutionContext, TimingOptions};
+pub use serving::{
+    serve, InferenceServer, RequestRecord, ServerConfig, ServerStats, ServingError, ServingReport,
+};

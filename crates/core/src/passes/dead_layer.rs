@@ -56,7 +56,11 @@ mod tests {
 
     fn graph_with_dead_weight() -> Graph {
         let mut g = Graph::new("t", [3, 8, 8]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(4, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let drop = g.add_layer("drop", LayerKind::Dropout { rate: 0.5 }, &[c1]);
         let c2 = g.add_layer("c2", LayerKind::conv_seeded(4, 4, 3, 1, 1, 1), &[drop]);
         // Auxiliary head that reaches no output.
@@ -89,7 +93,11 @@ mod tests {
     #[test]
     fn clean_graph_is_untouched() {
         let mut g = Graph::new("t", [3, 8, 8]);
-        let c = g.add_layer("c", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c = g.add_layer(
+            "c",
+            LayerKind::conv_seeded(4, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         g.mark_output(c);
         let (out, report) = run(&g).unwrap();
         assert_eq!(report.removed, 0);

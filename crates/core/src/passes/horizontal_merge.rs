@@ -85,7 +85,9 @@ pub fn run(graph: &Graph) -> Result<(Graph, PassReport), IrError> {
             let merged = build_merged(graph, members);
             let producer = rw.map[key.producer].expect("producer mapped");
             let name = format!("{}_hmerged", node.name);
-            let id = rw.graph.add_layer(name, LayerKind::Conv(merged), &[producer]);
+            let id = rw
+                .graph
+                .add_layer(name, LayerKind::Conv(merged), &[producer]);
             merged_id[gi] = Some(id);
             report.merged += members.len() - 1;
         }
@@ -271,8 +273,16 @@ mod tests {
     #[test]
     fn seeded_branches_merge_structurally() {
         let mut g = Graph::new("t", [4, 8, 8]);
-        let b1 = g.add_layer("b1", LayerKind::conv_seeded(4, 4, 1, 1, 0, 1), &[Graph::INPUT]);
-        let b2 = g.add_layer("b2", LayerKind::conv_seeded(4, 4, 1, 1, 0, 2), &[Graph::INPUT]);
+        let b1 = g.add_layer(
+            "b1",
+            LayerKind::conv_seeded(4, 4, 1, 1, 0, 1),
+            &[Graph::INPUT],
+        );
+        let b2 = g.add_layer(
+            "b2",
+            LayerKind::conv_seeded(4, 4, 1, 1, 0, 2),
+            &[Graph::INPUT],
+        );
         let cat = g.add_layer("cat", LayerKind::Concat, &[b1, b2]);
         g.mark_output(cat);
         let (out, report) = run(&g).unwrap();

@@ -115,6 +115,13 @@ mod tests {
             merged: 3,
         };
         a.merge(&a.clone());
-        assert_eq!(a, PassReport { removed: 2, fused: 4, merged: 6 });
+        assert_eq!(
+            a,
+            PassReport {
+                removed: 2,
+                fused: 4,
+                merged: 6
+            }
+        );
     }
 }

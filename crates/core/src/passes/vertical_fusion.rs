@@ -161,7 +161,11 @@ fn apply_folds(conv: &ConvParams, ops: &[FoldOp]) -> ConvParams {
                 let mut new_w = Vec::with_capacity(w.len());
                 for oc in 0..out.out_channels {
                     let a = alpha[oc];
-                    new_w.extend(w[oc * per_filter..(oc + 1) * per_filter].iter().map(|x| x * a));
+                    new_w.extend(
+                        w[oc * per_filter..(oc + 1) * per_filter]
+                            .iter()
+                            .map(|x| x * a),
+                    );
                 }
                 out.weights = Weights::Dense(new_w);
                 let old_bias: Vec<f32> = out.bias.iter().collect();
@@ -257,7 +261,11 @@ mod tests {
     #[test]
     fn activation_after_activation_does_not_fuse() {
         let mut g = Graph::new("t", [3, 8, 8]);
-        let c = g.add_layer("c", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]); // has relu
+        let c = g.add_layer(
+            "c",
+            LayerKind::conv_seeded(4, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        ); // has relu
         let s = g.add_layer("sig", LayerKind::Act(Activation::Sigmoid), &[c]);
         g.mark_output(s);
         let (out, report) = run(&g).unwrap();
@@ -294,7 +302,11 @@ mod tests {
     fn bn_after_activation_does_not_fold() {
         // conv(relu) → bn: the affine cannot move inside the relu.
         let mut g = Graph::new("t", [3, 8, 8]);
-        let c = g.add_layer("c", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c = g.add_layer(
+            "c",
+            LayerKind::conv_seeded(4, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let b = g.add_layer("bn", bn(4, 2), &[c]);
         g.mark_output(b);
         let (out, report) = run(&g).unwrap();

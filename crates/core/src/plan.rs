@@ -11,9 +11,7 @@
 use bytes::{Buf, BufMut, BytesMut};
 use trtsim_gpu::device::Platform;
 use trtsim_gpu::kernel::{KernelDesc, Precision};
-use trtsim_ir::graph::{
-    Activation, ConvParams, EltwiseOp, Graph, LayerKind, PoolKind,
-};
+use trtsim_ir::graph::{Activation, ConvParams, EltwiseOp, Graph, LayerKind, PoolKind};
 use trtsim_ir::weights::Weights;
 use trtsim_kernels::numeric::QuantDesc;
 use trtsim_kernels::tactic::{AccumOrder, Tactic, TacticFamily};
@@ -583,9 +581,7 @@ fn get_kind(r: &mut Reader<'_>) -> Result<LayerKind, EngineError> {
         },
         10 => LayerKind::Concat,
         11 => LayerKind::Softmax,
-        12 => LayerKind::Upsample {
-            factor: r.dim()?,
-        },
+        12 => LayerKind::Upsample { factor: r.dim()? },
         13 => LayerKind::Flatten,
         14 => LayerKind::Dropout { rate: r.f32()? },
         15 => LayerKind::Identity,
@@ -701,7 +697,11 @@ mod tests {
 
     fn engine() -> Engine {
         let mut g = Graph::new("plan_test", [3, 16, 16]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(16, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(16, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let p = g.add_layer(
             "p",
             LayerKind::Pool {
@@ -715,7 +715,13 @@ mod tests {
         let b1 = g.add_layer("b1", LayerKind::conv_seeded(8, 16, 1, 1, 0, 1), &[p]);
         let b2 = g.add_layer("b2", LayerKind::conv_seeded(8, 16, 1, 1, 0, 2), &[p]);
         let cat = g.add_layer("cat", LayerKind::Concat, &[b1, b2]);
-        let gp = g.add_layer("gp", LayerKind::GlobalPool { kind: PoolKind::Avg }, &[cat]);
+        let gp = g.add_layer(
+            "gp",
+            LayerKind::GlobalPool {
+                kind: PoolKind::Avg,
+            },
+            &[cat],
+        );
         let fc = g.add_layer("fc", LayerKind::fc_seeded(10, 16, 3), &[gp]);
         let sm = g.add_layer("sm", LayerKind::Softmax, &[fc]);
         g.mark_output(sm);
@@ -759,7 +765,10 @@ mod tests {
         let blob = serialize(&engine());
         for cut in [0, 4, 8, 20, blob.len() / 2, blob.len() - 1] {
             assert!(
-                matches!(deserialize(&blob[..cut]), Err(EngineError::MalformedPlan(_))),
+                matches!(
+                    deserialize(&blob[..cut]),
+                    Err(EngineError::MalformedPlan(_))
+                ),
                 "cut at {cut} not rejected"
             );
         }

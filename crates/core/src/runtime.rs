@@ -244,11 +244,30 @@ impl<'e> ExecutionContext<'e> {
         stream: StreamId,
         opts: &TimingOptions,
     ) -> f64 {
+        self.enqueue_batched_inference(timeline, stream, opts, 1)
+    }
+
+    /// Enqueues one *batched* inference covering `batch` frames: a single
+    /// `batch`×-sized input H2D, one `batch`-scaled launch per kernel, one
+    /// combined output D2H, and one round of host glue. Kernel work and copy
+    /// traffic scale with the batch; launch overhead and glue are paid once —
+    /// the amortization a dynamic batcher exploits (`batch == 1` is exactly
+    /// [`ExecutionContext::enqueue_inference`]). Returns the completion time
+    /// (µs).
+    pub fn enqueue_batched_inference(
+        &self,
+        timeline: &mut GpuTimeline,
+        stream: StreamId,
+        opts: &TimingOptions,
+        batch: usize,
+    ) -> f64 {
+        let batch = batch.max(1) as u64;
         let in_shape = self.engine.graph.input_shape();
-        timeline.enqueue_h2d(stream, (in_shape[0] * in_shape[1] * in_shape[2]) as u64 * 4);
+        let frame_bytes = (in_shape[0] * in_shape[1] * in_shape[2]) as u64 * 4;
+        timeline.enqueue_h2d(stream, frame_bytes * batch);
         for unit in &self.engine.units {
             if let Some(choice) = &unit.choice {
-                timeline.enqueue_kernel(stream, &choice.kernel);
+                timeline.enqueue_batched_kernel(stream, &choice.kernel, batch);
             }
         }
         let out_bytes: u64 = self
@@ -261,7 +280,7 @@ impl<'e> ExecutionContext<'e> {
                 (s[0] * s[1] * s[2]) as u64 * 4
             })
             .sum();
-        timeline.enqueue_d2h(stream, out_bytes.max(4));
+        timeline.enqueue_d2h(stream, (out_bytes * batch).max(4));
         timeline.host_gap(stream, opts.host_glue_us)
     }
 
@@ -341,7 +360,11 @@ mod tests {
 
     fn net() -> Graph {
         let mut g = Graph::new("m", [3, 16, 16]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(16, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(16, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let p = g.add_layer(
             "p",
             LayerKind::Pool {
@@ -352,7 +375,13 @@ mod tests {
             },
             &[c1],
         );
-        let gp = g.add_layer("gp", LayerKind::GlobalPool { kind: PoolKind::Avg }, &[p]);
+        let gp = g.add_layer(
+            "gp",
+            LayerKind::GlobalPool {
+                kind: PoolKind::Avg,
+            },
+            &[p],
+        );
         let fc = g.add_layer("fc", LayerKind::fc_seeded(10, 16, 3), &[gp]);
         g.mark_output(fc);
         g
@@ -439,6 +468,37 @@ mod tests {
         let e = engine(6);
         let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
         assert!(ctx.infer(&Tensor::zeros([3, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn batched_enqueue_amortizes_per_frame_cost() {
+        let e = engine(8);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        let opts = TimingOptions {
+            run_jitter_sd: 0.0,
+            ..TimingOptions::default()
+        };
+        let mut tl1 = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s1 = tl1.create_stream();
+        let mut one_by_one = 0.0;
+        for _ in 0..8 {
+            one_by_one = ctx.enqueue_inference(&mut tl1, s1, &opts);
+        }
+        let mut tl8 = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s8 = tl8.create_stream();
+        let batched = ctx.enqueue_batched_inference(&mut tl8, s8, &opts, 8);
+        // Same 8 frames, one launch set + one glue round: strictly faster.
+        assert!(batched < one_by_one, "{batched} !< {one_by_one}");
+        assert_eq!(tl8.kernels().len(), e.launch_count());
+        // And a batch of one is byte-identical to the single-frame path.
+        let mut tl_a = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let mut tl_b = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let sa = tl_a.create_stream();
+        let sb = tl_b.create_stream();
+        assert_eq!(
+            ctx.enqueue_inference(&mut tl_a, sa, &opts),
+            ctx.enqueue_batched_inference(&mut tl_b, sb, &opts, 1)
+        );
     }
 
     #[test]

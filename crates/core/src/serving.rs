@@ -1,25 +1,260 @@
-//! Multi-threaded inference serving over the simulated GPU.
+//! Production-style inference serving over the simulated GPU.
 //!
-//! The paper's deployment pattern (§IV-B, §VI-A): N host threads, each bound
-//! to its own CUDA stream inside one shared context, all running the same
-//! engine — an intersection controller fanning camera feeds onto one board.
-//! This module runs that architecture with *real* OS threads (crossbeam
-//! channels dispatch frames, `parking_lot` guards the device) against the
-//! *simulated* timeline, so the concurrency structure is genuine while time
-//! remains modeled and reproducible.
+//! The paper's deployment pattern (§IV-B, §VI-A) is N camera feeds fanned
+//! onto one Jetson: one engine, one CUDA context, one stream per worker.
+//! This module runs that architecture as a real server would be built on top
+//! of TensorRT — with *real* OS threads against the *simulated* timeline, so
+//! the concurrency structure is genuine while time stays modeled:
+//!
+//! ```text
+//!   submit / try_submit          batcher thread              worker threads
+//!  ───────────────────▶ bounded ───────────────▶ per-worker ───────────────▶ GpuTimeline
+//!   Err(QueueFull) ◀──  queue    coalesce ≤ B,   rendezvous   one batched     (stream w)
+//!   when full            │       wait ≤ T µs     channels     enqueue per
+//!                        ▼                                    batch
+//!                  depth / high-water                          │
+//!                                                              ▼
+//!                                             ServerStats: p50/p90/p99, batch
+//!                                             histogram, rejects, GR3D, FPS
+//! ```
+//!
+//! * **Backpressure** — the submission queue is bounded.
+//!   [`InferenceServer::try_submit`] refuses with [`ServingError::QueueFull`]
+//!   when it is full (shed load at admission, the knee in the serving curve);
+//!   [`InferenceServer::submit`] blocks instead.
+//! * **Dynamic batching** — the batcher coalesces up to
+//!   [`ServerConfig::max_batch_size`] queued frames into one batched enqueue
+//!   ([`crate::runtime::ExecutionContext::enqueue_batched_inference`]),
+//!   paying launch overhead and host glue once per batch instead of once per
+//!   frame. [`ServerConfig::batch_timeout_us`] bounds how long a partial
+//!   batch waits for stragglers (`0` = never wait, `f64::INFINITY` = only
+//!   full batches, which makes a submit-all-then-drain run fully
+//!   deterministic).
+//! * **Graceful shutdown** — [`InferenceServer::drain`] completes every
+//!   accepted frame; [`InferenceServer::abort`] drops what has not started.
+//! * **Observability** — [`ServerStats`] carries per-request simulated
+//!   latency percentiles (via [`trtsim_metrics::LatencyPercentiles`]), the
+//!   batch-size histogram, the queue-depth high-water mark, and the rejected
+//!   count.
+//!
+//! The original one-shot [`serve`] entry point survives as a thin wrapper
+//! (batch size 1, blocking submission) so the Figure 3/4 harness
+//! configuration keeps working unchanged.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel;
-use parking_lot::Mutex;
 use trtsim_gpu::device::DeviceSpec;
 use trtsim_gpu::tegrastats;
 use trtsim_gpu::timeline::{GpuTimeline, StreamId};
+use trtsim_metrics::LatencyPercentiles;
 
 use crate::engine::Engine;
 use crate::runtime::{ExecutionContext, TimingOptions};
 
-/// Outcome of a serving run.
+/// Errors from configuring or feeding an [`InferenceServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingError {
+    /// The [`ServerConfig`] is unusable; the message names the bad knob.
+    InvalidConfig(String),
+    /// The bounded submission queue is full — shed load or retry later.
+    QueueFull,
+    /// The server has shut down and no longer accepts frames.
+    Stopped,
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::InvalidConfig(detail) => write!(f, "invalid server config: {detail}"),
+            ServingError::QueueFull => write!(f, "submission queue is full"),
+            ServingError::Stopped => write!(f, "server is stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// Configuration for [`InferenceServer`], built fluently like
+/// [`crate::config::BuilderConfig`]: start from [`ServerConfig::default`],
+/// chain `with_*` setters, and let [`InferenceServer::start`] validate the
+/// result. New knobs get defaults, so code built this way keeps compiling as
+/// fields are added (the `Default` + builder convention documented in
+/// DESIGN §6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Worker thread count; each worker owns one stream on the shared
+    /// timeline (the paper's thread-per-camera pattern).
+    pub workers: usize,
+    /// Capacity of the bounded submission queue. Admission beyond this
+    /// rejects ([`ServingError::QueueFull`]) or blocks.
+    pub queue_capacity: usize,
+    /// Largest number of frames the dynamic batcher coalesces into one
+    /// batched enqueue. `1` disables batching.
+    pub max_batch_size: usize,
+    /// How long (simulated µs) a partial batch waits for stragglers before
+    /// dispatching. `0` never waits; `f64::INFINITY` dispatches full batches
+    /// only (deterministic for submit-all-then-drain runs). The wait is
+    /// charged to the dispatching stream when it expires.
+    pub batch_timeout_us: f64,
+    /// Simulated inter-arrival gap between accepted frames, µs. Models an
+    /// open-loop source (a camera at a fixed rate); `0` means all frames
+    /// arrive at t = 0, so reported latency includes time spent queued.
+    pub arrival_period_us: f64,
+    /// Timing harness options applied to every enqueue.
+    pub timing: TimingOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            max_batch_size: 1,
+            batch_timeout_us: 0.0,
+            arrival_period_us: 0.0,
+            timing: TimingOptions::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the worker (= stream) count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the bounded submission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the dynamic batcher's maximum batch size.
+    pub fn with_max_batch_size(mut self, batch: usize) -> Self {
+        self.max_batch_size = batch;
+        self
+    }
+
+    /// Sets the straggler wait for partial batches, simulated µs.
+    pub fn with_batch_timeout_us(mut self, us: f64) -> Self {
+        self.batch_timeout_us = us;
+        self
+    }
+
+    /// Sets the simulated inter-arrival gap between accepted frames, µs.
+    pub fn with_arrival_period_us(mut self, us: f64) -> Self {
+        self.arrival_period_us = us;
+        self
+    }
+
+    /// Sets the timing harness options.
+    pub fn with_timing(mut self, timing: TimingOptions) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Checks every knob, naming the first invalid one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] if any field is out of range.
+    pub fn validate(&self) -> Result<(), ServingError> {
+        if self.workers == 0 {
+            return Err(ServingError::InvalidConfig(
+                "need at least one worker".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServingError::InvalidConfig(
+                "queue capacity must be at least 1".into(),
+            ));
+        }
+        if self.max_batch_size == 0 {
+            return Err(ServingError::InvalidConfig(
+                "max batch size must be at least 1".into(),
+            ));
+        }
+        if self.batch_timeout_us.is_nan() || self.batch_timeout_us < 0.0 {
+            return Err(ServingError::InvalidConfig(
+                "batch timeout must be non-negative (or infinite)".into(),
+            ));
+        }
+        if !self.arrival_period_us.is_finite() || self.arrival_period_us < 0.0 {
+            return Err(ServingError::InvalidConfig(
+                "arrival period must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One completed request, for order/latency audits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Caller-supplied frame id.
+    pub frame: u64,
+    /// Worker (= stream index) that served it.
+    pub worker: usize,
+    /// Simulated arrival time, µs.
+    pub arrival_us: f64,
+    /// Simulated completion time, µs.
+    pub done_us: f64,
+}
+
+/// Snapshot of a server's counters and simulated-time metrics; obtained live
+/// via [`InferenceServer::stats`] or finally from [`InferenceServer::drain`]
+/// / [`InferenceServer::abort`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Worker count.
+    pub workers: usize,
+    /// Frames admitted past the bounded queue.
+    pub accepted: u64,
+    /// Frames fully served.
+    pub completed: u64,
+    /// Accepted frames discarded by [`InferenceServer::abort`].
+    pub dropped: u64,
+    /// Frames refused by [`InferenceServer::try_submit`] on a full queue.
+    pub rejected: u64,
+    /// Batched enqueues issued.
+    pub batches: u64,
+    /// Batch-size histogram: `batch_size_counts[s - 1]` batches held `s`
+    /// frames.
+    pub batch_size_counts: Vec<u64>,
+    /// Most frames ever waiting in the submission queue.
+    pub queue_high_water: usize,
+    /// Per-request simulated latency percentiles.
+    pub latency: LatencyPercentiles,
+    /// Simulated wall time consumed, seconds.
+    pub simulated_seconds: f64,
+    /// Completed frames per simulated second.
+    pub aggregate_fps: f64,
+    /// Mean GR3D utilization over the run, percent.
+    pub gr3d_percent: f64,
+    /// Frames each worker served.
+    pub frames_per_worker: Vec<u64>,
+    /// Per-request completion log, in completion order per worker.
+    pub completions: Vec<RequestRecord>,
+}
+
+impl ServerStats {
+    /// Mean frames per batched enqueue (0 when no batch ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Outcome of a serving run (the original aggregate report; kept for the
+/// Figure 3/4 harness configuration and produced by [`serve`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
     /// Worker (= stream) count.
@@ -36,65 +271,428 @@ pub struct ServingReport {
     pub gr3d_percent: f64,
 }
 
-/// Serves `frames` inferences across `threads` worker threads, each with its
-/// own stream on a shared timeline. Frames are pulled from a shared queue
-/// (work-stealing, like a camera fan-in), so load balances naturally.
+/// A frame travelling from the batcher to a worker.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    frame: u64,
+    arrival_us: f64,
+}
+
+/// A coalesced unit of work for one worker.
+#[derive(Debug)]
+struct Batch {
+    requests: Vec<Request>,
+    /// Simulated straggler wait to charge before the enqueue (non-zero only
+    /// when the batch closed because `batch_timeout_us` expired).
+    waited_us: f64,
+}
+
+/// Counters the batcher and workers update as frames move through.
+#[derive(Debug)]
+struct StatsInner {
+    completed: u64,
+    dropped: u64,
+    batches: u64,
+    batch_size_counts: Vec<u64>,
+    frames_per_worker: Vec<u64>,
+    latencies_us: Vec<f64>,
+    completions: Vec<RequestRecord>,
+}
+
+/// A running inference server: worker threads with per-worker streams on one
+/// shared simulated timeline, fed through a bounded queue and a dynamic
+/// batcher. See the [module docs](self) for the architecture.
 ///
-/// # Panics
+/// # Examples
 ///
-/// Panics if `threads == 0`.
+/// ```no_run
+/// use trtsim_core::serving::{InferenceServer, ServerConfig};
+/// # fn demo(engine: &trtsim_core::Engine, device: &trtsim_gpu::device::DeviceSpec)
+/// #     -> Result<(), trtsim_core::serving::ServingError> {
+/// let config = ServerConfig::default()
+///     .with_workers(4)
+///     .with_max_batch_size(8)
+///     .with_batch_timeout_us(500.0);
+/// let server = InferenceServer::start(engine, device, config)?;
+/// for frame in 0..256 {
+///     server.submit(frame)?;
+/// }
+/// let stats = server.drain();
+/// println!("{:.0} FPS, {}", stats.aggregate_fps, stats.latency);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct InferenceServer {
+    tx: Option<SyncSender<u64>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    timeline: Arc<Mutex<GpuTimeline>>,
+    stats: Arc<Mutex<StatsInner>>,
+    depth: Arc<AtomicUsize>,
+    high_water: AtomicUsize,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    abort_flag: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+impl InferenceServer {
+    /// Validates `config`, spawns the batcher and worker threads, and starts
+    /// accepting frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] if any knob is out of range.
+    pub fn start(
+        engine: &Engine,
+        device: &DeviceSpec,
+        config: ServerConfig,
+    ) -> Result<Self, ServingError> {
+        config.validate()?;
+        let engine = Arc::new(engine.clone());
+        let timeline = Arc::new(Mutex::new(GpuTimeline::new(device.clone())));
+        let streams: Vec<StreamId> = {
+            let mut tl = timeline.lock().expect("timeline lock");
+            (0..config.workers).map(|_| tl.create_stream()).collect()
+        };
+        let stats = Arc::new(Mutex::new(StatsInner {
+            completed: 0,
+            dropped: 0,
+            batches: 0,
+            batch_size_counts: vec![0; config.max_batch_size],
+            frames_per_worker: vec![0; config.workers],
+            latencies_us: Vec::new(),
+            completions: Vec::new(),
+        }));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let abort_flag = Arc::new(AtomicBool::new(false));
+
+        let (tx, submission_rx) = mpsc::sync_channel::<u64>(config.queue_capacity);
+        let mut worker_txs = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for (worker, &stream) in streams.iter().enumerate() {
+            // Rendezvous-sized: a worker holds at most one batch in flight,
+            // so admission control stays at the submission queue.
+            let (batch_tx, batch_rx) = mpsc::sync_channel::<Batch>(1);
+            worker_txs.push(batch_tx);
+            let engine = Arc::clone(&engine);
+            let device = device.clone();
+            let timeline = Arc::clone(&timeline);
+            let stats = Arc::clone(&stats);
+            let abort_flag = Arc::clone(&abort_flag);
+            let timing = config.timing;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(
+                    &engine,
+                    device,
+                    &timeline,
+                    stream,
+                    &timing,
+                    &batch_rx,
+                    &stats,
+                    &abort_flag,
+                    worker,
+                );
+            }));
+        }
+        let batcher = {
+            let depth = Arc::clone(&depth);
+            let max_batch = config.max_batch_size;
+            let batch_timeout_us = config.batch_timeout_us;
+            let arrival_period_us = config.arrival_period_us;
+            std::thread::spawn(move || {
+                batcher_loop(
+                    &submission_rx,
+                    &worker_txs,
+                    max_batch,
+                    batch_timeout_us,
+                    arrival_period_us,
+                    &depth,
+                );
+            })
+        };
+
+        Ok(Self {
+            tx: Some(tx),
+            batcher: Some(batcher),
+            workers,
+            timeline,
+            stats,
+            depth,
+            high_water: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            abort_flag,
+            config,
+        })
+    }
+
+    /// Submits a frame without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::QueueFull`] when the bounded queue is at
+    /// capacity (the rejection is counted in [`ServerStats::rejected`]), or
+    /// [`ServingError::Stopped`] after shutdown.
+    pub fn try_submit(&self, frame: u64) -> Result<(), ServingError> {
+        let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
+        let depth_now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.try_send(frame) {
+            Ok(()) => {
+                self.high_water.fetch_max(depth_now, Ordering::Relaxed);
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServingError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(ServingError::Stopped)
+            }
+        }
+    }
+
+    /// Submits a frame, blocking while the bounded queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::Stopped`] after shutdown.
+    pub fn submit(&self, frame: u64) -> Result<(), ServingError> {
+        let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
+        let depth_now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.send(frame) {
+            Ok(()) => {
+                self.high_water.fetch_max(depth_now, Ordering::Relaxed);
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(ServingError::Stopped)
+            }
+        }
+    }
+
+    /// The configuration this server runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A live snapshot of the counters and simulated-time metrics. Cheap
+    /// enough to poll; the final numbers come from [`InferenceServer::drain`].
+    pub fn stats(&self) -> ServerStats {
+        self.snapshot()
+    }
+
+    /// Stops admission and waits until every accepted frame is served, then
+    /// reports the final statistics.
+    pub fn drain(mut self) -> ServerStats {
+        self.shutdown(false)
+    }
+
+    /// Stops admission and discards accepted frames whose batch has not
+    /// started; in-flight batches finish. Dropped frames are counted in
+    /// [`ServerStats::dropped`].
+    pub fn abort(mut self) -> ServerStats {
+        self.shutdown(true)
+    }
+
+    fn shutdown(&mut self, abort: bool) -> ServerStats {
+        if abort {
+            self.abort_flag.store(true, Ordering::Relaxed);
+        }
+        // Closing the submission channel unwinds the pipeline: the batcher
+        // flushes what is queued and exits, the worker channels close, the
+        // workers finish their last batches and exit.
+        self.tx.take();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.snapshot()
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        // Lock order: timeline strictly before stats (workers release the
+        // timeline before touching stats, so this cannot deadlock them).
+        let (elapsed_us, gr3d_percent) = {
+            let tl = self.timeline.lock().expect("timeline lock");
+            (tl.elapsed_us(), tegrastats::mean_gr3d_percent(&tl))
+        };
+        let st = self.stats.lock().expect("stats lock");
+        let simulated_seconds = elapsed_us / 1e6;
+        ServerStats {
+            workers: self.config.workers,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: st.completed,
+            dropped: st.dropped,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: st.batches,
+            batch_size_counts: st.batch_size_counts.clone(),
+            queue_high_water: self.high_water.load(Ordering::Relaxed),
+            latency: LatencyPercentiles::from_runs_us(&st.latencies_us),
+            simulated_seconds,
+            aggregate_fps: st.completed as f64 / simulated_seconds.max(1e-12),
+            gr3d_percent,
+            frames_per_worker: st.frames_per_worker.clone(),
+            completions: st.completions.clone(),
+        }
+    }
+}
+
+/// Coalesces queued frames into batches and hands them to workers
+/// round-robin (deterministic stream assignment).
+fn batcher_loop(
+    rx: &Receiver<u64>,
+    worker_txs: &[SyncSender<Batch>],
+    max_batch: usize,
+    batch_timeout_us: f64,
+    arrival_period_us: f64,
+    depth: &AtomicUsize,
+) {
+    let mut next_worker = 0usize;
+    let mut seq = 0u64;
+    let take = |frame: u64, seq: &mut u64| {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        let request = Request {
+            frame,
+            arrival_us: *seq as f64 * arrival_period_us,
+        };
+        *seq += 1;
+        request
+    };
+    loop {
+        let first = match rx.recv() {
+            Ok(frame) => frame,
+            Err(_) => return,
+        };
+        let mut requests = vec![take(first, &mut seq)];
+        let mut waited_us = 0.0;
+        while requests.len() < max_batch {
+            match rx.try_recv() {
+                Ok(frame) => requests.push(take(frame, &mut seq)),
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {
+                    if batch_timeout_us == 0.0 {
+                        break;
+                    } else if batch_timeout_us.is_infinite() {
+                        match rx.recv() {
+                            Ok(frame) => requests.push(take(frame, &mut seq)),
+                            Err(_) => break,
+                        }
+                    } else {
+                        match rx.recv_timeout(Duration::from_micros(batch_timeout_us as u64)) {
+                            Ok(frame) => requests.push(take(frame, &mut seq)),
+                            Err(RecvTimeoutError::Timeout) => {
+                                waited_us = batch_timeout_us;
+                                break;
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                }
+            }
+        }
+        if worker_txs[next_worker]
+            .send(Batch {
+                requests,
+                waited_us,
+            })
+            .is_err()
+        {
+            return;
+        }
+        next_worker = (next_worker + 1) % worker_txs.len();
+    }
+}
+
+/// Serves batches on one worker's stream until the batcher hangs up.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    engine: &Engine,
+    device: DeviceSpec,
+    timeline: &Mutex<GpuTimeline>,
+    stream: StreamId,
+    timing: &TimingOptions,
+    batches: &Receiver<Batch>,
+    stats: &Mutex<StatsInner>,
+    abort_flag: &AtomicBool,
+    worker: usize,
+) {
+    let ctx = ExecutionContext::new(engine, device);
+    while let Ok(batch) = batches.recv() {
+        let size = batch.requests.len();
+        if abort_flag.load(Ordering::Relaxed) {
+            stats.lock().expect("stats lock").dropped += size as u64;
+            continue;
+        }
+        let done_us = {
+            let mut tl = timeline.lock().expect("timeline lock");
+            if batch.waited_us > 0.0 {
+                tl.host_gap(stream, batch.waited_us);
+            }
+            ctx.enqueue_batched_inference(&mut tl, stream, timing, size)
+            // Timeline lock released here, before the stats lock, keeping
+            // the snapshot path's timeline→stats order deadlock-free.
+        };
+        let mut st = stats.lock().expect("stats lock");
+        st.completed += size as u64;
+        st.batches += 1;
+        st.batch_size_counts[size - 1] += 1;
+        st.frames_per_worker[worker] += size as u64;
+        for request in &batch.requests {
+            st.latencies_us
+                .push((done_us - request.arrival_us).max(0.0));
+            st.completions.push(RequestRecord {
+                frame: request.frame,
+                worker,
+                arrival_us: request.arrival_us,
+                done_us,
+            });
+        }
+    }
+}
+
+/// Serves `frames` inferences across `threads` worker threads with blocking
+/// admission and no batching — the original entry point, now a thin wrapper
+/// over [`InferenceServer`]. Field semantics of the returned
+/// [`ServingReport`] are unchanged.
+///
+/// # Errors
+///
+/// Returns [`ServingError::InvalidConfig`] if `threads == 0` (this was a
+/// panic before the serving redesign).
 pub fn serve(
     engine: &Engine,
     device: &DeviceSpec,
     threads: usize,
     frames: u64,
     opts: &TimingOptions,
-) -> ServingReport {
-    assert!(threads > 0, "need at least one worker");
-    let timeline = Arc::new(Mutex::new(GpuTimeline::new(device.clone())));
-    let streams: Vec<StreamId> = {
-        let mut tl = timeline.lock();
-        (0..threads).map(|_| tl.create_stream()).collect()
-    };
-
-    let (tx, rx) = channel::bounded::<u64>(threads * 2);
-    let counts = Mutex::new(vec![0u64; threads]);
-
-    std::thread::scope(|scope| {
-        for (worker, &stream) in streams.iter().enumerate() {
-            let rx = rx.clone();
-            let timeline = Arc::clone(&timeline);
-            let counts = &counts;
-            let device = device.clone();
-            scope.spawn(move || {
-                let ctx = ExecutionContext::new(engine, device);
-                while rx.recv().is_ok() {
-                    let mut tl = timeline.lock();
-                    ctx.enqueue_inference(&mut tl, stream, opts);
-                    drop(tl);
-                    counts.lock()[worker] += 1;
-                }
-            });
-        }
-        drop(rx);
-        for frame in 0..frames {
-            tx.send(frame).expect("workers alive");
-        }
-        drop(tx);
-    });
-
-    let tl = timeline.lock();
-    let simulated_seconds = tl.elapsed_us() / 1e6;
-    let gr3d_percent = tegrastats::mean_gr3d_percent(&tl);
-    let frames_per_thread = counts.into_inner();
-    ServingReport {
-        threads,
-        frames,
-        simulated_seconds,
-        aggregate_fps: frames as f64 / simulated_seconds.max(1e-12),
-        frames_per_thread,
-        gr3d_percent,
+) -> Result<ServingReport, ServingError> {
+    let config = ServerConfig::default()
+        .with_workers(threads)
+        .with_queue_capacity(threads.saturating_mul(2).max(1))
+        .with_max_batch_size(1)
+        .with_timing(*opts);
+    let server = InferenceServer::start(engine, device, config)?;
+    for frame in 0..frames {
+        server.submit(frame)?;
     }
+    let stats = server.drain();
+    Ok(ServingReport {
+        threads,
+        frames: stats.completed,
+        simulated_seconds: stats.simulated_seconds,
+        aggregate_fps: stats.aggregate_fps,
+        frames_per_thread: stats.frames_per_worker,
+        gr3d_percent: stats.gr3d_percent,
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +704,11 @@ mod tests {
 
     fn engine() -> Engine {
         let mut g = Graph::new("serve", [3, 32, 32]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(32, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(32, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let c2 = g.add_layer("c2", LayerKind::conv_seeded(32, 32, 3, 1, 1, 1), &[c1]);
         g.mark_output(c2);
         Builder::new(
@@ -127,7 +729,7 @@ mod tests {
     #[test]
     fn all_frames_are_processed() {
         let e = engine();
-        let report = serve(&e, &DeviceSpec::xavier_nx(), 4, 64, &opts());
+        let report = serve(&e, &DeviceSpec::xavier_nx(), 4, 64, &opts()).unwrap();
         assert_eq!(report.frames, 64);
         assert_eq!(report.frames_per_thread.iter().sum::<u64>(), 64);
         assert!(report.aggregate_fps > 0.0);
@@ -137,8 +739,8 @@ mod tests {
     fn more_threads_do_not_lose_throughput() {
         let e = engine();
         let dev = DeviceSpec::xavier_nx();
-        let one = serve(&e, &dev, 1, 48, &opts());
-        let four = serve(&e, &dev, 4, 48, &opts());
+        let one = serve(&e, &dev, 1, 48, &opts()).unwrap();
+        let four = serve(&e, &dev, 4, 48, &opts()).unwrap();
         // Streams overlap on the simulated timeline: aggregate FPS must not
         // regress when adding workers.
         assert!(
@@ -152,21 +754,181 @@ mod tests {
     #[test]
     fn work_is_distributed() {
         let e = engine();
-        let report = serve(&e, &DeviceSpec::xavier_nx(), 4, 100, &opts());
+        let report = serve(&e, &DeviceSpec::xavier_nx(), 4, 100, &opts()).unwrap();
         let active = report.frames_per_thread.iter().filter(|&&n| n > 0).count();
-        assert!(active >= 2, "work stuck on one thread: {:?}", report.frames_per_thread);
+        assert!(
+            active >= 2,
+            "work stuck on one thread: {:?}",
+            report.frames_per_thread
+        );
     }
 
     #[test]
     fn utilization_is_reported() {
         let e = engine();
-        let report = serve(&e, &DeviceSpec::xavier_nx(), 2, 32, &opts());
+        let report = serve(&e, &DeviceSpec::xavier_nx(), 2, 32, &opts()).unwrap();
         assert!(report.gr3d_percent > 0.0 && report.gr3d_percent <= 100.0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_rejected() {
-        serve(&engine(), &DeviceSpec::xavier_nx(), 0, 1, &opts());
+    fn zero_threads_rejected_as_error() {
+        let err = serve(&engine(), &DeviceSpec::xavier_nx(), 0, 1, &opts()).unwrap_err();
+        assert!(matches!(err, ServingError::InvalidConfig(_)));
+        assert!(err.to_string().contains("at least one worker"));
+    }
+
+    #[test]
+    fn config_validation_names_each_bad_knob() {
+        let base = ServerConfig::default();
+        assert!(base.validate().is_ok());
+        for (bad, needle) in [
+            (base.with_workers(0), "worker"),
+            (base.with_queue_capacity(0), "queue"),
+            (base.with_max_batch_size(0), "batch size"),
+            (base.with_batch_timeout_us(-1.0), "timeout"),
+            (base.with_batch_timeout_us(f64::NAN), "timeout"),
+            (base.with_arrival_period_us(f64::INFINITY), "arrival"),
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn infinite_timeout_forms_full_batches() {
+        let e = engine();
+        let server = InferenceServer::start(
+            &e,
+            &DeviceSpec::xavier_nx(),
+            ServerConfig::default()
+                .with_workers(2)
+                .with_queue_capacity(8)
+                .with_max_batch_size(8)
+                .with_batch_timeout_us(f64::INFINITY)
+                .with_timing(opts()),
+        )
+        .unwrap();
+        for frame in 0..64 {
+            server.submit(frame).unwrap();
+        }
+        let stats = server.drain();
+        assert_eq!(stats.completed, 64);
+        assert_eq!(stats.batches, 8);
+        assert_eq!(stats.batch_size_counts, vec![0, 0, 0, 0, 0, 0, 0, 8]);
+        assert_eq!(stats.mean_batch_size(), 8.0);
+    }
+
+    #[test]
+    fn batching_increases_aggregate_fps() {
+        let e = engine();
+        let dev = DeviceSpec::xavier_nx();
+        let run = |batch: usize| {
+            let server = InferenceServer::start(
+                &e,
+                &dev,
+                ServerConfig::default()
+                    .with_workers(2)
+                    .with_queue_capacity(16)
+                    .with_max_batch_size(batch)
+                    .with_batch_timeout_us(f64::INFINITY)
+                    .with_timing(opts()),
+            )
+            .unwrap();
+            for frame in 0..96 {
+                server.submit(frame).unwrap();
+            }
+            server.drain()
+        };
+        let unbatched = run(1);
+        let batched = run(8);
+        assert!(
+            batched.aggregate_fps > unbatched.aggregate_fps,
+            "batch 8: {} FPS, batch 1: {} FPS",
+            batched.aggregate_fps,
+            unbatched.aggregate_fps
+        );
+    }
+
+    #[test]
+    fn overload_rejects_and_drain_completes_accepted() {
+        let e = engine();
+        let server = InferenceServer::start(
+            &e,
+            &DeviceSpec::xavier_nx(),
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(2)
+                .with_max_batch_size(4)
+                .with_batch_timeout_us(f64::INFINITY)
+                .with_timing(opts()),
+        )
+        .unwrap();
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for frame in 0..10_000 {
+            match server.try_submit(frame) {
+                Ok(()) => accepted += 1,
+                Err(ServingError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(rejected > 0, "a 2-deep queue absorbed 10k instant frames");
+        let stats = server.drain();
+        assert_eq!(stats.accepted, accepted);
+        assert_eq!(stats.completed, accepted);
+        assert_eq!(stats.rejected, rejected);
+        assert!(stats.queue_high_water >= 2);
+    }
+
+    #[test]
+    fn abort_drops_unstarted_frames() {
+        let e = engine();
+        let server = InferenceServer::start(
+            &e,
+            &DeviceSpec::xavier_nx(),
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(64)
+                .with_timing(opts()),
+        )
+        .unwrap();
+        for frame in 0..64 {
+            server.submit(frame).unwrap();
+        }
+        let stats = server.abort();
+        assert_eq!(stats.completed + stats.dropped, stats.accepted);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_populated() {
+        let e = engine();
+        let server = InferenceServer::start(
+            &e,
+            &DeviceSpec::xavier_nx(),
+            ServerConfig::default()
+                .with_workers(2)
+                .with_queue_capacity(32)
+                .with_max_batch_size(4)
+                .with_batch_timeout_us(f64::INFINITY)
+                .with_timing(opts()),
+        )
+        .unwrap();
+        for frame in 0..64 {
+            server.submit(frame).unwrap();
+        }
+        let stats = server.drain();
+        let lat = stats.latency;
+        assert_eq!(lat.count as u64, stats.completed);
+        assert!(lat.p50_us > 0.0);
+        assert!(lat.p90_us >= lat.p50_us);
+        assert!(lat.p99_us >= lat.p90_us);
+        assert!(stats.completions.len() as u64 == stats.completed);
+    }
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        let err: Box<dyn std::error::Error> = Box::new(ServingError::QueueFull);
+        assert!(err.to_string().contains("full"));
+        assert!(ServingError::Stopped.to_string().contains("stopped"));
     }
 }

@@ -145,7 +145,11 @@ pub fn apply_corruption(
             let p = 0.25 * f64::from(s);
             for v in out.as_mut_slice() {
                 if rng.chance(p) {
-                    *v = if rng.chance(0.5) { 2.0 * amax } else { -2.0 * amax };
+                    *v = if rng.chance(0.5) {
+                        2.0 * amax
+                    } else {
+                        -2.0 * amax
+                    };
                 }
             }
         }
@@ -236,8 +240,7 @@ pub fn apply_corruption(
             }
         }
         Corruption::Contrast => {
-            let mean: f32 =
-                image.as_slice().iter().sum::<f32>() / image.len().max(1) as f32;
+            let mean: f32 = image.as_slice().iter().sum::<f32>() / image.len().max(1) as f32;
             let k = 1.0 - 0.85 * s;
             for v in out.as_mut_slice() {
                 *v = mean + (*v - mean) * k;
@@ -325,11 +328,7 @@ mod tests {
         for c in Corruption::all() {
             let out = apply_corruption(&img, c, Severity::new(3), 0);
             assert_eq!(out.shape(), img.shape());
-            assert!(
-                distortion(&img, &out) > 1e-6,
-                "{} did nothing",
-                c.label()
-            );
+            assert!(distortion(&img, &out) > 1e-6, "{} did nothing", c.label());
             assert!(out.as_slice().iter().all(|v| v.is_finite()));
         }
     }
@@ -351,7 +350,11 @@ mod tests {
     #[test]
     fn corruption_is_deterministic() {
         let img = image();
-        for c in [Corruption::GaussianNoise, Corruption::GlassBlur, Corruption::Frost] {
+        for c in [
+            Corruption::GaussianNoise,
+            Corruption::GlassBlur,
+            Corruption::Frost,
+        ] {
             let a = apply_corruption(&img, c, Severity::new(4), 9);
             let b = apply_corruption(&img, c, Severity::new(4), 9);
             assert_eq!(a, b);

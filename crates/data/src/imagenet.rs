@@ -83,10 +83,10 @@ impl SyntheticImageNet {
             let components: Vec<(f64, f64, f64, f64)> = (0..4)
                 .map(|_| {
                     (
-                        rng.uniform(0.5, 3.0),            // fy
-                        rng.uniform(0.5, 3.0),            // fx
+                        rng.uniform(0.5, 3.0),                   // fy
+                        rng.uniform(0.5, 3.0),                   // fx
                         rng.uniform(0.0, std::f64::consts::TAU), // phase
-                        rng.uniform(0.4, 1.0),            // amplitude
+                        rng.uniform(0.4, 1.0),                   // amplitude
                     )
                 })
                 .collect();

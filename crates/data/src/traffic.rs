@@ -42,10 +42,7 @@ impl VehicleClass {
             VehicleClass::Truck => (9, 12),
             VehicleClass::Motorbike => (4, 3),
         };
-        (
-            h + rng.range_usize(3),
-            w + rng.range_usize(3),
-        )
+        (h + rng.range_usize(3), w + rng.range_usize(3))
     }
 }
 
@@ -196,7 +193,9 @@ mod tests {
         let d = TrafficDataset::new([3, 32, 32], 3);
         let scene = d.scene(0);
         let b = scene.boxes[0];
-        let inside = scene.image.at(0, (b.y + 1.0) as usize, (b.x + 1.0) as usize);
+        let inside = scene
+            .image
+            .at(0, (b.y + 1.0) as usize, (b.x + 1.0) as usize);
         // Road baseline is ~0.1.
         assert!(inside > 0.25, "vehicle not visible: {inside}");
     }

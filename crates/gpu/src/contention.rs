@@ -155,9 +155,7 @@ pub fn point_at(profile: &EngineProfile, device: &DeviceSpec, threads: u32) -> C
 /// Full sweep from 1 to the supported maximum (Figures 3/4 series).
 pub fn sweep(profile: &EngineProfile, device: &DeviceSpec) -> (Vec<ConcurrencyPoint>, ThreadBound) {
     let (n_max, bound) = max_threads(profile, device);
-    let points = (1..=n_max)
-        .map(|n| point_at(profile, device, n))
-        .collect();
+    let points = (1..=n_max).map(|n| point_at(profile, device, n)).collect();
     (points, bound)
 }
 
@@ -262,7 +260,10 @@ mod tests {
         let dev = DeviceSpec::xavier_nx();
         let (n_max, _) = max_threads(&p, &dev);
         let n_eq1 = equation1_threads(&p, &dev);
-        assert!(n_eq1 >= n_max / 2, "Eq.1 bound {n_eq1} far below supported {n_max}");
+        assert!(
+            n_eq1 >= n_max / 2,
+            "Eq.1 bound {n_eq1} far below supported {n_max}"
+        );
     }
 
     #[test]

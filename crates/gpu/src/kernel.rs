@@ -166,6 +166,22 @@ impl KernelDesc {
         self
     }
 
+    /// Scales this launch to process `batch` inputs in one grid: a batched
+    /// kernel does `batch`× the arithmetic and moves `batch`× the traffic
+    /// across a `batch`× grid, but still costs a *single* launch — the
+    /// amortization dynamic batching exploits (Triton-style serving on
+    /// TensorRT engines). The per-resident-block L2 working set is
+    /// unchanged: batching adds blocks, not per-block state.
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        let b = batch.max(1);
+        self.grid_blocks = self.grid_blocks.saturating_mul(b);
+        self.flops = self.flops.saturating_mul(b);
+        self.dram_bytes = self.dram_bytes.saturating_mul(b);
+        self.l2_bytes = self.l2_bytes.saturating_mul(b);
+        self.shared_bytes = self.shared_bytes.saturating_mul(b);
+        self
+    }
+
     /// Total threads across the grid.
     pub fn total_threads(&self) -> u64 {
         self.grid_blocks * u64::from(self.threads_per_block)
@@ -201,6 +217,26 @@ impl KernelDesc {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_batch_scales_work_not_working_set() {
+        let k = KernelDesc::new("k")
+            .grid(10, 64)
+            .flops(100)
+            .dram_bytes(32)
+            .l2_bytes(16)
+            .shared_bytes(8)
+            .l2_working_set(4096);
+        let b = k.clone().with_batch(4);
+        assert_eq!(b.grid_blocks, 40);
+        assert_eq!(b.flops, 400);
+        assert_eq!(b.dram_bytes, 128);
+        assert_eq!(b.l2_bytes, 64);
+        assert_eq!(b.shared_bytes, 32);
+        assert_eq!(b.l2_working_set_bytes, 4096);
+        assert_eq!(b.threads_per_block, k.threads_per_block);
+        assert_eq!(k.clone().with_batch(1), k);
+    }
 
     #[test]
     fn builder_sets_fields() {

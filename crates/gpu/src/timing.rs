@@ -72,8 +72,8 @@ pub fn l2_spill_fraction(kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
     if kernel.l2_working_set_bytes == 0 {
         return 0.0;
     }
-    let resident_blocks =
-        (u64::from(device.sm_count) * u64::from(kernel.blocks_per_sm)).min(kernel.grid_blocks.max(1));
+    let resident_blocks = (u64::from(device.sm_count) * u64::from(kernel.blocks_per_sm))
+        .min(kernel.grid_blocks.max(1));
     let share = f64::from(device.l2_kib) * 1024.0 / resident_blocks as f64;
     let ws = kernel.l2_working_set_bytes as f64;
     if ws <= share {
@@ -184,7 +184,10 @@ mod tests {
         let agx = DeviceSpec::pinned_clock(crate::device::Platform::Agx);
         let k = fp16_kernel(12);
         let ratio = compute_time_us(&k, &agx) / compute_time_us(&k, &nx);
-        assert!(ratio > 0.9, "AGX should not be meaningfully faster: {ratio}");
+        assert!(
+            ratio > 0.9,
+            "AGX should not be meaningfully faster: {ratio}"
+        );
     }
 
     #[test]
@@ -211,7 +214,9 @@ mod tests {
     fn launch_overhead_added_once() {
         let nx = DeviceSpec::xavier_nx();
         let k = fp16_kernel(6);
-        assert!((kernel_time_us(&k, &nx) - kernel_busy_us(&k, &nx) - nx.kernel_launch_us).abs() < 1e-12);
+        assert!(
+            (kernel_time_us(&k, &nx) - kernel_busy_us(&k, &nx) - nx.kernel_launch_us).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl fmt::Display for IrError {
                 node,
                 expected,
                 actual,
-            } => write!(f, "node `{node}` expects {expected} weight elements, got {actual}"),
+            } => write!(
+                f,
+                "node `{node}` expects {expected} weight elements, got {actual}"
+            ),
             IrError::NoOutputs => write!(f, "graph has no output nodes"),
             IrError::NotExecutable { node, detail } => {
                 write!(f, "node `{node}` is not numerically executable: {detail}")

@@ -100,7 +100,10 @@ impl<'g> ReferenceExecutor<'g> {
     /// Same as [`ReferenceExecutor::run`].
     pub fn run_trace(&self, input: &Tensor) -> Result<Vec<Tensor>, IrError> {
         let values = self.run_all(input)?;
-        Ok(values.into_iter().map(|v| v.expect("all computed")).collect())
+        Ok(values
+            .into_iter()
+            .map(|v| v.expect("all computed"))
+            .collect())
     }
 
     fn run_all(&self, input: &Tensor) -> Result<Vec<Option<Tensor>>, IrError> {
@@ -184,7 +187,11 @@ impl<'g> ReferenceExecutor<'g> {
             LayerKind::Slice { begin, len } => ops::slice_channels(input(0), *begin, *len),
             LayerKind::Dropout { .. } | LayerKind::Identity => input(0).clone(),
         };
-        debug_assert_eq!(out.shape(), self.shapes[id], "shape inference disagrees at {id}");
+        debug_assert_eq!(
+            out.shape(),
+            self.shapes[id],
+            "shape inference disagrees at {id}"
+        );
         Ok(out)
     }
 }
@@ -201,7 +208,11 @@ mod tests {
 
     fn small_net() -> Graph {
         let mut g = Graph::new("small", [3, 8, 8]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(4, 3, 3, 1, 1, 10), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(4, 3, 3, 1, 1, 10),
+            &[Graph::INPUT],
+        );
         let p1 = g.add_layer(
             "p1",
             LayerKind::Pool {
@@ -214,8 +225,18 @@ mod tests {
         );
         let c2a = g.add_layer("c2a", LayerKind::conv_seeded(4, 4, 3, 1, 1, 11), &[p1]);
         let c2b = g.add_layer("c2b", LayerKind::conv_seeded(4, 4, 1, 1, 0, 12), &[p1]);
-        let add = g.add_layer("add", LayerKind::Eltwise { op: EltwiseOp::Sum }, &[c2a, c2b]);
-        let gp = g.add_layer("gp", LayerKind::GlobalPool { kind: PoolKind::Avg }, &[add]);
+        let add = g.add_layer(
+            "add",
+            LayerKind::Eltwise { op: EltwiseOp::Sum },
+            &[c2a, c2b],
+        );
+        let gp = g.add_layer(
+            "gp",
+            LayerKind::GlobalPool {
+                kind: PoolKind::Avg,
+            },
+            &[add],
+        );
         let fc = g.add_layer("fc", LayerKind::fc_seeded(5, 4, 13), &[gp]);
         let sm = g.add_layer("sm", LayerKind::Softmax, &[fc]);
         g.mark_output(sm);
@@ -271,7 +292,11 @@ mod tests {
     fn invalid_graph_is_rejected_at_construction() {
         let mut g = Graph::new("bad", [3, 8, 8]);
         // conv expecting 4 channels fed with a 3-channel input
-        let c = g.add_layer("c", LayerKind::conv_seeded(4, 4, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c = g.add_layer(
+            "c",
+            LayerKind::conv_seeded(4, 4, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         g.mark_output(c);
         assert!(ReferenceExecutor::new(&g).is_err());
     }

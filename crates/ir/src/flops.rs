@@ -197,7 +197,11 @@ mod tests {
     #[test]
     fn graph_costs_align_with_nodes() {
         let mut g = Graph::new("t", [3, 16, 16]);
-        let c = g.add_layer("c", LayerKind::conv_seeded(8, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c = g.add_layer(
+            "c",
+            LayerKind::conv_seeded(8, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let p = g.add_layer(
             "p",
             LayerKind::Pool {
@@ -219,7 +223,11 @@ mod tests {
     #[test]
     fn heaviest_nodes_sorted() {
         let mut g = Graph::new("t", [3, 32, 32]);
-        let small = g.add_layer("s", LayerKind::conv_seeded(4, 3, 1, 1, 0, 0), &[Graph::INPUT]);
+        let small = g.add_layer(
+            "s",
+            LayerKind::conv_seeded(4, 3, 1, 1, 0, 0),
+            &[Graph::INPUT],
+        );
         let big = g.add_layer("b", LayerKind::conv_seeded(64, 4, 3, 1, 1, 1), &[small]);
         g.mark_output(big);
         let top = heaviest_nodes(&g, 1).unwrap();

@@ -374,7 +374,12 @@ impl Graph {
     /// Panics if any input id is not yet in the graph (this preserves the
     /// topological-order invariant); semantic errors are reported by
     /// [`Graph::validate`] instead.
-    pub fn add_layer(&mut self, name: impl Into<String>, kind: LayerKind, inputs: &[NodeId]) -> NodeId {
+    pub fn add_layer(
+        &mut self,
+        name: impl Into<String>,
+        kind: LayerKind,
+        inputs: &[NodeId],
+    ) -> NodeId {
         let id = self.nodes.len();
         for &i in inputs {
             assert!(i < id, "layer input {i} does not exist yet");
@@ -531,7 +536,11 @@ mod tests {
 
     fn linear_graph() -> Graph {
         let mut g = Graph::new("t", [3, 16, 16]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(8, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(8, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let p1 = g.add_layer(
             "p1",
             LayerKind::Pool {

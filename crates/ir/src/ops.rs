@@ -132,7 +132,11 @@ pub fn inner_product(
     activation: Option<Activation>,
 ) -> Tensor {
     let in_features = input.len();
-    assert_eq!(weights.len(), out_features * in_features, "fc weight mismatch");
+    assert_eq!(
+        weights.len(),
+        out_features * in_features,
+        "fc weight mismatch"
+    );
     let x = input.as_slice();
     let mut out = Tensor::zeros([out_features, 1, 1]);
     for o in 0..out_features {
@@ -171,7 +175,8 @@ pub fn batch_norm(
         let inv_std = 1.0 / (var[ch] + eps).sqrt();
         for y in 0..h {
             for x in 0..w {
-                *out.at_mut(ch, y, x) = (input.at(ch, y, x) - mean[ch]) * inv_std * gamma[ch] + beta[ch];
+                *out.at_mut(ch, y, x) =
+                    (input.at(ch, y, x) - mean[ch]) * inv_std * gamma[ch] + beta[ch];
             }
         }
     }
@@ -225,7 +230,10 @@ pub fn lrn(input: &Tensor, local_size: usize, alpha: f32, beta: f32, k: f32) -> 
 pub fn eltwise(inputs: &[&Tensor], op: EltwiseOp) -> Tensor {
     assert!(inputs.len() >= 2, "eltwise needs at least two inputs");
     let shape = inputs[0].shape();
-    assert!(inputs.iter().all(|t| t.shape() == shape), "eltwise shape mismatch");
+    assert!(
+        inputs.iter().all(|t| t.shape() == shape),
+        "eltwise shape mismatch"
+    );
     let mut out = inputs[0].clone();
     for t in &inputs[1..] {
         for (o, &v) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {

@@ -54,10 +54,12 @@ pub fn infer(
                     actual: c.bias.len(),
                 });
             }
-            let oh = conv_extent(h, c.kernel_h, c.stride, c.pad_h)
-                .ok_or_else(|| shape_err(format!("kernel {} exceeds padded height {h}", c.kernel_h)))?;
-            let ow = conv_extent(w, c.kernel_w, c.stride, c.pad_w)
-                .ok_or_else(|| shape_err(format!("kernel {} exceeds padded width {w}", c.kernel_w)))?;
+            let oh = conv_extent(h, c.kernel_h, c.stride, c.pad_h).ok_or_else(|| {
+                shape_err(format!("kernel {} exceeds padded height {h}", c.kernel_h))
+            })?;
+            let ow = conv_extent(w, c.kernel_w, c.stride, c.pad_w).ok_or_else(|| {
+                shape_err(format!("kernel {} exceeds padded width {w}", c.kernel_w))
+            })?;
             Ok([c.out_channels, oh, ow])
         }
         LayerKind::Pool {
@@ -119,7 +121,12 @@ pub fn infer(
             ..
         } => {
             let c = inputs[0][0];
-            for (label, v) in [("mean", mean), ("var", var), ("gamma", gamma), ("beta", beta)] {
+            for (label, v) in [
+                ("mean", mean),
+                ("var", var),
+                ("gamma", gamma),
+                ("beta", beta),
+            ] {
                 if v.len() != c {
                     return Err(shape_err(format!(
                         "batchnorm {label} has {} entries for {c} channels",
@@ -246,14 +253,21 @@ mod tests {
 
     #[test]
     fn global_pool_collapses_space() {
-        let k = LayerKind::GlobalPool { kind: PoolKind::Avg };
+        let k = LayerKind::GlobalPool {
+            kind: PoolKind::Avg,
+        };
         assert_eq!(infer(&k, &[[128, 7, 7]], "gp").unwrap(), [128, 1, 1]);
     }
 
     #[test]
     fn concat_sums_channels() {
         assert_eq!(
-            infer(&LayerKind::Concat, &[[8, 4, 4], [16, 4, 4], [4, 4, 4]], "cc").unwrap(),
+            infer(
+                &LayerKind::Concat,
+                &[[8, 4, 4], [16, 4, 4], [4, 4, 4]],
+                "cc"
+            )
+            .unwrap(),
             [28, 4, 4]
         );
     }
@@ -281,7 +295,10 @@ mod tests {
 
     #[test]
     fn flatten_and_upsample() {
-        assert_eq!(infer(&LayerKind::Flatten, &[[8, 4, 4]], "f").unwrap(), [128, 1, 1]);
+        assert_eq!(
+            infer(&LayerKind::Flatten, &[[8, 4, 4]], "f").unwrap(),
+            [128, 1, 1]
+        );
         assert_eq!(
             infer(&LayerKind::Upsample { factor: 2 }, &[[8, 4, 4]], "u").unwrap(),
             [8, 8, 8]

@@ -100,20 +100,25 @@ pub fn candidate_tactics(kind: &LayerKind, policy: PrecisionPolicy) -> Vec<Tacti
             });
             out
         }
-        LayerKind::Pool { .. } | LayerKind::GlobalPool { .. } => vec![memory_bound_tactic(
-            TacticFamily::Pool,
-            policy.allow_fp16,
-        )],
+        LayerKind::Pool { .. } | LayerKind::GlobalPool { .. } => {
+            vec![memory_bound_tactic(TacticFamily::Pool, policy.allow_fp16)]
+        }
         LayerKind::Lrn { .. } => vec![memory_bound_tactic(TacticFamily::Lrn, false)],
         // Element-wise sums keep FP32 math even in FP16 engines (residual
         // joins accumulate; cuDNN's eltwise path upconverts half operands).
         LayerKind::Eltwise { .. } => vec![memory_bound_tactic(TacticFamily::Pointwise, false)],
         LayerKind::Act(_) | LayerKind::BatchNorm { .. } | LayerKind::Scale { .. } => {
-            vec![memory_bound_tactic(TacticFamily::Pointwise, policy.allow_fp16)]
+            vec![memory_bound_tactic(
+                TacticFamily::Pointwise,
+                policy.allow_fp16,
+            )]
         }
         LayerKind::Softmax => vec![memory_bound_tactic(TacticFamily::Softmax, false)],
         LayerKind::Upsample { .. } | LayerKind::Concat => {
-            vec![memory_bound_tactic(TacticFamily::Reformat, policy.allow_fp16)]
+            vec![memory_bound_tactic(
+                TacticFamily::Reformat,
+                policy.allow_fp16,
+            )]
         }
         LayerKind::Input
         | LayerKind::Flatten
@@ -145,7 +150,11 @@ fn memory_bound_tactic(family: TacticFamily, fp16: bool) -> Tactic {
         tile_m: 1,
         tile_n: 256,
         tile_k: 1,
-        precision: if fp16 { Precision::Fp16 } else { Precision::Fp32 },
+        precision: if fp16 {
+            Precision::Fp16
+        } else {
+            Precision::Fp32
+        },
         tensor_core: false,
         base_efficiency: 0.5,
         blocks_per_sm: 8,
@@ -166,7 +175,10 @@ mod tests {
         let fp16 = candidate_tactics(&k, PrecisionPolicy::fp16());
         assert_eq!(fp16.len(), HMMA_TILES.len() + FP32_TILES.len());
         let all = candidate_tactics(&k, PrecisionPolicy::all());
-        assert_eq!(all.len(), HMMA_TILES.len() + INT8_TILES.len() + FP32_TILES.len());
+        assert_eq!(
+            all.len(),
+            HMMA_TILES.len() + INT8_TILES.len() + FP32_TILES.len()
+        );
         let fp32 = candidate_tactics(&k, PrecisionPolicy::fp32_only());
         assert_eq!(fp32.len(), FP32_TILES.len());
     }
@@ -211,7 +223,11 @@ mod tests {
 
     #[test]
     fn structural_layers_have_none() {
-        for kind in [LayerKind::Flatten, LayerKind::Identity, LayerKind::Dropout { rate: 0.5 }] {
+        for kind in [
+            LayerKind::Flatten,
+            LayerKind::Identity,
+            LayerKind::Dropout { rate: 0.5 },
+        ] {
             assert!(candidate_tactics(&kind, PrecisionPolicy::all()).is_empty());
         }
     }

@@ -71,7 +71,8 @@ pub fn kernel_desc(
             // Efficiency degrades with tile-quantization waste and with very
             // small reductions (pipeline never fills).
             let util = tactic.tile_utilization(dims.m, dims.n);
-            let depth_factor = (dims.k as f64 / (dims.k as f64 + 2.0 * f64::from(tactic.tile_k))).min(1.0);
+            let depth_factor =
+                (dims.k as f64 / (dims.k as f64 + 2.0 * f64::from(tactic.tile_k))).min(1.0);
             let eff = (tactic.base_efficiency * (0.30 + 0.70 * util) * (0.4 + 0.6 * depth_factor))
                 .clamp(0.01, 1.0);
 

@@ -28,7 +28,11 @@ pub const FRAMEWORK_LAYER_GLUE_US: f64 = 500.0;
 /// Convolutions lower to `im2col` (a pure data-movement kernel that
 /// materializes the patch matrix in DRAM!) followed by `sgemm`; other layers
 /// lower to one naive kernel. Structural layers launch nothing.
-pub fn framework_kernels(kind: &LayerKind, cost: &LayerCost, out_shape: [usize; 3]) -> Vec<KernelDesc> {
+pub fn framework_kernels(
+    kind: &LayerKind,
+    cost: &LayerCost,
+    out_shape: [usize; 3],
+) -> Vec<KernelDesc> {
     match kind {
         LayerKind::Conv(c) => {
             let n = (out_shape[1] * out_shape[2]) as u64;
@@ -41,10 +45,7 @@ pub fn framework_kernels(kind: &LayerKind, cost: &LayerCost, out_shape: [usize; 
                 .precision(Precision::Fp32, false)
                 .efficiency(NAIVE_POINTWISE_EFFICIENCY);
             let gemm = KernelDesc::new("sgemm_128x128_nn")
-                .grid(
-                    (c.out_channels as u64).div_ceil(128) * n.div_ceil(128),
-                    256,
-                )
+                .grid((c.out_channels as u64).div_ceil(128) * n.div_ceil(128), 256)
                 .occupancy(2)
                 .flops(cost.flops())
                 .dram_bytes(patch_bytes + cost.weight_elems * 4 + cost.output_elems * 4)
@@ -138,7 +139,12 @@ mod tests {
             .map(|k| kernel_busy_us(k, &dev))
             .sum();
         let tuned = kernel_busy_us(
-            &kernel_desc(&Tactic::conv_hmma(128, 128, ""), &kind, &cost, [256, 28, 28]),
+            &kernel_desc(
+                &Tactic::conv_hmma(128, 128, ""),
+                &kind,
+                &cost,
+                [256, 28, 28],
+            ),
             &dev,
         );
         let speedup = naive / tuned;

@@ -147,8 +147,7 @@ fn conv_fp16(
         AccumOrder::Sequential => usize::MAX,
         AccumOrder::Pairwise => 0, // buffered path below
     };
-    let mut pairwise = (tactic.accum == AccumOrder::Pairwise)
-        .then(|| Reducer::for_tactic(tactic));
+    let mut pairwise = (tactic.accum == AccumOrder::Pairwise).then(|| Reducer::for_tactic(tactic));
     let mut terms: Vec<f32> = Vec::new();
 
     let mut out = Tensor::zeros([params.out_channels, oh, ow]);
@@ -180,8 +179,7 @@ fn conv_fp16(
                                 continue;
                             }
                             let product = round_f16(
-                                rx[row + ix as usize]
-                                    * rw[w_base + (icg * kh + ky) * kw + kx],
+                                rx[row + ix as usize] * rw[w_base + (icg * kh + ky) * kw + kx],
                             );
                             if pairwise.is_some() {
                                 terms.push(product);
@@ -229,7 +227,10 @@ fn conv_int8(
     let cpg_out = params.out_channels / params.groups;
 
     // Quantize once up front (the engine stores INT8 weights).
-    let qw: Vec<i32> = weights.iter().map(|&w| i32::from(quant.weights.quantize(w))).collect();
+    let qw: Vec<i32> = weights
+        .iter()
+        .map(|&w| i32::from(quant.weights.quantize(w)))
+        .collect();
     let qx: Vec<i32> = input
         .as_slice()
         .iter()
@@ -296,7 +297,11 @@ pub fn fc_forward(
         Precision::Int8 => panic!("INT8 fully-connected tactics are not in the catalog"),
         Precision::Fp16 => {
             let in_features = input.len();
-            assert_eq!(weights.len(), out_features * in_features, "fc weight mismatch");
+            assert_eq!(
+                weights.len(),
+                out_features * in_features,
+                "fc weight mismatch"
+            );
             let mut reducer = Reducer::for_tactic(tactic);
             let mut terms = Vec::with_capacity(in_features);
             let x = input.as_slice();
@@ -452,7 +457,13 @@ mod tests {
             scratch: Vec::new(),
         };
         let terms: Vec<f32> = (0..64)
-            .map(|i| if i % 2 == 0 { 1.0 + i as f32 * 1e-3 } else { -1.0 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    1.0 + i as f32 * 1e-3
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         let a = seq.reduce(&terms);
         let b = chunked.reduce(&terms);

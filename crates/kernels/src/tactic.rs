@@ -155,9 +155,8 @@ impl Tactic {
 
     /// Fraction of tile slots doing useful work at `M×N` (tile quantization).
     pub fn tile_utilization(&self, gemm_m: u64, gemm_n: u64) -> f64 {
-        let padded = self.grid_blocks(gemm_m, gemm_n)
-            * u64::from(self.tile_m)
-            * u64::from(self.tile_n);
+        let padded =
+            self.grid_blocks(gemm_m, gemm_n) * u64::from(self.tile_m) * u64::from(self.tile_n);
         (gemm_m * gemm_n) as f64 / padded as f64
     }
 
@@ -184,9 +183,7 @@ impl Tactic {
                 "trt_volta_i8816cudnn_int8_{}x{}_{}_{}_nt_v1",
                 self.tile_m, self.tile_n, self.variant, size_class
             ),
-            TacticFamily::Depthwise => {
-                "cuDepthwise::depthwiseConvHMMAPrefetchKernel".to_string()
-            }
+            TacticFamily::Depthwise => "cuDepthwise::depthwiseConvHMMAPrefetchKernel".to_string(),
             TacticFamily::Gemm => match self.precision {
                 Precision::Fp16 => format!(
                     "trt_volta_h884gemm_{}x{}_ldg8_tn_v1",
@@ -211,7 +208,10 @@ mod tests {
     fn hmma_names_match_paper_traces() {
         let t = Tactic::conv_hmma(256, 64, "small");
         let name = t.kernel_name([64, 14, 14]);
-        assert_eq!(name, "trt_volta_h884cudnn_256x64_ldg8_relu_exp_small_nhwc_tn_v1");
+        assert_eq!(
+            name,
+            "trt_volta_h884cudnn_256x64_ldg8_relu_exp_small_nhwc_tn_v1"
+        );
         let name = t.kernel_name([64, 56, 56]);
         assert!(name.ends_with("medium_nhwc_tn_v1"));
     }
@@ -254,6 +254,9 @@ mod tests {
     fn depthwise_name_matches_table_xi() {
         let mut t = Tactic::conv_hmma(64, 64, "x");
         t.family = TacticFamily::Depthwise;
-        assert_eq!(t.kernel_name([32, 10, 10]), "cuDepthwise::depthwiseConvHMMAPrefetchKernel");
+        assert_eq!(
+            t.kernel_name([32, 10, 10]),
+            "cuDepthwise::depthwiseConvHMMAPrefetchKernel"
+        );
     }
 }

@@ -51,7 +51,11 @@ impl DetectionEval {
 ///
 /// Predictions are taken in the given order (callers sort by confidence);
 /// each ground-truth box matches at most one prediction.
-pub fn precision_recall(predictions: &[BBox], ground_truth: &[BBox], iou_threshold: f32) -> DetectionEval {
+pub fn precision_recall(
+    predictions: &[BBox],
+    ground_truth: &[BBox],
+    iou_threshold: f32,
+) -> DetectionEval {
     let mut matched = vec![false; ground_truth.len()];
     let mut eval = DetectionEval::default();
     for pred in predictions {

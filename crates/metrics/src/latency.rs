@@ -1,6 +1,6 @@
 //! Latency aggregation and the paper's table-cell formatting.
 
-use trtsim_util::stats::RunningStats;
+use trtsim_util::stats::{percentile_sorted, RunningStats};
 
 /// A latency table cell: mean and standard deviation over repeated runs, in
 /// milliseconds, printed like the paper's "12.65 (0.05)".
@@ -45,6 +45,71 @@ impl std::fmt::Display for LatencyCell {
     }
 }
 
+/// Per-request latency tail summary, microseconds — what a serving stack
+/// reports per endpoint (p50/p90/p99 rather than the paper's mean ± σ table
+/// cells, which suit repeated identical runs).
+///
+/// An empty sample set yields the all-zero summary with `count == 0`, so the
+/// invariant `p99 ≥ p90 ≥ p50 ≥ 0` holds unconditionally.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_metrics::LatencyPercentiles;
+/// let p = LatencyPercentiles::from_runs_us(&[1000.0, 2000.0, 3000.0, 4000.0]);
+/// assert_eq!(p.count, 4);
+/// assert!(p.p99_us >= p.p90_us && p.p90_us >= p.p50_us);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyPercentiles {
+    /// Number of requests observed.
+    pub count: usize,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 90th-percentile latency, µs.
+    pub p90_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// Worst observed latency, µs.
+    pub max_us: f64,
+}
+
+impl LatencyPercentiles {
+    /// Aggregates per-request latencies given in microseconds. NaN samples
+    /// are dropped rather than poisoning the order statistics.
+    pub fn from_runs_us(runs_us: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = runs_us.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return Self::default();
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        let stats: RunningStats = sorted.iter().copied().collect();
+        Self {
+            count: sorted.len(),
+            mean_us: stats.mean(),
+            p50_us: percentile_sorted(&sorted, 50.0),
+            p90_us: percentile_sorted(&sorted, 90.0),
+            p99_us: percentile_sorted(&sorted, 99.0),
+            max_us: stats.max(),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyPercentiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms (n={})",
+            self.p50_us / 1000.0,
+            self.p90_us / 1000.0,
+            self.p99_us / 1000.0,
+            self.count
+        )
+    }
+}
+
 /// Frames per second from a mean latency in microseconds.
 ///
 /// # Panics
@@ -83,5 +148,37 @@ mod tests {
     #[should_panic(expected = "latency must be positive")]
     fn zero_latency_rejected() {
         fps_from_latency_us(0.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let runs: Vec<f64> = (1..=200).map(|i| i as f64 * 50.0).collect();
+        let p = LatencyPercentiles::from_runs_us(&runs);
+        assert_eq!(p.count, 200);
+        assert!(p.p50_us >= 0.0);
+        assert!(p.p90_us >= p.p50_us);
+        assert!(p.p99_us >= p.p90_us);
+        assert!(p.max_us >= p.p99_us);
+        assert!((p.p50_us - 5025.0).abs() < 1.0, "p50 {}", p.p50_us);
+    }
+
+    #[test]
+    fn empty_and_nan_runs_are_harmless() {
+        let empty = LatencyPercentiles::from_runs_us(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99_us, 0.0);
+        let filtered = LatencyPercentiles::from_runs_us(&[f64::NAN, 10.0]);
+        assert_eq!(filtered.count, 1);
+        assert_eq!(filtered.p50_us, 10.0);
+    }
+
+    #[test]
+    fn percentiles_render_in_ms() {
+        let p = LatencyPercentiles::from_runs_us(&[1000.0, 3000.0]);
+        let s = format!("{p}");
+        assert!(
+            s.contains("p50") && s.contains("p99") && s.contains("n=2"),
+            "{s}"
+        );
     }
 }

@@ -15,4 +15,4 @@ pub mod latency;
 
 pub use classification::{consistency, top1_error_percent, ConsistencyReport};
 pub use detection::{precision_recall, DetectionEval};
-pub use latency::{fps_from_latency_us, LatencyCell};
+pub use latency::{fps_from_latency_us, LatencyCell, LatencyPercentiles};

@@ -267,7 +267,10 @@ mod tests {
         assert_eq!(g.conv_count(), 5);
         assert_eq!(g.max_pool_count(), 3);
         let mib = fp32_mib(&g);
-        assert!((210.0..260.0).contains(&mib), "AlexNet {mib:.1} MiB vs paper 232.56");
+        assert!(
+            (210.0..260.0).contains(&mib),
+            "AlexNet {mib:.1} MiB vs paper 232.56"
+        );
     }
 
     #[test]
@@ -276,7 +279,10 @@ mod tests {
         assert_eq!(g.conv_count(), 13);
         assert_eq!(g.max_pool_count(), 5);
         let mib = fp32_mib(&g);
-        assert!((500.0..560.0).contains(&mib), "VGG-16 {mib:.1} MiB vs paper 527.8");
+        assert!(
+            (500.0..560.0).contains(&mib),
+            "VGG-16 {mib:.1} MiB vs paper 527.8"
+        );
     }
 
     #[test]
@@ -285,7 +291,10 @@ mod tests {
         assert_eq!(g.conv_count(), 21);
         assert_eq!(g.max_pool_count(), 2);
         let mib = fp32_mib(&g);
-        assert!((40.0..50.0).contains(&mib), "ResNet-18 {mib:.1} MiB vs paper 44.65");
+        assert!(
+            (40.0..50.0).contains(&mib),
+            "ResNet-18 {mib:.1} MiB vs paper 44.65"
+        );
     }
 
     #[test]
@@ -296,7 +305,10 @@ mod tests {
         assert_eq!(g.conv_count(), 59);
         assert_eq!(g.max_pool_count(), 14);
         let mib = fp32_mib(&g);
-        assert!((45.0..57.0).contains(&mib), "GoogLeNet {mib:.1} MiB vs paper 51.05");
+        assert!(
+            (45.0..57.0).contains(&mib),
+            "GoogLeNet {mib:.1} MiB vs paper 51.05"
+        );
     }
 
     #[test]
@@ -305,7 +317,10 @@ mod tests {
         assert_eq!(g.conv_count(), 149);
         assert_eq!(g.max_pool_count(), 19);
         let mib = fp32_mib(&g);
-        assert!((140.0..200.0).contains(&mib), "Inception-v4 {mib:.1} MiB vs paper 163.12");
+        assert!(
+            (140.0..200.0).contains(&mib),
+            "Inception-v4 {mib:.1} MiB vs paper 163.12"
+        );
     }
 
     #[test]

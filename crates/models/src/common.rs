@@ -1,8 +1,6 @@
 //! Incremental network-construction helper used by every zoo model.
 
-use trtsim_ir::graph::{
-    Activation, ConvParams, EltwiseOp, Graph, LayerKind, NodeId, PoolKind,
-};
+use trtsim_ir::graph::{Activation, ConvParams, EltwiseOp, Graph, LayerKind, NodeId, PoolKind};
 use trtsim_ir::shape;
 use trtsim_ir::weights::Weights;
 use trtsim_util::derive_seed;
@@ -100,7 +98,15 @@ impl NetBuilder {
         groups: usize,
         activation: Option<Activation>,
     ) -> NodeId {
-        self.conv_full(from, out_channels, (kernel, kernel), stride, (pad, pad), groups, activation)
+        self.conv_full(
+            from,
+            out_channels,
+            (kernel, kernel),
+            stride,
+            (pad, pad),
+            groups,
+            activation,
+        )
     }
 
     /// A rectangular convolution (Inception-style 1×7 / 7×1 factorizations).
@@ -198,7 +204,12 @@ impl NetBuilder {
     }
 
     /// Fully-connected layer with seeded weights; input features inferred.
-    pub fn fc(&mut self, from: NodeId, out_features: usize, activation: Option<Activation>) -> NodeId {
+    pub fn fc(
+        &mut self,
+        from: NodeId,
+        out_features: usize,
+        activation: Option<Activation>,
+    ) -> NodeId {
         let s = self.shapes[from];
         let in_features = s[0] * s[1] * s[2];
         let seed = self.next_seed();
@@ -307,10 +318,7 @@ mod tests {
             LayerKind::Conv(c) => c.weights.clone(),
             _ => unreachable!(),
         };
-        assert_ne!(
-            w1.iter().collect::<Vec<_>>(),
-            w2.iter().collect::<Vec<_>>()
-        );
+        assert_ne!(w1.iter().collect::<Vec<_>>(), w2.iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -192,7 +192,12 @@ mod tests {
             class,
         };
         let kept = nms(
-            vec![d(0.0, 0.9, 0), d(1.0, 0.8, 0), d(50.0, 0.7, 0), d(1.0, 0.6, 1)],
+            vec![
+                d(0.0, 0.9, 0),
+                d(1.0, 0.8, 0),
+                d(50.0, 0.7, 0),
+                d(1.0, 0.6, 1),
+            ],
             0.5,
         );
         // The 0.8 box overlaps the 0.9 box (same class): suppressed. The far

@@ -248,7 +248,10 @@ mod tests {
             assert_eq!(g.conv_count(), 59, "{name}: paper 59 conv");
             assert_eq!(g.max_pool_count(), 12, "{name}: paper 12 max pool");
             let mib = fp32_mib(&g);
-            assert!((18.0..27.0).contains(&mib), "{name}: {mib:.1} MiB vs paper 22.82");
+            assert!(
+                (18.0..27.0).contains(&mib),
+                "{name}: {mib:.1} MiB vs paper 22.82"
+            );
         }
     }
 

@@ -295,7 +295,10 @@ mod tests {
         for (id, paper, tol) in expected {
             let mib = id.descriptor().fp32_bytes() as f64 / (1 << 20) as f64;
             let rel = (mib - paper).abs() / paper;
-            assert!(rel <= tol, "{id}: {mib:.2} MiB vs paper {paper} (rel {rel:.2})");
+            assert!(
+                rel <= tol,
+                "{id}: {mib:.2} MiB vs paper {paper} (rel {rel:.2})"
+            );
         }
     }
 

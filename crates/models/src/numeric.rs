@@ -242,8 +242,7 @@ fn jittered(w: &Weights, jitter: f32, seed: u64) -> Weights {
     let values: Vec<f32> = w.iter().collect();
     let sd = {
         let mean = values.iter().sum::<f32>() / values.len().max(1) as f32;
-        (values.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
-            / values.len().max(1) as f32)
+        (values.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / values.len().max(1) as f32)
             .sqrt()
     };
     let mut rng = Pcg32::seed_from_u64(seed);

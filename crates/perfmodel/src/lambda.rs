@@ -142,7 +142,11 @@ mod tests {
 
     fn engine(seed: u64) -> Engine {
         let mut g = Graph::new("bsp_test", [16, 64, 64]);
-        let c1 = g.add_layer("c1", LayerKind::conv_seeded(96, 16, 3, 1, 1, 0), &[Graph::INPUT]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(96, 16, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
         let p = g.add_layer(
             "p",
             LayerKind::Pool {

@@ -15,5 +15,5 @@ pub mod summary;
 pub mod trace;
 
 pub use report::format_summary;
-pub use trace::{format_trace, gpu_trace, invocation_durations, TraceEntry};
 pub use summary::{summarize, KernelSummary, MemcpySummary, ProfileSummary};
+pub use trace::{format_trace, gpu_trace, invocation_durations, TraceEntry};

@@ -14,8 +14,7 @@ pub fn format_summary(summary: &ProfileSummary) -> String {
         "{:>8}  {:>12}  {:>6}  {:>12}  Name\n",
         "Time(%)", "Time", "Calls", "Avg"
     ));
-    let total: f64 = summary.gpu_total_us
-        + summary.memcpys.iter().map(|m| m.total_us).sum::<f64>();
+    let total: f64 = summary.gpu_total_us + summary.memcpys.iter().map(|m| m.total_us).sum::<f64>();
     for k in &summary.kernels {
         out.push_str(&format!(
             "{:>7.2}%  {:>10.1}us  {:>6}  {:>10.1}us  {}\n",

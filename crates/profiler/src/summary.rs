@@ -90,7 +90,11 @@ pub fn summarize(timeline: &GpuTimeline) -> ProfileSummary {
 
     let mut memcpys: Vec<MemcpySummary> = Vec::new();
     for kind in [CopyKind::HostToDevice, CopyKind::DeviceToHost] {
-        let records: Vec<_> = timeline.memcpys().iter().filter(|m| m.kind == kind).collect();
+        let records: Vec<_> = timeline
+            .memcpys()
+            .iter()
+            .filter(|m| m.kind == kind)
+            .collect();
         if records.is_empty() {
             continue;
         }
@@ -123,7 +127,9 @@ mod tests {
             .grid(48, 256)
             .flops(500_000_000)
             .precision(Precision::Fp16, true);
-        let small = KernelDesc::new("small_kernel").grid(6, 128).flops(1_000_000);
+        let small = KernelDesc::new("small_kernel")
+            .grid(6, 128)
+            .flops(1_000_000);
         tl.enqueue_kernel(s, &big);
         tl.enqueue_kernel(s, &small);
         tl.enqueue_kernel(s, &big);

@@ -8,9 +8,18 @@ fn main() {
         println!("{}", render_pass_ablation(model, &run_pass_ablation(model)));
     }
     for model in [ModelId::Resnet18, ModelId::Vgg16] {
-        println!("{}", render_precision_ablation(model, &run_precision_ablation(model)));
+        println!(
+            "{}",
+            render_precision_ablation(model, &run_precision_ablation(model))
+        );
     }
-    println!("{}", render_avgtiming(ModelId::InceptionV4, &run_avgtiming_sweep(ModelId::InceptionV4, 8)));
+    println!(
+        "{}",
+        render_avgtiming(
+            ModelId::InceptionV4,
+            &run_avgtiming_sweep(ModelId::InceptionV4, 8)
+        )
+    );
     let config = trtsim_repro::exp_accuracy::AccuracyConfig::quick();
     let int8_rows: Vec<_> = [ModelId::Alexnet, ModelId::Vgg16]
         .into_iter()

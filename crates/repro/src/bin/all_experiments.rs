@@ -10,8 +10,14 @@ fn main() {
     println!("{}", exp_sizes::run().render());
 
     let acc_config = exp_accuracy::AccuracyConfig::default();
-    println!("{}", exp_accuracy::render_table3(&exp_accuracy::run_table3(&acc_config)));
-    println!("{}", exp_accuracy::render_table4(&exp_accuracy::run_table4(&acc_config)));
+    println!(
+        "{}",
+        exp_accuracy::render_table3(&exp_accuracy::run_table3(&acc_config))
+    );
+    println!(
+        "{}",
+        exp_accuracy::render_table4(&exp_accuracy::run_table4(&acc_config))
+    );
 
     let studies: Vec<_> = exp_consistency::consistency_models()
         .into_iter()
@@ -23,24 +29,60 @@ fn main() {
     println!("{}", exp_fps::run().render());
 
     for platform in Platform::all() {
-        println!("{}", exp_concurrency::render(&exp_concurrency::run(ModelId::TinyYolov3, platform)));
+        println!(
+            "{}",
+            exp_concurrency::render(&exp_concurrency::run(ModelId::TinyYolov3, platform))
+        );
     }
     for platform in Platform::all() {
-        println!("{}", exp_concurrency::render(&exp_concurrency::run(ModelId::Googlenet, platform)));
+        println!(
+            "{}",
+            exp_concurrency::render(&exp_concurrency::run(ModelId::Googlenet, platform))
+        );
     }
 
-    println!("Table VIII: inference latency with nvprof (pinned clocks)\n{}", exp_latency::run().render());
-    println!("Table IX: inference latency without nvprof\n{}", exp_latency::run_table9().render());
+    println!(
+        "Table VIII: inference latency with nvprof (pinned clocks)\n{}",
+        exp_latency::run().render()
+    );
+    println!(
+        "Table IX: inference latency without nvprof\n{}",
+        exp_latency::run_table9().render()
+    );
     println!("{}", exp_memcpy::render_table10(&exp_memcpy::run_table10()));
-    println!("{}", exp_memcpy::render_table11(&exp_memcpy::run_table11(&[
-        ModelId::Pednet,
-        ModelId::Facenet,
-        ModelId::Mobilenetv1,
-    ])));
-    println!("{}", exp_variability::render_table12(&exp_variability::run_table12(&ModelId::all())));
-    println!("{}", exp_variability::render_table13(&exp_variability::run_table13(ModelId::InceptionV4)));
+    println!(
+        "{}",
+        exp_memcpy::render_table11(&exp_memcpy::run_table11(&[
+            ModelId::Pednet,
+            ModelId::Facenet,
+            ModelId::Mobilenetv1,
+        ]))
+    );
+    println!(
+        "{}",
+        exp_variability::render_table12(&exp_variability::run_table12(&ModelId::all()))
+    );
+    println!(
+        "{}",
+        exp_variability::render_table13(&exp_variability::run_table13(ModelId::InceptionV4))
+    );
     println!("{}", exp_summary::render(&exp_summary::run()));
-    println!("{}", exp_bsp::render(&exp_bsp::run(ModelId::InceptionV4, 3)));
-    println!("{}", exp_bsp::render(&exp_bsp::run(ModelId::Mobilenetv1, 3)));
-    eprintln!("all experiments completed in {:.1}s", t0.elapsed().as_secs_f32());
+    println!(
+        "{}",
+        exp_bsp::render(&exp_bsp::run(ModelId::InceptionV4, 3))
+    );
+    println!(
+        "{}",
+        exp_bsp::render(&exp_bsp::run(ModelId::Mobilenetv1, 3))
+    );
+    for platform in Platform::all() {
+        println!(
+            "{}",
+            exp_serving::render(&exp_serving::run(ModelId::TinyYolov3, platform))
+        );
+    }
+    eprintln!(
+        "all experiments completed in {:.1}s",
+        t0.elapsed().as_secs_f32()
+    );
 }

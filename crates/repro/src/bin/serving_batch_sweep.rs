@@ -1,0 +1,9 @@
+//! Serving extension: dynamic-batching sweep on both platforms.
+use trtsim_gpu::device::Platform;
+use trtsim_models::ModelId;
+use trtsim_repro::exp_serving::{render, run};
+fn main() {
+    for platform in Platform::all() {
+        println!("{}", render(&run(ModelId::TinyYolov3, platform)));
+    }
+}

@@ -3,6 +3,9 @@ use trtsim_repro::exp_accuracy::AccuracyConfig;
 use trtsim_repro::exp_consistency::{consistency_models, render_table5, run};
 fn main() {
     let config = AccuracyConfig::default();
-    let studies: Vec<_> = consistency_models().into_iter().map(|m| run(m, &config)).collect();
+    let studies: Vec<_> = consistency_models()
+        .into_iter()
+        .map(|m| run(m, &config))
+        .collect();
     println!("{}", render_table5(&studies));
 }

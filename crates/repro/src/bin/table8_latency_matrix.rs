@@ -1,5 +1,8 @@
 //! Regenerates the paper's Table VIII (latency matrix with anomalies).
 fn main() {
     let t = trtsim_repro::exp_latency::run();
-    println!("Table VIII: inference latency with nvprof (pinned clocks)\n{}", t.render());
+    println!(
+        "Table VIII: inference latency with nvprof (pinned clocks)\n{}",
+        t.render()
+    );
 }

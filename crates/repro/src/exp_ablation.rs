@@ -146,7 +146,10 @@ pub fn render_pass_ablation(model: ModelId, rows: &[AblationRow]) -> String {
             format!("{:.2}x", r.latency_ms / base),
         ]);
     }
-    format!("Ablation: optimization passes ({model}, NX)\n{}", t.render())
+    format!(
+        "Ablation: optimization passes ({model}, NX)\n{}",
+        t.render()
+    )
 }
 
 /// One precision-ablation row.
@@ -278,8 +281,11 @@ pub fn render_int8(rows: &[Int8Row]) -> String {
             r.int8_layers.to_string(),
         ]);
     }
-    format!("Ablation: INT8 calibration accuracy (NX)
-{}", t.render())
+    format!(
+        "Ablation: INT8 calibration accuracy (NX)
+{}",
+        t.render()
+    )
 }
 
 /// One avgTiming row: distinct kernel mappings across rebuilds.
@@ -352,8 +358,14 @@ mod tests {
     fn fusion_ablation_costs_launches_and_time() {
         let rows = run_pass_ablation(ModelId::Googlenet);
         let full = &rows[0];
-        let no_passes = rows.iter().find(|r| r.variant == Variant::NoPasses).unwrap();
-        assert!(no_passes.launches > full.launches, "passes should cut launches");
+        let no_passes = rows
+            .iter()
+            .find(|r| r.variant == Variant::NoPasses)
+            .unwrap();
+        assert!(
+            no_passes.launches > full.launches,
+            "passes should cut launches"
+        );
         assert!(
             no_passes.latency_ms > full.latency_ms,
             "unoptimized graph should be slower: {} vs {}",

@@ -93,9 +93,7 @@ impl AccuracySetup {
             derive_seed(CAMPAIGN_SEED, "imagenet", model as u64),
         )
         .with_snr(1.0, noise);
-        let prototypes: Vec<_> = (0..config.classes)
-            .map(|c| dataset.prototype(c))
-            .collect();
+        let prototypes: Vec<_> = (0..config.classes).map(|c| dataset.prototype(c)).collect();
         let network = build_classifier(
             model,
             &prototypes,
@@ -125,8 +123,8 @@ impl AccuracySetup {
             .with_pruning(true);
         config.prune_threshold = 0.55;
         Builder::new(DeviceSpec::pinned_clock(platform), config)
-        .build(&self.network)
-        .expect("numeric models build")
+            .build(&self.network)
+            .expect("numeric models build")
     }
 
     /// Benign evaluation set.
@@ -137,7 +135,10 @@ impl AccuracySetup {
     /// Adversarial evaluation set at one severity.
     pub fn adversarial(&self, config: &AccuracyConfig, severity: Severity) -> Vec<LabeledImage> {
         let mut out = Vec::new();
-        for corruption in Corruption::all().into_iter().take(config.corruption_families) {
+        for corruption in Corruption::all()
+            .into_iter()
+            .take(config.corruption_families)
+        {
             for class in 0..config.classes {
                 for idx in 0..config.adversarial_per_class {
                     let base = self.dataset.sample(class, 1000 + idx);
@@ -145,7 +146,11 @@ impl AccuracySetup {
                         &base.image,
                         corruption,
                         severity,
-                        derive_seed(CAMPAIGN_SEED, corruption.label(), (class * 131 + idx) as u64),
+                        derive_seed(
+                            CAMPAIGN_SEED,
+                            corruption.label(),
+                            (class * 131 + idx) as u64,
+                        ),
                     );
                     out.push(LabeledImage {
                         image,
@@ -318,11 +323,8 @@ mod tests {
         // Finding 1, on the quick configuration (36 images/model: one image
         // is ~3 percentage points, so judge the average and cap per model).
         let rows = run_table3(&AccuracyConfig::quick());
-        let mean_delta: f64 = rows
-            .iter()
-            .map(|r| r.nx_error - r.unopt_error)
-            .sum::<f64>()
-            / rows.len() as f64;
+        let mean_delta: f64 =
+            rows.iter().map(|r| r.nx_error - r.unopt_error).sum::<f64>() / rows.len() as f64;
         assert!(
             mean_delta <= 1.0,
             "TRT should not be worse on average: {mean_delta:+.1} points ({rows:?})"

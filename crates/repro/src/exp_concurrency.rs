@@ -29,7 +29,10 @@ impl ConcurrencyFigure {
 
     /// Utilization at saturation, percent.
     pub fn saturation_utilization_percent(&self) -> f64 {
-        self.points.last().map(|p| p.utilization * 100.0).unwrap_or(0.0)
+        self.points
+            .last()
+            .map(|p| p.utilization * 100.0)
+            .unwrap_or(0.0)
     }
 }
 
@@ -53,11 +56,7 @@ pub fn run(model: ModelId, platform: Platform) -> ConcurrencyFigure {
 
 /// Renders one figure's series as a text table.
 pub fn render(figure: &ConcurrencyFigure) -> String {
-    let mut t = TextTable::new(vec![
-        "threads".into(),
-        "FPS".into(),
-        "GPU util (%)".into(),
-    ]);
+    let mut t = TextTable::new(vec!["threads".into(), "FPS".into(), "GPU util (%)".into()]);
     for p in &figure.points {
         t.row(vec![
             p.threads.to_string(),
@@ -128,7 +127,11 @@ mod tests {
     #[test]
     fn fps_and_util_rise_with_threads() {
         let fig = run(ModelId::TinyYolov3, Platform::Nx);
-        assert!(fig.points.len() >= 4, "too few points: {}", fig.points.len());
+        assert!(
+            fig.points.len() >= 4,
+            "too few points: {}",
+            fig.points.len()
+        );
         let first = &fig.points[0];
         let last = fig.points.last().unwrap();
         assert!(last.fps >= first.fps * 0.99);

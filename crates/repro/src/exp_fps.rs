@@ -84,8 +84,9 @@ pub fn run() -> Table7 {
     let rows = ModelId::classification_models()
         .into_iter()
         .map(|model| {
-            let unopt = Platform::all()
-                .map(|p| fps_from_latency_us(unoptimized_latency_us(model, &DeviceSpec::max_clock(p))));
+            let unopt = Platform::all().map(|p| {
+                fps_from_latency_us(unoptimized_latency_us(model, &DeviceSpec::max_clock(p)))
+            });
             let trt = Platform::all().map(|p| fps_from_latency_us(optimized_latency_us(model, p)));
             FpsRow {
                 model,

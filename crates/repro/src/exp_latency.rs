@@ -8,7 +8,9 @@ use trtsim_metrics::LatencyCell;
 use trtsim_models::ModelId;
 use trtsim_util::derive_seed;
 
-use crate::support::{build_engine, table8_options, table9_options, TextTable, CAMPAIGN_SEED, RUNS};
+use crate::support::{
+    build_engine, table8_options, table9_options, TextTable, CAMPAIGN_SEED, RUNS,
+};
 
 /// The four measurement cases of Table VIII, in column order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,7 +213,10 @@ mod tests {
     use super::*;
 
     fn small_table() -> Table8 {
-        run_for(vec![ModelId::Resnet18, ModelId::Pednet, ModelId::Mtcnn], true)
+        run_for(
+            vec![ModelId::Resnet18, ModelId::Pednet, ModelId::Mtcnn],
+            true,
+        )
     }
 
     #[test]

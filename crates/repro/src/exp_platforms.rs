@@ -42,7 +42,9 @@ mod tests {
     #[test]
     fn table1_matches_paper_values() {
         let s = super::run();
-        for needle in ["384", "512", "6", "8", "48", "64", "51.2", "137", "128KB", "512KB"] {
+        for needle in [
+            "384", "512", "6", "8", "48", "64", "51.2", "137", "128KB", "512KB",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
     }

@@ -72,7 +72,10 @@ impl Table2 {
                 format!("{:.2}", r.engine_agx_mib),
             ]);
         }
-        format!("Table II: Model sizes with and without TensorRT optimizations\n{}", t.render())
+        format!(
+            "Table II: Model sizes with and without TensorRT optimizations\n{}",
+            t.render()
+        )
     }
 }
 

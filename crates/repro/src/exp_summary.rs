@@ -31,18 +31,20 @@ pub fn run() -> Vec<FindingRow> {
     // Finding 1: accuracy maintained (average over models; single images
     // are worth ~3 points at the quick scale).
     let acc = run_table3(&AccuracyConfig::quick());
-    let mean_delta: f64 = acc
-        .iter()
-        .map(|r| r.nx_error - r.unopt_error)
-        .sum::<f64>()
-        / acc.len() as f64;
+    let mean_delta: f64 =
+        acc.iter().map(|r| r.nx_error - r.unopt_error).sum::<f64>() / acc.len() as f64;
     let maintained = mean_delta <= 1.0;
     rows.push(FindingRow {
         finding: "Maintain task accuracy".into(),
         supported: maintained,
         evidence: acc
             .iter()
-            .map(|r| format!("{}: TRT {:.1}% vs unopt {:.1}%", r.model, r.nx_error, r.unopt_error))
+            .map(|r| {
+                format!(
+                    "{}: TRT {:.1}% vs unopt {:.1}%",
+                    r.model, r.nx_error, r.unopt_error
+                )
+            })
             .collect::<Vec<_>>()
             .join("; "),
         impact: "Positive",
@@ -116,7 +118,11 @@ mod tests {
         let rows = super::run();
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.supported, "finding not reproduced: {} ({})", r.finding, r.evidence);
+            assert!(
+                r.supported,
+                "finding not reproduced: {} ({})",
+                r.finding, r.evidence
+            );
         }
     }
 }

@@ -107,9 +107,7 @@ pub fn run_table13(model: ModelId) -> InvocationTable {
     let mut counts: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (i, engine) in engines.iter().enumerate() {
         for (name, n) in engine.kernel_invocations() {
-            counts
-                .entry(name)
-                .or_insert_with(|| vec![0; engines.len()])[i] = n;
+            counts.entry(name).or_insert_with(|| vec![0; engines.len()])[i] = n;
         }
     }
     InvocationTable { model, counts }

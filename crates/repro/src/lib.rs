@@ -21,6 +21,7 @@ pub mod exp_fps;
 pub mod exp_latency;
 pub mod exp_memcpy;
 pub mod exp_platforms;
+pub mod exp_serving;
 pub mod exp_sizes;
 pub mod exp_summary;
 pub mod exp_variability;

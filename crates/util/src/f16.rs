@@ -170,7 +170,9 @@ impl QuantParams {
     /// dequantization stays exact for zero inputs.
     pub fn from_amax(amax: f32) -> Self {
         let amax = if amax > 0.0 { amax } else { f32::MIN_POSITIVE };
-        Self { scale: amax / 127.0 }
+        Self {
+            scale: amax / 127.0,
+        }
     }
 
     /// Calibrates from data: `amax` over the slice.

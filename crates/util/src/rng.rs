@@ -203,7 +203,10 @@ mod tests {
         let mut a = Pcg32::seed_from_u64(123);
         let mut b = Pcg32::seed_from_u64(124);
         let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 4, "adjacent seeds should decorrelate, got {same} collisions");
+        assert!(
+            same < 4,
+            "adjacent seeds should decorrelate, got {same} collisions"
+        );
     }
 
     #[test]

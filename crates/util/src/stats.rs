@@ -224,8 +224,8 @@ mod tests {
         let data = [3.1, 4.1, 5.9, 2.6, 5.3, 5.8, 9.7, 9.3];
         let s: RunningStats = data.iter().copied().collect();
         let naive_mean = data.iter().sum::<f64>() / data.len() as f64;
-        let naive_var = data.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>()
-            / (data.len() - 1) as f64;
+        let naive_var =
+            data.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((s.mean() - naive_mean).abs() < 1e-12);
         assert!((s.std_dev() - naive_var.sqrt()).abs() < 1e-12);
         assert_eq!(s.min(), 2.6);

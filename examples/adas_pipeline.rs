@@ -12,11 +12,9 @@
 //! cargo run --release --example adas_pipeline
 //! ```
 
-use trtsim::engine::runtime::{ExecutionContext, TimingOptions};
-use trtsim::engine::{Builder, BuilderConfig, EngineError};
-use trtsim::gpu::device::DeviceSpec;
 use trtsim::models::ModelId;
 use trtsim::util::stats::Summary;
+use trtsim::{Builder, BuilderConfig, DeviceSpec, EngineError, ExecutionContext, TimingOptions};
 
 fn main() -> Result<(), EngineError> {
     let device = DeviceSpec::xavier_agx();

@@ -11,12 +11,10 @@
 
 use trtsim::data::SyntheticImageNet;
 use trtsim::engine::plan;
-use trtsim::engine::runtime::ExecutionContext;
-use trtsim::engine::{Builder, BuilderConfig, Engine, EngineError};
-use trtsim::gpu::device::DeviceSpec;
 use trtsim::metrics::consistency;
 use trtsim::models::numeric::{build_classifier, NUMERIC_INPUT};
 use trtsim::models::ModelId;
+use trtsim::{Builder, BuilderConfig, DeviceSpec, Engine, EngineError, ExecutionContext};
 
 fn main() -> Result<(), EngineError> {
     // A trained classifier over a 10-class synthetic dataset.

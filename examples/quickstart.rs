@@ -5,11 +5,9 @@
 //! ```
 
 use trtsim::engine::plan;
-use trtsim::engine::runtime::{ExecutionContext, TimingOptions};
-use trtsim::engine::{Builder, BuilderConfig, EngineError};
-use trtsim::gpu::device::DeviceSpec;
 use trtsim::metrics::LatencyCell;
 use trtsim::models::ModelId;
+use trtsim::{Builder, BuilderConfig, DeviceSpec, EngineError, ExecutionContext, TimingOptions};
 
 fn main() -> Result<(), EngineError> {
     // 1. Pick a network from the paper's model zoo.

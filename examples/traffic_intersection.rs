@@ -12,17 +12,16 @@
 //! ```
 
 use trtsim::data::traffic::{BBox, TrafficDataset};
-use trtsim::engine::runtime::{ExecutionContext, TimingOptions};
 use trtsim::engine::serving;
-use trtsim::engine::{Builder, BuilderConfig, EngineError};
 use trtsim::gpu::contention::sweep;
-use trtsim::gpu::device::{DeviceSpec, Platform};
+use trtsim::gpu::device::Platform;
 use trtsim::metrics::detection::{precision_recall, DetectionEval};
 use trtsim::models::decode::{decode_yolo_grid, nms, tiny_yolov3_anchors};
 use trtsim::models::ModelId;
 use trtsim::util::rng::Pcg32;
+use trtsim::{Builder, BuilderConfig, DeviceSpec, ExecutionContext, TimingOptions};
 
-fn main() -> Result<(), EngineError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Capacity planning: how many cameras per board? -------------------
     for platform in Platform::all() {
         let device = DeviceSpec::max_clock(platform);
@@ -46,7 +45,7 @@ fn main() -> Result<(), EngineError> {
         .build(&ModelId::TinyYolov3.descriptor())?;
     let mut opts = TimingOptions::default().without_engine_upload();
     opts.host_glue_us = ModelId::TinyYolov3.info().host_glue_us;
-    let report = serving::serve(&engine, &device, 8, 256, &opts);
+    let report = serving::serve(&engine, &device, 8, 256, &opts)?;
     println!(
         "served {} frames on {} camera threads: {:.0} FPS aggregate, GR3D {:.0}%",
         report.frames, report.threads, report.aggregate_fps, report.gr3d_percent

@@ -21,11 +21,15 @@
 //! * [`perfmodel`] — the BSP prediction model (Eq. 2) and λ calibration
 //! * [`repro`] — one harness per paper table/figure
 //!
+//! The most commonly used types are also re-exported at the crate root —
+//! `use trtsim::{Builder, BuilderConfig, InferenceServer, ServerConfig, ...}`
+//! covers a typical build-then-serve application without reaching into the
+//! submodules.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use trtsim::engine::{Builder, BuilderConfig};
-//! use trtsim::gpu::device::DeviceSpec;
+//! use trtsim::{Builder, BuilderConfig, DeviceSpec};
 //! use trtsim::models::ModelId;
 //!
 //! // Build a TensorRT-like engine for Tiny-YOLOv3 on a simulated Xavier NX.
@@ -37,12 +41,51 @@
 //!     engine.launch_count(),
 //!     engine.plan_size_bytes() as f64 / (1 << 20) as f64
 //! );
-//! # Ok::<(), trtsim::engine::EngineError>(())
+//! # Ok::<(), trtsim::EngineError>(())
+//! ```
+//!
+//! # Serving
+//!
+//! The production entry point is [`InferenceServer`]: worker threads with
+//! per-worker streams, a bounded submission queue with backpressure, and a
+//! dynamic batcher — see [`engine::serving`] for the architecture.
+//!
+//! ```
+//! use trtsim::{
+//!     Builder, BuilderConfig, DeviceSpec, InferenceServer, ServerConfig, TimingOptions,
+//! };
+//! use trtsim::models::ModelId;
+//!
+//! let device = DeviceSpec::xavier_nx();
+//! let engine = Builder::new(device.clone(), BuilderConfig::default().with_build_seed(1))
+//!     .build(&ModelId::TinyYolov3.descriptor())?;
+//! let server = InferenceServer::start(
+//!     &engine,
+//!     &device,
+//!     ServerConfig::default()
+//!         .with_workers(2)
+//!         .with_max_batch_size(4)
+//!         .with_batch_timeout_us(f64::INFINITY)
+//!         .with_timing(TimingOptions::default().without_engine_upload()),
+//! )?;
+//! for frame in 0..16 {
+//!     server.submit(frame)?;
+//! }
+//! let stats = server.drain();
+//! assert_eq!(stats.completed, 16);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
 
 pub use trtsim_core as engine;
+
+pub use trtsim_core::{
+    Builder, BuilderConfig, Engine, EngineError, ExecutionContext, InferenceServer, RequestRecord,
+    ServerConfig, ServerStats, ServingError, ServingReport, TimingOptions,
+};
+pub use trtsim_gpu::device::DeviceSpec;
+
 pub use trtsim_data as data;
 pub use trtsim_gpu as gpu;
 pub use trtsim_ir as ir;

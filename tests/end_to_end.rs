@@ -34,7 +34,10 @@ fn every_engine_round_trips_through_its_plan() {
         .unwrap();
         let blob = plan::serialize(&engine);
         let restored = plan::deserialize(&blob).unwrap_or_else(|e| panic!("{model}: {e}"));
-        assert_eq!(engine, restored, "{model}: plan round trip changed the engine");
+        assert_eq!(
+            engine, restored,
+            "{model}: plan round trip changed the engine"
+        );
     }
 }
 

@@ -28,7 +28,10 @@ fn rebuilds_select_different_kernel_sets() {
     let engines = engines(4, &network);
     let baseline = engines[0].kernel_invocations();
     assert!(
-        engines.iter().skip(1).any(|e| e.kernel_invocations() != baseline),
+        engines
+            .iter()
+            .skip(1)
+            .any(|e| e.kernel_invocations() != baseline),
         "four builds of inception-v4 produced identical kernel mappings"
     );
 }
@@ -43,9 +46,7 @@ fn rebuilds_change_latency() {
     };
     let lats: Vec<f64> = engines
         .iter()
-        .map(|e| {
-            ExecutionContext::new(e, DeviceSpec::xavier_nx()).measure_latency(&opts, 1, 0)[0]
-        })
+        .map(|e| ExecutionContext::new(e, DeviceSpec::xavier_nx()).measure_latency(&opts, 1, 0)[0])
         .collect();
     let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = lats.iter().cloned().fold(0.0, f64::max);

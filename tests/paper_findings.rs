@@ -53,8 +53,7 @@ fn finding4_bigger_board_can_be_slower() {
             )
             .build(&model.descriptor())
             .unwrap();
-            let mut opts = TimingOptions::default()
-                .with_host_glue_us(model.info().host_glue_us);
+            let mut opts = TimingOptions::default().with_host_glue_us(model.info().host_glue_us);
             opts.run_jitter_sd = 0.0;
             let time_on = |platform: Platform| {
                 ExecutionContext::new(&engine, DeviceSpec::pinned_clock(platform))
@@ -66,7 +65,10 @@ fn finding4_bigger_board_can_be_slower() {
             }
         }
     }
-    assert!(found, "no NX-built engine ran slower on AGX — anomaly mechanisms dead");
+    assert!(
+        found,
+        "no NX-built engine ran slower on AGX — anomaly mechanisms dead"
+    );
 }
 
 /// Finding 5: the engine-upload memcpy costs more on AGX.
@@ -102,5 +104,8 @@ fn bsp_error_varies_across_builds() {
         .collect();
     let min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = errors.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max - min > 0.05, "errors identical across builds: {errors:?}");
+    assert!(
+        max - min > 0.05,
+        "errors identical across builds: {errors:?}"
+    );
 }

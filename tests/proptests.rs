@@ -50,7 +50,13 @@ fn arb_network() -> impl Strategy<Value = Graph> {
             branch_ids[0]
         };
         let drop = g.add_layer("drop", LayerKind::Dropout { rate: 0.5 }, &[out]);
-        let gp = g.add_layer("gp", LayerKind::GlobalPool { kind: PoolKind::Avg }, &[drop]);
+        let gp = g.add_layer(
+            "gp",
+            LayerKind::GlobalPool {
+                kind: PoolKind::Avg,
+            },
+            &[drop],
+        );
         g.mark_output(gp);
         g
     })

@@ -1,0 +1,167 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build container has no crates-io access, so the workspace vendors the
+//! small slice of the `bytes` API it actually uses: a growable write buffer
+//! ([`BytesMut`] + [`BufMut`]) and little-endian reads off `&[u8]` ([`Buf`]).
+//! The semantics match the real crate for this subset; swapping the real
+//! dependency back in requires no source changes.
+
+#![warn(missing_docs)]
+
+/// A growable byte buffer (the writable half of the real crate's `BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a plain vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side buffer operations (little-endian subset).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Read-side buffer operations (little-endian subset). Each read consumes
+/// bytes from the front.
+///
+/// # Panics
+///
+/// Like the real crate, reads panic if the buffer holds too few bytes;
+/// callers bound-check first (see `trtsim-core::plan::Reader`).
+pub trait Buf {
+    /// Consumes and returns one little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consumes and returns one little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Consumes and returns one little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+
+    /// Consumes and returns one little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for &[u8] {
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"hdr");
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_f32_le(1.5);
+        buf.put_f64_le(-2.25);
+        let v = buf.to_vec();
+        assert_eq!(v.len(), 3 + 1 + 4 + 8 + 4 + 8);
+
+        let mut r = &v[3..];
+        assert_eq!(r[0], 7);
+        r = &r[1..];
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build container has no crates-io access, so the workspace vendors the
+//! slice of the criterion API its benches use: `Criterion::benchmark_group`,
+//! group knobs (`sample_size`, `warm_up_time`, `measurement_time`),
+//! `bench_function` + `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs one
+//! warm-up iteration plus `sample_size` timed iterations and prints
+//! min/mean/max wall-clock time — no statistics engine, no HTML reports.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement backends (subset: wall-clock only).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+            _measurement: measurement::WallTime,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+    _measurement: M,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub always warms up with one
+    /// untimed iteration instead of a time budget.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub times exactly `sample_size`
+    /// iterations instead of filling a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark: calls `f` with a [`Bencher`] and prints the
+    /// per-iteration wall-clock summary.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1) as f64;
+        let mean = b.samples.iter().sum::<f64>() / n;
+        let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{}/{}: mean {:.3} ms, min {:.3} ms, max {:.3} ms ({} samples)",
+            self.name,
+            id,
+            mean / 1e6,
+            min / 1e6,
+            max / 1e6,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (no-op; reporting happens per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` once untimed, then `sample_size` timed iterations,
+    /// recording per-iteration nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Declares a bench group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn group_runs_and_records() {
+        benches();
+    }
+}
