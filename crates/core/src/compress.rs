@@ -25,7 +25,7 @@ pub fn cluster_weights(weights: &[f32], bits: u32, iterations: u32) -> Vec<f32> 
     }
     // Quantile initialization over the sorted values.
     let mut sorted: Vec<f32> = weights.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f32::total_cmp);
     let mut centroids: Vec<f32> = (0..k)
         .map(|i| sorted[(i * (sorted.len() - 1)) / (k - 1).max(1)])
         .collect();
@@ -49,7 +49,7 @@ pub fn cluster_weights(weights: &[f32], bits: u32, iterations: u32) -> Vec<f32> 
                 *c = (*s / *n as f64) as f32;
             }
         }
-        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        centroids.sort_by(f32::total_cmp);
     }
     weights
         .iter()
@@ -58,7 +58,7 @@ pub fn cluster_weights(weights: &[f32], bits: u32, iterations: u32) -> Vec<f32> 
 }
 
 fn nearest(sorted_centroids: &[f32], w: f32) -> usize {
-    match sorted_centroids.binary_search_by(|c| c.partial_cmp(&w).unwrap()) {
+    match sorted_centroids.binary_search_by(|c| c.total_cmp(&w)) {
         Ok(i) => i,
         Err(i) => {
             if i == 0 {

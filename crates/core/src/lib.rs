@@ -63,5 +63,6 @@ pub use engine::{Engine, ExecUnit};
 pub use error::EngineError;
 pub use runtime::{ExecutionContext, TimingOptions};
 pub use serving::{
-    serve, InferenceServer, RequestRecord, ServerConfig, ServerStats, ServingError, ServingReport,
+    serve, InferenceServer, KernelTime, ProfileOptions, RequestRecord, ServerConfig, ServerStats,
+    ServingError, ServingReport,
 };

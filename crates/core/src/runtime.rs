@@ -281,7 +281,7 @@ impl<'e> ExecutionContext<'e> {
             })
             .sum();
         timeline.enqueue_d2h(stream, (out_bytes * batch).max(4));
-        timeline.host_gap(stream, opts.host_glue_us)
+        timeline.host_span(stream, "host_glue", opts.host_glue_us)
     }
 
     /// Measures `runs` end-to-end latencies (µs) under the paper's harness

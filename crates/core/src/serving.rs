@@ -35,12 +35,17 @@
 //! * **Observability** — [`ServerStats`] carries per-request simulated
 //!   latency percentiles (via [`trtsim_metrics::LatencyPercentiles`]), the
 //!   batch-size histogram, the queue-depth high-water mark, and the rejected
-//!   count.
+//!   count. With [`ProfileOptions`] enabled ([`ServerConfig::with_profile`])
+//!   each [`RequestRecord`] additionally carries a span-id range joining it
+//!   to the exact timeline records that served it, and the stats gain a
+//!   per-kernel time breakdown plus the full captured timeline — ready for
+//!   `trtsim_profiler`'s chrome-trace export and anomaly detectors.
 //!
 //! The original one-shot [`serve`] entry point survives as a thin wrapper
 //! (batch size 1, blocking submission) so the Figure 3/4 harness
 //! configuration keeps working unchanged.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -49,7 +54,7 @@ use std::time::Duration;
 
 use trtsim_gpu::device::DeviceSpec;
 use trtsim_gpu::tegrastats;
-use trtsim_gpu::timeline::{GpuTimeline, StreamId};
+use trtsim_gpu::timeline::{GpuTimeline, SpanSeq, StreamId};
 use trtsim_metrics::LatencyPercentiles;
 
 use crate::engine::Engine;
@@ -77,6 +82,58 @@ impl std::fmt::Display for ServingError {
 }
 
 impl std::error::Error for ServingError {}
+
+/// Observability knobs for [`InferenceServer`] — what the server keeps
+/// around, beyond counters, for post-run trace analysis.
+///
+/// Span attribution itself (the `span_lo`/`span_hi` range on every
+/// [`RequestRecord`]) is always on: it costs two integer reads per batch.
+/// These knobs gate the parts with real memory or time cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileOptions {
+    /// Keep a clone of the full [`GpuTimeline`] in [`ServerStats::timeline`]
+    /// at snapshot/drain time, for chrome-trace export and anomaly detection
+    /// (`trtsim-profiler`).
+    pub capture_timeline: bool,
+    /// Aggregate per-kernel busy time into [`ServerStats::kernel_breakdown`]
+    /// so a slow percentile can be attributed to specific kernels.
+    pub kernel_breakdown: bool,
+}
+
+impl ProfileOptions {
+    /// Everything on — what the `trace_export` example and the repro
+    /// harnesses use.
+    pub fn full() -> Self {
+        Self {
+            capture_timeline: true,
+            kernel_breakdown: true,
+        }
+    }
+
+    /// Enables timeline capture.
+    pub fn with_capture_timeline(mut self, on: bool) -> Self {
+        self.capture_timeline = on;
+        self
+    }
+
+    /// Enables the per-kernel time breakdown.
+    pub fn with_kernel_breakdown(mut self, on: bool) -> Self {
+        self.kernel_breakdown = on;
+        self
+    }
+}
+
+/// Total busy time attributed to one kernel symbol over a serving run — the
+/// [`ServerStats::kernel_breakdown`] row type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTime {
+    /// Kernel symbol.
+    pub name: String,
+    /// Number of launches across all streams.
+    pub calls: u64,
+    /// Total busy time, µs.
+    pub total_us: f64,
+}
 
 /// Configuration for [`InferenceServer`], built fluently like
 /// [`crate::config::BuilderConfig`]: start from [`ServerConfig::default`],
@@ -106,6 +163,8 @@ pub struct ServerConfig {
     pub arrival_period_us: f64,
     /// Timing harness options applied to every enqueue.
     pub timing: TimingOptions,
+    /// Observability knobs (timeline capture, per-kernel breakdown).
+    pub profile: ProfileOptions,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +176,7 @@ impl Default for ServerConfig {
             batch_timeout_us: 0.0,
             arrival_period_us: 0.0,
             timing: TimingOptions::default(),
+            profile: ProfileOptions::default(),
         }
     }
 }
@@ -158,6 +218,12 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the observability knobs.
+    pub fn with_profile(mut self, profile: ProfileOptions) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Checks every knob, naming the first invalid one.
     ///
     /// # Errors
@@ -193,13 +259,25 @@ impl ServerConfig {
     }
 }
 
-/// One completed request, for order/latency audits.
+/// One completed request, for order/latency audits and trace attribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
     /// Caller-supplied frame id.
     pub frame: u64,
     /// Worker (= stream index) that served it.
     pub worker: usize,
+    /// Sequence number of the batched enqueue that carried it (batcher
+    /// dispatch order).
+    pub batch: u64,
+    /// First span sequence number (inclusive) of the batch's records on the
+    /// worker's stream — host waits, H2D, kernels, D2H, glue. With
+    /// [`RequestRecord::span_hi`] this is the half-open range that joins a
+    /// slow request to the exact timeline records (and chrome-trace spans)
+    /// that served it. Per-stream numbering keeps the range deterministic
+    /// under the round-robin batcher.
+    pub span_lo: SpanSeq,
+    /// One past the last span sequence number of the batch's records.
+    pub span_hi: SpanSeq,
     /// Simulated arrival time, µs.
     pub arrival_us: f64,
     /// Simulated completion time, µs.
@@ -240,6 +318,13 @@ pub struct ServerStats {
     pub frames_per_worker: Vec<u64>,
     /// Per-request completion log, in completion order per worker.
     pub completions: Vec<RequestRecord>,
+    /// Per-kernel busy-time totals, heaviest first. Populated when
+    /// [`ProfileOptions::kernel_breakdown`] is set; empty otherwise.
+    pub kernel_breakdown: Vec<KernelTime>,
+    /// The run's full simulated timeline. Populated when
+    /// [`ProfileOptions::capture_timeline`] is set; feed it to
+    /// `trtsim_profiler::chrome_trace` / `trtsim_profiler::anomaly`.
+    pub timeline: Option<GpuTimeline>,
 }
 
 impl ServerStats {
@@ -281,6 +366,8 @@ struct Request {
 /// A coalesced unit of work for one worker.
 #[derive(Debug)]
 struct Batch {
+    /// Batcher dispatch sequence number (global, not per-worker).
+    seq: u64,
     requests: Vec<Request>,
     /// Simulated straggler wait to charge before the enqueue (non-zero only
     /// when the batch closed because `batch_timeout_us` expired).
@@ -330,7 +417,7 @@ pub struct InferenceServer {
     timeline: Arc<Mutex<GpuTimeline>>,
     stats: Arc<Mutex<StatsInner>>,
     depth: Arc<AtomicUsize>,
-    high_water: AtomicUsize,
+    high_water: Arc<AtomicUsize>,
     accepted: AtomicU64,
     rejected: AtomicU64,
     abort_flag: Arc<AtomicBool>,
@@ -366,6 +453,7 @@ impl InferenceServer {
             completions: Vec::new(),
         }));
         let depth = Arc::new(AtomicUsize::new(0));
+        let high_water = Arc::new(AtomicUsize::new(0));
         let abort_flag = Arc::new(AtomicBool::new(false));
 
         let (tx, submission_rx) = mpsc::sync_channel::<u64>(config.queue_capacity);
@@ -398,6 +486,7 @@ impl InferenceServer {
         }
         let batcher = {
             let depth = Arc::clone(&depth);
+            let high_water = Arc::clone(&high_water);
             let max_batch = config.max_batch_size;
             let batch_timeout_us = config.batch_timeout_us;
             let arrival_period_us = config.arrival_period_us;
@@ -409,6 +498,7 @@ impl InferenceServer {
                     batch_timeout_us,
                     arrival_period_us,
                     &depth,
+                    &high_water,
                 );
             })
         };
@@ -420,7 +510,7 @@ impl InferenceServer {
             timeline,
             stats,
             depth,
-            high_water: AtomicUsize::new(0),
+            high_water,
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             abort_flag,
@@ -437,20 +527,26 @@ impl InferenceServer {
     /// [`ServingError::Stopped`] after shutdown.
     pub fn try_submit(&self, frame: u64) -> Result<(), ServingError> {
         let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
-        let depth_now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        // SeqCst on depth/high-water: the submit-side increment, the
+        // batcher-side decrement, and both fetch_max calls must observe one
+        // total order, or a max recorded on one side can miss a depth the
+        // other side reached. Plain event counters (accepted/rejected) stay
+        // Relaxed — they are only read after thread join (drain/abort) or as
+        // monotone progress hints (live stats()).
+        let depth_now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
         match tx.try_send(frame) {
             Ok(()) => {
-                self.high_water.fetch_max(depth_now, Ordering::Relaxed);
+                self.high_water.fetch_max(depth_now, Ordering::SeqCst);
                 self.accepted.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
-                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.depth.fetch_sub(1, Ordering::SeqCst);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(ServingError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
-                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.depth.fetch_sub(1, Ordering::SeqCst);
                 Err(ServingError::Stopped)
             }
         }
@@ -463,15 +559,15 @@ impl InferenceServer {
     /// Returns [`ServingError::Stopped`] after shutdown.
     pub fn submit(&self, frame: u64) -> Result<(), ServingError> {
         let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
-        let depth_now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let depth_now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
         match tx.send(frame) {
             Ok(()) => {
-                self.high_water.fetch_max(depth_now, Ordering::Relaxed);
+                self.high_water.fetch_max(depth_now, Ordering::SeqCst);
                 self.accepted.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             Err(_) => {
-                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.depth.fetch_sub(1, Ordering::SeqCst);
                 Err(ServingError::Stopped)
             }
         }
@@ -521,9 +617,20 @@ impl InferenceServer {
     fn snapshot(&self) -> ServerStats {
         // Lock order: timeline strictly before stats (workers release the
         // timeline before touching stats, so this cannot deadlock them).
-        let (elapsed_us, gr3d_percent) = {
+        let (elapsed_us, gr3d_percent, kernel_breakdown, timeline) = {
             let tl = self.timeline.lock().expect("timeline lock");
-            (tl.elapsed_us(), tegrastats::mean_gr3d_percent(&tl))
+            let breakdown = if self.config.profile.kernel_breakdown {
+                kernel_breakdown(&tl)
+            } else {
+                Vec::new()
+            };
+            let captured = self.config.profile.capture_timeline.then(|| tl.clone());
+            (
+                tl.elapsed_us(),
+                tegrastats::mean_gr3d_percent(&tl),
+                breakdown,
+                captured,
+            )
         };
         let st = self.stats.lock().expect("stats lock");
         let simulated_seconds = elapsed_us / 1e6;
@@ -542,12 +649,40 @@ impl InferenceServer {
             gr3d_percent,
             frames_per_worker: st.frames_per_worker.clone(),
             completions: st.completions.clone(),
+            kernel_breakdown,
+            timeline,
         }
     }
 }
 
+/// Aggregates a timeline's kernel records into per-symbol busy-time totals,
+/// heaviest first (ties broken by name for a stable order).
+fn kernel_breakdown(timeline: &GpuTimeline) -> Vec<KernelTime> {
+    let mut by_name: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    for k in timeline.kernels() {
+        let entry = by_name.entry(&k.name).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += k.duration_us;
+    }
+    let mut breakdown: Vec<KernelTime> = by_name
+        .into_iter()
+        .map(|(name, (calls, total_us))| KernelTime {
+            name: name.to_string(),
+            calls,
+            total_us,
+        })
+        .collect();
+    breakdown.sort_by(|a, b| {
+        b.total_us
+            .total_cmp(&a.total_us)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    breakdown
+}
+
 /// Coalesces queued frames into batches and hands them to workers
 /// round-robin (deterministic stream assignment).
+#[allow(clippy::too_many_arguments)]
 fn batcher_loop(
     rx: &Receiver<u64>,
     worker_txs: &[SyncSender<Batch>],
@@ -555,11 +690,21 @@ fn batcher_loop(
     batch_timeout_us: f64,
     arrival_period_us: f64,
     depth: &AtomicUsize,
+    high_water: &AtomicUsize,
 ) {
     let mut next_worker = 0usize;
     let mut seq = 0u64;
+    let mut batch_seq = 0u64;
     let take = |frame: u64, seq: &mut u64| {
-        depth.fetch_sub(1, Ordering::Relaxed);
+        // Record the high-water mark *before* decrementing: frames that
+        // accumulated while the batcher was parked in recv()/recv_timeout()
+        // or blocked on a full worker rendezvous were never observed by the
+        // submit path alone (a submit may have recorded a smaller depth
+        // before this pop, then raced with other submits), so the coalesce
+        // point is the second place the true maximum can surface.
+        let observed = depth.load(Ordering::SeqCst);
+        high_water.fetch_max(observed, Ordering::SeqCst);
+        depth.fetch_sub(1, Ordering::SeqCst);
         let request = Request {
             frame,
             arrival_us: *seq as f64 * arrival_period_us,
@@ -601,6 +746,7 @@ fn batcher_loop(
         }
         if worker_txs[next_worker]
             .send(Batch {
+                seq: batch_seq,
                 requests,
                 waited_us,
             })
@@ -608,6 +754,7 @@ fn batcher_loop(
         {
             return;
         }
+        batch_seq += 1;
         next_worker = (next_worker + 1) % worker_txs.len();
     }
 }
@@ -632,12 +779,14 @@ fn worker_loop(
             stats.lock().expect("stats lock").dropped += size as u64;
             continue;
         }
-        let done_us = {
+        let (done_us, span_lo, span_hi) = {
             let mut tl = timeline.lock().expect("timeline lock");
+            let span_lo = tl.next_seq(stream);
             if batch.waited_us > 0.0 {
-                tl.host_gap(stream, batch.waited_us);
+                tl.host_span(stream, "batch_wait", batch.waited_us);
             }
-            ctx.enqueue_batched_inference(&mut tl, stream, timing, size)
+            let done_us = ctx.enqueue_batched_inference(&mut tl, stream, timing, size);
+            (done_us, span_lo, tl.next_seq(stream))
             // Timeline lock released here, before the stats lock, keeping
             // the snapshot path's timeline→stats order deadlock-free.
         };
@@ -652,6 +801,9 @@ fn worker_loop(
             st.completions.push(RequestRecord {
                 frame: request.frame,
                 worker,
+                batch: batch.seq,
+                span_lo,
+                span_hi,
                 arrival_us: request.arrival_us,
                 done_us,
             });
@@ -923,6 +1075,112 @@ mod tests {
         assert!(lat.p90_us >= lat.p50_us);
         assert!(lat.p99_us >= lat.p90_us);
         assert!(stats.completions.len() as u64 == stats.completed);
+    }
+
+    #[test]
+    fn high_water_sees_frames_coalesced_in_one_batch() {
+        // Regression: the high-water mark used to be sampled only on the
+        // submit path, so frames that piled up while the batcher was parked
+        // on a full worker rendezvous were never counted. Every frame in a
+        // timeout-0 batch was in the queue simultaneously when the batch
+        // formed, so the coalesce-point sample must cover the largest batch.
+        let e = engine();
+        let server = InferenceServer::start(
+            &e,
+            &DeviceSpec::xavier_nx(),
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(64)
+                .with_max_batch_size(16)
+                .with_batch_timeout_us(0.0)
+                .with_timing(opts()),
+        )
+        .unwrap();
+        for frame in 0..256 {
+            server.submit(frame).unwrap();
+        }
+        let stats = server.drain();
+        let largest_batch = stats
+            .batch_size_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, _)| i + 1)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            stats.queue_high_water >= largest_batch,
+            "high water {} below largest coalesced batch {}",
+            stats.queue_high_water,
+            largest_batch
+        );
+    }
+
+    #[test]
+    fn profile_options_capture_timeline_and_breakdown() {
+        let e = engine();
+        let server = InferenceServer::start(
+            &e,
+            &DeviceSpec::xavier_nx(),
+            ServerConfig::default()
+                .with_workers(4)
+                .with_queue_capacity(32)
+                .with_max_batch_size(4)
+                .with_batch_timeout_us(f64::INFINITY)
+                .with_timing(opts())
+                .with_profile(ProfileOptions::full()),
+        )
+        .unwrap();
+        for frame in 0..64 {
+            server.submit(frame).unwrap();
+        }
+        let stats = server.drain();
+        let tl = stats.timeline.as_ref().expect("timeline captured");
+        assert!(!tl.kernels().is_empty());
+        // Breakdown totals must reconcile with the raw timeline.
+        assert!(!stats.kernel_breakdown.is_empty());
+        let calls: u64 = stats.kernel_breakdown.iter().map(|k| k.calls).sum();
+        assert_eq!(calls as usize, tl.kernels().len());
+        for pair in stats.kernel_breakdown.windows(2) {
+            assert!(pair[0].total_us >= pair[1].total_us, "not heaviest-first");
+        }
+        // Span attribution: every request carries a non-empty half-open
+        // range, identical for requests of the same batch, and the worker's
+        // stream really holds kernel records numbered inside it.
+        assert!(!stats.completions.is_empty());
+        for r in &stats.completions {
+            assert!(r.span_lo < r.span_hi, "empty span range for {:?}", r);
+            let stream = r.worker; // streams are created in worker order
+            let in_range = tl
+                .kernels()
+                .iter()
+                .any(|k| k.stream == stream && (r.span_lo..r.span_hi).contains(&k.seq));
+            assert!(in_range, "no kernel record inside span range of {:?}", r);
+        }
+        for a in &stats.completions {
+            for b in &stats.completions {
+                if a.worker == b.worker && a.batch == b.batch {
+                    assert_eq!((a.span_lo, a.span_hi), (b.span_lo, b.span_hi));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_is_off_by_default() {
+        let e = engine();
+        let server = InferenceServer::start(
+            &e,
+            &DeviceSpec::xavier_nx(),
+            ServerConfig::default().with_workers(2).with_timing(opts()),
+        )
+        .unwrap();
+        for frame in 0..16 {
+            server.submit(frame).unwrap();
+        }
+        let stats = server.drain();
+        assert!(stats.timeline.is_none());
+        assert!(stats.kernel_breakdown.is_empty());
     }
 
     #[test]

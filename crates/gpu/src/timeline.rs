@@ -14,6 +14,28 @@ use crate::timing::{kernel_busy_us, sm_occupancy_fraction};
 /// Identifier of a simulated CUDA stream within one timeline.
 pub type StreamId = usize;
 
+/// Per-stream sequence number of one timeline record.
+///
+/// Together with the record's [`StreamId`] this forms a *stable span id*:
+/// kernels, copies, and host spans on one stream are numbered 0, 1, 2, … in
+/// enqueue order. Because the numbering is per-stream it does not depend on
+/// how concurrently-running streams interleave their enqueues in wall-clock
+/// time, so span ids are reproducible run-to-run for any deterministic
+/// per-stream workload (e.g. a round-robin serving batcher).
+pub type SpanSeq = u64;
+
+/// The kind of work a span id refers to, for trace consumers that join the
+/// three record vectors back into one view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A kernel launch ([`KernelRecord`]).
+    Kernel,
+    /// A memory copy ([`MemcpyRecord`]).
+    Memcpy,
+    /// Host-side glue ([`HostSpanRecord`]).
+    Host,
+}
+
 /// Direction of a memory copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CopyKind {
@@ -38,6 +60,8 @@ pub struct KernelRecord {
     pub grid_blocks: u64,
     /// Fraction of SM slots occupied while resident.
     pub sm_occupancy: f64,
+    /// Per-stream span sequence number (see [`SpanSeq`]).
+    pub seq: SpanSeq,
 }
 
 /// One executed copy, as the profiler sees it.
@@ -53,6 +77,29 @@ pub struct MemcpyRecord {
     pub start_us: f64,
     /// Duration (µs).
     pub duration_us: f64,
+    /// Per-stream span sequence number (see [`SpanSeq`]).
+    pub seq: SpanSeq,
+}
+
+/// Host-side work between device enqueues (pre/post-processing, sync glue,
+/// batcher waits), as the trace subsystem sees it.
+///
+/// Host spans occupy stream time exactly like kernels and copies do — they
+/// advance the stream cursor — but they represent CPU work, so they are kept
+/// out of [`GpuTimeline::kernels`] / [`GpuTimeline::memcpys`] and the GPU
+/// utilization accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpanRecord {
+    /// What the host was doing (e.g. `"host_glue"`, `"batch_wait"`).
+    pub label: String,
+    /// Stream whose progress the host work gated.
+    pub stream: StreamId,
+    /// Start time (µs).
+    pub start_us: f64,
+    /// Duration (µs).
+    pub duration_us: f64,
+    /// Per-stream span sequence number (see [`SpanSeq`]).
+    pub seq: SpanSeq,
 }
 
 /// Profiling instrumentation attached to a timeline.
@@ -105,13 +152,15 @@ impl ProfilingOverhead {
 /// assert!(done > 0.0);
 /// assert_eq!(tl.kernels().len(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuTimeline {
     device: DeviceSpec,
     overhead: ProfilingOverhead,
     stream_cursor: Vec<f64>,
+    stream_seq: Vec<SpanSeq>,
     kernels: Vec<KernelRecord>,
     memcpys: Vec<MemcpyRecord>,
+    host_spans: Vec<HostSpanRecord>,
 }
 
 impl GpuTimeline {
@@ -126,8 +175,10 @@ impl GpuTimeline {
             device,
             overhead,
             stream_cursor: Vec::new(),
+            stream_seq: Vec::new(),
             kernels: Vec::new(),
             memcpys: Vec::new(),
+            host_spans: Vec::new(),
         }
     }
 
@@ -141,7 +192,25 @@ impl GpuTimeline {
     pub fn create_stream(&mut self) -> StreamId {
         let start = self.elapsed_us();
         self.stream_cursor.push(start);
+        self.stream_seq.push(0);
         self.stream_cursor.len() - 1
+    }
+
+    /// The span sequence number the *next* record enqueued on `stream` will
+    /// carry. Serving layers use `(next_seq before, next_seq after)` to
+    /// attribute a half-open span range to one request batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not exist.
+    pub fn next_seq(&self, stream: StreamId) -> SpanSeq {
+        self.stream_seq[stream]
+    }
+
+    fn bump_seq(&mut self, stream: StreamId) -> SpanSeq {
+        let seq = self.stream_seq[stream];
+        self.stream_seq[stream] += 1;
+        seq
     }
 
     /// Enqueues a kernel; returns its completion time (µs).
@@ -154,6 +223,7 @@ impl GpuTimeline {
         let busy = kernel_busy_us(kernel, &self.device) * self.overhead.busy_multiplier;
         let start = self.stream_cursor[stream] + launch;
         let end = start + busy;
+        let seq = self.bump_seq(stream);
         self.kernels.push(KernelRecord {
             name: kernel.name.clone(),
             stream,
@@ -161,6 +231,7 @@ impl GpuTimeline {
             duration_us: busy,
             grid_blocks: kernel.grid_blocks,
             sm_occupancy: sm_occupancy_fraction(kernel, &self.device),
+            seq,
         });
         self.stream_cursor[stream] = end;
         end
@@ -213,25 +284,52 @@ impl GpuTimeline {
     fn push_copy(&mut self, stream: StreamId, kind: CopyKind, bytes: u64, dur: f64) -> f64 {
         let start = self.stream_cursor[stream];
         let end = start + dur;
+        let seq = self.bump_seq(stream);
         self.memcpys.push(MemcpyRecord {
             kind,
             stream,
             bytes,
             start_us: start,
             duration_us: dur,
+            seq,
         });
         self.stream_cursor[stream] = end;
         end
     }
 
     /// Advances a stream's cursor by host-side time (CPU work between
-    /// enqueues — pre/post-processing, synchronization glue).
+    /// enqueues — pre/post-processing, synchronization glue), recording an
+    /// anonymous `"host"` span. Prefer [`GpuTimeline::host_span`] when the
+    /// work has a meaningful label.
     ///
     /// # Panics
     ///
     /// Panics if the stream does not exist.
     pub fn host_gap(&mut self, stream: StreamId, us: f64) -> f64 {
-        self.stream_cursor[stream] += us.max(0.0);
+        self.host_span(stream, "host", us)
+    }
+
+    /// Advances a stream's cursor by `us` of labelled host-side work and
+    /// records it as a [`HostSpanRecord`] so traces show where stream time
+    /// went between device operations. Non-positive durations advance nothing
+    /// and record nothing. Returns the stream's new cursor (µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not exist.
+    pub fn host_span(&mut self, stream: StreamId, label: &str, us: f64) -> f64 {
+        if us > 0.0 {
+            let start = self.stream_cursor[stream];
+            let seq = self.bump_seq(stream);
+            self.host_spans.push(HostSpanRecord {
+                label: label.to_string(),
+                stream,
+                start_us: start,
+                duration_us: us,
+                seq,
+            });
+            self.stream_cursor[stream] = start + us;
+        }
         self.stream_cursor[stream]
     }
 
@@ -259,6 +357,11 @@ impl GpuTimeline {
         &self.memcpys
     }
 
+    /// Host-span records, in enqueue order.
+    pub fn host_spans(&self) -> &[HostSpanRecord] {
+        &self.host_spans
+    }
+
     /// Sum of kernel busy time within `[t0, t1)`, weighted by SM occupancy,
     /// as a fraction of the window — the GR3D utilization tegrastats samples.
     pub fn utilization_between(&self, t0: f64, t1: f64) -> f64 {
@@ -282,8 +385,12 @@ impl GpuTimeline {
         for c in &mut self.stream_cursor {
             *c = 0.0;
         }
+        for s in &mut self.stream_seq {
+            *s = 0;
+        }
         self.kernels.clear();
         self.memcpys.clear();
+        self.host_spans.clear();
     }
 }
 
@@ -367,6 +474,52 @@ mod tests {
         tl.host_gap(s, 500.0);
         tl.enqueue_kernel(s, &kernel(6));
         assert!(tl.kernels()[0].start_us >= 500.0);
+    }
+
+    #[test]
+    fn host_spans_are_recorded_and_labelled() {
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s = tl.create_stream();
+        tl.host_span(s, "preprocess", 250.0);
+        tl.enqueue_kernel(s, &kernel(6));
+        tl.host_gap(s, 100.0);
+        tl.host_span(s, "noop", 0.0); // non-positive: not recorded
+        let spans = tl.host_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].label, "preprocess");
+        assert_eq!(spans[0].duration_us, 250.0);
+        assert_eq!(spans[1].label, "host");
+        assert!(spans[1].start_us >= tl.kernels()[0].start_us + tl.kernels()[0].duration_us);
+    }
+
+    #[test]
+    fn span_seqs_count_per_stream_across_record_kinds() {
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s0 = tl.create_stream();
+        let s1 = tl.create_stream();
+        assert_eq!(tl.next_seq(s0), 0);
+        tl.enqueue_h2d(s0, 1 << 20); // s0 seq 0
+        tl.enqueue_kernel(s0, &kernel(6)); // s0 seq 1
+        tl.enqueue_kernel(s1, &kernel(6)); // s1 seq 0
+        tl.host_span(s0, "glue", 10.0); // s0 seq 2
+        assert_eq!(tl.memcpys()[0].seq, 0);
+        assert_eq!(tl.kernels()[0].seq, 1);
+        assert_eq!(tl.kernels()[1].seq, 0);
+        assert_eq!(tl.kernels()[1].stream, s1);
+        assert_eq!(tl.host_spans()[0].seq, 2);
+        assert_eq!(tl.next_seq(s0), 3);
+        assert_eq!(tl.next_seq(s1), 1);
+    }
+
+    #[test]
+    fn reset_rewinds_span_seqs() {
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s = tl.create_stream();
+        tl.enqueue_kernel(s, &kernel(6));
+        tl.host_gap(s, 5.0);
+        tl.reset();
+        assert_eq!(tl.next_seq(s), 0);
+        assert!(tl.host_spans().is_empty());
     }
 
     #[test]

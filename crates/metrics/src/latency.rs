@@ -23,13 +23,17 @@ pub struct LatencyCell {
 }
 
 impl LatencyCell {
-    /// Aggregates per-run latencies given in microseconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `runs_us` is empty.
+    /// Aggregates per-run latencies given in microseconds. Zero runs yield a
+    /// `runs == 0` cell with NaN mean/σ (rendered as `NaN (NaN)`) rather
+    /// than a panic, so table harnesses stay total on empty measurements.
     pub fn from_runs_us(runs_us: &[f64]) -> Self {
-        assert!(!runs_us.is_empty(), "no runs");
+        if runs_us.is_empty() {
+            return Self {
+                mean_ms: f64::NAN,
+                std_ms: f64::NAN,
+                runs: 0,
+            };
+        }
         let stats: RunningStats = runs_us.iter().map(|us| us / 1000.0).collect();
         Self {
             mean_ms: stats.mean(),
@@ -84,14 +88,17 @@ impl LatencyPercentiles {
         if sorted.is_empty() {
             return Self::default();
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        sorted.sort_by(f64::total_cmp);
         let stats: RunningStats = sorted.iter().copied().collect();
+        // The set is non-empty and the percentiles are in range, so the
+        // lookups cannot fail; `unwrap_or` keeps the path panic-free anyway.
+        let pct = |p: f64| percentile_sorted(&sorted, p).unwrap_or(0.0);
         Self {
             count: sorted.len(),
             mean_us: stats.mean(),
-            p50_us: percentile_sorted(&sorted, 50.0),
-            p90_us: percentile_sorted(&sorted, 90.0),
-            p99_us: percentile_sorted(&sorted, 99.0),
+            p50_us: pct(50.0),
+            p90_us: pct(90.0),
+            p99_us: pct(99.0),
             max_us: stats.max(),
         }
     }
@@ -112,11 +119,12 @@ impl std::fmt::Display for LatencyPercentiles {
 
 /// Frames per second from a mean latency in microseconds.
 ///
-/// # Panics
-///
-/// Panics if `latency_us` is not positive.
+/// Non-positive or NaN latencies yield NaN instead of panicking — a degraded
+/// table cell, not a crashed harness, on an empty or poisoned measurement.
 pub fn fps_from_latency_us(latency_us: f64) -> f64 {
-    assert!(latency_us > 0.0, "latency must be positive");
+    if latency_us.is_nan() || latency_us <= 0.0 {
+        return f64::NAN;
+    }
     1e6 / latency_us
 }
 
@@ -145,9 +153,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "latency must be positive")]
-    fn zero_latency_rejected() {
-        fps_from_latency_us(0.0);
+    fn degenerate_latency_yields_nan_not_panic() {
+        assert!(fps_from_latency_us(0.0).is_nan());
+        assert!(fps_from_latency_us(-3.0).is_nan());
+        assert!(fps_from_latency_us(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn empty_cell_is_total_not_a_panic() {
+        let cell = LatencyCell::from_runs_us(&[]);
+        assert_eq!(cell.runs, 0);
+        assert!(cell.mean_ms.is_nan());
+        assert_eq!(format!("{cell}"), "NaN (NaN)");
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub fn decode_yolo_grid(
 /// confidence, dropping any that overlap a kept same-class box at IoU ≥
 /// `iou_threshold`.
 pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
-    detections.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+    detections.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
     let mut kept: Vec<Detection> = Vec::new();
     for d in detections {
         let suppressed = kept

@@ -1,7 +1,7 @@
 //! λ calibration and cross-platform prediction (the Tables XVII/XVIII
 //! experiment).
 //!
-//! Following [56], λ for each kernel is the ratio between the raw Eq. 2
+//! Following \[56\], λ for each kernel is the ratio between the raw Eq. 2
 //! prediction and the measured execution time on a calibration platform; the
 //! same λ is then reused to predict the kernel on another platform with the
 //! same microarchitecture. The application's predicted time is

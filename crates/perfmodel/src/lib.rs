@@ -1,6 +1,6 @@
 //! BSP-style micro-architecture performance prediction (paper §VI-B).
 //!
-//! The paper adopts the Bulk Synchronous Parallel GPU model of [56]:
+//! The paper adopts the Bulk Synchronous Parallel GPU model of \[56\]:
 //!
 //! ```text
 //! T = N · (Comp + CommGM + CommSM) / (F · C · λ)     (Eq. 2)

@@ -86,7 +86,7 @@ pub fn summarize(timeline: &GpuTimeline) -> ProfileSummary {
             k
         })
         .collect();
-    kernels.sort_by(|a, b| b.total_us.partial_cmp(&a.total_us).unwrap());
+    kernels.sort_by(|a, b| b.total_us.total_cmp(&a.total_us));
 
     let mut memcpys: Vec<MemcpySummary> = Vec::new();
     for kind in [CopyKind::HostToDevice, CopyKind::DeviceToHost] {

@@ -15,6 +15,8 @@ pub struct TraceEntry {
     pub duration_us: f64,
     /// Stream id.
     pub stream: usize,
+    /// Per-stream span sequence number (stable span id with `stream`).
+    pub seq: u64,
     /// Grid size.
     pub grid_blocks: u64,
     /// Kernel symbol.
@@ -30,11 +32,14 @@ pub fn gpu_trace(timeline: &GpuTimeline) -> Vec<TraceEntry> {
             start_us: k.start_us,
             duration_us: k.duration_us,
             stream: k.stream,
+            seq: k.seq,
             grid_blocks: k.grid_blocks,
             name: k.name.clone(),
         })
         .collect();
-    entries.sort_by(|a, b| a.start_us.partial_cmp(&b.start_us).unwrap());
+    // total_cmp: a NaN start time (however it got into a timeline) must not
+    // panic the profiler mid-sort; it sorts to the end instead.
+    entries.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
     entries
 }
 

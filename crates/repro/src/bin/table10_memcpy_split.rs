@@ -1,5 +1,13 @@
-//! Regenerates the paper's Table X (memcpy included/excluded).
-use trtsim_repro::exp_memcpy::{render_table10, run_table10};
+//! Regenerates the paper's Table X (memcpy included/excluded) and drops the
+//! chrome://tracing view of the anomaly next to it.
+use trtsim_gpu::device::Platform;
+use trtsim_models::ModelId;
+use trtsim_repro::exp_memcpy::{render_table10, run_table10, write_memcpy_trace};
 fn main() {
     println!("{}", render_table10(&run_table10()));
+    let path = "table10_trace.json";
+    match write_memcpy_trace(path, ModelId::Resnet18, Platform::Agx, 16) {
+        Ok(()) => println!("trace written to {path} (load in chrome://tracing)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

@@ -1,6 +1,12 @@
-//! Regenerates the paper's Table XIII (kernel invocation counts per build).
+//! Regenerates the paper's Table XIII (kernel invocation counts per build)
+//! and drops a side-by-side chrome://tracing view of the three builds.
 use trtsim_models::ModelId;
-use trtsim_repro::exp_variability::{render_table13, run_table13};
+use trtsim_repro::exp_variability::{render_table13, run_table13, write_variability_trace};
 fn main() {
     println!("{}", render_table13(&run_table13(ModelId::InceptionV4)));
+    let path = "table13_trace.json";
+    match write_variability_trace(path, ModelId::InceptionV4, 4) {
+        Ok(()) => println!("trace written to {path} (load in chrome://tracing)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

@@ -1,12 +1,14 @@
 //! Tables X and XI: decomposing the cross-platform latency anomaly into the
 //! `cudaMemcpyHostToDevice` term and per-kernel slowdowns.
 
+use std::path::Path;
+
 use trtsim_core::runtime::ExecutionContext;
 use trtsim_gpu::device::{DeviceSpec, Platform};
 use trtsim_gpu::timeline::GpuTimeline;
 use trtsim_metrics::LatencyCell;
 use trtsim_models::ModelId;
-use trtsim_profiler::{summarize, KernelSummary};
+use trtsim_profiler::{summarize, write_chrome_trace, KernelSummary};
 
 use crate::support::{build_engine, table8_options, TextTable, RUNS};
 
@@ -88,6 +90,41 @@ pub fn render_table10(rows: &[MemcpyRow]) -> String {
         "Table X: run time with CUDA memcpy included and excluded\n{}",
         t.render()
     )
+}
+
+/// Builds the timeline behind one Table X cell: the NX-built engine's upload
+/// (the plan-sized H2D spike the paper reads out of the visual trace)
+/// followed by `runs` back-to-back inferences whose per-frame input copies
+/// form the uniform H2D population the spike stands out from. Feed the
+/// result to `trtsim_profiler::anomaly::h2d_outliers` to recover the
+/// anomaly, or to `trtsim_profiler::chrome_trace` to look at it.
+pub fn memcpy_trace_timeline(model: ModelId, platform: Platform, runs: usize) -> GpuTimeline {
+    let engine = build_engine(model, Platform::Nx, 0).expect("build");
+    let device = DeviceSpec::pinned_clock(platform);
+    let ctx = ExecutionContext::new(&engine, device.clone());
+    let mut tl = GpuTimeline::new(device);
+    let s = tl.create_stream();
+    ctx.upload_engine(&mut tl, s);
+    let opts = table8_options(model).without_engine_upload();
+    for _ in 0..runs {
+        ctx.enqueue_inference(&mut tl, s, &opts);
+    }
+    tl
+}
+
+/// Writes [`memcpy_trace_timeline`] as chrome://tracing JSON.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_memcpy_trace(
+    path: impl AsRef<Path>,
+    model: ModelId,
+    platform: Platform,
+    runs: usize,
+) -> std::io::Result<()> {
+    let tl = memcpy_trace_timeline(model, platform, runs);
+    write_chrome_trace(path, &tl, &format!("{model} cNX_r{platform}"))
 }
 
 /// One Table XI row: a kernel that runs slower on AGX than on NX.
@@ -198,6 +235,24 @@ mod tests {
         for r in &rows {
             assert!(r.agx_ms > r.nx_ms);
         }
+    }
+
+    #[test]
+    fn trace_timeline_contains_upload_spike_and_frames() {
+        let runs = 8;
+        let tl = memcpy_trace_timeline(ModelId::Resnet18, Platform::Agx, runs);
+        // One upload + one input copy per run on the H2D side.
+        let h2d: Vec<_> = tl
+            .memcpys()
+            .iter()
+            .filter(|m| m.kind == trtsim_gpu::timeline::CopyKind::HostToDevice)
+            .collect();
+        assert_eq!(h2d.len(), runs + 1);
+        let upload = &h2d[0];
+        assert!(
+            h2d[1..].iter().all(|m| upload.bytes > m.bytes),
+            "plan upload must dwarf per-frame input copies"
+        );
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Tables XII and XIII: build-to-build engine variability on one platform.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use trtsim_core::runtime::ExecutionContext;
 use trtsim_core::Engine;
 use trtsim_gpu::device::{DeviceSpec, Platform};
+use trtsim_gpu::timeline::GpuTimeline;
 use trtsim_metrics::LatencyCell;
 use trtsim_models::ModelId;
+use trtsim_profiler::chrome_trace_json_multi;
 
 use crate::support::{build_engine, table8_options, TextTable, RUNS};
 
@@ -137,6 +140,51 @@ pub fn render_table13(table: &InvocationTable) -> String {
     )
 }
 
+/// Builds one timeline per engine build of `model` on AGX — the Table
+/// XII/XIII subjects as traces. Each timeline holds `runs` inferences of one
+/// build; feed a pair to `trtsim_profiler::anomaly::kernel_set_diff` to
+/// recover the build-to-build kernel drift, or all of them to
+/// [`write_variability_trace`] to view the builds side by side.
+pub fn variability_trace_timelines(model: ModelId, runs: usize) -> Vec<GpuTimeline> {
+    let opts = table8_options(model).without_engine_upload();
+    (0..ENGINES_PER_PLATFORM)
+        .map(|i| {
+            let engine = build_engine(model, Platform::Agx, i).expect("build");
+            let device = DeviceSpec::pinned_clock(Platform::Agx);
+            let ctx = ExecutionContext::new(&engine, device.clone());
+            let mut tl = GpuTimeline::new(device);
+            let s = tl.create_stream();
+            for _ in 0..runs {
+                ctx.enqueue_inference(&mut tl, s, &opts);
+            }
+            tl
+        })
+        .collect()
+}
+
+/// Writes every build's timeline into one chrome://tracing document, one
+/// process per build, so the drifted kernel sets line up visually.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_variability_trace(
+    path: impl AsRef<Path>,
+    model: ModelId,
+    runs: usize,
+) -> std::io::Result<()> {
+    let timelines = variability_trace_timelines(model, runs);
+    let names: Vec<String> = (1..=timelines.len())
+        .map(|i| format!("{model} engine{i}"))
+        .collect();
+    let pairs: Vec<(&str, &GpuTimeline)> = names
+        .iter()
+        .map(String::as_str)
+        .zip(timelines.iter())
+        .collect();
+    std::fs::write(path, chrome_trace_json_multi(&pairs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +219,24 @@ mod tests {
         for total in totals {
             assert!(total >= 20, "ResNet-18 engine too small: {total}");
         }
+    }
+
+    #[test]
+    fn trace_timelines_reflect_build_drift() {
+        let timelines = variability_trace_timelines(ModelId::InceptionV4, 1);
+        assert_eq!(timelines.len() as u64, ENGINES_PER_PLATFORM);
+        // At least one pair of builds must differ in the kernel records, the
+        // drift Table XIII counts.
+        let names = |tl: &GpuTimeline| {
+            let mut v: Vec<String> = tl.kernels().iter().map(|k| k.name.clone()).collect();
+            v.sort();
+            v
+        };
+        let distinct = timelines
+            .iter()
+            .skip(1)
+            .any(|tl| names(tl) != names(&timelines[0]));
+        assert!(distinct, "all three builds produced identical kernel runs");
     }
 
     #[test]

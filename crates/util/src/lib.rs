@@ -6,7 +6,7 @@
 //! * [`rng`] — a deterministic, splittable PRNG ([`rng::Pcg32`] seeded through
 //!   [`rng::SplitMix64`]). Engine-build non-determinism is a *subject of study*
 //!   in this reproduction, so every random draw must be replayable from a seed.
-//! * [`f16`] — software IEEE 754 binary16 ([`f16::F16`]) plus INT8 quantization
+//! * [`mod@f16`] — software IEEE 754 binary16 ([`f16::F16`]) plus INT8 quantization
 //!   helpers. Tactic-dependent accumulation order over these types is what
 //!   makes different engine builds produce different output labels.
 //! * [`stats`] — Welford accumulators and summary statistics used by every

@@ -151,25 +151,44 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes a summary from raw samples.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `samples` is empty or contains NaN.
+    /// Computes a summary from raw samples. NaN samples are dropped rather
+    /// than poisoning the order statistics; when nothing (finite) remains,
+    /// the result is [`Summary::empty`] instead of a panic, so harnesses
+    /// that summarize zero completed requests stay total.
     pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "summary of empty sample set");
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return Self::empty();
+        }
+        sorted.sort_by(f64::total_cmp);
         let running: RunningStats = sorted.iter().copied().collect();
         Self {
             count: sorted.len(),
             mean: running.mean(),
             std_dev: running.std_dev(),
             min: sorted[0],
-            median: percentile_sorted(&sorted, 50.0),
-            p95: percentile_sorted(&sorted, 95.0),
+            median: percentile_sorted(&sorted, 50.0).unwrap_or(f64::NAN),
+            p95: percentile_sorted(&sorted, 95.0).unwrap_or(f64::NAN),
             max: sorted[sorted.len() - 1],
         }
+    }
+
+    /// The summary of zero samples: `count == 0`, NaN order statistics.
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            mean: f64::NAN,
+            std_dev: f64::NAN,
+            min: f64::NAN,
+            median: f64::NAN,
+            p95: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+
+    /// Whether the summary holds any samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
     }
 }
 
@@ -185,20 +204,21 @@ impl std::fmt::Display for Summary {
 
 /// Percentile with linear interpolation over a pre-sorted slice.
 ///
-/// # Panics
-///
-/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
-pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+/// Returns `None` when `sorted` is empty or `p` is outside `[0, 100]`
+/// (including NaN), so empty-stats paths — a drained server with zero
+/// completed requests, an aborted run — cannot panic here.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
     if sorted.len() == 1 {
-        return sorted[0];
+        return Some(sorted[0]);
     }
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
 /// Mean of a slice (0 when empty).
@@ -258,9 +278,18 @@ mod tests {
     #[test]
     fn percentiles_interpolate() {
         let sorted = [10.0, 20.0, 30.0, 40.0];
-        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
-        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
-        assert_eq!(percentile_sorted(&sorted, 50.0), 25.0);
+        assert_eq!(percentile_sorted(&sorted, 0.0), Some(10.0));
+        assert_eq!(percentile_sorted(&sorted, 100.0), Some(40.0));
+        assert_eq!(percentile_sorted(&sorted, 50.0), Some(25.0));
+    }
+
+    #[test]
+    fn percentile_degenerate_inputs_are_none() {
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+        let sorted = [1.0, 2.0];
+        assert_eq!(percentile_sorted(&sorted, -0.1), None);
+        assert_eq!(percentile_sorted(&sorted, 100.1), None);
+        assert_eq!(percentile_sorted(&sorted, f64::NAN), None);
     }
 
     #[test]
@@ -282,8 +311,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_summary_panics() {
-        Summary::from_samples(&[]);
+    fn empty_summary_is_total_not_a_panic() {
+        let s = Summary::from_samples(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.count, 0);
+        assert!(s.median.is_nan() && s.p95.is_nan());
+        // All-NaN input degenerates to the same empty summary.
+        let all_nan = Summary::from_samples(&[f64::NAN, f64::NAN]);
+        assert!(all_nan.is_empty());
+        // Display stays renderable.
+        assert!(format!("{s}").contains("n=0"));
+    }
+
+    #[test]
+    fn nan_samples_are_filtered_not_poisonous() {
+        let s = Summary::from_samples(&[f64::NAN, 1.0, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
     }
 }

@@ -17,7 +17,8 @@
 //! * [`models`] — the 13 networks of the paper's Table II
 //! * [`data`] — synthetic benign/adversarial/traffic datasets
 //! * [`metrics`] — top-1 error, IoU precision/recall, latency cells
-//! * [`profiler`] — nvprof-like summaries over simulated timelines
+//! * [`profiler`] — nvprof-like summaries, chrome://tracing export, and
+//!   anomaly detection over simulated timelines
 //! * [`perfmodel`] — the BSP prediction model (Eq. 2) and λ calibration
 //! * [`repro`] — one harness per paper table/figure
 //!
@@ -81,8 +82,9 @@
 pub use trtsim_core as engine;
 
 pub use trtsim_core::{
-    Builder, BuilderConfig, Engine, EngineError, ExecutionContext, InferenceServer, RequestRecord,
-    ServerConfig, ServerStats, ServingError, ServingReport, TimingOptions,
+    Builder, BuilderConfig, Engine, EngineError, ExecutionContext, InferenceServer, KernelTime,
+    ProfileOptions, RequestRecord, ServerConfig, ServerStats, ServingError, ServingReport,
+    TimingOptions,
 };
 pub use trtsim_gpu::device::DeviceSpec;
 

@@ -155,6 +155,31 @@ fn latency_percentiles_hold_their_invariants() {
 }
 
 #[test]
+fn drain_on_never_submitted_server_returns_zeroed_stats() {
+    let engine = engine();
+    let server = InferenceServer::start(
+        &engine,
+        &DeviceSpec::xavier_nx(),
+        ServerConfig::default()
+            .with_workers(2)
+            .with_timing(timing()),
+    )
+    .expect("start");
+    // No submission path panics: the latency summary must cope with zero
+    // samples instead of tripping percentile_sorted on an empty slice.
+    let stats = server.drain();
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.batches, 0);
+    assert_eq!(stats.queue_high_water, 0);
+    assert_eq!(stats.latency.count, 0);
+    assert!(stats.completions.is_empty());
+    assert_eq!(stats.aggregate_fps, 0.0);
+}
+
+#[test]
 fn compat_serve_reports_identical_field_semantics() {
     let engine = engine();
     let report =
@@ -210,5 +235,65 @@ proptest! {
                 prop_assert!(pair[1].done_us >= pair[0].done_us);
             }
         }
+    }
+
+    /// Frame conservation under abort: however submissions interleave with
+    /// the batcher and workers (tiny queues force rejects, racy cut-off
+    /// points leave random amounts in flight), every accepted frame is
+    /// either completed or counted dropped — never lost, never duplicated.
+    #[test]
+    fn abort_conserves_every_accepted_frame(
+        workers in 1usize..4,
+        queue_capacity in 1usize..16,
+        max_batch in 1usize..6,
+        frames in 1u64..200,
+        blocking_every in 1u64..5,
+    ) {
+        let engine = engine();
+        let server = InferenceServer::start(
+            &engine,
+            &DeviceSpec::xavier_nx(),
+            ServerConfig::default()
+                .with_workers(workers)
+                .with_queue_capacity(queue_capacity)
+                .with_max_batch_size(max_batch)
+                .with_batch_timeout_us(0.0)
+                .with_timing(timing()),
+        )
+        .expect("start");
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for frame in 0..frames {
+            // Mix blocking and non-blocking submission so runs abort with
+            // the pipeline in different states: queue full, queue empty,
+            // batches mid-flight.
+            if frame % blocking_every == 0 {
+                server.submit(frame).expect("accepting");
+                accepted += 1;
+            } else {
+                match server.try_submit(frame) {
+                    Ok(()) => accepted += 1,
+                    Err(ServingError::QueueFull) => rejected += 1,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        let stats = server.abort();
+        prop_assert_eq!(stats.accepted, accepted);
+        prop_assert_eq!(stats.rejected, rejected);
+        prop_assert!(
+            stats.completed + stats.dropped == stats.accepted,
+            "accepted frames leaked: {} completed + {} dropped != {} accepted",
+            stats.completed, stats.dropped, stats.accepted
+        );
+        prop_assert_eq!(stats.completions.len() as u64, stats.completed);
+        let mut seen: Vec<u64> = stats.completions.iter().map(|r| r.frame).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert!(
+            seen.len() as u64 == stats.completed,
+            "a frame completed twice ({} unique of {})",
+            seen.len(), stats.completed
+        );
     }
 }
