@@ -1,0 +1,227 @@
+//! Times whole-zoo engine builds under the build-performance subsystem:
+//! cold sequential, warm-timing-cache sequential, cold parallel farm, and
+//! warm (memoized) farm, writing the results to `BENCH_build.json`.
+//!
+//! ```text
+//! cargo run --release -p trtsim-bench --bin bench_build            # full zoo
+//! cargo run --release -p trtsim-bench --bin bench_build -- --smoke # 1 model
+//! ```
+//!
+//! Flags: `--smoke` shrinks the zoo to one model (CI), `--out PATH` moves the
+//! report. The process exits non-zero if the warm timing cache re-measures as
+//! many kernels as the cold pass, or if any rebuilt engine is not
+//! bit-identical to the cold sequential reference.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use trtsim_core::{Builder, BuilderConfig, Engine, TimingCache};
+use trtsim_gpu::device::{DeviceSpec, Platform};
+use trtsim_metrics::CacheStats;
+use trtsim_models::ModelId;
+use trtsim_repro::support::EngineFarm;
+
+/// One timed phase of the benchmark.
+struct Phase {
+    name: &'static str,
+    wall_ms: f64,
+    /// Timing-model evaluations that actually ran (cache misses).
+    timed_measurements: u64,
+    cache: CacheStats,
+}
+
+fn build_all(
+    requests: &[(ModelId, Platform)],
+    cache: &Arc<TimingCache>,
+    threads: usize,
+) -> Vec<Engine> {
+    requests
+        .iter()
+        .map(|&(model, platform)| {
+            Builder::new(
+                DeviceSpec::pinned_clock(platform),
+                BuilderConfig::default()
+                    .with_build_seed(trtsim_repro::support::zoo_seed(model, platform, 0))
+                    .with_build_threads(threads)
+                    .with_timing_cache(cache.clone()),
+            )
+            .build(&model.descriptor())
+            .expect("zoo models build")
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(
+    smoke: bool,
+    models: &[ModelId],
+    threads: usize,
+    phases: &[Phase],
+    speedup_warm_seq: f64,
+    speedup_warm_farm: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"bench_build\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!(
+        "  \"models\": [{}],\n",
+        models
+            .iter()
+            .map(|m| format!("\"{}\"", json_escape(&m.to_string())))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"farm_threads\": {threads},\n"));
+    out.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"timed_measurements\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+            p.name,
+            p.wall_ms,
+            p.timed_measurements,
+            p.cache.hits,
+            p.cache.misses,
+            if i + 1 < phases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_warm_cache_sequential\": {speedup_warm_seq:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"speedup_warm_farm_vs_cold_sequential\": {speedup_warm_farm:.2},\n"
+    ));
+    out.push_str("  \"bit_identical\": true\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_build.json".to_string());
+
+    let models: Vec<ModelId> = if smoke {
+        vec![ModelId::Mtcnn]
+    } else {
+        ModelId::all().to_vec()
+    };
+    let requests: Vec<(ModelId, Platform)> = models
+        .iter()
+        .flat_map(|&m| Platform::all().map(|p| (m, p)))
+        .collect();
+    let threads = trtsim_util::pool::auto_threads();
+    let mut phases: Vec<Phase> = Vec::new();
+
+    // Phase 1: cold sequential — fresh timing cache, one build at a time.
+    let seq_cache = Arc::new(TimingCache::new());
+    let t = Instant::now();
+    let reference = build_all(&requests, &seq_cache, 1);
+    let cold_stats = seq_cache.stats();
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    phases.push(Phase {
+        name: "cold_sequential",
+        wall_ms: cold_ms,
+        timed_measurements: cold_stats.misses,
+        cache: cold_stats,
+    });
+
+    // Phase 2: warm-cache sequential rebuild — same cache, every timing query
+    // should now hit.
+    let t = Instant::now();
+    let warm_engines = build_all(&requests, &seq_cache, 1);
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let warm_stats = seq_cache.stats().since(cold_stats);
+    phases.push(Phase {
+        name: "warm_sequential",
+        wall_ms: warm_ms,
+        timed_measurements: warm_stats.misses,
+        cache: warm_stats,
+    });
+
+    // Phase 3: cold parallel farm — concurrent prefetch of the whole zoo
+    // into a fresh farm (fresh timing cache inside).
+    let farm = EngineFarm::new();
+    let farm_requests: Vec<(ModelId, Platform, u64)> =
+        requests.iter().map(|&(m, p)| (m, p, 0)).collect();
+    let t = Instant::now();
+    farm.prefetch_zoo(&farm_requests);
+    let farm_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let farm_cold_stats = farm.stats().timing;
+    phases.push(Phase {
+        name: "cold_parallel_farm",
+        wall_ms: farm_cold_ms,
+        timed_measurements: farm_cold_stats.misses,
+        cache: farm_cold_stats,
+    });
+
+    // Phase 4: warm farm — re-request the whole zoo; identical requests are
+    // deduplicated into Arc hand-outs, which is what the experiment
+    // harnesses see after the first build.
+    let t = Instant::now();
+    let farmed: Vec<Arc<Engine>> = farm_requests
+        .iter()
+        .map(|&(m, p, i)| farm.zoo(m, p, i))
+        .collect();
+    let farm_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let farm_warm_stats = farm.stats().timing.since(farm_cold_stats);
+    phases.push(Phase {
+        name: "warm_farm",
+        wall_ms: farm_warm_ms,
+        timed_measurements: farm_warm_stats.misses,
+        cache: farm_warm_stats,
+    });
+
+    // Invariants: the cache and the farm must be output-invariant.
+    for (i, engine) in reference.iter().enumerate() {
+        assert_eq!(
+            engine, &warm_engines[i],
+            "warm-cache rebuild of {:?} is not bit-identical",
+            requests[i]
+        );
+        assert_eq!(
+            engine,
+            farmed[i].as_ref(),
+            "farmed build of {:?} is not bit-identical",
+            requests[i]
+        );
+    }
+    assert!(
+        warm_stats.misses < cold_stats.misses,
+        "warm cache re-measured {} kernels, cold measured {}",
+        warm_stats.misses,
+        cold_stats.misses
+    );
+
+    let speedup_warm_seq = cold_ms / warm_ms;
+    let speedup_warm_farm = cold_ms / farm_warm_ms;
+    let json = render_json(
+        smoke,
+        &models,
+        threads,
+        &phases,
+        speedup_warm_seq,
+        speedup_warm_farm,
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+
+    for p in &phases {
+        println!(
+            "{:<20} {:>10.2} ms  {:>8} timed measurements  ({})",
+            p.name, p.wall_ms, p.timed_measurements, p.cache
+        );
+    }
+    println!(
+        "speedup: warm-cache sequential {speedup_warm_seq:.2}x, warm farm {speedup_warm_farm:.2}x -> {out_path}"
+    );
+}

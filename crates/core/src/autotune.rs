@@ -10,20 +10,34 @@
 //! from build to build: different builds of the same network genuinely run
 //! different kernels (paper Tables XII/XIII) and produce different
 //! accumulation orders (paper Tables V/VI).
+//!
+//! # Determinism model
+//!
+//! Each node draws its noise from an **independent RNG stream** seeded by
+//! [`stream_seed`]`(build_seed, node.id)` — a pure function of the build seed
+//! and the node id, never of measurement order. Layers can therefore be
+//! measured concurrently on a scoped worker pool
+//! ([`trtsim_util::pool::map_indexed`]) while staying bit-identical to the
+//! sequential path for a pinned seed. The deterministic component of each
+//! measurement may additionally be served from a shared [`TimingCache`];
+//! noise is still drawn fresh per measurement, so a warm cache never changes
+//! which tactic wins and build-to-build non-determinism survives caching.
 
 use trtsim_gpu::device::DeviceSpec;
 use trtsim_gpu::kernel::KernelDesc;
 use trtsim_gpu::timing::kernel_time_us;
-use trtsim_ir::flops::graph_costs;
+use trtsim_ir::flops::{graph_costs, LayerCost};
 use trtsim_ir::graph::LayerKind;
 use trtsim_ir::Graph;
 use trtsim_kernels::catalog::{candidate_tactics, PrecisionPolicy};
 use trtsim_kernels::cost::kernel_desc;
 use trtsim_kernels::tactic::Tactic;
-use trtsim_util::rng::Pcg32;
+use trtsim_util::pool::map_indexed;
+use trtsim_util::rng::{stream_seed, Pcg32};
 
 use crate::calibrate::CalibrationTable;
 use crate::error::EngineError;
+use crate::timing_cache::TimingCache;
 
 /// A layer's selected implementation.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,58 +52,106 @@ pub struct Choice {
     pub candidates: usize,
 }
 
+/// Knobs of one autotuning run, split from [`crate::BuilderConfig`] so the
+/// selector can be driven directly (property tests, benches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutotuneOptions<'a> {
+    /// Relative standard deviation of each timing measurement.
+    pub noise_sd: f64,
+    /// Noisy measurements averaged per tactic (TensorRT `avgTiming`).
+    pub samples: u32,
+    /// Worker threads measuring layers concurrently; `<= 1` selects the
+    /// sequential fallback path. Either way the result is bit-identical.
+    pub threads: usize,
+    /// Optional shared cache for the deterministic timing component.
+    pub cache: Option<&'a TimingCache>,
+}
+
 /// Selects a tactic for every node; `None` for structural nodes.
+///
+/// Layer measurement order never influences the outcome (per-node RNG
+/// streams), so `opts.threads` trades wall-clock for nothing else.
 ///
 /// # Errors
 ///
-/// Propagates shape errors from the graph.
+/// Propagates shape errors from the graph, and [`EngineError::NoTactic`] for
+/// compute layers with no candidate under the policy.
 pub fn select(
     graph: &Graph,
     policy: PrecisionPolicy,
     calibration: &CalibrationTable,
     device: &DeviceSpec,
-    rng: &mut Pcg32,
-    noise_sd: f64,
-    samples: u32,
+    build_seed: u64,
+    opts: &AutotuneOptions<'_>,
 ) -> Result<Vec<Option<Choice>>, EngineError> {
     let shapes = graph.infer_shapes()?;
     let costs = graph_costs(graph)?;
-    let mut out = Vec::with_capacity(graph.len());
-    for node in graph.nodes() {
-        let mut candidates = candidate_tactics(&node.kind, policy);
-        // INT8 tactics are only usable where calibration observed the layer.
-        if !calibration.contains_key(&node.id) {
-            candidates.retain(|t| t.precision != trtsim_gpu::kernel::Precision::Int8);
-        }
-        if candidates.is_empty() {
-            let needs_compute =
-                costs[node.id].flops() > 0 && !matches!(node.kind, LayerKind::Input);
-            if needs_compute {
-                return Err(EngineError::NoTactic {
-                    node: node.name.clone(),
-                });
-            }
-            out.push(None);
-            continue;
-        }
-        let n_candidates = candidates.len();
-        let mut best: Option<Choice> = None;
-        for tactic in candidates {
-            let kernel = kernel_desc(&tactic, &node.kind, &costs[node.id], shapes[node.id]);
-            let true_us = kernel_time_us(&kernel, device);
-            let measured_us = measure(true_us, rng, noise_sd, samples);
-            if best.as_ref().is_none_or(|b| measured_us < b.measured_us) {
-                best = Some(Choice {
-                    tactic,
-                    kernel,
-                    measured_us,
-                    candidates: n_candidates,
-                });
-            }
-        }
-        out.push(best);
+    let nodes = graph.nodes();
+    let results = map_indexed(opts.threads, nodes.len(), |id| {
+        select_node(
+            graph,
+            id,
+            policy,
+            calibration,
+            device,
+            shapes[id],
+            &costs[id],
+            build_seed,
+            opts,
+        )
+    });
+    results.into_iter().collect()
+}
+
+/// Measures every candidate of one node on its own RNG stream. Pure in
+/// `(graph, id, build_seed, options)` — the worker-pool determinism contract.
+#[allow(clippy::too_many_arguments)]
+fn select_node(
+    graph: &Graph,
+    id: usize,
+    policy: PrecisionPolicy,
+    calibration: &CalibrationTable,
+    device: &DeviceSpec,
+    shape: [usize; 3],
+    cost: &LayerCost,
+    build_seed: u64,
+    opts: &AutotuneOptions<'_>,
+) -> Result<Option<Choice>, EngineError> {
+    let node = &graph.nodes()[id];
+    let mut candidates = candidate_tactics(&node.kind, policy);
+    // INT8 tactics are only usable where calibration observed the layer.
+    if !calibration.contains_key(&node.id) {
+        candidates.retain(|t| t.precision != trtsim_gpu::kernel::Precision::Int8);
     }
-    Ok(out)
+    if candidates.is_empty() {
+        let needs_compute = cost.flops() > 0 && !matches!(node.kind, LayerKind::Input);
+        if needs_compute {
+            return Err(EngineError::NoTactic {
+                node: node.name.clone(),
+            });
+        }
+        return Ok(None);
+    }
+    let mut rng = Pcg32::seed_from_u64(stream_seed(build_seed, node.id as u64));
+    let n_candidates = candidates.len();
+    let mut best: Option<Choice> = None;
+    for tactic in candidates {
+        let kernel = kernel_desc(&tactic, &node.kind, cost, shape);
+        let true_us = match opts.cache {
+            Some(cache) => cache.time_us(&kernel, device),
+            None => kernel_time_us(&kernel, device),
+        };
+        let measured_us = measure(true_us, &mut rng, opts.noise_sd, opts.samples);
+        if best.as_ref().is_none_or(|b| measured_us < b.measured_us) {
+            best = Some(Choice {
+                tactic,
+                kernel,
+                measured_us,
+                candidates: n_candidates,
+            });
+        }
+    }
+    Ok(best)
 }
 
 /// One averaged noisy measurement.
@@ -130,19 +192,28 @@ mod tests {
         g
     }
 
-    fn run_select(seed: u64, noise: f64) -> Vec<Option<Choice>> {
+    fn run_select_with(seed: u64, opts: &AutotuneOptions<'_>) -> Vec<Option<Choice>> {
         let g = conv_net();
-        let mut rng = Pcg32::seed_from_u64(seed);
         select(
             &g,
             PrecisionPolicy::fp16(),
             &CalibrationTable::new(),
             &DeviceSpec::xavier_nx(),
-            &mut rng,
-            noise,
-            1,
+            seed,
+            opts,
         )
         .unwrap()
+    }
+
+    fn run_select(seed: u64, noise: f64) -> Vec<Option<Choice>> {
+        run_select_with(
+            seed,
+            &AutotuneOptions {
+                noise_sd: noise,
+                samples: 1,
+                ..AutotuneOptions::default()
+            },
+        )
     }
 
     #[test]
@@ -160,6 +231,53 @@ mod tests {
         let a = run_select(7, 0.06);
         let b = run_select(7, 0.06);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        for seed in 0..8 {
+            let sequential = run_select(seed, 0.06);
+            for threads in [2, 4, 8] {
+                let parallel = run_select_with(
+                    seed,
+                    &AutotuneOptions {
+                        noise_sd: 0.06,
+                        samples: 1,
+                        threads,
+                        cache: None,
+                    },
+                );
+                assert_eq!(sequential, parallel, "threads={threads} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_never_changes_selection() {
+        let cache = TimingCache::new();
+        let baseline = run_select(3, 0.06);
+        let cold = run_select_with(
+            3,
+            &AutotuneOptions {
+                noise_sd: 0.06,
+                samples: 1,
+                threads: 1,
+                cache: Some(&cache),
+            },
+        );
+        assert!(cache.stats().misses > 0);
+        let warm = run_select_with(
+            3,
+            &AutotuneOptions {
+                noise_sd: 0.06,
+                samples: 1,
+                threads: 1,
+                cache: Some(&cache),
+            },
+        );
+        assert!(cache.stats().hits > 0);
+        assert_eq!(baseline, cold);
+        assert_eq!(cold, warm);
     }
 
     #[test]
@@ -208,15 +326,17 @@ mod tests {
             let mut base: Option<Vec<Option<Choice>>> = None;
             let mut flips = 0;
             for seed in 0..16 {
-                let mut rng = Pcg32::seed_from_u64(seed);
                 let c = select(
                     &g,
                     PrecisionPolicy::fp16(),
                     &CalibrationTable::new(),
                     &dev,
-                    &mut rng,
-                    0.06,
-                    samples,
+                    seed,
+                    &AutotuneOptions {
+                        noise_sd: 0.06,
+                        samples,
+                        ..AutotuneOptions::default()
+                    },
                 )
                 .unwrap();
                 if let Some(b) = &base {
@@ -239,15 +359,13 @@ mod tests {
     #[test]
     fn int8_requires_calibration_entry() {
         let g = conv_net();
-        let mut rng = Pcg32::seed_from_u64(0);
         let choices = select(
             &g,
             PrecisionPolicy::all(),
             &CalibrationTable::new(), // empty: no INT8 anywhere
             &DeviceSpec::xavier_nx(),
-            &mut rng,
-            0.0,
-            1,
+            0,
+            &AutotuneOptions::default(),
         )
         .unwrap();
         for c in choices.into_iter().flatten() {

@@ -2,9 +2,8 @@
 
 use trtsim_gpu::device::DeviceSpec;
 use trtsim_ir::Graph;
-use trtsim_util::rng::Pcg32;
 
-use crate::autotune;
+use crate::autotune::{self, AutotuneOptions};
 use crate::calibrate::{self, CalibrationTable};
 use crate::compress;
 use crate::config::BuilderConfig;
@@ -63,7 +62,6 @@ impl Builder {
     /// tactic, or INT8 calibration fails.
     pub fn build(&self, network: &Graph) -> Result<Engine, EngineError> {
         let build_seed = self.config.resolve_seed();
-        let mut rng = Pcg32::seed_from_u64(build_seed);
 
         // Figure 2, steps 1-3 (each independently ablatable).
         let mut passes_report = PassReport::default();
@@ -109,15 +107,20 @@ impl Builder {
                 CalibrationTable::new()
             };
 
-        // Step 5: timing-based kernel mapping.
+        // Step 5: timing-based kernel mapping. Per-node RNG streams keep the
+        // result bit-identical at any thread count and under any cache state.
         let choices = autotune::select(
             &g,
             self.config.policy,
             &calibration,
             &self.device,
-            &mut rng,
-            self.config.timing_noise_sd,
-            self.config.timing_samples,
+            build_seed,
+            &AutotuneOptions {
+                noise_sd: self.config.timing_noise_sd,
+                samples: self.config.timing_samples,
+                threads: self.config.resolve_build_threads(g.len()),
+                cache: self.config.timing_cache.as_deref(),
+            },
         )?;
 
         let shapes = g.infer_shapes()?;
@@ -226,12 +229,78 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_and_cache_never_change_the_engine() {
+        use crate::timing_cache::TimingCache;
+        use std::sync::Arc;
+        let net = rich_net();
+        let device = DeviceSpec::xavier_nx();
+        let reference = Builder::new(
+            device.clone(),
+            BuilderConfig::default()
+                .with_build_seed(9)
+                .with_build_threads(1),
+        )
+        .build(&net)
+        .unwrap();
+        let cache = Arc::new(TimingCache::new());
+        for threads in [0, 2, 8] {
+            // Cold then warm cache at each thread count; all bit-identical.
+            for _ in 0..2 {
+                let engine = Builder::new(
+                    device.clone(),
+                    BuilderConfig::default()
+                        .with_build_seed(9)
+                        .with_build_threads(threads)
+                        .with_timing_cache(cache.clone()),
+                )
+                .build(&net)
+                .unwrap();
+                assert_eq!(reference, engine, "threads={threads}");
+            }
+        }
+        assert!(cache.stats().hits > 0, "warm rebuilds must hit the cache");
+    }
+
+    #[test]
     fn unpinned_builds_differ_in_seed() {
         let net = rich_net();
         let b = Builder::new(DeviceSpec::xavier_nx(), BuilderConfig::default());
         let e1 = b.build(&net).unwrap();
         let e2 = b.build(&net).unwrap();
         assert_ne!(e1.build_seed(), e2.build_seed());
+    }
+
+    #[test]
+    fn warm_cache_preserves_build_to_build_drift() {
+        use crate::timing_cache::TimingCache;
+        use std::sync::Arc;
+        // The cache memoizes only deterministic times; noise is drawn fresh
+        // per build, so different seeds must keep selecting different kernel
+        // sets (Tables XII/XIII) even with every timing query served warm.
+        let net = rich_net();
+        let cache = Arc::new(TimingCache::new());
+        let kernel_sets: Vec<Vec<String>> = (0..12)
+            .map(|seed| {
+                let engine = Builder::new(
+                    DeviceSpec::xavier_nx(),
+                    BuilderConfig::default()
+                        .with_build_seed(seed)
+                        .with_timing_cache(cache.clone()),
+                )
+                .build(&net)
+                .unwrap();
+                engine
+                    .units()
+                    .iter()
+                    .filter_map(|u| u.choice.as_ref().map(|c| c.kernel.name.clone()))
+                    .collect()
+            })
+            .collect();
+        assert!(
+            kernel_sets.iter().any(|s| *s != kernel_sets[0]),
+            "12 warm-cache builds all chose identical kernel sets"
+        );
+        assert!(cache.stats().hits > 0, "builds never hit the warm cache");
     }
 
     #[test]

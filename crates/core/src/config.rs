@@ -1,13 +1,21 @@
 //! Builder configuration.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use trtsim_ir::tensor::Tensor;
 use trtsim_kernels::catalog::PrecisionPolicy;
 
+use crate::timing_cache::TimingCache;
+
 /// Process-global counter making default builds distinct, like real TensorRT
 /// builds are (each `build` call draws fresh timing noise).
 static BUILD_COUNTER: AtomicU64 = AtomicU64::new(0x5eed);
+
+/// Graphs smaller than this measure sequentially even in auto mode: per-node
+/// measurement is analytic (microseconds), so spawning scoped workers only
+/// pays off once a build has enough layers to amortize it.
+const MIN_PARALLEL_NODES: usize = 48;
 
 /// Configuration for [`crate::Builder`].
 ///
@@ -61,6 +69,17 @@ pub struct BuilderConfig {
     pub enable_vertical_fusion: bool,
     /// Run the horizontal-merge pass (ablation switch; on in real builds).
     pub enable_horizontal_merge: bool,
+    /// Worker threads for tactic autotuning: `0` (the default) resolves to
+    /// the machine's available parallelism, `1` selects the sequential
+    /// fallback path, `n > 1` uses `n` workers. Per-node RNG streams make
+    /// every setting produce bit-identical engines for a pinned seed, so
+    /// this knob trades wall-clock for nothing else.
+    pub build_threads: usize,
+    /// Shared timing cache (TensorRT `ITimingCache` analog) memoizing the
+    /// deterministic component of tactic timing across builds. `None` (the
+    /// default) recomputes every query. Measurement noise is never cached,
+    /// so a warm cache changes build time, not build output.
+    pub timing_cache: Option<Arc<TimingCache>>,
 }
 
 impl Default for BuilderConfig {
@@ -78,6 +97,8 @@ impl Default for BuilderConfig {
             enable_dead_layer: true,
             enable_vertical_fusion: true,
             enable_horizontal_merge: true,
+            build_threads: 0,
+            timing_cache: None,
         }
     }
 }
@@ -174,6 +195,43 @@ impl BuilderConfig {
         self
     }
 
+    /// Sets the autotuning worker-thread count: `0` = auto (available
+    /// parallelism), `1` = sequential fallback, `n` = exactly `n` workers.
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
+        self
+    }
+
+    /// Attaches a shared timing cache; builds sharing one cache skip
+    /// recomputing the deterministic timing component for kernels they have
+    /// in common (across models, seeds, and threads).
+    pub fn with_timing_cache(mut self, cache: Arc<TimingCache>) -> Self {
+        self.timing_cache = Some(cache);
+        self
+    }
+
+    /// Detaches any shared timing cache.
+    pub fn without_timing_cache(mut self) -> Self {
+        self.timing_cache = None;
+        self
+    }
+
+    /// The worker-thread count this build will use (resolves `0` = auto to
+    /// the machine's available parallelism). Small graphs fall back to the
+    /// sequential path regardless — the scoped pool's spawn cost would
+    /// exceed the measurement work.
+    pub fn resolve_build_threads(&self, nodes: usize) -> usize {
+        let threads = match self.build_threads {
+            0 => trtsim_util::pool::auto_threads(),
+            n => n,
+        };
+        if nodes < MIN_PARALLEL_NODES {
+            1
+        } else {
+            threads
+        }
+    }
+
     /// The seed this build will use: the pinned one, or a fresh draw.
     pub fn resolve_seed(&self) -> u64 {
         self.build_seed
@@ -241,7 +299,12 @@ mod tests {
             .with_calibration(vec![Tensor::zeros([1, 2, 2])])
             .with_dead_layer(false)
             .with_vertical_fusion(false)
-            .with_horizontal_merge(false);
+            .with_horizontal_merge(false)
+            .with_build_threads(3)
+            .with_timing_cache(Arc::new(TimingCache::new()));
+        assert_eq!(c.build_threads, 3);
+        assert!(c.timing_cache.is_some());
+        assert!(c.clone().without_timing_cache().timing_cache.is_none());
         assert_eq!(c.build_seed, Some(1));
         assert_eq!(c.timing_noise_sd, 0.1);
         assert_eq!(c.timing_samples, 3);
@@ -290,6 +353,24 @@ mod tests {
                 .with_prune_threshold(f32::NAN)
                 .prune_threshold,
             0.0
+        );
+    }
+
+    #[test]
+    fn build_threads_resolution() {
+        let auto = BuilderConfig::default();
+        assert_eq!(auto.build_threads, 0);
+        // Auto mode parallelizes big graphs only.
+        assert_eq!(auto.resolve_build_threads(4), 1);
+        assert!(auto.resolve_build_threads(1000) >= 1);
+        let pinned = BuilderConfig::default().with_build_threads(5);
+        assert_eq!(pinned.resolve_build_threads(1000), 5);
+        assert_eq!(pinned.resolve_build_threads(4), 1);
+        assert_eq!(
+            BuilderConfig::default()
+                .with_build_threads(1)
+                .resolve_build_threads(1000),
+            1
         );
     }
 

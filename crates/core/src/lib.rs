@@ -56,6 +56,7 @@ pub mod passes;
 pub mod plan;
 pub mod runtime;
 pub mod serving;
+pub mod timing_cache;
 
 pub use builder::Builder;
 pub use config::BuilderConfig;
@@ -66,3 +67,4 @@ pub use serving::{
     serve, InferenceServer, KernelTime, ProfileOptions, RequestRecord, ServerConfig, ServerStats,
     ServingError, ServingReport,
 };
+pub use timing_cache::TimingCache;

@@ -250,6 +250,31 @@ impl DeviceSpec {
         (self.gpu_usable_dram_gib * (1u64 << 30) as f64) as u64
     }
 
+    /// A 64-bit fingerprint of every field that feeds the kernel timing
+    /// model ([`crate::timing`]). Two specs with equal fingerprints time any
+    /// kernel identically, so the fingerprint is a sound memoization key for
+    /// `kernel_time_us` results (the timing cache in `trtsim-core`). Clock
+    /// changes, EMC pinning, and platform differences all change it.
+    pub fn timing_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+            h = h.rotate_left(29);
+        };
+        fold(self.platform as u64);
+        fold(u64::from(self.sm_count));
+        fold(u64::from(self.cores_per_sm));
+        fold(u64::from(self.tensor_cores_per_sm));
+        fold(u64::from(self.l1_kib_per_sm));
+        fold(u64::from(self.l2_kib));
+        fold(self.dram_bandwidth_gbps.to_bits());
+        fold(self.dram_efficiency.to_bits());
+        fold(self.gpu_clock_mhz.to_bits());
+        fold(self.kernel_launch_us.to_bits());
+        h
+    }
+
     /// Memory-latency constants in GPU cycles, used by the BSP model's
     /// micro-benchmarks (Volta-class figures).
     pub fn latency_cycles(&self) -> MemLatencies {
@@ -344,6 +369,32 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn overclock_rejected() {
         DeviceSpec::xavier_nx().with_clock_mhz(5000.0);
+    }
+
+    #[test]
+    fn timing_fingerprint_tracks_timing_inputs() {
+        let nx = DeviceSpec::xavier_nx();
+        assert_eq!(nx.timing_fingerprint(), nx.clone().timing_fingerprint());
+        assert_ne!(
+            nx.timing_fingerprint(),
+            DeviceSpec::xavier_agx().timing_fingerprint()
+        );
+        assert_ne!(
+            nx.timing_fingerprint(),
+            nx.clone().with_clock_mhz(599.0).timing_fingerprint()
+        );
+        assert_ne!(
+            nx.timing_fingerprint(),
+            nx.clone()
+                .with_dram_bandwidth_gbps(40.0)
+                .timing_fingerprint()
+        );
+        // The pinned-clock AGX differs from the max-clock AGX in both clock
+        // and EMC bandwidth; the fingerprint must see it.
+        assert_ne!(
+            DeviceSpec::pinned_clock(Platform::Agx).timing_fingerprint(),
+            DeviceSpec::max_clock(Platform::Agx).timing_fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Hit/miss accounting for the build pipeline's memoization layers.
+//!
+//! The timing cache in `trtsim-core` (a simulator analog of TensorRT's
+//! `ITimingCache`) and the engine farm in `trtsim-repro` both report their
+//! effectiveness through this one snapshot type, so harnesses and benches
+//! print cache behaviour the same way they print latency cells.
+
+/// A point-in-time snapshot of a cache's hit/miss counters.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_metrics::CacheStats;
+/// let stats = CacheStats { hits: 30, misses: 10 };
+/// assert_eq!(stats.lookups(), 40);
+/// assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+/// assert_eq!(format!("{stats}"), "30 hits / 10 misses (75.0% hit rate)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populate) the entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache; 0 when nothing was looked
+    /// up yet.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter-wise difference versus an earlier snapshot (for measuring one
+    /// phase of a longer run). Saturates at zero if `earlier` is not actually
+    /// earlier.
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = CacheStats::default();
+        assert_eq!(s.lookups(), 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts_per_counter() {
+        let early = CacheStats { hits: 5, misses: 3 };
+        let late = CacheStats {
+            hits: 25,
+            misses: 4,
+        };
+        assert_eq!(
+            late.since(early),
+            CacheStats {
+                hits: 20,
+                misses: 1
+            }
+        );
+        assert_eq!(early.since(late), CacheStats::default());
+    }
+
+    #[test]
+    fn display_matches_paper_style_reporting() {
+        let s = CacheStats { hits: 1, misses: 2 };
+        assert!(format!("{s}").contains("33.3%"));
+    }
+}

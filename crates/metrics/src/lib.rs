@@ -6,13 +6,17 @@
 //!   (the paper reports IoU 0.75).
 //! * [`latency`] — mean(σ) latency formatting matching the paper's
 //!   "12.65 (0.05)" table cells, plus FPS computation.
+//! * [`cache`] — hit/miss accounting for the build pipeline's memoization
+//!   layers (timing cache, engine farm).
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod classification;
 pub mod detection;
 pub mod latency;
 
+pub use cache::CacheStats;
 pub use classification::{consistency, top1_error_percent, ConsistencyReport};
 pub use detection::{precision_recall, DetectionEval};
 pub use latency::{fps_from_latency_us, LatencyCell, LatencyPercentiles};

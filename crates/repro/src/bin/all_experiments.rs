@@ -6,6 +6,29 @@ use trtsim_repro::*;
 
 fn main() {
     let t0 = std::time::Instant::now();
+
+    // Warm the engine farm up front: every zoo engine the harnesses below
+    // request, built concurrently with a shared timing cache. Individual
+    // harnesses then get instant hand-outs instead of serial rebuilds.
+    let farm = support::EngineFarm::global();
+    let mut wanted: Vec<(ModelId, Platform, u64)> = Vec::new();
+    for model in ModelId::all() {
+        for platform in Platform::all() {
+            wanted.push((model, platform, 0));
+        }
+    }
+    for i in 1..exp_variability::ENGINES_PER_PLATFORM {
+        wanted.push((ModelId::InceptionV4, Platform::Agx, i));
+        wanted.push((ModelId::Resnet18, Platform::Agx, i));
+    }
+    farm.prefetch_zoo(&wanted);
+    eprintln!(
+        "engine farm warmed in {:.1}s ({} engines, timing cache: {})",
+        t0.elapsed().as_secs_f32(),
+        farm.len(),
+        farm.stats().timing,
+    );
+
     println!("{}", exp_platforms::run());
     println!("{}", exp_sizes::run().render());
 
@@ -81,8 +104,13 @@ fn main() {
             exp_serving::render(&exp_serving::run(ModelId::TinyYolov3, platform))
         );
     }
+    let stats = farm.stats();
     eprintln!(
-        "all experiments completed in {:.1}s",
-        t0.elapsed().as_secs_f32()
+        "all experiments completed in {:.1}s — farm: {} engines from {} requests ({} builds), timing cache: {}",
+        t0.elapsed().as_secs_f32(),
+        farm.len(),
+        stats.requests,
+        stats.builds,
+        stats.timing,
     );
 }

@@ -8,6 +8,8 @@
 //! (weight clustering denoises the over-fit weights; corruption maths follow
 //! ImageNet-C).
 
+use std::sync::Arc;
+
 use trtsim_core::runtime::ExecutionContext;
 use trtsim_core::{Builder, BuilderConfig, Engine};
 use trtsim_data::corruptions::{apply_corruption, Corruption, Severity};
@@ -19,7 +21,7 @@ use trtsim_models::numeric::{build_classifier, NUMERIC_INPUT};
 use trtsim_models::ModelId;
 use trtsim_util::derive_seed;
 
-use crate::support::{TextTable, CAMPAIGN_SEED};
+use crate::support::{EngineFarm, FarmKey, TextTable, CAMPAIGN_SEED};
 
 /// Per-model difficulty constants: (dataset noise σ, over-fit jitter).
 /// Calibrated once against Table III's error levels; the orderings between
@@ -107,24 +109,34 @@ impl AccuracySetup {
         }
     }
 
-    /// Builds TensorRT engine `index` on `platform` with the model-compression
-    /// step (magnitude pruning) enabled.
-    pub fn engine(&self, platform: Platform, index: u64) -> Engine {
+    /// Builds (or fetches from the [`EngineFarm`]) TensorRT engine `index` on
+    /// `platform` with the model-compression step (magnitude pruning)
+    /// enabled. The class count salts the farm key because it changes the
+    /// synthesized network.
+    pub fn engine(&self, platform: Platform, index: u64) -> Arc<Engine> {
         let seed = derive_seed(
             CAMPAIGN_SEED,
             "accuracy-engine",
             (self.model as u64) << 16 | (platform as u64) << 8 | index,
         );
-        // Compression enabled: magnitude pruning restores the exact zeros an
-        // over-fitted model has smeared (the dominant denoising effect) and
-        // clustering tidies the surviving levels.
-        let mut config = BuilderConfig::default()
-            .with_build_seed(seed)
-            .with_pruning(true);
-        config.prune_threshold = 0.55;
-        Builder::new(DeviceSpec::pinned_clock(platform), config)
-            .build(&self.network)
-            .expect("numeric models build")
+        let key = FarmKey {
+            domain: "accuracy",
+            model: self.model,
+            platform,
+            index,
+            variant: self.dataset.classes() as u64,
+        };
+        EngineFarm::global().get_or_build(key, |cache| {
+            // Compression enabled: magnitude pruning restores the exact zeros
+            // an over-fitted model has smeared (the dominant denoising
+            // effect) and clustering tidies the surviving levels.
+            let mut config = BuilderConfig::default()
+                .with_build_seed(seed)
+                .with_pruning(true)
+                .with_timing_cache(cache.clone());
+            config.prune_threshold = 0.55;
+            Builder::new(DeviceSpec::pinned_clock(platform), config).build(&self.network)
+        })
     }
 
     /// Benign evaluation set.

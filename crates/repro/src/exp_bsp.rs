@@ -10,7 +10,7 @@ use trtsim_gpu::device::{DeviceSpec, Platform};
 use trtsim_models::ModelId;
 use trtsim_perfmodel::PredictionOutcome;
 
-use crate::support::{build_engine, TextTable};
+use crate::support::{EngineFarm, TextTable};
 
 /// One engine's prediction outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +52,7 @@ pub fn run(model: ModelId, engines: u64) -> BspExperiment {
     let agx = DeviceSpec::pinned_clock(Platform::Agx);
     let rows = (0..engines)
         .map(|i| {
-            let engine = build_engine(model, Platform::Nx, i).expect("build");
+            let engine = EngineFarm::global().zoo(model, Platform::Nx, i);
             let outcome = PredictionOutcome::evaluate(&engine, &nx, &agx, i ^ 0xb5b);
             BspRow {
                 engine: i + 1,

@@ -6,7 +6,7 @@ use trtsim_gpu::contention::{max_threads, sweep, ConcurrencyPoint, ThreadBound};
 use trtsim_gpu::device::{DeviceSpec, Platform};
 use trtsim_models::ModelId;
 
-use crate::support::{build_engine, TextTable};
+use crate::support::{EngineFarm, TextTable};
 
 /// One platform's sweep for one model.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,7 +39,7 @@ impl ConcurrencyFigure {
 /// Computes the sweep for one (model, platform) at the board-maximum clock
 /// ("we obtain these statistics on the maximum GPU frequency", §IV-B).
 pub fn run(model: ModelId, platform: Platform) -> ConcurrencyFigure {
-    let engine = build_engine(model, platform, 0).expect("build");
+    let engine = EngineFarm::global().zoo(model, platform, 0);
     let device = DeviceSpec::max_clock(platform);
     let ctx = ExecutionContext::new(&engine, device.clone());
     let profile = ctx.profile(model.info().host_glue_us);

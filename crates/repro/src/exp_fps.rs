@@ -15,7 +15,7 @@ use trtsim_kernels::generic::{framework_kernels, FRAMEWORK_LAYER_GLUE_US};
 use trtsim_metrics::fps_from_latency_us;
 use trtsim_models::ModelId;
 
-use crate::support::{build_engine, TextTable};
+use crate::support::{EngineFarm, TextTable};
 
 /// One Table VII row.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,7 +69,7 @@ pub fn unoptimized_latency_us(model: ModelId, device: &DeviceSpec) -> f64 {
 /// Simulated latency of the optimized engine, µs (engine resident, upload
 /// excluded).
 pub fn optimized_latency_us(model: ModelId, platform: Platform) -> f64 {
-    let engine = build_engine(model, platform, 0).expect("build");
+    let engine = EngineFarm::global().zoo(model, platform, 0);
     let device = DeviceSpec::max_clock(platform);
     let ctx = ExecutionContext::new(&engine, device);
     let mut opts = TimingOptions::default()

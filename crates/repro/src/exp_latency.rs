@@ -8,9 +8,7 @@ use trtsim_metrics::LatencyCell;
 use trtsim_models::ModelId;
 use trtsim_util::derive_seed;
 
-use crate::support::{
-    build_engine, table8_options, table9_options, TextTable, CAMPAIGN_SEED, RUNS,
-};
+use crate::support::{table8_options, table9_options, EngineFarm, TextTable, CAMPAIGN_SEED, RUNS};
 
 /// The four measurement cases of Table VIII, in column order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,11 +133,18 @@ pub fn run_table9() -> Table8 {
 }
 
 fn run_for(models: Vec<ModelId>, profiled: bool) -> Table8 {
+    let farm = EngineFarm::global();
+    // Build every missing engine of the matrix concurrently up front.
+    let wanted: Vec<_> = models
+        .iter()
+        .flat_map(|&m| [(m, Platform::Nx, 0), (m, Platform::Agx, 0)])
+        .collect();
+    farm.prefetch_zoo(&wanted);
     let rows = models
         .into_iter()
         .map(|model| {
-            let nx_engine = build_engine(model, Platform::Nx, 0).expect("build");
-            let agx_engine = build_engine(model, Platform::Agx, 0).expect("build");
+            let nx_engine = farm.zoo(model, Platform::Nx, 0);
+            let agx_engine = farm.zoo(model, Platform::Agx, 0);
             let opts = if profiled {
                 table8_options(model)
             } else {

@@ -10,7 +10,7 @@ use trtsim_metrics::LatencyCell;
 use trtsim_models::ModelId;
 use trtsim_profiler::{summarize, write_chrome_trace, KernelSummary};
 
-use crate::support::{build_engine, table8_options, TextTable, RUNS};
+use crate::support::{table8_options, EngineFarm, TextTable, RUNS};
 
 /// One Table X row: a model's latency with and without the engine-upload
 /// memcpy, on NX and AGX, using the same NX-built engine.
@@ -48,7 +48,7 @@ pub fn run_table10() -> Vec<MemcpyRow> {
     table10_models()
         .into_iter()
         .map(|model| {
-            let engine = build_engine(model, Platform::Nx, 0).expect("build");
+            let engine = EngineFarm::global().zoo(model, Platform::Nx, 0);
             let opts = table8_options(model);
             let measure = |platform: Platform, with_memcpy: bool| {
                 let ctx = ExecutionContext::new(&engine, DeviceSpec::pinned_clock(platform));
@@ -99,7 +99,7 @@ pub fn render_table10(rows: &[MemcpyRow]) -> String {
 /// result to `trtsim_profiler::anomaly::h2d_outliers` to recover the
 /// anomaly, or to `trtsim_profiler::chrome_trace` to look at it.
 pub fn memcpy_trace_timeline(model: ModelId, platform: Platform, runs: usize) -> GpuTimeline {
-    let engine = build_engine(model, Platform::Nx, 0).expect("build");
+    let engine = EngineFarm::global().zoo(model, Platform::Nx, 0);
     let device = DeviceSpec::pinned_clock(platform);
     let ctx = ExecutionContext::new(&engine, device.clone());
     let mut tl = GpuTimeline::new(device);
@@ -145,7 +145,7 @@ pub struct KernelCompareRow {
 pub fn run_table11(models: &[ModelId]) -> Vec<KernelCompareRow> {
     let mut out = Vec::new();
     for &model in models {
-        let engine = build_engine(model, Platform::Nx, 0).expect("build");
+        let engine = EngineFarm::global().zoo(model, Platform::Nx, 0);
         let profile = |platform: Platform| -> Vec<KernelSummary> {
             let mut tl = GpuTimeline::new(DeviceSpec::pinned_clock(platform));
             let s = tl.create_stream();

@@ -14,7 +14,7 @@ use trtsim_gpu::device::{DeviceSpec, Platform};
 use trtsim_metrics::LatencyPercentiles;
 use trtsim_models::ModelId;
 
-use crate::support::{build_engine, TextTable};
+use crate::support::{EngineFarm, TextTable};
 
 /// One batch-size setting's serving outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +61,7 @@ impl ServingSweep {
 pub fn run(model: ModelId, platform: Platform) -> ServingSweep {
     let workers = 4usize;
     let frames = 256u64;
-    let engine = build_engine(model, platform, 0).expect("build");
+    let engine = EngineFarm::global().zoo(model, platform, 0);
     let device = DeviceSpec::max_clock(platform);
     let mut timing = TimingOptions::default().without_engine_upload();
     timing.host_glue_us = model.info().host_glue_us;

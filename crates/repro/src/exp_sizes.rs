@@ -3,7 +3,7 @@
 use trtsim_gpu::device::Platform;
 use trtsim_models::ModelId;
 
-use crate::support::{build_engine, TextTable};
+use crate::support::{EngineFarm, TextTable};
 
 /// One Table II row.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,8 +35,8 @@ pub fn run() -> Table2 {
         .into_iter()
         .map(|model| {
             let graph = model.descriptor();
-            let nx = build_engine(model, Platform::Nx, 0).expect("NX build");
-            let agx = build_engine(model, Platform::Agx, 0).expect("AGX build");
+            let nx = EngineFarm::global().zoo(model, Platform::Nx, 0);
+            let agx = EngineFarm::global().zoo(model, Platform::Agx, 0);
             SizeRow {
                 model,
                 architecture: format!(

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 
 use trtsim_core::runtime::ExecutionContext;
 use trtsim_core::Engine;
@@ -11,7 +12,7 @@ use trtsim_metrics::LatencyCell;
 use trtsim_models::ModelId;
 use trtsim_profiler::chrome_trace_json_multi;
 
-use crate::support::{build_engine, table8_options, TextTable, RUNS};
+use crate::support::{table8_options, EngineFarm, TextTable, RUNS};
 
 /// Engines the paper builds per platform for variability studies.
 pub const ENGINES_PER_PLATFORM: u64 = 3;
@@ -37,13 +38,19 @@ impl VariabilityRow {
 
 /// Computes Table XII for the given models (paper: all 13 on AGX).
 pub fn run_table12(models: &[ModelId]) -> Vec<VariabilityRow> {
+    let farm = EngineFarm::global();
+    let wanted: Vec<_> = models
+        .iter()
+        .flat_map(|&m| (0..ENGINES_PER_PLATFORM).map(move |i| (m, Platform::Agx, i)))
+        .collect();
+    farm.prefetch_zoo(&wanted);
     models
         .iter()
         .map(|&model| {
             let opts = table8_options(model);
             let cells: Vec<LatencyCell> = (0..ENGINES_PER_PLATFORM)
                 .map(|i| {
-                    let engine = build_engine(model, Platform::Agx, i).expect("build");
+                    let engine = farm.zoo(model, Platform::Agx, i);
                     let ctx =
                         ExecutionContext::new(&engine, DeviceSpec::pinned_clock(Platform::Agx));
                     LatencyCell::from_runs_us(&ctx.measure_latency(&opts, RUNS, i))
@@ -104,8 +111,8 @@ impl InvocationTable {
 
 /// Computes Table XIII for one model on AGX.
 pub fn run_table13(model: ModelId) -> InvocationTable {
-    let engines: Vec<Engine> = (0..ENGINES_PER_PLATFORM)
-        .map(|i| build_engine(model, Platform::Agx, i).expect("build"))
+    let engines: Vec<Arc<Engine>> = (0..ENGINES_PER_PLATFORM)
+        .map(|i| EngineFarm::global().zoo(model, Platform::Agx, i))
         .collect();
     let mut counts: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (i, engine) in engines.iter().enumerate() {
@@ -149,7 +156,7 @@ pub fn variability_trace_timelines(model: ModelId, runs: usize) -> Vec<GpuTimeli
     let opts = table8_options(model).without_engine_upload();
     (0..ENGINES_PER_PLATFORM)
         .map(|i| {
-            let engine = build_engine(model, Platform::Agx, i).expect("build");
+            let engine = EngineFarm::global().zoo(model, Platform::Agx, i);
             let device = DeviceSpec::pinned_clock(Platform::Agx);
             let ctx = ExecutionContext::new(&engine, device.clone());
             let mut tl = GpuTimeline::new(device);

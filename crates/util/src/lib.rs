@@ -1,11 +1,15 @@
 //! Foundation utilities shared across the `trtsim` workspace.
 //!
-//! This crate deliberately owns three pieces of machinery that the simulator
+//! This crate deliberately owns four pieces of machinery that the simulator
 //! must control bit-for-bit rather than delegate to external crates:
 //!
 //! * [`rng`] — a deterministic, splittable PRNG ([`rng::Pcg32`] seeded through
-//!   [`rng::SplitMix64`]). Engine-build non-determinism is a *subject of study*
+//!   [`rng::SplitMix64`], with [`rng::stream_seed`] deriving order-free
+//!   per-item streams). Engine-build non-determinism is a *subject of study*
 //!   in this reproduction, so every random draw must be replayable from a seed.
+//! * [`pool`] — a scoped worker pool ([`pool::map_indexed`]) for deterministic
+//!   fan-out: same results at any thread count as long as the work is a pure
+//!   function of the item index.
 //! * [`mod@f16`] — software IEEE 754 binary16 ([`f16::F16`]) plus INT8 quantization
 //!   helpers. Tactic-dependent accumulation order over these types is what
 //!   makes different engine builds produce different output labels.
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod f16;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

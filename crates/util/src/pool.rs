@@ -1,0 +1,134 @@
+//! A minimal scoped worker pool for deterministic fan-out.
+//!
+//! The workspace has no external threading crates (rayon et al. are not
+//! vendored), so this module hand-rolls the one primitive the build pipeline
+//! needs: run the same closure over indices `0..items` on a bounded number of
+//! OS threads and collect the results *in index order*. Work is distributed
+//! by an atomic counter (work stealing at index granularity), so uneven item
+//! costs — a GoogLeNet build next to a TinyYOLO build, a convolution next to
+//! a pooling layer — still balance.
+//!
+//! Determinism contract: the closure receives only the item index, so as long
+//! as the closure itself is a pure function of that index (the per-node RNG
+//! streams in `trtsim-core::autotune` are built exactly this way), the output
+//! vector is bit-identical regardless of `threads`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads "auto" resolves to: the machine's available
+/// parallelism, or 1 when that cannot be determined.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..items` and returns the results in index
+/// order, using up to `threads` scoped worker threads.
+///
+/// With `threads <= 1` (or fewer than two items) the closure runs inline on
+/// the caller's thread — the sequential fallback path. Panics in `f` are
+/// propagated to the caller.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_util::pool::map_indexed;
+/// let squares = map_indexed(4, 8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn map_indexed<T, F>(threads: usize, items: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || items <= 1 {
+        return (0..items).map(f).collect();
+    }
+    let workers = threads.min(items);
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(items);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => all.extend(chunk),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        all
+    });
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 7] {
+            let out = map_indexed(threads, 100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        // The contract the parallel autotuner depends on: a pure function of
+        // the index yields identical output at any thread count.
+        let f = |i: usize| crate::rng::Pcg32::seed_from_u64(i as u64).next_f64();
+        assert_eq!(map_indexed(1, 64, f), map_indexed(8, 64, f));
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        map_indexed(4, 50, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_work() {
+        assert_eq!(map_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            map_indexed(4, 16, |i| {
+                assert!(i != 7, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -84,7 +84,7 @@ pub use trtsim_core as engine;
 pub use trtsim_core::{
     Builder, BuilderConfig, Engine, EngineError, ExecutionContext, InferenceServer, KernelTime,
     ProfileOptions, RequestRecord, ServerConfig, ServerStats, ServingError, ServingReport,
-    TimingOptions,
+    TimingCache, TimingOptions,
 };
 pub use trtsim_gpu::device::DeviceSpec;
 

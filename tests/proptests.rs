@@ -4,9 +4,11 @@
 use proptest::prelude::*;
 use trtsim::data::corruptions::{apply_corruption, Corruption, Severity};
 use trtsim::data::traffic::{BBox, VehicleClass};
+use trtsim::engine::autotune::{self, AutotuneOptions};
+use trtsim::engine::calibrate::CalibrationTable;
 use trtsim::engine::passes::{dead_layer, horizontal_merge, vertical_fusion};
 use trtsim::engine::plan;
-use trtsim::engine::{Builder, BuilderConfig};
+use trtsim::engine::{Builder, BuilderConfig, TimingCache};
 use trtsim::gpu::device::DeviceSpec;
 use trtsim::gpu::kernel::{KernelDesc, Precision};
 use trtsim::gpu::timing::{kernel_busy_us, wave_inflation};
@@ -157,6 +159,56 @@ proptest! {
                 prop_assert!((u - v).abs() <= 1e-4 * u.abs().max(1.0));
             }
         }
+    }
+
+    #[test]
+    fn parallel_autotune_matches_sequential(
+        g in arb_network(),
+        seed in 0u64..500,
+        threads in 2usize..9,
+    ) {
+        // Per-node RNG streams make tactic selection order-free: any worker
+        // count must reproduce the sequential result bit for bit.
+        let cfg = BuilderConfig::default();
+        let device = DeviceSpec::xavier_nx();
+        let calibration = CalibrationTable::new();
+        let base = AutotuneOptions {
+            noise_sd: cfg.timing_noise_sd,
+            samples: cfg.timing_samples,
+            threads: 1,
+            cache: None,
+        };
+        let seq = autotune::select(&g, cfg.policy, &calibration, &device, seed, &base).unwrap();
+        let par = autotune::select(
+            &g, cfg.policy, &calibration, &device, seed,
+            &AutotuneOptions { threads, ..base },
+        ).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn warm_timing_cache_is_selection_transparent(g in arb_network(), seed in 0u64..500) {
+        // A warm cache returns bit-identical deterministic times, so the
+        // chosen tactic set can never differ from a cold or cache-less run.
+        let cfg = BuilderConfig::default();
+        let device = DeviceSpec::xavier_nx();
+        let calibration = CalibrationTable::new();
+        let cache = TimingCache::new();
+        let cached = AutotuneOptions {
+            noise_sd: cfg.timing_noise_sd,
+            samples: cfg.timing_samples,
+            threads: 1,
+            cache: Some(&cache),
+        };
+        let cold = autotune::select(&g, cfg.policy, &calibration, &device, seed, &cached).unwrap();
+        prop_assert!(cache.stats().misses > 0);
+        let warm = autotune::select(&g, cfg.policy, &calibration, &device, seed, &cached).unwrap();
+        let uncached = autotune::select(
+            &g, cfg.policy, &calibration, &device, seed,
+            &AutotuneOptions { cache: None, ..cached },
+        ).unwrap();
+        prop_assert_eq!(&cold, &warm);
+        prop_assert_eq!(&cold, &uncached);
     }
 
     #[test]
