@@ -1,0 +1,217 @@
+//! Times numeric inference through the three execution paths — the naive
+//! per-call interpreter, the precompiled [`trtsim_core::InferencePlan`], and
+//! the plan fanned out over worker threads — on a mid-size numeric zoo
+//! model, writing the results to `BENCH_infer.json`.
+//!
+//! ```text
+//! cargo run --release -p trtsim-bench --bin bench_infer            # full set
+//! cargo run --release -p trtsim-bench --bin bench_infer -- --smoke # CI
+//! ```
+//!
+//! Flags: `--smoke` shrinks the image set (CI), `--out PATH` moves the
+//! report. The process exits non-zero if any planned output tensor is not
+//! bit-identical to the interpreter's, if any label diverges, or if the
+//! planned path fails to beat the naive one (`--smoke` allows 10% slack; the
+//! full run demands the 3x the fast path is sold on).
+
+use std::time::Instant;
+
+use trtsim_core::runtime::ExecutionContext;
+use trtsim_gpu::device::{DeviceSpec, Platform};
+use trtsim_ir::Tensor;
+use trtsim_models::ModelId;
+use trtsim_repro::exp_accuracy::{AccuracyConfig, AccuracySetup};
+use trtsim_util::pool::auto_threads;
+
+/// One timed execution path.
+struct Phase {
+    name: &'static str,
+    wall_ms: f64,
+    images_per_sec: f64,
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Everything the JSON report needs, bundled to keep one call site tidy.
+struct Report<'a, 'e> {
+    smoke: bool,
+    model: ModelId,
+    images: usize,
+    threads: usize,
+    phases: &'a [Phase],
+    speedup_planned: f64,
+    speedup_parallel: f64,
+    plan: &'a trtsim_core::InferencePlan<'e>,
+}
+
+fn render_json(r: &Report) -> String {
+    let Report {
+        smoke,
+        model,
+        images,
+        threads,
+        phases,
+        speedup_planned,
+        speedup_parallel,
+        plan,
+    } = *r;
+    let stats = plan.arena_stats();
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"bench_infer\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!("  \"model\": \"{model}\",\n"));
+    out.push_str(&format!("  \"images\": {images},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"plan_steps\": {},\n", plan.step_count()));
+    out.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"images_per_sec\": {:.1}}}{}\n",
+            p.name,
+            p.wall_ms,
+            p.images_per_sec,
+            if i + 1 < phases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_planned_vs_naive\": {speedup_planned:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"speedup_planned_parallel_vs_naive\": {speedup_parallel:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"arena\": {{\"peak_live_bytes\": {}, \"total_activation_bytes\": {}, \"slots\": {}, \"utilization\": {:.3}}},\n",
+        stats.peak_live_bytes,
+        stats.total_activation_bytes,
+        stats.slot_count,
+        stats.utilization(),
+    ));
+    out.push_str("  \"bit_identical\": true\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_infer.json".to_string());
+
+    let model = ModelId::Resnet18;
+    let config = if smoke {
+        AccuracyConfig::quick()
+    } else {
+        AccuracyConfig::default()
+    };
+    let setup = AccuracySetup::new(model, &config);
+    let engine = setup.engine(Platform::Nx, 0);
+    let images = setup.benign(&config);
+    let inputs: Vec<&Tensor> = images.iter().map(|img| &img.image).collect();
+    let threads = auto_threads();
+
+    // Phase 1: the naive interpreter, one image at a time. A fresh context,
+    // though the interpreter caches nothing on it anyway.
+    let naive_ctx = ExecutionContext::new(&engine, DeviceSpec::pinned_clock(Platform::Nx));
+    let (naive_outs, naive_ms) = timed(|| {
+        inputs
+            .iter()
+            .map(|t| naive_ctx.infer_unplanned(t).expect("runs"))
+            .collect::<Vec<_>>()
+    });
+    let naive_labels: Vec<usize> = naive_outs
+        .iter()
+        .map(|o| o[0].argmax().unwrap_or(0))
+        .collect();
+
+    // Phase 2: the precompiled plan, sequential. Plan compilation happens
+    // inside the timed region (a fresh context compiles on first use) so the
+    // speedup is honest about the one-time cost.
+    let planned_ctx = ExecutionContext::new(&engine, DeviceSpec::pinned_clock(Platform::Nx));
+    let (planned_outs, planned_ms) = timed(|| planned_ctx.infer_batch(&inputs, 1).expect("runs"));
+
+    // Phase 3: the plan fanned out across worker threads.
+    let parallel_ctx = ExecutionContext::new(&engine, DeviceSpec::pinned_clock(Platform::Nx));
+    let (parallel_labels, parallel_ms) =
+        timed(|| parallel_ctx.classify_batch(&inputs, threads).expect("runs"));
+
+    // Invariant: the fast path is bit-identical to the interpreter — every
+    // output tensor (exact f32 equality), and every label on every path.
+    for (i, (naive, planned)) in naive_outs.iter().zip(&planned_outs).enumerate() {
+        assert_eq!(
+            naive, planned,
+            "planned output of image {i} is not bit-identical"
+        );
+    }
+    let planned_labels: Vec<usize> = planned_outs
+        .iter()
+        .map(|o| o[0].argmax().unwrap_or(0))
+        .collect();
+    assert_eq!(naive_labels, planned_labels, "planned labels diverge");
+    assert_eq!(naive_labels, parallel_labels, "parallel labels diverge");
+
+    let speedup_planned = naive_ms / planned_ms;
+    let speedup_parallel = naive_ms / parallel_ms;
+    if smoke {
+        assert!(
+            planned_ms <= naive_ms * 1.10,
+            "planned path slower than naive: {planned_ms:.1} ms vs {naive_ms:.1} ms"
+        );
+    } else {
+        assert!(
+            speedup_parallel >= 3.0,
+            "planned+parallel speedup {speedup_parallel:.2}x is below the 3x bar"
+        );
+    }
+
+    let phases = vec![
+        Phase {
+            name: "naive_sequential",
+            wall_ms: naive_ms,
+            images_per_sec: inputs.len() as f64 / (naive_ms / 1e3),
+        },
+        Phase {
+            name: "planned_sequential",
+            wall_ms: planned_ms,
+            images_per_sec: inputs.len() as f64 / (planned_ms / 1e3),
+        },
+        Phase {
+            name: "planned_parallel",
+            wall_ms: parallel_ms,
+            images_per_sec: inputs.len() as f64 / (parallel_ms / 1e3),
+        },
+    ];
+    let plan = planned_ctx.plan().expect("compiled during phase 2");
+    let json = render_json(&Report {
+        smoke,
+        model,
+        images: inputs.len(),
+        threads,
+        phases: &phases,
+        speedup_planned,
+        speedup_parallel,
+        plan,
+    });
+    std::fs::write(&out_path, &json).expect("write report");
+
+    for p in &phases {
+        println!(
+            "{:<20} {:>10.2} ms  {:>10.1} images/s",
+            p.name, p.wall_ms, p.images_per_sec
+        );
+    }
+    println!(
+        "speedup: planned {speedup_planned:.2}x, planned+parallel {speedup_parallel:.2}x ({} threads) -> {out_path}",
+        threads
+    );
+}

@@ -7,7 +7,7 @@ use crate::autotune::{self, AutotuneOptions};
 use crate::calibrate::{self, CalibrationTable};
 use crate::compress;
 use crate::config::BuilderConfig;
-use crate::engine::{BuildReport, Engine, ExecUnit};
+use crate::engine::{BuildReport, Engine, ExecUnit, IoBytes};
 use crate::error::EngineError;
 use crate::passes::{self, PassReport};
 
@@ -135,6 +135,7 @@ impl Builder {
 
         Ok(Engine {
             name: network.name().to_string(),
+            io: IoBytes::of(&g, &shapes),
             graph: g,
             shapes,
             units,

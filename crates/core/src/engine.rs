@@ -34,6 +34,27 @@ pub struct ExecUnit {
     pub quant: Option<QuantDesc>,
 }
 
+/// Precomputed H2D/D2H byte counts of one inference frame, memoized at
+/// engine construction so the per-enqueue hot path does no shape walking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoBytes {
+    /// Bytes of one FP32 input frame.
+    pub input_bytes: u64,
+    /// Bytes of all FP32 output bindings of one frame.
+    pub output_bytes: u64,
+}
+
+impl IoBytes {
+    /// Computes the per-frame transfer sizes from a graph and its shapes.
+    pub fn of(graph: &Graph, shapes: &[[usize; 3]]) -> Self {
+        let bytes = |s: &[usize; 3]| (s[0] * s[1] * s[2]) as u64 * 4;
+        Self {
+            input_bytes: bytes(&graph.input_shape()),
+            output_bytes: graph.outputs().iter().map(|&id| bytes(&shapes[id])).sum(),
+        }
+    }
+}
+
 /// What the build did (pass statistics), kept for reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BuildReport {
@@ -55,6 +76,7 @@ pub struct Engine {
     pub(crate) graph: Graph,
     pub(crate) shapes: Vec<[usize; 3]>,
     pub(crate) units: Vec<ExecUnit>,
+    pub(crate) io: IoBytes,
     pub(crate) build_platform: Platform,
     pub(crate) build_seed: u64,
     pub(crate) report: BuildReport,
@@ -79,6 +101,11 @@ impl Engine {
     /// Per-node execution assignments (aligned with `graph().nodes()`).
     pub fn units(&self) -> &[ExecUnit] {
         &self.units
+    }
+
+    /// Per-frame input/output transfer sizes, memoized at construction.
+    pub fn io_bytes(&self) -> IoBytes {
+        self.io
     }
 
     /// Platform the engine was built (autotuned) on.

@@ -1,0 +1,696 @@
+//! Precompiled execution plans: the numeric-inference fast path.
+//!
+//! [`crate::runtime::ExecutionContext::infer`] re-resolves everything on
+//! every call: it materializes conv/FC weights, re-rounds them to the
+//! tactic's precision, clones tensors through Identity/Dropout/Flatten, and
+//! scans every layer output for NaN. An [`InferencePlan`] does all of that
+//! work **once** per engine:
+//!
+//! * every node's tactic and precision resolve to a plan step with a
+//!   pre-lowered kernel ([`trtsim_kernels::numeric::PreparedConv`] /
+//!   [`PreparedFc`]) — weights materialized, precision-converted, and
+//!   pruned zeros elided from the multiply stream;
+//! * liveness analysis ([`trtsim_ir::liveness::Liveness`]) assigns every
+//!   activation to a reusable slot, and a [`trtsim_ir::arena::TensorArena`]
+//!   recycles freed buffers into later same-size allocations;
+//! * per-step flags mark which outputs need FP16 rounding and which can
+//!   carry NaN (only reduced-precision-reachable values can), so pure-FP32
+//!   layers skip the scrub scan;
+//! * Identity/Dropout/Flatten forward their input **by move** when the
+//!   value dies there, instead of cloning.
+//!
+//! The invariant, enforced by the `bench_infer` harness and the workspace
+//! proptests: plan execution is **bit-identical** (under `f32` equality) to
+//! the reference interpreter path, now exposed as
+//! [`crate::runtime::ExecutionContext::infer_unplanned`].
+
+use trtsim_gpu::kernel::Precision;
+use trtsim_ir::arena::TensorArena;
+use trtsim_ir::graph::{Activation, ConvParams, EltwiseOp, Graph, LayerKind, NodeId, PoolKind};
+use trtsim_ir::liveness::Liveness;
+use trtsim_ir::ops;
+use trtsim_ir::tensor::Tensor;
+use trtsim_ir::weights::MATERIALIZE_LIMIT;
+use trtsim_ir::IrError;
+use trtsim_kernels::numeric::{apply_precision, PreparedConv, PreparedFc};
+use trtsim_metrics::memory::ArenaStats;
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+
+/// The resolved operation of one plan step.
+#[derive(Debug, Clone)]
+enum StepOp<'e> {
+    Conv {
+        params: &'e ConvParams,
+        prepared: PreparedConv,
+    },
+    Fc {
+        prepared: PreparedFc,
+        activation: Option<Activation>,
+    },
+    Pool {
+        kind: PoolKind,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    },
+    GlobalPool {
+        kind: PoolKind,
+    },
+    Act(Activation),
+    BatchNorm {
+        mean: &'e [f32],
+        var: &'e [f32],
+        gamma: &'e [f32],
+        beta: &'e [f32],
+        eps: f32,
+    },
+    Scale {
+        scale: &'e [f32],
+        bias: &'e [f32],
+    },
+    Lrn {
+        local_size: usize,
+        alpha: f32,
+        beta: f32,
+        k: f32,
+    },
+    Eltwise(EltwiseOp),
+    Concat,
+    Softmax,
+    Upsample {
+        factor: usize,
+    },
+    Flatten,
+    Slice {
+        begin: usize,
+        len: usize,
+    },
+    /// Identity/Dropout: zero-copy forward.
+    Forward,
+}
+
+/// One fully-resolved execution step of a plan.
+#[derive(Debug, Clone)]
+struct Step<'e> {
+    node: NodeId,
+    inputs: &'e [NodeId],
+    op: StepOp<'e>,
+    /// Output must be rounded onto the binary16 grid (non-GEMM layer whose
+    /// tactic runs FP16 — the interpreter's `precision_rounded`).
+    fp16_round: bool,
+    /// Output can carry NaN: a reduced-precision kernel runs at or upstream
+    /// of this node. Pure-FP32 steps skip the scrub scan.
+    scrub: bool,
+    /// For [`StepOp::Forward`]/[`StepOp::Flatten`]: the input dies at this
+    /// step, so its tensor may be moved instead of copied.
+    move_input: bool,
+    /// Values whose buffers recycle into the arena once this step ran.
+    free_after: Vec<NodeId>,
+}
+
+/// Reusable per-thread execution state: value slots plus the recycling
+/// buffer arena. One scratch serves any number of sequential
+/// [`InferencePlan::execute`] calls; batch APIs keep one per worker.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    slots: Vec<Option<Tensor>>,
+    arena: TensorArena,
+}
+
+impl PlanScratch {
+    /// An empty scratch (slots grow to the plan's requirement on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffer arena (for allocation statistics).
+    pub fn arena(&self) -> &TensorArena {
+        &self.arena
+    }
+}
+
+/// A precompiled execution plan for one [`Engine`] — the analog of the
+/// schedule TensorRT freezes into a serialized engine, where tactic
+/// resolution, weight formatting, and memory binding happen at build time
+/// rather than per enqueue.
+///
+/// Obtain one through [`crate::runtime::ExecutionContext::plan`] (cached
+/// per context) or compile directly. Execution is bit-identical to the
+/// reference interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_core::fastpath::{InferencePlan, PlanScratch};
+/// use trtsim_core::{Builder, BuilderConfig};
+/// use trtsim_gpu::device::DeviceSpec;
+/// use trtsim_ir::graph::{Graph, LayerKind};
+/// use trtsim_ir::Tensor;
+///
+/// let mut g = Graph::new("m", [3, 8, 8]);
+/// let c = g.add_layer("c", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+/// g.mark_output(c);
+/// let engine = Builder::new(DeviceSpec::xavier_nx(), BuilderConfig::default().with_build_seed(1))
+///     .build(&g)?;
+///
+/// let plan = InferencePlan::compile(&engine)?;
+/// let out = plan.execute(&Tensor::zeros([3, 8, 8]), &mut PlanScratch::new())?;
+/// assert_eq!(out[0].shape(), [4, 8, 8]);
+/// # Ok::<(), trtsim_core::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferencePlan<'e> {
+    engine: &'e Engine,
+    steps: Vec<Step<'e>>,
+    slot_of: Vec<usize>,
+    slot_count: usize,
+    stats: ArenaStats,
+}
+
+impl<'e> InferencePlan<'e> {
+    /// Resolves every node of `engine` into an executable step: weights
+    /// materialized and precision-lowered, liveness computed, slots
+    /// assigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Execution`] if the engine holds
+    /// descriptor-scale weights too large to materialize (same condition as
+    /// the interpreter path).
+    pub fn compile(engine: &'e Engine) -> Result<Self, EngineError> {
+        let graph: &'e Graph = engine.graph();
+        let shapes = engine.shapes();
+        for node in graph.nodes() {
+            let weights_len = match &node.kind {
+                LayerKind::Conv(c) => c.weights.len(),
+                LayerKind::InnerProduct { weights, .. } => weights.len(),
+                _ => 0,
+            };
+            if weights_len > MATERIALIZE_LIMIT {
+                return Err(EngineError::Execution(IrError::NotExecutable {
+                    node: node.name.clone(),
+                    detail: format!(
+                        "{weights_len} weights exceed the materialization limit; \
+                         use the numeric-scale variant of this model"
+                    ),
+                }));
+            }
+        }
+
+        let liveness = Liveness::analyze(graph);
+        let slots = liveness.assign_slots();
+        let (peak, total) = liveness.activation_footprint(shapes);
+        let stats = ArenaStats::new(peak, total, slots.slot_count, graph.len());
+
+        // NaN can only appear downstream of a reduced-precision kernel
+        // (FP16 overflow); pure-FP32 steps skip the interpreter's per-node
+        // scrub scan.
+        let mut tainted = vec![false; graph.len()];
+        let mut steps = Vec::with_capacity(graph.len().saturating_sub(1));
+        for node in graph.nodes().iter().skip(1) {
+            let unit = &engine.units()[node.id];
+            let precision = unit
+                .choice
+                .as_ref()
+                .map(|c| c.tactic.precision)
+                .unwrap_or(Precision::Fp32);
+            tainted[node.id] =
+                precision != Precision::Fp32 || node.inputs.iter().any(|&i| tainted[i]);
+            let op = match &node.kind {
+                LayerKind::Input => unreachable!("input node is implicit"),
+                LayerKind::Conv(c) => {
+                    let tactic = &unit
+                        .choice
+                        .as_ref()
+                        .expect("conv nodes always have a tactic")
+                        .tactic;
+                    StepOp::Conv {
+                        params: c,
+                        prepared: PreparedConv::new(
+                            c,
+                            shapes[node.inputs[0]],
+                            tactic,
+                            unit.quant.as_ref(),
+                        ),
+                    }
+                }
+                LayerKind::InnerProduct {
+                    out_features,
+                    weights,
+                    bias,
+                    activation,
+                    ..
+                } => {
+                    let tactic = &unit
+                        .choice
+                        .as_ref()
+                        .expect("fc nodes always have a tactic")
+                        .tactic;
+                    StepOp::Fc {
+                        prepared: PreparedFc::new(weights, bias, *out_features, tactic),
+                        activation: *activation,
+                    }
+                }
+                LayerKind::Pool {
+                    kind,
+                    kernel,
+                    stride,
+                    pad,
+                } => StepOp::Pool {
+                    kind: *kind,
+                    kernel: *kernel,
+                    stride: *stride,
+                    pad: *pad,
+                },
+                LayerKind::GlobalPool { kind } => StepOp::GlobalPool { kind: *kind },
+                LayerKind::Act(a) => StepOp::Act(*a),
+                LayerKind::BatchNorm {
+                    mean,
+                    var,
+                    gamma,
+                    beta,
+                    eps,
+                } => StepOp::BatchNorm {
+                    mean,
+                    var,
+                    gamma,
+                    beta,
+                    eps: *eps,
+                },
+                LayerKind::Scale { scale, bias } => StepOp::Scale { scale, bias },
+                LayerKind::Lrn {
+                    local_size,
+                    alpha,
+                    beta,
+                    k,
+                } => StepOp::Lrn {
+                    local_size: *local_size,
+                    alpha: *alpha,
+                    beta: *beta,
+                    k: *k,
+                },
+                LayerKind::Eltwise { op } => StepOp::Eltwise(*op),
+                LayerKind::Concat => StepOp::Concat,
+                LayerKind::Softmax => StepOp::Softmax,
+                LayerKind::Upsample { factor } => StepOp::Upsample { factor: *factor },
+                LayerKind::Flatten => StepOp::Flatten,
+                LayerKind::Slice { begin, len } => StepOp::Slice {
+                    begin: *begin,
+                    len: *len,
+                },
+                LayerKind::Dropout { .. } | LayerKind::Identity => StepOp::Forward,
+            };
+            let fp16_round = precision == Precision::Fp16
+                && matches!(
+                    node.kind,
+                    LayerKind::Pool { .. }
+                        | LayerKind::GlobalPool { .. }
+                        | LayerKind::Act(_)
+                        | LayerKind::BatchNorm { .. }
+                        | LayerKind::Scale { .. }
+                        | LayerKind::Lrn { .. }
+                        | LayerKind::Eltwise { .. }
+                );
+            let move_input = matches!(op, StepOp::Forward | StepOp::Flatten)
+                && liveness.dies_at(node.inputs[0], node.id);
+            steps.push(Step {
+                node: node.id,
+                inputs: &node.inputs,
+                op,
+                fp16_round,
+                scrub: tainted[node.id],
+                move_input,
+                free_after: liveness.dead_after(node.id).to_vec(),
+            });
+        }
+
+        Ok(Self {
+            engine,
+            steps,
+            slot_of: slots.slot_of,
+            slot_count: slots.slot_count,
+            stats,
+        })
+    }
+
+    /// The engine this plan executes.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// Number of execution steps (compute and structural nodes).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Static activation-memory footprint: peak live bytes under
+    /// liveness-driven reuse vs the keep-everything total, and the slot
+    /// count backing the arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Runs the plan on one input, bit-identical to
+    /// [`crate::runtime::ExecutionContext::infer_unplanned`].
+    ///
+    /// `scratch` carries the value slots and buffer arena between calls;
+    /// reusing one across a batch serves every allocation of the steady
+    /// state from recycled buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Execution`] on input shape mismatch.
+    pub fn execute(
+        &self,
+        input: &Tensor,
+        scratch: &mut PlanScratch,
+    ) -> Result<Vec<Tensor>, EngineError> {
+        let graph = self.engine.graph();
+        if input.shape() != graph.input_shape() {
+            return Err(EngineError::Execution(IrError::ShapeMismatch {
+                node: "input".into(),
+                detail: format!(
+                    "expected {:?}, got {:?}",
+                    graph.input_shape(),
+                    input.shape()
+                ),
+            }));
+        }
+        // A non-finite input defeats the static taint analysis (NaN can then
+        // appear anywhere); scrub every step like the interpreter does. The
+        // prepared kernels make the matching dense-fallback choice.
+        let scrub_all = input.as_slice().iter().any(|v| !v.is_finite());
+
+        let PlanScratch { slots, arena } = scratch;
+        if slots.len() < self.slot_count {
+            slots.resize_with(self.slot_count, || None);
+        }
+        slots[self.slot_of[Graph::INPUT]] = Some(arena.alloc_copy(input));
+
+        for step in &self.steps {
+            let read = |i: usize| -> &Tensor {
+                slots[self.slot_of[step.inputs[i]]]
+                    .as_ref()
+                    .expect("producer computed")
+            };
+            let mut out = match &step.op {
+                StepOp::Conv { params, prepared } => prepared.run(params, read(0), arena),
+                StepOp::Fc {
+                    prepared,
+                    activation,
+                } => prepared.run(read(0), *activation, arena),
+                StepOp::Pool {
+                    kind,
+                    kernel,
+                    stride,
+                    pad,
+                } => ops::pool2d(read(0), *kind, *kernel, *stride, *pad),
+                StepOp::GlobalPool { kind } => ops::global_pool(read(0), *kind),
+                StepOp::Act(a) => ops::activate(read(0), *a),
+                StepOp::BatchNorm {
+                    mean,
+                    var,
+                    gamma,
+                    beta,
+                    eps,
+                } => ops::batch_norm(read(0), mean, var, gamma, beta, *eps),
+                StepOp::Scale { scale, bias } => ops::scale(read(0), scale, bias),
+                StepOp::Lrn {
+                    local_size,
+                    alpha,
+                    beta,
+                    k,
+                } => ops::lrn(read(0), *local_size, *alpha, *beta, *k),
+                StepOp::Eltwise(op) => {
+                    let ins: Vec<&Tensor> = (0..step.inputs.len()).map(read).collect();
+                    ops::eltwise(&ins, *op)
+                }
+                StepOp::Concat => {
+                    let ins: Vec<&Tensor> = (0..step.inputs.len()).map(read).collect();
+                    ops::concat(&ins)
+                }
+                StepOp::Softmax => ops::softmax(read(0)),
+                StepOp::Upsample { factor } => ops::upsample(read(0), *factor),
+                StepOp::Slice { begin, len } => ops::slice_channels(read(0), *begin, *len),
+                StepOp::Flatten => self.forward(step, slots, arena).into_flat(),
+                StepOp::Forward => self.forward(step, slots, arena),
+            };
+            if step.fp16_round {
+                apply_precision(&mut out, Precision::Fp16);
+            }
+            debug_assert_eq!(out.shape(), self.engine.shapes()[step.node]);
+            if step.scrub || scrub_all {
+                // Keep NaN out of downstream argmaxes if an fp16 overflowed.
+                if out.as_slice().iter().any(|v| v.is_nan()) {
+                    out.map_inplace(|v| if v.is_nan() { 0.0 } else { v });
+                }
+            } else {
+                debug_assert!(
+                    !out.as_slice().iter().any(|v| v.is_nan()),
+                    "pure-FP32 step {} produced NaN",
+                    step.node
+                );
+            }
+            let slot = self.slot_of[step.node];
+            debug_assert!(
+                slots[slot].is_none(),
+                "slot still owned at step {}",
+                step.node
+            );
+            slots[slot] = Some(out);
+            for &dead in &step.free_after {
+                if let Some(t) = slots[self.slot_of[dead]].take() {
+                    arena.release(t);
+                }
+            }
+        }
+
+        let outputs = graph
+            .outputs()
+            .iter()
+            .map(|&id| slots[self.slot_of[id]].take().expect("output computed"))
+            .collect();
+        // Anything still parked (e.g. an input no step consumed) recycles.
+        for slot in slots.iter_mut() {
+            if let Some(t) = slot.take() {
+                arena.release(t);
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Zero-copy forward for Identity/Dropout/Flatten: moves the input
+    /// tensor when it dies at this step, copies through the arena otherwise.
+    fn forward(
+        &self,
+        step: &Step<'e>,
+        slots: &mut [Option<Tensor>],
+        arena: &mut TensorArena,
+    ) -> Tensor {
+        let slot = self.slot_of[step.inputs[0]];
+        if step.move_input {
+            slots[slot].take().expect("producer computed")
+        } else {
+            arena.alloc_copy(slots[slot].as_ref().expect("producer computed"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::BuilderConfig;
+    use crate::runtime::ExecutionContext;
+    use trtsim_gpu::device::DeviceSpec;
+    use trtsim_util::rng::Pcg32;
+
+    fn deep_chain(depth: usize) -> Graph {
+        let mut g = Graph::new("chain", [3, 16, 16]);
+        let mut prev = Graph::INPUT;
+        for d in 0..depth {
+            let ic = if d == 0 { 3 } else { 8 };
+            prev = g.add_layer(
+                format!("c{d}"),
+                LayerKind::conv_seeded(8, ic, 3, 1, 1, d as u64),
+                &[prev],
+            );
+        }
+        g.mark_output(prev);
+        g
+    }
+
+    fn rich_net() -> Graph {
+        let mut g = Graph::new("rich", [3, 16, 16]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(8, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
+        let p = g.add_layer(
+            "p",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
+        let a = g.add_layer("a", LayerKind::conv_seeded(8, 8, 3, 1, 1, 1), &[p]);
+        let b = g.add_layer("b", LayerKind::conv_seeded(8, 8, 3, 1, 1, 2), &[p]);
+        let e = g.add_layer("e", LayerKind::Eltwise { op: EltwiseOp::Sum }, &[a, b]);
+        let drop = g.add_layer("d", LayerKind::Dropout { rate: 0.5 }, &[e]);
+        let gp = g.add_layer(
+            "gp",
+            LayerKind::GlobalPool {
+                kind: PoolKind::Avg,
+            },
+            &[drop],
+        );
+        let flat = g.add_layer("flat", LayerKind::Flatten, &[gp]);
+        let fc = g.add_layer("fc", LayerKind::fc_seeded(10, 8, 3), &[flat]);
+        let sm = g.add_layer("sm", LayerKind::Softmax, &[fc]);
+        g.mark_output(sm);
+        g
+    }
+
+    fn build(graph: &Graph, seed: u64) -> Engine {
+        Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default().with_build_seed(seed),
+        )
+        .build(graph)
+        .unwrap()
+    }
+
+    fn random_input(shape: [usize; 3], seed: u64) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Tensor::from_fn(shape, |_, _, _| rng.normal() as f32)
+    }
+
+    fn assert_bit_identical(engine: &Engine, input: &Tensor) {
+        let ctx = ExecutionContext::new(engine, DeviceSpec::xavier_nx());
+        let want = ctx.infer_unplanned(input).unwrap();
+        let plan = InferencePlan::compile(engine).unwrap();
+        let mut scratch = PlanScratch::new();
+        for pass in 0..2 {
+            let got = plan.execute(input, &mut scratch).unwrap();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g, w, "plan output differs on pass {pass}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_matches_interpreter_on_rich_graph() {
+        let engine = build(&rich_net(), 3);
+        assert_bit_identical(&engine, &random_input([3, 16, 16], 11));
+    }
+
+    #[test]
+    fn plan_matches_interpreter_on_deep_chain() {
+        let engine = build(&deep_chain(6), 4);
+        assert_bit_identical(&engine, &random_input([3, 16, 16], 12));
+    }
+
+    #[test]
+    fn plan_matches_interpreter_on_non_finite_input() {
+        let engine = build(&rich_net(), 5);
+        let mut input = random_input([3, 16, 16], 13);
+        *input.at_mut(1, 3, 3) = f32::NAN;
+        *input.at_mut(2, 8, 8) = f32::INFINITY;
+        let ctx = ExecutionContext::new(&engine, DeviceSpec::xavier_nx());
+        let want = ctx.infer_unplanned(&input).unwrap();
+        let plan = InferencePlan::compile(&engine).unwrap();
+        let got = plan.execute(&input, &mut PlanScratch::new()).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g, w);
+        }
+    }
+
+    #[test]
+    fn plan_rejects_wrong_input_shape() {
+        let engine = build(&rich_net(), 6);
+        let plan = InferencePlan::compile(&engine).unwrap();
+        assert!(plan
+            .execute(&Tensor::zeros([3, 8, 8]), &mut PlanScratch::new())
+            .is_err());
+    }
+
+    #[test]
+    fn deep_chain_arena_peak_is_far_below_total() {
+        let engine = build(&deep_chain(10), 7);
+        let plan = InferencePlan::compile(&engine).unwrap();
+        let stats = plan.arena_stats();
+        assert!(stats.peak_live_bytes < stats.total_activation_bytes);
+        assert!(
+            stats.utilization() <= 0.5,
+            "deep chain should reuse buffers: {}",
+            stats.utilization()
+        );
+        assert!(stats.slot_count <= 3, "{}", stats.slot_count);
+    }
+
+    #[test]
+    fn steady_state_recycles_buffers() {
+        let engine = build(&deep_chain(6), 8);
+        let plan = InferencePlan::compile(&engine).unwrap();
+        let mut scratch = PlanScratch::new();
+        let input = random_input([3, 16, 16], 14);
+        plan.execute(&input, &mut scratch).unwrap();
+        let fresh_after_warmup = scratch.arena().fresh_allocs();
+        let recycled_before = scratch.arena().recycled_allocs();
+        plan.execute(&input, &mut scratch).unwrap();
+        assert!(
+            scratch.arena().recycled_allocs() > recycled_before,
+            "second pass should hit the arena"
+        );
+        // The conv slots all recycle; only non-arena ops may allocate fresh.
+        assert!(
+            scratch.arena().fresh_allocs() <= fresh_after_warmup + 1,
+            "{} fresh allocs after warmup",
+            scratch.arena().fresh_allocs()
+        );
+    }
+
+    #[test]
+    fn forwarding_moves_instead_of_cloning() {
+        // Dropout/Flatten survive only with optimization passes disabled.
+        let mut g = Graph::new("fwd", [4, 8, 8]);
+        let c = g.add_layer(
+            "c",
+            LayerKind::conv_seeded(4, 4, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
+        let d = g.add_layer("d", LayerKind::Dropout { rate: 0.5 }, &[c]);
+        let f = g.add_layer("f", LayerKind::Flatten, &[d]);
+        g.mark_output(f);
+        let engine = Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default()
+                .with_build_seed(9)
+                .without_graph_passes(),
+        )
+        .build(&g)
+        .unwrap();
+        let plan = InferencePlan::compile(&engine).unwrap();
+        let forwards = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s.op, StepOp::Forward | StepOp::Flatten))
+            .count();
+        let moved = plan.steps.iter().filter(|s| s.move_input).count();
+        assert!(forwards >= 2, "expected surviving forward steps");
+        assert_eq!(moved, forwards, "single-consumer forwards should move");
+        let ctx = ExecutionContext::new(&engine, DeviceSpec::xavier_nx());
+        let input = random_input([4, 8, 8], 15);
+        assert_eq!(
+            plan.execute(&input, &mut PlanScratch::new()).unwrap(),
+            ctx.infer_unplanned(&input).unwrap()
+        );
+    }
+}

@@ -52,6 +52,7 @@ pub mod compress;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fastpath;
 pub mod passes;
 pub mod plan;
 pub mod runtime;
@@ -60,8 +61,9 @@ pub mod timing_cache;
 
 pub use builder::Builder;
 pub use config::BuilderConfig;
-pub use engine::{Engine, ExecUnit};
+pub use engine::{Engine, ExecUnit, IoBytes};
 pub use error::EngineError;
+pub use fastpath::{InferencePlan, PlanScratch};
 pub use runtime::{ExecutionContext, TimingOptions};
 pub use serving::{
     serve, InferenceServer, KernelTime, ProfileOptions, RequestRecord, ServerConfig, ServerStats,

@@ -18,7 +18,7 @@ use trtsim_kernels::tactic::{AccumOrder, Tactic, TacticFamily};
 use trtsim_util::f16::QuantParams;
 
 use crate::autotune::Choice;
-use crate::engine::{BuildReport, Engine, ExecUnit};
+use crate::engine::{BuildReport, Engine, ExecUnit, IoBytes};
 use crate::error::EngineError;
 use crate::passes::PassReport;
 
@@ -141,6 +141,7 @@ pub fn deserialize(data: &[u8]) -> Result<Engine, EngineError> {
         .map_err(|e| malformed(format!("invalid graph in plan: {e}")))?;
     Ok(Engine {
         name,
+        io: IoBytes::of(&graph, &shapes),
         graph,
         shapes,
         units,

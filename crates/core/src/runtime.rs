@@ -5,12 +5,17 @@
 //! * run real numerics ([`ExecutionContext::infer`]) — convolutions and FC
 //!   layers execute under their selected tactic's precision and accumulation
 //!   order, so two engines with different tactic sets can (rarely) emit
-//!   different labels for the same image;
+//!   different labels for the same image. Single-image and batch inference
+//!   run through a lazily-compiled [`InferencePlan`] (bit-identical to the
+//!   reference interpreter, [`ExecutionContext::infer_unplanned`]);
 //! * enqueue simulated work on a [`GpuTimeline`]
 //!   ([`ExecutionContext::enqueue_inference`]) for latency/throughput
 //!   studies, including the per-run engine upload the paper's harness
 //!   performs (its Table X separates that memcpy out);
 //! * summarize itself as an [`EngineProfile`] for the concurrency model.
+
+use std::borrow::Borrow;
+use std::sync::OnceLock;
 
 use trtsim_gpu::contention::EngineProfile;
 use trtsim_gpu::device::DeviceSpec;
@@ -21,10 +26,12 @@ use trtsim_ir::graph::{Graph, LayerKind};
 use trtsim_ir::ops;
 use trtsim_ir::tensor::Tensor;
 use trtsim_kernels::numeric::{apply_precision, conv_forward, fc_forward};
+use trtsim_util::pool::map_indexed;
 use trtsim_util::rng::Pcg32;
 
 use crate::engine::Engine;
 use crate::error::EngineError;
+use crate::fastpath::{InferencePlan, PlanScratch};
 
 /// cuDNN workspace each kernel reserves in an execution context (calibrated
 /// against the thread counts of the paper's Figures 3/4).
@@ -85,6 +92,7 @@ impl TimingOptions {
 pub struct ExecutionContext<'e> {
     engine: &'e Engine,
     device: DeviceSpec,
+    plan: OnceLock<InferencePlan<'e>>,
 }
 
 impl<'e> ExecutionContext<'e> {
@@ -92,7 +100,29 @@ impl<'e> ExecutionContext<'e> {
     /// platform than it was built for is allowed — exactly what the paper's
     /// cNX_rAGX / cAGX_rNX experiments do.
     pub fn new(engine: &'e Engine, device: DeviceSpec) -> Self {
-        Self { engine, device }
+        Self {
+            engine,
+            device,
+            plan: OnceLock::new(),
+        }
+    }
+
+    /// The context's precompiled execution plan, compiled on first use and
+    /// cached for the context's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Execution`] if the engine holds
+    /// descriptor-scale weights too large to materialize.
+    pub fn plan(&self) -> Result<&InferencePlan<'e>, EngineError> {
+        if let Some(p) = self.plan.get() {
+            return Ok(p);
+        }
+        let compiled = InferencePlan::compile(self.engine)?;
+        // A racing thread may have set it meanwhile; both compiles are
+        // deterministic and identical, so either one serves.
+        let _ = self.plan.set(compiled);
+        Ok(self.plan.get().expect("plan just set"))
     }
 
     /// The engine.
@@ -107,11 +137,31 @@ impl<'e> ExecutionContext<'e> {
 
     /// Numeric inference under each layer's selected tactic.
     ///
+    /// Runs through the context's cached [`InferencePlan`] — weights
+    /// materialize and lower to their tactic precision once, activations
+    /// come from a liveness-driven arena — and is bit-identical to the
+    /// naive interpreter ([`ExecutionContext::infer_unplanned`]).
+    ///
     /// # Errors
     ///
     /// Returns [`EngineError::Execution`] on shape mismatch or if the engine
     /// holds descriptor-scale weights too large to materialize.
     pub fn infer(&self, input: &Tensor) -> Result<Vec<Tensor>, EngineError> {
+        self.plan()?.execute(input, &mut PlanScratch::new())
+    }
+
+    /// Numeric inference through the reference interpreter: every call
+    /// re-materializes weights, re-rounds them to the tactic precision, and
+    /// allocates every activation fresh.
+    ///
+    /// This is the validation baseline the fast path is checked against
+    /// (proptests and `bench_infer` assert bit-identity); production callers
+    /// want [`ExecutionContext::infer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Execution`] on shape mismatch.
+    pub fn infer_unplanned(&self, input: &Tensor) -> Result<Vec<Tensor>, EngineError> {
         let graph: &Graph = &self.engine.graph;
         if input.shape() != graph.input_shape() {
             return Err(EngineError::Execution(trtsim_ir::IrError::ShapeMismatch {
@@ -231,6 +281,76 @@ impl<'e> ExecutionContext<'e> {
         Ok(out[0].argmax().unwrap_or(0))
     }
 
+    /// Runs the plan over `inputs` on up to `threads` worker threads,
+    /// splitting the batch into contiguous chunks so each worker reuses one
+    /// [`PlanScratch`] across its whole chunk. Results come back in input
+    /// order and are bit-identical to calling `f` sequentially per input.
+    fn run_batch<T, R, F>(&self, inputs: &[T], threads: usize, f: F) -> Result<Vec<R>, EngineError>
+    where
+        T: Borrow<Tensor> + Sync,
+        R: Send,
+        F: Fn(&InferencePlan<'e>, &mut PlanScratch, &Tensor) -> Result<R, EngineError> + Sync,
+    {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plan = self.plan()?;
+        let workers = threads.max(1).min(inputs.len());
+        let chunk = inputs.len().div_ceil(workers);
+        let chunks = map_indexed(workers, workers, |w| {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(inputs.len());
+            let mut scratch = PlanScratch::new();
+            inputs[start..end]
+                .iter()
+                .map(|t| f(plan, &mut scratch, t.borrow()))
+                .collect::<Result<Vec<R>, EngineError>>()
+        });
+        let mut out = Vec::with_capacity(inputs.len());
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+
+    /// [`ExecutionContext::infer`] over a batch, fanned out across up to
+    /// `threads` worker threads (`1` runs inline). Output order matches
+    /// input order and every tensor is bit-identical to the sequential
+    /// single-image loop — workers share nothing but the read-only plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ExecutionContext::infer`] error in input order.
+    pub fn infer_batch<T>(
+        &self,
+        inputs: &[T],
+        threads: usize,
+    ) -> Result<Vec<Vec<Tensor>>, EngineError>
+    where
+        T: Borrow<Tensor> + Sync,
+    {
+        self.run_batch(inputs, threads, |plan, scratch, input| {
+            plan.execute(input, scratch)
+        })
+    }
+
+    /// [`ExecutionContext::classify`] over a batch, fanned out across up to
+    /// `threads` worker threads. Labels come back in input order,
+    /// bit-identical to the sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ExecutionContext::infer`] error in input order.
+    pub fn classify_batch<T>(&self, inputs: &[T], threads: usize) -> Result<Vec<usize>, EngineError>
+    where
+        T: Borrow<Tensor> + Sync,
+    {
+        self.run_batch(inputs, threads, |plan, scratch, input| {
+            let out = plan.execute(input, scratch)?;
+            Ok(out[0].argmax().unwrap_or(0))
+        })
+    }
+
     /// Uploads the engine to the device (plan-sized H2D copy).
     pub fn upload_engine(&self, timeline: &mut GpuTimeline, stream: StreamId) -> f64 {
         timeline.enqueue_h2d(stream, self.engine.plan_size_bytes())
@@ -262,25 +382,14 @@ impl<'e> ExecutionContext<'e> {
         batch: usize,
     ) -> f64 {
         let batch = batch.max(1) as u64;
-        let in_shape = self.engine.graph.input_shape();
-        let frame_bytes = (in_shape[0] * in_shape[1] * in_shape[2]) as u64 * 4;
-        timeline.enqueue_h2d(stream, frame_bytes * batch);
+        let io = self.engine.io_bytes();
+        timeline.enqueue_h2d(stream, io.input_bytes * batch);
         for unit in &self.engine.units {
             if let Some(choice) = &unit.choice {
                 timeline.enqueue_batched_kernel(stream, &choice.kernel, batch);
             }
         }
-        let out_bytes: u64 = self
-            .engine
-            .graph
-            .outputs()
-            .iter()
-            .map(|&id| {
-                let s = self.engine.shapes[id];
-                (s[0] * s[1] * s[2]) as u64 * 4
-            })
-            .sum();
-        timeline.enqueue_d2h(stream, (out_bytes * batch).max(4));
+        timeline.enqueue_d2h(stream, (io.output_bytes * batch).max(4));
         timeline.host_span(stream, "host_glue", opts.host_glue_us)
     }
 
@@ -461,6 +570,37 @@ mod tests {
         assert!(p.dram_bytes > 0);
         assert!(p.weight_bytes > 0);
         assert!(p.activation_bytes > (48 << 20));
+    }
+
+    #[test]
+    fn planned_infer_matches_interpreter_bit_for_bit() {
+        let e = engine(9);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        let mut rng = Pcg32::seed_from_u64(17);
+        for _ in 0..4 {
+            let input = Tensor::from_fn([3, 16, 16], |_, _, _| rng.normal() as f32);
+            assert_eq!(
+                ctx.infer(&input).unwrap(),
+                ctx.infer_unplanned(&input).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_apis_match_sequential_loop_at_any_thread_count() {
+        let e = engine(10);
+        let ctx = ExecutionContext::new(&e, DeviceSpec::xavier_nx());
+        let mut rng = Pcg32::seed_from_u64(21);
+        let inputs: Vec<Tensor> = (0..7)
+            .map(|_| Tensor::from_fn([3, 16, 16], |_, _, _| rng.normal() as f32))
+            .collect();
+        let want_outs: Vec<Vec<Tensor>> = inputs.iter().map(|t| ctx.infer(t).unwrap()).collect();
+        let want_labels: Vec<usize> = inputs.iter().map(|t| ctx.classify(t).unwrap()).collect();
+        for threads in [1, 2, 3, 16] {
+            assert_eq!(ctx.infer_batch(&inputs, threads).unwrap(), want_outs);
+            assert_eq!(ctx.classify_batch(&inputs, threads).unwrap(), want_labels);
+        }
+        assert!(ctx.infer_batch::<Tensor>(&[], 4).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! A recycling allocator for activation tensors.
+//!
+//! Liveness-driven executors free each activation after its last use; this
+//! arena keeps those freed buffers in size-keyed pools so the next
+//! allocation of the same element count reuses the memory instead of hitting
+//! the system allocator. Over a batch of images the steady state allocates
+//! nothing: every tensor of every step is served from the pool filled by the
+//! previous image.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Size-keyed free-list of tensor buffers.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_ir::arena::TensorArena;
+///
+/// let mut arena = TensorArena::new();
+/// let t = arena.alloc_zeroed([2, 3, 3]);
+/// arena.release(t);
+/// let _reused = arena.alloc_zeroed([2, 3, 3]); // same 18-element buffer
+/// assert_eq!(arena.recycled_allocs(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TensorArena {
+    /// Freed buffers by element count.
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    retained_bytes: u64,
+    peak_retained_bytes: u64,
+    fresh_allocs: u64,
+    recycled_allocs: u64,
+}
+
+impl TensorArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zero-filled tensor, recycling a freed buffer of the same element
+    /// count when one is available.
+    pub fn alloc_zeroed(&mut self, shape: [usize; 3]) -> Tensor {
+        let len = shape[0] * shape[1] * shape[2];
+        let mut data = self.take_buffer(len);
+        data.iter_mut().for_each(|v| *v = 0.0);
+        Tensor::from_vec(shape, data)
+    }
+
+    /// A tensor holding a copy of `src`, recycling a freed buffer when
+    /// possible.
+    pub fn alloc_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut data = self.take_buffer(src.len());
+        data.copy_from_slice(src.as_slice());
+        Tensor::from_vec(src.shape(), data)
+    }
+
+    /// A raw `len`-element scratch buffer (contents unspecified), recycled
+    /// when possible. Pair with [`TensorArena::give_buffer`].
+    pub fn take_buffer(&mut self, len: usize) -> Vec<f32> {
+        match self.free.get_mut(&len).and_then(Vec::pop) {
+            Some(buffer) => {
+                self.recycled_allocs += 1;
+                self.retained_bytes -= len as u64 * 4;
+                buffer
+            }
+            None => {
+                self.fresh_allocs += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Returns a scratch buffer to the pool.
+    pub fn give_buffer(&mut self, buffer: Vec<f32>) {
+        let len = buffer.len();
+        if len == 0 {
+            return;
+        }
+        self.retained_bytes += len as u64 * 4;
+        self.peak_retained_bytes = self.peak_retained_bytes.max(self.retained_bytes);
+        self.free.entry(len).or_default().push(buffer);
+    }
+
+    /// Releases a dead tensor's buffer into the pool.
+    pub fn release(&mut self, tensor: Tensor) {
+        self.give_buffer(tensor.into_vec());
+    }
+
+    /// Allocations served fresh from the system allocator.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Allocations served by recycling a freed buffer.
+    pub fn recycled_allocs(&self) -> u64 {
+        self.recycled_allocs
+    }
+
+    /// Bytes currently parked in the free pool.
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_bytes
+    }
+
+    /// High-water mark of [`TensorArena::retained_bytes`].
+    pub fn peak_retained_bytes(&self) -> u64 {
+        self.peak_retained_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_same_size_buffers() {
+        let mut arena = TensorArena::new();
+        let a = arena.alloc_zeroed([4, 2, 2]);
+        arena.release(a);
+        assert_eq!(arena.retained_bytes(), 64);
+        let b = arena.alloc_zeroed([1, 4, 4]); // same 16 elements, new shape
+        assert_eq!(b.shape(), [1, 4, 4]);
+        assert_eq!(arena.fresh_allocs(), 1);
+        assert_eq!(arena.recycled_allocs(), 1);
+        assert_eq!(arena.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn recycled_buffers_are_zeroed() {
+        let mut arena = TensorArena::new();
+        let mut a = arena.alloc_zeroed([1, 2, 2]);
+        a.map_inplace(|_| 7.5);
+        arena.release(a);
+        let b = arena.alloc_zeroed([1, 2, 2]);
+        assert!(b.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn different_sizes_do_not_alias() {
+        let mut arena = TensorArena::new();
+        let a = arena.alloc_zeroed([1, 2, 2]);
+        arena.release(a);
+        let _b = arena.alloc_zeroed([1, 3, 3]);
+        assert_eq!(arena.fresh_allocs(), 2);
+        assert_eq!(arena.recycled_allocs(), 0);
+    }
+
+    #[test]
+    fn alloc_copy_copies() {
+        let mut arena = TensorArena::new();
+        let src = Tensor::from_vec([1, 1, 3], vec![1.0, 2.0, 3.0]);
+        let dup = arena.alloc_copy(&src);
+        assert_eq!(dup, src);
+    }
+}

@@ -6,11 +6,18 @@
 //! reduced precision. Its outputs define ground-truth semantics for the
 //! optimized engine.
 
+use std::borrow::Cow;
+
 use crate::error::IrError;
 use crate::graph::{Graph, LayerKind, NodeId};
+use crate::liveness::Liveness;
 use crate::ops;
 use crate::tensor::Tensor;
 use crate::weights::{Weights, MATERIALIZE_LIMIT};
+
+/// Materialized `(weights, bias)` for one Conv/InnerProduct layer. Dense
+/// weights borrow the graph's blob; seeded weights are generated once.
+type PreparedWeights<'g> = (Cow<'g, [f32]>, Vec<f32>);
 
 /// Executes a validated graph in FP32, one layer at a time.
 ///
@@ -32,10 +39,16 @@ use crate::weights::{Weights, MATERIALIZE_LIMIT};
 pub struct ReferenceExecutor<'g> {
     graph: &'g Graph,
     shapes: Vec<[usize; 3]>,
+    liveness: Liveness,
+    /// Per node: materialized weights for Conv/InnerProduct layers, hoisted
+    /// out of the per-image loop.
+    prepared: Vec<Option<PreparedWeights<'g>>>,
 }
 
 impl<'g> ReferenceExecutor<'g> {
-    /// Validates the graph and prepares shape information.
+    /// Validates the graph, prepares shape information, and materializes all
+    /// layer weights once so repeated [`ReferenceExecutor::run`] calls pay no
+    /// per-image weight generation.
     ///
     /// # Errors
     ///
@@ -61,7 +74,23 @@ impl<'g> ReferenceExecutor<'g> {
                 });
             }
         }
-        Ok(Self { graph, shapes })
+        let prepared = graph
+            .nodes()
+            .iter()
+            .map(|node| match &node.kind {
+                LayerKind::Conv(c) => Some((c.weights.materialize(), materialize_bias(&c.bias))),
+                LayerKind::InnerProduct { weights, bias, .. } => {
+                    Some((weights.materialize(), materialize_bias(bias)))
+                }
+                _ => None,
+            })
+            .collect();
+        Ok(Self {
+            graph,
+            shapes,
+            liveness: Liveness::analyze(graph),
+            prepared,
+        })
     }
 
     /// The graph being executed.
@@ -74,15 +103,33 @@ impl<'g> ReferenceExecutor<'g> {
         &self.shapes
     }
 
+    /// The liveness analysis of the graph (last use per value).
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
     /// Runs the network on one input image, returning the marked outputs in
     /// marking order.
+    ///
+    /// Intermediate activations are dropped at their liveness-determined last
+    /// use, so a deep chain holds only the producer/consumer pair in flight
+    /// rather than every layer's output.
     ///
     /// # Errors
     ///
     /// Returns [`IrError::ShapeMismatch`] if the input does not match the
     /// graph's declared input shape.
     pub fn run(&self, input: &Tensor) -> Result<Vec<Tensor>, IrError> {
-        let mut values = self.run_all(input)?;
+        self.check_input(input)?;
+        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
+        values[Graph::INPUT] = Some(input.clone());
+        for node in self.graph.nodes().iter().skip(1) {
+            let out = self.eval_node(node.id, &values)?;
+            values[node.id] = Some(out);
+            for &dead in self.liveness.dead_after(node.id) {
+                values[dead] = None;
+            }
+        }
         Ok(self
             .graph
             .outputs()
@@ -106,7 +153,7 @@ impl<'g> ReferenceExecutor<'g> {
             .collect())
     }
 
-    fn run_all(&self, input: &Tensor) -> Result<Vec<Option<Tensor>>, IrError> {
+    fn check_input(&self, input: &Tensor) -> Result<(), IrError> {
         if input.shape() != self.graph.input_shape() {
             return Err(IrError::ShapeMismatch {
                 node: "input".to_string(),
@@ -117,6 +164,11 @@ impl<'g> ReferenceExecutor<'g> {
                 ),
             });
         }
+        Ok(())
+    }
+
+    fn run_all(&self, input: &Tensor) -> Result<Vec<Option<Tensor>>, IrError> {
+        self.check_input(input)?;
         let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
         values[Graph::INPUT] = Some(input.clone());
         for node in self.graph.nodes().iter().skip(1) {
@@ -136,9 +188,8 @@ impl<'g> ReferenceExecutor<'g> {
         let out = match &node.kind {
             LayerKind::Input => unreachable!("input handled by run_all"),
             LayerKind::Conv(c) => {
-                let w = c.weights.materialize();
-                let b = materialize_bias(&c.bias);
-                ops::conv2d(input(0), &w, &b, c)
+                let (w, b) = self.prepared[id].as_ref().expect("conv weights prepared");
+                ops::conv2d(input(0), w, b, c)
             }
             LayerKind::Pool {
                 kind,
@@ -149,14 +200,11 @@ impl<'g> ReferenceExecutor<'g> {
             LayerKind::GlobalPool { kind } => ops::global_pool(input(0), *kind),
             LayerKind::InnerProduct {
                 out_features,
-                weights,
-                bias,
                 activation,
                 ..
             } => {
-                let w = weights.materialize();
-                let b = materialize_bias(bias);
-                ops::inner_product(input(0), &w, &b, *out_features, *activation)
+                let (w, b) = self.prepared[id].as_ref().expect("fc weights prepared");
+                ops::inner_product(input(0), w, b, *out_features, *activation)
             }
             LayerKind::Act(a) => ops::activate(input(0), *a),
             LayerKind::BatchNorm {
@@ -277,6 +325,18 @@ mod tests {
         assert_eq!(trace.len(), g.len());
         for (t, s) in trace.iter().zip(exec.shapes()) {
             assert_eq!(t.shape(), *s);
+        }
+    }
+
+    #[test]
+    fn liveness_driven_run_matches_keep_everything_trace() {
+        let g = small_net();
+        let exec = ReferenceExecutor::new(&g).unwrap();
+        let input = random_input([3, 8, 8], 9);
+        let freed = exec.run(&input).unwrap();
+        let trace = exec.run_trace(&input).unwrap();
+        for (out, &id) in freed.iter().zip(g.outputs()) {
+            assert_eq!(out, &trace[id]);
         }
     }
 

@@ -46,17 +46,21 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod error;
 pub mod exec;
 pub mod flops;
 pub mod graph;
+pub mod liveness;
 pub mod ops;
 pub mod shape;
 pub mod tensor;
 pub mod weights;
 
+pub use arena::TensorArena;
 pub use error::IrError;
 pub use exec::ReferenceExecutor;
 pub use graph::{Activation, Graph, LayerKind, Node, NodeId, PoolKind};
+pub use liveness::Liveness;
 pub use tensor::Tensor;
 pub use weights::Weights;

@@ -1,0 +1,258 @@
+//! Value liveness analysis over a topological graph.
+//!
+//! An interpreter that keeps every node's activation alive until the end of
+//! the pass holds O(graph) tensors at once. Liveness — the last step at which
+//! each value is read — lets an executor free (and recycle) a value's buffer
+//! as soon as its final consumer has run, and lets a planner assign values to
+//! a small set of reusable *slots* the way TensorRT binds activations to a
+//! shared arena. Both [`crate::ReferenceExecutor`] and the engine runtime's
+//! precompiled plan consume this analysis.
+
+use crate::graph::{Graph, NodeId};
+
+/// Sentinel "last use" for values that must outlive the whole pass (graph
+/// outputs).
+const LIVE_FOREVER: usize = usize::MAX;
+
+/// Last-use information for every value of a graph.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_ir::graph::{Graph, LayerKind};
+/// use trtsim_ir::liveness::Liveness;
+///
+/// let mut g = Graph::new("chain", [3, 8, 8]);
+/// let c1 = g.add_layer("c1", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+/// let c2 = g.add_layer("c2", LayerKind::conv_seeded(4, 4, 3, 1, 1, 1), &[c1]);
+/// g.mark_output(c2);
+///
+/// let live = Liveness::analyze(&g);
+/// // c1 dies as soon as c2 has consumed it…
+/// assert_eq!(live.dead_after(c2), &[c1]);
+/// // …while the marked output survives the whole pass.
+/// assert!(live.is_output(c2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Per value: id of the node that reads it last, or [`LIVE_FOREVER`].
+    last_use: Vec<usize>,
+    /// Per step: values whose last use is that step (never contains outputs).
+    dead_after: Vec<Vec<NodeId>>,
+}
+
+impl Liveness {
+    /// Computes last-use steps for every value of `graph`.
+    ///
+    /// A value with no consumers that is not an output "dies" immediately
+    /// after its producing step.
+    pub fn analyze(graph: &Graph) -> Self {
+        let n = graph.len();
+        // A value is born at its own step; reads by later nodes extend it.
+        // Nodes are topological by construction, so `max` is the last reader.
+        let mut last_use: Vec<usize> = (0..n).collect();
+        for node in graph.nodes().iter().skip(1) {
+            for &input in &node.inputs {
+                last_use[input] = last_use[input].max(node.id);
+            }
+        }
+        for &output in graph.outputs() {
+            last_use[output] = LIVE_FOREVER;
+        }
+        let mut dead_after: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (value, &at) in last_use.iter().enumerate() {
+            if at != LIVE_FOREVER {
+                dead_after[at].push(value);
+            }
+        }
+        Self {
+            last_use,
+            dead_after,
+        }
+    }
+
+    /// The step at which `value` is read for the last time (`None` for graph
+    /// outputs, which live to the end of the pass).
+    pub fn last_use(&self, value: NodeId) -> Option<NodeId> {
+        (self.last_use[value] != LIVE_FOREVER).then_some(self.last_use[value])
+    }
+
+    /// Whether `value` is a graph output (never freed).
+    pub fn is_output(&self, value: NodeId) -> bool {
+        self.last_use[value] == LIVE_FOREVER
+    }
+
+    /// Whether `step` is the last reader of `value` — i.e. an executor may
+    /// consume (move out of) the value's buffer while running `step`.
+    pub fn dies_at(&self, value: NodeId, step: NodeId) -> bool {
+        self.last_use[value] == step
+    }
+
+    /// Values whose buffers become dead once `step` has executed, in id
+    /// order. Graph outputs never appear.
+    pub fn dead_after(&self, step: NodeId) -> &[NodeId] {
+        &self.dead_after[step]
+    }
+
+    /// Assigns every value to a reusable slot: a fresh slot is taken when a
+    /// value is produced and returned to the free pool after its last use, so
+    /// two values share a slot only when their live ranges are disjoint.
+    pub fn assign_slots(&self) -> SlotAssignment {
+        let n = self.last_use.len();
+        let mut slot_of = vec![0usize; n];
+        let mut free: Vec<usize> = Vec::new();
+        let mut slot_count = 0usize;
+        for value in 0..n {
+            slot_of[value] = free.pop().unwrap_or_else(|| {
+                slot_count += 1;
+                slot_count - 1
+            });
+            // The slot frees only *after* the producing step completes, so a
+            // step's output can never alias one of its own inputs.
+            for &dead in self.dead_after(value) {
+                free.push(slot_of[dead]);
+            }
+        }
+        SlotAssignment {
+            slot_of,
+            slot_count,
+        }
+    }
+
+    /// Simulates a liveness-driven pass over `shapes` (one per value, f32
+    /// activations) and returns `(peak_live_bytes, total_bytes)`: the largest
+    /// byte footprint of simultaneously-live values vs the sum a keep-
+    /// everything interpreter holds at the end.
+    pub fn activation_footprint(&self, shapes: &[[usize; 3]]) -> (u64, u64) {
+        let bytes = |s: &[usize; 3]| (s[0] * s[1] * s[2]) as u64 * 4;
+        let mut live = 0u64;
+        let mut peak = 0u64;
+        let mut total = 0u64;
+        for (value, shape) in shapes.iter().enumerate() {
+            let b = bytes(shape);
+            total += b;
+            live += b;
+            peak = peak.max(live);
+            for &dead in self.dead_after(value) {
+                live -= bytes(&shapes[dead]);
+            }
+        }
+        (peak, total)
+    }
+}
+
+/// The result of [`Liveness::assign_slots`].
+#[derive(Debug, Clone)]
+pub struct SlotAssignment {
+    /// Slot index of every value.
+    pub slot_of: Vec<usize>,
+    /// Number of distinct slots needed.
+    pub slot_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EltwiseOp, LayerKind};
+
+    fn chain(depth: usize) -> Graph {
+        let mut g = Graph::new("chain", [2, 8, 8]);
+        let mut prev = Graph::INPUT;
+        for d in 0..depth {
+            prev = g.add_layer(
+                format!("c{d}"),
+                LayerKind::conv_seeded(2, 2, 3, 1, 1, d as u64),
+                &[prev],
+            );
+        }
+        g.mark_output(prev);
+        g
+    }
+
+    #[test]
+    fn chain_frees_each_value_at_its_consumer() {
+        let g = chain(5);
+        let live = Liveness::analyze(&g);
+        for id in 0..g.len() - 1 {
+            assert_eq!(live.last_use(id), Some(id + 1));
+            assert_eq!(live.dead_after(id + 1), &[id]);
+        }
+        assert!(live.is_output(g.len() - 1));
+    }
+
+    #[test]
+    fn deep_chain_peak_live_is_far_below_total() {
+        let g = chain(12);
+        let live = Liveness::analyze(&g);
+        let shapes = g.infer_shapes().unwrap();
+        let (peak, total) = live.activation_footprint(&shapes);
+        // Only a producer/consumer pair is ever live: 2 tensors vs 13.
+        assert!(peak < total, "{peak} !< {total}");
+        assert!(
+            peak <= total / 4,
+            "chain should reuse buffers: {peak} vs {total}"
+        );
+    }
+
+    #[test]
+    fn deep_chain_needs_constant_slots() {
+        let g = chain(12);
+        let slots = Liveness::analyze(&g).assign_slots();
+        // input + one in flight + the held output region.
+        assert!(slots.slot_count <= 3, "{}", slots.slot_count);
+        assert_eq!(slots.slot_of.len(), g.len());
+    }
+
+    #[test]
+    fn slots_never_alias_live_values() {
+        // Branchy graph: input feeds two convs, joined by an eltwise sum.
+        let mut g = Graph::new("branch", [2, 8, 8]);
+        let a = g.add_layer(
+            "a",
+            LayerKind::conv_seeded(2, 2, 3, 1, 1, 1),
+            &[Graph::INPUT],
+        );
+        let b = g.add_layer(
+            "b",
+            LayerKind::conv_seeded(2, 2, 3, 1, 1, 2),
+            &[Graph::INPUT],
+        );
+        let s = g.add_layer("s", LayerKind::Eltwise { op: EltwiseOp::Sum }, &[a, b]);
+        g.mark_output(s);
+        let live = Liveness::analyze(&g);
+        let slots = live.assign_slots();
+
+        // Replay the schedule and check the invariant directly.
+        let mut owner: Vec<Option<NodeId>> = vec![None; slots.slot_count];
+        for value in 0..g.len() {
+            let slot = slots.slot_of[value];
+            assert!(
+                owner[slot].is_none(),
+                "slot {slot} still owned by {:?} when {value} is produced",
+                owner[slot]
+            );
+            owner[slot] = Some(value);
+            for &dead in live.dead_after(value) {
+                owner[slots.slot_of[dead]] = None;
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_survive_and_are_never_freed() {
+        let mut g = Graph::new("two-out", [2, 4, 4]);
+        let a = g.add_layer(
+            "a",
+            LayerKind::conv_seeded(2, 2, 3, 1, 1, 1),
+            &[Graph::INPUT],
+        );
+        let b = g.add_layer("b", LayerKind::conv_seeded(2, 2, 3, 1, 1, 2), &[a]);
+        g.mark_output(a);
+        g.mark_output(b);
+        let live = Liveness::analyze(&g);
+        assert!(live.is_output(a) && live.is_output(b));
+        for step in 0..g.len() {
+            assert!(!live.dead_after(step).contains(&a));
+        }
+    }
+}

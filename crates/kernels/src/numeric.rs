@@ -11,8 +11,10 @@
 //! numeric identity across builds is a useful control in tests.
 
 use trtsim_gpu::kernel::Precision;
+use trtsim_ir::arena::TensorArena;
 use trtsim_ir::graph::{Activation, ConvParams};
 use trtsim_ir::tensor::Tensor;
+use trtsim_ir::weights::Weights;
 use trtsim_util::f16::{round_f16, QuantParams};
 
 use crate::tactic::{AccumOrder, Tactic};
@@ -119,6 +121,114 @@ pub fn conv_forward(
     }
 }
 
+/// Geometry of one convolution lowered against a concrete input shape.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    in_shape: [usize; 3],
+    ih: usize,
+    iw: usize,
+    oh: usize,
+    ow: usize,
+    kh: usize,
+    kw: usize,
+    s: usize,
+    ph: isize,
+    pw: isize,
+    cpg_in: usize,
+    cpg_out: usize,
+    out_channels: usize,
+}
+
+impl ConvGeom {
+    fn of(params: &ConvParams, in_shape: [usize; 3]) -> Self {
+        let [ic, ih, iw] = in_shape;
+        assert_eq!(ic, params.in_channels, "conv input channel mismatch");
+        let (kh, kw) = (params.kernel_h, params.kernel_w);
+        let s = params.stride;
+        Self {
+            in_shape,
+            ih,
+            iw,
+            oh: (ih + 2 * params.pad_h - kh) / s + 1,
+            ow: (iw + 2 * params.pad_w - kw) / s + 1,
+            kh,
+            kw,
+            s,
+            ph: params.pad_h as isize,
+            pw: params.pad_w as isize,
+            cpg_in: params.in_channels / params.groups,
+            cpg_out: params.out_channels / params.groups,
+            out_channels: params.out_channels,
+        }
+    }
+}
+
+/// Output-pixel rectangle whose every kernel tap lands in bounds — the
+/// region where precomputed input offsets are valid and no per-tap bounds
+/// check is needed.
+#[derive(Debug, Clone, Copy)]
+struct Interior {
+    oy_lo: usize,
+    oy_hi: usize,
+    ox_lo: usize,
+    ox_hi: usize,
+}
+
+impl Interior {
+    fn of(params: &ConvParams, g: &ConvGeom) -> Self {
+        let lo = |pad: usize, s: usize| pad.div_ceil(s);
+        let hi = |dim: usize, pad: usize, k: usize, s: usize, o: usize| {
+            if dim + pad >= k {
+                ((dim + pad - k) / s + 1).min(o)
+            } else {
+                0
+            }
+        };
+        Self {
+            oy_lo: lo(params.pad_h, g.s),
+            oy_hi: hi(g.ih, params.pad_h, g.kh, g.s, g.oh),
+            ox_lo: lo(params.pad_w, g.s),
+            ox_hi: hi(g.iw, params.pad_w, g.kw, g.s, g.ow),
+        }
+    }
+}
+
+/// Chunk length of a folded FP16 accumulation (`usize::MAX` = never flush).
+fn fold_chunk(accum: AccumOrder) -> usize {
+    match accum {
+        AccumOrder::Chunked(c) => c.max(1) as usize,
+        _ => usize::MAX,
+    }
+}
+
+/// Applies an optional fused activation to one output value.
+#[inline(always)]
+fn apply_act(activation: Option<Activation>, v: f32) -> f32 {
+    match activation {
+        Some(a) => a.apply(v),
+        None => v,
+    }
+}
+
+/// Branch-free round-to-binary16 via the Veltkamp split `round_f16` uses on
+/// its fast path. Only valid where [`fast_f16_ok`] holds — callers must
+/// check the predicate and fall back to [`round_f16`] otherwise.
+#[inline(always)]
+fn veltkamp_f16(v: f32) -> f32 {
+    let c = v * 8193.0;
+    c - (c - v)
+}
+
+/// True when [`veltkamp_f16`] is bit-identical to [`round_f16`]: `v` is ±0
+/// (both are the identity there) or its magnitude lies in the normal-f16
+/// range covered by `round_f16`'s fast path. NaN, infinities, and
+/// subnormal/overflow magnitudes all fail the check.
+#[inline(always)]
+fn fast_f16_ok(v: f32) -> bool {
+    let a = v.abs();
+    (6.103_515_6e-5..=32_768.0).contains(&a) || v == 0.0
+}
+
 fn conv_fp16(
     params: &ConvParams,
     input: &Tensor,
@@ -126,87 +236,142 @@ fn conv_fp16(
     bias: &[f32],
     tactic: &Tactic,
 ) -> Tensor {
-    let [ic, ih, iw] = input.shape();
-    assert_eq!(ic, params.in_channels);
-    let (kh, kw) = (params.kernel_h, params.kernel_w);
-    let s = params.stride;
-    let (ph, pw) = (params.pad_h as isize, params.pad_w as isize);
-    let oh = (ih + 2 * params.pad_h - kh) / s + 1;
-    let ow = (iw + 2 * params.pad_w - kw) / s + 1;
-    let cpg_in = params.in_channels / params.groups;
-    let cpg_out = params.out_channels / params.groups;
-
+    let g = ConvGeom::of(params, input.shape());
     // Round operands onto the binary16 grid once (engine weights and
     // activations are stored as FP16); per-term work is then one product
     // round plus one accumulate round.
     let rx: Vec<f32> = input.as_slice().iter().map(|&v| round_f16(v)).collect();
     let rw: Vec<f32> = weights.iter().map(|&v| round_f16(v)).collect();
+    let mut out = Tensor::zeros([g.out_channels, g.oh, g.ow]);
+    conv_fp16_dense(&g, &rx, &rw, bias, tactic, params.activation, &mut out);
+    out
+}
 
-    let chunk = match tactic.accum {
-        AccumOrder::Chunked(c) => c.max(1) as usize,
-        AccumOrder::Sequential => usize::MAX,
-        AccumOrder::Pairwise => 0, // buffered path below
-    };
+/// The dense FP16 walk over every output pixel, with operands already on the
+/// binary16 grid. Shared by the per-call path ([`conv_fp16`]) and the
+/// prepared fallback paths.
+fn conv_fp16_dense(
+    g: &ConvGeom,
+    rx: &[f32],
+    rw: &[f32],
+    bias: &[f32],
+    tactic: &Tactic,
+    activation: Option<Activation>,
+    out: &mut Tensor,
+) {
+    let chunk = fold_chunk(tactic.accum);
     let mut pairwise = (tactic.accum == AccumOrder::Pairwise).then(|| Reducer::for_tactic(tactic));
     let mut terms: Vec<f32> = Vec::new();
-
-    let mut out = Tensor::zeros([params.out_channels, oh, ow]);
-    for oc in 0..params.out_channels {
-        let group = oc / cpg_out;
+    for oc in 0..g.out_channels {
         let b = bias.get(oc).copied().unwrap_or(0.0);
-        let w_base = oc * cpg_in * kh * kw;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                // FP16 accumulator with an FP32-ish carry at chunk flushes
-                // (split-K semantics; see `Reducer`).
-                let mut carry = 0.0f64;
-                let mut chunk_acc = 0.0f32;
-                let mut in_chunk = 0usize;
-                if pairwise.is_some() {
-                    terms.clear();
-                }
-                for icg in 0..cpg_in {
-                    let c_in = group * cpg_in + icg;
-                    for ky in 0..kh {
-                        let iy = (oy * s) as isize + ky as isize - ph;
-                        if iy < 0 || iy >= ih as isize {
-                            continue;
-                        }
-                        let row = (c_in * ih + iy as usize) * iw;
-                        for kx in 0..kw {
-                            let ix = (ox * s) as isize + kx as isize - pw;
-                            if ix < 0 || ix >= iw as isize {
-                                continue;
-                            }
-                            let product = round_f16(
-                                rx[row + ix as usize] * rw[w_base + (icg * kh + ky) * kw + kx],
-                            );
-                            if pairwise.is_some() {
-                                terms.push(product);
-                            } else {
-                                chunk_acc = round_f16(chunk_acc + product);
-                                in_chunk += 1;
-                                if in_chunk == chunk {
-                                    carry += f64::from(chunk_acc);
-                                    chunk_acc = 0.0;
-                                    in_chunk = 0;
-                                }
-                            }
-                        }
+        for oy in 0..g.oh {
+            for ox in 0..g.ow {
+                let sum = match &mut pairwise {
+                    Some(reducer) => {
+                        fp16_pixel_pairwise(rx, rw, g, oc, oy, ox, reducer, &mut terms)
                     }
-                }
-                let acc = match &mut pairwise {
-                    Some(reducer) => reducer.reduce(&terms) + b,
-                    None => (carry + f64::from(chunk_acc)) as f32 + b,
+                    None => fp16_pixel_folded(rx, rw, g, oc, oy, ox, chunk, false),
                 };
-                *out.at_mut(oc, oy, ox) = match params.activation {
+                let acc = sum + b;
+                *out.at_mut(oc, oy, ox) = match activation {
                     Some(a) => a.apply(acc),
                     None => acc,
                 };
             }
         }
     }
-    out
+}
+
+/// One output pixel under folded (sequential/chunked) FP16 accumulation:
+/// an FP16 accumulator with an FP32-ish carry at chunk flushes (split-K
+/// semantics; see [`Reducer`]). Returns the pre-bias sum.
+///
+/// With `skip_zeros`, products against exactly-zero weights or exactly-zero
+/// activations are elided; they still advance the split-K chunk position, so
+/// flush boundaries land exactly where the dense walk puts them. Callers
+/// must guarantee all `rx` values are finite (0·∞ would be NaN in the dense
+/// walk).
+#[allow(clippy::too_many_arguments)]
+fn fp16_pixel_folded(
+    rx: &[f32],
+    rw: &[f32],
+    g: &ConvGeom,
+    oc: usize,
+    oy: usize,
+    ox: usize,
+    chunk: usize,
+    skip_zeros: bool,
+) -> f32 {
+    let group = oc / g.cpg_out;
+    let w_base = oc * g.cpg_in * g.kh * g.kw;
+    let mut carry = 0.0f64;
+    let mut chunk_acc = 0.0f32;
+    let mut in_chunk = 0usize;
+    for icg in 0..g.cpg_in {
+        let c_in = group * g.cpg_in + icg;
+        for ky in 0..g.kh {
+            let iy = (oy * g.s) as isize + ky as isize - g.ph;
+            if iy < 0 || iy >= g.ih as isize {
+                continue;
+            }
+            let row = (c_in * g.ih + iy as usize) * g.iw;
+            for kx in 0..g.kw {
+                let ix = (ox * g.s) as isize + kx as isize - g.pw;
+                if ix < 0 || ix >= g.iw as isize {
+                    continue;
+                }
+                let w = rw[w_base + (icg * g.kh + ky) * g.kw + kx];
+                if !(skip_zeros && (w == 0.0 || rx[row + ix as usize] == 0.0)) {
+                    chunk_acc = round_f16(chunk_acc + round_f16(rx[row + ix as usize] * w));
+                }
+                in_chunk += 1;
+                if in_chunk == chunk {
+                    carry += f64::from(chunk_acc);
+                    chunk_acc = 0.0;
+                    in_chunk = 0;
+                }
+            }
+        }
+    }
+    (carry + f64::from(chunk_acc)) as f32
+}
+
+/// One output pixel under pairwise FP16 reduction (tree shape depends on
+/// the term count, so no term may be elided). Returns the pre-bias sum.
+#[allow(clippy::too_many_arguments)]
+fn fp16_pixel_pairwise(
+    rx: &[f32],
+    rw: &[f32],
+    g: &ConvGeom,
+    oc: usize,
+    oy: usize,
+    ox: usize,
+    reducer: &mut Reducer,
+    terms: &mut Vec<f32>,
+) -> f32 {
+    let group = oc / g.cpg_out;
+    let w_base = oc * g.cpg_in * g.kh * g.kw;
+    terms.clear();
+    for icg in 0..g.cpg_in {
+        let c_in = group * g.cpg_in + icg;
+        for ky in 0..g.kh {
+            let iy = (oy * g.s) as isize + ky as isize - g.ph;
+            if iy < 0 || iy >= g.ih as isize {
+                continue;
+            }
+            let row = (c_in * g.ih + iy as usize) * g.iw;
+            for kx in 0..g.kw {
+                let ix = (ox * g.s) as isize + kx as isize - g.pw;
+                if ix < 0 || ix >= g.iw as isize {
+                    continue;
+                }
+                terms.push(round_f16(
+                    rx[row + ix as usize] * rw[w_base + (icg * g.kh + ky) * g.kw + kx],
+                ));
+            }
+        }
+    }
+    reducer.reduce(terms)
 }
 
 fn conv_int8(
@@ -333,6 +498,647 @@ pub fn apply_precision(tensor: &mut Tensor, precision: Precision) {
             let q = QuantParams::calibrate(tensor.as_slice());
             tensor.map_inplace(|x| q.round_trip(x));
         }
+    }
+}
+
+/// One live (nonzero-weight) tap of a prepared convolution kernel.
+#[derive(Debug, Clone, Copy)]
+struct SparseEntry<W> {
+    /// Input offset from `(oy·s)·iw + ox·s` — valid only for interior
+    /// output pixels, where every tap is in bounds.
+    delta: isize,
+    /// Absolute input channel (for bounds-checked border evaluation).
+    c_in: usize,
+    /// Tap offsets relative to the window origin, padding applied.
+    dy: isize,
+    dx: isize,
+    /// FP16 split-K: a chunk boundary falls between the previous live term
+    /// and this one (counting the elided zeros), so the FP16 accumulator
+    /// must flush into the carry before this term.
+    flush_before: bool,
+    w: W,
+}
+
+/// Extracts the nonzero taps of every output channel, in the exact order
+/// the dense walk visits them, with statically-resolved split-K flush
+/// points.
+fn build_sparse<W: Copy>(
+    g: &ConvGeom,
+    dense: &[W],
+    chunk: usize,
+    is_zero: impl Fn(W) -> bool,
+) -> Vec<Vec<SparseEntry<W>>> {
+    (0..g.out_channels)
+        .map(|oc| {
+            let group = oc / g.cpg_out;
+            let w_base = oc * g.cpg_in * g.kh * g.kw;
+            let mut entries = Vec::new();
+            // Ordinal of the current / previous-live tap among the window's
+            // terms (interior pixels see every tap, so ordinals are static).
+            let mut pos = 0usize;
+            let mut last_live = 0usize;
+            for icg in 0..g.cpg_in {
+                let c_in = group * g.cpg_in + icg;
+                for ky in 0..g.kh {
+                    for kx in 0..g.kw {
+                        pos += 1;
+                        let w = dense[w_base + (icg * g.kh + ky) * g.kw + kx];
+                        if is_zero(w) {
+                            continue;
+                        }
+                        // Chunk boundaries fall after ordinals chunk, 2·chunk,
+                        // …; any boundary in [last_live, pos) forces a flush
+                        // before this term. `boundary` is the largest one not
+                        // past `pos - 1`.
+                        let boundary = (pos - 1) / chunk * chunk;
+                        let dy = ky as isize - g.ph;
+                        let dx = kx as isize - g.pw;
+                        entries.push(SparseEntry {
+                            delta: (c_in * g.ih * g.iw) as isize + dy * g.iw as isize + dx,
+                            c_in,
+                            dy,
+                            dx,
+                            flush_before: boundary > 0 && boundary >= last_live,
+                            w,
+                        });
+                        last_live = pos;
+                    }
+                }
+            }
+            entries
+        })
+        .collect()
+}
+
+/// Per-precision lowering of a prepared convolution.
+#[derive(Debug, Clone)]
+enum PreparedKind {
+    /// FP32 sequential: reference order with zero terms elided.
+    Fp32 {
+        dense: Vec<f32>,
+        sparse: Vec<Vec<SparseEntry<f32>>>,
+    },
+    /// FP16 sequential/chunked: weights pre-rounded to binary16, zero terms
+    /// elided with statically-resolved split-K flush points.
+    Fp16 {
+        rdense: Vec<f32>,
+        sparse: Vec<Vec<SparseEntry<f32>>>,
+        chunk: usize,
+    },
+    /// FP16 pairwise: the tree shape depends on the term count, so nothing
+    /// can be elided; prepared weights still save the per-call weight
+    /// rounding pass.
+    Fp16Pairwise { rdense: Vec<f32> },
+    /// INT8: integer accumulation is exact and associative, so zero
+    /// skipping needs no finiteness guard at all.
+    Int8 {
+        sparse: Vec<Vec<SparseEntry<i32>>>,
+        input: QuantParams,
+        out_scale: f32,
+    },
+}
+
+/// A convolution pre-lowered for repeated execution under a fixed tactic.
+///
+/// Construction does all per-layer work once — weight materialization,
+/// FP16 rounding / INT8 quantization of the weight blob, and extraction of
+/// the *nonzero* taps with precomputed input offsets and split-K flush
+/// points — so each [`PreparedConv::run`] call only walks live terms.
+/// Pruned engines (the accuracy experiments zero ~40 % of trained weights)
+/// skip the dead multiplies entirely while staying bit-identical to
+/// [`conv_forward`] under the tactic's accumulation order.
+///
+/// # Examples
+///
+/// ```
+/// use trtsim_ir::arena::TensorArena;
+/// use trtsim_ir::graph::LayerKind;
+/// use trtsim_ir::tensor::Tensor;
+/// use trtsim_kernels::numeric::{conv_forward, PreparedConv};
+/// use trtsim_kernels::tactic::Tactic;
+///
+/// let params = match LayerKind::conv_seeded(4, 3, 3, 1, 1, 7) {
+///     LayerKind::Conv(c) => c,
+///     _ => unreachable!(),
+/// };
+/// let input = Tensor::from_fn([3, 8, 8], |c, y, x| (c + y + x) as f32 * 0.1);
+/// let tactic = Tactic::conv_hmma(128, 64, "");
+///
+/// let prepared = PreparedConv::new(&params, input.shape(), &tactic, None);
+/// let fast = prepared.run(&params, &input, &mut TensorArena::new());
+/// assert_eq!(fast, conv_forward(&params, &input, &tactic, None));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedConv {
+    geom: ConvGeom,
+    interior: Interior,
+    bias: Vec<f32>,
+    tactic: Tactic,
+    kind: PreparedKind,
+}
+
+impl PreparedConv {
+    /// Lowers `params` under `tactic` for inputs of shape `in_shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an INT8 tactic without calibration scales, on a weight
+    /// blob length mismatch, or on an input channel mismatch — the same
+    /// conditions under which [`conv_forward`] panics.
+    pub fn new(
+        params: &ConvParams,
+        in_shape: [usize; 3],
+        tactic: &Tactic,
+        quant: Option<&QuantDesc>,
+    ) -> Self {
+        let geom = ConvGeom::of(params, in_shape);
+        let interior = Interior::of(params, &geom);
+        let dense = params.weights.materialize().into_owned();
+        assert_eq!(
+            dense.len(),
+            params.expected_weight_len(),
+            "conv weight length mismatch"
+        );
+        let kind = match tactic.precision {
+            Precision::Fp32 => {
+                let sparse = build_sparse(&geom, &dense, usize::MAX, |w| w == 0.0);
+                PreparedKind::Fp32 { dense, sparse }
+            }
+            Precision::Fp16 => {
+                let rdense: Vec<f32> = dense.iter().map(|&v| round_f16(v)).collect();
+                if tactic.accum == AccumOrder::Pairwise {
+                    PreparedKind::Fp16Pairwise { rdense }
+                } else {
+                    let chunk = fold_chunk(tactic.accum);
+                    let sparse = build_sparse(&geom, &rdense, chunk, |w| w == 0.0);
+                    PreparedKind::Fp16 {
+                        rdense,
+                        sparse,
+                        chunk,
+                    }
+                }
+            }
+            Precision::Int8 => {
+                let q = quant.expect("INT8 tactic requires calibration scales");
+                let qdense: Vec<i32> = dense
+                    .iter()
+                    .map(|&w| i32::from(q.weights.quantize(w)))
+                    .collect();
+                let sparse = build_sparse(&geom, &qdense, usize::MAX, |w| w == 0);
+                PreparedKind::Int8 {
+                    sparse,
+                    input: q.input,
+                    out_scale: q.input.scale * q.weights.scale,
+                }
+            }
+        };
+        Self {
+            geom,
+            interior,
+            bias: params.bias.iter().collect(),
+            tactic: tactic.clone(),
+            kind,
+        }
+    }
+
+    /// Output shape for the prepared input shape.
+    pub fn out_shape(&self) -> [usize; 3] {
+        [self.geom.out_channels, self.geom.oh, self.geom.ow]
+    }
+
+    /// Multiply terms evaluated per interior output pixel after zero
+    /// elision, summed over output channels (the dense count for pairwise
+    /// tactics, which cannot elide).
+    pub fn live_terms(&self) -> usize {
+        match &self.kind {
+            PreparedKind::Fp32 { sparse, .. } | PreparedKind::Fp16 { sparse, .. } => {
+                sparse.iter().map(Vec::len).sum()
+            }
+            PreparedKind::Int8 { sparse, .. } => sparse.iter().map(Vec::len).sum(),
+            PreparedKind::Fp16Pairwise { .. } => self.dense_terms(),
+        }
+    }
+
+    /// Multiply terms per interior output pixel before zero elision, summed
+    /// over output channels.
+    pub fn dense_terms(&self) -> usize {
+        self.geom.out_channels * self.geom.cpg_in * self.geom.kh * self.geom.kw
+    }
+
+    /// Executes the convolution; bit-identical (under `f32` equality) to
+    /// [`conv_forward`] with the same tactic and calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not have the prepared shape.
+    pub fn run(&self, params: &ConvParams, input: &Tensor, arena: &mut TensorArena) -> Tensor {
+        assert_eq!(
+            input.shape(),
+            self.geom.in_shape,
+            "prepared conv input shape mismatch"
+        );
+        let mut out = arena.alloc_zeroed(self.out_shape());
+        match &self.kind {
+            PreparedKind::Fp32 { dense, sparse } => {
+                if input.as_slice().iter().all(|v| v.is_finite()) {
+                    self.run_f32(sparse, input.as_slice(), params.activation, &mut out);
+                } else {
+                    // 0·∞ = NaN: zero elision is unsound, take the dense path.
+                    arena.release(out);
+                    return trtsim_ir::ops::conv2d(input, dense, &self.bias, params);
+                }
+            }
+            PreparedKind::Fp16 {
+                rdense,
+                sparse,
+                chunk,
+            } => {
+                let mut rx = arena.take_buffer(input.len());
+                let mut finite = true;
+                for (r, &v) in rx.iter_mut().zip(input.as_slice()) {
+                    *r = round_f16(v);
+                    finite &= r.is_finite();
+                }
+                if finite {
+                    self.run_f16(sparse, rdense, &rx, *chunk, params.activation, &mut out);
+                } else {
+                    conv_fp16_dense(
+                        &self.geom,
+                        &rx,
+                        rdense,
+                        &self.bias,
+                        &self.tactic,
+                        params.activation,
+                        &mut out,
+                    );
+                }
+                arena.give_buffer(rx);
+            }
+            PreparedKind::Fp16Pairwise { rdense } => {
+                let mut rx = arena.take_buffer(input.len());
+                for (r, &v) in rx.iter_mut().zip(input.as_slice()) {
+                    *r = round_f16(v);
+                }
+                conv_fp16_dense(
+                    &self.geom,
+                    &rx,
+                    rdense,
+                    &self.bias,
+                    &self.tactic,
+                    params.activation,
+                    &mut out,
+                );
+                arena.give_buffer(rx);
+            }
+            PreparedKind::Int8 {
+                sparse,
+                input: qin,
+                out_scale,
+            } => {
+                let qx: Vec<i32> = input
+                    .as_slice()
+                    .iter()
+                    .map(|&x| i32::from(qin.quantize(x)))
+                    .collect();
+                self.run_i8(sparse, &qx, *out_scale, params.activation, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Offset of the first interior pixel of output row `oy` in the input
+    /// image plane (channel offsets live in each entry's `delta`).
+    fn row_base(&self, oy: usize) -> isize {
+        ((oy * self.geom.s) * self.geom.iw + self.interior.ox_lo * self.geom.s) as isize
+    }
+
+    fn run_f32(
+        &self,
+        sparse: &[Vec<SparseEntry<f32>>],
+        x: &[f32],
+        activation: Option<Activation>,
+        out: &mut Tensor,
+    ) {
+        let g = self.geom;
+        let it = self.interior;
+        let width = it.ox_hi.saturating_sub(it.ox_lo);
+        let mut acc_row = vec![0.0f32; width];
+        for (oc, entries) in sparse.iter().enumerate() {
+            let b = self.bias.get(oc).copied().unwrap_or(0.0);
+            for oy in 0..g.oh {
+                let interior_row = width > 0 && oy >= it.oy_lo && oy < it.oy_hi;
+                if interior_row {
+                    // Entry-outer over the whole row: each entry touches a
+                    // contiguous (stride 1) or strided input span, which the
+                    // compiler vectorizes across output pixels.
+                    acc_row.fill(b);
+                    for e in entries {
+                        let src = (self.row_base(oy) + e.delta) as usize;
+                        if g.s == 1 {
+                            for (a, &xv) in acc_row.iter_mut().zip(&x[src..src + width]) {
+                                *a += xv * e.w;
+                            }
+                        } else {
+                            for (i, a) in acc_row.iter_mut().enumerate() {
+                                *a += x[src + i * g.s] * e.w;
+                            }
+                        }
+                    }
+                    for (i, ox) in (it.ox_lo..it.ox_hi).enumerate() {
+                        *out.at_mut(oc, oy, ox) = apply_act(activation, acc_row[i]);
+                    }
+                }
+                let border_cols: Box<dyn Iterator<Item = usize>> = if interior_row {
+                    Box::new((0..it.ox_lo).chain(it.ox_hi..g.ow))
+                } else {
+                    Box::new(0..g.ow)
+                };
+                for ox in border_cols {
+                    let mut acc = b;
+                    for e in entries {
+                        let iy = (oy * g.s) as isize + e.dy;
+                        let ix = (ox * g.s) as isize + e.dx;
+                        if iy < 0 || iy >= g.ih as isize || ix < 0 || ix >= g.iw as isize {
+                            continue;
+                        }
+                        let xv = x[(e.c_in * g.ih + iy as usize) * g.iw + ix as usize];
+                        if xv != 0.0 {
+                            acc += xv * e.w;
+                        }
+                    }
+                    *out.at_mut(oc, oy, ox) = apply_act(activation, acc);
+                }
+            }
+        }
+    }
+
+    fn run_f16(
+        &self,
+        sparse: &[Vec<SparseEntry<f32>>],
+        rdense: &[f32],
+        rx: &[f32],
+        chunk: usize,
+        activation: Option<Activation>,
+        out: &mut Tensor,
+    ) {
+        let g = self.geom;
+        let it = self.interior;
+        let width = it.ox_hi.saturating_sub(it.ox_lo);
+        let mut acc_row = vec![0.0f32; width];
+        let mut carry_row = vec![0.0f64; width];
+        let mut snap_row = vec![0.0f32; width];
+        for (oc, entries) in sparse.iter().enumerate() {
+            let b = self.bias.get(oc).copied().unwrap_or(0.0);
+            for oy in 0..g.oh {
+                let interior_row = width > 0 && oy >= it.oy_lo && oy < it.oy_hi;
+                if interior_row {
+                    self.f16_interior_row(
+                        entries,
+                        rx,
+                        oy,
+                        &mut acc_row,
+                        &mut carry_row,
+                        &mut snap_row,
+                    );
+                    for (i, ox) in (it.ox_lo..it.ox_hi).enumerate() {
+                        let sum = (carry_row[i] + f64::from(acc_row[i])) as f32;
+                        *out.at_mut(oc, oy, ox) = apply_act(activation, sum + b);
+                    }
+                }
+                let border_cols: Box<dyn Iterator<Item = usize>> = if interior_row {
+                    Box::new((0..it.ox_lo).chain(it.ox_hi..g.ow))
+                } else {
+                    Box::new(0..g.ow)
+                };
+                for ox in border_cols {
+                    // Border pixels drop taps dynamically, so chunk
+                    // positions can't be resolved statically; walk the
+                    // dense order, skipping zero-weight multiplies.
+                    let sum = fp16_pixel_folded(rx, rdense, &g, oc, oy, ox, chunk, true);
+                    *out.at_mut(oc, oy, ox) = apply_act(activation, sum + b);
+                }
+            }
+        }
+    }
+
+    /// One whole interior output row of a folded FP16 convolution,
+    /// entry-outer: each nonzero tap streams across every pixel in the row.
+    ///
+    /// The hot loop replaces `round_f16`'s branchy range dispatch with the
+    /// branch-free Veltkamp split ([`veltkamp_f16`]) and folds a validity
+    /// mask across the row; lanes where the product or the updated
+    /// accumulator leave the fast range ([`fast_f16_ok`]) force a rollback
+    /// to a pre-entry snapshot and an exact scalar redo of that one entry.
+    /// The result is bit-identical to the dense per-pixel walk: zero taps
+    /// are *not* skipped here, so even ±0 signs match the naive order.
+    fn f16_interior_row(
+        &self,
+        entries: &[SparseEntry<f32>],
+        rx: &[f32],
+        oy: usize,
+        acc: &mut [f32],
+        carry: &mut [f64],
+        snap: &mut [f32],
+    ) {
+        let g = self.geom;
+        let width = acc.len();
+        acc.fill(0.0);
+        carry.fill(0.0);
+        for e in entries {
+            if e.flush_before {
+                for (c, a) in carry.iter_mut().zip(acc.iter_mut()) {
+                    *c += f64::from(*a);
+                    *a = 0.0;
+                }
+            }
+            let w = e.w;
+            let src = (self.row_base(oy) + e.delta) as usize;
+            snap.copy_from_slice(acc);
+            let mut bad = 0u32;
+            if g.s == 1 {
+                for (a, &x) in acc.iter_mut().zip(&rx[src..src + width]) {
+                    let t0 = x * w;
+                    bad |= u32::from(!fast_f16_ok(t0));
+                    let t = veltkamp_f16(t0);
+                    let s = *a + t;
+                    bad |= u32::from(!fast_f16_ok(s));
+                    *a = veltkamp_f16(s);
+                }
+            } else {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    let t0 = rx[src + i * g.s] * w;
+                    bad |= u32::from(!fast_f16_ok(t0));
+                    let t = veltkamp_f16(t0);
+                    let s = *a + t;
+                    bad |= u32::from(!fast_f16_ok(s));
+                    *a = veltkamp_f16(s);
+                }
+            }
+            if bad != 0 {
+                acc.copy_from_slice(snap);
+                if g.s == 1 {
+                    for (a, &x) in acc.iter_mut().zip(&rx[src..src + width]) {
+                        *a = round_f16(*a + round_f16(x * w));
+                    }
+                } else {
+                    for (i, a) in acc.iter_mut().enumerate() {
+                        *a = round_f16(*a + round_f16(rx[src + i * g.s] * w));
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_i8(
+        &self,
+        sparse: &[Vec<SparseEntry<i32>>],
+        qx: &[i32],
+        out_scale: f32,
+        activation: Option<Activation>,
+        out: &mut Tensor,
+    ) {
+        let g = self.geom;
+        let it = self.interior;
+        let width = it.ox_hi.saturating_sub(it.ox_lo);
+        let mut acc_row = vec![0i64; width];
+        for (oc, entries) in sparse.iter().enumerate() {
+            let b = self.bias.get(oc).copied().unwrap_or(0.0);
+            for oy in 0..g.oh {
+                let interior_row = width > 0 && oy >= it.oy_lo && oy < it.oy_hi;
+                if interior_row {
+                    // Integer accumulation is exact and associative, so the
+                    // entry-outer row order needs no rounding care at all.
+                    acc_row.fill(0);
+                    for e in entries {
+                        let src = (self.row_base(oy) + e.delta) as usize;
+                        let w = i64::from(e.w);
+                        if g.s == 1 {
+                            for (a, &xv) in acc_row.iter_mut().zip(&qx[src..src + width]) {
+                                *a += i64::from(xv) * w;
+                            }
+                        } else {
+                            for (i, a) in acc_row.iter_mut().enumerate() {
+                                *a += i64::from(qx[src + i * g.s]) * w;
+                            }
+                        }
+                    }
+                    for (i, ox) in (it.ox_lo..it.ox_hi).enumerate() {
+                        let v = acc_row[i] as f32 * out_scale + b;
+                        *out.at_mut(oc, oy, ox) = apply_act(activation, v);
+                    }
+                }
+                let border_cols: Box<dyn Iterator<Item = usize>> = if interior_row {
+                    Box::new((0..it.ox_lo).chain(it.ox_hi..g.ow))
+                } else {
+                    Box::new(0..g.ow)
+                };
+                for ox in border_cols {
+                    let mut acc: i64 = 0;
+                    for e in entries {
+                        let iy = (oy * g.s) as isize + e.dy;
+                        let ix = (ox * g.s) as isize + e.dx;
+                        if iy < 0 || iy >= g.ih as isize || ix < 0 || ix >= g.iw as isize {
+                            continue;
+                        }
+                        let xv = qx[(e.c_in * g.ih + iy as usize) * g.iw + ix as usize];
+                        if xv != 0 {
+                            acc += i64::from(xv) * i64::from(e.w);
+                        }
+                    }
+                    let v = acc as f32 * out_scale + b;
+                    *out.at_mut(oc, oy, ox) = apply_act(activation, v);
+                }
+            }
+        }
+    }
+}
+
+/// A fully-connected layer pre-lowered for repeated execution.
+///
+/// For FP16 tactics the weight matrix is rounded to binary16 once at
+/// construction; each [`PreparedFc::run`] call then rounds the input vector
+/// once and performs a single product round per term — bit-identical to
+/// [`fc_forward`], which re-rounds the weights and wraps every operand in a
+/// fresh round on every call.
+#[derive(Debug, Clone)]
+pub struct PreparedFc {
+    /// FP16: pre-rounded; FP32: raw.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    out_features: usize,
+    tactic: Tactic,
+}
+
+impl PreparedFc {
+    /// Lowers an FC layer's weights under `tactic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an INT8 tactic, like [`fc_forward`] (FC layers in the
+    /// catalog are FP16/FP32 only).
+    pub fn new(weights: &Weights, bias: &Weights, out_features: usize, tactic: &Tactic) -> Self {
+        let w = weights.materialize();
+        let weights = match tactic.precision {
+            Precision::Fp32 => w.into_owned(),
+            Precision::Fp16 => w.iter().map(|&v| round_f16(v)).collect(),
+            Precision::Int8 => panic!("INT8 fully-connected tactics are not in the catalog"),
+        };
+        Self {
+            weights,
+            bias: bias.iter().collect(),
+            out_features,
+            tactic: tactic.clone(),
+        }
+    }
+
+    /// Executes the layer; bit-identical to [`fc_forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight length does not match
+    /// `out_features · input.len()`.
+    pub fn run(
+        &self,
+        input: &Tensor,
+        activation: Option<Activation>,
+        arena: &mut TensorArena,
+    ) -> Tensor {
+        let in_features = input.len();
+        assert_eq!(
+            self.weights.len(),
+            self.out_features * in_features,
+            "fc weight mismatch"
+        );
+        if self.tactic.precision == Precision::Fp32 {
+            return trtsim_ir::ops::inner_product(
+                input,
+                &self.weights,
+                &self.bias,
+                self.out_features,
+                activation,
+            );
+        }
+        let mut rx = arena.take_buffer(in_features);
+        for (r, &v) in rx.iter_mut().zip(input.as_slice()) {
+            *r = round_f16(v);
+        }
+        let mut reducer = Reducer::for_tactic(&self.tactic);
+        let mut terms = Vec::with_capacity(in_features);
+        let mut out = arena.alloc_zeroed([self.out_features, 1, 1]);
+        for o in 0..self.out_features {
+            terms.clear();
+            let row = &self.weights[o * in_features..(o + 1) * in_features];
+            for (xi, wi) in rx.iter().zip(row.iter()) {
+                terms.push(round_f16(xi * wi));
+            }
+            let acc = reducer.reduce(&terms) + self.bias.get(o).copied().unwrap_or(0.0);
+            *out.at_mut(o, 0, 0) = match activation {
+                Some(a) => a.apply(acc),
+                None => acc,
+            };
+        }
+        arena.give_buffer(rx);
+        out
     }
 }
 
@@ -490,6 +1296,177 @@ mod tests {
         apply_precision(&mut t, Precision::Fp16);
         assert_ne!(t.at(0, 0, 0), 1.0 / 3.0);
         assert_eq!(t.at(0, 0, 1), 1.0);
+    }
+
+    /// Zeroes small weights, mimicking the accuracy experiments' magnitude
+    /// pruning (the sparsity the prepared kernels exploit).
+    fn prune(params: &mut ConvParams, thresh: f32) {
+        let w: Vec<f32> = params
+            .weights
+            .materialize()
+            .iter()
+            .map(|&v| if v.abs() < thresh { 0.0 } else { v })
+            .collect();
+        params.weights = Weights::Dense(w);
+    }
+
+    /// Asymmetric geometry: 5×3 kernel, stride 2, pad 2×0, two groups.
+    fn strided_conv(seed: u64) -> ConvParams {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let len = 6 * 2 * 5 * 3;
+        ConvParams {
+            out_channels: 6,
+            in_channels: 4,
+            kernel_h: 5,
+            kernel_w: 3,
+            stride: 2,
+            pad_h: 2,
+            pad_w: 0,
+            groups: 2,
+            weights: Weights::Dense((0..len).map(|_| rng.normal() as f32 * 0.2).collect()),
+            bias: Weights::Dense(vec![-0.02, 0.0, 0.01, 0.3, -0.1, 0.07]),
+            activation: None,
+        }
+    }
+
+    fn strided_input(seed: u64) -> Tensor {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        // Odd height so the last output row's window is clipped.
+        Tensor::from_fn([4, 9, 8], |_, _, _| rng.normal() as f32)
+    }
+
+    fn assert_prepared_matches(
+        params: &ConvParams,
+        input: &Tensor,
+        tactic: &Tactic,
+        quant: Option<&QuantDesc>,
+    ) {
+        let want = conv_forward(params, input, tactic, quant);
+        let prepared = PreparedConv::new(params, input.shape(), tactic, quant);
+        let mut arena = TensorArena::new();
+        let first = prepared.run(params, input, &mut arena);
+        assert_eq!(first, want, "prepared mismatch under {:?}", tactic.accum);
+        arena.release(first);
+        // A second pass runs on recycled buffers and must still agree.
+        assert_eq!(prepared.run(params, input, &mut arena), want);
+    }
+
+    #[test]
+    fn prepared_fp32_bit_identical_on_pruned_weights() {
+        let mut square = test_conv(21);
+        prune(&mut square, 0.15);
+        assert_prepared_matches(&square, &test_input(22), &Tactic::conv_fp32(128, 64), None);
+        let mut strided = strided_conv(23);
+        prune(&mut strided, 0.15);
+        assert_prepared_matches(
+            &strided,
+            &strided_input(24),
+            &Tactic::conv_fp32(128, 64),
+            None,
+        );
+    }
+
+    #[test]
+    fn prepared_fp16_bit_identical_across_accum_orders() {
+        let mut chunk_small = Tactic::conv_hmma(128, 64, "");
+        chunk_small.accum = AccumOrder::Chunked(4); // stress static flush points
+        let mut seq = Tactic::conv_hmma(128, 64, "");
+        seq.accum = AccumOrder::Sequential;
+        let mut pair = Tactic::conv_hmma(128, 64, "");
+        pair.accum = AccumOrder::Pairwise;
+        for tactic in [Tactic::conv_hmma(128, 64, ""), chunk_small, seq, pair] {
+            let mut square = test_conv(31);
+            prune(&mut square, 0.15);
+            assert_prepared_matches(&square, &test_input(32), &tactic, None);
+            let mut strided = strided_conv(33);
+            prune(&mut strided, 0.15);
+            assert_prepared_matches(&strided, &strided_input(34), &tactic, None);
+        }
+    }
+
+    #[test]
+    fn prepared_int8_bit_identical_on_pruned_weights() {
+        let mut params = test_conv(41);
+        prune(&mut params, 0.15);
+        let input = test_input(42);
+        let q = QuantDesc {
+            input: QuantParams::calibrate(input.as_slice()),
+            weights: QuantParams::calibrate(&params.weights.materialize()),
+        };
+        assert_prepared_matches(&params, &input, &Tactic::conv_int8(128, 64), Some(&q));
+    }
+
+    #[test]
+    fn prepared_falls_back_on_non_finite_input() {
+        let mut params = test_conv(51);
+        prune(&mut params, 0.15);
+        let mut input = test_input(52);
+        *input.at_mut(0, 0, 0) = f32::INFINITY;
+        *input.at_mut(3, 4, 5) = f32::NAN;
+        for tactic in [Tactic::conv_fp32(128, 64), Tactic::conv_hmma(128, 64, "")] {
+            let want = conv_forward(&params, &input, &tactic, None);
+            let prepared = PreparedConv::new(&params, input.shape(), &tactic, None);
+            let got = prepared.run(&params, &input, &mut TensorArena::new());
+            assert_eq!(got.shape(), want.shape());
+            // NaN != NaN, so compare bit patterns.
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_elides_pruned_terms() {
+        let mut params = test_conv(61);
+        prune(&mut params, 0.2);
+        let p = PreparedConv::new(&params, [8, 8, 8], &Tactic::conv_hmma(128, 64, ""), None);
+        assert!(
+            p.live_terms() < p.dense_terms(),
+            "{} !< {}",
+            p.live_terms(),
+            p.dense_terms()
+        );
+    }
+
+    #[test]
+    fn prepared_fc_bit_identical() {
+        let mut rng = Pcg32::seed_from_u64(71);
+        let (out_features, in_features) = (10, 48);
+        let w: Vec<f32> = (0..out_features * in_features)
+            .map(|_| rng.normal() as f32 * 0.3)
+            .collect();
+        let b: Vec<f32> = (0..out_features)
+            .map(|_| rng.normal() as f32 * 0.1)
+            .collect();
+        let input = Tensor::from_vec(
+            [in_features, 1, 1],
+            (0..in_features).map(|_| rng.normal() as f32).collect(),
+        );
+        for tactic in [Tactic::conv_fp32(128, 64), Tactic::conv_hmma(128, 64, "")] {
+            let want = fc_forward(
+                &input,
+                &w,
+                &b,
+                out_features,
+                Some(Activation::Relu),
+                &tactic,
+            );
+            let prepared = PreparedFc::new(
+                &Weights::Dense(w.clone()),
+                &Weights::Dense(b.clone()),
+                out_features,
+                &tactic,
+            );
+            let mut arena = TensorArena::new();
+            assert_eq!(
+                prepared.run(&input, Some(Activation::Relu), &mut arena),
+                want
+            );
+            assert_eq!(
+                prepared.run(&input, Some(Activation::Relu), &mut arena),
+                want
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   "12.65 (0.05)" table cells, plus FPS computation.
 //! * [`cache`] — hit/miss accounting for the build pipeline's memoization
 //!   layers (timing cache, engine farm).
+//! * [`memory`] — activation-arena footprint accounting for the inference
+//!   fast path (peak live bytes vs keep-everything bytes).
 
 #![warn(missing_docs)]
 
@@ -15,8 +17,10 @@ pub mod cache;
 pub mod classification;
 pub mod detection;
 pub mod latency;
+pub mod memory;
 
 pub use cache::CacheStats;
 pub use classification::{consistency, top1_error_percent, ConsistencyReport};
 pub use detection::{precision_recall, DetectionEval};
 pub use latency::{fps_from_latency_us, LatencyCell, LatencyPercentiles};
+pub use memory::ArenaStats;

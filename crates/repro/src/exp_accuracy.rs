@@ -15,11 +15,13 @@ use trtsim_core::{Builder, BuilderConfig, Engine};
 use trtsim_data::corruptions::{apply_corruption, Corruption, Severity};
 use trtsim_data::imagenet::{LabeledImage, SyntheticImageNet};
 use trtsim_gpu::device::{DeviceSpec, Platform};
+use trtsim_ir::Tensor;
 use trtsim_ir::{Graph, ReferenceExecutor};
 use trtsim_metrics::top1_error_percent;
 use trtsim_models::numeric::{build_classifier, NUMERIC_INPUT};
 use trtsim_models::ModelId;
 use trtsim_util::derive_seed;
+use trtsim_util::pool::{auto_threads, map_indexed};
 
 use crate::support::{EngineFarm, FarmKey, TextTable, CAMPAIGN_SEED};
 
@@ -174,22 +176,23 @@ impl AccuracySetup {
         out
     }
 
-    /// Predictions of the un-optimized network.
+    /// Predictions of the un-optimized network, evaluated across worker
+    /// threads (order-stable: results line up with `images`).
     pub fn unopt_predictions(&self, images: &[LabeledImage]) -> Vec<usize> {
         let exec = ReferenceExecutor::new(&self.network).expect("valid network");
-        images
-            .iter()
-            .map(|img| exec.run(&img.image).expect("runs")[0].argmax().unwrap_or(0))
-            .collect()
+        map_indexed(auto_threads(), images.len(), |i| {
+            exec.run(&images[i].image).expect("runs")[0]
+                .argmax()
+                .unwrap_or(0)
+        })
     }
 
-    /// Predictions of an engine.
+    /// Predictions of an engine through its precompiled plan, batched across
+    /// worker threads (order-stable and bit-identical to a sequential loop).
     pub fn engine_predictions(&self, engine: &Engine, images: &[LabeledImage]) -> Vec<usize> {
         let ctx = ExecutionContext::new(engine, DeviceSpec::pinned_clock(engine.build_platform()));
-        images
-            .iter()
-            .map(|img| ctx.classify(&img.image).expect("runs"))
-            .collect()
+        let tensors: Vec<&Tensor> = images.iter().map(|img| &img.image).collect();
+        ctx.classify_batch(&tensors, auto_threads()).expect("runs")
     }
 }
 

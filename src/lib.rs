@@ -82,9 +82,9 @@
 pub use trtsim_core as engine;
 
 pub use trtsim_core::{
-    Builder, BuilderConfig, Engine, EngineError, ExecutionContext, InferenceServer, KernelTime,
-    ProfileOptions, RequestRecord, ServerConfig, ServerStats, ServingError, ServingReport,
-    TimingCache, TimingOptions,
+    Builder, BuilderConfig, Engine, EngineError, ExecutionContext, InferencePlan, InferenceServer,
+    KernelTime, PlanScratch, ProfileOptions, RequestRecord, ServerConfig, ServerStats,
+    ServingError, ServingReport, TimingCache, TimingOptions,
 };
 pub use trtsim_gpu::device::DeviceSpec;
 

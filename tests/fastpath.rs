@@ -1,0 +1,125 @@
+//! Workspace property tests for the numeric inference fast path.
+//!
+//! The contract under test is the one `bench_infer` enforces on one model:
+//! the precompiled [`trtsim::InferencePlan`] must be bit-identical (under
+//! `f32` equality) to the naive interpreter, and the batch APIs must return
+//! the same results at every thread count — here checked across *random*
+//! networks and inputs instead of a single zoo model.
+
+use proptest::prelude::*;
+use trtsim::engine::{Builder, BuilderConfig, ExecutionContext};
+use trtsim::ir::graph::{Graph, LayerKind, PoolKind};
+use trtsim::ir::Tensor;
+use trtsim::util::rng::Pcg32;
+use trtsim::DeviceSpec;
+
+/// A random small conv/branch/pool network over a `[3, 16, 16]` input.
+fn arb_network() -> impl Strategy<Value = Graph> {
+    (1u64..1000, 2usize..5, 1usize..3).prop_map(|(seed, depth, branches)| {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut g = Graph::new(format!("fp{seed}"), [3, 16, 16]);
+        let mut frontier = vec![(Graph::INPUT, 3usize)];
+        for d in 0..depth {
+            let (from, in_c) = frontier[rng.range_usize(frontier.len())];
+            let out_c = 2 + rng.range_usize(6);
+            let conv = g.add_layer(
+                format!("c{d}"),
+                LayerKind::conv_seeded(out_c, in_c, 3, 1, 1, seed + d as u64),
+                &[from],
+            );
+            frontier.push((conv, out_c));
+        }
+        let (last, last_c) = *frontier.last().unwrap();
+        let mut branch_ids = Vec::new();
+        for i in 0..branches {
+            let kind = LayerKind::conv_seeded(4, last_c, 1, 1, 0, 100 + i as u64);
+            branch_ids.push(g.add_layer(format!("b{i}"), kind, &[last]));
+        }
+        let out = if branch_ids.len() > 1 {
+            g.add_layer("cat", LayerKind::Concat, &branch_ids)
+        } else {
+            branch_ids[0]
+        };
+        let drop = g.add_layer("drop", LayerKind::Dropout { rate: 0.5 }, &[out]);
+        let gp = g.add_layer(
+            "gp",
+            LayerKind::GlobalPool {
+                kind: PoolKind::Avg,
+            },
+            &[drop],
+        );
+        g.mark_output(gp);
+        g
+    })
+}
+
+/// A random finite input with a realistic share of exact zeros (post-ReLU
+/// activations in real networks are sparse, and the fast path's zero
+/// handling is exactly what must not change results).
+fn random_input(seed: u64) -> Tensor {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    Tensor::from_fn([3, 16, 16], |_, _, _| {
+        if rng.range_usize(4) == 0 {
+            0.0
+        } else {
+            (rng.normal() * 0.6) as f32
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The plan's output tensors equal the interpreter's exactly, for every
+    /// output, across random networks, build seeds, and inputs.
+    #[test]
+    fn plan_is_bit_identical_to_interpreter(g in arb_network(), build_seed in 0u64..500) {
+        let engine = Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default().with_build_seed(build_seed),
+        )
+        .build(&g)
+        .expect("builds");
+        let ctx = ExecutionContext::new(&engine, DeviceSpec::xavier_nx());
+        for i in 0..3u64 {
+            let input = random_input(build_seed * 31 + i);
+            let planned = ctx.infer(&input).expect("planned path runs");
+            let naive = ctx.infer_unplanned(&input).expect("interpreter runs");
+            prop_assert_eq!(planned, naive);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `infer_batch` and `classify_batch` return the same results at every
+    /// thread count, and match a sequential `infer` loop element-for-element.
+    #[test]
+    fn batch_apis_are_thread_count_invariant(g in arb_network(), build_seed in 0u64..500) {
+        let engine = Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default().with_build_seed(build_seed),
+        )
+        .build(&g)
+        .expect("builds");
+        let ctx = ExecutionContext::new(&engine, DeviceSpec::xavier_nx());
+        let inputs: Vec<Tensor> = (0..5).map(|i| random_input(build_seed * 97 + i)).collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+
+        let sequential: Vec<_> = refs
+            .iter()
+            .map(|t| ctx.infer(t).expect("runs"))
+            .collect();
+        let labels: Vec<usize> = sequential
+            .iter()
+            .map(|o| o[0].argmax().unwrap_or(0))
+            .collect();
+        for threads in [1usize, 2, 5, 16] {
+            let batched = ctx.infer_batch(&refs, threads).expect("batch runs");
+            prop_assert_eq!(&batched, &sequential);
+            let classified = ctx.classify_batch(&refs, threads).expect("classify runs");
+            prop_assert_eq!(&classified, &labels);
+        }
+    }
+}
