@@ -1,0 +1,23 @@
+//! Temporary review check: run_batch chunking with n=5, threads=4.
+
+use trtsim::engine::{Builder, BuilderConfig, ExecutionContext};
+use trtsim::gpu::device::DeviceSpec;
+use trtsim::ir::graph::{Graph, LayerKind};
+use trtsim::ir::tensor::Tensor;
+
+#[test]
+fn batch_five_inputs_four_threads() {
+    let mut g = Graph::new("m", [3, 8, 8]);
+    let c = g.add_layer("c", LayerKind::conv_seeded(4, 3, 3, 1, 1, 0), &[Graph::INPUT]);
+    g.mark_output(c);
+    let engine = Builder::new(
+        DeviceSpec::xavier_nx(),
+        BuilderConfig::default().with_build_seed(1),
+    )
+    .build(&g)
+    .unwrap();
+    let ctx = ExecutionContext::new(&engine, DeviceSpec::xavier_nx());
+    let inputs: Vec<Tensor> = (0..5).map(|_| Tensor::zeros([3, 8, 8])).collect();
+    let out = ctx.infer_batch(&inputs, 4).unwrap();
+    assert_eq!(out.len(), 5);
+}
