@@ -1,6 +1,8 @@
 //! Times whole-zoo engine builds under the build-performance subsystem:
 //! cold sequential, warm-timing-cache sequential, cold parallel farm, and
-//! warm (memoized) farm, writing the results to `BENCH_build.json`.
+//! warm (memoized) farm, writing the results to `BENCH_build.json` in the
+//! shared [`trtsim_bench::report`] schema (plus a telemetry snapshot next
+//! to it).
 //!
 //! ```text
 //! cargo run --release -p trtsim-bench --bin bench_build            # full zoo
@@ -8,27 +10,20 @@
 //! ```
 //!
 //! Flags: `--smoke` shrinks the zoo to one model (CI), `--out PATH` moves the
-//! report. The process exits non-zero if the warm timing cache re-measures as
-//! many kernels as the cold pass, or if any rebuilt engine is not
-//! bit-identical to the cold sequential reference.
+//! report, `--git-rev SHA` stamps the report (`TRTSIM_GIT_REV` works too).
+//! The process exits non-zero if the warm timing cache re-measures as many
+//! kernels as the cold pass, or if any rebuilt engine is not bit-identical
+//! to the cold sequential reference.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use trtsim_bench::report::{git_rev, BenchReport, PhaseReport};
 use trtsim_core::{Builder, BuilderConfig, Engine, TimingCache};
 use trtsim_gpu::device::{DeviceSpec, Platform};
 use trtsim_metrics::CacheStats;
 use trtsim_models::ModelId;
 use trtsim_repro::support::EngineFarm;
-
-/// One timed phase of the benchmark.
-struct Phase {
-    name: &'static str,
-    wall_ms: f64,
-    /// Timing-model evaluations that actually ran (cache misses).
-    timed_measurements: u64,
-    cache: CacheStats,
-}
 
 fn build_all(
     requests: &[(ModelId, Platform)],
@@ -51,54 +46,18 @@ fn build_all(
         .collect()
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn render_json(
-    smoke: bool,
-    models: &[ModelId],
-    threads: usize,
-    phases: &[Phase],
-    speedup_warm_seq: f64,
-    speedup_warm_farm: f64,
-) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"benchmark\": \"bench_build\",\n");
-    out.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if smoke { "smoke" } else { "full" }
-    ));
-    out.push_str(&format!(
-        "  \"models\": [{}],\n",
-        models
-            .iter()
-            .map(|m| format!("\"{}\"", json_escape(&m.to_string())))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    out.push_str(&format!("  \"farm_threads\": {threads},\n"));
-    out.push_str("  \"phases\": [\n");
-    for (i, p) in phases.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"timed_measurements\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
-            p.name,
-            p.wall_ms,
-            p.timed_measurements,
-            p.cache.hits,
-            p.cache.misses,
-            if i + 1 < phases.len() { "," } else { "" },
-        ));
+/// Builds one phase entry: engines-per-second throughput, cache counters.
+fn phase(name: &'static str, wall_ms: f64, engines: usize, cache: CacheStats) -> PhaseReport {
+    PhaseReport {
+        name,
+        wall_ms,
+        throughput: Some(engines as f64 / (wall_ms / 1e3)),
+        counters: vec![
+            ("timed_measurements", cache.misses),
+            ("cache_hits", cache.hits),
+            ("cache_misses", cache.misses),
+        ],
     }
-    out.push_str("  ],\n");
-    out.push_str(&format!(
-        "  \"speedup_warm_cache_sequential\": {speedup_warm_seq:.2},\n"
-    ));
-    out.push_str(&format!(
-        "  \"speedup_warm_farm_vs_cold_sequential\": {speedup_warm_farm:.2},\n"
-    ));
-    out.push_str("  \"bit_identical\": true\n}\n");
-    out
 }
 
 fn main() {
@@ -121,7 +80,7 @@ fn main() {
         .flat_map(|&m| Platform::all().map(|p| (m, p)))
         .collect();
     let threads = trtsim_util::pool::auto_threads();
-    let mut phases: Vec<Phase> = Vec::new();
+    let mut phases: Vec<PhaseReport> = Vec::new();
 
     // Phase 1: cold sequential — fresh timing cache, one build at a time.
     let seq_cache = Arc::new(TimingCache::new());
@@ -129,12 +88,12 @@ fn main() {
     let reference = build_all(&requests, &seq_cache, 1);
     let cold_stats = seq_cache.stats();
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
-    phases.push(Phase {
-        name: "cold_sequential",
-        wall_ms: cold_ms,
-        timed_measurements: cold_stats.misses,
-        cache: cold_stats,
-    });
+    phases.push(phase(
+        "cold_sequential",
+        cold_ms,
+        requests.len(),
+        cold_stats,
+    ));
 
     // Phase 2: warm-cache sequential rebuild — same cache, every timing query
     // should now hit.
@@ -142,12 +101,12 @@ fn main() {
     let warm_engines = build_all(&requests, &seq_cache, 1);
     let warm_ms = t.elapsed().as_secs_f64() * 1e3;
     let warm_stats = seq_cache.stats().since(cold_stats);
-    phases.push(Phase {
-        name: "warm_sequential",
-        wall_ms: warm_ms,
-        timed_measurements: warm_stats.misses,
-        cache: warm_stats,
-    });
+    phases.push(phase(
+        "warm_sequential",
+        warm_ms,
+        requests.len(),
+        warm_stats,
+    ));
 
     // Phase 3: cold parallel farm — concurrent prefetch of the whole zoo
     // into a fresh farm (fresh timing cache inside).
@@ -158,12 +117,12 @@ fn main() {
     farm.prefetch_zoo(&farm_requests);
     let farm_cold_ms = t.elapsed().as_secs_f64() * 1e3;
     let farm_cold_stats = farm.stats().timing;
-    phases.push(Phase {
-        name: "cold_parallel_farm",
-        wall_ms: farm_cold_ms,
-        timed_measurements: farm_cold_stats.misses,
-        cache: farm_cold_stats,
-    });
+    phases.push(phase(
+        "cold_parallel_farm",
+        farm_cold_ms,
+        requests.len(),
+        farm_cold_stats,
+    ));
 
     // Phase 4: warm farm — re-request the whole zoo; identical requests are
     // deduplicated into Arc hand-outs, which is what the experiment
@@ -175,12 +134,12 @@ fn main() {
         .collect();
     let farm_warm_ms = t.elapsed().as_secs_f64() * 1e3;
     let farm_warm_stats = farm.stats().timing.since(farm_cold_stats);
-    phases.push(Phase {
-        name: "warm_farm",
-        wall_ms: farm_warm_ms,
-        timed_measurements: farm_warm_stats.misses,
-        cache: farm_warm_stats,
-    });
+    phases.push(phase(
+        "warm_farm",
+        farm_warm_ms,
+        requests.len(),
+        farm_warm_stats,
+    ));
 
     // Invariants: the cache and the farm must be output-invariant.
     for (i, engine) in reference.iter().enumerate() {
@@ -205,20 +164,33 @@ fn main() {
 
     let speedup_warm_seq = cold_ms / warm_ms;
     let speedup_warm_farm = cold_ms / farm_warm_ms;
-    let json = render_json(
-        smoke,
-        &models,
+    let report = BenchReport {
+        benchmark: "bench_build",
+        mode: if smoke { "smoke" } else { "full" },
+        git_rev: git_rev(&args),
         threads,
-        &phases,
-        speedup_warm_seq,
-        speedup_warm_farm,
-    );
-    std::fs::write(&out_path, &json).expect("write report");
+        throughput_unit: "engines_per_sec",
+        context: vec![(
+            "models",
+            models
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        )],
+        phases,
+        summary: vec![
+            ("speedup_warm_cache_sequential", speedup_warm_seq),
+            ("speedup_warm_farm_vs_cold_sequential", speedup_warm_farm),
+        ],
+        bit_identical: true,
+    };
+    report.write(&out_path);
 
-    for p in &phases {
+    for p in &report.phases {
         println!(
-            "{:<20} {:>10.2} ms  {:>8} timed measurements  ({})",
-            p.name, p.wall_ms, p.timed_measurements, p.cache
+            "{:<20} {:>10.2} ms  {:>8} timed measurements",
+            p.name, p.wall_ms, p.counters[0].1
         );
     }
     println!(

@@ -1,7 +1,8 @@
 //! Times numeric inference through the three execution paths — the naive
 //! per-call interpreter, the precompiled [`trtsim_core::InferencePlan`], and
 //! the plan fanned out over worker threads — on a mid-size numeric zoo
-//! model, writing the results to `BENCH_infer.json`.
+//! model, writing the results to `BENCH_infer.json` in the shared
+//! [`trtsim_bench::report`] schema (plus a telemetry snapshot next to it).
 //!
 //! ```text
 //! cargo run --release -p trtsim-bench --bin bench_infer            # full set
@@ -9,13 +10,15 @@
 //! ```
 //!
 //! Flags: `--smoke` shrinks the image set (CI), `--out PATH` moves the
-//! report. The process exits non-zero if any planned output tensor is not
+//! report, `--git-rev SHA` stamps the report (`TRTSIM_GIT_REV` works too).
+//! The process exits non-zero if any planned output tensor is not
 //! bit-identical to the interpreter's, if any label diverges, or if the
 //! planned path fails to beat the naive one (`--smoke` allows 10% slack; the
 //! full run demands the 3x the fast path is sold on).
 
 use std::time::Instant;
 
+use trtsim_bench::report::{git_rev, BenchReport, PhaseReport};
 use trtsim_core::runtime::ExecutionContext;
 use trtsim_gpu::device::{DeviceSpec, Platform};
 use trtsim_ir::Tensor;
@@ -23,79 +26,19 @@ use trtsim_models::ModelId;
 use trtsim_repro::exp_accuracy::{AccuracyConfig, AccuracySetup};
 use trtsim_util::pool::auto_threads;
 
-/// One timed execution path.
-struct Phase {
-    name: &'static str,
-    wall_ms: f64,
-    images_per_sec: f64,
-}
-
 fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let t = Instant::now();
     let r = f();
     (r, t.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Everything the JSON report needs, bundled to keep one call site tidy.
-struct Report<'a, 'e> {
-    smoke: bool,
-    model: ModelId,
-    images: usize,
-    threads: usize,
-    phases: &'a [Phase],
-    speedup_planned: f64,
-    speedup_parallel: f64,
-    plan: &'a trtsim_core::InferencePlan<'e>,
-}
-
-fn render_json(r: &Report) -> String {
-    let Report {
-        smoke,
-        model,
-        images,
-        threads,
-        phases,
-        speedup_planned,
-        speedup_parallel,
-        plan,
-    } = *r;
-    let stats = plan.arena_stats();
-    let mut out = String::from("{\n");
-    out.push_str("  \"benchmark\": \"bench_infer\",\n");
-    out.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if smoke { "smoke" } else { "full" }
-    ));
-    out.push_str(&format!("  \"model\": \"{model}\",\n"));
-    out.push_str(&format!("  \"images\": {images},\n"));
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!("  \"plan_steps\": {},\n", plan.step_count()));
-    out.push_str("  \"phases\": [\n");
-    for (i, p) in phases.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"images_per_sec\": {:.1}}}{}\n",
-            p.name,
-            p.wall_ms,
-            p.images_per_sec,
-            if i + 1 < phases.len() { "," } else { "" },
-        ));
+fn phase(name: &'static str, wall_ms: f64, images: usize) -> PhaseReport {
+    PhaseReport {
+        name,
+        wall_ms,
+        throughput: Some(images as f64 / (wall_ms / 1e3)),
+        counters: vec![("images", images as u64)],
     }
-    out.push_str("  ],\n");
-    out.push_str(&format!(
-        "  \"speedup_planned_vs_naive\": {speedup_planned:.2},\n"
-    ));
-    out.push_str(&format!(
-        "  \"speedup_planned_parallel_vs_naive\": {speedup_parallel:.2},\n"
-    ));
-    out.push_str(&format!(
-        "  \"arena\": {{\"peak_live_bytes\": {}, \"total_activation_bytes\": {}, \"slots\": {}, \"utilization\": {:.3}}},\n",
-        stats.peak_live_bytes,
-        stats.total_activation_bytes,
-        stats.slot_count,
-        stats.utilization(),
-    ));
-    out.push_str("  \"bit_identical\": true\n}\n");
-    out
 }
 
 fn main() {
@@ -174,40 +117,45 @@ fn main() {
         );
     }
 
-    let phases = vec![
-        Phase {
-            name: "naive_sequential",
-            wall_ms: naive_ms,
-            images_per_sec: inputs.len() as f64 / (naive_ms / 1e3),
-        },
-        Phase {
-            name: "planned_sequential",
-            wall_ms: planned_ms,
-            images_per_sec: inputs.len() as f64 / (planned_ms / 1e3),
-        },
-        Phase {
-            name: "planned_parallel",
-            wall_ms: parallel_ms,
-            images_per_sec: inputs.len() as f64 / (parallel_ms / 1e3),
-        },
-    ];
     let plan = planned_ctx.plan().expect("compiled during phase 2");
-    let json = render_json(&Report {
-        smoke,
-        model,
-        images: inputs.len(),
+    let stats = plan.arena_stats();
+    let report = BenchReport {
+        benchmark: "bench_infer",
+        mode: if smoke { "smoke" } else { "full" },
+        git_rev: git_rev(&args),
         threads,
-        phases: &phases,
-        speedup_planned,
-        speedup_parallel,
-        plan,
-    });
-    std::fs::write(&out_path, &json).expect("write report");
+        throughput_unit: "images_per_sec",
+        context: vec![
+            ("model", model.to_string()),
+            ("images", inputs.len().to_string()),
+            ("plan_steps", plan.step_count().to_string()),
+        ],
+        phases: vec![
+            phase("naive_sequential", naive_ms, inputs.len()),
+            phase("planned_sequential", planned_ms, inputs.len()),
+            phase("planned_parallel", parallel_ms, inputs.len()),
+        ],
+        summary: vec![
+            ("speedup_planned_vs_naive", speedup_planned),
+            ("speedup_planned_parallel_vs_naive", speedup_parallel),
+            ("arena_peak_live_bytes", stats.peak_live_bytes as f64),
+            (
+                "arena_total_activation_bytes",
+                stats.total_activation_bytes as f64,
+            ),
+            ("arena_slots", stats.slot_count as f64),
+            ("arena_utilization", stats.utilization()),
+        ],
+        bit_identical: true,
+    };
+    report.write(&out_path);
 
-    for p in &phases {
+    for p in &report.phases {
         println!(
             "{:<20} {:>10.2} ms  {:>10.1} images/s",
-            p.name, p.wall_ms, p.images_per_sec
+            p.name,
+            p.wall_ms,
+            p.throughput.unwrap_or(0.0)
         );
     }
     println!(

@@ -1,0 +1,226 @@
+//! The shared machine-diffable report schema for the bench binaries.
+//!
+//! `bench_build` and `bench_infer` historically wrote two ad-hoc JSON
+//! shapes; diffing the bench trajectory across commits meant special-casing
+//! each file. Both now emit this one schema:
+//!
+//! ```json
+//! {
+//!   "tool": "trtsim-bench",
+//!   "schema_version": 1,
+//!   "benchmark": "bench_infer",
+//!   "mode": "smoke",
+//!   "git_rev": "unknown",
+//!   "threads": 16,
+//!   "wall_unit": "ms",
+//!   "throughput_unit": "images_per_sec",
+//!   "context": {"model": "resnet18"},
+//!   "phases": [
+//!     {"name": "naive_sequential", "wall_ms": 10.1,
+//!      "throughput": 99.0, "counters": {"cache_hits": 12}}
+//!   ],
+//!   "summary": {"speedup_planned_vs_naive": 3.1},
+//!   "bit_identical": true
+//! }
+//! ```
+//!
+//! `git_rev` is passed in by the harness (`--git-rev SHA` or the
+//! `TRTSIM_GIT_REV` environment variable; `"unknown"` otherwise) — the
+//! binary never shells out to `git` itself, so reports stay reproducible
+//! from tarballs. Wall time is always milliseconds; the per-benchmark
+//! throughput unit is named once at the top level.
+
+/// One timed phase of a benchmark run.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase name (snake_case, stable across commits).
+    pub name: &'static str,
+    /// Wall-clock time, milliseconds.
+    pub wall_ms: f64,
+    /// Work rate in the report's `throughput_unit`, when meaningful.
+    pub throughput: Option<f64>,
+    /// Integer event counters attributed to this phase.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// A full bench report in the shared schema.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Which binary produced this (`bench_build`, `bench_infer`).
+    pub benchmark: &'static str,
+    /// `smoke` (CI-sized) or `full`.
+    pub mode: &'static str,
+    /// Git revision the harness passed in; `unknown` when it didn't.
+    pub git_rev: String,
+    /// Worker threads available to the parallel phases.
+    pub threads: usize,
+    /// Unit of every phase's `throughput` field.
+    pub throughput_unit: &'static str,
+    /// Free-form string context (model names, image counts).
+    pub context: Vec<(&'static str, String)>,
+    /// Timed phases, in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Derived numeric results (speedups, footprints).
+    pub summary: Vec<(&'static str, f64)>,
+    /// Whether every cross-phase output comparison was bit-identical.
+    pub bit_identical: bool,
+}
+
+impl BenchReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"trtsim-bench\",\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"benchmark\": \"{}\",\n", self.benchmark));
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!(
+            "  \"git_rev\": \"{}\",\n",
+            json_escape(&self.git_rev)
+        ));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"wall_unit\": \"ms\",\n");
+        out.push_str(&format!(
+            "  \"throughput_unit\": \"{}\",\n",
+            self.throughput_unit
+        ));
+        out.push_str("  \"context\": {");
+        for (i, (k, v)) in self.context.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": \"{}\"", json_escape(v)));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"throughput\": {}, \"counters\": {{",
+                p.name,
+                p.wall_ms,
+                match p.throughput {
+                    Some(t) => format!("{t:.3}"),
+                    None => "null".to_string(),
+                },
+            ));
+            for (j, (k, v)) in p.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{k}\": {v}"));
+            }
+            out.push_str("}}");
+            if i + 1 < self.phases.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"summary\": {");
+        for (i, (k, v)) in self.summary.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": {v:.3}"));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"bit_identical\": {}\n}}\n",
+            self.bit_identical
+        ));
+        out
+    }
+
+    /// Writes the JSON report to `path`, plus the process telemetry
+    /// snapshot next to it (see [`telemetry_path_for`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either file cannot be written — a bench run whose report
+    /// is lost should fail loudly.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.to_json()).expect("write bench report");
+        trtsim_metrics::Registry::global()
+            .write_json(telemetry_path_for(path))
+            .expect("write telemetry snapshot");
+    }
+}
+
+/// Where a report's telemetry snapshot lands: `X.json` → `X.telemetry.json`
+/// (or `X.telemetry.json` appended when the report has no `.json` suffix).
+pub fn telemetry_path_for(report_path: &str) -> String {
+    match report_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.telemetry.json"),
+        None => format!("{report_path}.telemetry.json"),
+    }
+}
+
+/// Resolves the git revision the harness passed in: `--git-rev SHA` in
+/// `args`, else the `TRTSIM_GIT_REV` environment variable, else `unknown`.
+pub fn git_rev(args: &[String]) -> String {
+    args.iter()
+        .position(|a| a == "--git-rev")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("TRTSIM_GIT_REV").ok())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_the_shared_fields() {
+        let report = BenchReport {
+            benchmark: "bench_test",
+            mode: "smoke",
+            git_rev: "abc123".into(),
+            threads: 4,
+            throughput_unit: "items_per_sec",
+            context: vec![("model", "m".into())],
+            phases: vec![PhaseReport {
+                name: "p1",
+                wall_ms: 1.5,
+                throughput: Some(10.0),
+                counters: vec![("hits", 3)],
+            }],
+            summary: vec![("speedup", 2.0)],
+            bit_identical: true,
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"tool\": \"trtsim-bench\"",
+            "\"schema_version\": 1",
+            "\"git_rev\": \"abc123\"",
+            "\"wall_unit\": \"ms\"",
+            "\"throughput_unit\": \"items_per_sec\"",
+            "\"counters\": {\"hits\": 3}",
+            "\"summary\": {\"speedup\": 2.000}",
+            "\"bit_identical\": true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn telemetry_path_derivation() {
+        assert_eq!(
+            telemetry_path_for("BENCH_build.json"),
+            "BENCH_build.telemetry.json"
+        );
+        assert_eq!(telemetry_path_for("out"), "out.telemetry.json");
+    }
+
+    #[test]
+    fn git_rev_prefers_flag() {
+        let args = vec!["--git-rev".to_string(), "deadbeef".to_string()];
+        assert_eq!(git_rev(&args), "deadbeef");
+        assert_eq!(git_rev(&[]), "unknown");
+    }
+}

@@ -61,6 +61,7 @@ impl Builder {
     /// Returns [`EngineError`] if the network is invalid, a layer has no
     /// tactic, or INT8 calibration fails.
     pub fn build(&self, network: &Graph) -> Result<Engine, EngineError> {
+        let build_started = std::time::Instant::now();
         let build_seed = self.config.resolve_seed();
 
         // Figure 2, steps 1-3 (each independently ablatable).
@@ -133,6 +134,7 @@ impl Builder {
             })
             .collect();
 
+        crate::telemetry::record_build(network.name(), build_started.elapsed().as_secs_f64());
         Ok(Engine {
             name: network.name().to_string(),
             io: IoBytes::of(&g, &shapes),

@@ -167,6 +167,7 @@ pub struct InferencePlan<'e> {
     slot_of: Vec<usize>,
     slot_count: usize,
     stats: ArenaStats,
+    metrics: crate::telemetry::PlanMetrics,
 }
 
 impl<'e> InferencePlan<'e> {
@@ -326,12 +327,15 @@ impl<'e> InferencePlan<'e> {
             });
         }
 
+        crate::telemetry::record_plan_compile(engine.name(), &stats);
+        let moves_per_execution = steps.iter().filter(|s| s.move_input).count() as u64;
         Ok(Self {
             engine,
             steps,
             slot_of: slots.slot_of,
             slot_count: slots.slot_count,
             stats,
+            metrics: crate::telemetry::PlanMetrics::register(engine.name(), moves_per_execution),
         })
     }
 
@@ -478,6 +482,13 @@ impl<'e> InferencePlan<'e> {
                 arena.release(t);
             }
         }
+        self.metrics.executions.inc();
+        if self.metrics.moves_per_execution > 0 {
+            self.metrics
+                .zero_copy_forwards
+                .add(self.metrics.moves_per_execution);
+        }
+        crate::telemetry::sync_fp16_redos();
         Ok(outputs)
     }
 

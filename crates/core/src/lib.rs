@@ -57,6 +57,7 @@ pub mod passes;
 pub mod plan;
 pub mod runtime;
 pub mod serving;
+pub mod telemetry;
 pub mod timing_cache;
 
 pub use builder::Builder;
@@ -69,4 +70,5 @@ pub use serving::{
     serve, InferenceServer, KernelTime, ProfileOptions, RequestRecord, ServerConfig, ServerStats,
     ServingError, ServingReport,
 };
+pub use telemetry::GpuSampler;
 pub use timing_cache::TimingCache;

@@ -298,7 +298,10 @@ impl<'e> ExecutionContext<'e> {
         let workers = threads.max(1).min(inputs.len());
         let chunk = inputs.len().div_ceil(workers);
         let chunks = map_indexed(workers, workers, |w| {
-            let start = w * chunk;
+            // div_ceil chunking can leave trailing workers with no inputs
+            // (5 inputs / 4 workers -> chunks of 2, worker 3 starts past the
+            // end); clamp so they get an empty slice instead of a panic.
+            let start = (w * chunk).min(inputs.len());
             let end = ((w + 1) * chunk).min(inputs.len());
             let mut scratch = PlanScratch::new();
             inputs[start..end]

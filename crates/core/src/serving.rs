@@ -55,10 +55,11 @@ use std::time::Duration;
 use trtsim_gpu::device::DeviceSpec;
 use trtsim_gpu::tegrastats;
 use trtsim_gpu::timeline::{GpuTimeline, SpanSeq, StreamId};
-use trtsim_metrics::LatencyPercentiles;
+use trtsim_metrics::{LatencyPercentiles, Registry, TelemetryServer};
 
 use crate::engine::Engine;
 use crate::runtime::{ExecutionContext, TimingOptions};
+use crate::telemetry::{GpuSampler, ServingMetrics};
 
 /// Errors from configuring or feeding an [`InferenceServer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +70,8 @@ pub enum ServingError {
     QueueFull,
     /// The server has shut down and no longer accepts frames.
     Stopped,
+    /// The telemetry scrape endpoint could not be started (bind failure).
+    Telemetry(String),
 }
 
 impl std::fmt::Display for ServingError {
@@ -77,6 +80,9 @@ impl std::fmt::Display for ServingError {
             ServingError::InvalidConfig(detail) => write!(f, "invalid server config: {detail}"),
             ServingError::QueueFull => write!(f, "submission queue is full"),
             ServingError::Stopped => write!(f, "server is stopped"),
+            ServingError::Telemetry(detail) => {
+                write!(f, "telemetry endpoint failed to start: {detail}")
+            }
         }
     }
 }
@@ -165,6 +171,15 @@ pub struct ServerConfig {
     pub timing: TimingOptions,
     /// Observability knobs (timeline capture, per-kernel breakdown).
     pub profile: ProfileOptions,
+    /// When set, the server binds a [`trtsim_metrics::TelemetryServer`] on
+    /// this address (`GET /metrics` Prometheus text, `GET /metrics.json`
+    /// snapshot) and runs the tegrastats-style [`GpuSampler`] for the life
+    /// of the server. Port 0 picks a free port; see
+    /// [`InferenceServer::telemetry_addr`] for the bound address.
+    pub telemetry_addr: Option<std::net::SocketAddr>,
+    /// Wall-clock cadence of the GPU sampler, milliseconds. Only meaningful
+    /// with [`ServerConfig::telemetry_addr`] set.
+    pub telemetry_sample_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -177,6 +192,8 @@ impl Default for ServerConfig {
             arrival_period_us: 0.0,
             timing: TimingOptions::default(),
             profile: ProfileOptions::default(),
+            telemetry_addr: None,
+            telemetry_sample_ms: 50,
         }
     }
 }
@@ -224,6 +241,19 @@ impl ServerConfig {
         self
     }
 
+    /// Enables the live telemetry endpoint + GPU sampler on `addr`
+    /// (e.g. `"127.0.0.1:9090".parse().unwrap()`; port 0 picks a free port).
+    pub fn with_telemetry(mut self, addr: std::net::SocketAddr) -> Self {
+        self.telemetry_addr = Some(addr);
+        self
+    }
+
+    /// Sets the GPU sampler cadence, wall-clock milliseconds.
+    pub fn with_telemetry_sample_ms(mut self, ms: u64) -> Self {
+        self.telemetry_sample_ms = ms;
+        self
+    }
+
     /// Checks every knob, naming the first invalid one.
     ///
     /// # Errors
@@ -253,6 +283,11 @@ impl ServerConfig {
         if !self.arrival_period_us.is_finite() || self.arrival_period_us < 0.0 {
             return Err(ServingError::InvalidConfig(
                 "arrival period must be finite and non-negative".into(),
+            ));
+        }
+        if self.telemetry_sample_ms == 0 {
+            return Err(ServingError::InvalidConfig(
+                "telemetry sample period must be at least 1 ms".into(),
             ));
         }
         Ok(())
@@ -422,6 +457,9 @@ pub struct InferenceServer {
     rejected: AtomicU64,
     abort_flag: Arc<AtomicBool>,
     config: ServerConfig,
+    metrics: ServingMetrics,
+    exporter: Option<TelemetryServer>,
+    sampler: Option<GpuSampler>,
 }
 
 impl InferenceServer {
@@ -437,6 +475,7 @@ impl InferenceServer {
         config: ServerConfig,
     ) -> Result<Self, ServingError> {
         config.validate()?;
+        let metrics = ServingMetrics::register(engine.name());
         let engine = Arc::new(engine.clone());
         let timeline = Arc::new(Mutex::new(GpuTimeline::new(device.clone())));
         let streams: Vec<StreamId> = {
@@ -470,6 +509,7 @@ impl InferenceServer {
             let stats = Arc::clone(&stats);
             let abort_flag = Arc::clone(&abort_flag);
             let timing = config.timing;
+            let metrics = metrics.clone();
             workers.push(std::thread::spawn(move || {
                 worker_loop(
                     &engine,
@@ -481,6 +521,7 @@ impl InferenceServer {
                     &stats,
                     &abort_flag,
                     worker,
+                    &metrics,
                 );
             }));
         }
@@ -490,6 +531,7 @@ impl InferenceServer {
             let max_batch = config.max_batch_size;
             let batch_timeout_us = config.batch_timeout_us;
             let arrival_period_us = config.arrival_period_us;
+            let metrics = metrics.clone();
             std::thread::spawn(move || {
                 batcher_loop(
                     &submission_rx,
@@ -499,8 +541,22 @@ impl InferenceServer {
                     arrival_period_us,
                     &depth,
                     &high_water,
+                    &metrics,
                 );
             })
+        };
+
+        let (exporter, sampler) = match config.telemetry_addr {
+            Some(addr) => {
+                let exporter = TelemetryServer::bind(addr, Arc::clone(Registry::global()))
+                    .map_err(|e| ServingError::Telemetry(format!("bind {addr}: {e}")))?;
+                let sampler = GpuSampler::spawn(
+                    Arc::clone(&timeline),
+                    Duration::from_millis(config.telemetry_sample_ms),
+                );
+                (Some(exporter), Some(sampler))
+            }
+            None => (None, None),
         };
 
         Ok(Self {
@@ -515,6 +571,9 @@ impl InferenceServer {
             rejected: AtomicU64::new(0),
             abort_flag,
             config,
+            metrics,
+            exporter,
+            sampler,
         })
     }
 
@@ -536,13 +595,19 @@ impl InferenceServer {
         let depth_now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
         match tx.try_send(frame) {
             Ok(()) => {
-                self.high_water.fetch_max(depth_now, Ordering::SeqCst);
+                let prev_max = self.high_water.fetch_max(depth_now, Ordering::SeqCst);
                 self.accepted.fetch_add(1, Ordering::Relaxed);
+                self.metrics.accepted.inc();
+                self.metrics.queue_depth.set(depth_now as f64);
+                self.metrics
+                    .queue_high_water
+                    .set(prev_max.max(depth_now) as f64);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 self.depth.fetch_sub(1, Ordering::SeqCst);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.rejected.inc();
                 Err(ServingError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -562,8 +627,13 @@ impl InferenceServer {
         let depth_now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
         match tx.send(frame) {
             Ok(()) => {
-                self.high_water.fetch_max(depth_now, Ordering::SeqCst);
+                let prev_max = self.high_water.fetch_max(depth_now, Ordering::SeqCst);
                 self.accepted.fetch_add(1, Ordering::Relaxed);
+                self.metrics.accepted.inc();
+                self.metrics.queue_depth.set(depth_now as f64);
+                self.metrics
+                    .queue_high_water
+                    .set(prev_max.max(depth_now) as f64);
                 Ok(())
             }
             Err(_) => {
@@ -576,6 +646,13 @@ impl InferenceServer {
     /// The configuration this server runs with.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The bound address of the telemetry endpoint, when
+    /// [`ServerConfig::with_telemetry`] was set. Useful with port 0:
+    /// `curl http://<addr>/metrics`.
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.exporter.as_ref().map(TelemetryServer::local_addr)
     }
 
     /// A live snapshot of the counters and simulated-time metrics. Cheap
@@ -611,6 +688,12 @@ impl InferenceServer {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // One final GPU sample over the completed timeline, then stop the
+        // scrape endpoint (dropping it joins its accept thread).
+        if let Some(mut sampler) = self.sampler.take() {
+            sampler.stop();
+        }
+        self.exporter.take();
         self.snapshot()
     }
 
@@ -691,6 +774,7 @@ fn batcher_loop(
     arrival_period_us: f64,
     depth: &AtomicUsize,
     high_water: &AtomicUsize,
+    metrics: &ServingMetrics,
 ) {
     let mut next_worker = 0usize;
     let mut seq = 0u64;
@@ -703,8 +787,10 @@ fn batcher_loop(
         // before this pop, then raced with other submits), so the coalesce
         // point is the second place the true maximum can surface.
         let observed = depth.load(Ordering::SeqCst);
-        high_water.fetch_max(observed, Ordering::SeqCst);
-        depth.fetch_sub(1, Ordering::SeqCst);
+        let prev_max = high_water.fetch_max(observed, Ordering::SeqCst);
+        let remaining = depth.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+        metrics.queue_depth.set(remaining as f64);
+        metrics.queue_high_water.set(prev_max.max(observed) as f64);
         let request = Request {
             frame,
             arrival_us: *seq as f64 * arrival_period_us,
@@ -771,12 +857,14 @@ fn worker_loop(
     stats: &Mutex<StatsInner>,
     abort_flag: &AtomicBool,
     worker: usize,
+    metrics: &ServingMetrics,
 ) {
     let ctx = ExecutionContext::new(engine, device);
     while let Ok(batch) = batches.recv() {
         let size = batch.requests.len();
         if abort_flag.load(Ordering::Relaxed) {
             stats.lock().expect("stats lock").dropped += size as u64;
+            metrics.dropped.add(size as u64);
             continue;
         }
         let (done_us, span_lo, span_hi) = {
@@ -790,12 +878,18 @@ fn worker_loop(
             // Timeline lock released here, before the stats lock, keeping
             // the snapshot path's timeline→stats order deadlock-free.
         };
+        metrics.completed.add(size as u64);
+        metrics.batches.inc();
+        metrics.batch_size.observe(size as f64);
         let mut st = stats.lock().expect("stats lock");
         st.completed += size as u64;
         st.batches += 1;
         st.batch_size_counts[size - 1] += 1;
         st.frames_per_worker[worker] += size as u64;
         for request in &batch.requests {
+            metrics
+                .latency_us
+                .observe((done_us - request.arrival_us).max(0.0));
             st.latencies_us
                 .push((done_us - request.arrival_us).max(0.0));
             st.completions.push(RequestRecord {

@@ -1,0 +1,410 @@
+//! Core-side telemetry: metric handle bundles for the instrumented
+//! subsystems and the periodic tegrastats-style GPU sampler.
+//!
+//! Everything here publishes into [`Registry::global`] so one scrape of the
+//! [`trtsim_metrics::TelemetryServer`] endpoint sees the whole process:
+//! serving counters, build-cache hit rates, fast-path activity, and the
+//! live per-stream GPU utilization the paper reads off `tegrastats` during
+//! its concurrency experiments.
+//!
+//! Naming scheme (documented in DESIGN §10): every family is prefixed
+//! `trtsim_`, subsystem second (`server`, `build`, `timing_cache`, `farm`,
+//! `plan`, `gpu`), unit suffixes spelled out (`_us`, `_bytes`, `_mw`),
+//! counters end `_total`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use trtsim_gpu::tegrastats;
+use trtsim_gpu::timeline::GpuTimeline;
+use trtsim_metrics::{log_buckets, Counter, Gauge, Histogram, Registry};
+
+/// Default latency-histogram bounds: 1 µs to ~33.5 s in ×2 steps. Quantile
+/// estimates are therefore exact to within a factor of 2 — the resolution a
+/// serving dashboard needs, at 27 fixed buckets of memory forever.
+pub fn latency_buckets_us() -> Vec<f64> {
+    log_buckets(1.0, 2.0, 26)
+}
+
+/// Serving-path metric handles, one bundle per [`crate::InferenceServer`],
+/// all labelled `model=<engine name>`. Handles are `Arc`-backed: cloning the
+/// bundle for a worker thread is a handful of refcount bumps, and every
+/// update afterwards is a relaxed atomic op.
+#[derive(Debug, Clone)]
+pub(crate) struct ServingMetrics {
+    pub(crate) accepted: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) completed: Counter,
+    pub(crate) dropped: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) queue_high_water: Gauge,
+    pub(crate) batch_size: Histogram,
+    pub(crate) latency_us: Histogram,
+}
+
+impl ServingMetrics {
+    pub(crate) fn register(model: &str) -> Self {
+        let reg = Registry::global();
+        let labels: &[(&str, &str)] = &[("model", model)];
+        Self {
+            accepted: reg.counter(
+                "trtsim_server_accepted_total",
+                "Frames admitted past the bounded submission queue",
+                labels,
+            ),
+            rejected: reg.counter(
+                "trtsim_server_rejected_total",
+                "Frames refused by try_submit on a full queue",
+                labels,
+            ),
+            completed: reg.counter(
+                "trtsim_server_completed_total",
+                "Frames fully served",
+                labels,
+            ),
+            dropped: reg.counter(
+                "trtsim_server_dropped_total",
+                "Accepted frames discarded by abort",
+                labels,
+            ),
+            batches: reg.counter(
+                "trtsim_server_batches_total",
+                "Batched enqueues issued by the dynamic batcher",
+                labels,
+            ),
+            queue_depth: reg.gauge(
+                "trtsim_server_queue_depth",
+                "Frames currently waiting in the submission queue",
+                labels,
+            ),
+            queue_high_water: reg.gauge(
+                "trtsim_server_queue_high_water",
+                "Most frames ever waiting in the submission queue",
+                labels,
+            ),
+            batch_size: reg.histogram(
+                "trtsim_server_batch_size",
+                "Frames per batched enqueue",
+                labels,
+                &log_buckets(1.0, 2.0, 8),
+            ),
+            latency_us: reg.histogram(
+                "trtsim_server_latency_us",
+                "Per-request simulated latency, microseconds",
+                labels,
+                &latency_buckets_us(),
+            ),
+        }
+    }
+}
+
+/// Fast-path metric handles, registered once per [`crate::InferencePlan`]
+/// compilation.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanMetrics {
+    pub(crate) executions: Counter,
+    pub(crate) zero_copy_forwards: Counter,
+    /// Statically counted `move_input` steps per execution, so the hot loop
+    /// adds one precomputed number instead of branching per step.
+    pub(crate) moves_per_execution: u64,
+}
+
+impl PlanMetrics {
+    pub(crate) fn register(model: &str, moves_per_execution: u64) -> Self {
+        let reg = Registry::global();
+        let labels: &[(&str, &str)] = &[("model", model)];
+        Self {
+            executions: reg.counter(
+                "trtsim_plan_executions_total",
+                "Inferences served through a precompiled plan",
+                labels,
+            ),
+            zero_copy_forwards: reg.counter(
+                "trtsim_plan_zero_copy_forwards_total",
+                "Tensor moves forwarded without a copy by plan steps",
+                labels,
+            ),
+            moves_per_execution,
+        }
+    }
+}
+
+/// Registers plan-compile activity: bumps the compile counter and publishes
+/// the arena footprint gauges for `model`.
+pub(crate) fn record_plan_compile(model: &str, stats: &trtsim_metrics::ArenaStats) {
+    let reg = Registry::global();
+    let labels: &[(&str, &str)] = &[("model", model)];
+    reg.counter(
+        "trtsim_plan_compiles_total",
+        "Inference plans compiled",
+        labels,
+    )
+    .inc();
+    reg.gauge(
+        "trtsim_plan_arena_peak_live_bytes",
+        "Peak live activation bytes of the plan's tensor arena",
+        labels,
+    )
+    .set(stats.peak_live_bytes as f64);
+    reg.gauge(
+        "trtsim_plan_arena_total_activation_bytes",
+        "Keep-everything activation bytes the arena avoided",
+        labels,
+    )
+    .set(stats.total_activation_bytes as f64);
+}
+
+/// The process-wide FP16 fast-path redo counter, mirroring the raw count
+/// kept inside `trtsim-kernels` (which has no metrics dependency).
+fn fp16_redo_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        Registry::global().counter(
+            "trtsim_plan_fp16_redos_total",
+            "FP16 Veltkamp fast-path rollback/redo events in numeric kernels",
+            &[],
+        )
+    })
+}
+
+/// Folds any new kernel-side FP16 redo events into the registry counter.
+/// Exactly-once under concurrency: a CAS loop claims the `[last, now)` delta
+/// for a single caller.
+pub(crate) fn sync_fp16_redos() {
+    static LAST: AtomicU64 = AtomicU64::new(0);
+    let now = trtsim_kernels::numeric::fp16_redo_events();
+    let mut last = LAST.load(Ordering::Relaxed);
+    while now > last {
+        match LAST.compare_exchange_weak(last, now, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                fp16_redo_counter().add(now - last);
+                return;
+            }
+            Err(seen) => last = seen,
+        }
+    }
+}
+
+/// The autotuner's per-tactic measurement counter, cached so the parallel
+/// autotune fan-out never touches the registry lock.
+pub(crate) fn autotune_measurements_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        Registry::global().counter(
+            "trtsim_autotune_measurements_total",
+            "Noisy tactic timing measurements taken by the autotuner",
+            &[],
+        )
+    })
+}
+
+/// Timing-cache hit/miss counters, labelled `result="hit"|"miss"`. Cached:
+/// `TimingCache::time_us` sits under the autotune fan-out.
+pub(crate) fn timing_cache_counters() -> &'static (Counter, Counter) {
+    static C: OnceLock<(Counter, Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        let reg = Registry::global();
+        let help = "Timing-cache lookups by outcome";
+        (
+            reg.counter(
+                "trtsim_timing_cache_lookups_total",
+                help,
+                &[("result", "hit")],
+            ),
+            reg.counter(
+                "trtsim_timing_cache_lookups_total",
+                help,
+                &[("result", "miss")],
+            ),
+        )
+    })
+}
+
+/// Records one engine build: bumps the per-model build counter and observes
+/// the wall-clock build time.
+pub(crate) fn record_build(model: &str, seconds: f64) {
+    let reg = Registry::global();
+    let labels: &[(&str, &str)] = &[("model", model)];
+    reg.counter("trtsim_build_total", "Engine builds completed", labels)
+        .inc();
+    reg.histogram(
+        "trtsim_build_seconds",
+        "Wall-clock engine build time, seconds",
+        labels,
+        // 1 ms to ~65 s in x2 steps.
+        &log_buckets(1e-3, 2.0, 17),
+    )
+    .observe(seconds);
+}
+
+/// A periodic tegrastats-style sampler over a live serving timeline.
+///
+/// Every `period` of *wall* time it locks the shared [`GpuTimeline`], takes
+/// the simulated window since its previous sample, and publishes:
+///
+/// * `trtsim_gpu_gr3d_percent` — occupancy-weighted device utilization
+/// * `trtsim_gpu_stream_busy_percent{stream=...}` — per-stream busy fraction
+/// * `trtsim_gpu_memcpy_bytes_per_second{direction=...}` — PCIe traffic per
+///   simulated second
+/// * `trtsim_gpu_power_mw` — the CV²f power estimate from
+///   [`tegrastats::gpu_power_mw`]
+/// * `trtsim_gpu_elapsed_simulated_us` — the simulated clock itself
+///
+/// Rates are per **simulated** second: the timeline advances in bursts
+/// relative to wall time, so wall-clock rates would be an artifact of the
+/// simulator's own speed. Windows in which no simulated time passed leave
+/// the gauges at their previous values.
+///
+/// One sample is taken immediately at spawn and a final one at [`stop`],
+/// so short runs and tests always see fresh gauges.
+///
+/// [`stop`]: GpuSampler::stop
+#[derive(Debug)]
+pub struct GpuSampler {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl GpuSampler {
+    /// Spawns the sampler thread over `timeline` at the given wall-clock
+    /// cadence.
+    pub fn spawn(timeline: Arc<Mutex<GpuTimeline>>, period: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("gpu-sampler".into())
+            .spawn(move || {
+                let mut last_us = 0.0f64;
+                loop {
+                    last_us = sample_once(&timeline, last_us);
+                    if stop_flag.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::park_timeout(period);
+                }
+            })
+            .expect("spawn gpu sampler");
+        Self {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the sampler after one final sample. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.thread().unpark();
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for GpuSampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Takes one sample over `[last_us, now)`; returns the new cursor.
+fn sample_once(timeline: &Mutex<GpuTimeline>, last_us: f64) -> f64 {
+    let tl = timeline.lock().expect("timeline lock");
+    let now_us = tl.elapsed_us();
+    let reg = Registry::global();
+    reg.gauge(
+        "trtsim_gpu_elapsed_simulated_us",
+        "Simulated timeline clock, microseconds",
+        &[],
+    )
+    .set(now_us);
+    if now_us <= last_us {
+        return last_us;
+    }
+    let window_s = (now_us - last_us) / 1e6;
+    let utilization = tl.utilization_between(last_us, now_us);
+    reg.gauge(
+        "trtsim_gpu_gr3d_percent",
+        "GR3D utilization over the last sampling window, percent",
+        &[],
+    )
+    .set(utilization * 100.0);
+    reg.gauge(
+        "trtsim_gpu_power_mw",
+        "Estimated GPU-rail power draw, milliwatts",
+        &[],
+    )
+    .set(tegrastats::gpu_power_mw(tl.device(), utilization));
+    for stream in 0..tl.stream_count() {
+        let busy = tegrastats::stream_busy_between(&tl, stream, last_us, now_us);
+        reg.gauge(
+            "trtsim_gpu_stream_busy_percent",
+            "Per-stream device-busy fraction over the last window, percent",
+            &[("stream", &stream.to_string())],
+        )
+        .set(busy * 100.0);
+    }
+    let (h2d, d2h) = tegrastats::memcpy_bytes_between(&tl, last_us, now_us);
+    let help = "Memcpy traffic over the last window, bytes per simulated second";
+    reg.gauge(
+        "trtsim_gpu_memcpy_bytes_per_second",
+        help,
+        &[("direction", "h2d")],
+    )
+    .set(h2d / window_s);
+    reg.gauge(
+        "trtsim_gpu_memcpy_bytes_per_second",
+        help,
+        &[("direction", "d2h")],
+    )
+    .set(d2h / window_s);
+    now_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_gpu::device::DeviceSpec;
+    use trtsim_gpu::kernel::{KernelDesc, Precision};
+
+    #[test]
+    fn sampler_publishes_stream_and_memcpy_gauges() {
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s = tl.create_stream();
+        tl.enqueue_h2d(s, 1 << 20);
+        tl.enqueue_kernel(
+            s,
+            &KernelDesc::new("k")
+                .grid(48, 128)
+                .flops(200_000_000)
+                .precision(Precision::Fp16, true),
+        );
+        let timeline = Arc::new(Mutex::new(tl));
+        let mut sampler = GpuSampler::spawn(Arc::clone(&timeline), Duration::from_millis(5));
+        sampler.stop();
+        let reg = Registry::global();
+        let busy = reg.gauge(
+            "trtsim_gpu_stream_busy_percent",
+            "Per-stream device-busy fraction over the last window, percent",
+            &[("stream", "0")],
+        );
+        assert!(busy.get() > 0.0, "stream 0 saw work: {}", busy.get());
+        let h2d = reg.gauge(
+            "trtsim_gpu_memcpy_bytes_per_second",
+            "Memcpy traffic over the last window, bytes per simulated second",
+            &[("direction", "h2d")],
+        );
+        assert!(h2d.get() > 0.0);
+    }
+
+    #[test]
+    fn fp16_redo_sync_is_monotone_and_exact_once() {
+        // Whatever the kernel-side count is, two syncs in a row must agree.
+        sync_fp16_redos();
+        let before = fp16_redo_counter().get();
+        sync_fp16_redos();
+        assert_eq!(fp16_redo_counter().get(), before);
+    }
+}

@@ -130,14 +130,19 @@ impl TimingCache {
     pub fn time_us(&self, kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
         let key = TimingKey::new(kernel, device);
         let shard = &self.shards[key.shard()];
+        // Registry counters are process-lifetime monotone; the per-cache
+        // `hits`/`misses` fields stay the resettable view `stats()` reports.
+        let (hit_metric, miss_metric) = crate::telemetry::timing_cache_counters();
         if let Some(&us) = shard.lock().expect("timing cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            hit_metric.inc();
             return us;
         }
         // Compute outside the lock; a racing duplicate computation writes the
         // same deterministic value, so last-write-wins is harmless.
         let us = kernel_time_us(kernel, device);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        miss_metric.inc();
         shard.lock().expect("timing cache poisoned").insert(key, us);
         us
     }

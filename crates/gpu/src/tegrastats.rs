@@ -6,7 +6,7 @@
 //! and RAM columns by sampling a [`GpuTimeline`].
 
 use crate::device::{DeviceSpec, Platform};
-use crate::timeline::GpuTimeline;
+use crate::timeline::{CopyKind, GpuTimeline, StreamId};
 
 /// One sampled line of tegrastats output.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +71,58 @@ pub fn sample(timeline: &GpuTimeline, interval_us: f64, ram_used_bytes: u64) -> 
         t += interval_us;
     }
     out
+}
+
+/// Fraction of the window `[t0, t1)` during which `stream` had a kernel or
+/// copy resident. Unlike [`GpuTimeline::utilization_between`] this is *not*
+/// occupancy-weighted: it answers "was this stream doing device work",
+/// the per-stream column a live concurrency dashboard wants. Returns 0 for
+/// an empty or inverted window.
+pub fn stream_busy_between(timeline: &GpuTimeline, stream: StreamId, t0: f64, t1: f64) -> f64 {
+    if t1 <= t0 {
+        return 0.0;
+    }
+    let mut busy = 0.0;
+    for k in timeline.kernels().iter().filter(|k| k.stream == stream) {
+        busy += overlap_us(k.start_us, k.duration_us, t0, t1);
+    }
+    for c in timeline.memcpys().iter().filter(|c| c.stream == stream) {
+        busy += overlap_us(c.start_us, c.duration_us, t0, t1);
+    }
+    (busy / (t1 - t0)).min(1.0)
+}
+
+/// Bytes moved over PCIe/NVLink within `[t0, t1)`, split `(h2d, d2h)`.
+/// Copies partially inside the window contribute pro-rata by overlap, so
+/// windowed rates sum to the true total.
+pub fn memcpy_bytes_between(timeline: &GpuTimeline, t0: f64, t1: f64) -> (f64, f64) {
+    let (mut h2d, mut d2h) = (0.0, 0.0);
+    if t1 <= t0 {
+        return (h2d, d2h);
+    }
+    for c in timeline.memcpys() {
+        // Instantaneous copies land fully in whichever window holds their
+        // start; finite ones contribute by overlap fraction.
+        let frac = if c.duration_us > 0.0 {
+            overlap_us(c.start_us, c.duration_us, t0, t1) / c.duration_us
+        } else if (t0..t1).contains(&c.start_us) {
+            1.0
+        } else {
+            0.0
+        };
+        let bytes = c.bytes as f64 * frac;
+        match c.kind {
+            CopyKind::HostToDevice => h2d += bytes,
+            CopyKind::DeviceToHost => d2h += bytes,
+        }
+    }
+    (h2d, d2h)
+}
+
+fn overlap_us(start: f64, duration: f64, t0: f64, t1: f64) -> f64 {
+    let s = start.max(t0);
+    let e = (start + duration).min(t1);
+    (e - s).max(0.0)
 }
 
 /// Mean GR3D utilization over the busy part of a run, percent.
@@ -155,5 +207,43 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         sample(&busy_timeline(), 0.0, 0);
+    }
+
+    #[test]
+    fn stream_busy_is_per_stream() {
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let a = tl.create_stream();
+        let b = tl.create_stream();
+        tl.enqueue_kernel(
+            a,
+            &KernelDesc::new("k")
+                .grid(48, 128)
+                .flops(200_000_000)
+                .precision(Precision::Fp16, true),
+        );
+        let total = tl.elapsed_us();
+        let busy_a = stream_busy_between(&tl, a, 0.0, total);
+        let busy_b = stream_busy_between(&tl, b, 0.0, total);
+        assert!(busy_a > 0.5, "stream with the kernel is busy: {busy_a}");
+        assert_eq!(busy_b, 0.0, "idle stream reports zero");
+        assert_eq!(stream_busy_between(&tl, a, total, 0.0), 0.0);
+    }
+
+    #[test]
+    fn windowed_memcpy_bytes_sum_to_total() {
+        let mut tl = GpuTimeline::new(DeviceSpec::xavier_nx());
+        let s = tl.create_stream();
+        tl.enqueue_h2d(s, 1 << 20);
+        tl.enqueue_d2h(s, 1 << 10);
+        let total = tl.elapsed_us();
+        let (h2d_all, d2h_all) = memcpy_bytes_between(&tl, 0.0, total);
+        assert!((h2d_all - (1u64 << 20) as f64).abs() < 1.0);
+        assert!((d2h_all - (1u64 << 10) as f64).abs() < 1.0);
+        // Two half-windows sum to the whole.
+        let mid = total / 2.0;
+        let (h1, d1) = memcpy_bytes_between(&tl, 0.0, mid);
+        let (h2, d2) = memcpy_bytes_between(&tl, mid, total);
+        assert!((h1 + h2 - h2d_all).abs() < 1.0);
+        assert!((d1 + d2 - d2h_all).abs() < 1.0);
     }
 }

@@ -196,6 +196,11 @@ impl GpuTimeline {
         self.stream_cursor.len() - 1
     }
 
+    /// Number of streams opened on this timeline.
+    pub fn stream_count(&self) -> usize {
+        self.stream_cursor.len()
+    }
+
     /// The span sequence number the *next* record enqueued on `stream` will
     /// carry. Serving layers use `(next_seq before, next_seq after)` to
     /// attribute a half-open span range to one request batch.

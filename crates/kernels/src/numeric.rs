@@ -19,6 +19,17 @@ use trtsim_util::f16::{round_f16, QuantParams};
 
 use crate::tactic::{AccumOrder, Tactic};
 
+/// Times the FP16 Veltkamp fast path hit a value outside its exact range and
+/// fell back to the snapshot + scalar redo (see `f16_interior_row`). Process
+/// lifetime, telemetry-only; the kernels crate stays free of the metrics
+/// dependency by exposing a raw monotonic count for upper layers to bridge.
+static FP16_REDOS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-lifetime count of FP16 fast-path rollback/redo events.
+pub fn fp16_redo_events() -> u64 {
+    FP16_REDOS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Calibration scales for INT8 execution of one layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantDesc {
@@ -975,6 +986,7 @@ impl PreparedConv {
                 }
             }
             if bad != 0 {
+                FP16_REDOS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 acc.copy_from_slice(snap);
                 if g.s == 1 {
                     for (a, &x) in acc.iter_mut().zip(&rx[src..src + width]) {

@@ -10,6 +10,9 @@
 //!   layers (timing cache, engine farm).
 //! * [`memory`] — activation-arena footprint accounting for the inference
 //!   fast path (peak live bytes vs keep-everything bytes).
+//! * [`telemetry`] — the process-wide metric [`Registry`] (counters, gauges,
+//!   log-bucket histograms) with Prometheus/JSON exporters and a std-only
+//!   TCP scrape endpoint.
 
 #![warn(missing_docs)]
 
@@ -18,9 +21,14 @@ pub mod classification;
 pub mod detection;
 pub mod latency;
 pub mod memory;
+pub mod telemetry;
 
 pub use cache::CacheStats;
 pub use classification::{consistency, top1_error_percent, ConsistencyReport};
 pub use detection::{precision_recall, DetectionEval};
 pub use latency::{fps_from_latency_us, LatencyCell, LatencyPercentiles};
 pub use memory::ArenaStats;
+pub use telemetry::{
+    log_buckets, render_json, render_prometheus, Counter, Gauge, Histogram, Registry,
+    TelemetryServer,
+};

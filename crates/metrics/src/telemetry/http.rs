@@ -1,0 +1,194 @@
+//! A std-only TCP scrape endpoint serving the exposition formats.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use super::export::{render_json, render_prometheus};
+use super::registry::Registry;
+
+/// A minimal HTTP/1.1 endpoint exposing a [`Registry`]:
+///
+/// * `GET /metrics` — Prometheus text exposition
+/// * `GET /metrics.json` — JSON snapshot
+///
+/// One accept-loop thread, one connection at a time, `Connection: close` —
+/// exactly enough for a scraper, with no dependency beyond `std`. The
+/// listener shuts down when the handle is dropped (or [`shutdown`] is
+/// called explicitly).
+///
+/// [`shutdown`]: TelemetryServer::shutdown
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (port 0 picks a free port; see [`local_addr`]) and starts
+    /// serving `registry` on a background thread.
+    ///
+    /// [`local_addr`]: TelemetryServer::local_addr
+    pub fn bind(addr: SocketAddr, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("telemetry-http".into())
+            .spawn(move || accept_loop(listener, &registry, &stop_flag))
+            .expect("spawn telemetry thread");
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection. The loop
+        // re-checks the stop flag before serving it.
+        let poke = if self.addr.ip().is_unspecified() {
+            SocketAddr::new(std::net::Ipv4Addr::LOCALHOST.into(), self.addr.port())
+        } else {
+            self.addr
+        };
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_millis(200));
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: &Registry, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // A slow or stuck client must not wedge the scrape endpoint.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = serve_one(stream, registry);
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/metrics") | Some("/") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(registry),
+        ),
+        Some("/metrics.json") => ("200 OK", "application/json", render_json(registry)),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found: try /metrics or /metrics.json\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the request through the end of its headers and returns the path
+/// from the request line.
+///
+/// Draining the full header block matters even though only the first line
+/// is parsed: clients may deliver the request across several writes (Rust's
+/// `write!` on a stream issues one write per format fragment), and closing
+/// the socket with unread bytes in the receive buffer turns the close into
+/// an RST that breaks the client mid-request. Clients that send only a bare
+/// request line are still served, after the read timeout.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = [0u8; 1024];
+    let mut request = Vec::new();
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        };
+        request.extend_from_slice(&buf[..n]);
+        let headers_done = request.windows(4).any(|w| w == b"\r\n\r\n")
+            || request.windows(2).any(|w| w == b"\n\n");
+        if headers_done || request.len() > 8 * 1024 {
+            break;
+        }
+    }
+    let line_end = request
+        .iter()
+        .position(|&b| b == b'\n')
+        .unwrap_or(request.len());
+    let line = String::from_utf8_lossy(&request[..line_end]);
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_both_formats_and_404() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("up_total", "liveness", &[]).inc();
+        let mut server =
+            TelemetryServer::bind("127.0.0.1:0".parse().unwrap(), Arc::clone(&registry))
+                .expect("bind");
+        let addr = server.local_addr();
+
+        let text = scrape(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("up_total 1"));
+
+        let json = scrape(addr, "/metrics.json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"up_total\""));
+
+        let missing = scrape(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -1,9 +1,26 @@
 //! Serving extension: dynamic-batching sweep on both platforms.
+//!
+//! Besides the text tables, dumps the process telemetry registry (serving
+//! counters, per-model latency histograms, build-cache and farm activity)
+//! as JSON: `--telemetry PATH` moves it, default `TELEMETRY_serving.json`.
 use trtsim_gpu::device::Platform;
+use trtsim_metrics::Registry;
 use trtsim_models::ModelId;
 use trtsim_repro::exp_serving::{render, run};
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "TELEMETRY_serving.json".to_string());
     for platform in Platform::all() {
         println!("{}", render(&run(ModelId::TinyYolov3, platform)));
     }
+    Registry::global()
+        .write_json(&telemetry_path)
+        .expect("write telemetry snapshot");
+    println!("telemetry snapshot -> {telemetry_path}");
 }

@@ -8,9 +8,20 @@ use std::sync::{Arc, Mutex, OnceLock};
 use trtsim_core::runtime::TimingOptions;
 use trtsim_core::{Builder, BuilderConfig, Engine, EngineError, TimingCache};
 use trtsim_gpu::device::{DeviceSpec, Platform};
-use trtsim_metrics::CacheStats;
+use trtsim_metrics::{CacheStats, Counter, Registry};
 use trtsim_models::ModelId;
 use trtsim_util::{derive_seed, pool};
+
+/// A farm counter in the global registry, labelled by event kind
+/// (`trtsim_farm_events_total{event=...}`): `requests` for every lookup,
+/// `builds` when the closure actually ran, `memoized` for dedup hand-outs.
+fn farm_counter(event: &str) -> Counter {
+    Registry::global().counter(
+        "trtsim_farm_events_total",
+        "Engine-farm lookups by outcome: requests, builds, memoized hand-outs",
+        &[("event", event)],
+    )
+}
 
 /// Root seed of the whole experiment campaign; every stochastic input
 /// derives from it, so the entire reproduction is replayable.
@@ -176,6 +187,7 @@ impl EngineFarm {
         build: impl FnOnce(&Arc<TimingCache>) -> Result<Engine, EngineError>,
     ) -> Arc<Engine> {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        farm_counter("requests").inc();
         let slot = {
             let mut slots = self.slots.lock().expect("farm slots poisoned");
             Arc::clone(slots.entry(key).or_default())
@@ -183,10 +195,19 @@ impl EngineFarm {
         // Initialization runs outside the map lock, so concurrent requests
         // for *different* engines build in parallel while duplicates of the
         // same key block here until the first build lands.
-        Arc::clone(slot.get_or_init(|| {
+        let mut built_here = false;
+        let engine = Arc::clone(slot.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
+            farm_counter("builds").inc();
+            built_here = true;
             Arc::new(build(&self.cache).expect("farm engine build failed"))
-        }))
+        }));
+        if !built_here {
+            // Request served from a memoized (or concurrently deduplicated)
+            // engine: the build was avoided entirely.
+            farm_counter("memoized").inc();
+        }
+        engine
     }
 
     /// Builds every requested zoo engine concurrently on the scoped worker

@@ -16,7 +16,8 @@
 //! * [`kernels`] — the tactic catalog and order-sensitive numerics
 //! * [`models`] — the 13 networks of the paper's Table II
 //! * [`data`] — synthetic benign/adversarial/traffic datasets
-//! * [`metrics`] — top-1 error, IoU precision/recall, latency cells
+//! * [`metrics`] — top-1 error, IoU precision/recall, latency cells, and
+//!   the process-wide telemetry registry with Prometheus/JSON exporters
 //! * [`profiler`] — nvprof-like summaries, chrome://tracing export, and
 //!   anomaly detection over simulated timelines
 //! * [`perfmodel`] — the BSP prediction model (Eq. 2) and λ calibration
@@ -76,6 +77,15 @@
 //! assert_eq!(stats.completed, 16);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Observability
+//!
+//! Every subsystem publishes counters, gauges, and latency histograms to a
+//! process-wide [`Registry`] (`trtsim_server_*`, `trtsim_build_*`,
+//! `trtsim_plan_*`, `trtsim_gpu_*`, ...). Turn on the live endpoint with
+//! [`ServerConfig::with_telemetry`] and scrape `GET /metrics` (Prometheus
+//! text) or `GET /metrics.json`, or snapshot to disk with
+//! [`Registry::write_json`] — see [`metrics::telemetry`].
 
 #![warn(missing_docs)]
 
@@ -87,6 +97,9 @@ pub use trtsim_core::{
     ServingError, ServingReport, TimingCache, TimingOptions,
 };
 pub use trtsim_gpu::device::DeviceSpec;
+pub use trtsim_metrics::{
+    render_json, render_prometheus, Counter, Gauge, Histogram, Registry, TelemetryServer,
+};
 
 pub use trtsim_data as data;
 pub use trtsim_gpu as gpu;

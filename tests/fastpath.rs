@@ -90,6 +90,31 @@ proptest! {
     }
 }
 
+/// A batch larger than the worker count, made of all-zero tensors (the
+/// degenerate input the zero-skipping fast path most wants to mishandle),
+/// still yields one output per input.
+#[test]
+fn uneven_batch_of_zero_inputs_yields_all_outputs() {
+    let mut g = Graph::new("m", [3, 8, 8]);
+    let conv = g.add_layer(
+        "c0",
+        LayerKind::conv_seeded(4, 3, 3, 1, 1, 0),
+        &[Graph::INPUT],
+    );
+    g.mark_output(conv);
+    let engine = Builder::new(
+        DeviceSpec::xavier_nx(),
+        BuilderConfig::default().with_build_seed(1),
+    )
+    .build(&g)
+    .expect("builds");
+    let ctx = ExecutionContext::new(&engine, DeviceSpec::xavier_nx());
+    let inputs: Vec<Tensor> = (0..5).map(|_| Tensor::zeros([3, 8, 8])).collect();
+    let refs: Vec<&Tensor> = inputs.iter().collect();
+    let out = ctx.infer_batch(&refs, 4).expect("batch runs");
+    assert_eq!(out.len(), 5);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
