@@ -10,10 +10,10 @@ use trtsim_gpu::device::DeviceSpec;
 use trtsim_models::ModelId;
 
 fn timing() -> TimingOptions {
-    let mut opts = TimingOptions::default().without_engine_upload();
-    opts.host_glue_us = ModelId::TinyYolov3.info().host_glue_us;
-    opts.run_jitter_sd = 0.0;
-    opts
+    TimingOptions::default()
+        .without_engine_upload()
+        .with_host_glue_us(ModelId::TinyYolov3.info().host_glue_us)
+        .with_run_jitter_sd(0.0)
 }
 
 fn bench_serve_run(c: &mut Criterion) {

@@ -32,13 +32,10 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, t.elapsed().as_secs_f64() * 1e3)
 }
 
-fn phase(name: &'static str, wall_ms: f64, images: usize) -> PhaseReport {
-    PhaseReport {
-        name,
-        wall_ms,
-        throughput: Some(images as f64 / (wall_ms / 1e3)),
-        counters: vec![("images", images as u64)],
-    }
+fn phase(name: &str, wall_ms: f64, images: usize) -> PhaseReport {
+    PhaseReport::new(name, wall_ms)
+        .with_throughput(images as f64 / (wall_ms / 1e3))
+        .with_counter("images", images as u64)
 }
 
 fn main() {
@@ -120,15 +117,15 @@ fn main() {
     let plan = planned_ctx.plan().expect("compiled during phase 2");
     let stats = plan.arena_stats();
     let report = BenchReport {
-        benchmark: "bench_infer",
-        mode: if smoke { "smoke" } else { "full" },
+        benchmark: "bench_infer".into(),
+        mode: if smoke { "smoke" } else { "full" }.into(),
         git_rev: git_rev(&args),
         threads,
-        throughput_unit: "images_per_sec",
+        throughput_unit: "images_per_sec".into(),
         context: vec![
-            ("model", model.to_string()),
-            ("images", inputs.len().to_string()),
-            ("plan_steps", plan.step_count().to_string()),
+            ("model".into(), model.to_string()),
+            ("images".into(), inputs.len().to_string()),
+            ("plan_steps".into(), plan.step_count().to_string()),
         ],
         phases: vec![
             phase("naive_sequential", naive_ms, inputs.len()),
@@ -136,15 +133,15 @@ fn main() {
             phase("planned_parallel", parallel_ms, inputs.len()),
         ],
         summary: vec![
-            ("speedup_planned_vs_naive", speedup_planned),
-            ("speedup_planned_parallel_vs_naive", speedup_parallel),
-            ("arena_peak_live_bytes", stats.peak_live_bytes as f64),
+            ("speedup_planned_vs_naive".into(), speedup_planned),
+            ("speedup_planned_parallel_vs_naive".into(), speedup_parallel),
+            ("arena_peak_live_bytes".into(), stats.peak_live_bytes as f64),
             (
-                "arena_total_activation_bytes",
+                "arena_total_activation_bytes".into(),
                 stats.total_activation_bytes as f64,
             ),
-            ("arena_slots", stats.slot_count as f64),
-            ("arena_utilization", stats.utilization()),
+            ("arena_slots".into(), stats.slot_count as f64),
+            ("arena_utilization".into(), stats.utilization()),
         ],
         bit_identical: true,
     };

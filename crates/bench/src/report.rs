@@ -34,34 +34,63 @@
 #[derive(Debug, Clone)]
 pub struct PhaseReport {
     /// Phase name (snake_case, stable across commits).
-    pub name: &'static str,
+    pub name: String,
     /// Wall-clock time, milliseconds.
     pub wall_ms: f64,
     /// Work rate in the report's `throughput_unit`, when meaningful.
     pub throughput: Option<f64>,
     /// Integer event counters attributed to this phase.
-    pub counters: Vec<(&'static str, u64)>,
+    pub counters: Vec<(String, u64)>,
+}
+
+impl PhaseReport {
+    /// A phase with no throughput and no counters; chain `with_*` to fill.
+    pub fn new(name: impl Into<String>, wall_ms: f64) -> Self {
+        Self {
+            name: name.into(),
+            wall_ms,
+            throughput: None,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Sets the phase throughput (in the report's `throughput_unit`).
+    pub fn with_throughput(mut self, throughput: f64) -> Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Appends one event counter.
+    pub fn with_counter(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.counters.push((name.into(), value));
+        self
+    }
 }
 
 /// A full bench report in the shared schema.
+///
+/// Keys are owned `String`s so producers other than the two bench bins —
+/// notably the scenario driver's emit layer — can generate phase and
+/// summary names at runtime.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
-    /// Which binary produced this (`bench_build`, `bench_infer`).
-    pub benchmark: &'static str,
+    /// Which binary produced this (`bench_build`, `bench_infer`,
+    /// `scenario`).
+    pub benchmark: String,
     /// `smoke` (CI-sized) or `full`.
-    pub mode: &'static str,
+    pub mode: String,
     /// Git revision the harness passed in; `unknown` when it didn't.
     pub git_rev: String,
     /// Worker threads available to the parallel phases.
     pub threads: usize,
     /// Unit of every phase's `throughput` field.
-    pub throughput_unit: &'static str,
+    pub throughput_unit: String,
     /// Free-form string context (model names, image counts).
-    pub context: Vec<(&'static str, String)>,
+    pub context: Vec<(String, String)>,
     /// Timed phases, in execution order.
     pub phases: Vec<PhaseReport>,
     /// Derived numeric results (speedups, footprints).
-    pub summary: Vec<(&'static str, f64)>,
+    pub summary: Vec<(String, f64)>,
     /// Whether every cross-phase output comparison was bit-identical.
     pub bit_identical: bool,
 }
@@ -72,7 +101,10 @@ impl BenchReport {
         let mut out = String::from("{\n");
         out.push_str("  \"tool\": \"trtsim-bench\",\n");
         out.push_str("  \"schema_version\": 1,\n");
-        out.push_str(&format!("  \"benchmark\": \"{}\",\n", self.benchmark));
+        out.push_str(&format!(
+            "  \"benchmark\": \"{}\",\n",
+            json_escape(&self.benchmark)
+        ));
         out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         out.push_str(&format!(
             "  \"git_rev\": \"{}\",\n",
@@ -89,14 +121,14 @@ impl BenchReport {
             if i > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&format!("\"{k}\": \"{}\"", json_escape(v)));
+            out.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
         }
         out.push_str("},\n");
         out.push_str("  \"phases\": [\n");
         for (i, p) in self.phases.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"throughput\": {}, \"counters\": {{",
-                p.name,
+                json_escape(&p.name),
                 p.wall_ms,
                 match p.throughput {
                     Some(t) => format!("{t:.3}"),
@@ -107,7 +139,7 @@ impl BenchReport {
                 if j > 0 {
                     out.push_str(", ");
                 }
-                out.push_str(&format!("\"{k}\": {v}"));
+                out.push_str(&format!("\"{}\": {v}", json_escape(k)));
             }
             out.push_str("}}");
             if i + 1 < self.phases.len() {
@@ -121,7 +153,7 @@ impl BenchReport {
             if i > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&format!("\"{k}\": {v:.3}"));
+            out.push_str(&format!("\"{}\": {v:.3}", json_escape(k)));
         }
         out.push_str("},\n");
         out.push_str(&format!(
@@ -178,19 +210,16 @@ mod tests {
     #[test]
     fn schema_has_the_shared_fields() {
         let report = BenchReport {
-            benchmark: "bench_test",
-            mode: "smoke",
+            benchmark: "bench_test".into(),
+            mode: "smoke".into(),
             git_rev: "abc123".into(),
             threads: 4,
-            throughput_unit: "items_per_sec",
-            context: vec![("model", "m".into())],
-            phases: vec![PhaseReport {
-                name: "p1",
-                wall_ms: 1.5,
-                throughput: Some(10.0),
-                counters: vec![("hits", 3)],
-            }],
-            summary: vec![("speedup", 2.0)],
+            throughput_unit: "items_per_sec".into(),
+            context: vec![("model".into(), "m".into())],
+            phases: vec![PhaseReport::new("p1", 1.5)
+                .with_throughput(10.0)
+                .with_counter("hits", 3)],
+            summary: vec![("speedup".into(), 2.0)],
             bit_identical: true,
         };
         let json = report.to_json();

@@ -54,6 +54,10 @@ pub struct Choice {
 
 /// Knobs of one autotuning run, split from [`crate::BuilderConfig`] so the
 /// selector can be driven directly (property tests, benches).
+///
+/// Follows the workspace's configuration convention (DESIGN §6): start from
+/// `Default`, chain consuming `with_*` setters. The fields stay public for
+/// struct-literal construction in tests.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AutotuneOptions<'a> {
     /// Relative standard deviation of each timing measurement.
@@ -65,6 +69,33 @@ pub struct AutotuneOptions<'a> {
     pub threads: usize,
     /// Optional shared cache for the deterministic timing component.
     pub cache: Option<&'a TimingCache>,
+}
+
+impl<'a> AutotuneOptions<'a> {
+    /// Sets the relative standard deviation of each timing measurement,
+    /// clamped to `[0, 1]` like [`crate::BuilderConfig::with_timing_noise_sd`].
+    pub fn with_noise_sd(mut self, sd: f64) -> Self {
+        self.noise_sd = if sd.is_nan() { 0.0 } else { sd.clamp(0.0, 1.0) };
+        self
+    }
+
+    /// Sets the averaging count per tactic (floored at 1 when resolved).
+    pub fn with_samples(mut self, samples: u32) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the measurement worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches a shared timing cache for the deterministic component.
+    pub fn with_cache(mut self, cache: &'a TimingCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
 }
 
 /// Selects a tactic for every node; `None` for structural nodes.
@@ -135,10 +166,13 @@ fn select_node(
     let mut rng = Pcg32::seed_from_u64(stream_seed(build_seed, node.id as u64));
     let n_candidates = candidates.len();
     let mut best: Option<Choice> = None;
+    // One session per node: the device fingerprint is folded once and every
+    // candidate query takes the cache's shard-local fast path.
+    let session = opts.cache.map(|cache| cache.session(device));
     for tactic in candidates {
         let kernel = kernel_desc(&tactic, &node.kind, cost, shape);
-        let true_us = match opts.cache {
-            Some(cache) => cache.time_us(&kernel, device),
+        let true_us = match &session {
+            Some(session) => session.time_us(&kernel),
             None => kernel_time_us(&kernel, device),
         };
         let measured_us = measure(true_us, &mut rng, opts.noise_sd, opts.samples);
@@ -153,6 +187,43 @@ fn select_node(
         }
     }
     Ok(best)
+}
+
+/// Every kernel descriptor a default build of `graph` will time under
+/// `policy` (INT8 candidates excluded, as for an uncalibrated build) — the
+/// timing-cache query population. The default optimization pipeline
+/// (dead-layer elimination, vertical fusion, horizontal merge) runs first
+/// so the enumeration matches what [`crate::Builder::build`] actually hands
+/// to the autotuner. `bench_build` replays it to compare cache hits against
+/// analytic re-timing.
+///
+/// # Errors
+///
+/// Propagates shape/cost errors from the graph.
+pub fn candidate_kernels(
+    graph: &Graph,
+    policy: PrecisionPolicy,
+) -> Result<Vec<KernelDesc>, EngineError> {
+    let (graph, _) = crate::passes::dead_layer::run(graph)?;
+    let (graph, _) = crate::passes::vertical_fusion::run(&graph)?;
+    let (graph, _) = crate::passes::horizontal_merge::run(&graph)?;
+    let graph = &graph;
+    let shapes = graph.infer_shapes()?;
+    let costs = graph_costs(graph)?;
+    let mut kernels = Vec::new();
+    for node in graph.nodes() {
+        let mut candidates = candidate_tactics(&node.kind, policy);
+        candidates.retain(|t| t.precision != trtsim_gpu::kernel::Precision::Int8);
+        for tactic in candidates {
+            kernels.push(kernel_desc(
+                &tactic,
+                &node.kind,
+                &costs[node.id],
+                shapes[node.id],
+            ));
+        }
+    }
+    Ok(kernels)
 }
 
 /// One averaged noisy measurement.

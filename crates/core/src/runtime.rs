@@ -68,8 +68,15 @@ impl Default for TimingOptions {
 
 impl TimingOptions {
     /// With nvprof attached (Table VIII conditions).
-    pub fn profiled(mut self) -> Self {
-        self.profiling = ProfilingOverhead::nvprof();
+    #[deprecated(note = "use `with_profiling(ProfilingOverhead::nvprof())`")]
+    pub fn profiled(self) -> Self {
+        self.with_profiling(ProfilingOverhead::nvprof())
+    }
+
+    /// Sets the profiler instrumentation overhead
+    /// ([`ProfilingOverhead::nvprof`] reproduces Table VIII's conditions).
+    pub fn with_profiling(mut self, profiling: ProfilingOverhead) -> Self {
+        self.profiling = profiling;
         self
     }
 
@@ -82,6 +89,13 @@ impl TimingOptions {
     /// Sets the host glue time.
     pub fn with_host_glue_us(mut self, us: f64) -> Self {
         self.host_glue_us = us;
+        self
+    }
+
+    /// Sets the measurement harness' run-to-run relative jitter; negative or
+    /// NaN values clamp to zero (deterministic runs).
+    pub fn with_run_jitter_sd(mut self, sd: f64) -> Self {
+        self.run_jitter_sd = if sd.is_nan() { 0.0 } else { sd.max(0.0) };
         self
     }
 }
@@ -546,7 +560,8 @@ mod tests {
         };
         let with_all = ctx.measure_latency(&base, 1, 0)[0];
         let no_upload = ctx.measure_latency(&base.without_engine_upload(), 1, 0)[0];
-        let profiled = ctx.measure_latency(&base.profiled(), 1, 0)[0];
+        let profiled =
+            ctx.measure_latency(&base.with_profiling(ProfilingOverhead::nvprof()), 1, 0)[0];
         assert!(no_upload < with_all);
         assert!(profiled > with_all);
     }

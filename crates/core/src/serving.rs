@@ -56,6 +56,7 @@ use trtsim_gpu::device::DeviceSpec;
 use trtsim_gpu::tegrastats;
 use trtsim_gpu::timeline::{GpuTimeline, SpanSeq, StreamId};
 use trtsim_metrics::{LatencyPercentiles, Registry, TelemetryServer};
+use trtsim_util::Pcg32;
 
 use crate::engine::Engine;
 use crate::runtime::{ExecutionContext, TimingOptions};
@@ -141,6 +142,28 @@ pub struct KernelTime {
     pub total_us: f64,
 }
 
+/// How simulated arrival timestamps are assigned to accepted frames.
+///
+/// The arrival clock is what [`ServingReport`] latencies are measured
+/// against: a frame's reported latency is its completion time minus its
+/// arrival time, so an open-loop source charges queueing delay to bursts
+/// the way a real camera feed would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalProcess {
+    /// Deterministic fixed-rate source: frame `n` arrives at exactly
+    /// `n * arrival_period_us`. This is the legacy behaviour and keeps
+    /// closed-loop runs bit-identical across versions.
+    #[default]
+    Periodic,
+    /// Open-loop Poisson source: inter-arrival gaps are exponential with
+    /// mean [`ServerConfig::arrival_period_us`], drawn from a PCG stream
+    /// seeded here so a given seed replays bit-identically.
+    Poisson {
+        /// Seed of the inter-arrival gap stream.
+        seed: u64,
+    },
+}
+
 /// Configuration for [`InferenceServer`], built fluently like
 /// [`crate::config::BuilderConfig`]: start from [`ServerConfig::default`],
 /// chain `with_*` setters, and let [`InferenceServer::start`] validate the
@@ -167,6 +190,9 @@ pub struct ServerConfig {
     /// open-loop source (a camera at a fixed rate); `0` means all frames
     /// arrive at t = 0, so reported latency includes time spent queued.
     pub arrival_period_us: f64,
+    /// How arrival timestamps are generated from the period: a fixed-rate
+    /// clock (default) or a seeded Poisson process for open-loop traffic.
+    pub arrival_process: ArrivalProcess,
     /// Timing harness options applied to every enqueue.
     pub timing: TimingOptions,
     /// Observability knobs (timeline capture, per-kernel breakdown).
@@ -190,6 +216,7 @@ impl Default for ServerConfig {
             max_batch_size: 1,
             batch_timeout_us: 0.0,
             arrival_period_us: 0.0,
+            arrival_process: ArrivalProcess::Periodic,
             timing: TimingOptions::default(),
             profile: ProfileOptions::default(),
             telemetry_addr: None,
@@ -226,6 +253,20 @@ impl ServerConfig {
     /// Sets the simulated inter-arrival gap between accepted frames, µs.
     pub fn with_arrival_period_us(mut self, us: f64) -> Self {
         self.arrival_period_us = us;
+        self
+    }
+
+    /// Sets the arrival-timestamp generator.
+    pub fn with_arrival_process(mut self, process: ArrivalProcess) -> Self {
+        self.arrival_process = process;
+        self
+    }
+
+    /// Switches the arrival clock to a seeded Poisson process with mean
+    /// inter-arrival gap [`ServerConfig::arrival_period_us`] (shorthand for
+    /// [`ServerConfig::with_arrival_process`]).
+    pub fn with_poisson_arrivals(mut self, seed: u64) -> Self {
+        self.arrival_process = ArrivalProcess::Poisson { seed };
         self
     }
 
@@ -283,6 +324,13 @@ impl ServerConfig {
         if !self.arrival_period_us.is_finite() || self.arrival_period_us < 0.0 {
             return Err(ServingError::InvalidConfig(
                 "arrival period must be finite and non-negative".into(),
+            ));
+        }
+        if matches!(self.arrival_process, ArrivalProcess::Poisson { .. })
+            && self.arrival_period_us == 0.0
+        {
+            return Err(ServingError::InvalidConfig(
+                "poisson arrivals need a positive mean period".into(),
             ));
         }
         if self.telemetry_sample_ms == 0 {
@@ -530,7 +578,7 @@ impl InferenceServer {
             let high_water = Arc::clone(&high_water);
             let max_batch = config.max_batch_size;
             let batch_timeout_us = config.batch_timeout_us;
-            let arrival_period_us = config.arrival_period_us;
+            let arrivals = ArrivalClock::new(config.arrival_period_us, config.arrival_process);
             let metrics = metrics.clone();
             std::thread::spawn(move || {
                 batcher_loop(
@@ -538,7 +586,7 @@ impl InferenceServer {
                     &worker_txs,
                     max_batch,
                     batch_timeout_us,
-                    arrival_period_us,
+                    arrivals,
                     &depth,
                     &high_water,
                     &metrics,
@@ -763,6 +811,47 @@ fn kernel_breakdown(timeline: &GpuTimeline) -> Vec<KernelTime> {
     breakdown
 }
 
+/// Simulated arrival clock: hands out the arrival timestamp for each
+/// accepted frame in submission order.
+struct ArrivalClock {
+    period_us: f64,
+    seq: u64,
+    clock_us: f64,
+    /// `Some` for Poisson arrivals; `None` keeps the legacy fixed-rate
+    /// `seq * period` timestamps bit-identical.
+    rng: Option<Pcg32>,
+}
+
+impl ArrivalClock {
+    fn new(period_us: f64, process: ArrivalProcess) -> Self {
+        let rng = match process {
+            ArrivalProcess::Periodic => None,
+            ArrivalProcess::Poisson { seed } => Some(Pcg32::seed_from_u64(seed)),
+        };
+        Self {
+            period_us,
+            seq: 0,
+            clock_us: 0.0,
+            rng,
+        }
+    }
+
+    fn next(&mut self) -> f64 {
+        let arrival = match &mut self.rng {
+            None => self.seq as f64 * self.period_us,
+            Some(rng) => {
+                // Inverse-CDF exponential gap; 1 - u is in (0, 1] so the
+                // log is finite and the clock is non-decreasing.
+                let u = rng.next_f64();
+                self.clock_us += -self.period_us * (1.0 - u).ln();
+                self.clock_us
+            }
+        };
+        self.seq += 1;
+        arrival
+    }
+}
+
 /// Coalesces queued frames into batches and hands them to workers
 /// round-robin (deterministic stream assignment).
 #[allow(clippy::too_many_arguments)]
@@ -771,15 +860,14 @@ fn batcher_loop(
     worker_txs: &[SyncSender<Batch>],
     max_batch: usize,
     batch_timeout_us: f64,
-    arrival_period_us: f64,
+    mut arrivals: ArrivalClock,
     depth: &AtomicUsize,
     high_water: &AtomicUsize,
     metrics: &ServingMetrics,
 ) {
     let mut next_worker = 0usize;
-    let mut seq = 0u64;
     let mut batch_seq = 0u64;
-    let take = |frame: u64, seq: &mut u64| {
+    let take = |frame: u64, arrivals: &mut ArrivalClock| {
         // Record the high-water mark *before* decrementing: frames that
         // accumulated while the batcher was parked in recv()/recv_timeout()
         // or blocked on a full worker rendezvous were never observed by the
@@ -791,35 +879,33 @@ fn batcher_loop(
         let remaining = depth.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
         metrics.queue_depth.set(remaining as f64);
         metrics.queue_high_water.set(prev_max.max(observed) as f64);
-        let request = Request {
+        Request {
             frame,
-            arrival_us: *seq as f64 * arrival_period_us,
-        };
-        *seq += 1;
-        request
+            arrival_us: arrivals.next(),
+        }
     };
     loop {
         let first = match rx.recv() {
             Ok(frame) => frame,
             Err(_) => return,
         };
-        let mut requests = vec![take(first, &mut seq)];
+        let mut requests = vec![take(first, &mut arrivals)];
         let mut waited_us = 0.0;
         while requests.len() < max_batch {
             match rx.try_recv() {
-                Ok(frame) => requests.push(take(frame, &mut seq)),
+                Ok(frame) => requests.push(take(frame, &mut arrivals)),
                 Err(TryRecvError::Disconnected) => break,
                 Err(TryRecvError::Empty) => {
                     if batch_timeout_us == 0.0 {
                         break;
                     } else if batch_timeout_us.is_infinite() {
                         match rx.recv() {
-                            Ok(frame) => requests.push(take(frame, &mut seq)),
+                            Ok(frame) => requests.push(take(frame, &mut arrivals)),
                             Err(_) => break,
                         }
                     } else {
                         match rx.recv_timeout(Duration::from_micros(batch_timeout_us as u64)) {
-                            Ok(frame) => requests.push(take(frame, &mut seq)),
+                            Ok(frame) => requests.push(take(frame, &mut arrivals)),
                             Err(RecvTimeoutError::Timeout) => {
                                 waited_us = batch_timeout_us;
                                 break;
@@ -966,10 +1052,10 @@ mod tests {
     }
 
     fn opts() -> TimingOptions {
-        let mut o = TimingOptions::default().without_engine_upload();
-        o.run_jitter_sd = 0.0;
-        o.host_glue_us = 200.0;
-        o
+        TimingOptions::default()
+            .without_engine_upload()
+            .with_run_jitter_sd(0.0)
+            .with_host_glue_us(200.0)
     }
 
     #[test]
@@ -1034,9 +1120,40 @@ mod tests {
             (base.with_batch_timeout_us(-1.0), "timeout"),
             (base.with_batch_timeout_us(f64::NAN), "timeout"),
             (base.with_arrival_period_us(f64::INFINITY), "arrival"),
+            (base.with_poisson_arrivals(7), "poisson"),
         ] {
             let err = bad.validate().unwrap_err();
             assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn poisson_arrival_clock_is_seeded_and_monotone() {
+        let draw = |seed: u64| {
+            let mut clock = ArrivalClock::new(1000.0, ArrivalProcess::Poisson { seed });
+            (0..64).map(|_| clock.next()).collect::<Vec<_>>()
+        };
+        let a = draw(42);
+        let b = draw(42);
+        assert_eq!(a, b, "same seed must replay bit-identically");
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be non-decreasing"
+        );
+        assert!(a[0] > 0.0, "first gap is exponential, not pinned to 0");
+        let c = draw(43);
+        assert_ne!(a, c, "different seeds must diverge");
+        // The empirical mean gap should be in the right ballpark of the
+        // configured 1000 µs mean (loose 3-sigma-ish bounds for n = 64).
+        let mean = a.last().unwrap() / 64.0;
+        assert!((500.0..2000.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn periodic_clock_matches_legacy_timestamps() {
+        let mut clock = ArrivalClock::new(250.0, ArrivalProcess::Periodic);
+        for n in 0..8u64 {
+            assert_eq!(clock.next(), n as f64 * 250.0);
         }
     }
 

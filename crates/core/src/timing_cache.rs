@@ -15,17 +15,39 @@
 //! warm cache returns bit-identical times to a cold one, so it can never
 //! change which tactic wins.
 //!
+//! # Hit-path cost
+//!
+//! A cache hit must be strictly cheaper than re-running the analytic timing
+//! model, or a warm cache slows builds down (`BENCH_build.json` caught
+//! exactly that regression when the key was a field-by-field struct hashed
+//! twice through SipHash with a fresh `String` clone per query). The hot
+//! path is now allocation-free: each kernel carries its 128-bit content
+//! fingerprint inline ([`KernelDesc::content_fingerprint`], computed once
+//! and cached in the descriptor), a query mixes it with the device's
+//! [`timing_fingerprint`] in a handful of multiplies, picks a shard from
+//! the low bits, and probes a `HashMap<u128, f64>` under an identity hasher
+//! — no string re-fold, no allocation, one uncontended lock. Callers timing
+//! many kernels against one device should hold a [`CacheSession`], which
+//! computes the device fingerprint once. Keying by fingerprint instead of
+//! the full descriptor trades a ~2⁻¹²⁸ collision probability (vanishing
+//! against the few thousand distinct kernels a zoo build times) for a hit
+//! that is reliably cheaper than the roofline recomputation; `bench_build`
+//! asserts the speedup stays above 1.
+//!
+//! [`timing_fingerprint`]: trtsim_gpu::device::DeviceSpec::timing_fingerprint
+//!
 //! The cache is `Arc`-shareable across builders and threads (sharded
 //! interior mutability), and reports hit/miss counters as
 //! [`trtsim_metrics::CacheStats`].
 
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use trtsim_gpu::device::DeviceSpec;
-use trtsim_gpu::kernel::{KernelDesc, Precision};
+use trtsim_gpu::kernel::KernelDesc;
 use trtsim_gpu::timing::kernel_time_us;
 use trtsim_metrics::CacheStats;
 
@@ -33,55 +55,53 @@ use trtsim_metrics::CacheStats;
 /// worker-pool sizes the builder uses (≤ machine cores).
 const SHARDS: usize = 16;
 
-/// Everything that distinguishes one timing query from another: the full
-/// kernel descriptor (floats by bit pattern) plus the device's timing
-/// fingerprint.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct TimingKey {
-    name: String,
-    grid_blocks: u64,
-    threads_per_block: u32,
-    blocks_per_sm: u32,
-    flops: u64,
-    dram_bytes: u64,
-    l2_bytes: u64,
-    shared_bytes: u64,
-    l2_working_set_bytes: u64,
-    precision: Precision,
-    uses_tensor_cores: bool,
-    compute_efficiency_bits: u64,
-    device: u64,
+/// Inline fingerprint of one timing query: the kernel's cached content
+/// fingerprint (every field [`kernel_time_us`] reads) mixed with the device
+/// fingerprint — two multiply-rotate rounds, no re-fold of the descriptor.
+#[inline]
+fn query_fingerprint(kernel: &KernelDesc, device_fp: u64) -> u128 {
+    let k = kernel.content_fingerprint();
+    let lo = ((k as u64) ^ device_fp)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(29);
+    let hi = (((k >> 64) as u64).wrapping_add(device_fp)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    (u128::from(hi) << 64) | u128::from(lo ^ (k >> 64) as u64)
 }
 
-impl TimingKey {
-    fn new(kernel: &KernelDesc, device: &DeviceSpec) -> Self {
-        Self {
-            name: kernel.name.clone(),
-            grid_blocks: kernel.grid_blocks,
-            threads_per_block: kernel.threads_per_block,
-            blocks_per_sm: kernel.blocks_per_sm,
-            flops: kernel.flops,
-            dram_bytes: kernel.dram_bytes,
-            l2_bytes: kernel.l2_bytes,
-            shared_bytes: kernel.shared_bytes,
-            l2_working_set_bytes: kernel.l2_working_set_bytes,
-            precision: kernel.precision,
-            uses_tensor_cores: kernel.uses_tensor_cores,
-            compute_efficiency_bits: kernel.compute_efficiency.to_bits(),
-            device: device.timing_fingerprint(),
+/// The keys are already uniform 128-bit fingerprints; hashing them again
+/// through SipHash would be pure overhead, so the map hasher just passes the
+/// low word through.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u128 keys reach this hasher; fold whatever arrives anyway so
+        // the impl stays total.
+        for chunk in bytes.chunks(8) {
+            let mut tail = [0u8; 8];
+            tail[..chunk.len()].copy_from_slice(chunk);
+            self.0 ^= u64::from_le_bytes(tail);
         }
     }
 
-    fn shard(&self) -> usize {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut hasher);
-        (hasher.finish() as usize) % SHARDS
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.0 = v as u64;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
+type Shard = Mutex<HashMap<u128, f64, BuildHasherDefault<IdentityHasher>>>;
+
 /// Memoizes the deterministic component of tactic timing measurements across
 /// builds (TensorRT `ITimingCache` analog). See the module docs for what is
-/// cached versus re-drawn.
+/// cached versus re-drawn, and for the hit-path cost budget.
 ///
 /// # Examples
 ///
@@ -102,7 +122,7 @@ impl TimingKey {
 /// ```
 #[derive(Debug)]
 pub struct TimingCache {
-    shards: [Mutex<HashMap<TimingKey, f64>>; SHARDS],
+    shards: [Shard; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -117,7 +137,7 @@ impl TimingCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self {
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::default())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -127,24 +147,26 @@ impl TimingCache {
     /// served from the cache when present, computed (and remembered)
     /// otherwise. Always bit-identical to
     /// [`trtsim_gpu::timing::kernel_time_us`].
+    ///
+    /// Callers querying many kernels against one device should prefer
+    /// [`TimingCache::session`], which computes the device fingerprint once.
     pub fn time_us(&self, kernel: &KernelDesc, device: &DeviceSpec) -> f64 {
-        let key = TimingKey::new(kernel, device);
-        let shard = &self.shards[key.shard()];
-        // Registry counters are process-lifetime monotone; the per-cache
-        // `hits`/`misses` fields stay the resettable view `stats()` reports.
-        let (hit_metric, miss_metric) = crate::telemetry::timing_cache_counters();
-        if let Some(&us) = shard.lock().expect("timing cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            hit_metric.inc();
-            return us;
+        self.session(device).time_us(kernel)
+    }
+
+    /// Starts a shard-local fast-path session against one device: the
+    /// device's timing fingerprint is folded once up front and hit/miss
+    /// counters batch locally (flushed when the session drops), so each
+    /// [`CacheSession::time_us`] costs one cached kernel fingerprint, a
+    /// two-round mix, and one sharded map probe.
+    pub fn session<'c>(&'c self, device: &'c DeviceSpec) -> CacheSession<'c> {
+        CacheSession {
+            cache: self,
+            device,
+            device_fp: device.timing_fingerprint(),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
         }
-        // Compute outside the lock; a racing duplicate computation writes the
-        // same deterministic value, so last-write-wins is harmless.
-        let us = kernel_time_us(kernel, device);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        miss_metric.inc();
-        shard.lock().expect("timing cache poisoned").insert(key, us);
-        us
     }
 
     /// Hit/miss counters since construction (or the last [`clear`]).
@@ -180,10 +202,61 @@ impl TimingCache {
     }
 }
 
+/// A [`TimingCache`] handle bound to one device (see
+/// [`TimingCache::session`]); the autotuner holds one per measured node.
+///
+/// Hit/miss counts accumulate in plain cells and flush to the cache's
+/// atomic counters (and the telemetry registry) when the session drops, so
+/// the per-query hot path performs no atomic read-modify-writes beyond the
+/// shard lock.
+pub struct CacheSession<'c> {
+    cache: &'c TimingCache,
+    device: &'c DeviceSpec,
+    device_fp: u64,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl CacheSession<'_> {
+    /// The deterministic execution time of `kernel` on the session's device,
+    /// µs — the cache's hot path.
+    pub fn time_us(&self, kernel: &KernelDesc) -> f64 {
+        let fp = query_fingerprint(kernel, self.device_fp);
+        let shard = &self.cache.shards[(fp as u64 as usize) % SHARDS];
+        if let Some(&us) = shard.lock().expect("timing cache poisoned").get(&fp) {
+            self.hits.set(self.hits.get() + 1);
+            return us;
+        }
+        // Compute outside the lock; a racing duplicate computation writes the
+        // same deterministic value, so last-write-wins is harmless.
+        let us = kernel_time_us(kernel, self.device);
+        self.misses.set(self.misses.get() + 1);
+        shard.lock().expect("timing cache poisoned").insert(fp, us);
+        us
+    }
+}
+
+impl Drop for CacheSession<'_> {
+    fn drop(&mut self) {
+        let (hits, misses) = (self.hits.get(), self.misses.get());
+        if hits == 0 && misses == 0 {
+            return;
+        }
+        // Registry counters are process-lifetime monotone; the per-cache
+        // `hits`/`misses` fields stay the resettable view `stats()` reports.
+        let (hit_metric, miss_metric) = crate::telemetry::timing_cache_counters();
+        self.cache.hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache.misses.fetch_add(misses, Ordering::Relaxed);
+        hit_metric.add(hits);
+        miss_metric.add(misses);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use trtsim_gpu::device::Platform;
+    use trtsim_gpu::kernel::Precision;
 
     fn kernel(i: u64) -> KernelDesc {
         // Compute-bound so clock pinning visibly changes its time.
@@ -212,6 +285,17 @@ mod tests {
     }
 
     #[test]
+    fn session_matches_ad_hoc_queries() {
+        let cache = TimingCache::new();
+        let nx = DeviceSpec::xavier_nx();
+        let session = cache.session(&nx);
+        for i in 0..8 {
+            assert_eq!(session.time_us(&kernel(i)), kernel_time_us(&kernel(i), &nx));
+        }
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
     fn device_changes_split_entries() {
         let cache = TimingCache::new();
         let k = kernel(0);
@@ -222,6 +306,19 @@ mod tests {
         assert!(slow > fast, "pinned clock must time slower");
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn name_material_cannot_alias_across_boundaries() {
+        // The byte fold includes the length, so these must key differently
+        // even though their concatenated field material is similar.
+        let cache = TimingCache::new();
+        let nx = DeviceSpec::xavier_nx();
+        let a = KernelDesc::new("ab").grid(6, 256).flops(1_000);
+        let b = KernelDesc::new("a").grid(6, 256).flops(1_000);
+        cache.time_us(&a, &nx);
+        cache.time_us(&b, &nx);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

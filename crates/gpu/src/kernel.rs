@@ -4,6 +4,15 @@
 //! performance model need to know about one launch: geometry, arithmetic
 //! work, memory traffic by level, and precision. The tactic catalog in
 //! `trtsim-kernels` constructs these from layer shapes.
+//!
+//! Each descriptor also carries an *inline content fingerprint*
+//! ([`KernelDesc::content_fingerprint`]): a 128-bit FNV-style fold over
+//! every field the timing model reads, computed lazily on first use and
+//! cached in the struct. The timing cache keys on it, so a warm-cache query
+//! costs one cached load plus a map probe instead of re-folding the name
+//! string every time.
+
+use std::sync::OnceLock;
 
 /// Numeric precision a kernel computes in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,7 +62,7 @@ impl Precision {
 ///     .efficiency(0.55);
 /// assert_eq!(k.total_threads(), 24 * 256);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct KernelDesc {
     /// Kernel symbol name (TensorRT-style, produced by the tactic catalog).
     pub name: String,
@@ -84,6 +93,76 @@ pub struct KernelDesc {
     /// Fraction of peak arithmetic throughput this kernel sustains
     /// (tactic-specific; tuned kernels reach 0.5–0.8, generic ones 0.1–0.3).
     pub compute_efficiency: f64,
+    /// Lazily computed [`KernelDesc::content_fingerprint`]; every builder
+    /// method resets it. Excluded from equality.
+    fingerprint: OnceLock<u128>,
+}
+
+impl PartialEq for KernelDesc {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached fingerprint is derived state — two descriptors are the
+        // same kernel whether or not either has been fingerprinted yet.
+        self.name == other.name
+            && self.grid_blocks == other.grid_blocks
+            && self.threads_per_block == other.threads_per_block
+            && self.blocks_per_sm == other.blocks_per_sm
+            && self.flops == other.flops
+            && self.dram_bytes == other.dram_bytes
+            && self.l2_bytes == other.l2_bytes
+            && self.shared_bytes == other.shared_bytes
+            && self.l2_working_set_bytes == other.l2_working_set_bytes
+            && self.precision == other.precision
+            && self.uses_tensor_cores == other.uses_tensor_cores
+            && self.compute_efficiency == other.compute_efficiency
+    }
+}
+
+/// A pair of independent FNV-1a-style 64-bit accumulators folded in one pass
+/// over the fingerprint material; together they form a 128-bit fingerprint.
+#[derive(Clone, Copy)]
+struct Fold2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fold2 {
+    fn new() -> Self {
+        // FNV-1a offset basis and a second arbitrary odd basis so the two
+        // lanes decorrelate.
+        Self {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    #[inline]
+    fn u64(&mut self, v: u64) {
+        self.a = (self.a ^ v).wrapping_mul(0x1000_0000_01b3).rotate_left(29);
+        self.b = (self.b ^ v)
+            .wrapping_mul(0xff51_afd7_ed55_8ccd)
+            .rotate_left(31);
+    }
+
+    /// Folds a byte string eight bytes at a time (length is folded too, so
+    /// `"ab" + "c"` and `"a" + "bc"` cannot alias).
+    #[inline]
+    fn bytes(&mut self, s: &[u8]) {
+        self.u64(s.len() as u64);
+        let mut chunks = s.chunks_exact(8);
+        for c in &mut chunks {
+            self.u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.u64(u64::from_le_bytes(tail));
+        }
+    }
+
+    fn finish(self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
 }
 
 impl KernelDesc {
@@ -102,49 +181,89 @@ impl KernelDesc {
             precision: Precision::Fp32,
             uses_tensor_cores: false,
             compute_efficiency: 0.5,
+            fingerprint: OnceLock::new(),
         }
+    }
+
+    /// Stable 128-bit fingerprint over every field the timing model reads,
+    /// computed once and cached inline — the timing cache's key material.
+    ///
+    /// The builder methods reset the cached value; code that assigns to the
+    /// public fields directly after a fingerprint has been taken must call
+    /// [`KernelDesc::reset_fingerprint`] or cache lookups will serve stale
+    /// times.
+    pub fn content_fingerprint(&self) -> u128 {
+        *self.fingerprint.get_or_init(|| {
+            let mut f = Fold2::new();
+            f.bytes(self.name.as_bytes());
+            f.u64(self.grid_blocks);
+            f.u64(u64::from(self.threads_per_block));
+            f.u64(u64::from(self.blocks_per_sm));
+            f.u64(self.flops);
+            f.u64(self.dram_bytes);
+            f.u64(self.l2_bytes);
+            f.u64(self.shared_bytes);
+            f.u64(self.l2_working_set_bytes);
+            f.u64(self.precision as u64);
+            f.u64(u64::from(self.uses_tensor_cores));
+            f.u64(self.compute_efficiency.to_bits());
+            f.finish()
+        })
+    }
+
+    /// Drops the cached [`KernelDesc::content_fingerprint`] after direct
+    /// field mutation (the builder methods do this automatically).
+    pub fn reset_fingerprint(&mut self) {
+        self.fingerprint = OnceLock::new();
     }
 
     /// Sets grid geometry.
     pub fn grid(mut self, blocks: u64, threads_per_block: u32) -> Self {
         self.grid_blocks = blocks.max(1);
         self.threads_per_block = threads_per_block.max(1);
+        self.reset_fingerprint();
         self
     }
 
     /// Sets occupancy (concurrent blocks per SM).
     pub fn occupancy(mut self, blocks_per_sm: u32) -> Self {
         self.blocks_per_sm = blocks_per_sm.max(1);
+        self.reset_fingerprint();
         self
     }
 
     /// Sets total arithmetic work.
     pub fn flops(mut self, flops: u64) -> Self {
         self.flops = flops;
+        self.reset_fingerprint();
         self
     }
 
     /// Sets DRAM traffic.
     pub fn dram_bytes(mut self, bytes: u64) -> Self {
         self.dram_bytes = bytes;
+        self.reset_fingerprint();
         self
     }
 
     /// Sets L2 traffic.
     pub fn l2_bytes(mut self, bytes: u64) -> Self {
         self.l2_bytes = bytes;
+        self.reset_fingerprint();
         self
     }
 
     /// Sets shared-memory traffic.
     pub fn shared_bytes(mut self, bytes: u64) -> Self {
         self.shared_bytes = bytes;
+        self.reset_fingerprint();
         self
     }
 
     /// Sets the per-resident-block L2 working set.
     pub fn l2_working_set(mut self, bytes: u64) -> Self {
         self.l2_working_set_bytes = bytes;
+        self.reset_fingerprint();
         self
     }
 
@@ -152,6 +271,7 @@ impl KernelDesc {
     pub fn precision(mut self, precision: Precision, tensor_cores: bool) -> Self {
         self.precision = precision;
         self.uses_tensor_cores = tensor_cores && precision == Precision::Fp16;
+        self.reset_fingerprint();
         self
     }
 
@@ -163,6 +283,7 @@ impl KernelDesc {
     pub fn efficiency(mut self, eff: f64) -> Self {
         assert!(eff > 0.0 && eff <= 1.0, "efficiency must be in (0, 1]");
         self.compute_efficiency = eff;
+        self.reset_fingerprint();
         self
     }
 
@@ -179,6 +300,7 @@ impl KernelDesc {
         self.dram_bytes = self.dram_bytes.saturating_mul(b);
         self.l2_bytes = self.l2_bytes.saturating_mul(b);
         self.shared_bytes = self.shared_bytes.saturating_mul(b);
+        self.reset_fingerprint();
         self
     }
 

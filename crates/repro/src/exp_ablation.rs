@@ -113,10 +113,10 @@ pub fn run_pass_ablation(model: ModelId) -> Vec<AblationRow> {
                 .build(&network)
                 .expect("ablation build");
             let ctx = ExecutionContext::new(&engine, device.clone());
-            let mut opts = TimingOptions::default()
+            let opts = TimingOptions::default()
                 .without_engine_upload()
-                .with_host_glue_us(model.info().host_glue_us);
-            opts.run_jitter_sd = 0.0;
+                .with_host_glue_us(model.info().host_glue_us)
+                .with_run_jitter_sd(0.0);
             AblationRow {
                 variant,
                 launches: engine.launch_count(),
@@ -182,10 +182,10 @@ pub fn run_precision_ablation(model: ModelId) -> Vec<PrecisionRow> {
             .build(&network)
             .expect("precision build");
         let ctx = ExecutionContext::new(&engine, device.clone());
-        let mut opts = TimingOptions::default()
+        let opts = TimingOptions::default()
             .without_engine_upload()
-            .with_host_glue_us(model.info().host_glue_us);
-        opts.run_jitter_sd = 0.0;
+            .with_host_glue_us(model.info().host_glue_us)
+            .with_run_jitter_sd(0.0);
         PrecisionRow {
             policy: label,
             latency_ms: ctx.measure_latency(&opts, 1, 0)[0] / 1000.0,

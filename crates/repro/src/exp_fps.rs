@@ -72,10 +72,10 @@ pub fn optimized_latency_us(model: ModelId, platform: Platform) -> f64 {
     let engine = EngineFarm::global().zoo(model, platform, 0);
     let device = DeviceSpec::max_clock(platform);
     let ctx = ExecutionContext::new(&engine, device);
-    let mut opts = TimingOptions::default()
+    let opts = TimingOptions::default()
         .without_engine_upload()
-        .with_host_glue_us(model.info().host_glue_us);
-    opts.run_jitter_sd = 0.0;
+        .with_host_glue_us(model.info().host_glue_us)
+        .with_run_jitter_sd(0.0);
     ctx.measure_latency(&opts, 1, 0)[0]
 }
 

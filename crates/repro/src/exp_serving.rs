@@ -63,9 +63,10 @@ pub fn run(model: ModelId, platform: Platform) -> ServingSweep {
     let frames = 256u64;
     let engine = EngineFarm::global().zoo(model, platform, 0);
     let device = DeviceSpec::max_clock(platform);
-    let mut timing = TimingOptions::default().without_engine_upload();
-    timing.host_glue_us = model.info().host_glue_us;
-    timing.run_jitter_sd = 0.0;
+    let timing = TimingOptions::default()
+        .without_engine_upload()
+        .with_host_glue_us(model.info().host_glue_us)
+        .with_run_jitter_sd(0.0);
     let points = [1usize, 2, 4, 8]
         .into_iter()
         .map(|max_batch_size| {

@@ -8,6 +8,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use trtsim_core::runtime::TimingOptions;
 use trtsim_core::{Builder, BuilderConfig, Engine, EngineError, TimingCache};
 use trtsim_gpu::device::{DeviceSpec, Platform};
+use trtsim_gpu::timeline::ProfilingOverhead;
 use trtsim_metrics::{CacheStats, Counter, Registry};
 use trtsim_models::ModelId;
 use trtsim_util::{derive_seed, pool};
@@ -245,7 +246,7 @@ impl EngineFarm {
 pub fn table8_options(model: ModelId) -> TimingOptions {
     let info = model.info();
     TimingOptions::default()
-        .profiled()
+        .with_profiling(ProfilingOverhead::nvprof())
         .with_host_glue_us(info.host_glue_us + info.table8_harness_us)
 }
 

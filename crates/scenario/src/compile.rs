@@ -1,0 +1,175 @@
+//! Lowering: validated [`ScenarioGraph`] → flat [`ExecutionPlan`].
+//!
+//! The compiler expands the graph's cross products — every traffic node ×
+//! every model node it uses × every network × every device × every batch
+//! size — into a flat list of [`PlanUnit`]s the driver executes one by one.
+//! All name resolution already happened in [`mod@crate::validate`]; lowering is
+//! pure bookkeeping plus two resolutions that need model metadata: the
+//! host-glue microseconds (`HostGlue::Model` → the network's calibrated
+//! value) and the execution device (power mode → [`DeviceSpec`]).
+//!
+//! `--smoke` is applied here, not in the driver: [`CompileOptions::smoke`]
+//! caps frames / builds / runs so CI exercises the full pipeline in
+//! seconds, and the caps are visible in the plan rather than silently
+//! applied mid-run.
+
+use crate::validate::{DeviceDecl, EngineSource, HostGlue, PowerMode, ScenarioGraph, TrafficKind};
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_models::ModelId;
+
+/// Knobs for lowering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileOptions {
+    /// Cap the plan to CI size: ≤ 32 frames, ≤ 2 builds, ≤ 5 timed runs.
+    pub smoke: bool,
+}
+
+/// One fully resolved experiment unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanUnit {
+    /// Name of the traffic node this unit came from.
+    pub traffic: String,
+    /// Name of the model node.
+    pub model: String,
+    /// The network under test.
+    pub network: ModelId,
+    /// The device declaration (platform, power, name).
+    pub device: DeviceDecl,
+    /// Engine max batch size / dynamic-batcher cap.
+    pub batch: u32,
+    /// Engine provenance.
+    pub source: EngineSource,
+    /// Engine builds (latency traffic measures each; serving uses build 0).
+    pub builds: u32,
+    /// Resolved host glue, µs.
+    pub host_glue_us: f64,
+    /// What to run, with smoke caps already applied.
+    pub kind: TrafficKind,
+}
+
+impl PlanUnit {
+    /// Stable display label: `traffic/model/network@device b<batch>`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}@{} b{}",
+            self.traffic,
+            self.model,
+            self.network.info().name,
+            self.device.name,
+            self.batch
+        )
+    }
+
+    /// The [`DeviceSpec`] the unit executes on.
+    pub fn device_spec(&self) -> DeviceSpec {
+        match self.device.power {
+            PowerMode::Max => DeviceSpec::max_clock(self.device.platform),
+            PowerMode::Pinned => DeviceSpec::pinned_clock(self.device.platform),
+        }
+    }
+}
+
+/// A lowered assertion: a metric bound applied to a set of plan units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanAssert {
+    /// The assert node's name.
+    pub name: String,
+    /// Metric key to bound.
+    pub metric: String,
+    /// Inclusive lower bound.
+    pub min: Option<f64>,
+    /// Inclusive upper bound.
+    pub max: Option<f64>,
+    /// Indices into [`ExecutionPlan::units`] the bound applies to.
+    pub units: Vec<usize>,
+}
+
+/// The flat plan the generic driver executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// Scenario name.
+    pub name: String,
+    /// Experiment units in deterministic graph order.
+    pub units: Vec<PlanUnit>,
+    /// Lowered assertions.
+    pub asserts: Vec<PlanAssert>,
+}
+
+fn cap_kind(kind: &TrafficKind, smoke: bool) -> TrafficKind {
+    let mut kind = kind.clone();
+    if !smoke {
+        return kind;
+    }
+    match &mut kind {
+        TrafficKind::Latency { runs, .. } => *runs = (*runs).min(5),
+        TrafficKind::Closed { frames, queue, .. } => {
+            *frames = (*frames).min(32);
+            *queue = (*queue).min(32);
+        }
+        TrafficKind::Poisson { frames, queue, .. } => {
+            *frames = (*frames).min(32);
+            *queue = (*queue).min(32);
+        }
+    }
+    kind
+}
+
+/// Lowers a validated graph into an execution plan.
+pub fn compile(graph: &ScenarioGraph, opts: CompileOptions) -> ExecutionPlan {
+    let mut units = Vec::new();
+    // traffic index → plan-unit indices, for assertion lowering.
+    let mut units_of_traffic: Vec<Vec<usize>> = vec![Vec::new(); graph.traffic.len()];
+    for (t, traffic) in graph.traffic.iter().enumerate() {
+        let kind = cap_kind(&traffic.kind, opts.smoke);
+        for &m in &traffic.models {
+            let model = &graph.models[m];
+            let builds = if opts.smoke {
+                model.builds.min(2)
+            } else {
+                model.builds
+            };
+            for &network in &model.networks {
+                for &d in &model.devices {
+                    let device = &graph.devices[d];
+                    for &batch in &model.batches {
+                        units_of_traffic[t].push(units.len());
+                        units.push(PlanUnit {
+                            traffic: traffic.name.clone(),
+                            model: model.name.clone(),
+                            network,
+                            device: device.clone(),
+                            batch,
+                            source: model.source,
+                            builds,
+                            host_glue_us: match model.host_glue {
+                                HostGlue::Model => network.info().host_glue_us,
+                                HostGlue::Fixed(us) => us,
+                            },
+                            kind: kind.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let asserts = graph
+        .asserts
+        .iter()
+        .map(|a| PlanAssert {
+            name: a.name.clone(),
+            metric: a.metric.clone(),
+            min: a.min,
+            max: a.max,
+            units: a
+                .traffic
+                .iter()
+                .flat_map(|&t| units_of_traffic[t].iter().copied())
+                .collect(),
+        })
+        .collect();
+    ExecutionPlan {
+        name: graph.name.clone(),
+        units,
+        asserts,
+    }
+}

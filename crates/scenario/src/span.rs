@@ -1,0 +1,180 @@
+//! Byte spans, spanned values, and diagnostic rendering.
+//!
+//! Every token the parser produces and every error either pass emits
+//! carries a [`Span`] — a half-open byte range into the original source —
+//! so diagnostics can point at the exact offending text, and so tests can
+//! assert errors land on the right bytes rather than merely occurring.
+
+/// A half-open byte range `[lo, hi)` into a scenario source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub lo: usize,
+    /// One past the last byte.
+    pub hi: usize,
+}
+
+impl Span {
+    /// A span over `[lo, hi)`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        Self { lo, hi }
+    }
+
+    /// A zero-width span at `at` (end-of-input errors).
+    pub fn point(at: usize) -> Self {
+        Self { lo: at, hi: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// A value paired with the source span it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned<T> {
+    /// The value.
+    pub value: T,
+    /// Where it was written.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `value` with `span`.
+    pub fn new(value: T, span: Span) -> Self {
+        Self { value, span }
+    }
+}
+
+/// 1-based `(line, column)` of a byte offset (column counts bytes).
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let before = &src.as_bytes()[..offset];
+    let line = before.iter().filter(|&&b| b == b'\n').count() + 1;
+    let col = offset
+        - before
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1)
+        + 1;
+    (line, col)
+}
+
+/// One rendered diagnostic: a message anchored at a span, plus optional
+/// secondary notes (e.g. "first defined here").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Primary message.
+    pub message: String,
+    /// Primary location.
+    pub span: Span,
+    /// Secondary notes, each optionally anchored at its own span.
+    pub notes: Vec<(String, Option<Span>)>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no notes.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a secondary note.
+    pub fn with_note(mut self, message: impl Into<String>, span: Option<Span>) -> Self {
+        self.notes.push((message.into(), span));
+        self
+    }
+
+    /// Renders the diagnostic as `path:line:col: message` with a source
+    /// excerpt and caret underline, compiler-style.
+    pub fn render(&self, path: &str, src: &str) -> String {
+        let mut out = String::new();
+        let (line, col) = line_col(src, self.span.lo);
+        out.push_str(&format!("{path}:{line}:{col}: error: {}\n", self.message));
+        out.push_str(&excerpt(src, self.span));
+        for (note, span) in &self.notes {
+            match span {
+                Some(span) => {
+                    let (line, col) = line_col(src, span.lo);
+                    out.push_str(&format!("{path}:{line}:{col}: note: {note}\n"));
+                    out.push_str(&excerpt(src, *span));
+                }
+                None => out.push_str(&format!("note: {note}\n")),
+            }
+        }
+        out
+    }
+}
+
+/// The source line containing `span.lo`, with a `^~~~` underline covering
+/// the span's bytes on that line.
+fn excerpt(src: &str, span: Span) -> String {
+    let lo = span.lo.min(src.len());
+    let line_start = src[..lo].rfind('\n').map_or(0, |p| p + 1);
+    let line_end = src[lo..].find('\n').map_or(src.len(), |p| lo + p);
+    let line_text = &src[line_start..line_end];
+    let (line_no, _) = line_col(src, lo);
+    let gutter = format!("{line_no:>5} | ");
+    let mut underline = String::new();
+    for _ in 0..(lo - line_start) {
+        underline.push(' ');
+    }
+    underline.push('^');
+    let span_on_line = span.hi.min(line_end).saturating_sub(lo);
+    for _ in 1..span_on_line.max(1) {
+        underline.push('~');
+    }
+    format!(
+        "{gutter}{line_text}\n{:>width$} | {underline}\n",
+        "",
+        width = gutter.len() - 3
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+        assert_eq!(line_col(src, 100), (3, 3));
+    }
+
+    #[test]
+    fn spans_merge() {
+        assert_eq!(Span::new(3, 5).to(Span::new(10, 12)), Span::new(3, 12));
+        assert_eq!(Span::new(10, 12).to(Span::new(3, 5)), Span::new(3, 12));
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "device nx {\n  platfrom = \"nx\"\n}\n";
+        let at = src.find("platfrom").unwrap();
+        let d = Diagnostic::new("unknown attribute `platfrom`", Span::new(at, at + 8));
+        let rendered = d.render("t.scn", src);
+        assert!(rendered.contains("t.scn:2:3: error: unknown attribute"));
+        assert!(rendered.contains("^~~~~~~~"), "{rendered}");
+    }
+}

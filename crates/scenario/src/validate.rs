@@ -1,0 +1,1197 @@
+//! Semantic validation: AST → typed [`ScenarioGraph`], accumulating errors.
+//!
+//! Modeled on tast's span-carrying semantic checks and Sunscreen's
+//! `validate_ir`: the pass never stops at the first problem. Every check —
+//! duplicate node names, dangling `uses` references, cycles, wrong-kind
+//! edges, unknown model/platform identifiers, unknown or mistyped
+//! attributes, unsatisfied `requires` — appends to one error list, and a
+//! file with ten mistakes produces ten spans. Only if the list ends empty
+//! does the caller get the typed graph.
+//!
+//! The typed graph is deliberately index-linked (`Vec` positions, not
+//! names) so the compiler in [`mod@crate::compile`] never resolves a name
+//! again.
+
+use crate::ast::{Node, NodeKind, ScenarioAst, Value};
+use crate::span::{Diagnostic, Span, Spanned};
+use trtsim_gpu::device::Platform;
+use trtsim_models::ModelId;
+
+/// A semantic error with the byte span it is anchored at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemanticError {
+    /// Two nodes share a name.
+    DuplicateNode {
+        /// The repeated name.
+        name: String,
+        /// The second declaration.
+        span: Span,
+        /// The first declaration.
+        first: Span,
+    },
+    /// A `uses` / `requires` reference to a node that does not exist.
+    DanglingEdge {
+        /// The missing name.
+        name: String,
+        /// The reference.
+        span: Span,
+    },
+    /// The `uses` edges form a cycle.
+    Cycle {
+        /// Node names along the cycle, starting and ending at the same node.
+        path: Vec<String>,
+        /// The edge reference that closes the cycle.
+        span: Span,
+    },
+    /// A `uses` edge points at the wrong node kind.
+    BadEdgeKind {
+        /// Kind of the node holding the edge.
+        from: NodeKind,
+        /// Kind of the referenced node.
+        to: NodeKind,
+        /// Kind the edge must point at.
+        expected: NodeKind,
+        /// The reference.
+        span: Span,
+    },
+    /// A `requires` capability no used device `provides`.
+    UnsatisfiedRequires {
+        /// The missing capability.
+        capability: String,
+        /// Name of the device lacking it.
+        device: String,
+        /// The requirement.
+        span: Span,
+        /// The device declaration.
+        device_span: Span,
+    },
+    /// A network name no [`ModelId`] matches.
+    UnknownModel {
+        /// The name as written.
+        name: String,
+        /// Where it was written.
+        span: Span,
+    },
+    /// A platform name that is neither `nx` nor `agx`.
+    UnknownPlatform {
+        /// The name as written.
+        name: String,
+        /// Where it was written.
+        span: Span,
+    },
+    /// An attribute this node kind does not define.
+    UnknownAttr {
+        /// The node kind.
+        kind: NodeKind,
+        /// The attribute name.
+        name: String,
+        /// The attribute name's span.
+        span: Span,
+    },
+    /// A required attribute is absent.
+    MissingAttr {
+        /// The node kind.
+        kind: NodeKind,
+        /// The missing attribute.
+        name: &'static str,
+        /// The node header.
+        span: Span,
+    },
+    /// An attribute holds the wrong value type.
+    TypeMismatch {
+        /// The attribute name.
+        attr: String,
+        /// The type the schema wants.
+        expected: &'static str,
+        /// The type that was written.
+        found: &'static str,
+        /// The value's span.
+        span: Span,
+    },
+    /// An attribute's value is the right type but out of range / not one of
+    /// the allowed words.
+    BadValue {
+        /// The attribute name.
+        attr: String,
+        /// What is wrong with it.
+        message: String,
+        /// The value's span.
+        span: Span,
+    },
+}
+
+impl SemanticError {
+    /// The span the error is anchored at.
+    pub fn span(&self) -> Span {
+        match self {
+            SemanticError::DuplicateNode { span, .. }
+            | SemanticError::DanglingEdge { span, .. }
+            | SemanticError::Cycle { span, .. }
+            | SemanticError::BadEdgeKind { span, .. }
+            | SemanticError::UnsatisfiedRequires { span, .. }
+            | SemanticError::UnknownModel { span, .. }
+            | SemanticError::UnknownPlatform { span, .. }
+            | SemanticError::UnknownAttr { span, .. }
+            | SemanticError::MissingAttr { span, .. }
+            | SemanticError::TypeMismatch { span, .. }
+            | SemanticError::BadValue { span, .. } => *span,
+        }
+    }
+
+    /// Renders as a [`Diagnostic`], with secondary notes where a second
+    /// location clarifies the problem.
+    pub fn diagnostic(&self) -> Diagnostic {
+        match self {
+            SemanticError::DuplicateNode { name, span, first } => {
+                Diagnostic::new(format!("duplicate node name `{name}`"), *span)
+                    .with_note("first defined here", Some(*first))
+            }
+            SemanticError::DanglingEdge { name, span } => {
+                Diagnostic::new(format!("reference to unknown node `{name}`"), *span)
+            }
+            SemanticError::Cycle { path, span } => Diagnostic::new(
+                format!("`uses` edges form a cycle: {}", path.join(" -> ")),
+                *span,
+            ),
+            SemanticError::BadEdgeKind {
+                from,
+                to,
+                expected,
+                span,
+            } => Diagnostic::new(
+                format!("a `{from}` node must use `{expected}` nodes, but this is a `{to}`"),
+                *span,
+            ),
+            SemanticError::UnsatisfiedRequires {
+                capability,
+                device,
+                span,
+                device_span,
+            } => Diagnostic::new(
+                format!("required capability `{capability}` is not provided by device `{device}`"),
+                *span,
+            )
+            .with_note(
+                format!("device `{device}` declared here"),
+                Some(*device_span),
+            ),
+            SemanticError::UnknownModel { name, span } => {
+                Diagnostic::new(format!("unknown model `{name}`"), *span).with_note(
+                    format!(
+                        "known models: {}",
+                        ModelId::all()
+                            .iter()
+                            .map(|m| m.info().name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    None,
+                )
+            }
+            SemanticError::UnknownPlatform { name, span } => Diagnostic::new(
+                format!("unknown platform `{name}` (expected `nx` or `agx`)"),
+                *span,
+            ),
+            SemanticError::UnknownAttr { kind, name, span } => {
+                Diagnostic::new(format!("`{kind}` nodes have no attribute `{name}`"), *span)
+            }
+            SemanticError::MissingAttr { kind, name, span } => Diagnostic::new(
+                format!("`{kind}` node is missing required attribute `{name}`"),
+                *span,
+            ),
+            SemanticError::TypeMismatch {
+                attr,
+                expected,
+                found,
+                span,
+            } => Diagnostic::new(
+                format!("attribute `{attr}` expects a {expected}, found a {found}"),
+                *span,
+            ),
+            SemanticError::BadValue {
+                attr,
+                message,
+                span,
+            } => Diagnostic::new(format!("bad value for `{attr}`: {message}"), *span),
+        }
+    }
+}
+
+impl std::fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.diagnostic().message)
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+/// How a device's clocks are configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerMode {
+    /// MAXN — clocks at their ceiling ([`trtsim_gpu::device::DeviceSpec::max_clock`]).
+    Max,
+    /// Clocks pinned near 600 MHz, the paper's latency-measurement setup
+    /// ([`trtsim_gpu::device::DeviceSpec::pinned_clock`]).
+    Pinned,
+}
+
+/// Where a model node's engines come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSource {
+    /// The shared [`trtsim_repro::support::EngineFarm`] zoo (pinned-clock
+    /// builds, campaign seeds) — what the repro bins use.
+    Zoo,
+    /// Fresh builds with an explicit base seed, one per build index.
+    Fresh {
+        /// Base build seed; build `i` uses `seed + i`.
+        seed: u64,
+    },
+}
+
+/// Host-side glue latency applied around each inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HostGlue {
+    /// Use the model's calibrated `host_glue_us`.
+    Model,
+    /// Use a fixed value in microseconds.
+    Fixed(f64),
+}
+
+/// A validated `device` node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceDecl {
+    /// Node name.
+    pub name: String,
+    /// Which board.
+    pub platform: Platform,
+    /// Clock configuration.
+    pub power: PowerMode,
+    /// Declared capabilities, matched against `requires`.
+    pub provides: Vec<String>,
+    /// The declaration's span (for downstream diagnostics).
+    pub span: Span,
+}
+
+/// A validated `model` node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDecl {
+    /// Node name.
+    pub name: String,
+    /// Indices into [`ScenarioGraph::devices`].
+    pub devices: Vec<usize>,
+    /// The networks to build.
+    pub networks: Vec<ModelId>,
+    /// Max batch sizes to build engines for.
+    pub batches: Vec<u32>,
+    /// Engine provenance.
+    pub source: EngineSource,
+    /// Engine builds per (network, batch, device) combination.
+    pub builds: u32,
+    /// Host glue applied by latency traffic.
+    pub host_glue: HostGlue,
+}
+
+/// What a `traffic` node drives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficKind {
+    /// Closed-loop single-stream latency measurement
+    /// ([`trtsim_core::ExecutionContext::measure_latency`]).
+    Latency {
+        /// Timed runs per engine.
+        runs: u32,
+        /// Per-run jitter SD passed to `TimingOptions`.
+        jitter_sd: f64,
+        /// Also compute the framework (unoptimized) latency per network.
+        compare_unoptimized: bool,
+    },
+    /// Closed-loop serving: submit `frames` requests, then drain
+    /// ([`trtsim_core::serving::InferenceServer`]).
+    Closed {
+        /// Requests submitted.
+        frames: u32,
+        /// Worker contexts.
+        workers: u32,
+        /// Queue capacity.
+        queue: u32,
+        /// Batch window; `f64::INFINITY` = fill batches completely.
+        timeout_us: f64,
+    },
+    /// Open-loop serving with Poisson arrivals
+    /// ([`trtsim_core::serving::ServerConfig::with_poisson_arrivals`]).
+    Poisson {
+        /// Requests submitted.
+        frames: u32,
+        /// Worker contexts.
+        workers: u32,
+        /// Queue capacity.
+        queue: u32,
+        /// Mean inter-arrival gap in microseconds.
+        period_us: f64,
+        /// Arrival-process seed.
+        seed: u64,
+    },
+}
+
+/// A validated `traffic` node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficDecl {
+    /// Node name.
+    pub name: String,
+    /// Indices into [`ScenarioGraph::models`].
+    pub models: Vec<usize>,
+    /// What the source does.
+    pub kind: TrafficKind,
+}
+
+/// A validated `assert` node: a bound over a traffic node's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertDecl {
+    /// Node name.
+    pub name: String,
+    /// Indices into [`ScenarioGraph::traffic`].
+    pub traffic: Vec<usize>,
+    /// Which metric to bound (e.g. `fps`, `p99_us`).
+    pub metric: String,
+    /// Inclusive lower bound.
+    pub min: Option<f64>,
+    /// Inclusive upper bound.
+    pub max: Option<f64>,
+}
+
+/// The validated, index-linked scenario graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGraph {
+    /// Scenario name from the header.
+    pub name: String,
+    /// Device nodes.
+    pub devices: Vec<DeviceDecl>,
+    /// Model nodes.
+    pub models: Vec<ModelDecl>,
+    /// Traffic nodes.
+    pub traffic: Vec<TrafficDecl>,
+    /// Assertion nodes.
+    pub asserts: Vec<AssertDecl>,
+}
+
+/// Metric names an `assert` node may bound; the driver produces exactly
+/// these keys per experiment unit.
+pub const METRICS: &[&str] = &[
+    "fps",
+    "mean_us",
+    "p50_us",
+    "p90_us",
+    "p95_us",
+    "p99_us",
+    "max_us",
+    "gr3d_percent",
+    "batches",
+    "unoptimized_fps",
+    "gain",
+    "completed",
+    "rejected",
+];
+
+/// Normalizes a model/platform word for matching: lowercase, alphanumerics
+/// only, so `ResNet-18`, `resnet18`, and `resnet_18` all agree.
+fn normalize(word: &str) -> String {
+    word.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+fn resolve_model(word: &str) -> Option<ModelId> {
+    let want = normalize(word);
+    ModelId::all()
+        .into_iter()
+        .find(|m| normalize(m.info().name) == want)
+}
+
+fn resolve_platform(word: &str) -> Option<Platform> {
+    match normalize(word).as_str() {
+        "nx" => Some(Platform::Nx),
+        "agx" => Some(Platform::Agx),
+        _ => None,
+    }
+}
+
+/// The attribute names each node kind accepts.
+fn known_attrs(kind: NodeKind) -> &'static [&'static str] {
+    match kind {
+        NodeKind::Device => &["platform", "power", "provides"],
+        NodeKind::Model => &[
+            "uses",
+            "network",
+            "networks",
+            "batch",
+            "batches",
+            "source",
+            "seed",
+            "builds",
+            "host_glue",
+            "requires",
+        ],
+        NodeKind::Traffic => &[
+            "uses",
+            "kind",
+            "runs",
+            "jitter_sd",
+            "compare_unoptimized",
+            "frames",
+            "workers",
+            "queue",
+            "timeout_us",
+            "period_us",
+            "seed",
+            "requires",
+        ],
+        NodeKind::Assert => &["uses", "metric", "min", "max"],
+    }
+}
+
+struct Checker<'a> {
+    ast: &'a ScenarioAst,
+    errors: Vec<SemanticError>,
+    /// name → node index, first declaration wins.
+    by_name: std::collections::HashMap<&'a str, usize>,
+}
+
+impl<'a> Checker<'a> {
+    fn node(&self, index: usize) -> &'a Node {
+        &self.ast.nodes[index]
+    }
+
+    /// A word-valued attribute (bare identifier or string).
+    fn word(&mut self, node: &Node, attr: &str) -> Option<Spanned<String>> {
+        let a = node.attr(attr)?;
+        match &a.value.value {
+            Value::Ident(w) => Some(Spanned::new(w.clone(), a.value.span)),
+            Value::Str(s) => Some(Spanned::new(s.clone(), a.value.span)),
+            other => {
+                self.errors.push(SemanticError::TypeMismatch {
+                    attr: attr.to_string(),
+                    expected: "word (identifier or string)",
+                    found: other.type_name(),
+                    span: a.value.span,
+                });
+                None
+            }
+        }
+    }
+
+    fn num(&mut self, node: &Node, attr: &str) -> Option<Spanned<f64>> {
+        let a = node.attr(attr)?;
+        match &a.value.value {
+            Value::Num(n) => Some(Spanned::new(*n, a.value.span)),
+            other => {
+                self.errors.push(SemanticError::TypeMismatch {
+                    attr: attr.to_string(),
+                    expected: "number",
+                    found: other.type_name(),
+                    span: a.value.span,
+                });
+                None
+            }
+        }
+    }
+
+    fn boolean(&mut self, node: &Node, attr: &str) -> Option<Spanned<bool>> {
+        let a = node.attr(attr)?;
+        match &a.value.value {
+            Value::Bool(b) => Some(Spanned::new(*b, a.value.span)),
+            other => {
+                self.errors.push(SemanticError::TypeMismatch {
+                    attr: attr.to_string(),
+                    expected: "bool",
+                    found: other.type_name(),
+                    span: a.value.span,
+                });
+                None
+            }
+        }
+    }
+
+    /// A list-valued attribute; a lone scalar is accepted as a 1-list.
+    fn list(&mut self, node: &Node, attr: &str) -> Option<Vec<Spanned<Value>>> {
+        let a = node.attr(attr)?;
+        match &a.value.value {
+            Value::List(items) => Some(items.clone()),
+            _ => Some(vec![a.value.clone()]),
+        }
+    }
+
+    /// A list of words (for `uses`, `requires`, `provides`, `networks`).
+    fn word_list(&mut self, node: &Node, attr: &str) -> Vec<Spanned<String>> {
+        let Some(items) = self.list(node, attr) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for item in items {
+            match &item.value {
+                Value::Ident(w) => out.push(Spanned::new(w.clone(), item.span)),
+                Value::Str(s) => out.push(Spanned::new(s.clone(), item.span)),
+                other => self.errors.push(SemanticError::TypeMismatch {
+                    attr: attr.to_string(),
+                    expected: "word (identifier or string)",
+                    found: other.type_name(),
+                    span: item.span,
+                }),
+            }
+        }
+        out
+    }
+
+    /// A positive-integer attribute with a default.
+    fn count(&mut self, node: &Node, attr: &str, default: u32) -> u32 {
+        match self.num(node, attr) {
+            Some(n) => self.as_count(attr, n).unwrap_or(default),
+            None => default,
+        }
+    }
+
+    fn as_count(&mut self, attr: &str, n: Spanned<f64>) -> Option<u32> {
+        if n.value >= 1.0 && n.value.fract() == 0.0 && n.value <= u32::MAX as f64 {
+            Some(n.value as u32)
+        } else {
+            self.errors.push(SemanticError::BadValue {
+                attr: attr.to_string(),
+                message: format!("expected a positive integer, got {}", n.value),
+                span: n.span,
+            });
+            None
+        }
+    }
+
+    fn as_seed(&mut self, attr: &str, n: Spanned<f64>) -> Option<u64> {
+        if n.value >= 0.0 && n.value.fract() == 0.0 && n.value <= u64::MAX as f64 {
+            Some(n.value as u64)
+        } else {
+            self.errors.push(SemanticError::BadValue {
+                attr: attr.to_string(),
+                message: format!("expected a non-negative integer, got {}", n.value),
+                span: n.span,
+            });
+            None
+        }
+    }
+
+    /// Resolves a node's `uses` edges to indices, checking existence and
+    /// target kind. Dangling or wrong-kind references are dropped (after
+    /// reporting) so later passes see only valid indices.
+    fn resolve_uses(&mut self, node: &Node) -> Vec<(usize, Span)> {
+        let expected = node.kind.value.uses_target();
+        let refs = self.word_list(node, "uses");
+        let mut out = Vec::new();
+        for r in refs {
+            let Some(&target) = self.by_name.get(r.value.as_str()) else {
+                self.errors.push(SemanticError::DanglingEdge {
+                    name: r.value,
+                    span: r.span,
+                });
+                continue;
+            };
+            let target_kind = self.node(target).kind.value;
+            match expected {
+                Some(expected) if target_kind != expected => {
+                    self.errors.push(SemanticError::BadEdgeKind {
+                        from: node.kind.value,
+                        to: target_kind,
+                        expected,
+                        span: r.span,
+                    });
+                }
+                _ => out.push((target, r.span)),
+            }
+        }
+        out
+    }
+}
+
+/// Detects cycles in the raw `uses` edges (over all node kinds, before any
+/// kind restriction) with a three-color DFS, reporting each cycle once.
+fn check_cycles(
+    ast: &ScenarioAst,
+    by_name: &std::collections::HashMap<&str, usize>,
+) -> Vec<SemanticError> {
+    // edges[i] = (target index, span of the reference)
+    let mut edges: Vec<Vec<(usize, Span)>> = vec![Vec::new(); ast.nodes.len()];
+    for (i, node) in ast.nodes.iter().enumerate() {
+        let Some(attr) = node.attr("uses") else {
+            continue;
+        };
+        let items: Vec<Spanned<Value>> = match &attr.value.value {
+            Value::List(items) => items.clone(),
+            _ => vec![attr.value.clone()],
+        };
+        for item in items {
+            let word = match &item.value {
+                Value::Ident(w) => w.as_str(),
+                Value::Str(s) => s.as_str(),
+                _ => continue,
+            };
+            if let Some(&j) = by_name.get(word) {
+                edges[i].push((j, item.span));
+            }
+        }
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; ast.nodes.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut errors = Vec::new();
+    fn dfs(
+        i: usize,
+        ast: &ScenarioAst,
+        edges: &[Vec<(usize, Span)>],
+        color: &mut [Color],
+        stack: &mut Vec<usize>,
+        errors: &mut Vec<SemanticError>,
+    ) {
+        color[i] = Color::Grey;
+        stack.push(i);
+        for &(j, span) in &edges[i] {
+            match color[j] {
+                Color::White => dfs(j, ast, edges, color, stack, errors),
+                Color::Grey => {
+                    let start = stack
+                        .iter()
+                        .position(|&n| n == j)
+                        .expect("grey is on stack");
+                    let mut path: Vec<String> = stack[start..]
+                        .iter()
+                        .map(|&n| ast.nodes[n].name.value.clone())
+                        .collect();
+                    path.push(ast.nodes[j].name.value.clone());
+                    errors.push(SemanticError::Cycle { path, span });
+                }
+                Color::Black => {}
+            }
+        }
+        stack.pop();
+        color[i] = Color::Black;
+    }
+    for i in 0..ast.nodes.len() {
+        if color[i] == Color::White {
+            dfs(i, ast, &edges, &mut color, &mut stack, &mut errors);
+        }
+    }
+    errors
+}
+
+/// A kind-local declaration awaiting edge remapping: the decl itself, its
+/// `uses` targets as (global node index, edge span), and its raw `requires`
+/// capability idents.
+type Pending<T> = (T, Vec<(usize, Span)>, Vec<Spanned<String>>);
+
+/// Validates a parsed scenario.
+///
+/// # Errors
+///
+/// Returns every accumulated [`SemanticError`] (never empty on `Err`).
+pub fn validate(ast: &ScenarioAst) -> Result<ScenarioGraph, Vec<SemanticError>> {
+    let mut checker = Checker {
+        ast,
+        errors: Vec::new(),
+        by_name: std::collections::HashMap::new(),
+    };
+
+    // Pass 1: names must be unique; first declaration wins for resolution.
+    for (i, node) in ast.nodes.iter().enumerate() {
+        if let Some(&first) = checker.by_name.get(node.name.value.as_str()) {
+            checker.errors.push(SemanticError::DuplicateNode {
+                name: node.name.value.clone(),
+                span: node.name.span,
+                first: ast.nodes[first].name.span,
+            });
+        } else {
+            checker.by_name.insert(node.name.value.as_str(), i);
+        }
+    }
+
+    // Pass 2: cycles over the raw edge set.
+    let cycle_errors = check_cycles(ast, &checker.by_name);
+    checker.errors.extend(cycle_errors);
+
+    // Pass 3: attribute schema — unknown attribute names per kind.
+    for node in &ast.nodes {
+        for attr in &node.attrs {
+            if !known_attrs(node.kind.value).contains(&attr.name.value.as_str()) {
+                checker.errors.push(SemanticError::UnknownAttr {
+                    kind: node.kind.value,
+                    name: attr.name.value.clone(),
+                    span: attr.name.span,
+                });
+            }
+        }
+    }
+
+    // Pass 4: per-kind typing and reference resolution. Nodes are gathered
+    // into kind-local vectors; `uses` indices are remapped from global node
+    // index to kind-local index at the end.
+    let mut devices: Vec<DeviceDecl> = Vec::new();
+    let mut device_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut models: Vec<Pending<ModelDecl>> = Vec::new();
+    let mut model_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut traffic: Vec<Pending<TrafficDecl>> = Vec::new();
+    let mut traffic_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut asserts: Vec<(AssertDecl, Vec<(usize, Span)>)> = Vec::new();
+
+    for (i, node) in ast.nodes.iter().enumerate() {
+        // Skip shadowed duplicates: only the first declaration is compiled.
+        if checker.by_name.get(node.name.value.as_str()) != Some(&i) {
+            continue;
+        }
+        match node.kind.value {
+            NodeKind::Device => {
+                let platform = match checker.word(node, "platform") {
+                    Some(w) => match resolve_platform(&w.value) {
+                        Some(p) => Some(p),
+                        None => {
+                            checker.errors.push(SemanticError::UnknownPlatform {
+                                name: w.value,
+                                span: w.span,
+                            });
+                            None
+                        }
+                    },
+                    None => {
+                        if node.attr("platform").is_none() {
+                            checker.errors.push(SemanticError::MissingAttr {
+                                kind: NodeKind::Device,
+                                name: "platform",
+                                span: node.name.span,
+                            });
+                        }
+                        None
+                    }
+                };
+                let power = match checker.word(node, "power") {
+                    Some(w) => match normalize(&w.value).as_str() {
+                        "max" => PowerMode::Max,
+                        "pinned" => PowerMode::Pinned,
+                        _ => {
+                            checker.errors.push(SemanticError::BadValue {
+                                attr: "power".into(),
+                                message: format!("expected `max` or `pinned`, got `{}`", w.value),
+                                span: w.span,
+                            });
+                            PowerMode::Max
+                        }
+                    },
+                    None => PowerMode::Max,
+                };
+                let provides = checker
+                    .word_list(node, "provides")
+                    .into_iter()
+                    .map(|w| w.value)
+                    .collect();
+                if let Some(platform) = platform {
+                    device_of.insert(i, devices.len());
+                    devices.push(DeviceDecl {
+                        name: node.name.value.clone(),
+                        platform,
+                        power,
+                        provides,
+                        span: node.name.span,
+                    });
+                }
+            }
+            NodeKind::Model => {
+                let uses = checker.resolve_uses(node);
+                if node.attr("uses").is_none() {
+                    checker.errors.push(SemanticError::MissingAttr {
+                        kind: NodeKind::Model,
+                        name: "uses",
+                        span: node.name.span,
+                    });
+                }
+                let network_attr = if node.attr("networks").is_some() {
+                    "networks"
+                } else {
+                    "network"
+                };
+                let mut networks = Vec::new();
+                if node.attr(network_attr).is_none() {
+                    checker.errors.push(SemanticError::MissingAttr {
+                        kind: NodeKind::Model,
+                        name: "network",
+                        span: node.name.span,
+                    });
+                } else {
+                    for w in checker.word_list(node, network_attr) {
+                        match resolve_model(&w.value) {
+                            Some(m) => networks.push(m),
+                            None => checker.errors.push(SemanticError::UnknownModel {
+                                name: w.value,
+                                span: w.span,
+                            }),
+                        }
+                    }
+                }
+                let batch_attr = if node.attr("batches").is_some() {
+                    "batches"
+                } else {
+                    "batch"
+                };
+                let mut batches = Vec::new();
+                if node.attr(batch_attr).is_some() {
+                    let items = checker.list(node, batch_attr).unwrap_or_default();
+                    for item in items {
+                        match item.value {
+                            Value::Num(n) => {
+                                if let Some(b) =
+                                    checker.as_count(batch_attr, Spanned::new(n, item.span))
+                                {
+                                    batches.push(b);
+                                }
+                            }
+                            ref other => checker.errors.push(SemanticError::TypeMismatch {
+                                attr: batch_attr.to_string(),
+                                expected: "number",
+                                found: other.type_name(),
+                                span: item.span,
+                            }),
+                        }
+                    }
+                }
+                if batches.is_empty() {
+                    batches.push(1);
+                }
+                let source = match checker.word(node, "source") {
+                    Some(w) => match normalize(&w.value).as_str() {
+                        "zoo" => EngineSource::Zoo,
+                        "fresh" => {
+                            let seed = checker
+                                .num(node, "seed")
+                                .and_then(|n| checker.as_seed("seed", n))
+                                .unwrap_or(0);
+                            EngineSource::Fresh { seed }
+                        }
+                        _ => {
+                            checker.errors.push(SemanticError::BadValue {
+                                attr: "source".into(),
+                                message: format!("expected `zoo` or `fresh`, got `{}`", w.value),
+                                span: w.span,
+                            });
+                            EngineSource::Zoo
+                        }
+                    },
+                    None => EngineSource::Zoo,
+                };
+                let builds = checker.count(node, "builds", 1);
+                let host_glue = match node.attr("host_glue") {
+                    None => HostGlue::Model,
+                    Some(a) => match &a.value.value {
+                        Value::Num(n) if *n >= 0.0 => HostGlue::Fixed(*n),
+                        Value::Num(n) => {
+                            checker.errors.push(SemanticError::BadValue {
+                                attr: "host_glue".into(),
+                                message: format!("glue microseconds cannot be negative ({n})"),
+                                span: a.value.span,
+                            });
+                            HostGlue::Model
+                        }
+                        Value::Ident(w) | Value::Str(w) if normalize(w) == "model" => {
+                            HostGlue::Model
+                        }
+                        other => {
+                            checker.errors.push(SemanticError::TypeMismatch {
+                                attr: "host_glue".into(),
+                                expected: "number of microseconds or `model`",
+                                found: other.type_name(),
+                                span: a.value.span,
+                            });
+                            HostGlue::Model
+                        }
+                    },
+                };
+                let requires = checker.word_list(node, "requires");
+                model_of.insert(i, models.len());
+                models.push((
+                    ModelDecl {
+                        name: node.name.value.clone(),
+                        devices: Vec::new(),
+                        networks,
+                        batches,
+                        source,
+                        builds,
+                        host_glue,
+                    },
+                    uses,
+                    requires,
+                ));
+            }
+            NodeKind::Traffic => {
+                let uses = checker.resolve_uses(node);
+                if node.attr("uses").is_none() {
+                    checker.errors.push(SemanticError::MissingAttr {
+                        kind: NodeKind::Traffic,
+                        name: "uses",
+                        span: node.name.span,
+                    });
+                }
+                let kind_word = checker.word(node, "kind");
+                if node.attr("kind").is_none() {
+                    checker.errors.push(SemanticError::MissingAttr {
+                        kind: NodeKind::Traffic,
+                        name: "kind",
+                        span: node.name.span,
+                    });
+                }
+                let kind = match kind_word {
+                    Some(w) => match normalize(&w.value).as_str() {
+                        "latency" => Some(TrafficKind::Latency {
+                            runs: checker.count(node, "runs", 30),
+                            jitter_sd: checker
+                                .num(node, "jitter_sd")
+                                .map(|n| n.value)
+                                .unwrap_or(0.0),
+                            compare_unoptimized: checker
+                                .boolean(node, "compare_unoptimized")
+                                .map(|b| b.value)
+                                .unwrap_or(false),
+                        }),
+                        "closed" => Some(TrafficKind::Closed {
+                            frames: checker.count(node, "frames", 256),
+                            workers: checker.count(node, "workers", 4),
+                            queue: checker.count(node, "queue", 256),
+                            timeout_us: match node.attr("timeout_us") {
+                                None => f64::INFINITY,
+                                Some(a) => match &a.value.value {
+                                    Value::Num(n) if *n >= 0.0 => *n,
+                                    Value::Ident(w) | Value::Str(w) if normalize(w) == "inf" => {
+                                        f64::INFINITY
+                                    }
+                                    other => {
+                                        checker.errors.push(SemanticError::TypeMismatch {
+                                            attr: "timeout_us".into(),
+                                            expected: "non-negative number or `inf`",
+                                            found: other.type_name(),
+                                            span: a.value.span,
+                                        });
+                                        f64::INFINITY
+                                    }
+                                },
+                            },
+                        }),
+                        "poisson" => {
+                            let period = match checker.num(node, "period_us") {
+                                Some(n) if n.value > 0.0 => Some(n.value),
+                                Some(n) => {
+                                    checker.errors.push(SemanticError::BadValue {
+                                        attr: "period_us".into(),
+                                        message: format!(
+                                            "mean inter-arrival gap must be positive, got {}",
+                                            n.value
+                                        ),
+                                        span: n.span,
+                                    });
+                                    None
+                                }
+                                None => {
+                                    if node.attr("period_us").is_none() {
+                                        checker.errors.push(SemanticError::MissingAttr {
+                                            kind: NodeKind::Traffic,
+                                            name: "period_us",
+                                            span: node.name.span,
+                                        });
+                                    }
+                                    None
+                                }
+                            };
+                            period.map(|period_us| TrafficKind::Poisson {
+                                frames: checker.count(node, "frames", 256),
+                                workers: checker.count(node, "workers", 4),
+                                queue: checker.count(node, "queue", 256),
+                                period_us,
+                                seed: checker
+                                    .num(node, "seed")
+                                    .and_then(|n| checker.as_seed("seed", n))
+                                    .unwrap_or(1),
+                            })
+                        }
+                        _ => {
+                            checker.errors.push(SemanticError::BadValue {
+                                attr: "kind".into(),
+                                message: format!(
+                                    "expected `latency`, `closed`, or `poisson`, got `{}`",
+                                    w.value
+                                ),
+                                span: w.span,
+                            });
+                            None
+                        }
+                    },
+                    None => None,
+                };
+                let requires = checker.word_list(node, "requires");
+                if let Some(kind) = kind {
+                    traffic_of.insert(i, traffic.len());
+                    traffic.push((
+                        TrafficDecl {
+                            name: node.name.value.clone(),
+                            models: Vec::new(),
+                            kind,
+                        },
+                        uses,
+                        requires,
+                    ));
+                }
+            }
+            NodeKind::Assert => {
+                let uses = checker.resolve_uses(node);
+                if node.attr("uses").is_none() {
+                    checker.errors.push(SemanticError::MissingAttr {
+                        kind: NodeKind::Assert,
+                        name: "uses",
+                        span: node.name.span,
+                    });
+                }
+                let metric = match checker.word(node, "metric") {
+                    Some(w) => {
+                        if METRICS.contains(&w.value.as_str()) {
+                            w.value
+                        } else {
+                            checker.errors.push(SemanticError::BadValue {
+                                attr: "metric".into(),
+                                message: format!(
+                                    "unknown metric `{}` (known: {})",
+                                    w.value,
+                                    METRICS.join(", ")
+                                ),
+                                span: w.span,
+                            });
+                            w.value
+                        }
+                    }
+                    None => {
+                        if node.attr("metric").is_none() {
+                            checker.errors.push(SemanticError::MissingAttr {
+                                kind: NodeKind::Assert,
+                                name: "metric",
+                                span: node.name.span,
+                            });
+                        }
+                        String::new()
+                    }
+                };
+                let min = checker.num(node, "min").map(|n| n.value);
+                let max = checker.num(node, "max").map(|n| n.value);
+                if node.attr("min").is_none() && node.attr("max").is_none() {
+                    checker.errors.push(SemanticError::BadValue {
+                        attr: "min".into(),
+                        message: "an assert needs at least one of `min`, `max`".into(),
+                        span: node.name.span,
+                    });
+                }
+                if let (Some(lo), Some(hi)) = (min, max) {
+                    if lo > hi {
+                        checker.errors.push(SemanticError::BadValue {
+                            attr: "max".into(),
+                            message: format!("empty bound: min {lo} > max {hi}"),
+                            span: node.attr("max").expect("checked above").value.span,
+                        });
+                    }
+                }
+                asserts.push((
+                    AssertDecl {
+                        name: node.name.value.clone(),
+                        traffic: Vec::new(),
+                        metric,
+                        min,
+                        max,
+                    },
+                    uses,
+                ));
+            }
+        }
+    }
+
+    // Pass 5: remap edges to kind-local indices and check `requires`
+    // against the `provides` of every device the node (transitively) runs
+    // on. Edges whose target failed its own validation are dropped —
+    // the target's error already explains why.
+    let mut requires_errors: Vec<SemanticError> = Vec::new();
+    let mut models: Vec<ModelDecl> = models
+        .into_iter()
+        .map(|(mut decl, uses, requires)| {
+            for (target, _span) in uses {
+                if let Some(&d) = device_of.get(&target) {
+                    decl.devices.push(d);
+                }
+            }
+            for req in requires {
+                for &d in &decl.devices {
+                    let device = &devices[d];
+                    if !device.provides.iter().any(|p| p == &req.value) {
+                        requires_errors.push(SemanticError::UnsatisfiedRequires {
+                            capability: req.value.clone(),
+                            device: device.name.clone(),
+                            span: req.span,
+                            device_span: device.span,
+                        });
+                    }
+                }
+            }
+            decl
+        })
+        .collect();
+    let traffic: Vec<TrafficDecl> = traffic
+        .into_iter()
+        .map(|(mut decl, uses, requires)| {
+            for (target, _span) in uses {
+                if let Some(&m) = model_of.get(&target) {
+                    decl.models.push(m);
+                }
+            }
+            for req in requires {
+                for &m in &decl.models {
+                    for &d in &models[m].devices {
+                        let device = &devices[d];
+                        if !device.provides.iter().any(|p| p == &req.value) {
+                            requires_errors.push(SemanticError::UnsatisfiedRequires {
+                                capability: req.value.clone(),
+                                device: device.name.clone(),
+                                span: req.span,
+                                device_span: device.span,
+                            });
+                        }
+                    }
+                }
+            }
+            decl
+        })
+        .collect();
+    checker.errors.extend(requires_errors);
+    let asserts: Vec<AssertDecl> = asserts
+        .into_iter()
+        .map(|(mut decl, uses)| {
+            for (target, _span) in uses {
+                if let Some(&t) = traffic_of.get(&target) {
+                    decl.traffic.push(t);
+                }
+            }
+            decl
+        })
+        .collect();
+    // A model with no surviving device edge can't run; same for traffic.
+    for decl in &mut models {
+        decl.devices.dedup();
+    }
+
+    if checker.errors.is_empty() {
+        Ok(ScenarioGraph {
+            name: ast.name.value.clone(),
+            devices,
+            models,
+            traffic,
+            asserts,
+        })
+    } else {
+        Err(checker.errors)
+    }
+}

@@ -8,42 +8,44 @@
 //! shows how much WCET margin an engineer must budget if engines are rebuilt
 //! in the field versus pinned to one audited plan.
 //!
+//! The experiment itself lives in `scenarios/adas_wcet.scn` — this example
+//! is now a thin front-end: it compiles the scenario file, hands the plan to
+//! the generic driver, and narrates the numbers. Editing the `.scn` file
+//! (more builds, a different network, pinned clocks) changes the experiment
+//! without touching Rust.
+//!
 //! ```sh
 //! cargo run --release --example adas_pipeline
 //! ```
 
-use trtsim::models::ModelId;
+use std::path::Path;
+
+use trtsim::scenario::{compile_src, driver};
 use trtsim::util::stats::Summary;
-use trtsim::{Builder, BuilderConfig, DeviceSpec, EngineError, ExecutionContext, TimingOptions};
+use trtsim::CompileOptions;
 
-fn main() -> Result<(), EngineError> {
-    let device = DeviceSpec::xavier_agx();
-    let network = ModelId::Pednet.descriptor();
-    let opts = TimingOptions::default()
-        .without_engine_upload()
-        .with_host_glue_us(ModelId::Pednet.info().host_glue_us);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/adas_wcet.scn");
+    let src = std::fs::read_to_string(&path)?;
+    let plan = compile_src(&src, CompileOptions::default())
+        .map_err(|e| e.render(&path.display().to_string(), &src))?;
+    let report = driver::run(&plan)?;
 
-    // Rebuild the engine many times, as a fleet of vehicles each building
-    // its own engine would.
+    // One unit: pednet on the AGX, 12 fresh builds, 30 timed runs each — as
+    // a fleet of vehicles each building its own engine would.
+    let unit = &report.units[0];
     let mut per_engine_means = Vec::new();
     let mut all_runs = Vec::new();
-    for build in 0..12u64 {
-        let engine = Builder::new(
-            device.clone(),
-            BuilderConfig::default().with_build_seed(0xADA5 + build),
-        )
-        .build(&network)?;
-        let ctx = ExecutionContext::new(&engine, device.clone());
-        let runs = ctx.measure_latency(&opts, 30, build);
-        let summary = Summary::from_samples(&runs);
+    for runs in &unit.builds {
+        let summary = Summary::from_samples(&runs.samples);
         println!(
-            "engine {build:>2}: mean {:>7.2} ms  p95 {:>7.2} ms  ({} kernels)",
+            "engine {:>2}: mean {:>7.2} ms  p95 {:>7.2} ms",
+            runs.build,
             summary.mean / 1000.0,
             summary.p95 / 1000.0,
-            engine.launch_count(),
         );
         per_engine_means.push(summary.mean);
-        all_runs.extend(runs);
+        all_runs.extend_from_slice(&runs.samples);
     }
 
     let fleet = Summary::from_samples(&all_runs);
@@ -67,5 +69,12 @@ fn main() -> Result<(), EngineError> {
     println!();
     println!("mitigation (paper §VI-A): serialize ONE engine and deploy that exact");
     println!("plan to every vehicle — outputs and latencies then match everywhere.");
+
+    for assert in &report.asserts {
+        println!("{}", assert.render());
+    }
+    if !report.passed() {
+        return Err("scenario assertions failed".into());
+    }
     Ok(())
 }

@@ -62,9 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let probe = Builder::new(device.clone(), BuilderConfig::default()).build(&g)?;
     ExecutionContext::new(&probe, device.clone()).infer(&Tensor::zeros([3, 8, 8]))?;
 
-    let mut timing = TimingOptions::default().without_engine_upload();
-    timing.host_glue_us = ModelId::TinyYolov3.info().host_glue_us;
-    timing.run_jitter_sd = 0.0;
+    let timing = TimingOptions::default()
+        .without_engine_upload()
+        .with_host_glue_us(ModelId::TinyYolov3.info().host_glue_us)
+        .with_run_jitter_sd(0.0);
     let server = InferenceServer::start(
         &engine,
         &device,

@@ -31,9 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceSpec::xavier_nx();
     let engine = Builder::new(device.clone(), BuilderConfig::default().with_build_seed(7))
         .build(&ModelId::TinyYolov3.descriptor())?;
-    let mut timing = TimingOptions::default().without_engine_upload();
-    timing.host_glue_us = ModelId::TinyYolov3.info().host_glue_us;
-    timing.run_jitter_sd = 0.0;
+    let timing = TimingOptions::default()
+        .without_engine_upload()
+        .with_host_glue_us(ModelId::TinyYolov3.info().host_glue_us)
+        .with_run_jitter_sd(0.0);
 
     // --- 1. A profiled 4-stream serving run -------------------------------
     let server = InferenceServer::start(

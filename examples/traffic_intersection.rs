@@ -43,8 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceSpec::max_clock(Platform::Nx);
     let engine = Builder::new(device.clone(), BuilderConfig::default().with_build_seed(8))
         .build(&ModelId::TinyYolov3.descriptor())?;
-    let mut opts = TimingOptions::default().without_engine_upload();
-    opts.host_glue_us = ModelId::TinyYolov3.info().host_glue_us;
+    let opts = TimingOptions::default()
+        .without_engine_upload()
+        .with_host_glue_us(ModelId::TinyYolov3.info().host_glue_us);
     let report = serving::serve(&engine, &device, 8, 256, &opts)?;
     println!(
         "served {} frames on {} camera threads: {:.0} FPS aggregate, GR3D {:.0}%",

@@ -22,6 +22,8 @@
 //!   anomaly detection over simulated timelines
 //! * [`perfmodel`] — the BSP prediction model (Eq. 2) and λ calibration
 //! * [`repro`] — one harness per paper table/figure
+//! * [`scenario`] — the declarative experiment DSL: `.scn` files parsed,
+//!   validated, and compiled to plans run by one generic driver
 //!
 //! The most commonly used types are also re-exported at the crate root —
 //! `use trtsim::{Builder, BuilderConfig, InferenceServer, ServerConfig, ...}`
@@ -86,19 +88,52 @@
 //! [`ServerConfig::with_telemetry`] and scrape `GET /metrics` (Prometheus
 //! text) or `GET /metrics.json`, or snapshot to disk with
 //! [`Registry::write_json`] — see [`metrics::telemetry`].
+//!
+//! # Scenarios
+//!
+//! Experiments are described declaratively in `.scn` files — graphs of
+//! `device`, `model`, `traffic`, and `assert` nodes — checked with
+//! accumulated, span-carrying diagnostics and executed by a single generic
+//! driver ([`scenario::driver::run`]). The checked-in files under
+//! `scenarios/` reproduce the legacy harnesses bit-for-bit:
+//!
+//! ```
+//! let src = r#"
+//! scenario "smoke" {
+//!   device nx { platform = nx }
+//!   model m { uses = [nx] network = alexnet }
+//!   traffic t { uses = [m] kind = latency runs = 3 }
+//!   assert a { uses = [t] metric = fps min = 1 }
+//! }
+//! "#;
+//! let plan = trtsim::scenario::compile_src(src, trtsim::CompileOptions::default())
+//!     .expect("valid scenario");
+//! assert_eq!(plan.units.len(), 1);
+//! ```
+//!
+//! The `scenario` bin (`cargo run --bin scenario -- check scenarios/`)
+//! lints, lists, and runs scenario files from the command line.
 
 #![warn(missing_docs)]
 
 pub use trtsim_core as engine;
 
+pub use trtsim_core::autotune::AutotuneOptions;
+pub use trtsim_core::serving::ArrivalProcess;
 pub use trtsim_core::{
     Builder, BuilderConfig, Engine, EngineError, ExecutionContext, InferencePlan, InferenceServer,
     KernelTime, PlanScratch, ProfileOptions, RequestRecord, ServerConfig, ServerStats,
     ServingError, ServingReport, TimingCache, TimingOptions,
 };
-pub use trtsim_gpu::device::DeviceSpec;
+pub use trtsim_gpu::device::{DeviceSpec, Platform};
+pub use trtsim_gpu::timeline::ProfilingOverhead;
 pub use trtsim_metrics::{
     render_json, render_prometheus, Counter, Gauge, Histogram, Registry, TelemetryServer,
+};
+pub use trtsim_profiler::anomaly::DetectorConfig;
+pub use trtsim_scenario::{
+    check_src, compile_src, CompileOptions, ExecutionPlan, ScenarioError, ScenarioGraph,
+    ScenarioReport,
 };
 
 pub use trtsim_data as data;
@@ -110,4 +145,5 @@ pub use trtsim_models as models;
 pub use trtsim_perfmodel as perfmodel;
 pub use trtsim_profiler as profiler;
 pub use trtsim_repro as repro;
+pub use trtsim_scenario as scenario;
 pub use trtsim_util as util;

@@ -53,8 +53,9 @@ fn finding4_bigger_board_can_be_slower() {
             )
             .build(&model.descriptor())
             .unwrap();
-            let mut opts = TimingOptions::default().with_host_glue_us(model.info().host_glue_us);
-            opts.run_jitter_sd = 0.0;
+            let opts = TimingOptions::default()
+                .with_host_glue_us(model.info().host_glue_us)
+                .with_run_jitter_sd(0.0);
             let time_on = |platform: Platform| {
                 ExecutionContext::new(&engine, DeviceSpec::pinned_clock(platform))
                     .measure_latency(&opts, 1, 0)[0]

@@ -19,10 +19,10 @@ fn engine() -> trtsim::Engine {
 }
 
 fn timing() -> TimingOptions {
-    let mut opts = TimingOptions::default().without_engine_upload();
-    opts.host_glue_us = ModelId::TinyYolov3.info().host_glue_us;
-    opts.run_jitter_sd = 0.0;
-    opts
+    TimingOptions::default()
+        .without_engine_upload()
+        .with_host_glue_us(ModelId::TinyYolov3.info().host_glue_us)
+        .with_run_jitter_sd(0.0)
 }
 
 fn serve_all(engine: &trtsim::Engine, config: ServerConfig, frames: u64) -> ServerStats {

@@ -145,8 +145,9 @@ fn live_endpoint_covers_every_subsystem() {
     let ctx = ExecutionContext::new(&probe_engine, DeviceSpec::xavier_nx());
     ctx.infer(&Tensor::zeros([3, 8, 8])).expect("probe runs");
 
-    let mut timing = TimingOptions::default().without_engine_upload();
-    timing.run_jitter_sd = 0.0;
+    let timing = TimingOptions::default()
+        .without_engine_upload()
+        .with_run_jitter_sd(0.0);
     let server = InferenceServer::start(
         &engine,
         &DeviceSpec::xavier_nx(),

@@ -152,9 +152,10 @@ fn profiled_serving_stats(workers: usize, frames: u64) -> ServerStats {
     )
     .build(&ModelId::TinyYolov3.descriptor())
     .expect("zoo model builds");
-    let mut timing = TimingOptions::default().without_engine_upload();
-    timing.host_glue_us = ModelId::TinyYolov3.info().host_glue_us;
-    timing.run_jitter_sd = 0.0;
+    let timing = TimingOptions::default()
+        .without_engine_upload()
+        .with_host_glue_us(ModelId::TinyYolov3.info().host_glue_us)
+        .with_run_jitter_sd(0.0);
     let server = InferenceServer::start(
         &engine,
         &device,
