@@ -1,0 +1,766 @@
+//! Fleet-scale serving: N heterogeneous simulated Jetsons behind a router.
+//!
+//! The paper characterizes a *single* device's serving behaviour (the
+//! multi-stream ceiling of Figures 3/4, the batching knee of §VI); the
+//! ROADMAP north-star is a production deployment — many NX/AGX boards
+//! behind a request router. This module runs that architecture on the
+//! simulator:
+//!
+//! ```text
+//!    open-loop trace (trtsim-data ArrivalTrace or any timestamp list)
+//!            │  Fleet::submit(model, frame, arrival_us)
+//!            ▼
+//!        ┌────────┐  least-estimated-finish dispatch over the model's
+//!        │ router │  replicas; full queues are skipped; when every
+//!        └────────┘  replica is full the request is REJECTED (admission
+//!          │  │  │   control), never silently dropped
+//!          ▼  ▼  ▼
+//!        device: one DeviceSpec + one GpuTimeline each; replicas on the
+//!        same device share its timeline, so co-located models genuinely
+//!        contend. Every replica is a full [`InferenceServer`] (bounded
+//!        queue, dynamic batcher, worker streams).
+//! ```
+//!
+//! * **Replica placement** — the builder places engines on named devices;
+//!   one model may have replicas on any subset of the fleet
+//!   ([`FleetBuilder::replica`]).
+//! * **Saturation-aware dispatch** — each replica's per-frame service cost
+//!   is estimated up front from its [`EngineProfile`] (worker parallelism
+//!   clamped to the paper's Equation-1 thread ceiling), and the router
+//!   picks the replica with the least estimated finish time
+//!   `(queue_depth + 1) × service_us`, so a slow or saturated device stops
+//!   attracting load as soon as its backlog catches up.
+//! * **Admission control** — [`Fleet::submit`] tries replicas in score
+//!   order with non-blocking submission; only when *every* replica's
+//!   bounded queue is full does it return [`ServingError::QueueFull`] and
+//!   count a fleet-level rejection.
+//! * **Observability** — every replica server publishes the standard
+//!   serving series with `device=` (and optional `tenant=`) labels, the
+//!   router adds `trtsim_fleet_*` counters, and
+//!   [`FleetConfig::telemetry_addr`] binds one scrape endpoint for the
+//!   whole fleet. [`FleetStats`] aggregates per-device and fleet-wide
+//!   p50/p90/p99 plus reject/drop accounting.
+//!
+//! [`EngineProfile`]: trtsim_gpu::contention::EngineProfile
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use trtsim_gpu::contention::max_threads;
+use trtsim_gpu::device::DeviceSpec;
+use trtsim_gpu::timeline::GpuTimeline;
+use trtsim_metrics::{Counter, LatencyPercentiles, Registry, TelemetryServer};
+
+use crate::engine::Engine;
+use crate::runtime::ExecutionContext;
+use crate::serving::{InferenceServer, ServerConfig, ServerStats, ServingError, ServingLabels};
+
+/// Fleet-wide knobs.
+#[derive(Debug, Clone, Default)]
+pub struct FleetConfig {
+    /// When set, binds one [`TelemetryServer`] scrape endpoint
+    /// (`GET /metrics`, `GET /metrics.json`) covering every device in the
+    /// fleet. Port 0 picks a free port; see [`Fleet::telemetry_addr`].
+    pub telemetry_addr: Option<std::net::SocketAddr>,
+}
+
+/// One device of the fleet: a named board with its own simulated timeline.
+#[derive(Debug)]
+struct FleetDevice {
+    name: String,
+    spec: DeviceSpec,
+    timeline: Arc<Mutex<GpuTimeline>>,
+}
+
+/// One placed engine replica: a full [`InferenceServer`] on its device's
+/// shared timeline, plus the router's dispatch bookkeeping.
+#[derive(Debug)]
+struct Replica {
+    device: usize,
+    model: String,
+    tenant: Option<String>,
+    server: InferenceServer,
+    /// Estimated per-frame service time, µs: single-stream latency divided
+    /// by the worker parallelism, the latter clamped to the Equation-1
+    /// thread ceiling so an over-provisioned worker count cannot make a
+    /// saturated device look faster than it is.
+    service_us: f64,
+    /// Frames the router sent here (accepted submissions).
+    routed: AtomicU64,
+    routed_metric: Counter,
+}
+
+/// Declarative fleet assembly: name devices, place replicas, start.
+///
+/// # Examples
+///
+/// ```no_run
+/// use trtsim_core::fleet::{FleetBuilder, FleetConfig};
+/// use trtsim_core::serving::ServerConfig;
+/// use trtsim_gpu::device::{DeviceSpec, Platform};
+/// # fn demo(engine_nx: &trtsim_core::Engine, engine_agx: &trtsim_core::Engine)
+/// #     -> Result<(), trtsim_core::serving::ServingError> {
+/// let fleet = FleetBuilder::new()
+///     .device("nx0", DeviceSpec::max_clock(Platform::Nx))
+///     .device("agx0", DeviceSpec::max_clock(Platform::Agx))
+///     .replica("nx0", engine_nx, ServerConfig::default())?
+///     .replica("agx0", engine_agx, ServerConfig::default())?
+///     .start(FleetConfig::default())?;
+/// fleet.submit(engine_nx.name(), 0, 0.0)?;
+/// let stats = fleet.drain();
+/// println!("{} completed, p99 {:.0} µs", stats.completed, stats.latency.p99_us);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct FleetBuilder {
+    devices: Vec<(String, DeviceSpec)>,
+    // (device name, engine, per-replica server config, tenant)
+    replicas: Vec<(String, Engine, ServerConfig, Option<String>)>,
+}
+
+impl FleetBuilder {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named device. Names must be unique; [`FleetBuilder::start`]
+    /// rejects duplicates.
+    pub fn device(mut self, name: impl Into<String>, spec: DeviceSpec) -> Self {
+        self.devices.push((name.into(), spec));
+        self
+    }
+
+    /// Places a replica of `engine` on the named device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] if the device name is
+    /// unknown (devices must be declared first).
+    pub fn replica(
+        self,
+        device: &str,
+        engine: &Engine,
+        config: ServerConfig,
+    ) -> Result<Self, ServingError> {
+        self.replica_for_tenant(device, engine, config, None)
+    }
+
+    /// [`FleetBuilder::replica`] dedicated to a named tenant: the replica's
+    /// serving series additionally carry a `tenant=` label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] if the device name is
+    /// unknown.
+    pub fn replica_for_tenant(
+        mut self,
+        device: &str,
+        engine: &Engine,
+        config: ServerConfig,
+        tenant: Option<&str>,
+    ) -> Result<Self, ServingError> {
+        if !self.devices.iter().any(|(name, _)| name == device) {
+            return Err(ServingError::InvalidConfig(format!(
+                "replica of `{}` placed on unknown device `{device}`",
+                engine.name()
+            )));
+        }
+        self.replicas.push((
+            device.to_string(),
+            engine.clone(),
+            config,
+            tenant.map(str::to_string),
+        ));
+        Ok(self)
+    }
+
+    /// Validates the topology and starts every replica server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] for duplicate device names,
+    /// an empty fleet, or a replica whose [`ServerConfig`] fails its own
+    /// validation; [`ServingError::Telemetry`] if the scrape endpoint
+    /// cannot bind.
+    pub fn start(self, config: FleetConfig) -> Result<Fleet, ServingError> {
+        if self.devices.is_empty() {
+            return Err(ServingError::InvalidConfig(
+                "a fleet needs at least one device".into(),
+            ));
+        }
+        if self.replicas.is_empty() {
+            return Err(ServingError::InvalidConfig(
+                "a fleet needs at least one replica".into(),
+            ));
+        }
+        let mut devices: Vec<FleetDevice> = Vec::with_capacity(self.devices.len());
+        for (name, spec) in self.devices {
+            if devices.iter().any(|d| d.name == name) {
+                return Err(ServingError::InvalidConfig(format!(
+                    "duplicate device name `{name}`"
+                )));
+            }
+            devices.push(FleetDevice {
+                timeline: Arc::new(Mutex::new(GpuTimeline::new(spec.clone()))),
+                name,
+                spec,
+            });
+        }
+        let reg = Registry::global();
+        let mut replicas = Vec::with_capacity(self.replicas.len());
+        let mut by_model: HashMap<String, Vec<usize>> = HashMap::new();
+        for (device_name, engine, server_config, tenant) in self.replicas {
+            let d = devices
+                .iter()
+                .position(|dev| dev.name == device_name)
+                .expect("checked in replica()");
+            let device = &devices[d];
+            let mut labels = ServingLabels::device(device.name.clone());
+            if let Some(tenant) = &tenant {
+                labels = labels.with_tenant(tenant.clone());
+            }
+            let server = InferenceServer::start_on_timeline(
+                &engine,
+                &device.spec,
+                server_config,
+                &labels,
+                Arc::clone(&device.timeline),
+            )?;
+            // Service-cost estimate for the router: one profiled inference
+            // on a scratch context (does not touch the serving timeline).
+            let ctx = ExecutionContext::new(&engine, device.spec.clone());
+            let profile = ctx.profile(server_config.timing.host_glue_us);
+            let (ceiling, _) = max_threads(&profile, &device.spec);
+            let parallel = (server_config.workers as f64).min(ceiling.max(1) as f64);
+            let service_us = profile.latency_us() / parallel.max(1.0);
+            let model = engine.name().to_string();
+            let routed_metric = reg.counter(
+                "trtsim_fleet_routed_total",
+                "Frames the fleet router dispatched, by model and device",
+                &[("model", &model), ("device", &device.name)],
+            );
+            by_model
+                .entry(model.clone())
+                .or_default()
+                .push(replicas.len());
+            replicas.push(Replica {
+                device: d,
+                model,
+                tenant,
+                server,
+                service_us,
+                routed: AtomicU64::new(0),
+                routed_metric,
+            });
+        }
+        let exporter = match config.telemetry_addr {
+            Some(addr) => Some(
+                TelemetryServer::bind(addr, Arc::clone(Registry::global()))
+                    .map_err(|e| ServingError::Telemetry(format!("bind {addr}: {e}")))?,
+            ),
+            None => None,
+        };
+        Ok(Fleet {
+            devices,
+            replicas,
+            by_model,
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            admission: Mutex::new(HashMap::new()),
+            exporter,
+        })
+    }
+}
+
+/// A running fleet. See the [module docs](self) for the architecture.
+#[derive(Debug)]
+pub struct Fleet {
+    devices: Vec<FleetDevice>,
+    replicas: Vec<Replica>,
+    by_model: HashMap<String, Vec<usize>>,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    /// (model, tenant) → (submitted, rejected) counter handles, cached so
+    /// the registry lock is taken once per label set, not per request.
+    admission: Mutex<HashMap<(String, String), (Counter, Counter)>>,
+    exporter: Option<TelemetryServer>,
+}
+
+impl Fleet {
+    /// Routes one request for `model` arriving at simulated `arrival_us`
+    /// under the default tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::QueueFull`] when every replica's queue is
+    /// full (counted as a fleet rejection), or
+    /// [`ServingError::InvalidConfig`] when no replica serves `model`.
+    pub fn submit(&self, model: &str, frame: u64, arrival_us: f64) -> Result<(), ServingError> {
+        self.submit_as("default", model, frame, arrival_us)
+    }
+
+    /// [`Fleet::submit`] attributed to a named tenant (per-tenant admission
+    /// counters).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fleet::submit`].
+    pub fn submit_as(
+        &self,
+        tenant: &str,
+        model: &str,
+        frame: u64,
+        arrival_us: f64,
+    ) -> Result<(), ServingError> {
+        let Some(candidates) = self.by_model.get(model) else {
+            return Err(ServingError::InvalidConfig(format!(
+                "no replica serves model `{model}`"
+            )));
+        };
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let (submitted, rejected) = self.admission_counters(model, tenant);
+        submitted.inc();
+        // Least estimated finish time: backlog depth × per-frame service
+        // cost. A saturated device's queue keeps its score high, steering
+        // new load toward devices with headroom.
+        let mut order: Vec<usize> = candidates.clone();
+        order.sort_by(|&a, &b| {
+            let score = |r: &Replica| (r.server.queue_depth() as f64 + 1.0) * r.service_us;
+            score(&self.replicas[a]).total_cmp(&score(&self.replicas[b]))
+        });
+        for &r in &order {
+            let replica = &self.replicas[r];
+            match replica.server.try_submit_at(frame, arrival_us) {
+                Ok(()) => {
+                    replica.routed.fetch_add(1, Ordering::Relaxed);
+                    replica.routed_metric.inc();
+                    return Ok(());
+                }
+                Err(ServingError::QueueFull) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        rejected.inc();
+        Err(ServingError::QueueFull)
+    }
+
+    /// Replays a sorted arrival-timestamp list (e.g. a
+    /// `trtsim_data::traffic::ArrivalTrace`) for one model: frame ids are
+    /// `first_frame..`, one per timestamp. Returns `(accepted, rejected)`.
+    pub fn replay(&self, model: &str, arrivals_us: &[f64], first_frame: u64) -> (u64, u64) {
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for (i, &t) in arrivals_us.iter().enumerate() {
+            match self.submit(model, first_frame + i as u64, t) {
+                Ok(()) => accepted += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        (accepted, rejected)
+    }
+
+    /// Device names, in declaration order.
+    pub fn device_names(&self) -> Vec<&str> {
+        self.devices.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// The bound address of the fleet-wide telemetry endpoint, when
+    /// [`FleetConfig::telemetry_addr`] was set.
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.exporter.as_ref().map(TelemetryServer::local_addr)
+    }
+
+    /// Stops admission on every replica and waits until each accepted frame
+    /// is served, then aggregates the final statistics.
+    pub fn drain(mut self) -> FleetStats {
+        let replicas: Vec<ReplicaStats> = self
+            .replicas
+            .drain(..)
+            .map(|replica| ReplicaStats {
+                device: self.devices[replica.device].name.clone(),
+                model: replica.model,
+                tenant: replica.tenant,
+                routed: replica.routed.into_inner(),
+                stats: replica.server.drain(),
+            })
+            .collect();
+        self.exporter.take();
+        aggregate(
+            replicas,
+            self.submitted.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+
+    fn admission_counters(&self, model: &str, tenant: &str) -> (Counter, Counter) {
+        let mut cache = self.admission.lock().expect("admission counter cache");
+        cache
+            .entry((model.to_string(), tenant.to_string()))
+            .or_insert_with(|| {
+                let reg = Registry::global();
+                let labels: &[(&str, &str)] = &[("model", model), ("tenant", tenant)];
+                (
+                    reg.counter(
+                        "trtsim_fleet_submitted_total",
+                        "Requests offered to the fleet router, by model and tenant",
+                        labels,
+                    ),
+                    reg.counter(
+                        "trtsim_fleet_rejected_total",
+                        "Requests refused because every replica queue was full",
+                        labels,
+                    ),
+                )
+            })
+            .clone()
+    }
+}
+
+/// One replica's final accounting inside a [`FleetStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaStats {
+    /// Fleet device name the replica ran on.
+    pub device: String,
+    /// Engine (model) name.
+    pub model: String,
+    /// Tenant the replica was dedicated to, if any.
+    pub tenant: Option<String>,
+    /// Frames the router dispatched here.
+    pub routed: u64,
+    /// The replica server's full statistics (per-device p50/p90/p99 live in
+    /// `stats.latency`).
+    pub stats: ServerStats,
+}
+
+/// Fleet-wide aggregate of every replica's counters and latency tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Per-replica accounting, in placement order.
+    pub replicas: Vec<ReplicaStats>,
+    /// Requests offered to the router.
+    pub submitted: u64,
+    /// Requests some replica accepted (= Σ per-replica accepted).
+    pub accepted: u64,
+    /// Requests refused by admission control (every replica full).
+    pub rejected: u64,
+    /// Frames fully served across the fleet.
+    pub completed: u64,
+    /// Accepted frames discarded by abort across the fleet.
+    pub dropped: u64,
+    /// Fleet-wide latency percentiles, merged over every completion.
+    pub latency: LatencyPercentiles,
+    /// Largest simulated clock over the fleet's device timelines, seconds.
+    pub simulated_seconds: f64,
+    /// Completed frames per simulated second, fleet-wide.
+    pub aggregate_fps: f64,
+}
+
+impl FleetStats {
+    /// Frames completed on the named device (0 for unknown names).
+    pub fn device_completed(&self, device: &str) -> u64 {
+        self.replicas
+            .iter()
+            .filter(|r| r.device == device)
+            .map(|r| r.stats.completed)
+            .sum()
+    }
+
+    /// The named device's share of all completed frames, in `[0, 1]`.
+    pub fn completed_share(&self, device: &str) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.device_completed(device) as f64 / self.completed as f64
+        }
+    }
+
+    /// Goodput against an offered-load horizon: completed frames per second
+    /// of trace duration. This is the fleet-vs-single-device comparison
+    /// number — under the same offered trace, more capacity completes more
+    /// of it.
+    pub fn goodput_fps(&self, horizon_us: f64) -> f64 {
+        self.completed as f64 / (horizon_us / 1e6).max(1e-12)
+    }
+}
+
+fn aggregate(replicas: Vec<ReplicaStats>, submitted: u64, rejected: u64) -> FleetStats {
+    let accepted = replicas.iter().map(|r| r.stats.accepted).sum();
+    let completed = replicas.iter().map(|r| r.stats.completed).sum();
+    let dropped = replicas.iter().map(|r| r.stats.dropped).sum();
+    let simulated_seconds = replicas
+        .iter()
+        .map(|r| r.stats.simulated_seconds)
+        .fold(0.0f64, f64::max);
+    let latencies: Vec<f64> = replicas
+        .iter()
+        .flat_map(|r| {
+            r.stats
+                .completions
+                .iter()
+                .map(|c| (c.done_us - c.arrival_us).max(0.0))
+        })
+        .collect();
+    FleetStats {
+        replicas,
+        submitted,
+        accepted,
+        rejected,
+        completed,
+        dropped,
+        latency: LatencyPercentiles::from_runs_us(&latencies),
+        simulated_seconds,
+        aggregate_fps: completed as f64 / simulated_seconds.max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::BuilderConfig;
+    use crate::runtime::TimingOptions;
+    use trtsim_gpu::device::Platform;
+    use trtsim_ir::graph::{Graph, LayerKind};
+    use trtsim_util::rng::Pcg32;
+
+    fn engine(name: &str) -> Engine {
+        let mut g = Graph::new(name, [3, 32, 32]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(32, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
+        let c2 = g.add_layer("c2", LayerKind::conv_seeded(32, 32, 3, 1, 1, 1), &[c1]);
+        g.mark_output(c2);
+        Builder::new(
+            DeviceSpec::xavier_nx(),
+            BuilderConfig::default().with_build_seed(7),
+        )
+        .build(&g)
+        .unwrap()
+    }
+
+    fn config() -> ServerConfig {
+        ServerConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(512)
+            .with_timing(
+                TimingOptions::default()
+                    .without_engine_upload()
+                    .with_run_jitter_sd(0.0)
+                    .with_host_glue_us(200.0),
+            )
+    }
+
+    /// Open-loop Poisson arrivals, inline (core cannot depend on
+    /// trtsim-data; the DSL path uses `ArrivalTrace` for the same thing).
+    fn poisson_arrivals(frames: usize, mean_gap_us: f64, seed: u64) -> Vec<f64> {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut clock = 0.0;
+        (0..frames)
+            .map(|_| {
+                clock += -mean_gap_us * (1.0 - rng.next_f64()).ln();
+                clock
+            })
+            .collect()
+    }
+
+    /// Square-wave burst arrivals: tight gaps inside the burst window,
+    /// long gaps outside.
+    fn burst_arrivals(frames: usize, quiet_gap_us: f64, burst_gap_us: f64) -> Vec<f64> {
+        let cycle_us = 4_000.0f64;
+        let mut clock = 0.0f64;
+        (0..frames)
+            .map(|_| {
+                let in_burst = (clock / cycle_us).fract() < 0.25;
+                clock += if in_burst { burst_gap_us } else { quiet_gap_us };
+                clock
+            })
+            .collect()
+    }
+
+    fn solo_fps(e: &Engine, spec: &DeviceSpec, arrivals: &[f64]) -> f64 {
+        let server = InferenceServer::start(e, spec, config()).unwrap();
+        for (i, &t) in arrivals.iter().enumerate() {
+            server.try_submit_at(i as u64, t).unwrap();
+        }
+        server.drain().aggregate_fps
+    }
+
+    fn nx_agx_mix() -> Vec<(&'static str, DeviceSpec)> {
+        vec![
+            ("nx0", DeviceSpec::pinned_clock(Platform::Nx)),
+            ("nx1", DeviceSpec::max_clock(Platform::Nx)),
+            ("agx0", DeviceSpec::pinned_clock(Platform::Agx)),
+            ("agx1", DeviceSpec::max_clock(Platform::Agx)),
+        ]
+    }
+
+    #[test]
+    fn fleet_outperforms_any_single_device() {
+        let e = engine("fleet-goodput");
+        // Both open-loop shapes the paper's deployment would face: steady
+        // Poisson and square-wave bursts, each far above single-device
+        // capacity so throughput (not arrival rate) is what's measured.
+        let traces = [
+            poisson_arrivals(192, 40.0, 11),
+            burst_arrivals(192, 400.0, 10.0),
+        ];
+        for arrivals in &traces {
+            let mut builder = FleetBuilder::new();
+            for (name, spec) in nx_agx_mix() {
+                builder = builder.device(name, spec);
+            }
+            for (name, _) in nx_agx_mix() {
+                builder = builder.replica(name, &e, config()).unwrap();
+            }
+            let fleet = builder.start(FleetConfig::default()).unwrap();
+            let (accepted, rejected) = fleet.replay(e.name(), arrivals, 0);
+            assert_eq!(accepted, arrivals.len() as u64);
+            assert_eq!(rejected, 0);
+            let stats = fleet.drain();
+            assert_eq!(stats.completed, arrivals.len() as u64);
+            let best_solo = nx_agx_mix()
+                .iter()
+                .map(|(_, spec)| solo_fps(&e, spec, arrivals))
+                .fold(0.0f64, f64::max);
+            assert!(
+                stats.aggregate_fps > best_solo * 1.2,
+                "fleet {} fps should beat best solo {} fps",
+                stats.aggregate_fps,
+                best_solo
+            );
+        }
+    }
+
+    #[test]
+    fn router_steers_load_away_from_saturated_device() {
+        let e = engine("fleet-steer");
+        let fleet = FleetBuilder::new()
+            .device("weak", DeviceSpec::pinned_clock(Platform::Nx))
+            .device("strong", DeviceSpec::max_clock(Platform::Agx))
+            .replica("weak", &e, config().with_workers(1))
+            .unwrap()
+            .replica("strong", &e, config().with_workers(4))
+            .unwrap()
+            .start(FleetConfig::default())
+            .unwrap();
+        let arrivals = poisson_arrivals(200, 30.0, 3);
+        fleet.replay(e.name(), &arrivals, 0);
+        let stats = fleet.drain();
+        assert_eq!(stats.completed, 200);
+        // The pinned single-worker NX saturates almost immediately; the
+        // least-estimated-finish score must keep routing the bulk of the
+        // trace to the AGX with headroom.
+        let weak_share = stats.completed_share("weak");
+        assert!(
+            weak_share < 0.4,
+            "saturated device kept attracting load: share {weak_share}"
+        );
+        assert!(stats.device_completed("strong") > stats.device_completed("weak"));
+    }
+
+    #[test]
+    fn admission_counters_are_conserved() {
+        let e = engine("fleet-conserve");
+        let tight = config().with_queue_capacity(4).with_workers(1);
+        let fleet = FleetBuilder::new()
+            .device("nx0", DeviceSpec::pinned_clock(Platform::Nx))
+            .device("nx1", DeviceSpec::pinned_clock(Platform::Nx))
+            .replica("nx0", &e, tight)
+            .unwrap()
+            .replica("nx1", &e, tight)
+            .unwrap()
+            .start(FleetConfig::default())
+            .unwrap();
+        // Everything arrives at once: with 2×4 queue slots most of the
+        // burst must be rejected, exercising admission control.
+        let arrivals = vec![0.0; 64];
+        let (accepted, rejected) = fleet.replay(e.name(), &arrivals, 0);
+        let stats = fleet.drain();
+        assert_eq!(stats.submitted, 64);
+        assert_eq!(stats.accepted, accepted);
+        assert_eq!(stats.rejected, rejected);
+        assert_eq!(stats.submitted, stats.accepted + stats.rejected);
+        assert!(stats.rejected > 0, "tight queues should shed load");
+        assert_eq!(
+            stats.accepted,
+            stats.replicas.iter().map(|r| r.stats.accepted).sum::<u64>()
+        );
+        assert_eq!(
+            stats.accepted,
+            stats.replicas.iter().map(|r| r.routed).sum::<u64>()
+        );
+        assert_eq!(stats.completed + stats.dropped, stats.accepted);
+        assert_eq!(
+            stats.completed,
+            stats.device_completed("nx0") + stats.device_completed("nx1")
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_topology() {
+        let e = engine("fleet-topology");
+        assert!(matches!(
+            FleetBuilder::new().replica("ghost", &e, config()),
+            Err(ServingError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            FleetBuilder::new().start(FleetConfig::default()),
+            Err(ServingError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            FleetBuilder::new()
+                .device("nx0", DeviceSpec::xavier_nx())
+                .start(FleetConfig::default()),
+            Err(ServingError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            FleetBuilder::new()
+                .device("nx0", DeviceSpec::xavier_nx())
+                .device("nx0", DeviceSpec::xavier_nx())
+                .replica("nx0", &e, config())
+                .unwrap()
+                .start(FleetConfig::default()),
+            Err(ServingError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_without_counting() {
+        let e = engine("fleet-unknown");
+        let fleet = FleetBuilder::new()
+            .device("nx0", DeviceSpec::xavier_nx())
+            .replica("nx0", &e, config())
+            .unwrap()
+            .start(FleetConfig::default())
+            .unwrap();
+        assert!(matches!(
+            fleet.submit("no-such-model", 0, 0.0),
+            Err(ServingError::InvalidConfig(_))
+        ));
+        let stats = fleet.drain();
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn per_tenant_submission_is_tracked() {
+        let e = engine("fleet-tenant");
+        let fleet = FleetBuilder::new()
+            .device("agx0", DeviceSpec::xavier_agx())
+            .replica_for_tenant("agx0", &e, config(), Some("cam-east"))
+            .unwrap()
+            .start(FleetConfig::default())
+            .unwrap();
+        fleet.submit_as("cam-east", e.name(), 0, 0.0).unwrap();
+        fleet.submit_as("cam-west", e.name(), 1, 10.0).unwrap();
+        let stats = fleet.drain();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.replicas[0].tenant.as_deref(), Some("cam-east"));
+    }
+}

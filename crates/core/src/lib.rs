@@ -53,6 +53,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fastpath;
+pub mod fleet;
 pub mod passes;
 pub mod plan;
 pub mod runtime;
@@ -65,10 +66,11 @@ pub use config::BuilderConfig;
 pub use engine::{Engine, ExecUnit, IoBytes};
 pub use error::EngineError;
 pub use fastpath::{InferencePlan, PlanScratch};
+pub use fleet::{Fleet, FleetBuilder, FleetConfig, FleetStats, ReplicaStats};
 pub use runtime::{ExecutionContext, TimingOptions};
 pub use serving::{
     serve, InferenceServer, KernelTime, ProfileOptions, RequestRecord, ServerConfig, ServerStats,
-    ServingError, ServingReport,
+    ServingError, ServingLabels, ServingReport,
 };
 pub use telemetry::GpuSampler;
 pub use timing_cache::TimingCache;

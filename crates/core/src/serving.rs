@@ -342,6 +342,35 @@ impl ServerConfig {
     }
 }
 
+/// Telemetry identity of one server beyond its model: which fleet device it
+/// runs on and which tenant it is dedicated to. The default (no device, no
+/// tenant) keeps the legacy single-device `{model=...}` series names stable;
+/// a fleet names every member so two devices serving the same model publish
+/// distinct series.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServingLabels {
+    /// `device=` label value, e.g. the fleet device name.
+    pub device: Option<String>,
+    /// `tenant=` label value for tenant-dedicated servers.
+    pub tenant: Option<String>,
+}
+
+impl ServingLabels {
+    /// Labels naming the fleet device this server runs on.
+    pub fn device(name: impl Into<String>) -> Self {
+        Self {
+            device: Some(name.into()),
+            tenant: None,
+        }
+    }
+
+    /// Adds a tenant label.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+}
+
 /// One completed request, for order/latency audits and trace attribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
@@ -439,6 +468,18 @@ pub struct ServingReport {
     pub gr3d_percent: f64,
 }
 
+/// A frame travelling from the submit path to the batcher: the caller's
+/// frame id plus an optional explicit arrival timestamp. `None` lets the
+/// server's own [`ArrivalClock`] assign the timestamp in acceptance order
+/// (the legacy behaviour); `Some` carries an externally generated open-loop
+/// arrival time, which is how a fleet router replays a shared traffic trace
+/// across many servers.
+#[derive(Debug, Clone, Copy)]
+struct Submission {
+    frame: u64,
+    arrival_us: Option<f64>,
+}
+
 /// A frame travelling from the batcher to a worker.
 #[derive(Debug, Clone, Copy)]
 struct Request {
@@ -494,7 +535,7 @@ struct StatsInner {
 /// ```
 #[derive(Debug)]
 pub struct InferenceServer {
-    tx: Option<SyncSender<u64>>,
+    tx: Option<SyncSender<Submission>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     timeline: Arc<Mutex<GpuTimeline>>,
@@ -522,10 +563,53 @@ impl InferenceServer {
         device: &DeviceSpec,
         config: ServerConfig,
     ) -> Result<Self, ServingError> {
+        Self::start_inner(engine, device, config, &ServingLabels::default(), None)
+    }
+
+    /// [`InferenceServer::start`] with explicit telemetry labels — what a
+    /// fleet uses so each member device publishes its own metric series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] if any knob is out of range.
+    pub fn start_with_labels(
+        engine: &Engine,
+        device: &DeviceSpec,
+        config: ServerConfig,
+        labels: &ServingLabels,
+    ) -> Result<Self, ServingError> {
+        Self::start_inner(engine, device, config, labels, None)
+    }
+
+    /// Starts a server whose workers create their streams on an existing
+    /// shared timeline instead of a fresh one — two replicas on the same
+    /// fleet device genuinely contend for that device's GPU.
+    pub(crate) fn start_on_timeline(
+        engine: &Engine,
+        device: &DeviceSpec,
+        config: ServerConfig,
+        labels: &ServingLabels,
+        timeline: Arc<Mutex<GpuTimeline>>,
+    ) -> Result<Self, ServingError> {
+        Self::start_inner(engine, device, config, labels, Some(timeline))
+    }
+
+    fn start_inner(
+        engine: &Engine,
+        device: &DeviceSpec,
+        config: ServerConfig,
+        labels: &ServingLabels,
+        shared_timeline: Option<Arc<Mutex<GpuTimeline>>>,
+    ) -> Result<Self, ServingError> {
         config.validate()?;
-        let metrics = ServingMetrics::register(engine.name());
+        let metrics = ServingMetrics::register(
+            engine.name(),
+            labels.device.as_deref(),
+            labels.tenant.as_deref(),
+        );
         let engine = Arc::new(engine.clone());
-        let timeline = Arc::new(Mutex::new(GpuTimeline::new(device.clone())));
+        let timeline = shared_timeline
+            .unwrap_or_else(|| Arc::new(Mutex::new(GpuTimeline::new(device.clone()))));
         let streams: Vec<StreamId> = {
             let mut tl = timeline.lock().expect("timeline lock");
             (0..config.workers).map(|_| tl.create_stream()).collect()
@@ -543,7 +627,7 @@ impl InferenceServer {
         let high_water = Arc::new(AtomicUsize::new(0));
         let abort_flag = Arc::new(AtomicBool::new(false));
 
-        let (tx, submission_rx) = mpsc::sync_channel::<u64>(config.queue_capacity);
+        let (tx, submission_rx) = mpsc::sync_channel::<Submission>(config.queue_capacity);
         let mut worker_txs = Vec::with_capacity(config.workers);
         let mut workers = Vec::with_capacity(config.workers);
         for (worker, &stream) in streams.iter().enumerate() {
@@ -633,6 +717,29 @@ impl InferenceServer {
     /// capacity (the rejection is counted in [`ServerStats::rejected`]), or
     /// [`ServingError::Stopped`] after shutdown.
     pub fn try_submit(&self, frame: u64) -> Result<(), ServingError> {
+        self.try_submit_inner(Submission {
+            frame,
+            arrival_us: None,
+        })
+    }
+
+    /// Submits a frame without blocking, carrying an explicit simulated
+    /// arrival timestamp instead of drawing one from the server's own
+    /// arrival clock — the open-loop path a fleet router uses to replay one
+    /// shared traffic trace across many devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::QueueFull`] when the bounded queue is at
+    /// capacity, or [`ServingError::Stopped`] after shutdown.
+    pub fn try_submit_at(&self, frame: u64, arrival_us: f64) -> Result<(), ServingError> {
+        self.try_submit_inner(Submission {
+            frame,
+            arrival_us: Some(arrival_us),
+        })
+    }
+
+    fn try_submit_inner(&self, submission: Submission) -> Result<(), ServingError> {
         let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
         // SeqCst on depth/high-water: the submit-side increment, the
         // batcher-side decrement, and both fetch_max calls must observe one
@@ -641,7 +748,7 @@ impl InferenceServer {
         // Relaxed — they are only read after thread join (drain/abort) or as
         // monotone progress hints (live stats()).
         let depth_now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
-        match tx.try_send(frame) {
+        match tx.try_send(submission) {
             Ok(()) => {
                 let prev_max = self.high_water.fetch_max(depth_now, Ordering::SeqCst);
                 self.accepted.fetch_add(1, Ordering::Relaxed);
@@ -673,7 +780,10 @@ impl InferenceServer {
     pub fn submit(&self, frame: u64) -> Result<(), ServingError> {
         let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
         let depth_now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
-        match tx.send(frame) {
+        match tx.send(Submission {
+            frame,
+            arrival_us: None,
+        }) {
             Ok(()) => {
                 let prev_max = self.high_water.fetch_max(depth_now, Ordering::SeqCst);
                 self.accepted.fetch_add(1, Ordering::Relaxed);
@@ -694,6 +804,12 @@ impl InferenceServer {
     /// The configuration this server runs with.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// Frames currently waiting in the submission queue — the live backlog
+    /// signal a fleet router's least-loaded dispatch reads.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
     }
 
     /// The bound address of the telemetry endpoint, when
@@ -856,7 +972,7 @@ impl ArrivalClock {
 /// round-robin (deterministic stream assignment).
 #[allow(clippy::too_many_arguments)]
 fn batcher_loop(
-    rx: &Receiver<u64>,
+    rx: &Receiver<Submission>,
     worker_txs: &[SyncSender<Batch>],
     max_batch: usize,
     batch_timeout_us: f64,
@@ -867,7 +983,7 @@ fn batcher_loop(
 ) {
     let mut next_worker = 0usize;
     let mut batch_seq = 0u64;
-    let take = |frame: u64, arrivals: &mut ArrivalClock| {
+    let take = |submission: Submission, arrivals: &mut ArrivalClock| {
         // Record the high-water mark *before* decrementing: frames that
         // accumulated while the batcher was parked in recv()/recv_timeout()
         // or blocked on a full worker rendezvous were never observed by the
@@ -880,32 +996,34 @@ fn batcher_loop(
         metrics.queue_depth.set(remaining as f64);
         metrics.queue_high_water.set(prev_max.max(observed) as f64);
         Request {
-            frame,
-            arrival_us: arrivals.next(),
+            frame: submission.frame,
+            // Explicit open-loop timestamps bypass the per-server clock so a
+            // fleet-wide trace keeps one coherent time axis.
+            arrival_us: submission.arrival_us.unwrap_or_else(|| arrivals.next()),
         }
     };
     loop {
         let first = match rx.recv() {
-            Ok(frame) => frame,
+            Ok(submission) => submission,
             Err(_) => return,
         };
         let mut requests = vec![take(first, &mut arrivals)];
         let mut waited_us = 0.0;
         while requests.len() < max_batch {
             match rx.try_recv() {
-                Ok(frame) => requests.push(take(frame, &mut arrivals)),
+                Ok(submission) => requests.push(take(submission, &mut arrivals)),
                 Err(TryRecvError::Disconnected) => break,
                 Err(TryRecvError::Empty) => {
                     if batch_timeout_us == 0.0 {
                         break;
                     } else if batch_timeout_us.is_infinite() {
                         match rx.recv() {
-                            Ok(frame) => requests.push(take(frame, &mut arrivals)),
+                            Ok(submission) => requests.push(take(submission, &mut arrivals)),
                             Err(_) => break,
                         }
                     } else {
                         match rx.recv_timeout(Duration::from_micros(batch_timeout_us as u64)) {
-                            Ok(frame) => requests.push(take(frame, &mut arrivals)),
+                            Ok(submission) => requests.push(take(submission, &mut arrivals)),
                             Err(RecvTimeoutError::Timeout) => {
                                 waited_us = batch_timeout_us;
                                 break;

@@ -29,9 +29,14 @@ pub fn latency_buckets_us() -> Vec<f64> {
 }
 
 /// Serving-path metric handles, one bundle per [`crate::InferenceServer`],
-/// all labelled `model=<engine name>`. Handles are `Arc`-backed: cloning the
-/// bundle for a worker thread is a handful of refcount bumps, and every
-/// update afterwards is a relaxed atomic op.
+/// labelled `model=<engine name>` plus — when the server is one member of a
+/// fleet — `device=<fleet device name>` and optionally `tenant=<tenant>`.
+/// The single-device default (no device label) keeps the legacy
+/// `{model=...}` series stable, while two fleet devices serving the same
+/// model publish two distinct series instead of silently merging into one.
+/// Handles are `Arc`-backed: cloning the bundle for a worker thread is a
+/// handful of refcount bumps, and every update afterwards is a relaxed
+/// atomic op.
 #[derive(Debug, Clone)]
 pub(crate) struct ServingMetrics {
     pub(crate) accepted: Counter,
@@ -46,9 +51,16 @@ pub(crate) struct ServingMetrics {
 }
 
 impl ServingMetrics {
-    pub(crate) fn register(model: &str) -> Self {
+    pub(crate) fn register(model: &str, device: Option<&str>, tenant: Option<&str>) -> Self {
         let reg = Registry::global();
-        let labels: &[(&str, &str)] = &[("model", model)];
+        let mut label_vec: Vec<(&str, &str)> = vec![("model", model)];
+        if let Some(device) = device {
+            label_vec.push(("device", device));
+        }
+        if let Some(tenant) = tenant {
+            label_vec.push(("tenant", tenant));
+        }
+        let labels: &[(&str, &str)] = &label_vec;
         Self {
             accepted: reg.counter(
                 "trtsim_server_accepted_total",

@@ -16,7 +16,9 @@
 //! * [`corruptions`] — the 15 corruption families of the paper's adversarial
 //!   set, each with 5 severity levels.
 //! * [`traffic`] — seeded traffic scenes with ground-truth vehicle boxes for
-//!   the detection-metric path (IoU-0.75 precision/recall).
+//!   the detection-metric path (IoU-0.75 precision/recall), plus seeded
+//!   open-loop arrival traces (Poisson / diurnal / burst) that drive the
+//!   fleet serving layer.
 
 #![warn(missing_docs)]
 
@@ -26,4 +28,4 @@ pub mod traffic;
 
 pub use corruptions::{apply_corruption, Corruption, Severity};
 pub use imagenet::{LabeledImage, SyntheticImageNet};
-pub use traffic::{BBox, TrafficDataset, TrafficScene, VehicleClass};
+pub use traffic::{ArrivalTrace, BBox, TrafficDataset, TrafficScene, VehicleClass};

@@ -1,10 +1,17 @@
-//! Synthetic developing-region traffic scenes with ground-truth boxes.
+//! Synthetic developing-region traffic scenes with ground-truth boxes, and
+//! open-loop request-arrival traces for fleet serving.
 //!
 //! The paper trains and tests vehicle-detection CNNs on a labeled traffic
 //! dataset (3896 train / 1670 test images) and reports precision/recall at
 //! IoU 0.75. This module generates controlled substitutes: each scene is a
 //! road background with a seeded number of vehicles, each rendered as a
 //! textured rectangle whose geometry is the ground truth.
+//!
+//! The [`ArrivalTrace`] half generates the *when* instead of the *what*: a
+//! seeded, sorted list of simulated arrival timestamps for open-loop traffic
+//! — homogeneous Poisson, a diurnal (sinusoidal-rate) cycle, and on/off
+//! bursts — the request streams a device fleet is driven with instead of a
+//! closed submit loop.
 
 use trtsim_ir::tensor::Tensor;
 use trtsim_util::derive_seed;
@@ -164,6 +171,167 @@ impl TrafficDataset {
     }
 }
 
+/// A seeded open-loop arrival trace: sorted simulated timestamps, µs.
+///
+/// Each constructor draws from its own PCG stream, so the same parameters
+/// replay bit-identically and different seeds diverge. The non-homogeneous
+/// processes (diurnal, burst) are generated by thinning: candidate arrivals
+/// are drawn at the peak rate and kept with probability `rate(t) / peak`,
+/// which preserves the exact Poisson statistics within every rate regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// Non-decreasing arrival timestamps, simulated µs.
+    pub arrivals_us: Vec<f64>,
+}
+
+impl ArrivalTrace {
+    /// Homogeneous Poisson arrivals: exponential gaps with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gap_us` is not a positive finite number.
+    pub fn poisson(mean_gap_us: f64, frames: usize, seed: u64) -> Self {
+        assert!(
+            mean_gap_us.is_finite() && mean_gap_us > 0.0,
+            "mean gap must be positive, got {mean_gap_us}"
+        );
+        let mut rng = Pcg32::seed_from_u64(derive_seed(seed, "arrivals", 0));
+        let mut clock = 0.0f64;
+        let arrivals_us = (0..frames)
+            .map(|_| {
+                clock += exponential_gap(&mut rng, mean_gap_us);
+                clock
+            })
+            .collect();
+        Self { arrivals_us }
+    }
+
+    /// Diurnal cycle: the rate swings sinusoidally between `1/base_gap_us`
+    /// (trough) and `1/peak_gap_us` (crest) with period `cycle_us`, starting
+    /// at the trough. Models the day/night load curve a production fleet
+    /// sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either gap is not positive-finite, if the peak gap exceeds
+    /// the base gap (the peak must be the *faster* regime), or if `cycle_us`
+    /// is not positive-finite.
+    pub fn diurnal(
+        base_gap_us: f64,
+        peak_gap_us: f64,
+        cycle_us: f64,
+        frames: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            base_gap_us.is_finite() && base_gap_us > 0.0,
+            "base gap must be positive, got {base_gap_us}"
+        );
+        assert!(
+            peak_gap_us.is_finite() && peak_gap_us > 0.0 && peak_gap_us <= base_gap_us,
+            "peak gap must be positive and no larger than the base gap"
+        );
+        assert!(
+            cycle_us.is_finite() && cycle_us > 0.0,
+            "cycle must be positive, got {cycle_us}"
+        );
+        let trough = 1.0 / base_gap_us;
+        let crest = 1.0 / peak_gap_us;
+        Self::thinned(crest, frames, seed, |t| {
+            let phase = (t / cycle_us) * std::f64::consts::TAU;
+            // cos starts at 1 → rate starts at the trough.
+            trough + (crest - trough) * 0.5 * (1.0 - phase.cos())
+        })
+    }
+
+    /// On/off bursts: the first `burst_fraction` of every `cycle_us` window
+    /// runs at `1/burst_gap_us`, the rest at `1/quiet_gap_us`. Models
+    /// synchronized camera keyframes / retry storms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either gap is not positive-finite, if the burst gap exceeds
+    /// the quiet gap, if `cycle_us` is not positive-finite, or if
+    /// `burst_fraction` is outside `(0, 1)`.
+    pub fn burst(
+        quiet_gap_us: f64,
+        burst_gap_us: f64,
+        cycle_us: f64,
+        burst_fraction: f64,
+        frames: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            quiet_gap_us.is_finite() && quiet_gap_us > 0.0,
+            "quiet gap must be positive, got {quiet_gap_us}"
+        );
+        assert!(
+            burst_gap_us.is_finite() && burst_gap_us > 0.0 && burst_gap_us <= quiet_gap_us,
+            "burst gap must be positive and no larger than the quiet gap"
+        );
+        assert!(
+            cycle_us.is_finite() && cycle_us > 0.0,
+            "cycle must be positive, got {cycle_us}"
+        );
+        assert!(
+            burst_fraction > 0.0 && burst_fraction < 1.0,
+            "burst fraction must be in (0, 1), got {burst_fraction}"
+        );
+        let quiet = 1.0 / quiet_gap_us;
+        let peak = 1.0 / burst_gap_us;
+        Self::thinned(peak, frames, seed, move |t| {
+            if (t / cycle_us).fract() < burst_fraction {
+                peak
+            } else {
+                quiet
+            }
+        })
+    }
+
+    /// Non-homogeneous Poisson by thinning at `peak_rate` (arrivals/µs).
+    fn thinned(peak_rate: f64, frames: usize, seed: u64, rate: impl Fn(f64) -> f64) -> Self {
+        let mut rng = Pcg32::seed_from_u64(derive_seed(seed, "arrivals", 1));
+        let mut clock = 0.0f64;
+        let mut arrivals_us = Vec::with_capacity(frames);
+        while arrivals_us.len() < frames {
+            clock += exponential_gap(&mut rng, 1.0 / peak_rate);
+            if rng.next_f64() * peak_rate <= rate(clock) {
+                arrivals_us.push(clock);
+            }
+        }
+        Self { arrivals_us }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals_us.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals_us.is_empty()
+    }
+
+    /// Time of the last arrival, µs (0 for an empty trace).
+    pub fn duration_us(&self) -> f64 {
+        self.arrivals_us.last().copied().unwrap_or(0.0)
+    }
+
+    /// Offered load over the whole trace, arrivals per simulated second.
+    pub fn offered_rate_fps(&self) -> f64 {
+        if self.arrivals_us.len() < 2 {
+            return 0.0;
+        }
+        self.len() as f64 / (self.duration_us() / 1e6).max(1e-12)
+    }
+}
+
+/// One inverse-CDF exponential gap with the given mean; `1 - u ∈ (0, 1]`
+/// keeps the log finite.
+fn exponential_gap(rng: &mut Pcg32, mean_us: f64) -> f64 {
+    -mean_us * (1.0 - rng.next_f64()).ln()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +388,72 @@ mod tests {
     #[test]
     fn test_set_has_requested_size() {
         assert_eq!(TrafficDataset::new([3, 32, 32], 4).test_set(17).len(), 17);
+    }
+
+    fn assert_monotone(trace: &ArrivalTrace) {
+        assert!(trace.arrivals_us.windows(2).all(|w| w[0] <= w[1]));
+        assert!(trace.arrivals_us.first().copied().unwrap_or(1.0) > 0.0);
+    }
+
+    #[test]
+    fn poisson_trace_is_seeded_and_monotone() {
+        let a = ArrivalTrace::poisson(1000.0, 256, 9);
+        let b = ArrivalTrace::poisson(1000.0, 256, 9);
+        assert_eq!(a, b, "same seed must replay bit-identically");
+        assert_ne!(a, ArrivalTrace::poisson(1000.0, 256, 10));
+        assert_eq!(a.len(), 256);
+        assert_monotone(&a);
+        // Mean gap within loose bounds of the configured 1 ms.
+        let mean = a.duration_us() / a.len() as f64;
+        assert!((600.0..1700.0).contains(&mean), "mean gap {mean}");
+        assert!(a.offered_rate_fps() > 0.0);
+    }
+
+    #[test]
+    fn diurnal_trace_rate_swings_with_the_cycle() {
+        // One full cycle; the crest half must hold well more arrivals than
+        // the trough half.
+        let cycle = 1_000_000.0;
+        let trace = ArrivalTrace::diurnal(4000.0, 400.0, cycle, 512, 3);
+        assert_monotone(&trace);
+        assert_eq!(trace, ArrivalTrace::diurnal(4000.0, 400.0, cycle, 512, 3));
+        let crest_half = trace
+            .arrivals_us
+            .iter()
+            .filter(|&&t| {
+                let phase = (t / cycle).fract();
+                (0.25..0.75).contains(&phase)
+            })
+            .count();
+        let in_first_cycle = trace.arrivals_us.iter().filter(|&&t| t < cycle).count();
+        assert!(
+            crest_half * 2 > in_first_cycle,
+            "crest half {crest_half} of {in_first_cycle} in cycle"
+        );
+    }
+
+    #[test]
+    fn burst_trace_clusters_inside_the_burst_window() {
+        let cycle = 100_000.0;
+        let trace = ArrivalTrace::burst(5000.0, 250.0, cycle, 0.2, 512, 5);
+        assert_monotone(&trace);
+        let in_burst = trace
+            .arrivals_us
+            .iter()
+            .filter(|&&t| (t / cycle).fract() < 0.2)
+            .count();
+        // The burst window is 20% of the time but runs 20x faster, so it
+        // must hold the strong majority of arrivals.
+        assert!(
+            in_burst * 2 > trace.len(),
+            "{in_burst} of {} arrivals in burst windows",
+            trace.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mean gap must be positive")]
+    fn poisson_rejects_non_positive_gap() {
+        let _ = ArrivalTrace::poisson(0.0, 1, 0);
     }
 }

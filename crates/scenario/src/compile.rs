@@ -33,8 +33,12 @@ pub struct PlanUnit {
     pub model: String,
     /// The network under test.
     pub network: ModelId,
-    /// The device declaration (platform, power, name).
+    /// The device declaration (platform, power, name). Fleet units span
+    /// several devices ([`PlanUnit::fleet_devices`]); this is the first.
     pub device: DeviceDecl,
+    /// Every device of a fleet unit, in graph order. Empty for non-fleet
+    /// kinds, which run on [`PlanUnit::device`] alone.
+    pub fleet_devices: Vec<DeviceDecl>,
     /// Engine max batch size / dynamic-batcher cap.
     pub batch: u32,
     /// Engine provenance.
@@ -48,24 +52,45 @@ pub struct PlanUnit {
 }
 
 impl PlanUnit {
-    /// Stable display label: `traffic/model/network@device b<batch>`.
+    /// Stable display label: `traffic/model/network@device b<batch>`
+    /// (`@fleet<n>` for a unit spanning `n` devices).
     pub fn label(&self) -> String {
+        let device = if self.fleet_devices.len() > 1 {
+            format!("fleet{}", self.fleet_devices.len())
+        } else {
+            self.device.name.clone()
+        };
         format!(
             "{}/{}/{}@{} b{}",
             self.traffic,
             self.model,
             self.network.info().name,
-            self.device.name,
+            device,
             self.batch
         )
     }
 
     /// The [`DeviceSpec`] the unit executes on.
     pub fn device_spec(&self) -> DeviceSpec {
-        match self.device.power {
-            PowerMode::Max => DeviceSpec::max_clock(self.device.platform),
-            PowerMode::Pinned => DeviceSpec::pinned_clock(self.device.platform),
+        spec_of(&self.device)
+    }
+
+    /// Every device the unit spans, with resolved specs: the fleet set for
+    /// fleet units, the single execution device otherwise.
+    pub fn device_specs(&self) -> Vec<(&DeviceDecl, DeviceSpec)> {
+        if self.fleet_devices.is_empty() {
+            vec![(&self.device, self.device_spec())]
+        } else {
+            self.fleet_devices.iter().map(|d| (d, spec_of(d))).collect()
         }
+    }
+}
+
+/// Resolves a device declaration's power mode to a [`DeviceSpec`].
+fn spec_of(device: &DeviceDecl) -> DeviceSpec {
+    match device.power {
+        PowerMode::Max => DeviceSpec::max_clock(device.platform),
+        PowerMode::Pinned => DeviceSpec::pinned_clock(device.platform),
     }
 }
 
@@ -110,6 +135,12 @@ fn cap_kind(kind: &TrafficKind, smoke: bool) -> TrafficKind {
             *frames = (*frames).min(32);
             *queue = (*queue).min(32);
         }
+        TrafficKind::Fleet { frames, queue, .. } => {
+            *frames = (*frames).min(32);
+            *queue = (*queue).min(32);
+        }
+        // Closed-form sweep: already CI-fast, nothing to cap.
+        TrafficKind::Concurrency => {}
     }
     kind
 }
@@ -129,8 +160,28 @@ pub fn compile(graph: &ScenarioGraph, opts: CompileOptions) -> ExecutionPlan {
                 model.builds
             };
             for &network in &model.networks {
-                for &d in &model.devices {
-                    let device = &graph.devices[d];
+                // A fleet unit spans every device the model uses — one
+                // router over the whole set, not a per-device cross
+                // product.
+                let device_sets: Vec<(DeviceDecl, Vec<DeviceDecl>)> =
+                    if matches!(kind, TrafficKind::Fleet { .. }) {
+                        let fleet: Vec<DeviceDecl> = model
+                            .devices
+                            .iter()
+                            .map(|&d| graph.devices[d].clone())
+                            .collect();
+                        match fleet.first() {
+                            Some(first) => vec![(first.clone(), fleet)],
+                            None => Vec::new(),
+                        }
+                    } else {
+                        model
+                            .devices
+                            .iter()
+                            .map(|&d| (graph.devices[d].clone(), Vec::new()))
+                            .collect()
+                    };
+                for (device, fleet_devices) in device_sets {
                     for &batch in &model.batches {
                         units_of_traffic[t].push(units.len());
                         units.push(PlanUnit {
@@ -138,6 +189,7 @@ pub fn compile(graph: &ScenarioGraph, opts: CompileOptions) -> ExecutionPlan {
                             model: model.name.clone(),
                             network,
                             device: device.clone(),
+                            fleet_devices: fleet_devices.clone(),
                             batch,
                             source: model.source,
                             builds,

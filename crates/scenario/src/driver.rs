@@ -19,9 +19,12 @@
 
 use std::sync::Arc;
 
+use trtsim_core::fleet::{FleetBuilder, FleetConfig};
 use trtsim_core::runtime::{ExecutionContext, TimingOptions};
 use trtsim_core::serving::{InferenceServer, ServerConfig, ServingError};
 use trtsim_core::{Builder, BuilderConfig, Engine};
+use trtsim_data::traffic::ArrivalTrace;
+use trtsim_gpu::contention;
 use trtsim_gpu::device::Platform;
 use trtsim_metrics::{fps_from_latency_us, Counter, LatencyPercentiles, Registry};
 use trtsim_models::ModelId;
@@ -31,7 +34,7 @@ use trtsim_util::derive_seed;
 use trtsim_util::stats::Summary;
 
 use crate::compile::{ExecutionPlan, PlanUnit};
-use crate::validate::{EngineSource, PowerMode, TrafficKind};
+use crate::validate::{EngineSource, FleetTrace, PowerMode, TrafficKind};
 
 fn scenario_counter(metric: &str, label: &str) -> Counter {
     Registry::global().counter(
@@ -91,7 +94,7 @@ pub struct UnitResult {
     pub device: String,
     /// Batch size.
     pub batch: u32,
-    /// `latency` / `closed` / `poisson`.
+    /// `latency` / `closed` / `poisson` / `fleet` / `concurrency`.
     pub kind: &'static str,
     /// Host wall-clock time spent executing the unit, ms.
     pub wall_ms: f64,
@@ -298,6 +301,130 @@ fn run_serving_unit(
     ])
 }
 
+/// Lowers a fleet unit's arrival-trace declaration into timestamps.
+fn fleet_arrivals(trace: &FleetTrace, frames: u32, seed: u64) -> ArrivalTrace {
+    let frames = frames as usize;
+    match trace {
+        FleetTrace::Poisson { period_us } => ArrivalTrace::poisson(*period_us, frames, seed),
+        FleetTrace::Diurnal {
+            period_us,
+            peak_period_us,
+            cycle_us,
+        } => ArrivalTrace::diurnal(*period_us, *peak_period_us, *cycle_us, frames, seed),
+        FleetTrace::Burst {
+            period_us,
+            peak_period_us,
+            cycle_us,
+            burst_fraction,
+        } => ArrivalTrace::burst(
+            *period_us,
+            *peak_period_us,
+            *cycle_us,
+            *burst_fraction,
+            frames,
+            seed,
+        ),
+    }
+}
+
+/// One fleet unit: every device the unit spans becomes a board, one replica
+/// of the unit's engine per board, and the trace is replayed through the
+/// router ([`trtsim_core::fleet::Fleet`]).
+#[allow(clippy::too_many_arguments)]
+fn run_fleet_unit(
+    unit: &PlanUnit,
+    trace: &FleetTrace,
+    frames: u32,
+    workers: u32,
+    queue: u32,
+    seed: u64,
+    tenant: Option<&str>,
+) -> Result<Vec<(String, f64)>, DriverError> {
+    let engine = engine_for(unit, 0);
+    let config = ServerConfig::default()
+        .with_workers(workers as usize)
+        .with_queue_capacity(queue as usize)
+        .with_max_batch_size(unit.batch as usize)
+        .with_batch_timeout_us(0.0)
+        .with_timing(unit_timing(unit, 0.0));
+    let devices = unit.device_specs();
+    let mut builder = FleetBuilder::new();
+    for (decl, spec) in &devices {
+        builder = builder.device(&decl.name, spec.clone());
+    }
+    for (decl, _) in &devices {
+        builder = builder.replica_for_tenant(&decl.name, &engine, config, tenant)?;
+    }
+    let fleet = builder.start(FleetConfig::default())?;
+    let arrivals = fleet_arrivals(trace, frames, seed);
+    let tenant = tenant.unwrap_or("default");
+    for (i, &t) in arrivals.arrivals_us.iter().enumerate() {
+        match fleet.submit_as(tenant, engine.name(), i as u64, t) {
+            Ok(()) | Err(ServingError::QueueFull) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let stats = fleet.drain();
+    let shares: Vec<f64> = devices
+        .iter()
+        .map(|(decl, _)| stats.completed_share(&decl.name))
+        .collect();
+    let total_completed: u64 = stats.completed;
+    let gr3d = if total_completed == 0 {
+        0.0
+    } else {
+        stats
+            .replicas
+            .iter()
+            .map(|r| r.stats.gr3d_percent * r.stats.completed as f64)
+            .sum::<f64>()
+            / total_completed as f64
+    };
+    Ok(vec![
+        ("fps".to_string(), stats.aggregate_fps),
+        ("mean_us".to_string(), stats.latency.mean_us),
+        ("p50_us".to_string(), stats.latency.p50_us),
+        ("p90_us".to_string(), stats.latency.p90_us),
+        ("p99_us".to_string(), stats.latency.p99_us),
+        ("max_us".to_string(), stats.latency.max_us),
+        ("gr3d_percent".to_string(), gr3d),
+        (
+            "batches".to_string(),
+            stats.replicas.iter().map(|r| r.stats.batches).sum::<u64>() as f64,
+        ),
+        ("completed".to_string(), stats.completed as f64),
+        ("accepted".to_string(), stats.accepted as f64),
+        ("rejected".to_string(), stats.rejected as f64),
+        ("dropped".to_string(), stats.dropped as f64),
+        ("devices".to_string(), devices.len() as f64),
+        (
+            "min_device_share".to_string(),
+            shares.iter().copied().fold(f64::INFINITY, f64::min),
+        ),
+        (
+            "max_device_share".to_string(),
+            shares.iter().copied().fold(0.0, f64::max),
+        ),
+    ])
+}
+
+/// One concurrency unit: the closed-form saturation sweep, mirroring
+/// `trtsim_repro::exp_concurrency::run` exactly (same engine provenance,
+/// same profile inputs) so the parity tests can pin equality.
+fn run_concurrency_unit(unit: &PlanUnit) -> Vec<(String, f64)> {
+    let engine = engine_for(unit, 0);
+    let device = unit.device_spec();
+    let ctx = ExecutionContext::new(&engine, device.clone());
+    let profile = ctx.profile(unit.host_glue_us);
+    let (points, _) = contention::sweep(&profile, &device);
+    let last = points.last().expect("sweep yields at least one point");
+    vec![
+        ("max_threads".to_string(), f64::from(last.threads)),
+        ("fps".to_string(), last.fps),
+        ("gr3d_percent".to_string(), last.utilization * 100.0),
+    ]
+}
+
 /// Executes every unit of the plan, then checks every assertion.
 ///
 /// # Errors
@@ -346,6 +473,27 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                 )?,
                 Vec::new(),
             ),
+            TrafficKind::Fleet {
+                trace,
+                frames,
+                workers,
+                queue,
+                seed,
+                tenant,
+            } => (
+                "fleet",
+                run_fleet_unit(
+                    unit,
+                    trace,
+                    *frames,
+                    *workers,
+                    *queue,
+                    *seed,
+                    tenant.as_deref(),
+                )?,
+                Vec::new(),
+            ),
+            TrafficKind::Concurrency => ("concurrency", run_concurrency_unit(unit), Vec::new()),
         };
         scenario_counter("units", kind).inc();
         units.push(UnitResult {

@@ -26,7 +26,10 @@ pub fn to_bench_report(report: &ScenarioReport, mode: &str, git_rev: &str) -> Be
             for (k, v) in &u.metrics {
                 // Integer-valued event counts belong in `counters`; the
                 // continuous metrics go to the summary map below.
-                if matches!(k.as_str(), "batches" | "completed" | "rejected") {
+                if matches!(
+                    k.as_str(),
+                    "batches" | "completed" | "rejected" | "accepted" | "dropped" | "devices"
+                ) {
                     phase = phase.with_counter(k.clone(), *v as u64);
                 }
             }

@@ -51,8 +51,8 @@ pub use emit::{to_bench_report, to_markdown};
 pub use parse::{parse, ParseError};
 pub use span::{Diagnostic, Span, Spanned};
 pub use validate::{
-    validate, AssertDecl, DeviceDecl, EngineSource, HostGlue, ModelDecl, PowerMode, ScenarioGraph,
-    SemanticError, TrafficDecl, TrafficKind, METRICS,
+    validate, AssertDecl, DeviceDecl, EngineSource, FleetTrace, HostGlue, ModelDecl, PowerMode,
+    ScenarioGraph, SemanticError, TrafficDecl, TrafficKind, METRICS,
 };
 
 /// A failed front-end stage: every accumulated diagnostic, not just the

@@ -330,6 +330,58 @@ pub enum TrafficKind {
         /// Arrival-process seed.
         seed: u64,
     },
+    /// Open-loop fleet serving: every device the traffic's models use
+    /// becomes one board of a [`trtsim_core::fleet::Fleet`], and a shared
+    /// `trtsim_data::traffic::ArrivalTrace` is replayed through the router.
+    Fleet {
+        /// Arrival-trace shape.
+        trace: FleetTrace,
+        /// Requests in the trace.
+        frames: u32,
+        /// Worker contexts per replica.
+        workers: u32,
+        /// Queue capacity per replica.
+        queue: u32,
+        /// Trace seed.
+        seed: u64,
+        /// Tenant name attributed to the trace, if any.
+        tenant: Option<String>,
+    },
+    /// Closed-form multi-stream saturation sweep — the paper's Figures 3/4
+    /// ceiling experiment ([`trtsim_gpu::contention::sweep`]).
+    Concurrency,
+}
+
+/// The arrival-trace shape a fleet traffic node replays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetTrace {
+    /// Constant-rate Poisson process (`period_us` mean gap).
+    Poisson {
+        /// Mean inter-arrival gap, µs.
+        period_us: f64,
+    },
+    /// Sinusoidal day/night rate swing between `period_us` (trough) and
+    /// `peak_period_us` (crest) over `cycle_us`.
+    Diurnal {
+        /// Mean gap at the quietest point, µs.
+        period_us: f64,
+        /// Mean gap at the busiest point, µs.
+        peak_period_us: f64,
+        /// Full cycle length, µs.
+        cycle_us: f64,
+    },
+    /// Square-wave bursts: `peak_period_us` gaps inside the burst window,
+    /// `period_us` gaps outside.
+    Burst {
+        /// Mean gap outside bursts, µs.
+        period_us: f64,
+        /// Mean gap inside bursts, µs.
+        peak_period_us: f64,
+        /// Full cycle length, µs.
+        cycle_us: f64,
+        /// Fraction of each cycle spent bursting, in `(0, 1]`.
+        burst_fraction: f64,
+    },
 }
 
 /// A validated `traffic` node.
@@ -389,6 +441,12 @@ pub const METRICS: &[&str] = &[
     "gain",
     "completed",
     "rejected",
+    "accepted",
+    "dropped",
+    "devices",
+    "min_device_share",
+    "max_device_share",
+    "max_threads",
 ];
 
 /// Normalizes a model/platform word for matching: lowercase, alphanumerics
@@ -443,6 +501,11 @@ fn known_attrs(kind: NodeKind) -> &'static [&'static str] {
             "timeout_us",
             "period_us",
             "seed",
+            "trace",
+            "peak_period_us",
+            "cycle_us",
+            "burst_fraction",
+            "tenant",
             "requires",
         ],
         NodeKind::Assert => &["uses", "metric", "min", "max"],
@@ -572,6 +635,70 @@ impl<'a> Checker<'a> {
                 span: n.span,
             });
             None
+        }
+    }
+
+    /// Parses a fleet traffic node's arrival-trace shape: `trace =` word
+    /// (default `poisson`) plus the shape's rate attributes, with
+    /// `period_us` (already validated by the caller) as the base gap.
+    fn fleet_trace(&mut self, node: &Node, period_us: f64) -> Option<FleetTrace> {
+        let positive = |checker: &mut Self, attr: &'static str, default: f64| -> f64 {
+            match checker.num(node, attr) {
+                Some(n) if n.value > 0.0 => n.value,
+                Some(n) => {
+                    checker.errors.push(SemanticError::BadValue {
+                        attr: attr.into(),
+                        message: format!("expected a positive number, got {}", n.value),
+                        span: n.span,
+                    });
+                    default
+                }
+                None => default,
+            }
+        };
+        let word = self.word(node, "trace");
+        let shape = word
+            .as_ref()
+            .map_or_else(|| "poisson".to_string(), |w| normalize(&w.value));
+        match shape.as_str() {
+            "poisson" => Some(FleetTrace::Poisson { period_us }),
+            "diurnal" => Some(FleetTrace::Diurnal {
+                period_us,
+                peak_period_us: positive(self, "peak_period_us", period_us / 10.0),
+                cycle_us: positive(self, "cycle_us", 200_000.0),
+            }),
+            "burst" => {
+                let burst_fraction = match self.num(node, "burst_fraction") {
+                    Some(n) if n.value > 0.0 && n.value <= 1.0 => n.value,
+                    Some(n) => {
+                        self.errors.push(SemanticError::BadValue {
+                            attr: "burst_fraction".into(),
+                            message: format!("expected a fraction in (0, 1], got {}", n.value),
+                            span: n.span,
+                        });
+                        0.25
+                    }
+                    None => 0.25,
+                };
+                Some(FleetTrace::Burst {
+                    period_us,
+                    peak_period_us: positive(self, "peak_period_us", period_us / 10.0),
+                    cycle_us: positive(self, "cycle_us", 200_000.0),
+                    burst_fraction,
+                })
+            }
+            _ => {
+                let w = word.expect("non-default shape implies the attr was present");
+                self.errors.push(SemanticError::BadValue {
+                    attr: "trace".into(),
+                    message: format!(
+                        "expected `poisson`, `diurnal`, or `burst`, got `{}`",
+                        w.value
+                    ),
+                    span: w.span,
+                });
+                None
+            }
         }
     }
 
@@ -1014,11 +1141,51 @@ pub fn validate(ast: &ScenarioAst) -> Result<ScenarioGraph, Vec<SemanticError>> 
                                     .unwrap_or(1),
                             })
                         }
+                        "fleet" => {
+                            let period = match checker.num(node, "period_us") {
+                                Some(n) if n.value > 0.0 => Some(n.value),
+                                Some(n) => {
+                                    checker.errors.push(SemanticError::BadValue {
+                                        attr: "period_us".into(),
+                                        message: format!(
+                                            "mean inter-arrival gap must be positive, got {}",
+                                            n.value
+                                        ),
+                                        span: n.span,
+                                    });
+                                    None
+                                }
+                                None => {
+                                    if node.attr("period_us").is_none() {
+                                        checker.errors.push(SemanticError::MissingAttr {
+                                            kind: NodeKind::Traffic,
+                                            name: "period_us",
+                                            span: node.name.span,
+                                        });
+                                    }
+                                    None
+                                }
+                            };
+                            let trace = period.and_then(|p| checker.fleet_trace(node, p));
+                            trace.map(|trace| TrafficKind::Fleet {
+                                trace,
+                                frames: checker.count(node, "frames", 256),
+                                workers: checker.count(node, "workers", 2),
+                                queue: checker.count(node, "queue", 64),
+                                seed: checker
+                                    .num(node, "seed")
+                                    .and_then(|n| checker.as_seed("seed", n))
+                                    .unwrap_or(1),
+                                tenant: checker.word(node, "tenant").map(|w| w.value),
+                            })
+                        }
+                        "concurrency" => Some(TrafficKind::Concurrency),
                         _ => {
                             checker.errors.push(SemanticError::BadValue {
                                 attr: "kind".into(),
                                 message: format!(
-                                    "expected `latency`, `closed`, or `poisson`, got `{}`",
+                                    "expected `latency`, `closed`, `poisson`, `fleet`, or \
+                                     `concurrency`, got `{}`",
                                     w.value
                                 ),
                                 span: w.span,

@@ -196,3 +196,72 @@ fn invalid_scenario_accumulates_spanned_diagnostics() {
     assert!(rendered.contains("unknown node `ghost`"), "{rendered}");
     assert!(rendered.contains("unknown model `warpnet`"), "{rendered}");
 }
+
+#[test]
+fn concurrency_scn_matches_legacy_harness() {
+    // Migration contract for the 36-stream ceiling harness: the DSL's
+    // `kind = concurrency` path must reproduce `exp_concurrency::run`
+    // exactly — same zoo engine, same profile, same sweep.
+    let report = run_scn("fig3_fig4_concurrency.scn");
+    assert_eq!(report.units.len(), 4);
+    for unit in &report.units {
+        let legacy = trtsim_repro::exp_concurrency::run(unit.network, unit.platform);
+        assert_eq!(
+            unit.metric("max_threads"),
+            Some(f64::from(legacy.max_threads())),
+            "{}",
+            unit.label
+        );
+        assert_eq!(
+            unit.metric("fps"),
+            legacy.points.last().map(|p| p.fps),
+            "{}",
+            unit.label
+        );
+        assert_eq!(
+            unit.metric("gr3d_percent"),
+            Some(legacy.saturation_utilization_percent()),
+            "{}",
+            unit.label
+        );
+    }
+    assert!(report.passed(), "{:?}", report.asserts);
+}
+
+#[test]
+fn fleet_scn_spans_devices_and_conserves_requests() {
+    let src = scn("fleet_diurnal.scn");
+    let plan = compile_src(&src, CompileOptions { smoke: true }).unwrap();
+    // One unit spanning all four devices — no per-device cross product.
+    assert_eq!(plan.units.len(), 1);
+    assert_eq!(plan.units[0].fleet_devices.len(), 4);
+    assert_eq!(
+        plan.units[0].label(),
+        "diurnal/classifier/Googlenet@fleet4 b1"
+    );
+    match &plan.units[0].kind {
+        trtsim_scenario::TrafficKind::Fleet { frames, queue, .. } => {
+            assert_eq!(*frames, 32, "smoke caps frames");
+            assert_eq!(*queue, 32, "smoke caps queue");
+        }
+        other => panic!("wrong kind: {other:?}"),
+    }
+    let report = driver::run(&plan).expect("driver runs");
+    assert!(report.passed(), "{:?}", report.asserts);
+    let unit = &report.units[0];
+    assert_eq!(unit.kind, "fleet");
+    // Conservation: offered = accepted + rejected, accepted = completed +
+    // dropped — the router never loses a request.
+    let m = |k| unit.metric(k).unwrap_or_else(|| panic!("missing {k}"));
+    assert_eq!(m("accepted") + m("rejected"), 32.0);
+    assert_eq!(m("completed") + m("dropped"), m("accepted"));
+    assert_eq!(m("devices"), 4.0);
+    assert!(m("max_device_share") <= 1.0);
+    assert!(m("min_device_share") >= 0.0);
+
+    let bench = emit::to_bench_report(&report, "smoke", "testrev");
+    let json = bench.to_json();
+    for needle in ["\"accepted\"", "\"devices\"", "@fleet4"] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}

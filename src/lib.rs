@@ -121,9 +121,10 @@ pub use trtsim_core as engine;
 pub use trtsim_core::autotune::AutotuneOptions;
 pub use trtsim_core::serving::ArrivalProcess;
 pub use trtsim_core::{
-    Builder, BuilderConfig, Engine, EngineError, ExecutionContext, InferencePlan, InferenceServer,
-    KernelTime, PlanScratch, ProfileOptions, RequestRecord, ServerConfig, ServerStats,
-    ServingError, ServingReport, TimingCache, TimingOptions,
+    Builder, BuilderConfig, Engine, EngineError, ExecutionContext, Fleet, FleetBuilder,
+    FleetConfig, FleetStats, InferencePlan, InferenceServer, KernelTime, PlanScratch,
+    ProfileOptions, ReplicaStats, RequestRecord, ServerConfig, ServerStats, ServingError,
+    ServingLabels, ServingReport, TimingCache, TimingOptions,
 };
 pub use trtsim_gpu::device::{DeviceSpec, Platform};
 pub use trtsim_gpu::timeline::ProfilingOverhead;

@@ -1,0 +1,128 @@
+//! Workspace-level fleet invariants: whatever the device mix and however
+//! bursty the traffic, the router must conserve requests — every accepted
+//! frame completes (or is dropped) exactly once, and the fleet-wide
+//! counters are exactly the sum of the per-device counters.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use trtsim::data::traffic::ArrivalTrace;
+use trtsim::ir::graph::{Graph, LayerKind};
+use trtsim::util::rng::Pcg32;
+use trtsim::{
+    Builder, BuilderConfig, DeviceSpec, Engine, FleetBuilder, FleetConfig, Platform, ServerConfig,
+    TimingOptions,
+};
+
+/// One shared tiny engine: conservation is about the router's counters, not
+/// the model, and building once keeps 32 proptest cases fast.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut g = Graph::new("fleet_prop", [3, 16, 16]);
+        let conv = g.add_layer(
+            "c0",
+            LayerKind::conv_seeded(8, 3, 3, 1, 1, 3),
+            &[Graph::INPUT],
+        );
+        g.mark_output(conv);
+        Builder::new(DeviceSpec::xavier_nx(), BuilderConfig::default())
+            .build(&g)
+            .expect("probe builds")
+    })
+}
+
+fn random_spec(rng: &mut Pcg32) -> DeviceSpec {
+    let platform = if rng.range_usize(2) == 0 {
+        Platform::Nx
+    } else {
+        Platform::Agx
+    };
+    if rng.range_usize(2) == 0 {
+        DeviceSpec::max_clock(platform)
+    } else {
+        DeviceSpec::pinned_clock(platform)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn router_conserves_every_request(
+        seed in 0u64..10_000,
+        device_count in 1usize..5,
+        queue in 1usize..12,
+        frames in 1usize..80,
+        burst_gap_us in 1.0f64..50.0,
+        quiet_gap_us in 100.0f64..2_000.0,
+    ) {
+        let engine = engine();
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut builder = FleetBuilder::new();
+        let mut names = Vec::new();
+        for i in 0..device_count {
+            let name = format!("d{i}");
+            builder = builder.device(&name, random_spec(&mut rng));
+            names.push(name);
+        }
+        for name in &names {
+            let config = ServerConfig::default()
+                .with_workers(1 + rng.range_usize(4))
+                .with_queue_capacity(queue)
+                .with_timing(
+                    TimingOptions::default()
+                        .without_engine_upload()
+                        .with_run_jitter_sd(0.0),
+                );
+            builder = builder.replica(name, engine, config).expect("known device");
+        }
+        let fleet = builder.start(FleetConfig::default()).expect("fleet starts");
+        let trace = ArrivalTrace::burst(quiet_gap_us, burst_gap_us, 10_000.0, 0.3, frames, seed);
+        let (accepted, rejected) = fleet.replay(engine.name(), &trace.arrivals_us, 0);
+        let stats = fleet.drain();
+
+        // Admission accounting.
+        prop_assert_eq!(stats.submitted, frames as u64);
+        prop_assert_eq!(stats.accepted, accepted);
+        prop_assert_eq!(stats.rejected, rejected);
+        prop_assert_eq!(stats.submitted, stats.accepted + stats.rejected);
+
+        // Fleet-wide counters are exactly the per-device sums.
+        prop_assert_eq!(
+            stats.accepted,
+            stats.replicas.iter().map(|r| r.stats.accepted).sum::<u64>()
+        );
+        prop_assert_eq!(
+            stats.accepted,
+            stats.replicas.iter().map(|r| r.routed).sum::<u64>()
+        );
+        prop_assert_eq!(
+            stats.completed,
+            stats.replicas.iter().map(|r| r.stats.completed).sum::<u64>()
+        );
+        prop_assert_eq!(
+            stats.dropped,
+            stats.replicas.iter().map(|r| r.stats.dropped).sum::<u64>()
+        );
+        prop_assert_eq!(stats.completed + stats.dropped, stats.accepted);
+
+        // Exactly-once: each accepted frame id appears in exactly one
+        // replica's completion log, and is a frame we actually offered.
+        let mut seen = BTreeSet::new();
+        for replica in &stats.replicas {
+            for record in &replica.stats.completions {
+                prop_assert!(
+                    (record.frame as usize) < frames,
+                    "completed a frame never offered: {}", record.frame
+                );
+                prop_assert!(
+                    seen.insert(record.frame),
+                    "frame {} completed twice", record.frame
+                );
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, stats.completed);
+    }
+}

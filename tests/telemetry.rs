@@ -404,3 +404,84 @@ proptest! {
         }
     }
 }
+
+/// Regression for the fleet telemetry fix: two devices serving the *same*
+/// model must publish distinct per-device series. Before `device=` labels,
+/// both replicas silently merged into one `{model=...}` series, and a
+/// scrape could not tell the boards apart.
+#[test]
+fn two_devices_serving_one_model_produce_distinct_series() {
+    let mut g = Graph::new("dual_device_probe", [3, 8, 8]);
+    let conv = g.add_layer(
+        "c0",
+        LayerKind::conv_seeded(4, 3, 3, 1, 1, 9),
+        &[Graph::INPUT],
+    );
+    g.mark_output(conv);
+    let engine = Builder::new(DeviceSpec::xavier_nx(), BuilderConfig::default())
+        .build(&g)
+        .expect("probe builds");
+    let config = ServerConfig::default().with_workers(1).with_timing(
+        TimingOptions::default()
+            .without_engine_upload()
+            .with_run_jitter_sd(0.0),
+    );
+
+    // The single-device default first: no `device` label, so pre-fleet
+    // dashboards keep their series names.
+    let solo = InferenceServer::start(&engine, &DeviceSpec::xavier_nx(), config)
+        .expect("solo server starts");
+    solo.submit(0).expect("accepting");
+    solo.drain();
+
+    let fleet = trtsim::FleetBuilder::new()
+        .device("edge-nx", DeviceSpec::xavier_nx())
+        .device("edge-agx", DeviceSpec::xavier_agx())
+        .replica("edge-nx", &engine, config)
+        .expect("known device")
+        .replica("edge-agx", &engine, config)
+        .expect("known device")
+        .start(trtsim::FleetConfig::default())
+        .expect("fleet starts");
+    for frame in 0..8 {
+        fleet
+            .submit("dual_device_probe", frame, frame as f64 * 100.0)
+            .expect("accepting");
+    }
+    let stats = fleet.drain();
+    assert_eq!(stats.completed, 8);
+
+    let samples = parse_prometheus(&render_prometheus(Registry::global()));
+    let completed: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| {
+            s.name == "trtsim_server_completed_total"
+                && s.labels.get("model").map(String::as_str) == Some("dual_device_probe")
+        })
+        .collect();
+    let devices: Vec<Option<&String>> = completed.iter().map(|s| s.labels.get("device")).collect();
+    // Three series for one model: the unlabeled solo default plus one per
+    // fleet device — not one merged line.
+    assert_eq!(completed.len(), 3, "{completed:?}");
+    assert!(devices.contains(&None), "legacy series renamed");
+    for device in ["edge-nx", "edge-agx"] {
+        let series = completed
+            .iter()
+            .find(|s| s.labels.get("device").map(String::as_str) == Some(device))
+            .unwrap_or_else(|| panic!("no per-device series for {device}"));
+        let routed = samples
+            .iter()
+            .find(|s| {
+                s.name == "trtsim_fleet_routed_total"
+                    && s.labels.get("device").map(String::as_str) == Some(device)
+            })
+            .unwrap_or_else(|| panic!("no router series for {device}"));
+        assert_eq!(routed.value, series.value, "router vs server on {device}");
+    }
+    let fleet_completed: f64 = completed
+        .iter()
+        .filter(|s| s.labels.contains_key("device"))
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(fleet_completed, stats.completed as f64);
+}
