@@ -169,50 +169,71 @@ fn main() {
     // revisions derived this ratio from whole-build wall times, where timing
     // queries are a rounding error next to graph passes and the measured
     // "speedup" was allocator noise — hence the historic 0.943.)
+    // Each side is timed as the best of `PASSES` back-to-back sweeps: the
+    // loops run for single-digit milliseconds, where one scheduler
+    // preemption would otherwise swing the ratio by more than the margin
+    // the floor assert checks.
+    const PASSES: usize = 3;
     let workload = query_workload(&requests);
     let distinct: usize = workload.iter().map(|(_, ks)| ks.len()).sum();
     let reps = (1_000_000 / distinct.max(1)).max(1);
     let queries = (distinct * reps) as u64;
 
-    let t = Instant::now();
+    let mut retime_ms = f64::INFINITY;
     let mut retime_sum = 0.0f64;
-    for _ in 0..reps {
-        for (device, kernels) in &workload {
-            for kernel in kernels {
-                retime_sum += kernel_time_us(std::hint::black_box(kernel), device);
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        retime_sum = 0.0;
+        for _ in 0..reps {
+            for (device, kernels) in &workload {
+                for kernel in kernels {
+                    retime_sum += kernel_time_us(std::hint::black_box(kernel), device);
+                }
             }
         }
+        std::hint::black_box(retime_sum);
+        retime_ms = retime_ms.min(t.elapsed().as_secs_f64() * 1e3);
     }
-    std::hint::black_box(retime_sum);
-    let retime_ms = t.elapsed().as_secs_f64() * 1e3;
     phases.push(
         PhaseReport::new("retime_queries", retime_ms)
             .with_throughput(queries as f64 / (retime_ms / 1e3))
             .with_counter("timed_measurements", queries)
             .with_counter("cache_hits", 0)
-            .with_counter("cache_misses", queries),
+            .with_counter("cache_misses", queries)
+            .with_counter("passes", PASSES as u64),
     );
 
     let before_queries = seq_cache.stats();
-    let t = Instant::now();
+    let shard_hits_before: u64 = seq_cache.shard_hits().iter().sum();
+    let mut cached_ms = f64::INFINITY;
     let mut cached_sum = 0.0f64;
-    for _ in 0..reps {
-        for (device, kernels) in &workload {
-            let session = seq_cache.session(device);
-            for kernel in kernels {
-                cached_sum += session.time_us(std::hint::black_box(kernel));
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        cached_sum = 0.0;
+        for _ in 0..reps {
+            for (device, kernels) in &workload {
+                let session = seq_cache.session(device);
+                for kernel in kernels {
+                    cached_sum += session.time_us(std::hint::black_box(kernel));
+                }
             }
         }
+        std::hint::black_box(cached_sum);
+        cached_ms = cached_ms.min(t.elapsed().as_secs_f64() * 1e3);
     }
-    std::hint::black_box(cached_sum);
-    let cached_ms = t.elapsed().as_secs_f64() * 1e3;
     let query_stats = seq_cache.stats().since(before_queries);
+    let shard_hits = seq_cache.shard_hits();
+    let shard_hit_total: u64 = shard_hits.iter().sum::<u64>() - shard_hits_before;
+    let shards_touched = shard_hits.iter().filter(|&&h| h > 0).count() as u64;
     phases.push(
         PhaseReport::new("warm_cache_queries", cached_ms)
             .with_throughput(queries as f64 / (cached_ms / 1e3))
             .with_counter("timed_measurements", query_stats.misses)
             .with_counter("cache_hits", query_stats.hits)
-            .with_counter("cache_misses", query_stats.misses),
+            .with_counter("cache_misses", query_stats.misses)
+            .with_counter("shard_fast_path_hits", shard_hit_total)
+            .with_counter("shards_touched", shards_touched)
+            .with_counter("passes", PASSES as u64),
     );
     assert_eq!(
         query_stats.misses, 0,
@@ -247,8 +268,8 @@ fn main() {
 
     let speedup_warm_cache = retime_ms / cached_ms;
     assert!(
-        speedup_warm_cache > 1.0,
-        "timing-cache hits must beat re-timing: {retime_ms:.2} ms retime vs {cached_ms:.2} ms cached ({speedup_warm_cache:.3}x)"
+        speedup_warm_cache >= 1.1,
+        "timing-cache hits must clearly beat re-timing: {retime_ms:.2} ms retime vs {cached_ms:.2} ms cached ({speedup_warm_cache:.3}x)"
     );
     let speedup_warm_build = cold_ms / warm_ms;
     let speedup_warm_farm = cold_ms / farm_warm_ms;

@@ -12,7 +12,15 @@
 //!   pruned zeros elided from the multiply stream;
 //! * liveness analysis ([`trtsim_ir::liveness::Liveness`]) assigns every
 //!   activation to a reusable slot, and a [`trtsim_ir::arena::TensorArena`]
-//!   recycles freed buffers into later same-size allocations;
+//!   recycles freed buffers into later same-size-class allocations;
+//! * a layout assignment pass gives every value a physical
+//!   [`trtsim_ir::layout::Layout`]: lane-kernel convs store their outputs in
+//!   the tactic's preferred format (blocked `CHWc8` for implicit-GEMM
+//!   tactics, `NHWC` for depthwise — [`trtsim_kernels::cost::preferred_layout`]),
+//!   layout-agnostic elementwise nodes propagate their input's format, and
+//!   minimal reformat steps are inserted only where a CHW-only consumer (or
+//!   a graph output) actually needs canonical order — TensorRT's reformat
+//!   layers between `_nhwc`-suffixed kernels;
 //! * per-step flags mark which outputs need FP16 rounding and which can
 //!   carry NaN (only reduced-precision-reachable values can), so pure-FP32
 //!   layers skip the scrub scan;
@@ -25,14 +33,15 @@
 //! [`crate::runtime::ExecutionContext::infer_unplanned`].
 
 use trtsim_gpu::kernel::Precision;
-use trtsim_ir::arena::TensorArena;
+use trtsim_ir::arena::{size_class, TensorArena};
 use trtsim_ir::graph::{Activation, ConvParams, EltwiseOp, Graph, LayerKind, NodeId, PoolKind};
+use trtsim_ir::layout::{self, Layout};
 use trtsim_ir::liveness::Liveness;
 use trtsim_ir::ops;
 use trtsim_ir::tensor::Tensor;
 use trtsim_ir::weights::MATERIALIZE_LIMIT;
 use trtsim_ir::IrError;
-use trtsim_kernels::numeric::{apply_precision, PreparedConv, PreparedFc};
+use trtsim_kernels::numeric::{apply_precision, lane_layout, PreparedConv, PreparedFc};
 use trtsim_metrics::memory::ArenaStats;
 
 use crate::engine::Engine;
@@ -43,7 +52,7 @@ use crate::error::EngineError;
 enum StepOp<'e> {
     Conv {
         params: &'e ConvParams,
-        prepared: PreparedConv,
+        prepared: Box<PreparedConv>,
     },
     Fc {
         prepared: PreparedFc,
@@ -106,6 +115,12 @@ struct Step<'e> {
     /// For [`StepOp::Forward`]/[`StepOp::Flatten`]: the input dies at this
     /// step, so its tensor may be moved instead of copied.
     move_input: bool,
+    /// Reformat steps to materialize before the op runs: for each
+    /// `(input index, logical shape, from, to)`, the producer's physical
+    /// tensor is permuted into an arena temp the op reads instead.
+    converts: Vec<(usize, [usize; 3], Layout, Layout)>,
+    /// Physical shape of this step's output under its assigned layout.
+    phys_shape: [usize; 3],
     /// Values whose buffers recycle into the arena once this step ran.
     free_after: Vec<NodeId>,
 }
@@ -167,6 +182,7 @@ pub struct InferencePlan<'e> {
     slot_of: Vec<usize>,
     slot_count: usize,
     stats: ArenaStats,
+    layout_converts_per_execution: u64,
     metrics: crate::telemetry::PlanMetrics,
 }
 
@@ -200,10 +216,89 @@ impl<'e> InferencePlan<'e> {
             }
         }
 
+        // Layout assignment (DESIGN §13). Lane-kernel convs read any
+        // physical layout and want their tactic's preferred one for their
+        // output; elementwise nodes (Act / Eltwise / Identity / Dropout)
+        // are layout-agnostic and propagate their first input's format;
+        // every other op reads and writes canonical CHW. A conv only emits
+        // a non-CHW format when some transitive consumer — through agnostic
+        // nodes — is itself a lane conv; otherwise the blocked store would
+        // just buy a reformat straight back. Graph outputs are always CHW,
+        // so callers keep seeing logical tensors.
+        let n = graph.len();
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for node in graph.nodes().iter().skip(1) {
+            for &input in &node.inputs {
+                consumers[input].push(node.id);
+            }
+        }
+        let lane_pref: Vec<Option<Layout>> = graph
+            .nodes()
+            .iter()
+            .map(|node| match &node.kind {
+                LayerKind::Conv(c) => {
+                    let tactic = &engine.units()[node.id].choice.as_ref()?.tactic;
+                    lane_layout(c, tactic)
+                }
+                _ => None,
+            })
+            .collect();
+        let is_agnostic: Vec<bool> = graph
+            .nodes()
+            .iter()
+            .map(|node| {
+                matches!(
+                    node.kind,
+                    LayerKind::Act(_)
+                        | LayerKind::Eltwise { .. }
+                        | LayerKind::Dropout { .. }
+                        | LayerKind::Identity
+                )
+            })
+            .collect();
+        let mut is_out = vec![false; n];
+        for &output in graph.outputs() {
+            is_out[output] = true;
+        }
+        // Does any consumer of this value — possibly through a chain of
+        // non-output agnostic nodes — read it with a lane kernel? Nodes are
+        // topological, so one reverse sweep settles the recurrence.
+        let mut feeds_lanes = vec![false; n];
+        for id in (0..n).rev() {
+            feeds_lanes[id] = consumers[id].iter().any(|&c| {
+                lane_pref[c].is_some() || (is_agnostic[c] && !is_out[c] && feeds_lanes[c])
+            });
+        }
+        let mut layouts = vec![Layout::Chw; n];
+        for node in graph.nodes().iter().skip(1) {
+            layouts[node.id] = match lane_pref[node.id] {
+                Some(pref) if feeds_lanes[node.id] && !is_out[node.id] => pref,
+                Some(_) => Layout::Chw,
+                None if is_agnostic[node.id] && !is_out[node.id] => layouts[node.inputs[0]],
+                None => Layout::Chw,
+            };
+        }
+
         let liveness = Liveness::analyze(graph);
         let slots = liveness.assign_slots();
-        let (peak, total) = liveness.activation_footprint(shapes);
-        let stats = ArenaStats::new(peak, total, slots.slot_count, graph.len());
+        // Footprints and slot capacities account *physical* sizes: blocked
+        // CHWc8 values carry their channel padding, and each slot is
+        // provisioned at the arena size class of the largest value it ever
+        // holds — the bytes `utilization()` divides the liveness peak by.
+        let phys_shapes: Vec<[usize; 3]> = (0..n)
+            .map(|id| layouts[id].physical_shape(shapes[id]))
+            .collect();
+        let (peak, total) = liveness.activation_footprint(&phys_shapes);
+        let mut slot_max_elems = vec![0usize; slots.slot_count];
+        for (value, shape) in phys_shapes.iter().enumerate() {
+            let slot = slots.slot_of[value];
+            slot_max_elems[slot] = slot_max_elems[slot].max(shape[0] * shape[1] * shape[2]);
+        }
+        let slot_capacity: u64 = slot_max_elems
+            .iter()
+            .map(|&elems| size_class(elems) as u64 * 4)
+            .sum();
+        let stats = ArenaStats::new(peak, total, slot_capacity, slots.slot_count, n);
 
         // NaN can only appear downstream of a reduced-precision kernel
         // (FP16 overflow); pure-FP32 steps skip the interpreter's per-node
@@ -227,14 +322,21 @@ impl<'e> InferencePlan<'e> {
                         .as_ref()
                         .expect("conv nodes always have a tactic")
                         .tactic;
+                    let layout_in = if lane_pref[node.id].is_some() {
+                        layouts[node.inputs[0]]
+                    } else {
+                        Layout::Chw
+                    };
                     StepOp::Conv {
                         params: c,
-                        prepared: PreparedConv::new(
+                        prepared: Box::new(PreparedConv::with_layouts(
                             c,
                             shapes[node.inputs[0]],
                             tactic,
                             unit.quant.as_ref(),
-                        ),
+                            layout_in,
+                            layouts[node.id],
+                        )),
                     }
                 }
                 LayerKind::InnerProduct {
@@ -316,6 +418,27 @@ impl<'e> InferencePlan<'e> {
                 );
             let move_input = matches!(op, StepOp::Forward | StepOp::Flatten)
                 && liveness.dies_at(node.inputs[0], node.id);
+            // Lane convs ingest the producer's layout directly; agnostic
+            // nodes run in their own assigned format; everything else
+            // (including graph-output agnostic nodes, which must hand back
+            // CHW) reformats non-canonical inputs.
+            let required = if lane_pref[node.id].is_some() {
+                None
+            } else if is_agnostic[node.id] && !is_out[node.id] {
+                Some(layouts[node.id])
+            } else {
+                Some(Layout::Chw)
+            };
+            let converts = match required {
+                None => Vec::new(),
+                Some(req) => node
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &input)| layouts[input] != req)
+                    .map(|(idx, &input)| (idx, shapes[input], layouts[input], req))
+                    .collect(),
+            };
             steps.push(Step {
                 node: node.id,
                 inputs: &node.inputs,
@@ -323,18 +446,22 @@ impl<'e> InferencePlan<'e> {
                 fp16_round,
                 scrub: tainted[node.id],
                 move_input,
+                converts,
+                phys_shape: phys_shapes[node.id],
                 free_after: liveness.dead_after(node.id).to_vec(),
             });
         }
 
         crate::telemetry::record_plan_compile(engine.name(), &stats);
         let moves_per_execution = steps.iter().filter(|s| s.move_input).count() as u64;
+        let layout_converts_per_execution = steps.iter().map(|s| s.converts.len() as u64).sum();
         Ok(Self {
             engine,
             steps,
             slot_of: slots.slot_of,
             slot_count: slots.slot_count,
             stats,
+            layout_converts_per_execution,
             metrics: crate::telemetry::PlanMetrics::register(engine.name(), moves_per_execution),
         })
     }
@@ -354,6 +481,14 @@ impl<'e> InferencePlan<'e> {
     /// count backing the arena.
     pub fn arena_stats(&self) -> ArenaStats {
         self.stats
+    }
+
+    /// Reformat (layout-convert) steps the plan executes per inference —
+    /// the price of running lane kernels in their preferred blocked/NHWC
+    /// formats. The assignment pass keeps this minimal by eliding every
+    /// back-to-back convert pair it can.
+    pub fn layout_converts_per_execution(&self) -> u64 {
+        self.layout_converts_per_execution
     }
 
     /// Runs the plan on one input, bit-identical to
@@ -394,10 +529,26 @@ impl<'e> InferencePlan<'e> {
         slots[self.slot_of[Graph::INPUT]] = Some(arena.alloc_copy(input));
 
         for step in &self.steps {
-            let read = |i: usize| -> &Tensor {
-                slots[self.slot_of[step.inputs[i]]]
+            // Materialize this step's reformat inputs into arena temps; the
+            // op reads those in place of the producers' physical tensors.
+            let mut tmps: Vec<(usize, Tensor)> = Vec::with_capacity(step.converts.len());
+            for &(idx, shape, from, to) in &step.converts {
+                let src = slots[self.slot_of[step.inputs[idx]]]
                     .as_ref()
-                    .expect("producer computed")
+                    .expect("producer computed");
+                let mut buf = arena.take_buffer(to.physical_len(shape));
+                layout::convert_into(src.as_slice(), shape, from, to, &mut buf);
+                tmps.push((idx, Tensor::from_vec(to.physical_shape(shape), buf)));
+            }
+            let read = |i: usize| -> &Tensor {
+                tmps.iter()
+                    .find(|(idx, _)| *idx == i)
+                    .map(|(_, t)| t)
+                    .unwrap_or_else(|| {
+                        slots[self.slot_of[step.inputs[i]]]
+                            .as_ref()
+                            .expect("producer computed")
+                    })
             };
             let mut out = match &step.op {
                 StepOp::Conv { params, prepared } => prepared.run(params, read(0), arena),
@@ -438,13 +589,16 @@ impl<'e> InferencePlan<'e> {
                 StepOp::Softmax => ops::softmax(read(0)),
                 StepOp::Upsample { factor } => ops::upsample(read(0), *factor),
                 StepOp::Slice { begin, len } => ops::slice_channels(read(0), *begin, *len),
-                StepOp::Flatten => self.forward(step, slots, arena).into_flat(),
-                StepOp::Forward => self.forward(step, slots, arena),
+                StepOp::Flatten => self.forward(step, slots, arena, &mut tmps).into_flat(),
+                StepOp::Forward => self.forward(step, slots, arena, &mut tmps),
             };
+            for (_, t) in tmps {
+                arena.release(t);
+            }
             if step.fp16_round {
                 apply_precision(&mut out, Precision::Fp16);
             }
-            debug_assert_eq!(out.shape(), self.engine.shapes()[step.node]);
+            debug_assert_eq!(out.shape(), step.phys_shape);
             if step.scrub || scrub_all {
                 // Keep NaN out of downstream argmaxes if an fp16 overflowed.
                 if out.as_slice().iter().any(|v| v.is_nan()) {
@@ -489,17 +643,24 @@ impl<'e> InferencePlan<'e> {
                 .add(self.metrics.moves_per_execution);
         }
         crate::telemetry::sync_fp16_redos();
+        crate::telemetry::sync_lane_counters();
         Ok(outputs)
     }
 
     /// Zero-copy forward for Identity/Dropout/Flatten: moves the input
     /// tensor when it dies at this step, copies through the arena otherwise.
+    /// A reformatted input is always taken by move — the temp is owned, and
+    /// the original stays in its slot for `free_after` to recycle.
     fn forward(
         &self,
         step: &Step<'e>,
         slots: &mut [Option<Tensor>],
         arena: &mut TensorArena,
+        tmps: &mut Vec<(usize, Tensor)>,
     ) -> Tensor {
+        if let Some(pos) = tmps.iter().position(|(idx, _)| *idx == 0) {
+            return tmps.swap_remove(pos).1;
+        }
         let slot = self.slot_of[step.inputs[0]];
         if step.move_input {
             slots[slot].take().expect("producer computed")
@@ -639,11 +800,84 @@ mod tests {
         let stats = plan.arena_stats();
         assert!(stats.peak_live_bytes < stats.total_activation_bytes);
         assert!(
-            stats.utilization() <= 0.5,
+            stats.footprint_ratio() <= 0.5,
             "deep chain should reuse buffers: {}",
+            stats.footprint_ratio()
+        );
+        // Size-classed slots provision close to the liveness peak: only a
+        // producer/consumer pair is live, so three slots of one class each
+        // stay mostly full.
+        assert!(
+            stats.utilization() >= 0.4,
+            "slots should be provisioned near the peak: {}",
             stats.utilization()
         );
         assert!(stats.slot_count <= 3, "{}", stats.slot_count);
+    }
+
+    #[test]
+    fn lane_convs_get_non_canonical_interior_layouts() {
+        // Interior convs of a chain feed other lane convs, so the
+        // assignment stores them blocked (CHWc8) or NHWC; the output conv
+        // always hands back canonical CHW.
+        let engine = build(&deep_chain(6), 4);
+        let plan = InferencePlan::compile(&engine).unwrap();
+        let mut non_chw = 0;
+        for step in &plan.steps {
+            if let StepOp::Conv { prepared, .. } = &step.op {
+                let (_, out) = prepared.layouts();
+                if out != Layout::Chw {
+                    non_chw += 1;
+                }
+            }
+        }
+        let last = plan.steps.last().unwrap();
+        assert_eq!(last.phys_shape, engine.shapes()[last.node]);
+        assert!(
+            non_chw >= 1,
+            "interior convs should run in a preferred layout"
+        );
+        // Lane convs ingest the producer's format directly, so a pure conv
+        // chain needs no reformat steps at all.
+        assert_eq!(plan.layout_converts_per_execution(), 0);
+    }
+
+    #[test]
+    fn mixed_layout_eltwise_reformats_and_stays_bit_identical() {
+        // One eltwise arm comes from a pool (CHW-only), the other from a
+        // conv that may run blocked; the joined value feeds another conv so
+        // the assignment has a reason to keep lanes hot across the sum.
+        let mut g = Graph::new("mixed", [3, 16, 16]);
+        let c1 = g.add_layer(
+            "c1",
+            LayerKind::conv_seeded(8, 3, 3, 1, 1, 0),
+            &[Graph::INPUT],
+        );
+        let p = g.add_layer(
+            "p",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            &[c1],
+        );
+        let a = g.add_layer("a", LayerKind::conv_seeded(8, 8, 3, 1, 1, 1), &[p]);
+        let e = g.add_layer("e", LayerKind::Eltwise { op: EltwiseOp::Sum }, &[p, a]);
+        let c2 = g.add_layer("c2", LayerKind::conv_seeded(8, 8, 3, 1, 1, 2), &[e]);
+        g.mark_output(c2);
+        let engine = build(&g, 17);
+        let plan = InferencePlan::compile(&engine).unwrap();
+        let before = trtsim_ir::layout::layout_convert_events();
+        assert_bit_identical(&engine, &random_input([3, 16, 16], 23));
+        // Every reformat the plan schedules really executes (other tests
+        // may bump the process-wide counter concurrently, so >=).
+        assert!(
+            trtsim_ir::layout::layout_convert_events() - before
+                >= 2 * plan.layout_converts_per_execution(),
+            "scheduled reformats should run on both passes"
+        );
     }
 
     #[test]

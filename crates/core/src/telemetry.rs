@@ -167,6 +167,18 @@ pub(crate) fn record_plan_compile(model: &str, stats: &trtsim_metrics::ArenaStat
         labels,
     )
     .set(stats.total_activation_bytes as f64);
+    reg.gauge(
+        "trtsim_plan_arena_slot_capacity_bytes",
+        "Bytes provisioned for the plan's size-classed arena slots",
+        labels,
+    )
+    .set(stats.slot_capacity_bytes as f64);
+    reg.gauge(
+        "trtsim_plan_arena_utilization",
+        "Peak live bytes over provisioned slot bytes (1.0 = no slack)",
+        labels,
+    )
+    .set(stats.utilization());
 }
 
 /// The process-wide FP16 fast-path redo counter, mirroring the raw count
@@ -182,22 +194,82 @@ fn fp16_redo_counter() -> &'static Counter {
     })
 }
 
-/// Folds any new kernel-side FP16 redo events into the registry counter.
-/// Exactly-once under concurrency: a CAS loop claims the `[last, now)` delta
-/// for a single caller.
-pub(crate) fn sync_fp16_redos() {
-    static LAST: AtomicU64 = AtomicU64::new(0);
-    let now = trtsim_kernels::numeric::fp16_redo_events();
-    let mut last = LAST.load(Ordering::Relaxed);
-    while now > last {
-        match LAST.compare_exchange_weak(last, now, Ordering::Relaxed, Ordering::Relaxed) {
+/// Folds the `[last, now)` delta of a raw monotone count into a registry
+/// counter. Exactly-once under concurrency: a CAS loop claims the delta for
+/// a single caller. This is the bridge pattern for subsystems (`trtsim-ir`,
+/// `trtsim-kernels`) that keep raw atomics instead of depending on metrics.
+fn drain_monotone(last: &AtomicU64, now: u64, counter: &Counter) {
+    let mut seen = last.load(Ordering::Relaxed);
+    while now > seen {
+        match last.compare_exchange_weak(seen, now, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => {
-                fp16_redo_counter().add(now - last);
+                counter.add(now - seen);
                 return;
             }
-            Err(seen) => last = seen,
+            Err(raced) => seen = raced,
         }
     }
+}
+
+/// Folds any new kernel-side FP16 redo events into the registry counter.
+pub(crate) fn sync_fp16_redos() {
+    static LAST: AtomicU64 = AtomicU64::new(0);
+    drain_monotone(
+        &LAST,
+        trtsim_kernels::numeric::fp16_redo_events(),
+        fp16_redo_counter(),
+    );
+}
+
+/// Lane-kernel activity counters, bridged from the raw atomics in
+/// `trtsim-ir` (layout conversions) and `trtsim-kernels` (values produced
+/// by SIMD lanes vs scalar walks / exact-redo fallbacks).
+fn lane_counters() -> &'static (Counter, Counter, Counter) {
+    static C: OnceLock<(Counter, Counter, Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        let reg = Registry::global();
+        (
+            reg.counter(
+                "trtsim_kernel_layout_converts_total",
+                "Physical-layout (reformat) conversions executed",
+                &[],
+            ),
+            reg.counter(
+                "trtsim_kernel_vector_lanes_total",
+                "Output values produced by SIMD lane-array kernels",
+                &[],
+            ),
+            reg.counter(
+                "trtsim_kernel_scalar_fallback_total",
+                "Output values produced by scalar walks or exact-redo fallbacks",
+                &[],
+            ),
+        )
+    })
+}
+
+/// Folds any new layout-convert / vector-lane / scalar-fallback events into
+/// their registry counters.
+pub(crate) fn sync_lane_counters() {
+    static LAYOUT_LAST: AtomicU64 = AtomicU64::new(0);
+    static VECTOR_LAST: AtomicU64 = AtomicU64::new(0);
+    static SCALAR_LAST: AtomicU64 = AtomicU64::new(0);
+    let (converts, vector, scalar) = lane_counters();
+    drain_monotone(
+        &LAYOUT_LAST,
+        trtsim_ir::layout::layout_convert_events(),
+        converts,
+    );
+    drain_monotone(
+        &VECTOR_LAST,
+        trtsim_kernels::lanes::vector_lane_events(),
+        vector,
+    );
+    drain_monotone(
+        &SCALAR_LAST,
+        trtsim_kernels::lanes::scalar_fallback_events(),
+        scalar,
+    );
 }
 
 /// The autotuner's per-tactic measurement counter, cached so the parallel
@@ -418,5 +490,21 @@ mod tests {
         let before = fp16_redo_counter().get();
         sync_fp16_redos();
         assert_eq!(fp16_redo_counter().get(), before);
+    }
+
+    #[test]
+    fn lane_counter_sync_tracks_raw_sources() {
+        sync_lane_counters();
+        let (converts, vector, scalar) = lane_counters();
+        let before = (converts.get(), vector.get(), scalar.get());
+        sync_lane_counters();
+        // Monotone, and never ahead of the raw atomics they mirror (other
+        // tests may bump the raw counts concurrently, so no exact equality).
+        assert!(converts.get() >= before.0);
+        assert!(vector.get() >= before.1);
+        assert!(scalar.get() >= before.2);
+        assert!(converts.get() <= trtsim_ir::layout::layout_convert_events());
+        assert!(vector.get() <= trtsim_kernels::lanes::vector_lane_events());
+        assert!(scalar.get() <= trtsim_kernels::lanes::scalar_fallback_events());
     }
 }

@@ -1,17 +1,30 @@
 //! A recycling allocator for activation tensors.
 //!
 //! Liveness-driven executors free each activation after its last use; this
-//! arena keeps those freed buffers in size-keyed pools so the next
-//! allocation of the same element count reuses the memory instead of hitting
-//! the system allocator. Over a batch of images the steady state allocates
-//! nothing: every tensor of every step is served from the pool filled by the
-//! previous image.
+//! arena keeps those freed buffers in *size-classed* pools so the next
+//! allocation can reuse the memory instead of hitting the system allocator.
+//! Buffers are carved in power-of-two size classes (tile-sized slots): a
+//! freed 3072-element buffer parks in the 4096 class and serves the next
+//! request for anything in (2048, 4096], so small activations of slightly
+//! different shapes share slots rather than each pinning a private pool
+//! entry. Over a batch of images the steady state allocates nothing — and
+//! retains far fewer distinct spare buffers than the old exact-length pools.
 
 use std::collections::HashMap;
 
 use crate::tensor::Tensor;
 
-/// Size-keyed free-list of tensor buffers.
+/// Smallest size class, elements. Classes below this collapse into one
+/// bucket so tiny logits/bias-sized tensors all share.
+const MIN_CLASS: usize = 64;
+
+/// Rounds a requested element count up to its size class: the next power of
+/// two, with a floor of `MIN_CLASS`.
+pub fn size_class(len: usize) -> usize {
+    len.next_power_of_two().max(MIN_CLASS)
+}
+
+/// Size-classed free-list of tensor buffers.
 ///
 /// # Examples
 ///
@@ -21,12 +34,13 @@ use crate::tensor::Tensor;
 /// let mut arena = TensorArena::new();
 /// let t = arena.alloc_zeroed([2, 3, 3]);
 /// arena.release(t);
-/// let _reused = arena.alloc_zeroed([2, 3, 3]); // same 18-element buffer
+/// // 18 and 25 elements share the 64-element size class.
+/// let _reused = arena.alloc_zeroed([1, 5, 5]);
 /// assert_eq!(arena.recycled_allocs(), 1);
 /// ```
 #[derive(Debug, Default)]
 pub struct TensorArena {
-    /// Freed buffers by element count.
+    /// Freed buffers by size class (power-of-two capacity).
     free: HashMap<usize, Vec<Vec<f32>>>,
     retained_bytes: u64,
     peak_retained_bytes: u64,
@@ -40,8 +54,8 @@ impl TensorArena {
         Self::default()
     }
 
-    /// A zero-filled tensor, recycling a freed buffer of the same element
-    /// count when one is available.
+    /// A zero-filled tensor, recycling a freed buffer of the same size class
+    /// when one is available.
     pub fn alloc_zeroed(&mut self, shape: [usize; 3]) -> Tensor {
         let len = shape[0] * shape[1] * shape[2];
         let mut data = self.take_buffer(len);
@@ -58,30 +72,42 @@ impl TensorArena {
     }
 
     /// A raw `len`-element scratch buffer (contents unspecified), recycled
-    /// when possible. Pair with [`TensorArena::give_buffer`].
+    /// from `len`'s size class when possible. The vector's *length* is
+    /// exactly `len`; its capacity is the class size. Pair with
+    /// [`TensorArena::give_buffer`].
     pub fn take_buffer(&mut self, len: usize) -> Vec<f32> {
-        match self.free.get_mut(&len).and_then(Vec::pop) {
-            Some(buffer) => {
+        let class = size_class(len);
+        match self.free.get_mut(&class).and_then(Vec::pop) {
+            Some(mut buffer) => {
                 self.recycled_allocs += 1;
-                self.retained_bytes -= len as u64 * 4;
+                self.retained_bytes -= class as u64 * 4;
+                buffer.resize(len, 0.0);
                 buffer
             }
             None => {
                 self.fresh_allocs += 1;
-                vec![0.0; len]
+                let mut buffer = Vec::with_capacity(class);
+                buffer.resize(len, 0.0);
+                buffer
             }
         }
     }
 
-    /// Returns a scratch buffer to the pool.
+    /// Returns a scratch buffer to its size class' pool.
     pub fn give_buffer(&mut self, buffer: Vec<f32>) {
-        let len = buffer.len();
-        if len == 0 {
+        if buffer.capacity() == 0 {
             return;
         }
-        self.retained_bytes += len as u64 * 4;
+        // A buffer that grew past its class (or arrived from outside the
+        // arena) files under the class its capacity actually serves.
+        let class = if buffer.capacity().is_power_of_two() && buffer.capacity() >= MIN_CLASS {
+            buffer.capacity()
+        } else {
+            size_class(buffer.capacity().max(buffer.len()))
+        };
+        self.retained_bytes += class as u64 * 4;
         self.peak_retained_bytes = self.peak_retained_bytes.max(self.retained_bytes);
-        self.free.entry(len).or_default().push(buffer);
+        self.free.entry(class).or_default().push(buffer);
     }
 
     /// Releases a dead tensor's buffer into the pool.
@@ -99,7 +125,7 @@ impl TensorArena {
         self.recycled_allocs
     }
 
-    /// Bytes currently parked in the free pool.
+    /// Bytes currently parked in the free pool (at class granularity).
     pub fn retained_bytes(&self) -> u64 {
         self.retained_bytes
     }
@@ -115,12 +141,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn recycles_same_size_buffers() {
+    fn recycles_same_class_buffers() {
         let mut arena = TensorArena::new();
         let a = arena.alloc_zeroed([4, 2, 2]);
         arena.release(a);
-        assert_eq!(arena.retained_bytes(), 64);
-        let b = arena.alloc_zeroed([1, 4, 4]); // same 16 elements, new shape
+        assert_eq!(arena.retained_bytes(), MIN_CLASS as u64 * 4);
+        let b = arena.alloc_zeroed([1, 4, 4]); // same class, new shape
         assert_eq!(b.shape(), [1, 4, 4]);
         assert_eq!(arena.fresh_allocs(), 1);
         assert_eq!(arena.recycled_allocs(), 1);
@@ -138,13 +164,45 @@ mod tests {
     }
 
     #[test]
-    fn different_sizes_do_not_alias() {
+    fn nearby_sizes_share_a_size_class() {
         let mut arena = TensorArena::new();
-        let a = arena.alloc_zeroed([1, 2, 2]);
+        let a = arena.alloc_zeroed([3, 32, 32]); // 3072 -> class 4096
         arena.release(a);
-        let _b = arena.alloc_zeroed([1, 3, 3]);
+        let b = arena.alloc_zeroed([4, 32, 32]); // 4096 -> same class
+        assert_eq!(b.len(), 4096);
+        assert_eq!(arena.fresh_allocs(), 1);
+        assert_eq!(arena.recycled_allocs(), 1);
+    }
+
+    #[test]
+    fn different_classes_do_not_alias() {
+        let mut arena = TensorArena::new();
+        let a = arena.alloc_zeroed([1, 8, 8]); // class 64
+        arena.release(a);
+        let _b = arena.alloc_zeroed([2, 8, 8]); // class 128
         assert_eq!(arena.fresh_allocs(), 2);
         assert_eq!(arena.recycled_allocs(), 0);
+    }
+
+    #[test]
+    fn grown_recycled_buffer_keeps_exact_length() {
+        let mut arena = TensorArena::new();
+        let a = arena.alloc_zeroed([1, 5, 5]); // len 25, class 64
+        arena.release(a);
+        let b = arena.take_buffer(40); // same class, longer request
+        assert_eq!(b.len(), 40);
+        assert!(b.iter().all(|&v| v == 0.0), "resized tail must be zeroed");
+        arena.give_buffer(b);
+        assert_eq!(arena.recycled_allocs(), 1);
+    }
+
+    #[test]
+    fn size_class_rounds_up() {
+        assert_eq!(size_class(1), MIN_CLASS);
+        assert_eq!(size_class(64), 64);
+        assert_eq!(size_class(65), 128);
+        assert_eq!(size_class(3072), 4096);
+        assert_eq!(size_class(4096), 4096);
     }
 
     #[test]

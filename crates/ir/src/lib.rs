@@ -51,6 +51,7 @@ pub mod error;
 pub mod exec;
 pub mod flops;
 pub mod graph;
+pub mod layout;
 pub mod liveness;
 pub mod ops;
 pub mod shape;
@@ -61,6 +62,7 @@ pub use arena::TensorArena;
 pub use error::IrError;
 pub use exec::ReferenceExecutor;
 pub use graph::{Activation, Graph, LayerKind, Node, NodeId, PoolKind};
+pub use layout::Layout;
 pub use liveness::Liveness;
 pub use tensor::Tensor;
 pub use weights::Weights;

@@ -9,8 +9,25 @@
 use trtsim_gpu::kernel::KernelDesc;
 use trtsim_ir::flops::LayerCost;
 use trtsim_ir::graph::LayerKind;
+use trtsim_ir::layout::Layout;
 
 use crate::tactic::{Tactic, TacticFamily};
+
+/// The activation layout a tactic family's lane kernel wants its operands in.
+///
+/// Mirrors TensorRT's per-tactic format requirements (the `_nhwc`/`_chw`
+/// suffixes in its kernel names): implicit-GEMM conv tactics read blocked
+/// `CHWc8` panels so output-channel lanes load contiguously, depthwise
+/// tactics read `NHWC` so the per-pixel channel loop is a contiguous vector
+/// load, and everything else runs on canonical `CHW`. The plan-time layout
+/// assignment pass uses this to place reformat (layout-convert) steps.
+pub fn preferred_layout(tactic: &Tactic) -> Layout {
+    match tactic.family {
+        TacticFamily::ConvHmma | TacticFamily::ConvFp32 => Layout::Chwc8,
+        TacticFamily::Depthwise => Layout::Nhwc,
+        _ => Layout::Chw,
+    }
+}
 
 /// GEMM dimensions of a layer under a given tactic family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

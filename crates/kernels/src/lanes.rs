@@ -1,0 +1,772 @@
+//! SIMD lane-array convolution micro-kernels with per-tactic data layouts.
+//!
+//! The hot inner loops of [`crate::numeric::PreparedConv`] are written here
+//! as branch-free `[f32; 8]` *lane arrays*: eight output channels advance in
+//! lockstep through the kernel taps, so LLVM lowers each step to a handful
+//! of 256-bit vector instructions (the build sets `-C target-cpu=native`).
+//! This is the simulator's analog of TensorRT's tactic-specific
+//! `h884cudnn…nhwc` kernels — and like them, each kernel prefers a physical
+//! activation layout ([`trtsim_ir::layout::Layout`]):
+//!
+//! * ungrouped convolutions vectorize over **output channels** and prefer
+//!   blocked `CHWc8` so their stores are contiguous 8-lane vectors;
+//! * depthwise convolutions vectorize over **channels** and prefer `NHWC`
+//!   so their loads are contiguous 8-lane vectors;
+//! * every kernel also accepts canonical CHW operands (scalar broadcasts /
+//!   gathers), so the plan-time layout assignment is free to leave a value
+//!   canonical when converts would cost more than they save.
+//!
+//! # Bit-exactness
+//!
+//! Results are bit-identical to the scalar reference walks in
+//! [`crate::numeric`]:
+//!
+//! * FP32 lanes accumulate in *exactly* the reference tap order with the
+//!   bias as the initial accumulator — the same f32 operations in the same
+//!   order, so even non-finite inputs propagate identically.
+//! * FP16 lanes round every product and partial sum with `round8`, a
+//!   branch-free blend that equals [`round_f16`] everywhere on
+//!   `|v| ≤ 32768`: the Veltkamp split covers the normal range, and a
+//!   magic-number add (`(v + 0.75) - 0.75`) lands subnormals on the
+//!   binary16 grid exactly (f32 ulp in `[0.5, 1)` is 2⁻²⁴ — the binary16
+//!   subnormal quantum — and ties-to-even agrees). Each tile tracks the
+//!   max magnitude it fed the rounder; if any value left the valid range
+//!   the whole tile is redone with the exact scalar [`round_f16`] path
+//!   (counted by [`crate::numeric::fp16_redo_events`]).
+//!
+//! Values produced by the vector path and by scalar walks (redos, dense
+//! fallbacks, legacy prepared kernels) are tallied process-wide and
+//! exported by the core telemetry bridge as
+//! `trtsim_kernel_vector_lanes_total` / `trtsim_kernel_scalar_fallback_total`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use trtsim_gpu::kernel::Precision;
+use trtsim_ir::graph::{Activation, ConvParams};
+use trtsim_ir::layout::{Layout, LANES};
+use trtsim_util::f16::round_f16;
+
+use crate::numeric::{apply_act, fold_chunk, note_fp16_redo, veltkamp_f16, ConvGeom, Interior};
+use crate::tactic::{AccumOrder, Tactic};
+
+/// Lower edge of the Veltkamp fast range (2⁻¹⁴, the smallest normal f16).
+pub(crate) const F16_LO: f32 = 6.103_515_6e-5;
+/// Upper edge of the Veltkamp fast range.
+pub(crate) const F16_HI: f32 = 32_768.0;
+
+/// Output-pixel positions advanced together by the interior micro-kernel.
+const TILE: usize = 4;
+
+/// Output values produced by the vectorized lane-array path.
+static VECTOR_LANES: AtomicU64 = AtomicU64::new(0);
+/// Output values produced by scalar walks: borders redone after a range
+/// trap, dense fallbacks, and the legacy (non-lane) prepared kernels.
+static SCALAR_FALLBACK: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone count of output values computed by the vector lane path.
+pub fn vector_lane_events() -> u64 {
+    VECTOR_LANES.load(Ordering::Relaxed)
+}
+
+/// Monotone count of output values computed by scalar fallback paths.
+pub fn scalar_fallback_events() -> u64 {
+    SCALAR_FALLBACK.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_vector_values(n: u64) {
+    if n > 0 {
+        VECTOR_LANES.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn note_scalar_values(n: u64) {
+    if n > 0 {
+        SCALAR_FALLBACK.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Branch-free round-to-binary16 of 8 lanes; bit-identical to [`round_f16`]
+/// for every `|v| ≤ 32768` (callers trap larger magnitudes and redo in
+/// scalar). Normals take the Veltkamp split; subnormals take the magic add,
+/// whose zero results get the argument's sign back so even `-0.0` matches.
+#[inline(always)]
+pub(crate) fn round8(v: [f32; LANES]) -> [f32; LANES] {
+    let mut r = [0.0f32; LANES];
+    for l in 0..LANES {
+        let x = v[l];
+        let rn = veltkamp_f16(x);
+        let mut rs = (x + 0.75) - 0.75;
+        if rs == 0.0 {
+            rs = 0.0f32.copysign(x);
+        }
+        r[l] = if x.abs() < F16_LO { rs } else { rn };
+    }
+    r
+}
+
+/// Rounds a slice onto the binary16 grid in place, 8 lanes at a time;
+/// bit-identical to mapping [`round_f16`] (chunks holding a magnitude above
+/// the fast range — including non-finite values — are redone in scalar).
+/// Returns whether every rounded value is finite.
+pub(crate) fn round_f16_slice(buf: &mut [f32]) -> bool {
+    let mut finite = true;
+    let mut chunks = buf.chunks_exact_mut(LANES);
+    for c in &mut chunks {
+        let v: [f32; LANES] = c.try_into().unwrap();
+        // NaN fails `<=`, so non-finite lanes land in the scalar redo too.
+        if v.iter().all(|x| x.abs() <= F16_HI) {
+            c.copy_from_slice(&round8(v));
+        } else {
+            for x in c.iter_mut() {
+                *x = round_f16(*x);
+                finite &= x.is_finite();
+            }
+        }
+    }
+    for x in chunks.into_remainder() {
+        *x = round_f16(*x);
+        finite &= x.is_finite();
+    }
+    finite
+}
+
+/// A convolution lowered onto the lane-array micro-kernels.
+///
+/// Weights are packed `[oc_block][tap] -> [f32; 8]` (output-channel lanes;
+/// channel lanes for depthwise), in the exact tap order of the dense
+/// reference walk. Input addressing is layout-parameterized: interior taps
+/// use precomputed physical deltas from the window origin, border taps go
+/// through [`Layout::index`] with bounds checks.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneConv {
+    pub(crate) layout_in: Layout,
+    pub(crate) layout_out: Layout,
+    pub(crate) fp16: bool,
+    depthwise: bool,
+    /// FP16 weights contain non-finite values: the Veltkamp/maxabs trap
+    /// cannot see `0·∞`, so every run takes the exact dense fallback.
+    pub(crate) force_dense: bool,
+    /// Split-K flush period in taps (`usize::MAX`: never flush).
+    chunk: usize,
+    /// Physical elements per one-pixel step along x in `layout_in`.
+    in_mul: usize,
+    /// Interior input offset of each tap from the window origin (std only).
+    deltas: Vec<isize>,
+    /// `(c_in, dy, dx)` of each tap in dense order (`c_in` unused for
+    /// depthwise, where the channel is the lane).
+    taps: Vec<(usize, isize, isize)>,
+    /// `[block][tap]` weight lanes; lanes past the real channel count are 0.
+    w: Vec<Vec<[f32; LANES]>>,
+    /// Per-block bias lanes; pad lanes are 0.
+    bias_v: Vec<[f32; LANES]>,
+    /// Dense CHW-ordered weights (FP16: pre-rounded) for the fallback path.
+    pub(crate) rdense: Vec<f32>,
+}
+
+impl LaneConv {
+    /// Lowers the conv onto lane kernels, or `None` when the shape/tactic
+    /// combination stays on the legacy prepared paths (grouped non-depthwise
+    /// convolutions, pairwise FP16, INT8).
+    pub(crate) fn build(
+        params: &ConvParams,
+        g: &ConvGeom,
+        tactic: &Tactic,
+        dense: &[f32],
+        bias: &[f32],
+        layout_in: Layout,
+        layout_out: Layout,
+    ) -> Option<Self> {
+        let fp16 = match tactic.precision {
+            Precision::Fp32 => false,
+            Precision::Fp16 if tactic.accum != AccumOrder::Pairwise => true,
+            _ => return None,
+        };
+        let depthwise = params.groups > 1
+            && params.groups == params.in_channels
+            && params.groups == params.out_channels;
+        if params.groups != 1 && !depthwise {
+            return None;
+        }
+        let rdense: Vec<f32> = if fp16 {
+            dense.iter().map(|&v| round_f16(v)).collect()
+        } else {
+            dense.to_vec()
+        };
+        let force_dense = fp16 && rdense.iter().any(|v| !v.is_finite());
+
+        let [ic, ih, iw] = g.in_shape;
+        let (iwi, ihiw) = (iw as isize, (ih * iw) as isize);
+        let mut taps = Vec::new();
+        let mut deltas = Vec::new();
+        let taps_per_oc = if depthwise {
+            g.kh * g.kw
+        } else {
+            ic * g.kh * g.kw
+        };
+        for c_in in 0..if depthwise { 1 } else { ic } {
+            for ky in 0..g.kh {
+                for kx in 0..g.kw {
+                    let dy = ky as isize - g.ph;
+                    let dx = kx as isize - g.pw;
+                    taps.push((c_in, dy, dx));
+                    if !depthwise {
+                        deltas.push(match layout_in {
+                            Layout::Chw => c_in as isize * ihiw + dy * iwi + dx,
+                            Layout::Chwc8 => {
+                                ((c_in / LANES) as isize * ihiw + dy * iwi + dx) * LANES as isize
+                                    + (c_in % LANES) as isize
+                            }
+                            Layout::Nhwc => (dy * iwi + dx) * ic as isize + c_in as isize,
+                        });
+                    }
+                }
+            }
+        }
+        let in_mul = match layout_in {
+            Layout::Chw => 1,
+            Layout::Chwc8 => LANES,
+            Layout::Nhwc => ic,
+        };
+
+        let blocks = g.out_channels.div_ceil(LANES);
+        let mut w = Vec::with_capacity(blocks);
+        let mut bias_v = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let mut wb = vec![[0.0f32; LANES]; taps.len()];
+            let mut bv = [0.0f32; LANES];
+            for l in 0..LANES {
+                let oc = b * LANES + l;
+                if oc >= g.out_channels {
+                    break;
+                }
+                bv[l] = bias.get(oc).copied().unwrap_or(0.0);
+                for (tap, lane) in wb.iter_mut().enumerate() {
+                    lane[l] = rdense[oc * taps_per_oc + tap];
+                }
+            }
+            w.push(wb);
+            bias_v.push(bv);
+        }
+
+        Some(Self {
+            layout_in,
+            layout_out,
+            fp16,
+            depthwise,
+            force_dense,
+            chunk: if fp16 {
+                fold_chunk(tactic.accum)
+            } else {
+                usize::MAX
+            },
+            in_mul,
+            deltas,
+            taps,
+            w,
+            bias_v,
+            rdense,
+        })
+    }
+
+    /// Executes the lane kernels. `x` is the physical input in `layout_in`
+    /// (already rounded to binary16 and verified finite for FP16); `out` is
+    /// the physical output buffer in `layout_out`, pre-zeroed by the arena.
+    pub(crate) fn run(
+        &self,
+        g: &ConvGeom,
+        it: &Interior,
+        bias: &[f32],
+        activation: Option<Activation>,
+        x: &[f32],
+        out: &mut [f32],
+    ) {
+        match (self.depthwise, self.fp16) {
+            (false, true) => self.run_std::<true>(g, it, bias, activation, x, out),
+            (false, false) => self.run_std::<false>(g, it, bias, activation, x, out),
+            (true, true) => self.run_dw::<true>(g, it, bias, activation, x, out),
+            (true, false) => self.run_dw::<false>(g, it, bias, activation, x, out),
+        }
+    }
+
+    fn run_std<const FP16: bool>(
+        &self,
+        g: &ConvGeom,
+        it: &Interior,
+        bias: &[f32],
+        act: Option<Activation>,
+        x: &[f32],
+        out: &mut [f32],
+    ) {
+        let blocks = g.out_channels.div_ceil(LANES);
+        let xs = self.in_mul * g.s;
+        let (mut nvec, mut nscal) = (0u64, 0u64);
+        for b in 0..blocks {
+            let real = (g.out_channels - b * LANES).min(LANES);
+            let wb = &self.w[b];
+            let bv = self.bias_v[b];
+            for oy in 0..g.oh {
+                let interior_row = oy >= it.oy_lo && oy < it.oy_hi && it.ox_lo < it.ox_hi;
+                if interior_row {
+                    let row0 = (oy * g.s) * g.iw;
+                    let mut ox = it.ox_lo;
+                    while ox + TILE <= it.ox_hi {
+                        let base = (row0 + ox * g.s) * self.in_mul;
+                        let (vals, bad) =
+                            std_tile::<TILE, FP16>(x, wb, &self.deltas, base, xs, bv, self.chunk);
+                        self.commit_tile(g, bias, act, x, b, real, oy, ox, &vals, bad, out);
+                        if bad {
+                            nscal += (TILE * real) as u64;
+                        } else {
+                            nvec += (TILE * real) as u64;
+                        }
+                        ox += TILE;
+                    }
+                    while ox < it.ox_hi {
+                        let base = (row0 + ox * g.s) * self.in_mul;
+                        let (vals, bad) =
+                            std_tile::<1, FP16>(x, wb, &self.deltas, base, xs, bv, self.chunk);
+                        self.commit_tile(g, bias, act, x, b, real, oy, ox, &vals, bad, out);
+                        if bad {
+                            nscal += real as u64;
+                        } else {
+                            nvec += real as u64;
+                        }
+                        ox += 1;
+                    }
+                }
+                let cols: Box<dyn Iterator<Item = usize>> = if interior_row {
+                    Box::new((0..it.ox_lo).chain(it.ox_hi..g.ow))
+                } else {
+                    Box::new(0..g.ow)
+                };
+                for ox in cols {
+                    let (vals, bad) = self.border_pixel::<FP16>(x, g, wb, bv, b, real, oy, ox);
+                    self.commit_tile(g, bias, act, x, b, real, oy, ox, &[vals], bad, out);
+                    if bad {
+                        nscal += real as u64;
+                    } else {
+                        nvec += real as u64;
+                    }
+                }
+            }
+        }
+        note_vector_values(nvec);
+        note_scalar_values(nscal);
+    }
+
+    fn run_dw<const FP16: bool>(
+        &self,
+        g: &ConvGeom,
+        it: &Interior,
+        bias: &[f32],
+        act: Option<Activation>,
+        x: &[f32],
+        out: &mut [f32],
+    ) {
+        let blocks = g.out_channels.div_ceil(LANES);
+        let (mut nvec, mut nscal) = (0u64, 0u64);
+        for b in 0..blocks {
+            let real = (g.out_channels - b * LANES).min(LANES);
+            let wb = &self.w[b];
+            let bv = self.bias_v[b];
+            for oy in 0..g.oh {
+                for ox in 0..g.ow {
+                    let _ = it; // depthwise walks every pixel bounds-checked
+                    let (vals, bad) = self.border_pixel::<FP16>(x, g, wb, bv, b, real, oy, ox);
+                    self.commit_tile(g, bias, act, x, b, real, oy, ox, &[vals], bad, out);
+                    if bad {
+                        nscal += real as u64;
+                    } else {
+                        nvec += real as u64;
+                    }
+                }
+            }
+        }
+        note_vector_values(nvec);
+        note_scalar_values(nscal);
+    }
+
+    /// Stores a good tile, or redoes every pixel of a trapped one through
+    /// the exact scalar path.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_tile(
+        &self,
+        g: &ConvGeom,
+        bias: &[f32],
+        act: Option<Activation>,
+        x: &[f32],
+        b: usize,
+        real: usize,
+        oy: usize,
+        ox0: usize,
+        vals: &[[f32; LANES]],
+        bad: bool,
+        out: &mut [f32],
+    ) {
+        if bad {
+            note_fp16_redo();
+            for (t, _) in vals.iter().enumerate() {
+                for l in 0..real {
+                    let oc = b * LANES + l;
+                    let sum = self.scalar_pixel_f16(x, g, oc, oy, ox0 + t);
+                    let v = sum + bias.get(oc).copied().unwrap_or(0.0);
+                    out[self.out_index(g, oc, oy, ox0 + t)] = apply_act(act, v);
+                }
+            }
+        } else {
+            for (t, v) in vals.iter().enumerate() {
+                self.store8(g, act, b, real, oy, ox0 + t, v, out);
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn out_index(&self, g: &ConvGeom, oc: usize, oy: usize, ox: usize) -> usize {
+        self.layout_out
+            .index([g.out_channels, g.oh, g.ow], oc, oy, ox)
+    }
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn store8(
+        &self,
+        g: &ConvGeom,
+        act: Option<Activation>,
+        b: usize,
+        real: usize,
+        oy: usize,
+        ox: usize,
+        vals: &[f32; LANES],
+        out: &mut [f32],
+    ) {
+        match self.layout_out {
+            Layout::Chw => {
+                for (l, &v) in vals.iter().enumerate().take(real) {
+                    out[((b * LANES + l) * g.oh + oy) * g.ow + ox] = apply_act(act, v);
+                }
+            }
+            // Contiguous 8-lane vector store; pad lanes written as explicit
+            // zeros so blocked buffers stay clean for downstream converts.
+            Layout::Chwc8 => {
+                let mut sv = [0.0f32; LANES];
+                for l in 0..real {
+                    sv[l] = apply_act(act, vals[l]);
+                }
+                let o = ((b * g.oh + oy) * g.ow + ox) * LANES;
+                out[o..o + LANES].copy_from_slice(&sv);
+            }
+            Layout::Nhwc => {
+                let o = (oy * g.ow + ox) * g.out_channels + b * LANES;
+                for (l, &v) in vals.iter().enumerate().take(real) {
+                    out[o + l] = apply_act(act, v);
+                }
+            }
+        }
+    }
+
+    /// One output pixel with bounds-checked taps, 8 lanes wide. Serves
+    /// border pixels of standard convs and every depthwise pixel. In-bounds
+    /// taps follow the exact dense order; FP16 chunk positions count only
+    /// in-bounds taps, matching the reference border semantics.
+    #[allow(clippy::too_many_arguments)]
+    fn border_pixel<const FP16: bool>(
+        &self,
+        x: &[f32],
+        g: &ConvGeom,
+        wb: &[[f32; LANES]],
+        bv: [f32; LANES],
+        b: usize,
+        real: usize,
+        oy: usize,
+        ox: usize,
+    ) -> ([f32; LANES], bool) {
+        let mut acc = if FP16 { [0.0f32; LANES] } else { bv };
+        let mut carry = [0.0f64; LANES];
+        let mut maxa = [0.0f32; LANES];
+        let mut ic = 0usize;
+        for (tap, &(c_in, dy, dx)) in self.taps.iter().enumerate() {
+            let iy = (oy * g.s) as isize + dy;
+            let ix = (ox * g.s) as isize + dx;
+            if iy < 0 || iy >= g.ih as isize || ix < 0 || ix >= g.iw as isize {
+                continue;
+            }
+            let (iy, ix) = (iy as usize, ix as usize);
+            let xv: [f32; LANES] = if self.depthwise {
+                self.dw_load(x, g, b, real, iy, ix)
+            } else {
+                [x[self.layout_in.index(g.in_shape, c_in, iy, ix)]; LANES]
+            };
+            let wv = wb[tap];
+            let mut p = [0.0f32; LANES];
+            for l in 0..LANES {
+                p[l] = xv[l] * wv[l];
+            }
+            if FP16 {
+                for l in 0..LANES {
+                    maxa[l] = maxa[l].max(p[l].abs());
+                }
+                let p = round8(p);
+                let mut s = [0.0f32; LANES];
+                for l in 0..LANES {
+                    s[l] = acc[l] + p[l];
+                }
+                for l in 0..LANES {
+                    maxa[l] = maxa[l].max(s[l].abs());
+                }
+                acc = round8(s);
+                ic += 1;
+                if ic == self.chunk {
+                    for l in 0..LANES {
+                        carry[l] += f64::from(acc[l]);
+                        acc[l] = 0.0;
+                    }
+                    ic = 0;
+                }
+            } else {
+                for l in 0..LANES {
+                    acc[l] += p[l];
+                }
+            }
+        }
+        if FP16 {
+            let mut vals = [0.0f32; LANES];
+            let mut bad = false;
+            for l in 0..LANES {
+                vals[l] = (carry[l] + f64::from(acc[l])) as f32 + bv[l];
+                bad |= maxa[l] > F16_HI;
+            }
+            (vals, bad)
+        } else {
+            (acc, false)
+        }
+    }
+
+    /// 8 channel lanes of a depthwise input pixel; lanes past the real
+    /// channel count are zero (their weights are zero too).
+    #[inline(always)]
+    fn dw_load(
+        &self,
+        x: &[f32],
+        g: &ConvGeom,
+        b: usize,
+        real: usize,
+        iy: usize,
+        ix: usize,
+    ) -> [f32; LANES] {
+        let mut v = [0.0f32; LANES];
+        match self.layout_in {
+            Layout::Nhwc => {
+                let o = (iy * g.iw + ix) * g.in_shape[0] + b * LANES;
+                v[..real].copy_from_slice(&x[o..o + real]);
+            }
+            Layout::Chw => {
+                for (l, lane) in v.iter_mut().enumerate().take(real) {
+                    *lane = x[((b * LANES + l) * g.ih + iy) * g.iw + ix];
+                }
+            }
+            Layout::Chwc8 => {
+                for (l, lane) in v.iter_mut().enumerate().take(real) {
+                    *lane = x[Layout::Chwc8.index(g.in_shape, b * LANES + l, iy, ix)];
+                }
+            }
+        }
+        v
+    }
+
+    /// Exact scalar redo of one output pixel (pre-bias sum), byte-for-byte
+    /// the reference folded walk: [`round_f16`] on every product and
+    /// partial, chunk positions counting in-bounds taps only.
+    pub(crate) fn scalar_pixel_f16(
+        &self,
+        x: &[f32],
+        g: &ConvGeom,
+        oc: usize,
+        oy: usize,
+        ox: usize,
+    ) -> f32 {
+        let (b, l) = (oc / LANES, oc % LANES);
+        let mut carry = 0.0f64;
+        let mut acc = 0.0f32;
+        let mut ic = 0usize;
+        for (tap, &(c_in, dy, dx)) in self.taps.iter().enumerate() {
+            let iy = (oy * g.s) as isize + dy;
+            let ix = (ox * g.s) as isize + dx;
+            if iy < 0 || iy >= g.ih as isize || ix < 0 || ix >= g.iw as isize {
+                continue;
+            }
+            let c = if self.depthwise { oc } else { c_in };
+            let xv = x[self
+                .layout_in
+                .index(g.in_shape, c, iy as usize, ix as usize)];
+            acc = round_f16(acc + round_f16(xv * self.w[b][tap][l]));
+            ic += 1;
+            if ic == self.chunk {
+                carry += f64::from(acc);
+                acc = 0.0;
+                ic = 0;
+            }
+        }
+        (carry + f64::from(acc)) as f32
+    }
+}
+
+/// The interior micro-kernel: `T` output pixels × 8 output channels advance
+/// through every tap with precomputed physical deltas (no bounds checks).
+/// Returns biased pre-activation values and the FP16 range-trap flag.
+#[inline(always)]
+fn std_tile<const T: usize, const FP16: bool>(
+    x: &[f32],
+    wb: &[[f32; LANES]],
+    deltas: &[isize],
+    base: usize,
+    xs: usize,
+    bv: [f32; LANES],
+    chunk: usize,
+) -> ([[f32; LANES]; T], bool) {
+    let mut acc = [[0.0f32; LANES]; T];
+    if !FP16 {
+        acc.fill(bv);
+    }
+    let mut carry = [[0.0f64; LANES]; T];
+    let mut maxa = [0.0f32; LANES];
+    let ntaps = deltas.len();
+    let full = if FP16 { ntaps / chunk } else { 0 };
+    let mut tap = 0usize;
+    for _ in 0..full {
+        for _ in 0..chunk {
+            std_step::<T, FP16>(x, wb[tap], deltas[tap], base, xs, &mut acc, &mut maxa);
+            tap += 1;
+        }
+        for t in 0..T {
+            for l in 0..LANES {
+                carry[t][l] += f64::from(acc[t][l]);
+                acc[t][l] = 0.0;
+            }
+        }
+    }
+    while tap < ntaps {
+        std_step::<T, FP16>(x, wb[tap], deltas[tap], base, xs, &mut acc, &mut maxa);
+        tap += 1;
+    }
+    let mut bad = false;
+    if FP16 {
+        let mut vals = [[0.0f32; LANES]; T];
+        for t in 0..T {
+            for l in 0..LANES {
+                vals[t][l] = (carry[t][l] + f64::from(acc[t][l])) as f32 + bv[l];
+            }
+        }
+        for m in maxa {
+            bad |= m > F16_HI;
+        }
+        (vals, bad)
+    } else {
+        (acc, false)
+    }
+}
+
+/// One tap of the interior micro-kernel: broadcast the input value of each
+/// tile position, multiply against 8 weight lanes, round (FP16) and
+/// accumulate. `maxa` records every magnitude fed to [`round8`].
+#[inline(always)]
+fn std_step<const T: usize, const FP16: bool>(
+    x: &[f32],
+    wv: [f32; LANES],
+    delta: isize,
+    base: usize,
+    xs: usize,
+    acc: &mut [[f32; LANES]; T],
+    maxa: &mut [f32; LANES],
+) {
+    let src = (base as isize + delta) as usize;
+    for t in 0..T {
+        let xv = x[src + t * xs];
+        let mut p = [0.0f32; LANES];
+        for l in 0..LANES {
+            p[l] = xv * wv[l];
+        }
+        if FP16 {
+            for l in 0..LANES {
+                maxa[l] = maxa[l].max(p[l].abs());
+            }
+            let p = round8(p);
+            let mut s = [0.0f32; LANES];
+            for l in 0..LANES {
+                s[l] = acc[t][l] + p[l];
+            }
+            for l in 0..LANES {
+                maxa[l] = maxa[l].max(s[l].abs());
+            }
+            acc[t] = round8(s);
+        } else {
+            for l in 0..LANES {
+                acc[t][l] += p[l];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trtsim_util::rng::Pcg32;
+
+    #[test]
+    fn round_f16_slice_matches_scalar_round_f16() {
+        let mut vals: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            1.0 / 3.0,
+            -1.0 / 3.0,
+            6.103_515_6e-5, // smallest normal f16
+            -6.103_515_6e-5,
+            5.960_464_5e-8, // smallest subnormal f16
+            2.980_232_2e-8, // exactly half the smallest subnormal: tie
+            -2.980_232_3e-8,
+            1e-9,
+            -1e-9,
+            32_768.0,
+            -32_768.0,
+            40_000.0,
+            65_504.0,
+            65_520.0, // overflow boundary
+            70_000.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+        ];
+        let mut rng = Pcg32::seed_from_u64(99);
+        for _ in 0..4096 {
+            vals.push(rng.normal() as f32);
+            vals.push((rng.normal() as f32) * 1e-5); // subnormal-heavy
+            vals.push((rng.normal() as f32) * 1e4);
+        }
+        let mut lanes = vals.clone();
+        let finite = round_f16_slice(&mut lanes);
+        assert!(!finite, "infinities must be reported non-finite");
+        for (&src, &got) in vals.iter().zip(&lanes) {
+            let want = round_f16(src);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "round_f16_slice({src:e}) = {got:e}, want {want:e}"
+            );
+        }
+        // All-finite slices report finite.
+        let mut small = vec![1.5f32, -0.25, 3.0e4, 1.0e-6, 0.0];
+        assert!(round_f16_slice(&mut small));
+    }
+
+    #[test]
+    fn lane_counters_are_monotone() {
+        let v0 = vector_lane_events();
+        let s0 = scalar_fallback_events();
+        note_vector_values(3);
+        note_scalar_values(2);
+        assert!(vector_lane_events() >= v0 + 3);
+        assert!(scalar_fallback_events() >= s0 + 2);
+    }
+}

@@ -18,6 +18,10 @@
 //!   accumulate in FP16, so *different tile sizes produce different results
 //!   on the same input* — the mechanism behind the paper's Finding 2 (output
 //!   labels differ across engine builds).
+//! * [`lanes`] — branch-free `[f32; 8]` lane-array micro-kernels behind the
+//!   prepared conv/FC paths, with per-tactic blocked data layouts (`CHWc8`,
+//!   `NHWC`) and an exact scalar-redo fallback that keeps FP16 rounding
+//!   bit-identical to the reference path.
 //! * [`generic`] — the un-optimized framework path: one naive im2col+GEMM
 //!   FP32 kernel per layer, with framework-glue overheads. This is the
 //!   baseline that TensorRT beats by 23–27× in Table VII.
@@ -27,6 +31,7 @@
 pub mod catalog;
 pub mod cost;
 pub mod generic;
+pub mod lanes;
 pub mod numeric;
 pub mod tactic;
 

@@ -13,21 +13,31 @@
 use trtsim_gpu::kernel::Precision;
 use trtsim_ir::arena::TensorArena;
 use trtsim_ir::graph::{Activation, ConvParams};
+use trtsim_ir::layout::{self, Layout, LANES};
 use trtsim_ir::tensor::Tensor;
 use trtsim_ir::weights::Weights;
 use trtsim_util::f16::{round_f16, QuantParams};
 
+use crate::lanes::{
+    note_scalar_values, note_vector_values, round8, round_f16_slice, LaneConv, F16_HI,
+};
 use crate::tactic::{AccumOrder, Tactic};
 
 /// Times the FP16 Veltkamp fast path hit a value outside its exact range and
-/// fell back to the snapshot + scalar redo (see `f16_interior_row`). Process
-/// lifetime, telemetry-only; the kernels crate stays free of the metrics
-/// dependency by exposing a raw monotonic count for upper layers to bridge.
+/// fell back to an exact scalar redo (a lane-kernel tile, or the legacy
+/// snapshot path in `f16_interior_row`). Process lifetime, telemetry-only;
+/// the kernels crate stays free of the metrics dependency by exposing a raw
+/// monotonic count for upper layers to bridge.
 static FP16_REDOS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Process-lifetime count of FP16 fast-path rollback/redo events.
 pub fn fp16_redo_events() -> u64 {
     FP16_REDOS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Records one FP16 rollback/redo event (lane tiles trap per tile).
+pub(crate) fn note_fp16_redo() {
+    FP16_REDOS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// Calibration scales for INT8 execution of one layer.
@@ -132,22 +142,52 @@ pub fn conv_forward(
     }
 }
 
+/// The blocked physical layout [`PreparedConv::with_layouts`] can exploit
+/// for this (params, tactic) pair, if any — the plan-time layout assignment
+/// queries this when deciding which activations leave canonical CHW.
+///
+/// The preference comes from the tactic family's kernel descriptor
+/// ([`crate::cost::preferred_layout`]): `CHWc8` for ungrouped convolutions
+/// (output-channel lanes, contiguous blocked stores), `NHWC` for depthwise
+/// ones (channel lanes, contiguous channel loads). `None` means the conv
+/// has no lane kernel — grouped non-depthwise shapes, pairwise FP16, and
+/// INT8 all stay on the legacy CHW paths.
+pub fn lane_layout(params: &ConvParams, tactic: &Tactic) -> Option<Layout> {
+    let prec_ok = match tactic.precision {
+        Precision::Fp32 => true,
+        Precision::Fp16 => tactic.accum != AccumOrder::Pairwise,
+        Precision::Int8 => false,
+    };
+    if !prec_ok {
+        return None;
+    }
+    let depthwise = params.groups > 1
+        && params.groups == params.in_channels
+        && params.groups == params.out_channels;
+    match crate::cost::preferred_layout(tactic) {
+        Layout::Chw => None,
+        pref if params.groups == 1 => Some(pref),
+        Layout::Nhwc if depthwise => Some(Layout::Nhwc),
+        _ => None,
+    }
+}
+
 /// Geometry of one convolution lowered against a concrete input shape.
 #[derive(Debug, Clone, Copy)]
-struct ConvGeom {
-    in_shape: [usize; 3],
-    ih: usize,
-    iw: usize,
-    oh: usize,
-    ow: usize,
-    kh: usize,
-    kw: usize,
-    s: usize,
-    ph: isize,
-    pw: isize,
-    cpg_in: usize,
-    cpg_out: usize,
-    out_channels: usize,
+pub(crate) struct ConvGeom {
+    pub(crate) in_shape: [usize; 3],
+    pub(crate) ih: usize,
+    pub(crate) iw: usize,
+    pub(crate) oh: usize,
+    pub(crate) ow: usize,
+    pub(crate) kh: usize,
+    pub(crate) kw: usize,
+    pub(crate) s: usize,
+    pub(crate) ph: isize,
+    pub(crate) pw: isize,
+    pub(crate) cpg_in: usize,
+    pub(crate) cpg_out: usize,
+    pub(crate) out_channels: usize,
 }
 
 impl ConvGeom {
@@ -178,11 +218,11 @@ impl ConvGeom {
 /// region where precomputed input offsets are valid and no per-tap bounds
 /// check is needed.
 #[derive(Debug, Clone, Copy)]
-struct Interior {
-    oy_lo: usize,
-    oy_hi: usize,
-    ox_lo: usize,
-    ox_hi: usize,
+pub(crate) struct Interior {
+    pub(crate) oy_lo: usize,
+    pub(crate) oy_hi: usize,
+    pub(crate) ox_lo: usize,
+    pub(crate) ox_hi: usize,
 }
 
 impl Interior {
@@ -205,7 +245,7 @@ impl Interior {
 }
 
 /// Chunk length of a folded FP16 accumulation (`usize::MAX` = never flush).
-fn fold_chunk(accum: AccumOrder) -> usize {
+pub(crate) fn fold_chunk(accum: AccumOrder) -> usize {
     match accum {
         AccumOrder::Chunked(c) => c.max(1) as usize,
         _ => usize::MAX,
@@ -214,7 +254,7 @@ fn fold_chunk(accum: AccumOrder) -> usize {
 
 /// Applies an optional fused activation to one output value.
 #[inline(always)]
-fn apply_act(activation: Option<Activation>, v: f32) -> f32 {
+pub(crate) fn apply_act(activation: Option<Activation>, v: f32) -> f32 {
     match activation {
         Some(a) => a.apply(v),
         None => v,
@@ -225,7 +265,7 @@ fn apply_act(activation: Option<Activation>, v: f32) -> f32 {
 /// its fast path. Only valid where [`fast_f16_ok`] holds — callers must
 /// check the predicate and fall back to [`round_f16`] otherwise.
 #[inline(always)]
-fn veltkamp_f16(v: f32) -> f32 {
+pub(crate) fn veltkamp_f16(v: f32) -> f32 {
     let c = v * 8193.0;
     c - (c - v)
 }
@@ -261,7 +301,7 @@ fn conv_fp16(
 /// The dense FP16 walk over every output pixel, with operands already on the
 /// binary16 grid. Shared by the per-call path ([`conv_fp16`]) and the
 /// prepared fallback paths.
-fn conv_fp16_dense(
+pub(crate) fn conv_fp16_dense(
     g: &ConvGeom,
     rx: &[f32],
     rw: &[f32],
@@ -504,7 +544,9 @@ pub fn fc_forward(
 pub fn apply_precision(tensor: &mut Tensor, precision: Precision) {
     match precision {
         Precision::Fp32 => {}
-        Precision::Fp16 => tensor.map_inplace(round_f16),
+        Precision::Fp16 => {
+            round_f16_slice(tensor.as_mut_slice());
+        }
         Precision::Int8 => {
             let q = QuantParams::calibrate(tensor.as_slice());
             tensor.map_inplace(|x| q.round_trip(x));
@@ -584,6 +626,11 @@ fn build_sparse<W: Copy>(
 /// Per-precision lowering of a prepared convolution.
 #[derive(Debug, Clone)]
 enum PreparedKind {
+    /// SIMD lane-array micro-kernels ([`crate::lanes`]): 8 channels advance
+    /// in lockstep, operands in per-tactic physical layouts. No zero
+    /// elision — dense vector arithmetic beats sparse scalar walks by a
+    /// wide margin on the catalog's weight densities.
+    Lanes(LaneConv),
     /// FP32 sequential: reference order with zero terms elided.
     Fp32 {
         dense: Vec<f32>,
@@ -646,6 +693,8 @@ pub struct PreparedConv {
     bias: Vec<f32>,
     tactic: Tactic,
     kind: PreparedKind,
+    layout_in: Layout,
+    layout_out: Layout,
 }
 
 impl PreparedConv {
@@ -662,6 +711,31 @@ impl PreparedConv {
         tactic: &Tactic,
         quant: Option<&QuantDesc>,
     ) -> Self {
+        Self::with_layouts(params, in_shape, tactic, quant, Layout::Chw, Layout::Chw)
+    }
+
+    /// Like [`PreparedConv::new`], but with the input consumed and the
+    /// output produced in explicit physical layouts.
+    ///
+    /// `in_shape` is always the *logical* CHW shape; [`PreparedConv::run`]
+    /// then expects the input tensor in `layout_in`'s physical shape and
+    /// returns the output in `layout_out`'s. Results are bit-identical to
+    /// the canonical layouts for every assignment (layout conversion is a
+    /// pure permutation and the lane kernels preserve accumulation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in addition to [`PreparedConv::new`]'s conditions) when a
+    /// non-CHW layout is requested for a conv that has no lane kernel
+    /// (see [`lane_layout`]) — the legacy prepared paths are CHW-only.
+    pub fn with_layouts(
+        params: &ConvParams,
+        in_shape: [usize; 3],
+        tactic: &Tactic,
+        quant: Option<&QuantDesc>,
+        layout_in: Layout,
+        layout_out: Layout,
+    ) -> Self {
         let geom = ConvGeom::of(params, in_shape);
         let interior = Interior::of(params, &geom);
         let dense = params.weights.materialize().into_owned();
@@ -669,6 +743,24 @@ impl PreparedConv {
             dense.len(),
             params.expected_weight_len(),
             "conv weight length mismatch"
+        );
+        let bias: Vec<f32> = params.bias.iter().collect();
+        if let Some(lanes) =
+            LaneConv::build(params, &geom, tactic, &dense, &bias, layout_in, layout_out)
+        {
+            return Self {
+                geom,
+                interior,
+                bias,
+                tactic: tactic.clone(),
+                kind: PreparedKind::Lanes(lanes),
+                layout_in,
+                layout_out,
+            };
+        }
+        assert!(
+            layout_in == Layout::Chw && layout_out == Layout::Chw,
+            "legacy prepared conv paths are CHW-only"
         );
         let kind = match tactic.precision {
             Precision::Fp32 => {
@@ -706,9 +798,11 @@ impl PreparedConv {
         Self {
             geom,
             interior,
-            bias: params.bias.iter().collect(),
+            bias,
             tactic: tactic.clone(),
             kind,
+            layout_in,
+            layout_out,
         }
     }
 
@@ -717,16 +811,32 @@ impl PreparedConv {
         [self.geom.out_channels, self.geom.oh, self.geom.ow]
     }
 
+    /// The (input, output) physical layouts this conv was prepared for.
+    pub fn layouts(&self) -> (Layout, Layout) {
+        (self.layout_in, self.layout_out)
+    }
+
+    /// Physical shape [`PreparedConv::run`] expects its input tensor in.
+    pub fn in_physical_shape(&self) -> [usize; 3] {
+        self.layout_in.physical_shape(self.geom.in_shape)
+    }
+
+    /// Physical shape of the tensor [`PreparedConv::run`] returns.
+    pub fn out_physical_shape(&self) -> [usize; 3] {
+        self.layout_out.physical_shape(self.out_shape())
+    }
+
     /// Multiply terms evaluated per interior output pixel after zero
     /// elision, summed over output channels (the dense count for pairwise
-    /// tactics, which cannot elide).
+    /// tactics and for the lane kernels, which trade elision for vector
+    /// arithmetic).
     pub fn live_terms(&self) -> usize {
         match &self.kind {
             PreparedKind::Fp32 { sparse, .. } | PreparedKind::Fp16 { sparse, .. } => {
                 sparse.iter().map(Vec::len).sum()
             }
             PreparedKind::Int8 { sparse, .. } => sparse.iter().map(Vec::len).sum(),
-            PreparedKind::Fp16Pairwise { .. } => self.dense_terms(),
+            PreparedKind::Fp16Pairwise { .. } | PreparedKind::Lanes(_) => self.dense_terms(),
         }
     }
 
@@ -737,19 +847,26 @@ impl PreparedConv {
     }
 
     /// Executes the convolution; bit-identical (under `f32` equality) to
-    /// [`conv_forward`] with the same tactic and calibration.
+    /// [`conv_forward`] with the same tactic and calibration, modulo the
+    /// prepared layouts' pure permutation of element positions.
     ///
     /// # Panics
     ///
-    /// Panics if `input` does not have the prepared shape.
+    /// Panics if `input` does not have the prepared physical shape.
     pub fn run(&self, params: &ConvParams, input: &Tensor, arena: &mut TensorArena) -> Tensor {
         assert_eq!(
             input.shape(),
-            self.geom.in_shape,
+            self.in_physical_shape(),
             "prepared conv input shape mismatch"
         );
+        if let PreparedKind::Lanes(lanes) = &self.kind {
+            return self.run_lanes(lanes, params, input, arena);
+        }
+        // Every value the legacy kinds produce comes from a scalar walk.
+        note_scalar_values((self.geom.out_channels * self.geom.oh * self.geom.ow) as u64);
         let mut out = arena.alloc_zeroed(self.out_shape());
         match &self.kind {
+            PreparedKind::Lanes(_) => unreachable!("handled above"),
             PreparedKind::Fp32 { dense, sparse } => {
                 if input.as_slice().iter().all(|v| v.is_finite()) {
                     self.run_f32(sparse, input.as_slice(), params.activation, &mut out);
@@ -814,6 +931,81 @@ impl PreparedConv {
                 self.run_i8(sparse, &qx, *out_scale, params.activation, &mut out);
             }
         }
+        out
+    }
+
+    /// The lane-array fast path. FP32 runs unconditionally (exact reference
+    /// order, non-finite values propagate identically); FP16 rounds the
+    /// input onto the binary16 grid first and drops to the exact dense CHW
+    /// walk when the input or weights carry non-finite values (`0·∞` is
+    /// invisible to the lane kernels' magnitude trap).
+    fn run_lanes(
+        &self,
+        lanes: &LaneConv,
+        params: &ConvParams,
+        input: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Tensor {
+        let mut out = arena.alloc_zeroed(self.out_physical_shape());
+        if !lanes.fp16 {
+            lanes.run(
+                &self.geom,
+                &self.interior,
+                &self.bias,
+                params.activation,
+                input.as_slice(),
+                out.as_mut_slice(),
+            );
+            return out;
+        }
+        let mut rx = arena.take_buffer(input.len());
+        rx.copy_from_slice(input.as_slice());
+        let finite = round_f16_slice(&mut rx);
+        if finite && !lanes.force_dense {
+            lanes.run(
+                &self.geom,
+                &self.interior,
+                &self.bias,
+                params.activation,
+                &rx,
+                out.as_mut_slice(),
+            );
+        } else {
+            // Exact dense fallback in canonical CHW, converted at the edges
+            // (conversion is a pure permutation, so bit-exactness holds).
+            note_scalar_values((self.geom.out_channels * self.geom.oh * self.geom.ow) as u64);
+            let logical_in = self.geom.in_shape;
+            let mut chw = arena.take_buffer(logical_in.iter().product());
+            if lanes.layout_in == Layout::Chw {
+                chw.copy_from_slice(&rx);
+            } else {
+                layout::convert_into(&rx, logical_in, lanes.layout_in, Layout::Chw, &mut chw);
+            }
+            let mut tmp = arena.alloc_zeroed(self.out_shape());
+            conv_fp16_dense(
+                &self.geom,
+                &chw,
+                &lanes.rdense,
+                &self.bias,
+                &self.tactic,
+                params.activation,
+                &mut tmp,
+            );
+            if lanes.layout_out == Layout::Chw {
+                out.as_mut_slice().copy_from_slice(tmp.as_slice());
+            } else {
+                layout::convert_into(
+                    tmp.as_slice(),
+                    self.out_shape(),
+                    Layout::Chw,
+                    lanes.layout_out,
+                    out.as_mut_slice(),
+                );
+            }
+            arena.release(tmp);
+            arena.give_buffer(chw);
+        }
+        arena.give_buffer(rx);
         out
     }
 
@@ -1079,6 +1271,44 @@ pub struct PreparedFc {
     bias: Vec<f32>,
     out_features: usize,
     tactic: Tactic,
+    lanes: Option<FcLanes>,
+}
+
+/// FC weights repacked for the lane micro-kernel: `[block][tap]` gives the
+/// weight lanes of 8 consecutive output features at input tap `tap`, so the
+/// inner loop broadcasts one input value against a contiguous vector.
+#[derive(Debug, Clone)]
+struct FcLanes {
+    /// Split-K flush period in taps (`usize::MAX`: never flush).
+    chunk: usize,
+    w: Vec<Vec<[f32; LANES]>>,
+    bias_v: Vec<[f32; LANES]>,
+}
+
+impl FcLanes {
+    fn build(weights: &[f32], bias: &[f32], out_features: usize, chunk: usize) -> Self {
+        let in_features = weights.len() / out_features.max(1);
+        let blocks = out_features.div_ceil(LANES);
+        let mut w = Vec::with_capacity(blocks);
+        let mut bias_v = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let mut wb = vec![[0.0f32; LANES]; in_features];
+            let mut bv = [0.0f32; LANES];
+            for l in 0..LANES {
+                let o = b * LANES + l;
+                if o >= out_features {
+                    break;
+                }
+                bv[l] = bias.get(o).copied().unwrap_or(0.0);
+                for (tap, lane) in wb.iter_mut().enumerate() {
+                    lane[l] = weights[o * in_features + tap];
+                }
+            }
+            w.push(wb);
+            bias_v.push(bv);
+        }
+        Self { chunk, w, bias_v }
+    }
 }
 
 impl PreparedFc {
@@ -1090,16 +1320,35 @@ impl PreparedFc {
     /// catalog are FP16/FP32 only).
     pub fn new(weights: &Weights, bias: &Weights, out_features: usize, tactic: &Tactic) -> Self {
         let w = weights.materialize();
-        let weights = match tactic.precision {
+        let weights: Vec<f32> = match tactic.precision {
             Precision::Fp32 => w.into_owned(),
             Precision::Fp16 => w.iter().map(|&v| round_f16(v)).collect(),
             Precision::Int8 => panic!("INT8 fully-connected tactics are not in the catalog"),
         };
+        let bias: Vec<f32> = bias.iter().collect();
+        let lanes = match tactic.precision {
+            Precision::Fp32 => Some(FcLanes::build(&weights, &bias, out_features, usize::MAX)),
+            // Pairwise trees can't lane (shape depends on term count);
+            // non-finite rounded weights would hide 0·∞ from the trap.
+            Precision::Fp16
+                if tactic.accum != AccumOrder::Pairwise
+                    && weights.iter().all(|v| v.is_finite()) =>
+            {
+                Some(FcLanes::build(
+                    &weights,
+                    &bias,
+                    out_features,
+                    fold_chunk(tactic.accum),
+                ))
+            }
+            _ => None,
+        };
         Self {
             weights,
-            bias: bias.iter().collect(),
+            bias,
             out_features,
             tactic: tactic.clone(),
+            lanes,
         }
     }
 
@@ -1122,6 +1371,14 @@ impl PreparedFc {
             "fc weight mismatch"
         );
         if self.tactic.precision == Precision::Fp32 {
+            // FP32 lanes replay the reference order exactly (bias-start,
+            // sequential taps), so they need no finiteness guard.
+            if let Some(lanes) = &self.lanes {
+                let mut out = arena.alloc_zeroed([self.out_features, 1, 1]);
+                self.run_lanes_f32(lanes, input.as_slice(), activation, &mut out);
+                return out;
+            }
+            note_scalar_values(self.out_features as u64);
             return trtsim_ir::ops::inner_product(
                 input,
                 &self.weights,
@@ -1131,12 +1388,122 @@ impl PreparedFc {
             );
         }
         let mut rx = arena.take_buffer(in_features);
-        for (r, &v) in rx.iter_mut().zip(input.as_slice()) {
-            *r = round_f16(v);
+        rx.copy_from_slice(input.as_slice());
+        let finite = round_f16_slice(&mut rx);
+        let mut out = arena.alloc_zeroed([self.out_features, 1, 1]);
+        match &self.lanes {
+            // Non-finite inputs would hide 0·∞ from the magnitude trap;
+            // take the exact reducer walk instead.
+            Some(lanes) if finite => self.run_lanes_f16(lanes, &rx, activation, &mut out),
+            _ => {
+                note_scalar_values(self.out_features as u64);
+                self.run_reducer_f16(&rx, activation, &mut out);
+            }
         }
+        arena.give_buffer(rx);
+        out
+    }
+
+    /// FP32 lane kernel: 8 output features advance together; per feature
+    /// the f32 operations and their order are exactly the reference
+    /// `inner_product` walk, so the result is bitwise identical.
+    fn run_lanes_f32(
+        &self,
+        lanes: &FcLanes,
+        x: &[f32],
+        activation: Option<Activation>,
+        out: &mut Tensor,
+    ) {
+        for (b, wb) in lanes.w.iter().enumerate() {
+            let real = (self.out_features - b * LANES).min(LANES);
+            let mut acc = lanes.bias_v[b];
+            for (wv, &xv) in wb.iter().zip(x) {
+                for l in 0..LANES {
+                    acc[l] += xv * wv[l];
+                }
+            }
+            for (l, &a) in acc.iter().enumerate().take(real) {
+                *out.at_mut(b * LANES + l, 0, 0) = apply_act(activation, a);
+            }
+        }
+        note_vector_values(self.out_features as u64);
+    }
+
+    /// FP16 lane kernel with the magnitude trap: any block that fed a value
+    /// beyond the branch-free rounder's exact range to [`round8`] is redone
+    /// through the exact [`Reducer`] path.
+    fn run_lanes_f16(
+        &self,
+        lanes: &FcLanes,
+        rx: &[f32],
+        activation: Option<Activation>,
+        out: &mut Tensor,
+    ) {
+        let in_features = rx.len();
+        for (b, wb) in lanes.w.iter().enumerate() {
+            let real = (self.out_features - b * LANES).min(LANES);
+            let mut acc = [0.0f32; LANES];
+            let mut carry = [0.0f64; LANES];
+            let mut maxa = [0.0f32; LANES];
+            let mut ic = 0usize;
+            for (wv, &xv) in wb.iter().zip(rx) {
+                let mut p = [0.0f32; LANES];
+                for l in 0..LANES {
+                    p[l] = xv * wv[l];
+                }
+                for l in 0..LANES {
+                    maxa[l] = maxa[l].max(p[l].abs());
+                }
+                let p = round8(p);
+                let mut s = [0.0f32; LANES];
+                for l in 0..LANES {
+                    s[l] = acc[l] + p[l];
+                }
+                for l in 0..LANES {
+                    maxa[l] = maxa[l].max(s[l].abs());
+                }
+                acc = round8(s);
+                ic += 1;
+                if ic == lanes.chunk {
+                    for l in 0..LANES {
+                        carry[l] += f64::from(acc[l]);
+                        acc[l] = 0.0;
+                    }
+                    ic = 0;
+                }
+            }
+            if maxa.iter().any(|&m| m > F16_HI) {
+                note_fp16_redo();
+                note_scalar_values(real as u64);
+                let mut reducer = Reducer::for_tactic(&self.tactic);
+                let mut terms = Vec::with_capacity(in_features);
+                for l in 0..real {
+                    let o = b * LANES + l;
+                    terms.clear();
+                    let row = &self.weights[o * in_features..(o + 1) * in_features];
+                    for (xi, wi) in rx.iter().zip(row) {
+                        terms.push(round_f16(xi * wi));
+                    }
+                    let v = reducer.reduce(&terms) + self.bias.get(o).copied().unwrap_or(0.0);
+                    *out.at_mut(o, 0, 0) = apply_act(activation, v);
+                }
+            } else {
+                note_vector_values(real as u64);
+                for l in 0..real {
+                    let o = b * LANES + l;
+                    let v = (carry[l] + f64::from(acc[l])) as f32
+                        + self.bias.get(o).copied().unwrap_or(0.0);
+                    *out.at_mut(o, 0, 0) = apply_act(activation, v);
+                }
+            }
+        }
+    }
+
+    /// The legacy exact FP16 walk (`rx` already on the binary16 grid).
+    fn run_reducer_f16(&self, rx: &[f32], activation: Option<Activation>, out: &mut Tensor) {
+        let in_features = rx.len();
         let mut reducer = Reducer::for_tactic(&self.tactic);
         let mut terms = Vec::with_capacity(in_features);
-        let mut out = arena.alloc_zeroed([self.out_features, 1, 1]);
         for o in 0..self.out_features {
             terms.clear();
             let row = &self.weights[o * in_features..(o + 1) * in_features];
@@ -1144,13 +1511,8 @@ impl PreparedFc {
                 terms.push(round_f16(xi * wi));
             }
             let acc = reducer.reduce(&terms) + self.bias.get(o).copied().unwrap_or(0.0);
-            *out.at_mut(o, 0, 0) = match activation {
-                Some(a) => a.apply(acc),
-                None => acc,
-            };
+            *out.at_mut(o, 0, 0) = apply_act(activation, acc);
         }
-        arena.give_buffer(rx);
-        out
     }
 }
 
@@ -1429,15 +1791,165 @@ mod tests {
 
     #[test]
     fn prepared_elides_pruned_terms() {
-        let mut params = test_conv(61);
+        // Grouped (non-depthwise) convs stay on the legacy sparse path,
+        // which elides zero weights; lane-kernel convs run dense.
+        let mut params = strided_conv(61);
         prune(&mut params, 0.2);
-        let p = PreparedConv::new(&params, [8, 8, 8], &Tactic::conv_hmma(128, 64, ""), None);
+        let p = PreparedConv::new(&params, [4, 9, 8], &Tactic::conv_hmma(128, 64, ""), None);
         assert!(
             p.live_terms() < p.dense_terms(),
             "{} !< {}",
             p.live_terms(),
             p.dense_terms()
         );
+        let square = PreparedConv::new(
+            &test_conv(61),
+            [8, 8, 8],
+            &Tactic::conv_hmma(128, 64, ""),
+            None,
+        );
+        assert_eq!(square.live_terms(), square.dense_terms(), "lanes run dense");
+    }
+
+    /// Runs `params` under every (layout_in, layout_out) pair, converting
+    /// the input/output at the edges, and asserts bitwise identity with the
+    /// canonical CHW result.
+    fn assert_layouts_match(params: &ConvParams, input: &Tensor, tactic: &Tactic) {
+        let want = conv_forward(params, input, tactic, None);
+        let all = [Layout::Chw, Layout::Nhwc, Layout::Chwc8];
+        for li in all {
+            for lo in all {
+                let prepared =
+                    PreparedConv::with_layouts(params, input.shape(), tactic, None, li, lo);
+                assert_eq!(prepared.layouts(), (li, lo));
+                let phys_in = Tensor::from_vec(
+                    prepared.in_physical_shape(),
+                    layout::convert(input.as_slice(), input.shape(), Layout::Chw, li),
+                );
+                let mut arena = TensorArena::new();
+                let phys_out = prepared.run(params, &phys_in, &mut arena);
+                assert_eq!(phys_out.shape(), prepared.out_physical_shape());
+                let back = layout::convert(phys_out.as_slice(), want.shape(), lo, Layout::Chw);
+                for (i, (a, b)) in back.iter().zip(want.as_slice()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{li:?}->{lo:?} elem {i}: {a:e} vs {b:e} under {:?}",
+                        tactic.accum
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_layouts_bit_identical_fp32() {
+        assert_layouts_match(&test_conv(81), &test_input(82), &Tactic::conv_fp32(128, 64));
+    }
+
+    #[test]
+    fn lane_layouts_bit_identical_fp16_orders() {
+        let mut seq = Tactic::conv_hmma(128, 64, "");
+        seq.accum = AccumOrder::Sequential;
+        let mut chunk_small = Tactic::conv_hmma(128, 64, "");
+        chunk_small.accum = AccumOrder::Chunked(4);
+        for tactic in [Tactic::conv_hmma(128, 64, ""), chunk_small, seq] {
+            assert_layouts_match(&test_conv(83), &test_input(84), &tactic);
+        }
+    }
+
+    /// Channel count not a multiple of 8 exercises blocked pad lanes and a
+    /// partial final lane block.
+    #[test]
+    fn lane_layouts_bit_identical_ragged_channels() {
+        let mut rng = Pcg32::seed_from_u64(85);
+        let len = 10 * 6 * 3 * 3;
+        let params = ConvParams {
+            out_channels: 10,
+            in_channels: 6,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            pad_h: 1,
+            pad_w: 1,
+            groups: 1,
+            weights: Weights::Dense((0..len).map(|_| rng.normal() as f32 * 0.2).collect()),
+            bias: Weights::Dense((0..10).map(|_| rng.normal() as f32 * 0.1).collect()),
+            activation: Some(Activation::Relu),
+        };
+        let input = Tensor::from_fn([6, 7, 9], |_, _, _| rng.normal() as f32);
+        assert_layouts_match(&params, &input, &Tactic::conv_fp32(128, 64));
+        assert_layouts_match(&params, &input, &Tactic::conv_hmma(128, 64, ""));
+    }
+
+    #[test]
+    fn lane_layouts_bit_identical_depthwise() {
+        for channels in [4usize, 12] {
+            let mut rng = Pcg32::seed_from_u64(86 + channels as u64);
+            let params = ConvParams {
+                out_channels: channels,
+                in_channels: channels,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                pad_h: 1,
+                pad_w: 1,
+                groups: channels,
+                weights: Weights::Dense(
+                    (0..channels * 9)
+                        .map(|_| rng.normal() as f32 * 0.3)
+                        .collect(),
+                ),
+                bias: Weights::Dense((0..channels).map(|_| rng.normal() as f32 * 0.1).collect()),
+                activation: Some(Activation::Relu),
+            };
+            let input = Tensor::from_fn([channels, 6, 6], |_, _, _| rng.normal() as f32);
+            assert_layouts_match(&params, &input, &Tactic::conv_fp32(128, 64));
+            let mut dw = Tactic::conv_hmma(64, 64, "");
+            dw.family = crate::tactic::TacticFamily::Depthwise;
+            assert_layouts_match(&params, &input, &dw);
+        }
+    }
+
+    #[test]
+    fn lane_non_finite_falls_back_dense_under_layouts() {
+        let params = test_conv(87);
+        let mut input = test_input(88);
+        *input.at_mut(0, 0, 0) = f32::INFINITY;
+        *input.at_mut(5, 3, 2) = f32::NAN;
+        for tactic in [Tactic::conv_fp32(128, 64), Tactic::conv_hmma(128, 64, "")] {
+            assert_layouts_match(&params, &input, &tactic);
+        }
+    }
+
+    #[test]
+    fn lane_layout_descriptor_matches_eligibility() {
+        let square = test_conv(89);
+        assert_eq!(
+            lane_layout(&square, &Tactic::conv_hmma(128, 64, "")),
+            Some(Layout::Chwc8)
+        );
+        assert_eq!(
+            lane_layout(&square, &Tactic::conv_fp32(128, 64)),
+            Some(Layout::Chwc8)
+        );
+        let mut pair = Tactic::conv_hmma(128, 64, "");
+        pair.accum = AccumOrder::Pairwise;
+        assert_eq!(lane_layout(&square, &pair), None);
+        assert_eq!(lane_layout(&square, &Tactic::conv_int8(128, 64)), None);
+        // Grouped non-depthwise: no lane kernel.
+        assert_eq!(
+            lane_layout(&strided_conv(90), &Tactic::conv_hmma(128, 64, "")),
+            None
+        );
+        // Depthwise prefers NHWC under a depthwise tactic.
+        let mut dw_params = strided_conv(91);
+        dw_params.groups = 4;
+        dw_params.in_channels = 4;
+        dw_params.out_channels = 4;
+        let mut dw = Tactic::conv_hmma(64, 64, "");
+        dw.family = crate::tactic::TacticFamily::Depthwise;
+        assert_eq!(lane_layout(&dw_params, &dw), Some(Layout::Nhwc));
     }
 
     #[test]

@@ -6,6 +6,18 @@
 //! benchmarks and the fast-path plan can report how much the arena saves —
 //! the analog of TensorRT binding its activations to one shared region
 //! instead of per-tensor allocations.
+//!
+//! Two ratios fall out, and they answer different questions:
+//!
+//! * [`ArenaStats::footprint_ratio`] — peak-live over keep-everything bytes.
+//!   *Lower* is better: it is the fraction of an interpreter's activation
+//!   memory the plan actually needs. (Early reports published this under the
+//!   name `arena_utilization`, where its low values read as embarrassing;
+//!   it was measuring savings, not utilization.)
+//! * [`ArenaStats::utilization`] — peak-live over the bytes the arena
+//!   actually *provisions* for its size-classed slots. *Higher* is better:
+//!   it is how full the provisioned slots are at the liveness peak, i.e.
+//!   how little slack the size classes carve beyond what the plan uses.
 
 /// Static activation-memory footprint of one execution plan.
 ///
@@ -14,9 +26,10 @@
 /// ```
 /// use trtsim_metrics::memory::ArenaStats;
 ///
-/// let stats = ArenaStats::new(2048, 16384, 3, 12);
-/// assert!(stats.utilization() < 0.2);
+/// let stats = ArenaStats::new(2048, 16384, 4096, 3, 12);
+/// assert!(stats.footprint_ratio() < 0.2);
 /// assert_eq!(stats.savings_percent(), 87.5);
+/// assert_eq!(stats.utilization(), 0.5);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArenaStats {
@@ -25,6 +38,9 @@ pub struct ArenaStats {
     /// Sum of every activation's bytes — what a keep-everything
     /// interpreter holds at the end of a pass.
     pub total_activation_bytes: u64,
+    /// Bytes the arena provisions for the plan's slots: each slot sized to
+    /// the size class of the largest value it ever holds, summed.
+    pub slot_capacity_bytes: u64,
     /// Reusable buffer slots the plan needs.
     pub slot_count: usize,
     /// Values (activations) the plan produces.
@@ -36,20 +52,33 @@ impl ArenaStats {
     pub fn new(
         peak_live_bytes: u64,
         total_activation_bytes: u64,
+        slot_capacity_bytes: u64,
         slot_count: usize,
         value_count: usize,
     ) -> Self {
         Self {
             peak_live_bytes,
             total_activation_bytes,
+            slot_capacity_bytes,
             slot_count,
             value_count,
         }
     }
 
+    /// Peak live bytes over provisioned slot-capacity bytes: how full the
+    /// size-classed slots are at the liveness peak (1.0 = no slack carved;
+    /// 1.0 is also returned for empty plans with no capacity).
+    pub fn utilization(&self) -> f64 {
+        if self.slot_capacity_bytes == 0 {
+            return 1.0;
+        }
+        self.peak_live_bytes as f64 / self.slot_capacity_bytes as f64
+    }
+
     /// Peak live bytes over total bytes: the fraction of a keep-everything
     /// footprint the arena actually needs (1.0 when nothing can be freed).
-    pub fn utilization(&self) -> f64 {
+    /// Lower is better — this is a savings measure, not a utilization one.
+    pub fn footprint_ratio(&self) -> f64 {
         if self.total_activation_bytes == 0 {
             return 1.0;
         }
@@ -58,7 +87,7 @@ impl ArenaStats {
 
     /// Percentage of the keep-everything footprint the arena avoids.
     pub fn savings_percent(&self) -> f64 {
-        (1.0 - self.utilization()) * 100.0
+        (1.0 - self.footprint_ratio()) * 100.0
     }
 }
 
@@ -70,18 +99,34 @@ mod tests {
     fn deep_chain_peak_is_far_below_total() {
         // 12 equal activations, only a producer/consumer pair live at once.
         let per = 4 * 1024u64;
-        let stats = ArenaStats::new(2 * per, 12 * per, 3, 12);
+        let stats = ArenaStats::new(2 * per, 12 * per, 2 * per, 3, 12);
         assert!(stats.peak_live_bytes < stats.total_activation_bytes);
-        assert!(stats.utilization() <= 0.25, "{}", stats.utilization());
+        assert!(
+            stats.footprint_ratio() <= 0.25,
+            "{}",
+            stats.footprint_ratio()
+        );
         assert!(stats.savings_percent() >= 75.0);
+        assert_eq!(stats.utilization(), 1.0);
+    }
+
+    #[test]
+    fn slack_capacity_lowers_utilization() {
+        // Slots provisioned at 4x the peak -> quarter utilization, while the
+        // savings ratio is unaffected.
+        let stats = ArenaStats::new(1024, 8192, 4096, 2, 8);
+        assert_eq!(stats.utilization(), 0.25);
+        assert_eq!(stats.footprint_ratio(), 0.125);
     }
 
     #[test]
     fn degenerate_graph_uses_whole_footprint() {
-        let stats = ArenaStats::new(100, 100, 1, 1);
+        let stats = ArenaStats::new(100, 100, 100, 1, 1);
         assert_eq!(stats.utilization(), 1.0);
+        assert_eq!(stats.footprint_ratio(), 1.0);
         assert_eq!(stats.savings_percent(), 0.0);
         // Empty plans must not divide by zero.
-        assert_eq!(ArenaStats::new(0, 0, 0, 0).utilization(), 1.0);
+        assert_eq!(ArenaStats::new(0, 0, 0, 0, 0).utilization(), 1.0);
+        assert_eq!(ArenaStats::new(0, 0, 0, 0, 0).footprint_ratio(), 1.0);
     }
 }

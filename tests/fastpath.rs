@@ -8,12 +8,34 @@
 
 use proptest::prelude::*;
 use trtsim::engine::{Builder, BuilderConfig, ExecutionContext};
-use trtsim::ir::graph::{Graph, LayerKind, PoolKind};
+use trtsim::ir::graph::{Activation, ConvParams, Graph, LayerKind, PoolKind};
+use trtsim::ir::layout::{convert, Layout};
+use trtsim::ir::weights::Weights;
 use trtsim::ir::Tensor;
 use trtsim::util::rng::Pcg32;
 use trtsim::DeviceSpec;
 
+/// A seeded 3x3 depthwise convolution (`groups == in == out`) — the shape
+/// the autotuner resolves to the NHWC-layout depthwise lane tactic.
+fn depthwise_seeded(channels: usize, seed: u64) -> LayerKind {
+    LayerKind::Conv(ConvParams {
+        out_channels: channels,
+        in_channels: channels,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        pad_h: 1,
+        pad_w: 1,
+        groups: channels,
+        weights: Weights::seeded_he(seed, channels * 9, 9),
+        bias: Weights::Dense(vec![0.0; channels]),
+        activation: Some(Activation::Relu),
+    })
+}
+
 /// A random small conv/branch/pool network over a `[3, 16, 16]` input.
+/// Roughly every third stage tacks on a depthwise conv, so the proptests
+/// below also cover the NHWC lane path and its layout converts.
 fn arb_network() -> impl Strategy<Value = Graph> {
     (1u64..1000, 2usize..5, 1usize..3).prop_map(|(seed, depth, branches)| {
         let mut rng = Pcg32::seed_from_u64(seed);
@@ -22,12 +44,19 @@ fn arb_network() -> impl Strategy<Value = Graph> {
         for d in 0..depth {
             let (from, in_c) = frontier[rng.range_usize(frontier.len())];
             let out_c = 2 + rng.range_usize(6);
-            let conv = g.add_layer(
+            let mut stage = g.add_layer(
                 format!("c{d}"),
                 LayerKind::conv_seeded(out_c, in_c, 3, 1, 1, seed + d as u64),
                 &[from],
             );
-            frontier.push((conv, out_c));
+            if rng.range_usize(3) == 0 {
+                stage = g.add_layer(
+                    format!("dw{d}"),
+                    depthwise_seeded(out_c, seed + 500 + d as u64),
+                    &[stage],
+                );
+            }
+            frontier.push((stage, out_c));
         }
         let (last, last_c) = *frontier.last().unwrap();
         let mut branch_ids = Vec::new();
@@ -145,6 +174,39 @@ proptest! {
             prop_assert_eq!(&batched, &sequential);
             let classified = ctx.classify_batch(&refs, threads).expect("classify runs");
             prop_assert_eq!(&classified, &labels);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Physical-layout round trips preserve every `f32` bit pattern — NaN
+    /// payloads, signed zeros, and infinities included — for any logical
+    /// shape, including channel counts that force `CHWc8` tail padding.
+    #[test]
+    fn layout_round_trips_are_byte_identical(
+        c in 1usize..20,
+        h in 1usize..6,
+        w in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let shape = [c, h, w];
+        let mut rng = Pcg32::seed_from_u64(seed);
+        // Raw bit patterns, so NaNs/infinities/denormals all occur.
+        let src: Vec<f32> = (0..c * h * w).map(|_| f32::from_bits(rng.next_u32())).collect();
+        for via in [Layout::Nhwc, Layout::Chwc8] {
+            let there = convert(&src, shape, Layout::Chw, via);
+            prop_assert_eq!(there.len(), via.physical_len(shape));
+            let back = convert(&there, shape, via, Layout::Chw);
+            for (i, (a, b)) in src.iter().zip(&back).enumerate() {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "element {} differs after round trip via {:?}",
+                    i,
+                    via
+                );
+            }
         }
     }
 }

@@ -12,7 +12,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 
 use proptest::prelude::*;
-use trtsim::ir::graph::{Graph, LayerKind};
+use trtsim::ir::graph::{EltwiseOp, Graph, LayerKind, PoolKind};
 use trtsim::ir::Tensor;
 use trtsim::metrics::{log_buckets, render_prometheus, LatencyPercentiles};
 use trtsim::models::ModelId;
@@ -403,6 +403,129 @@ proptest! {
             );
         }
     }
+}
+
+/// The SIMD lane-kernel families flow through the core telemetry bridge:
+/// after planned inferences on a lane-friendly conv chain and a
+/// mixed-layout graph, `trtsim_kernel_vector_lanes_total`,
+/// `trtsim_kernel_layout_converts_total`, and
+/// `trtsim_kernel_scalar_fallback_total` are present in the global
+/// registry, reflect the work the plans scheduled, and never run ahead of
+/// their raw process-wide sources. The plan-compile arena gauges ride
+/// along.
+#[test]
+fn lane_kernel_families_reach_the_registry() {
+    // A pure conv chain: interior convs run in a preferred layout, so the
+    // vector-lane counter must move (same graph + build seed as the core
+    // unit test that pins the non-CHW assignment).
+    let mut chain = Graph::new("chain", [3, 16, 16]);
+    let mut prev = Graph::INPUT;
+    for d in 0..6 {
+        let ic = if d == 0 { 3 } else { 8 };
+        prev = chain.add_layer(
+            format!("c{d}"),
+            LayerKind::conv_seeded(8, ic, 3, 1, 1, d as u64),
+            &[prev],
+        );
+    }
+    chain.mark_output(prev);
+    let chain_engine = Builder::new(
+        DeviceSpec::xavier_nx(),
+        BuilderConfig::default().with_build_seed(4),
+    )
+    .build(&chain)
+    .expect("chain builds");
+
+    // One eltwise arm from a pool (CHW-only), the other from a conv that
+    // may run blocked: the assignment schedules real reformat steps.
+    let mut mixed = Graph::new("mixed", [3, 16, 16]);
+    let c1 = mixed.add_layer(
+        "c1",
+        LayerKind::conv_seeded(8, 3, 3, 1, 1, 0),
+        &[Graph::INPUT],
+    );
+    let p = mixed.add_layer(
+        "p",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
+        &[c1],
+    );
+    let a = mixed.add_layer("a", LayerKind::conv_seeded(8, 8, 3, 1, 1, 1), &[p]);
+    let e = mixed.add_layer("e", LayerKind::Eltwise { op: EltwiseOp::Sum }, &[p, a]);
+    let c2 = mixed.add_layer("c2", LayerKind::conv_seeded(8, 8, 3, 1, 1, 2), &[e]);
+    mixed.mark_output(c2);
+    let mixed_engine = Builder::new(
+        DeviceSpec::xavier_nx(),
+        BuilderConfig::default().with_build_seed(17),
+    )
+    .build(&mixed)
+    .expect("mixed builds");
+
+    let lanes_before = trtsim::kernels::lanes::vector_lane_events();
+    let converts_before = trtsim::ir::layout::layout_convert_events();
+    let chain_ctx = ExecutionContext::new(&chain_engine, DeviceSpec::xavier_nx());
+    chain_ctx
+        .infer(&Tensor::from_fn([3, 16, 16], |c, y, x| {
+            (c + y + x) as f32 * 0.05 - 0.4
+        }))
+        .expect("chain runs");
+    let mixed_ctx = ExecutionContext::new(&mixed_engine, DeviceSpec::xavier_nx());
+    mixed_ctx
+        .infer(&Tensor::from_fn([3, 16, 16], |c, y, x| {
+            (c * 2 + y + x) as f32 * 0.03 - 0.3
+        }))
+        .expect("mixed runs");
+    let scheduled_converts = mixed_ctx
+        .plan()
+        .expect("compiled")
+        .layout_converts_per_execution();
+
+    let samples = parse_prometheus(&render_prometheus(Registry::global()));
+    let lanes = value_of(&samples, "trtsim_kernel_vector_lanes_total").expect("lanes family");
+    let converts =
+        value_of(&samples, "trtsim_kernel_layout_converts_total").expect("converts family");
+    let fallback =
+        value_of(&samples, "trtsim_kernel_scalar_fallback_total").expect("fallback family");
+
+    // The bridge drains raw monotone sources exactly-once, so the registry
+    // can lag them (another execute may not have synced yet) but never run
+    // ahead.
+    assert!(lanes.value <= trtsim::kernels::lanes::vector_lane_events() as f64);
+    assert!(fallback.value <= trtsim::kernels::lanes::scalar_fallback_events() as f64);
+    assert!(converts.value <= trtsim::ir::layout::layout_convert_events() as f64);
+
+    // The chain's interior lane convs produced vectorized output values,
+    // and every reformat the mixed plan scheduled reached the registry
+    // (both were synced by the executes above; other tests only add).
+    assert!(
+        lanes.value >= (lanes_before + 1) as f64,
+        "vector lanes did not move: {}",
+        lanes.value
+    );
+    assert!(
+        converts.value >= converts_before as f64 + scheduled_converts as f64,
+        "scheduled reformats missing from the registry: {} < {} + {}",
+        converts.value,
+        converts_before,
+        scheduled_converts
+    );
+
+    // Plan-compile gauges from the same bridge: the layout-aware arena
+    // provisions its size-classed slots near the liveness peak.
+    let utilization =
+        value_of(&samples, "trtsim_plan_arena_utilization").expect("utilization gauge");
+    assert!(
+        utilization.value > 0.0 && utilization.value <= 1.0,
+        "utilization out of range: {}",
+        utilization.value
+    );
+    let capacity =
+        value_of(&samples, "trtsim_plan_arena_slot_capacity_bytes").expect("capacity gauge");
+    assert!(capacity.value > 0.0);
 }
 
 /// Regression for the fleet telemetry fix: two devices serving the *same*
