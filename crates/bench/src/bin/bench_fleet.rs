@@ -120,6 +120,7 @@ fn main() {
     let mut phases = Vec::new();
     let mut summary = Vec::new();
     let mut all_pass = true;
+    let mut fleet_fps_by_trace = Vec::new();
     for (name, trace) in &traces {
         let run = run_trace(model, trace, queue);
         let fleet_fps = run.fleet.aggregate_fps;
@@ -167,6 +168,19 @@ fn main() {
             eprintln!("FAIL: {name}: saturated device still serves {weak_share:.3} of the trace");
             all_pass = false;
         }
+        fleet_fps_by_trace.push(fleet_fps);
+    }
+    // Regression guard for the per-phase measurement bug: each phase must
+    // measure its own run. With open-loop arrival gating in the workers,
+    // Poisson and burst traces shape the timeline differently, so their
+    // fleet throughputs cannot coincide; byte-identical numbers mean one
+    // measurement was reused across trace kinds.
+    if (fleet_fps_by_trace[0] - fleet_fps_by_trace[1]).abs() < 1e-9 {
+        eprintln!(
+            "FAIL: poisson and burst phases report identical fleet throughput              ({} fps) — a phase measurement is being reused",
+            fleet_fps_by_trace[0]
+        );
+        all_pass = false;
     }
 
     let report = BenchReport {

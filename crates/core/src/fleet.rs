@@ -53,16 +53,71 @@ use trtsim_gpu::timeline::GpuTimeline;
 use trtsim_metrics::{Counter, LatencyPercentiles, Registry, TelemetryServer};
 
 use crate::engine::Engine;
+use crate::predict::{EngineFeatures, LatencyModel};
 use crate::runtime::ExecutionContext;
 use crate::serving::{InferenceServer, ServerConfig, ServerStats, ServingError, ServingLabels};
 
 /// Fleet-wide knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// When set, binds one [`TelemetryServer`] scrape endpoint
     /// (`GET /metrics`, `GET /metrics.json`) covering every device in the
     /// fleet. Port 0 picks a free port; see [`Fleet::telemetry_addr`].
     pub telemetry_addr: Option<std::net::SocketAddr>,
+    /// When set, the router scores replicas with one fleet-shared online
+    /// [`LatencyModel`] (predicted batch-1 finish time under each replica's
+    /// live queue signals) instead of the static
+    /// `(queue_depth + 1) × service_us` heuristic. The model trains from
+    /// every replica's completions and the router falls back to the
+    /// heuristic while it is cold.
+    pub predictive: bool,
+    /// Completions the shared model needs before it is warm (see
+    /// [`LatencyModel::with_min_obs`]).
+    pub predictor_min_obs: u64,
+    /// Scores within this relative margin of the best count as a tie, which
+    /// the affinity tie-break resolves toward the replica that served this
+    /// (model, tenant) most recently.
+    pub affinity_epsilon: f64,
+    /// Seed for the shared model's deterministic weight initialisation.
+    pub predictor_seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            telemetry_addr: None,
+            predictive: false,
+            predictor_min_obs: 64,
+            affinity_epsilon: 0.05,
+            predictor_seed: 0x1eaf,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Enables predictive replica scoring (see [`FleetConfig::predictive`]).
+    pub fn with_predictive(mut self, on: bool) -> Self {
+        self.predictive = on;
+        self
+    }
+
+    /// Sets the shared model's warm-up threshold.
+    pub fn with_predictor_min_obs(mut self, n: u64) -> Self {
+        self.predictor_min_obs = n;
+        self
+    }
+
+    /// Sets the affinity tie margin (relative, e.g. `0.05` = 5%).
+    pub fn with_affinity_epsilon(mut self, eps: f64) -> Self {
+        self.affinity_epsilon = eps;
+        self
+    }
+
+    /// Sets the shared model's seed.
+    pub fn with_predictor_seed(mut self, seed: u64) -> Self {
+        self.predictor_seed = seed;
+        self
+    }
 }
 
 /// One device of the fleet: a named board with its own simulated timeline.
@@ -89,6 +144,9 @@ struct Replica {
     /// Frames the router sent here (accepted submissions).
     routed: AtomicU64,
     routed_metric: Counter,
+    /// Static (engine, device) features the predictive score evaluates the
+    /// shared model against.
+    features: EngineFeatures,
 }
 
 /// Declarative fleet assembly: name devices, place replicas, start.
@@ -210,6 +268,14 @@ impl FleetBuilder {
             });
         }
         let reg = Registry::global();
+        // One model for the whole fleet: every replica's completions train
+        // it, so a device class the router has barely used still benefits
+        // from what similar replicas observed.
+        let shared_model = config.predictive.then(|| {
+            Arc::new(
+                LatencyModel::new(config.predictor_seed).with_min_obs(config.predictor_min_obs),
+            )
+        });
         let mut replicas = Vec::with_capacity(self.replicas.len());
         let mut by_model: HashMap<String, Vec<usize>> = HashMap::new();
         for (device_name, engine, server_config, tenant) in self.replicas {
@@ -228,7 +294,10 @@ impl FleetBuilder {
                 server_config,
                 &labels,
                 Arc::clone(&device.timeline),
+                shared_model.clone(),
             )?;
+            let features =
+                EngineFeatures::measure(&engine, &device.spec, server_config.timing.host_glue_us);
             // Service-cost estimate for the router: one profiled inference
             // on a scratch context (does not touch the serving timeline).
             let ctx = ExecutionContext::new(&engine, device.spec.clone());
@@ -254,8 +323,24 @@ impl FleetBuilder {
                 service_us,
                 routed: AtomicU64::new(0),
                 routed_metric,
+                features,
             });
         }
+        let predicted_metric = reg.counter(
+            "trtsim_fleet_predicted_dispatch_total",
+            "Dispatches scored by the warm shared latency model",
+            &[],
+        );
+        let heuristic_metric = reg.counter(
+            "trtsim_fleet_heuristic_dispatch_total",
+            "Dispatches scored by the static (queue_depth+1) x service_us heuristic",
+            &[],
+        );
+        let affinity_metric = reg.counter(
+            "trtsim_fleet_affinity_hits_total",
+            "Score ties the affinity tie-break resolved toward the most recent replica",
+            &[],
+        );
         let exporter = match config.telemetry_addr {
             Some(addr) => Some(
                 TelemetryServer::bind(addr, Arc::clone(Registry::global()))
@@ -269,6 +354,15 @@ impl FleetBuilder {
             by_model,
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            predicted_dispatches: AtomicU64::new(0),
+            heuristic_dispatches: AtomicU64::new(0),
+            affinity_hits: AtomicU64::new(0),
+            predicted_metric,
+            heuristic_metric,
+            affinity_metric,
+            model: shared_model,
+            affinity_epsilon: config.affinity_epsilon,
+            affinity: Mutex::new(HashMap::new()),
             admission: Mutex::new(HashMap::new()),
             exporter,
         })
@@ -283,6 +377,19 @@ pub struct Fleet {
     by_model: HashMap<String, Vec<usize>>,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    predicted_dispatches: AtomicU64,
+    heuristic_dispatches: AtomicU64,
+    affinity_hits: AtomicU64,
+    predicted_metric: Counter,
+    heuristic_metric: Counter,
+    affinity_metric: Counter,
+    /// Fleet-shared online latency model, present when
+    /// [`FleetConfig::predictive`] is set.
+    model: Option<Arc<LatencyModel>>,
+    affinity_epsilon: f64,
+    /// (model, tenant) → index of the replica that served it most recently,
+    /// the affinity tie-break's memory.
+    affinity: Mutex<HashMap<(String, String), usize>>,
     /// (model, tenant) → (submitted, rejected) counter handles, cached so
     /// the registry lock is taken once per label set, not per request.
     admission: Mutex<HashMap<(String, String), (Counter, Counter)>>,
@@ -323,29 +430,97 @@ impl Fleet {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         let (submitted, rejected) = self.admission_counters(model, tenant);
         submitted.inc();
-        // Least estimated finish time: backlog depth × per-frame service
-        // cost. A saturated device's queue keeps its score high, steering
-        // new load toward devices with headroom.
+        // Predicted finish time when the shared model is warm: batch-1 p50
+        // under each replica's live queue signals, which folds in batch
+        // effects, backlog and busy streams the static heuristic cannot see.
+        // Cold (or non-predictive) fleets score with the original
+        // least-estimated-finish heuristic: backlog depth × per-frame
+        // service cost. Either way a saturated device's score stays high,
+        // steering new load toward devices with headroom.
+        let warm_model = self.model.as_ref().filter(|m| m.is_warm()).map(Arc::as_ref);
+        let score = |r: &Replica| -> f64 {
+            warm_model
+                .and_then(|m| m.predict(&r.features, 1, &r.server.queue_signals(Some(arrival_us))))
+                .map_or_else(
+                    || (r.server.queue_depth() as f64 + 1.0) * r.service_us,
+                    |p| p.p50_us,
+                )
+        };
         let mut order: Vec<usize> = candidates.clone();
-        order.sort_by(|&a, &b| {
-            let score = |r: &Replica| (r.server.queue_depth() as f64 + 1.0) * r.service_us;
-            score(&self.replicas[a]).total_cmp(&score(&self.replicas[b]))
-        });
+        order.sort_by(|&a, &b| score(&self.replicas[a]).total_cmp(&score(&self.replicas[b])));
+        // Affinity tie-break: when the top scores are within epsilon, prefer
+        // the replica that served this (model, tenant) most recently —
+        // sticky routing where the scores cannot tell replicas apart.
+        let affinity_key = (model.to_string(), tenant.to_string());
+        let mut affinity_choice = None;
+        if order.len() >= 2 {
+            let prev = self
+                .affinity
+                .lock()
+                .expect("affinity map")
+                .get(&affinity_key)
+                .copied();
+            if let Some(prev) = prev {
+                let best = score(&self.replicas[order[0]]);
+                let tie =
+                    |idx: usize| score(&self.replicas[idx]) <= best * (1.0 + self.affinity_epsilon);
+                let ties = order.iter().take_while(|&&i| tie(i)).count();
+                if ties >= 2 {
+                    if let Some(pos) = order[..ties].iter().position(|&i| i == prev) {
+                        order.remove(pos);
+                        order.insert(0, prev);
+                        affinity_choice = Some(prev);
+                    }
+                }
+            }
+        }
+        let mut deadline_blocked = false;
         for &r in &order {
             let replica = &self.replicas[r];
             match replica.server.try_submit_at(frame, arrival_us) {
                 Ok(()) => {
                     replica.routed.fetch_add(1, Ordering::Relaxed);
                     replica.routed_metric.inc();
+                    if warm_model.is_some() {
+                        self.predicted_dispatches.fetch_add(1, Ordering::Relaxed);
+                        self.predicted_metric.inc();
+                    } else {
+                        self.heuristic_dispatches.fetch_add(1, Ordering::Relaxed);
+                        self.heuristic_metric.inc();
+                    }
+                    if affinity_choice == Some(r) {
+                        self.affinity_hits.fetch_add(1, Ordering::Relaxed);
+                        self.affinity_metric.inc();
+                    }
+                    self.affinity
+                        .lock()
+                        .expect("affinity map")
+                        .insert(affinity_key, r);
                     return Ok(());
                 }
                 Err(ServingError::QueueFull) => continue,
+                Err(ServingError::DeadlineUnmeetable) => {
+                    deadline_blocked = true;
+                    continue;
+                }
                 Err(e) => return Err(e),
             }
         }
         self.rejected.fetch_add(1, Ordering::Relaxed);
         rejected.inc();
-        Err(ServingError::QueueFull)
+        // Deadline-blocked everywhere reads differently from merely full:
+        // the caller learns shedding was a latency decision, not capacity.
+        Err(if deadline_blocked {
+            ServingError::DeadlineUnmeetable
+        } else {
+            ServingError::QueueFull
+        })
+    }
+
+    /// The fleet-shared online latency model, when
+    /// [`FleetConfig::predictive`] is set.
+    pub fn latency_model(&self) -> Option<Arc<LatencyModel>> {
+        self.model.clone()
     }
 
     /// Replays a sorted arrival-timestamp list (e.g. a
@@ -361,6 +536,31 @@ impl Fleet {
             }
         }
         (accepted, rejected)
+    }
+
+    /// Largest simulated clock over the fleet's device timelines, µs — the
+    /// pacing reference an open-loop replay driver synchronizes against so
+    /// live queue depths track *simulated* congestion rather than how fast
+    /// the host CPU drains the pipeline.
+    pub fn simulated_clock_us(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.timeline.lock().expect("timeline lock").elapsed_us())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frames currently queued (accepted but not yet dispatched to a
+    /// worker) across every replica.
+    pub fn backlog(&self) -> usize {
+        self.replicas.iter().map(|r| r.server.queue_depth()).sum()
+    }
+
+    /// Frames anywhere in the system — queued, held by a batcher, or in
+    /// service — across every replica. While this is non-zero the simulated
+    /// clock advances on its own; at zero a paced driver must submit the
+    /// next frame to move time forward.
+    pub fn in_system(&self) -> usize {
+        self.replicas.iter().map(|r| r.server.pending()).sum()
     }
 
     /// Device names, in declaration order.
@@ -393,6 +593,9 @@ impl Fleet {
             replicas,
             self.submitted.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
+            self.predicted_dispatches.load(Ordering::Relaxed),
+            self.heuristic_dispatches.load(Ordering::Relaxed),
+            self.affinity_hits.load(Ordering::Relaxed),
         )
     }
 
@@ -457,6 +660,20 @@ pub struct FleetStats {
     pub simulated_seconds: f64,
     /// Completed frames per simulated second, fleet-wide.
     pub aggregate_fps: f64,
+    /// Dispatches scored by the warm shared latency model.
+    pub predicted_dispatches: u64,
+    /// Dispatches scored by the static heuristic (model cold or predictive
+    /// scoring off).
+    pub heuristic_dispatches: u64,
+    /// Score ties the affinity tie-break resolved toward the replica that
+    /// served the (model, tenant) most recently.
+    pub affinity_hits: u64,
+    /// Completed frames that landed past their replica's deadline, summed
+    /// over replicas (0 when no deadline is configured).
+    pub deadline_missed: u64,
+    /// Frames some replica's deadline-based admission refused, summed over
+    /// replicas.
+    pub deadline_rejected: u64,
 }
 
 impl FleetStats {
@@ -487,10 +704,19 @@ impl FleetStats {
     }
 }
 
-fn aggregate(replicas: Vec<ReplicaStats>, submitted: u64, rejected: u64) -> FleetStats {
+fn aggregate(
+    replicas: Vec<ReplicaStats>,
+    submitted: u64,
+    rejected: u64,
+    predicted_dispatches: u64,
+    heuristic_dispatches: u64,
+    affinity_hits: u64,
+) -> FleetStats {
     let accepted = replicas.iter().map(|r| r.stats.accepted).sum();
     let completed = replicas.iter().map(|r| r.stats.completed).sum();
     let dropped = replicas.iter().map(|r| r.stats.dropped).sum();
+    let deadline_missed = replicas.iter().map(|r| r.stats.deadline_missed).sum();
+    let deadline_rejected = replicas.iter().map(|r| r.stats.deadline_rejected).sum();
     let simulated_seconds = replicas
         .iter()
         .map(|r| r.stats.simulated_seconds)
@@ -514,6 +740,11 @@ fn aggregate(replicas: Vec<ReplicaStats>, submitted: u64, rejected: u64) -> Flee
         latency: LatencyPercentiles::from_runs_us(&latencies),
         simulated_seconds,
         aggregate_fps: completed as f64 / simulated_seconds.max(1e-12),
+        predicted_dispatches,
+        heuristic_dispatches,
+        affinity_hits,
+        deadline_missed,
+        deadline_rejected,
     }
 }
 
@@ -699,6 +930,113 @@ mod tests {
         assert_eq!(
             stats.completed,
             stats.device_completed("nx0") + stats.device_completed("nx1")
+        );
+    }
+
+    #[test]
+    fn affinity_tie_break_sticks_to_the_recent_replica() {
+        let e = engine("fleet-affinity");
+        // Two byte-identical devices: the dispatch scores tie exactly on
+        // every submit, so only the affinity tie-break decides.
+        let fleet = FleetBuilder::new()
+            .device("twin0", DeviceSpec::max_clock(Platform::Nx))
+            .device("twin1", DeviceSpec::max_clock(Platform::Nx))
+            .replica("twin0", &e, config())
+            .unwrap()
+            .replica("twin1", &e, config())
+            .unwrap()
+            .start(FleetConfig::default())
+            .unwrap();
+        let submits = 8u64;
+        for frame in 0..submits {
+            // Space submissions out in real time so each one sees both
+            // backlogs drained (an exact score tie) before it is routed.
+            while fleet.replicas.iter().any(|r| r.server.queue_depth() > 0) {
+                std::thread::yield_now();
+            }
+            fleet
+                .submit(e.name(), frame, frame as f64 * 10_000.0)
+                .unwrap();
+        }
+        let stats = fleet.drain();
+        assert_eq!(stats.completed, submits);
+        // First submit seeds the history; every later tie resolves to the
+        // same replica, so one replica serves everything.
+        assert_eq!(stats.affinity_hits, submits - 1);
+        let shares: Vec<u64> = stats.replicas.iter().map(|r| r.routed).collect();
+        assert!(
+            shares.contains(&submits),
+            "ties should stick to one replica, got {shares:?}"
+        );
+    }
+
+    #[test]
+    fn cold_predictive_fleet_falls_back_to_the_heuristic() {
+        let e = engine("fleet-cold");
+        let fleet = FleetBuilder::new()
+            .device("nx0", DeviceSpec::pinned_clock(Platform::Nx))
+            .device("agx0", DeviceSpec::max_clock(Platform::Agx))
+            .replica("nx0", &e, config())
+            .unwrap()
+            .replica("agx0", &e, config())
+            .unwrap()
+            // A warm-up threshold the run cannot reach: every dispatch must
+            // take the heuristic path even though the model exists.
+            .start(
+                FleetConfig::default()
+                    .with_predictive(true)
+                    .with_predictor_min_obs(1 << 40),
+            )
+            .unwrap();
+        let arrivals = poisson_arrivals(64, 50.0, 5);
+        let (accepted, _) = fleet.replay(e.name(), &arrivals, 0);
+        let stats = fleet.drain();
+        assert_eq!(stats.heuristic_dispatches, accepted);
+        assert_eq!(stats.predicted_dispatches, 0);
+    }
+
+    #[test]
+    fn warm_predictive_fleet_switches_to_model_scores() {
+        let e = engine("fleet-warm");
+        let fleet = FleetBuilder::new()
+            .device("nx0", DeviceSpec::pinned_clock(Platform::Nx))
+            .device("agx0", DeviceSpec::max_clock(Platform::Agx))
+            .replica("nx0", &e, config())
+            .unwrap()
+            .replica("agx0", &e, config())
+            .unwrap()
+            .start(
+                FleetConfig::default()
+                    .with_predictive(true)
+                    .with_predictor_min_obs(16),
+            )
+            .unwrap();
+        let model = fleet.latency_model().expect("predictive fleet has a model");
+        let arrivals = poisson_arrivals(200, 40.0, 9);
+        let (first, second) = arrivals.split_at(100);
+        let (mut accepted, _) = fleet.replay(e.name(), first, 0);
+        // Submission is real-time while training rides on completions, so
+        // wait for the first wave's completions to warm the shared model
+        // before offering the second wave.
+        while !model.is_warm() {
+            std::thread::yield_now();
+        }
+        accepted += fleet.replay(e.name(), second, 100).0;
+        let stats = fleet.drain();
+        assert_eq!(stats.completed, accepted);
+        // Early dispatches are heuristic (cold model), the second wave is
+        // model-scored.
+        assert!(
+            stats.predicted_dispatches > 0,
+            "model never warmed: {} heuristic / {} predicted",
+            stats.heuristic_dispatches,
+            stats.predicted_dispatches
+        );
+        assert!(model.is_warm());
+        assert!(model.observations() >= 16);
+        assert_eq!(
+            stats.predicted_dispatches + stats.heuristic_dispatches,
+            accepted
         );
     }
 

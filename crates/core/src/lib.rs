@@ -56,6 +56,7 @@ pub mod fastpath;
 pub mod fleet;
 pub mod passes;
 pub mod plan;
+pub mod predict;
 pub mod runtime;
 pub mod serving;
 pub mod telemetry;
@@ -67,6 +68,7 @@ pub use engine::{Engine, ExecUnit, IoBytes};
 pub use error::EngineError;
 pub use fastpath::{InferencePlan, PlanScratch};
 pub use fleet::{Fleet, FleetBuilder, FleetConfig, FleetStats, ReplicaStats};
+pub use predict::{EngineFeatures, LatencyModel, PredictedLatency, QueueSignals};
 pub use runtime::{ExecutionContext, TimingOptions};
 pub use serving::{
     serve, InferenceServer, KernelTime, ProfileOptions, RequestRecord, ServerConfig, ServerStats,

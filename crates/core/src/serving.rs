@@ -59,6 +59,7 @@ use trtsim_metrics::{LatencyPercentiles, Registry, TelemetryServer};
 use trtsim_util::Pcg32;
 
 use crate::engine::Engine;
+use crate::predict::{EngineFeatures, LatencyModel, QueueSignals};
 use crate::runtime::{ExecutionContext, TimingOptions};
 use crate::telemetry::{GpuSampler, ServingMetrics};
 
@@ -69,6 +70,11 @@ pub enum ServingError {
     InvalidConfig(String),
     /// The bounded submission queue is full — shed load or retry later.
     QueueFull,
+    /// Deadline-based admission refused the frame: the online latency model
+    /// predicts that even a best-case (batch-1) service would land past the
+    /// configured deadline, so accepting it would only waste capacity.
+    /// Counted in [`ServerStats::deadline_rejected`].
+    DeadlineUnmeetable,
     /// The server has shut down and no longer accepts frames.
     Stopped,
     /// The telemetry scrape endpoint could not be started (bind failure).
@@ -80,6 +86,9 @@ impl std::fmt::Display for ServingError {
         match self {
             ServingError::InvalidConfig(detail) => write!(f, "invalid server config: {detail}"),
             ServingError::QueueFull => write!(f, "submission queue is full"),
+            ServingError::DeadlineUnmeetable => {
+                write!(f, "deadline is predicted unmeetable at current load")
+            }
             ServingError::Stopped => write!(f, "server is stopped"),
             ServingError::Telemetry(detail) => {
                 write!(f, "telemetry endpoint failed to start: {detail}")
@@ -193,6 +202,21 @@ pub struct ServerConfig {
     /// How arrival timestamps are generated from the period: a fixed-rate
     /// clock (default) or a seeded Poisson process for open-loop traffic.
     pub arrival_process: ArrivalProcess,
+    /// Per-request latency deadline, simulated µs, measured from arrival to
+    /// completion. `0` disables deadline accounting. When set, late
+    /// completions are counted in [`ServerStats::deadline_missed`]; with
+    /// [`ServerConfig::predictive`] also on, admission and the batcher
+    /// consult the online latency model ([`crate::predict::LatencyModel`])
+    /// to refuse doomed frames and cap batch sizes under the SLO.
+    pub deadline_us: f64,
+    /// Enables predictive scheduling: the server trains an online latency
+    /// model from its own completions and uses it for deadline-based
+    /// admission and SLO-aware batch sizing (no-ops until the model has
+    /// [`ServerConfig::predictor_min_obs`] observations).
+    pub predictive: bool,
+    /// Cold-start gate of the online latency model: predictions (and the
+    /// decisions they drive) only activate after this many observations.
+    pub predictor_min_obs: u64,
     /// Timing harness options applied to every enqueue.
     pub timing: TimingOptions,
     /// Observability knobs (timeline capture, per-kernel breakdown).
@@ -217,6 +241,9 @@ impl Default for ServerConfig {
             batch_timeout_us: 0.0,
             arrival_period_us: 0.0,
             arrival_process: ArrivalProcess::Periodic,
+            deadline_us: 0.0,
+            predictive: false,
+            predictor_min_obs: 64,
             timing: TimingOptions::default(),
             profile: ProfileOptions::default(),
             telemetry_addr: None,
@@ -267,6 +294,24 @@ impl ServerConfig {
     /// [`ServerConfig::with_arrival_process`]).
     pub fn with_poisson_arrivals(mut self, seed: u64) -> Self {
         self.arrival_process = ArrivalProcess::Poisson { seed };
+        self
+    }
+
+    /// Sets the per-request latency deadline, simulated µs (`0` disables).
+    pub fn with_deadline_us(mut self, us: f64) -> Self {
+        self.deadline_us = us;
+        self
+    }
+
+    /// Enables or disables predictive (learned-model) scheduling.
+    pub fn with_predictive(mut self, on: bool) -> Self {
+        self.predictive = on;
+        self
+    }
+
+    /// Sets the predictor's cold-start observation threshold.
+    pub fn with_predictor_min_obs(mut self, min_obs: u64) -> Self {
+        self.predictor_min_obs = min_obs;
         self
     }
 
@@ -331,6 +376,16 @@ impl ServerConfig {
         {
             return Err(ServingError::InvalidConfig(
                 "poisson arrivals need a positive mean period".into(),
+            ));
+        }
+        if self.deadline_us.is_nan() || self.deadline_us < 0.0 {
+            return Err(ServingError::InvalidConfig(
+                "deadline must be non-negative".into(),
+            ));
+        }
+        if self.predictor_min_obs == 0 {
+            return Err(ServingError::InvalidConfig(
+                "predictor needs at least one observation before it is warm".into(),
             ));
         }
         if self.telemetry_sample_ms == 0 {
@@ -411,6 +466,12 @@ pub struct ServerStats {
     pub dropped: u64,
     /// Frames refused by [`InferenceServer::try_submit`] on a full queue.
     pub rejected: u64,
+    /// Completed frames whose end-to-end latency exceeded
+    /// [`ServerConfig::deadline_us`] (0 when no deadline is set).
+    pub deadline_missed: u64,
+    /// Frames refused at admission because the online model predicted their
+    /// deadline unmeetable ([`ServingError::DeadlineUnmeetable`]).
+    pub deadline_rejected: u64,
     /// Batched enqueues issued.
     pub batches: u64,
     /// Batch-size histogram: `batch_size_counts[s - 1]` batches held `s`
@@ -478,6 +539,9 @@ pub struct ServingReport {
 struct Submission {
     frame: u64,
     arrival_us: Option<f64>,
+    /// Queue state sampled at admission, carried through so the predictor's
+    /// training examples see exactly the signals a prediction would have.
+    signals: QueueSignals,
 }
 
 /// A frame travelling from the batcher to a worker.
@@ -485,6 +549,44 @@ struct Submission {
 struct Request {
     frame: u64,
     arrival_us: f64,
+    signals: QueueSignals,
+}
+
+/// The predictive-scheduling bundle shared by the submit path, the batcher,
+/// and the workers: one online model plus the static features of this
+/// server's (engine, device) pair.
+#[derive(Debug)]
+struct Predictor {
+    model: Arc<LatencyModel>,
+    features: EngineFeatures,
+}
+
+impl Predictor {
+    /// Largest batch size in `1..=max_batch` whose predicted p99 stays under
+    /// `deadline_us`. Falls back to the static `max_batch` cap while the
+    /// model is cold, and when even a lone frame is predicted to blow the
+    /// deadline (the SLO is forfeit either way — drain at full speed and
+    /// let admission shed the overload); the batcher adds a third fallback
+    /// when the queue already holds a full batch. The cap therefore binds
+    /// exactly in the light-load regime, where it stops the batcher from
+    /// holding a frame through the `batch_timeout_us` window that its
+    /// deadline cannot afford. Predictions are monotone in batch size, so
+    /// the first overshoot ends the scan.
+    fn slo_batch_cap(&self, max_batch: usize, deadline_us: f64, signals: &QueueSignals) -> usize {
+        match self.model.predict(&self.features, 1, signals) {
+            None => return max_batch,
+            Some(p) if p.p99_us > deadline_us => return max_batch,
+            Some(_) => {}
+        }
+        let mut cap = 1;
+        for batch in 2..=max_batch {
+            match self.model.predict(&self.features, batch, signals) {
+                Some(p) if p.p99_us <= deadline_us => cap = batch,
+                _ => break,
+            }
+        }
+        cap
+    }
 }
 
 /// A coalesced unit of work for one worker.
@@ -503,6 +605,7 @@ struct Batch {
 struct StatsInner {
     completed: u64,
     dropped: u64,
+    deadline_missed: u64,
     batches: u64,
     batch_size_counts: Vec<u64>,
     frames_per_worker: Vec<u64>,
@@ -542,8 +645,19 @@ pub struct InferenceServer {
     stats: Arc<Mutex<StatsInner>>,
     depth: Arc<AtomicUsize>,
     high_water: Arc<AtomicUsize>,
+    /// Batches currently in service across all workers — the live busy
+    /// signal the predictor's feature vector reads.
+    in_flight: Arc<AtomicUsize>,
+    /// Frames that have left the system (served or dropped) — with
+    /// `accepted`, gives [`InferenceServer::pending`].
+    settled: Arc<AtomicU64>,
+    /// Worker stream ids, in worker order — read to compute the
+    /// committed-work horizon in [`InferenceServer::queue_signals`].
+    streams: Vec<StreamId>,
     accepted: AtomicU64,
     rejected: AtomicU64,
+    deadline_rejected: AtomicU64,
+    predictor: Option<Arc<Predictor>>,
     abort_flag: Arc<AtomicBool>,
     config: ServerConfig,
     metrics: ServingMetrics,
@@ -563,7 +677,14 @@ impl InferenceServer {
         device: &DeviceSpec,
         config: ServerConfig,
     ) -> Result<Self, ServingError> {
-        Self::start_inner(engine, device, config, &ServingLabels::default(), None)
+        Self::start_inner(
+            engine,
+            device,
+            config,
+            &ServingLabels::default(),
+            None,
+            None,
+        )
     }
 
     /// [`InferenceServer::start`] with explicit telemetry labels — what a
@@ -578,7 +699,7 @@ impl InferenceServer {
         config: ServerConfig,
         labels: &ServingLabels,
     ) -> Result<Self, ServingError> {
-        Self::start_inner(engine, device, config, labels, None)
+        Self::start_inner(engine, device, config, labels, None, None)
     }
 
     /// Starts a server whose workers create their streams on an existing
@@ -590,8 +711,9 @@ impl InferenceServer {
         config: ServerConfig,
         labels: &ServingLabels,
         timeline: Arc<Mutex<GpuTimeline>>,
+        shared_model: Option<Arc<LatencyModel>>,
     ) -> Result<Self, ServingError> {
-        Self::start_inner(engine, device, config, labels, Some(timeline))
+        Self::start_inner(engine, device, config, labels, Some(timeline), shared_model)
     }
 
     fn start_inner(
@@ -600,8 +722,32 @@ impl InferenceServer {
         config: ServerConfig,
         labels: &ServingLabels,
         shared_timeline: Option<Arc<Mutex<GpuTimeline>>>,
+        shared_model: Option<Arc<LatencyModel>>,
     ) -> Result<Self, ServingError> {
         config.validate()?;
+        // The predictor exists when this server schedules predictively or
+        // when a fleet shares its model here (so completions on this replica
+        // train the fleet-wide model even if local batching stays static).
+        let predictor = if config.predictive || shared_model.is_some() {
+            let model = shared_model.unwrap_or_else(|| {
+                // Seed derived from the device's timing identity: fully
+                // deterministic, distinct per device class.
+                Arc::new(
+                    LatencyModel::new(trtsim_util::derive_seed(
+                        device.timing_fingerprint(),
+                        "latency-model",
+                        0,
+                    ))
+                    .with_min_obs(config.predictor_min_obs),
+                )
+            });
+            Some(Arc::new(Predictor {
+                features: EngineFeatures::measure(engine, device, config.timing.host_glue_us),
+                model,
+            }))
+        } else {
+            None
+        };
         let metrics = ServingMetrics::register(
             engine.name(),
             labels.device.as_deref(),
@@ -617,6 +763,7 @@ impl InferenceServer {
         let stats = Arc::new(Mutex::new(StatsInner {
             completed: 0,
             dropped: 0,
+            deadline_missed: 0,
             batches: 0,
             batch_size_counts: vec![0; config.max_batch_size],
             frames_per_worker: vec![0; config.workers],
@@ -625,6 +772,8 @@ impl InferenceServer {
         }));
         let depth = Arc::new(AtomicUsize::new(0));
         let high_water = Arc::new(AtomicUsize::new(0));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let settled = Arc::new(AtomicU64::new(0));
         let abort_flag = Arc::new(AtomicBool::new(false));
 
         let (tx, submission_rx) = mpsc::sync_channel::<Submission>(config.queue_capacity);
@@ -642,6 +791,10 @@ impl InferenceServer {
             let abort_flag = Arc::clone(&abort_flag);
             let timing = config.timing;
             let metrics = metrics.clone();
+            let predictor = predictor.clone();
+            let in_flight = Arc::clone(&in_flight);
+            let settled = Arc::clone(&settled);
+            let deadline_us = config.deadline_us;
             workers.push(std::thread::spawn(move || {
                 worker_loop(
                     &engine,
@@ -654,6 +807,10 @@ impl InferenceServer {
                     &abort_flag,
                     worker,
                     &metrics,
+                    predictor.as_deref(),
+                    &in_flight,
+                    &settled,
+                    deadline_us,
                 );
             }));
         }
@@ -664,6 +821,15 @@ impl InferenceServer {
             let batch_timeout_us = config.batch_timeout_us;
             let arrivals = ArrivalClock::new(config.arrival_period_us, config.arrival_process);
             let metrics = metrics.clone();
+            let predictor = predictor.clone();
+            let in_flight = Arc::clone(&in_flight);
+            // SLO sizing only applies where this server batches predictively;
+            // a fleet-shared model without a local deadline leaves it off.
+            let deadline_us = if config.predictive {
+                config.deadline_us
+            } else {
+                0.0
+            };
             std::thread::spawn(move || {
                 batcher_loop(
                     &submission_rx,
@@ -674,6 +840,9 @@ impl InferenceServer {
                     &depth,
                     &high_water,
                     &metrics,
+                    predictor.as_deref(),
+                    &in_flight,
+                    deadline_us,
                 );
             })
         };
@@ -699,8 +868,13 @@ impl InferenceServer {
             stats,
             depth,
             high_water,
+            in_flight,
+            settled,
+            streams,
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
+            predictor,
             abort_flag,
             config,
             metrics,
@@ -717,10 +891,7 @@ impl InferenceServer {
     /// capacity (the rejection is counted in [`ServerStats::rejected`]), or
     /// [`ServingError::Stopped`] after shutdown.
     pub fn try_submit(&self, frame: u64) -> Result<(), ServingError> {
-        self.try_submit_inner(Submission {
-            frame,
-            arrival_us: None,
-        })
+        self.try_submit_inner(frame, None)
     }
 
     /// Submits a frame without blocking, carrying an explicit simulated
@@ -733,14 +904,83 @@ impl InferenceServer {
     /// Returns [`ServingError::QueueFull`] when the bounded queue is at
     /// capacity, or [`ServingError::Stopped`] after shutdown.
     pub fn try_submit_at(&self, frame: u64, arrival_us: f64) -> Result<(), ServingError> {
-        self.try_submit_inner(Submission {
-            frame,
-            arrival_us: Some(arrival_us),
-        })
+        self.try_submit_inner(frame, Some(arrival_us))
     }
 
-    fn try_submit_inner(&self, submission: Submission) -> Result<(), ServingError> {
+    /// Live queue state as the predictor's feature vector reads it: backlog
+    /// depth, the fraction of workers currently serving a batch, and the
+    /// committed-work horizon — how far past `arrival_us` (or past the
+    /// device's own clock when `None`) the earliest-free worker stream is
+    /// already booked. Depth is a noisy *proxy* for waiting time; the
+    /// horizon is the waiting time itself, read off the dispatch ledger the
+    /// same way a real runtime knows when each enqueued batch retires.
+    pub(crate) fn queue_signals(&self, arrival_us: Option<f64>) -> QueueSignals {
+        let committed = {
+            let tl = self.timeline.lock().expect("timeline lock");
+            let earliest_free = self
+                .streams
+                .iter()
+                .map(|&stream| tl.sync(stream))
+                .fold(f64::INFINITY, f64::min);
+            let reference = arrival_us.unwrap_or_else(|| tl.elapsed_us());
+            (earliest_free - reference).max(0.0)
+        };
+        QueueSignals::new(
+            self.depth.load(Ordering::SeqCst) as f64 / self.config.workers as f64,
+            self.in_flight.load(Ordering::SeqCst) as f64 / self.config.workers as f64,
+        )
+        .with_committed_us(committed)
+    }
+
+    /// Deadline-based admission: refuse a frame when the warm model predicts
+    /// that even best-case batch-1 service lands past the deadline. Cold
+    /// models admit everything (fallback to plain queue-bound admission).
+    fn admit(&self, signals: &QueueSignals) -> Result<(), ServingError> {
+        if !self.config.predictive || self.config.deadline_us <= 0.0 {
+            return Ok(());
+        }
+        // Fail open while the backlog is shallower than two batch waves per
+        // worker. Shedding only pays in deep backlog, where removing one
+        // frame moves every frame behind it up a service slot (one shed
+        // saves several near-deadline frames); at shallow depth a rejection
+        // mostly discards a frame that would have met its deadline. The
+        // floor also keeps the model honest: rejections produce no
+        // completions and therefore no training examples, so a model whose
+        // base prediction drifted past the deadline could otherwise wedge
+        // itself rejecting forever with nothing left to correct it — frames
+        // accepted into a shallow queue are cheap probes whose observed
+        // latencies pull the base back down.
+        if signals.queue_depth < 2.0 {
+            return Ok(());
+        }
+        // Shed only clearly-hopeless frames: predicted median latency past
+        // the deadline with headroom to spare. A frame predicted merely
+        // *near* the deadline is worth serving — prediction error is
+        // two-sided, and a borderline frame served late costs one miss
+        // while a borderline frame shed costs one completion *and* the
+        // capacity it would have freed was mostly imaginary.
+        const ADMIT_HEADROOM: f64 = 1.3;
+        if let Some(p) = &self.predictor {
+            if let Some(pred) = p.model.predict(&p.features, 1, signals) {
+                if pred.p50_us > self.config.deadline_us * ADMIT_HEADROOM {
+                    self.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.deadline_rejected.inc();
+                    return Err(ServingError::DeadlineUnmeetable);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn try_submit_inner(&self, frame: u64, arrival_us: Option<f64>) -> Result<(), ServingError> {
         let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
+        let signals = self.queue_signals(arrival_us);
+        self.admit(&signals)?;
+        let submission = Submission {
+            frame,
+            arrival_us,
+            signals,
+        };
         // SeqCst on depth/high-water: the submit-side increment, the
         // batcher-side decrement, and both fetch_max calls must observe one
         // total order, or a max recorded on one side can miss a depth the
@@ -779,10 +1019,12 @@ impl InferenceServer {
     /// Returns [`ServingError::Stopped`] after shutdown.
     pub fn submit(&self, frame: u64) -> Result<(), ServingError> {
         let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
+        let signals = self.queue_signals(None);
         let depth_now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
         match tx.send(Submission {
             frame,
             arrival_us: None,
+            signals,
         }) {
             Ok(()) => {
                 let prev_max = self.high_water.fetch_max(depth_now, Ordering::SeqCst);
@@ -806,10 +1048,25 @@ impl InferenceServer {
         &self.config
     }
 
+    /// Frames accepted but not yet out of the system: queued, held by the
+    /// batcher, or in service. A paced open-loop driver polls this to know
+    /// whether the simulated clock can still advance on its own.
+    pub fn pending(&self) -> usize {
+        let accepted = self.accepted.load(Ordering::SeqCst);
+        let settled = self.settled.load(Ordering::SeqCst);
+        accepted.saturating_sub(settled) as usize
+    }
+
     /// Frames currently waiting in the submission queue — the live backlog
     /// signal a fleet router's least-loaded dispatch reads.
     pub fn queue_depth(&self) -> usize {
         self.depth.load(Ordering::SeqCst)
+    }
+
+    /// The online latency model this server trains — present when
+    /// [`ServerConfig::predictive`] is set or a fleet shares its model here.
+    pub fn latency_model(&self) -> Option<Arc<LatencyModel>> {
+        self.predictor.as_ref().map(|p| Arc::clone(&p.model))
     }
 
     /// The bound address of the telemetry endpoint, when
@@ -881,12 +1138,22 @@ impl InferenceServer {
         };
         let st = self.stats.lock().expect("stats lock");
         let simulated_seconds = elapsed_us / 1e6;
+        if let Some(p) = &self.predictor {
+            self.metrics
+                .predictor_observations
+                .set(p.model.observations() as f64);
+            if let Some(mape) = p.model.mape_percent() {
+                self.metrics.predictor_mape_percent.set(mape);
+            }
+        }
         ServerStats {
             workers: self.config.workers,
             accepted: self.accepted.load(Ordering::Relaxed),
             completed: st.completed,
             dropped: st.dropped,
             rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_missed: st.deadline_missed,
+            deadline_rejected: self.deadline_rejected.load(Ordering::Relaxed),
             batches: st.batches,
             batch_size_counts: st.batch_size_counts.clone(),
             queue_high_water: self.high_water.load(Ordering::Relaxed),
@@ -980,6 +1247,9 @@ fn batcher_loop(
     depth: &AtomicUsize,
     high_water: &AtomicUsize,
     metrics: &ServingMetrics,
+    predictor: Option<&Predictor>,
+    in_flight: &AtomicUsize,
+    deadline_us: f64,
 ) {
     let mut next_worker = 0usize;
     let mut batch_seq = 0u64;
@@ -1000,12 +1270,34 @@ fn batcher_loop(
             // Explicit open-loop timestamps bypass the per-server clock so a
             // fleet-wide trace keeps one coherent time axis.
             arrival_us: submission.arrival_us.unwrap_or_else(|| arrivals.next()),
+            signals: submission.signals,
         }
     };
     loop {
         let first = match rx.recv() {
             Ok(submission) => submission,
             Err(_) => return,
+        };
+        // SLO-aware fill target: under a deadline, the largest batch whose
+        // predicted p99 still lands inside it given the load the batcher
+        // sees right now. The target governs ONLY the straggler wait below —
+        // frames already sitting in the queue are always coalesced up to the
+        // static cap, because batch service time is sublinear in size:
+        // truncating a batch below the live backlog would serialize frames
+        // that a single launch could have carried, burning drain rate
+        // exactly when the queue is growing. A cold model (or no deadline)
+        // leaves the static behavior alone.
+        let fill_target = match predictor {
+            Some(p) if deadline_us > 0.0 && depth.load(Ordering::SeqCst) < max_batch => p
+                .slo_batch_cap(
+                    max_batch,
+                    deadline_us,
+                    &QueueSignals::new(
+                        depth.load(Ordering::SeqCst) as f64 / worker_txs.len() as f64,
+                        in_flight.load(Ordering::SeqCst) as f64 / worker_txs.len() as f64,
+                    ),
+                ),
+            _ => max_batch,
         };
         let mut requests = vec![take(first, &mut arrivals)];
         let mut waited_us = 0.0;
@@ -1014,7 +1306,12 @@ fn batcher_loop(
                 Ok(submission) => requests.push(take(submission, &mut arrivals)),
                 Err(TryRecvError::Disconnected) => break,
                 Err(TryRecvError::Empty) => {
-                    if batch_timeout_us == 0.0 {
+                    // The queue is drained. Waiting out the batching window
+                    // for stragglers is a latency gamble the predictor can
+                    // price: once the batch already holds `fill_target`
+                    // frames, the predicted p99 of a *larger* batch overruns
+                    // the deadline, so close early instead of waiting.
+                    if requests.len() >= fill_target || batch_timeout_us == 0.0 {
                         break;
                     } else if batch_timeout_us.is_infinite() {
                         match rx.recv() {
@@ -1062,6 +1359,10 @@ fn worker_loop(
     abort_flag: &AtomicBool,
     worker: usize,
     metrics: &ServingMetrics,
+    predictor: Option<&Predictor>,
+    in_flight: &AtomicUsize,
+    settled: &AtomicU64,
+    deadline_us: f64,
 ) {
     let ctx = ExecutionContext::new(engine, device);
     while let Ok(batch) = batches.recv() {
@@ -1069,11 +1370,28 @@ fn worker_loop(
         if abort_flag.load(Ordering::Relaxed) {
             stats.lock().expect("stats lock").dropped += size as u64;
             metrics.dropped.add(size as u64);
+            settled.fetch_add(size as u64, Ordering::SeqCst);
             continue;
         }
+        in_flight.fetch_add(1, Ordering::SeqCst);
         let (done_us, span_lo, span_hi) = {
             let mut tl = timeline.lock().expect("timeline lock");
             let span_lo = tl.next_seq(stream);
+            // Open-loop arrival gating: service cannot begin before the last
+            // frame of the batch exists on the simulated clock. Without this
+            // idle wait a bursty trace and a steady one serve identically
+            // (arrival pattern would only shape reported queueing latency,
+            // never throughput). Closed-loop runs, whose arrivals trail the
+            // stream cursor, are bit-identical with or without the gate.
+            let arrival = batch
+                .requests
+                .iter()
+                .map(|r| r.arrival_us)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let front = tl.sync(stream);
+            if arrival > front {
+                tl.host_span(stream, "arrival_wait", arrival - front);
+            }
             if batch.waited_us > 0.0 {
                 tl.host_span(stream, "batch_wait", batch.waited_us);
             }
@@ -1091,11 +1409,19 @@ fn worker_loop(
         st.batch_size_counts[size - 1] += 1;
         st.frames_per_worker[worker] += size as u64;
         for request in &batch.requests {
-            metrics
-                .latency_us
-                .observe((done_us - request.arrival_us).max(0.0));
-            st.latencies_us
-                .push((done_us - request.arrival_us).max(0.0));
+            let latency_us = (done_us - request.arrival_us).max(0.0);
+            metrics.latency_us.observe(latency_us);
+            st.latencies_us.push(latency_us);
+            if deadline_us > 0.0 && latency_us > deadline_us {
+                st.deadline_missed += 1;
+                metrics.deadline_missed.inc();
+            }
+            // Prequential training: each completion becomes an example under
+            // the exact queue signals its admission-time prediction saw.
+            if let Some(p) = predictor {
+                p.model
+                    .observe(&p.features, size, &request.signals, latency_us);
+            }
             st.completions.push(RequestRecord {
                 frame: request.frame,
                 worker,
@@ -1106,6 +1432,9 @@ fn worker_loop(
                 done_us,
             });
         }
+        drop(st);
+        settled.fetch_add(size as u64, Ordering::SeqCst);
+        in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -1239,6 +1568,9 @@ mod tests {
             (base.with_batch_timeout_us(f64::NAN), "timeout"),
             (base.with_arrival_period_us(f64::INFINITY), "arrival"),
             (base.with_poisson_arrivals(7), "poisson"),
+            (base.with_deadline_us(-1.0), "deadline"),
+            (base.with_deadline_us(f64::NAN), "deadline"),
+            (base.with_predictor_min_obs(0), "predictor"),
         ] {
             let err = bad.validate().unwrap_err();
             assert!(err.to_string().contains(needle), "{err}");

@@ -48,6 +48,10 @@ pub(crate) struct ServingMetrics {
     pub(crate) queue_high_water: Gauge,
     pub(crate) batch_size: Histogram,
     pub(crate) latency_us: Histogram,
+    pub(crate) deadline_missed: Counter,
+    pub(crate) deadline_rejected: Counter,
+    pub(crate) predictor_observations: Gauge,
+    pub(crate) predictor_mape_percent: Gauge,
 }
 
 impl ServingMetrics {
@@ -108,6 +112,26 @@ impl ServingMetrics {
                 "Per-request simulated latency, microseconds",
                 labels,
                 &latency_buckets_us(),
+            ),
+            deadline_missed: reg.counter(
+                "trtsim_server_deadline_missed_total",
+                "Completed frames whose end-to-end latency exceeded the deadline",
+                labels,
+            ),
+            deadline_rejected: reg.counter(
+                "trtsim_server_deadline_rejected_total",
+                "Frames refused at admission because their deadline was predicted unmeetable",
+                labels,
+            ),
+            predictor_observations: reg.gauge(
+                "trtsim_server_predictor_observations",
+                "Latency observations absorbed by the online predictor",
+                labels,
+            ),
+            predictor_mape_percent: reg.gauge(
+                "trtsim_server_predictor_mape_percent",
+                "Prequential mean absolute percentage error of the online predictor",
+                labels,
             ),
         }
     }

@@ -19,8 +19,10 @@
 
 pub mod bsp;
 pub mod lambda;
+pub mod learned;
 pub mod microbench;
 
 pub use bsp::{predict_raw_us, BspParams};
 pub use lambda::{predict_engine_us, LambdaTable, PredictionOutcome};
+pub use learned::{bsp_cross_build_error_percent, LatencyModel, PredictedLatency, QueueSignals};
 pub use microbench::measure_params;

@@ -262,6 +262,7 @@ fn run_serving_unit(
     queue: u32,
     timeout_us: f64,
     arrival: Option<(f64, u64)>,
+    deadline_us: Option<f64>,
 ) -> Result<Vec<(String, f64)>, DriverError> {
     let engine = engine_for(unit, 0);
     let device = unit.device_spec();
@@ -276,6 +277,11 @@ fn run_serving_unit(
         config = config
             .with_arrival_period_us(period_us)
             .with_poisson_arrivals(seed);
+    }
+    // A deadline turns on predictive serving: SLO-aware batch sizing and
+    // per-request miss accounting.
+    if let Some(d) = deadline_us {
+        config = config.with_deadline_us(d).with_predictive(true);
     }
     let server = InferenceServer::start(&engine, &device, config)?;
     let mut rejected = 0u64;
@@ -298,6 +304,11 @@ fn run_serving_unit(
         ("batches".to_string(), stats.batches as f64),
         ("completed".to_string(), stats.completed as f64),
         ("rejected".to_string(), (stats.rejected + rejected) as f64),
+        ("deadline_missed".to_string(), stats.deadline_missed as f64),
+        (
+            "deadline_miss_rate".to_string(),
+            stats.deadline_missed as f64 / (stats.completed.max(1)) as f64,
+        ),
     ])
 }
 
@@ -339,14 +350,18 @@ fn run_fleet_unit(
     queue: u32,
     seed: u64,
     tenant: Option<&str>,
+    deadline_us: Option<f64>,
 ) -> Result<Vec<(String, f64)>, DriverError> {
     let engine = engine_for(unit, 0);
-    let config = ServerConfig::default()
+    let mut config = ServerConfig::default()
         .with_workers(workers as usize)
         .with_queue_capacity(queue as usize)
         .with_max_batch_size(unit.batch as usize)
         .with_batch_timeout_us(0.0)
         .with_timing(unit_timing(unit, 0.0));
+    if let Some(d) = deadline_us {
+        config = config.with_deadline_us(d).with_predictive(true);
+    }
     let devices = unit.device_specs();
     let mut builder = FleetBuilder::new();
     for (decl, spec) in &devices {
@@ -355,12 +370,15 @@ fn run_fleet_unit(
     for (decl, _) in &devices {
         builder = builder.replica_for_tenant(&decl.name, &engine, config, tenant)?;
     }
-    let fleet = builder.start(FleetConfig::default())?;
+    // A deadline also turns on predictive routing: the fleet shares one
+    // learned model across replicas and scores by predicted finish time.
+    let fleet_config = FleetConfig::default().with_predictive(deadline_us.is_some());
+    let fleet = builder.start(fleet_config)?;
     let arrivals = fleet_arrivals(trace, frames, seed);
     let tenant = tenant.unwrap_or("default");
     for (i, &t) in arrivals.arrivals_us.iter().enumerate() {
         match fleet.submit_as(tenant, engine.name(), i as u64, t) {
-            Ok(()) | Err(ServingError::QueueFull) => {}
+            Ok(()) | Err(ServingError::QueueFull) | Err(ServingError::DeadlineUnmeetable) => {}
             Err(e) => return Err(e.into()),
         }
     }
@@ -404,6 +422,11 @@ fn run_fleet_unit(
         (
             "max_device_share".to_string(),
             shares.iter().copied().fold(0.0, f64::max),
+        ),
+        ("deadline_missed".to_string(), stats.deadline_missed as f64),
+        (
+            "deadline_miss_rate".to_string(),
+            stats.deadline_missed as f64 / (stats.completed.max(1)) as f64,
         ),
     ])
 }
@@ -452,7 +475,7 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                 timeout_us,
             } => (
                 "closed",
-                run_serving_unit(unit, *frames, *workers, *queue, *timeout_us, None)?,
+                run_serving_unit(unit, *frames, *workers, *queue, *timeout_us, None, None)?,
                 Vec::new(),
             ),
             TrafficKind::Poisson {
@@ -461,6 +484,7 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                 queue,
                 period_us,
                 seed,
+                deadline_us,
             } => (
                 "poisson",
                 run_serving_unit(
@@ -470,6 +494,7 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                     *queue,
                     f64::INFINITY,
                     Some((*period_us, *seed)),
+                    *deadline_us,
                 )?,
                 Vec::new(),
             ),
@@ -480,6 +505,7 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                 queue,
                 seed,
                 tenant,
+                deadline_us,
             } => (
                 "fleet",
                 run_fleet_unit(
@@ -490,6 +516,7 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                     *queue,
                     *seed,
                     tenant.as_deref(),
+                    *deadline_us,
                 )?,
                 Vec::new(),
             ),

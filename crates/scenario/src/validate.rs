@@ -329,6 +329,10 @@ pub enum TrafficKind {
         period_us: f64,
         /// Arrival-process seed.
         seed: u64,
+        /// Per-request latency deadline, µs. When set the server runs
+        /// predictively: SLO-aware batching plus deadline-miss accounting
+        /// ([`trtsim_core::serving::ServerConfig::with_deadline_us`]).
+        deadline_us: Option<f64>,
     },
     /// Open-loop fleet serving: every device the traffic's models use
     /// becomes one board of a [`trtsim_core::fleet::Fleet`], and a shared
@@ -346,6 +350,10 @@ pub enum TrafficKind {
         seed: u64,
         /// Tenant name attributed to the trace, if any.
         tenant: Option<String>,
+        /// Per-request latency deadline, µs. When set the fleet routes with
+        /// its shared learned model and every replica runs deadline-based
+        /// admission ([`trtsim_core::fleet::FleetConfig::with_predictive`]).
+        deadline_us: Option<f64>,
     },
     /// Closed-form multi-stream saturation sweep — the paper's Figures 3/4
     /// ceiling experiment ([`trtsim_gpu::contention::sweep`]).
@@ -447,6 +455,8 @@ pub const METRICS: &[&str] = &[
     "min_device_share",
     "max_device_share",
     "max_threads",
+    "deadline_missed",
+    "deadline_miss_rate",
 ];
 
 /// Normalizes a model/platform word for matching: lowercase, alphanumerics
@@ -506,6 +516,7 @@ fn known_attrs(kind: NodeKind) -> &'static [&'static str] {
             "cycle_us",
             "burst_fraction",
             "tenant",
+            "deadline_us",
             "requires",
         ],
         NodeKind::Assert => &["uses", "metric", "min", "max"],
@@ -635,6 +646,26 @@ impl<'a> Checker<'a> {
                 span: n.span,
             });
             None
+        }
+    }
+
+    /// An optional `deadline_us` attribute: positive and finite, or an
+    /// accumulated [`SemanticError::BadValue`].
+    fn deadline_us(&mut self, node: &Node) -> Option<f64> {
+        match self.num(node, "deadline_us") {
+            Some(n) if n.value > 0.0 && n.value.is_finite() => Some(n.value),
+            Some(n) => {
+                self.errors.push(SemanticError::BadValue {
+                    attr: "deadline_us".into(),
+                    message: format!(
+                        "deadline must be a positive finite µs count, got {}",
+                        n.value
+                    ),
+                    span: n.span,
+                });
+                None
+            }
+            None => None,
         }
     }
 
@@ -1130,6 +1161,7 @@ pub fn validate(ast: &ScenarioAst) -> Result<ScenarioGraph, Vec<SemanticError>> 
                                     None
                                 }
                             };
+                            let deadline_us = checker.deadline_us(node);
                             period.map(|period_us| TrafficKind::Poisson {
                                 frames: checker.count(node, "frames", 256),
                                 workers: checker.count(node, "workers", 4),
@@ -1139,6 +1171,7 @@ pub fn validate(ast: &ScenarioAst) -> Result<ScenarioGraph, Vec<SemanticError>> 
                                     .num(node, "seed")
                                     .and_then(|n| checker.as_seed("seed", n))
                                     .unwrap_or(1),
+                                deadline_us,
                             })
                         }
                         "fleet" => {
@@ -1167,6 +1200,7 @@ pub fn validate(ast: &ScenarioAst) -> Result<ScenarioGraph, Vec<SemanticError>> 
                                 }
                             };
                             let trace = period.and_then(|p| checker.fleet_trace(node, p));
+                            let deadline_us = checker.deadline_us(node);
                             trace.map(|trace| TrafficKind::Fleet {
                                 trace,
                                 frames: checker.count(node, "frames", 256),
@@ -1177,6 +1211,7 @@ pub fn validate(ast: &ScenarioAst) -> Result<ScenarioGraph, Vec<SemanticError>> 
                                     .and_then(|n| checker.as_seed("seed", n))
                                     .unwrap_or(1),
                                 tenant: checker.word(node, "tenant").map(|w| w.value),
+                                deadline_us,
                             })
                         }
                         "concurrency" => Some(TrafficKind::Concurrency),

@@ -206,6 +206,20 @@ fn unknown_metric_is_rejected() {
 }
 
 #[test]
+fn non_positive_deadline_is_rejected() {
+    let src = "scenario \"s\" {\n  device d { platform = nx }\n  model m { uses = [d] network = alexnet }\n  traffic t { uses = [m] kind = poisson period_us = 1000 deadline_us = -5 }\n}";
+    let at = src.find("-5").unwrap();
+    let errs = errors(src);
+    assert!(
+        matches!(
+            &errs[0],
+            SemanticError::BadValue { attr, span, .. } if attr == "deadline_us" && span.lo == at
+        ),
+        "{errs:?}"
+    );
+}
+
+#[test]
 fn errors_accumulate_across_checks() {
     // Five distinct semantic problems in one file; one validate reports all.
     let src = "scenario \"s\" {\n  device d { platform = tpu }\n  device d { platform = nx }\n  model m { uses = [ghost] network = warpnet }\n  assert a { uses = [m] metric = fps min = 1 }\n}";

@@ -1,0 +1,156 @@
+//! Workspace-level contracts for the learned latency predictor: the
+//! properties the batcher's SLO sizing, the deadline admission gate, and
+//! the fleet's predicted-finish-time routing all lean on. Monotonicity is
+//! what makes `slo_batch_cap`'s first-overshoot scan correct; determinism
+//! is what makes a seeded serving run reproducible; the cold-start `None`
+//! is the contract that keeps schedulers on their static heuristics until
+//! the model has earned trust.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use trtsim::ir::graph::{Graph, LayerKind};
+use trtsim::perfmodel::learned::{EngineFeatures, LatencyModel, QueueSignals};
+use trtsim::{Builder, BuilderConfig, DeviceSpec, Engine};
+
+/// One shared tiny engine: the properties are about the model's math, not
+/// the network, and building once keeps the proptest cases fast.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut g = Graph::new("predictor_prop", [3, 16, 16]);
+        let conv = g.add_layer(
+            "c0",
+            LayerKind::conv_seeded(8, 3, 3, 1, 1, 5),
+            &[Graph::INPUT],
+        );
+        g.mark_output(conv);
+        Builder::new(DeviceSpec::xavier_nx(), BuilderConfig::default())
+            .build(&g)
+            .expect("probe builds")
+    })
+}
+
+fn features() -> EngineFeatures {
+    EngineFeatures::measure(engine(), &DeviceSpec::xavier_nx(), 150.0)
+}
+
+/// Trains a model past its cold gate on a deterministic synthetic workload
+/// whose latency grows with batch, queue depth, and committed backlog — the
+/// shape the real serving path produces.
+fn warmed_model(seed: u64, observations: u64) -> LatencyModel {
+    let features = features();
+    let model = LatencyModel::new(seed).with_min_obs(32);
+    for i in 0..observations {
+        let batch = 1 + (i % 4) as usize;
+        let depth = (i % 7) as f64;
+        let committed = 900.0 * ((i * 3) % 5) as f64;
+        let signals = QueueSignals::new(depth, 0.5).with_committed_us(committed);
+        // A plausible latency law: affine in batch and queue, plus the
+        // committed horizon passed through directly.
+        let observed = 2_000.0 + 1_500.0 * batch as f64 + 2_500.0 * depth + committed;
+        model.observe(&features, batch, &signals, observed);
+    }
+    model
+}
+
+proptest! {
+    /// Warm predictions are non-decreasing in batch size and in queue
+    /// depth: the projected (non-negative) weights guarantee it for any
+    /// training history, which is what lets `slo_batch_cap` stop at the
+    /// first overshoot and lets admission reason from the batch-1 floor.
+    #[test]
+    fn predictions_are_monotone_in_batch_and_queue(
+        seed in 0u64..64,
+        depth_lo in 0u32..16,
+        depth_step in 1u32..8,
+        batch in 1usize..4,
+    ) {
+        let model = warmed_model(seed, 96);
+        let features = features();
+        let lo = QueueSignals::new(f64::from(depth_lo), 0.5);
+        let hi = QueueSignals::new(f64::from(depth_lo + depth_step), 0.5);
+        let p_lo = model.predict(&features, batch, &lo).expect("warm");
+        let p_hi = model.predict(&features, batch, &hi).expect("warm");
+        prop_assert!(p_hi.p50_us >= p_lo.p50_us);
+        prop_assert!(p_hi.p99_us >= p_lo.p99_us);
+        let b_next = model.predict(&features, batch + 1, &lo).expect("warm");
+        prop_assert!(b_next.p50_us >= p_lo.p50_us);
+        prop_assert!(b_next.p99_us >= p_lo.p99_us);
+    }
+
+    /// The committed-work horizon is monotone too: a device whose streams
+    /// are booked further out can never be predicted faster.
+    #[test]
+    fn predictions_are_monotone_in_committed_horizon(
+        seed in 0u64..64,
+        committed in 0.0f64..40_000.0,
+        extra in 1.0f64..20_000.0,
+    ) {
+        let model = warmed_model(seed, 96);
+        let features = features();
+        let near = QueueSignals::new(2.0, 0.5).with_committed_us(committed);
+        let far = QueueSignals::new(2.0, 0.5).with_committed_us(committed + extra);
+        let p_near = model.predict(&features, 1, &near).expect("warm");
+        let p_far = model.predict(&features, 1, &far).expect("warm");
+        prop_assert!(p_far.p50_us >= p_near.p50_us);
+        prop_assert!(p_far.p99_us >= p_near.p99_us);
+    }
+}
+
+/// Same seed, same observation sequence, bit-identical weights — the
+/// reproducibility contract that makes predictive serving runs replayable.
+#[test]
+fn training_is_deterministic_given_seed() {
+    let a = warmed_model(0x5eed, 200);
+    let b = warmed_model(0x5eed, 200);
+    let (wa, wb) = (a.weights(), b.weights());
+    for (x, y) in wa.iter().zip(wb.iter()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "weights diverged: {wa:?} vs {wb:?}"
+        );
+    }
+    let signals = QueueSignals::new(3.0, 0.25).with_committed_us(4_000.0);
+    let pa = a.predict(&features(), 2, &signals).expect("warm");
+    let pb = b.predict(&features(), 2, &signals).expect("warm");
+    assert_eq!(pa.p50_us.to_bits(), pb.p50_us.to_bits());
+    assert_eq!(pa.p99_us.to_bits(), pb.p99_us.to_bits());
+}
+
+/// Distinct seeds genuinely produce distinct cold-start weights (the seed
+/// is not decorative), while both still converge onto the same workload.
+#[test]
+fn seed_changes_cold_start_but_not_the_contract() {
+    let a = warmed_model(1, 40);
+    let b = warmed_model(2, 40);
+    assert_ne!(
+        a.weights().map(f64::to_bits),
+        b.weights().map(f64::to_bits),
+        "different seeds should not collide bit-for-bit this early"
+    );
+}
+
+/// Below `min_obs` the model must return `None` — the fallback pin that
+/// keeps the batcher on its static cap and the router on queue-depth ×
+/// service-time until the model is warm.
+#[test]
+fn cold_model_predicts_none_until_min_obs() {
+    let features = features();
+    let model = LatencyModel::new(7).with_min_obs(16);
+    let signals = QueueSignals::new(0.0, 0.0);
+    assert!(!model.is_warm());
+    assert!(model.predict(&features, 1, &signals).is_none());
+    for i in 0..16 {
+        assert!(
+            model.predict(&features, 1, &signals).is_none(),
+            "prediction leaked at observation {i}, before min_obs"
+        );
+        model.observe(&features, 1, &signals, 5_000.0);
+    }
+    assert!(model.is_warm());
+    let p = model.predict(&features, 1, &signals).expect("warm now");
+    assert!(p.p50_us.is_finite() && p.p50_us > 0.0);
+    assert!(p.p99_us >= p.p50_us);
+}
