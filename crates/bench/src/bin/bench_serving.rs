@@ -23,6 +23,7 @@
 use trtsim_bench::report::{git_rev, BenchReport, PhaseReport};
 use trtsim_core::engine::Engine;
 use trtsim_core::fleet::{Fleet, FleetBuilder, FleetConfig};
+use trtsim_core::reqtrace::TraceOutcome;
 use trtsim_core::runtime::TimingOptions;
 use trtsim_core::serving::ServerConfig;
 use trtsim_data::traffic::ArrivalTrace;
@@ -66,6 +67,7 @@ fn build_fleet(
     queue: usize,
     deadline_us: f64,
     predictive: bool,
+    fleet_config: FleetConfig,
 ) -> Fleet {
     let mut builder = FleetBuilder::new();
     for (device, spec, _) in devices() {
@@ -78,7 +80,7 @@ fn build_fleet(
             .expect("known device");
     }
     builder
-        .start(FleetConfig::default().with_predictive(predictive))
+        .start(fleet_config.with_predictive(predictive))
         .expect("fleet starts")
 }
 
@@ -138,7 +140,14 @@ fn run_arm(
 ) -> ArmResult {
     let started = std::time::Instant::now();
     let queue = warmup.len() + trace.len();
-    let fleet = build_fleet(engine, model, queue, deadline_us, predictive);
+    let fleet = build_fleet(
+        engine,
+        model,
+        queue,
+        deadline_us,
+        predictive,
+        FleetConfig::default(),
+    );
     let latency_model = fleet.latency_model();
     paced_replay(&fleet, engine, &warmup.arrivals_us, 0);
     if let Some(model) = &latency_model {
@@ -208,6 +217,108 @@ fn median_arm(
     let mut median = runs.swap_remove(2);
     median.miss_rate = median_miss;
     median
+}
+
+/// One plain HTTP/1.1 GET against the probe fleet's own telemetry
+/// endpoint, headers included (status-line assertions want them).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect telemetry endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    body
+}
+
+/// The observability acceptance gate: replays the burst trace once against
+/// a heuristic fleet (the arm guaranteed to blow deadlines at the peaks)
+/// with a live telemetry endpoint, then asserts the flight recorder's
+/// contract end to end — a deadline-missed trace is retained, its phase
+/// spans sum to the end-to-end latency, the `/traces` routes serve it over
+/// HTTP, and its id rides the latency histogram as an OpenMetrics exemplar.
+fn trace_probe(
+    engine: &Engine,
+    model: ModelId,
+    trace: &ArrivalTrace,
+    warmup: &ArrivalTrace,
+    deadline_us: f64,
+) -> PhaseReport {
+    let started = std::time::Instant::now();
+    let queue = warmup.len() + trace.len();
+    let fleet_config = FleetConfig {
+        telemetry_addr: Some("127.0.0.1:0".parse().expect("loopback addr")),
+        ..FleetConfig::default()
+    };
+    let fleet = build_fleet(engine, model, queue, deadline_us, false, fleet_config);
+    paced_replay(&fleet, engine, &warmup.arrivals_us, 0);
+    let offset_us = warmup.duration_us() + 500_000.0;
+    let shifted: Vec<f64> = trace.arrivals_us.iter().map(|t| t + offset_us).collect();
+    paced_replay(&fleet, engine, &shifted, warmup.len() as u64);
+    while fleet.in_system() > 0 {
+        std::thread::yield_now();
+    }
+
+    let recorder = fleet.flight_recorder();
+    assert!(
+        recorder.deadline_missed_seen() >= 1,
+        "burst replay produced no deadline-missed request — retention untestable"
+    );
+    let retained = recorder.traces();
+    let missed = retained
+        .iter()
+        .find(|t| {
+            t.outcome
+                == TraceOutcome::Completed {
+                    deadline_missed: true,
+                }
+        })
+        .expect("tail retention must keep at least one deadline-missed trace");
+    let latency = missed.latency_us();
+    assert!(
+        (missed.phase_sum_us() - latency).abs() <= 1e-6 * latency.max(1.0),
+        "phase spans sum to {} us but end-to-end latency is {} us",
+        missed.phase_sum_us(),
+        latency
+    );
+
+    let addr = fleet.telemetry_addr().expect("telemetry endpoint bound");
+    let id = missed.id.to_string();
+    let index = http_get(addr, "/traces");
+    assert!(index.starts_with("HTTP/1.1 200"), "GET /traces failed");
+    assert!(
+        index.contains(&id),
+        "retained trace {id} missing from the /traces index"
+    );
+    let detail = http_get(addr, &format!("/traces/{id}"));
+    assert!(
+        detail.starts_with("HTTP/1.1 200") && detail.contains("\"phases\""),
+        "GET /traces/{id} did not serve the span tree"
+    );
+    let chrome = http_get(addr, &format!("/traces/{id}/chrome"));
+    assert!(
+        chrome.starts_with("HTTP/1.1 200") && chrome.contains("\"traceEvents\""),
+        "GET /traces/{id}/chrome did not serve a chrome-trace document"
+    );
+    let metrics = http_get(addr, "/metrics");
+    assert!(
+        metrics.lines().any(|line| {
+            line.starts_with("trtsim_server_latency_us_bucket") && line.contains("# {trace_id=\"")
+        }),
+        "no trace-id exemplar on any trtsim_server_latency_us bucket"
+    );
+
+    let phase = PhaseReport::new("trace_probe", started.elapsed().as_secs_f64() * 1e3)
+        .with_counter("traces_recorded", recorder.recorded())
+        .with_counter("traces_retained", recorder.retained())
+        .with_counter("traces_sampled", recorder.sampled())
+        .with_counter("traces_evicted", recorder.evicted())
+        .with_counter("deadline_missed_traces", recorder.deadline_missed_seen());
+    fleet.drain();
+    phase
 }
 
 fn main() {
@@ -294,6 +405,17 @@ fn main() {
             all_pass = false;
         }
     }
+
+    // Observability gate: replay the burst trace once more with the flight
+    // recorder's HTTP routes live and assert the tracing contract (tail
+    // retention, phase accounting, /traces routes, histogram exemplars).
+    let (_, burst) = &traces[1];
+    let probe = trace_probe(&engine, model, burst, &warmup, deadline_us);
+    for (k, v) in &probe.counters {
+        summary.push((format!("trace_probe_{k}"), *v as f64));
+    }
+    phases.push(probe);
+    println!("trace    probe passed: retention, phase sums, /traces, exemplars");
 
     // Table XIII context: the analytic BSP model calibrated against build 0,
     // asked to predict builds 0..4 of the same network — its error swings

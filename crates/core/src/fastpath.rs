@@ -644,6 +644,7 @@ impl<'e> InferencePlan<'e> {
         }
         crate::telemetry::sync_fp16_redos();
         crate::telemetry::sync_lane_counters();
+        crate::telemetry::sync_trace_counters();
         Ok(outputs)
     }
 

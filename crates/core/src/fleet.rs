@@ -54,6 +54,10 @@ use trtsim_metrics::{Counter, LatencyPercentiles, Registry, TelemetryServer};
 
 use crate::engine::Engine;
 use crate::predict::{EngineFeatures, LatencyModel};
+use crate::reqtrace::{
+    FlightRecorder, PhaseKind, PhaseSpan, RequestTrace, TraceCtx, TraceIdGen, TraceOptions,
+    TraceOutcome,
+};
 use crate::runtime::ExecutionContext;
 use crate::serving::{InferenceServer, ServerConfig, ServerStats, ServingError, ServingLabels};
 
@@ -80,6 +84,10 @@ pub struct FleetConfig {
     pub affinity_epsilon: f64,
     /// Seed for the shared model's deterministic weight initialisation.
     pub predictor_seed: u64,
+    /// Request-trace flight-recorder knobs, shared by every replica: one
+    /// fleet-wide ring so a request traced on any device lands in the same
+    /// `GET /traces` index.
+    pub trace: TraceOptions,
 }
 
 impl Default for FleetConfig {
@@ -90,6 +98,7 @@ impl Default for FleetConfig {
             predictor_min_obs: 64,
             affinity_epsilon: 0.05,
             predictor_seed: 0x1eaf,
+            trace: TraceOptions::default(),
         }
     }
 }
@@ -116,6 +125,12 @@ impl FleetConfig {
     /// Sets the shared model's seed.
     pub fn with_predictor_seed(mut self, seed: u64) -> Self {
         self.predictor_seed = seed;
+        self
+    }
+
+    /// Sets the fleet-shared request-trace flight-recorder options.
+    pub fn with_trace(mut self, trace: TraceOptions) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -276,6 +291,15 @@ impl FleetBuilder {
                 LatencyModel::new(config.predictor_seed).with_min_obs(config.predictor_min_obs),
             )
         });
+        // One flight recorder and one id mint for the whole fleet: a request
+        // owns exactly one trace id no matter which replica serves it, and
+        // every device's retained traces share one `GET /traces` index.
+        let recorder = Arc::new(FlightRecorder::new(config.trace));
+        let idgen = Arc::new(TraceIdGen::new(trtsim_util::derive_seed(
+            config.predictor_seed,
+            "reqtrace",
+            0,
+        )));
         let mut replicas = Vec::with_capacity(self.replicas.len());
         let mut by_model: HashMap<String, Vec<usize>> = HashMap::new();
         for (device_name, engine, server_config, tenant) in self.replicas {
@@ -295,6 +319,7 @@ impl FleetBuilder {
                 &labels,
                 Arc::clone(&device.timeline),
                 shared_model.clone(),
+                Some((Arc::clone(&recorder), Arc::clone(&idgen))),
             )?;
             let features =
                 EngineFeatures::measure(&engine, &device.spec, server_config.timing.host_glue_us);
@@ -343,8 +368,12 @@ impl FleetBuilder {
         );
         let exporter = match config.telemetry_addr {
             Some(addr) => Some(
-                TelemetryServer::bind(addr, Arc::clone(Registry::global()))
-                    .map_err(|e| ServingError::Telemetry(format!("bind {addr}: {e}")))?,
+                TelemetryServer::bind_with_routes(
+                    addr,
+                    Arc::clone(Registry::global()),
+                    recorder.route_handler(),
+                )
+                .map_err(|e| ServingError::Telemetry(format!("bind {addr}: {e}")))?,
             ),
             None => None,
         };
@@ -365,6 +394,8 @@ impl FleetBuilder {
             affinity: Mutex::new(HashMap::new()),
             admission: Mutex::new(HashMap::new()),
             exporter,
+            recorder,
+            idgen,
         })
     }
 }
@@ -394,6 +425,10 @@ pub struct Fleet {
     /// the registry lock is taken once per label set, not per request.
     admission: Mutex<HashMap<(String, String), (Counter, Counter)>>,
     exporter: Option<TelemetryServer>,
+    /// Fleet-shared flight recorder every replica records into.
+    recorder: Arc<FlightRecorder>,
+    /// Fleet-wide trace-id mint, so ids are unique across replicas.
+    idgen: Arc<TraceIdGen>,
 }
 
 impl Fleet {
@@ -474,10 +509,30 @@ impl Fleet {
                 }
             }
         }
+        // One trace context per request, minted at fleet admission. Each
+        // placement attempt re-stamps the attempted replica's score and
+        // predicted latency, so the trace that survives carries the numbers
+        // of the replica that actually served (or finally refused) it.
+        let mut ctx = TraceCtx::new(self.idgen.mint());
         let mut deadline_blocked = false;
         for &r in &order {
             let replica = &self.replicas[r];
-            match replica.server.try_submit_at(frame, arrival_us) {
+            let pred = warm_model.and_then(|m| {
+                m.predict(
+                    &replica.features,
+                    1,
+                    &replica.server.queue_signals(Some(arrival_us)),
+                )
+            });
+            ctx.router_score = pred.as_ref().map_or_else(
+                || (replica.server.queue_depth() as f64 + 1.0) * replica.service_us,
+                |p| p.p50_us,
+            );
+            if let Some(p) = &pred {
+                ctx.predicted_p50_us = p.p50_us;
+                ctx.predicted_p99_us = p.p99_us;
+            }
+            match replica.server.try_submit_traced(frame, arrival_us, ctx) {
                 Ok(()) => {
                     replica.routed.fetch_add(1, Ordering::Relaxed);
                     replica.routed_metric.inc();
@@ -510,11 +565,49 @@ impl Fleet {
         rejected.inc();
         // Deadline-blocked everywhere reads differently from merely full:
         // the caller learns shedding was a latency decision, not capacity.
+        let outcome = if deadline_blocked {
+            TraceOutcome::DeadlineRejected
+        } else {
+            TraceOutcome::QueueRejected
+        };
+        // The fleet-level rejection trace: no replica took the frame, so it
+        // carries no device — just the admission marker and the last
+        // attempted replica's score, preserving one-trace-per-request.
+        self.recorder.record(RequestTrace {
+            id: ctx.id,
+            frame,
+            model: Arc::from(model),
+            device: None,
+            tenant: Some(Arc::from(tenant)),
+            worker: None,
+            stream: None,
+            batch_seq: None,
+            batch_size: None,
+            span_lo: None,
+            span_hi: None,
+            arrival_us,
+            done_us: arrival_us,
+            outcome,
+            phases: vec![PhaseSpan {
+                kind: PhaseKind::Admission,
+                start_us: arrival_us,
+                end_us: arrival_us,
+            }],
+            router_score: ctx.router_score,
+            predicted_p50_us: ctx.predicted_p50_us,
+            predicted_p99_us: ctx.predicted_p99_us,
+        });
         Err(if deadline_blocked {
             ServingError::DeadlineUnmeetable
         } else {
             ServingError::QueueFull
         })
+    }
+
+    /// The fleet-shared flight recorder holding retained request traces
+    /// from every replica (see [`crate::reqtrace`]).
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
     }
 
     /// The fleet-shared online latency model, when

@@ -57,6 +57,7 @@ pub mod fleet;
 pub mod passes;
 pub mod plan;
 pub mod predict;
+pub mod reqtrace;
 pub mod runtime;
 pub mod serving;
 pub mod telemetry;
@@ -69,6 +70,9 @@ pub use error::EngineError;
 pub use fastpath::{InferencePlan, PlanScratch};
 pub use fleet::{Fleet, FleetBuilder, FleetConfig, FleetStats, ReplicaStats};
 pub use predict::{EngineFeatures, LatencyModel, PredictedLatency, QueueSignals};
+pub use reqtrace::{
+    FlightRecorder, PhaseKind, PhaseSpan, RequestTrace, TraceId, TraceOptions, TraceOutcome,
+};
 pub use runtime::{ExecutionContext, TimingOptions};
 pub use serving::{
     serve, InferenceServer, KernelTime, ProfileOptions, RequestRecord, ServerConfig, ServerStats,

@@ -386,6 +386,16 @@ impl LatencyModel {
         let inner = self.inner.lock().expect("model lock");
         (inner.mape_n > 0).then(|| inner.mape_sum / inner.mape_n as f64)
     }
+
+    /// The current residual-calibration multipliers `(p50, p99)` — the
+    /// ratio-histogram quantiles that widen raw point predictions into
+    /// [`PredictedLatency`] — or `(1.0, 1.0)` before any warm residual
+    /// landed. Exported as `trtsim_predictor_*` gauges so calibration drift
+    /// is scrapeable alongside the MAPE.
+    pub fn calibration(&self) -> (f64, f64) {
+        let inner = self.inner.lock().expect("model lock");
+        (inner.ratio_quantile(0.50), inner.ratio_quantile(0.99))
+    }
 }
 
 #[cfg(test)]
@@ -519,6 +529,22 @@ mod tests {
             p.p99_us,
             p.p50_us
         );
+    }
+
+    #[test]
+    fn calibration_defaults_to_unity_and_tracks_residuals() {
+        let f = features();
+        let model = LatencyModel::new(4).with_min_obs(8);
+        assert_eq!(model.calibration(), (1.0, 1.0));
+        let q = QueueSignals::default();
+        for _ in 0..64 {
+            model.observe(&f, 1, &q, 1000.0);
+        }
+        let (q50, q99) = model.calibration();
+        assert!(q50 > 0.0 && q99 >= q50, "q50 {q50} q99 {q99}");
+        // The multipliers are exactly what predict() applies to the point.
+        let p = model.predict(&f, 1, &q).unwrap();
+        assert!((p.p99_us / p.p50_us - q99 / q50).abs() < 1e-9);
     }
 
     #[test]

@@ -60,6 +60,9 @@ use trtsim_util::Pcg32;
 
 use crate::engine::Engine;
 use crate::predict::{EngineFeatures, LatencyModel, QueueSignals};
+use crate::reqtrace::{
+    FlightRecorder, TraceCtx, TraceIdGen, TraceOptions, TraceOutcome, TraceSink,
+};
 use crate::runtime::{ExecutionContext, TimingOptions};
 use crate::telemetry::{GpuSampler, ServingMetrics};
 
@@ -230,6 +233,11 @@ pub struct ServerConfig {
     /// Wall-clock cadence of the GPU sampler, milliseconds. Only meaningful
     /// with [`ServerConfig::telemetry_addr`] set.
     pub telemetry_sample_ms: u64,
+    /// Request-trace flight-recorder knobs ([`crate::reqtrace`]): ring
+    /// capacity, tail-retention sampling rate, and the master switch. The
+    /// recorder is always wired (admission mints a trace id per frame either
+    /// way); disabling it only stops retention.
+    pub trace: TraceOptions,
 }
 
 impl Default for ServerConfig {
@@ -248,6 +256,7 @@ impl Default for ServerConfig {
             profile: ProfileOptions::default(),
             telemetry_addr: None,
             telemetry_sample_ms: 50,
+            trace: TraceOptions::default(),
         }
     }
 }
@@ -340,6 +349,12 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the request-trace flight-recorder options.
+    pub fn with_trace(mut self, trace: TraceOptions) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Checks every knob, naming the first invalid one.
     ///
     /// # Errors
@@ -391,6 +406,16 @@ impl ServerConfig {
         if self.telemetry_sample_ms == 0 {
             return Err(ServingError::InvalidConfig(
                 "telemetry sample period must be at least 1 ms".into(),
+            ));
+        }
+        if self.trace.capacity == 0 {
+            return Err(ServingError::InvalidConfig(
+                "trace ring capacity must be at least 1".into(),
+            ));
+        }
+        if self.trace.sample_every == 0 {
+            return Err(ServingError::InvalidConfig(
+                "trace sample rate must be at least 1 (1 keeps everything)".into(),
             ));
         }
         Ok(())
@@ -542,6 +567,9 @@ struct Submission {
     /// Queue state sampled at admission, carried through so the predictor's
     /// training examples see exactly the signals a prediction would have.
     signals: QueueSignals,
+    /// Request-scoped trace context, minted at admission and carried through
+    /// the batcher to the worker that records the completed span tree.
+    trace: TraceCtx,
 }
 
 /// A frame travelling from the batcher to a worker.
@@ -550,6 +578,7 @@ struct Request {
     frame: u64,
     arrival_us: f64,
     signals: QueueSignals,
+    trace: TraceCtx,
 }
 
 /// The predictive-scheduling bundle shared by the submit path, the batcher,
@@ -663,6 +692,13 @@ pub struct InferenceServer {
     metrics: ServingMetrics,
     exporter: Option<TelemetryServer>,
     sampler: Option<GpuSampler>,
+    /// Always-on flight recorder holding the retained request traces —
+    /// fleet-shared when this server is a replica, private otherwise.
+    recorder: Arc<FlightRecorder>,
+    /// Mints one deterministic trace id per admitted frame.
+    idgen: Arc<TraceIdGen>,
+    /// This server's identity (model/device/tenant) stamped on every trace.
+    sink: TraceSink,
 }
 
 impl InferenceServer {
@@ -684,6 +720,7 @@ impl InferenceServer {
             &ServingLabels::default(),
             None,
             None,
+            None,
         )
     }
 
@@ -699,7 +736,7 @@ impl InferenceServer {
         config: ServerConfig,
         labels: &ServingLabels,
     ) -> Result<Self, ServingError> {
-        Self::start_inner(engine, device, config, labels, None, None)
+        Self::start_inner(engine, device, config, labels, None, None, None)
     }
 
     /// Starts a server whose workers create their streams on an existing
@@ -712,8 +749,17 @@ impl InferenceServer {
         labels: &ServingLabels,
         timeline: Arc<Mutex<GpuTimeline>>,
         shared_model: Option<Arc<LatencyModel>>,
+        shared_trace: Option<(Arc<FlightRecorder>, Arc<TraceIdGen>)>,
     ) -> Result<Self, ServingError> {
-        Self::start_inner(engine, device, config, labels, Some(timeline), shared_model)
+        Self::start_inner(
+            engine,
+            device,
+            config,
+            labels,
+            Some(timeline),
+            shared_model,
+            shared_trace,
+        )
     }
 
     fn start_inner(
@@ -723,6 +769,7 @@ impl InferenceServer {
         labels: &ServingLabels,
         shared_timeline: Option<Arc<Mutex<GpuTimeline>>>,
         shared_model: Option<Arc<LatencyModel>>,
+        shared_trace: Option<(Arc<FlightRecorder>, Arc<TraceIdGen>)>,
     ) -> Result<Self, ServingError> {
         config.validate()?;
         // The predictor exists when this server schedules predictively or
@@ -749,6 +796,26 @@ impl InferenceServer {
             None
         };
         let metrics = ServingMetrics::register(
+            engine.name(),
+            labels.device.as_deref(),
+            labels.tenant.as_deref(),
+        );
+        // A fleet shares one recorder + id generator across its replicas so
+        // every request owns exactly one trace fleet-wide; a standalone
+        // server derives its own from the device's timing identity — fully
+        // deterministic, no wall clock anywhere in the id.
+        let (recorder, idgen) = shared_trace.unwrap_or_else(|| {
+            (
+                Arc::new(FlightRecorder::new(config.trace)),
+                Arc::new(TraceIdGen::new(trtsim_util::derive_seed(
+                    device.timing_fingerprint(),
+                    "reqtrace",
+                    0,
+                ))),
+            )
+        });
+        let sink = TraceSink::new(
+            Arc::clone(&recorder),
             engine.name(),
             labels.device.as_deref(),
             labels.tenant.as_deref(),
@@ -795,6 +862,7 @@ impl InferenceServer {
             let in_flight = Arc::clone(&in_flight);
             let settled = Arc::clone(&settled);
             let deadline_us = config.deadline_us;
+            let sink = sink.clone();
             workers.push(std::thread::spawn(move || {
                 worker_loop(
                     &engine,
@@ -811,6 +879,7 @@ impl InferenceServer {
                     &in_flight,
                     &settled,
                     deadline_us,
+                    &sink,
                 );
             }));
         }
@@ -849,8 +918,12 @@ impl InferenceServer {
 
         let (exporter, sampler) = match config.telemetry_addr {
             Some(addr) => {
-                let exporter = TelemetryServer::bind(addr, Arc::clone(Registry::global()))
-                    .map_err(|e| ServingError::Telemetry(format!("bind {addr}: {e}")))?;
+                let exporter = TelemetryServer::bind_with_routes(
+                    addr,
+                    Arc::clone(Registry::global()),
+                    recorder.route_handler(),
+                )
+                .map_err(|e| ServingError::Telemetry(format!("bind {addr}: {e}")))?;
                 let sampler = GpuSampler::spawn(
                     Arc::clone(&timeline),
                     Duration::from_millis(config.telemetry_sample_ms),
@@ -880,7 +953,16 @@ impl InferenceServer {
             metrics,
             exporter,
             sampler,
+            recorder,
+            idgen,
+            sink,
         })
+    }
+
+    /// The flight recorder holding this server's retained request traces —
+    /// shared with the fleet when this server is a replica.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
     }
 
     /// Submits a frame without blocking.
@@ -935,7 +1017,7 @@ impl InferenceServer {
     /// Deadline-based admission: refuse a frame when the warm model predicts
     /// that even best-case batch-1 service lands past the deadline. Cold
     /// models admit everything (fallback to plain queue-bound admission).
-    fn admit(&self, signals: &QueueSignals) -> Result<(), ServingError> {
+    fn admit(&self, signals: &QueueSignals, trace: &mut TraceCtx) -> Result<(), ServingError> {
         if !self.config.predictive || self.config.deadline_us <= 0.0 {
             return Ok(());
         }
@@ -962,6 +1044,13 @@ impl InferenceServer {
         const ADMIT_HEADROOM: f64 = 1.3;
         if let Some(p) = &self.predictor {
             if let Some(pred) = p.model.predict(&p.features, 1, signals) {
+                // Stamp the admission-time prediction on the trace (unless a
+                // fleet router already priced this replica) so the retained
+                // trace can report predicted-vs-actual error.
+                if trace.predicted_p50_us.is_nan() {
+                    trace.predicted_p50_us = pred.p50_us;
+                    trace.predicted_p99_us = pred.p99_us;
+                }
                 if pred.p50_us > self.config.deadline_us * ADMIT_HEADROOM {
                     self.deadline_rejected.fetch_add(1, Ordering::Relaxed);
                     self.metrics.deadline_rejected.inc();
@@ -972,14 +1061,49 @@ impl InferenceServer {
         Ok(())
     }
 
+    /// Fleet entry point: submit with a router-minted trace context (score
+    /// and predictions already stamped) instead of minting a fresh one. A
+    /// refusal here records no trace — the router may still place the frame
+    /// on another replica, and it records the single rejection trace itself
+    /// only when every replica refuses.
+    pub(crate) fn try_submit_traced(
+        &self,
+        frame: u64,
+        arrival_us: f64,
+        trace: TraceCtx,
+    ) -> Result<(), ServingError> {
+        self.try_submit_with(frame, Some(arrival_us), trace, false)
+    }
+
     fn try_submit_inner(&self, frame: u64, arrival_us: Option<f64>) -> Result<(), ServingError> {
+        self.try_submit_with(frame, arrival_us, TraceCtx::new(self.idgen.mint()), true)
+    }
+
+    fn try_submit_with(
+        &self,
+        frame: u64,
+        arrival_us: Option<f64>,
+        mut trace: TraceCtx,
+        record_rejects: bool,
+    ) -> Result<(), ServingError> {
         let tx = self.tx.as_ref().ok_or(ServingError::Stopped)?;
         let signals = self.queue_signals(arrival_us);
-        self.admit(&signals)?;
+        if let Err(e) = self.admit(&signals, &mut trace) {
+            if record_rejects {
+                self.sink.record_rejected(
+                    trace,
+                    frame,
+                    arrival_us.unwrap_or(0.0),
+                    TraceOutcome::DeadlineRejected,
+                );
+            }
+            return Err(e);
+        }
         let submission = Submission {
             frame,
             arrival_us,
             signals,
+            trace,
         };
         // SeqCst on depth/high-water: the submit-side increment, the
         // batcher-side decrement, and both fetch_max calls must observe one
@@ -1003,6 +1127,14 @@ impl InferenceServer {
                 self.depth.fetch_sub(1, Ordering::SeqCst);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 self.metrics.rejected.inc();
+                if record_rejects {
+                    self.sink.record_rejected(
+                        trace,
+                        frame,
+                        arrival_us.unwrap_or(0.0),
+                        TraceOutcome::QueueRejected,
+                    );
+                }
                 Err(ServingError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -1025,6 +1157,7 @@ impl InferenceServer {
             frame,
             arrival_us: None,
             signals,
+            trace: TraceCtx::new(self.idgen.mint()),
         }) {
             Ok(()) => {
                 let prev_max = self.high_water.fetch_max(depth_now, Ordering::SeqCst);
@@ -1144,8 +1277,13 @@ impl InferenceServer {
                 .set(p.model.observations() as f64);
             if let Some(mape) = p.model.mape_percent() {
                 self.metrics.predictor_mape_percent.set(mape);
+                self.metrics.predictor_mape.set(mape);
             }
+            let (cal_p50, cal_p99) = p.model.calibration();
+            self.metrics.predictor_calibration_p50.set(cal_p50);
+            self.metrics.predictor_calibration_p99.set(cal_p99);
         }
+        crate::telemetry::sync_trace_counters();
         ServerStats {
             workers: self.config.workers,
             accepted: self.accepted.load(Ordering::Relaxed),
@@ -1271,6 +1409,7 @@ fn batcher_loop(
             // fleet-wide trace keeps one coherent time axis.
             arrival_us: submission.arrival_us.unwrap_or_else(|| arrivals.next()),
             signals: submission.signals,
+            trace: submission.trace,
         }
     };
     loop {
@@ -1363,6 +1502,7 @@ fn worker_loop(
     in_flight: &AtomicUsize,
     settled: &AtomicU64,
     deadline_us: f64,
+    sink: &TraceSink,
 ) {
     let ctx = ExecutionContext::new(engine, device);
     while let Ok(batch) = batches.recv() {
@@ -1370,11 +1510,14 @@ fn worker_loop(
         if abort_flag.load(Ordering::Relaxed) {
             stats.lock().expect("stats lock").dropped += size as u64;
             metrics.dropped.add(size as u64);
+            for request in &batch.requests {
+                sink.record_dropped(request.trace, request.frame, request.arrival_us);
+            }
             settled.fetch_add(size as u64, Ordering::SeqCst);
             continue;
         }
         in_flight.fetch_add(1, Ordering::SeqCst);
-        let (done_us, span_lo, span_hi) = {
+        let (done_us, span_lo, span_hi, exec_start_us) = {
             let mut tl = timeline.lock().expect("timeline lock");
             let span_lo = tl.next_seq(stream);
             // Open-loop arrival gating: service cannot begin before the last
@@ -1395,8 +1538,12 @@ fn worker_loop(
             if batch.waited_us > 0.0 {
                 tl.host_span(stream, "batch_wait", batch.waited_us);
             }
+            // Where batched execution begins on the stream: queueing ends at
+            // max(front, arrival), then the straggler wait is charged. The
+            // trace's replica_queue/batch_wait/execute phases split on this.
+            let exec_start_us = front.max(arrival) + batch.waited_us;
             let done_us = ctx.enqueue_batched_inference(&mut tl, stream, timing, size);
-            (done_us, span_lo, tl.next_seq(stream))
+            (done_us, span_lo, tl.next_seq(stream), exec_start_us)
             // Timeline lock released here, before the stats lock, keeping
             // the snapshot path's timeline→stats order deadlock-free.
         };
@@ -1410,9 +1557,34 @@ fn worker_loop(
         st.frames_per_worker[worker] += size as u64;
         for request in &batch.requests {
             let latency_us = (done_us - request.arrival_us).max(0.0);
-            metrics.latency_us.observe(latency_us);
+            let missed = deadline_us > 0.0 && latency_us > deadline_us;
+            let retained = sink.record_completed(
+                request.trace,
+                request.frame,
+                request.arrival_us,
+                done_us,
+                exec_start_us,
+                batch.waited_us,
+                worker,
+                stream,
+                batch.seq,
+                size,
+                span_lo,
+                span_hi,
+                missed,
+            );
+            // A retained trace becomes the exemplar on its latency bucket,
+            // so a scrape can jump from a slow histogram bucket straight to
+            // the span tree that produced it.
+            if retained {
+                metrics
+                    .latency_us
+                    .observe_with_exemplar(latency_us, &request.trace.id.to_string());
+            } else {
+                metrics.latency_us.observe(latency_us);
+            }
             st.latencies_us.push(latency_us);
-            if deadline_us > 0.0 && latency_us > deadline_us {
+            if missed {
                 st.deadline_missed += 1;
                 metrics.deadline_missed.inc();
             }
@@ -1571,6 +1743,15 @@ mod tests {
             (base.with_deadline_us(-1.0), "deadline"),
             (base.with_deadline_us(f64::NAN), "deadline"),
             (base.with_predictor_min_obs(0), "predictor"),
+            (base.with_telemetry_sample_ms(0), "telemetry sample"),
+            (
+                base.with_trace(TraceOptions::default().with_capacity(0)),
+                "trace",
+            ),
+            (
+                base.with_trace(TraceOptions::default().with_sample_every(0)),
+                "trace",
+            ),
         ] {
             let err = bad.validate().unwrap_err();
             assert!(err.to_string().contains(needle), "{err}");

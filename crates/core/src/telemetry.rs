@@ -52,6 +52,9 @@ pub(crate) struct ServingMetrics {
     pub(crate) deadline_rejected: Counter,
     pub(crate) predictor_observations: Gauge,
     pub(crate) predictor_mape_percent: Gauge,
+    pub(crate) predictor_mape: Gauge,
+    pub(crate) predictor_calibration_p50: Gauge,
+    pub(crate) predictor_calibration_p99: Gauge,
 }
 
 impl ServingMetrics {
@@ -131,6 +134,24 @@ impl ServingMetrics {
             predictor_mape_percent: reg.gauge(
                 "trtsim_server_predictor_mape_percent",
                 "Prequential mean absolute percentage error of the online predictor",
+                labels,
+            ),
+            // The `trtsim_predictor_*` family groups the model-quality view
+            // (error + calibration multipliers) under one prefix, distinct
+            // from the serving-path `trtsim_server_*` counters.
+            predictor_mape: reg.gauge(
+                "trtsim_predictor_mape_percent",
+                "Prequential mean absolute percentage error of the online latency model",
+                labels,
+            ),
+            predictor_calibration_p50: reg.gauge(
+                "trtsim_predictor_calibration_p50",
+                "Actual/predicted residual-ratio multiplier applied to p50 predictions",
+                labels,
+            ),
+            predictor_calibration_p99: reg.gauge(
+                "trtsim_predictor_calibration_p99",
+                "Actual/predicted residual-ratio multiplier applied to p99 predictions",
                 labels,
             ),
         }
@@ -294,6 +315,50 @@ pub(crate) fn sync_lane_counters() {
         trtsim_kernels::lanes::scalar_fallback_events(),
         scalar,
     );
+}
+
+/// Flight-recorder activity counters, bridged from the raw atomics in
+/// [`crate::reqtrace`] (recording never touches the registry lock).
+fn trace_counters() -> &'static (Counter, Counter, Counter, Counter) {
+    static C: OnceLock<(Counter, Counter, Counter, Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        let reg = Registry::global();
+        (
+            reg.counter(
+                "trtsim_trace_recorded_total",
+                "Request traces offered to a flight recorder",
+                &[],
+            ),
+            reg.counter(
+                "trtsim_trace_retained_total",
+                "Request traces retained in a flight-recorder ring (pinned or sampled)",
+                &[],
+            ),
+            reg.counter(
+                "trtsim_trace_sampled_total",
+                "Non-tail request traces retained by 1-in-N sampling",
+                &[],
+            ),
+            reg.counter(
+                "trtsim_trace_evicted_total",
+                "Request traces evicted from a flight-recorder ring",
+                &[],
+            ),
+        )
+    })
+}
+
+/// Folds any new flight-recorder events into their registry counters.
+pub(crate) fn sync_trace_counters() {
+    static RECORDED_LAST: AtomicU64 = AtomicU64::new(0);
+    static RETAINED_LAST: AtomicU64 = AtomicU64::new(0);
+    static SAMPLED_LAST: AtomicU64 = AtomicU64::new(0);
+    static EVICTED_LAST: AtomicU64 = AtomicU64::new(0);
+    let (recorded, retained, sampled, evicted) = trace_counters();
+    drain_monotone(&RECORDED_LAST, crate::reqtrace::recorded_events(), recorded);
+    drain_monotone(&RETAINED_LAST, crate::reqtrace::retained_events(), retained);
+    drain_monotone(&SAMPLED_LAST, crate::reqtrace::sampled_events(), sampled);
+    drain_monotone(&EVICTED_LAST, crate::reqtrace::evicted_events(), evicted);
 }
 
 /// The autotuner's per-tactic measurement counter, cached so the parallel
@@ -514,6 +579,21 @@ mod tests {
         let before = fp16_redo_counter().get();
         sync_fp16_redos();
         assert_eq!(fp16_redo_counter().get(), before);
+    }
+
+    #[test]
+    fn trace_counter_sync_tracks_raw_sources() {
+        sync_trace_counters();
+        let (recorded, retained, sampled, evicted) = trace_counters();
+        let before = (recorded.get(), retained.get(), sampled.get(), evicted.get());
+        sync_trace_counters();
+        // Monotone, and never ahead of the raw atomics they mirror.
+        assert!(recorded.get() >= before.0);
+        assert!(retained.get() >= before.1);
+        assert!(recorded.get() <= crate::reqtrace::recorded_events());
+        assert!(retained.get() <= crate::reqtrace::retained_events());
+        assert!(sampled.get() <= crate::reqtrace::sampled_events());
+        assert!(evicted.get() <= crate::reqtrace::evicted_events());
     }
 
     #[test]

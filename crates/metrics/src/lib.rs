@@ -29,6 +29,6 @@ pub use detection::{precision_recall, DetectionEval};
 pub use latency::{fps_from_latency_us, LatencyCell, LatencyPercentiles};
 pub use memory::ArenaStats;
 pub use telemetry::{
-    log_buckets, render_json, render_prometheus, Counter, Gauge, Histogram, Registry,
+    log_buckets, render_json, render_prometheus, Counter, Gauge, Histogram, Registry, RouteHandler,
     TelemetryServer,
 };

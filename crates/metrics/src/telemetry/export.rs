@@ -47,6 +47,7 @@ fn render_family_text(out: &mut String, family: &FamilySnapshot) {
                 buckets,
                 sum,
                 count,
+                exemplars,
             } => {
                 let mut cum = 0u64;
                 for (i, bucket) in buckets.iter().enumerate() {
@@ -56,8 +57,18 @@ fn render_family_text(out: &mut String, family: &FamilySnapshot) {
                     } else {
                         "+Inf".to_string()
                     };
+                    // OpenMetrics exemplar suffix, only on buckets that have
+                    // one: `... N # {trace_id="<id>"} <value>`.
+                    let exemplar = match exemplars.get(i).and_then(|e| e.as_ref()) {
+                        Some((trace_id, value)) => format!(
+                            " # {{trace_id=\"{}\"}} {}",
+                            escape_label_value(trace_id),
+                            fmt_f64(*value)
+                        ),
+                        None => String::new(),
+                    };
                     out.push_str(&format!(
-                        "{}_bucket{} {cum}\n",
+                        "{}_bucket{} {cum}{exemplar}\n",
                         family.name,
                         label_block(&series.labels, Some(&le))
                     ));
@@ -111,6 +122,7 @@ pub fn render_json(registry: &Registry) -> String {
                     buckets,
                     sum,
                     count,
+                    exemplars: _,
                 } => {
                     out.push_str("\"bounds\": [");
                     for (i, b) in bounds.iter().enumerate() {
@@ -268,6 +280,20 @@ mod tests {
         assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("lat_us_count 2\n"));
         assert!(text.contains("lat_us_sum 6.5\n"));
+    }
+
+    #[test]
+    fn exemplar_suffix_only_on_its_bucket_and_not_in_json() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us", "latency", &[], &log_buckets(1.0, 2.0, 3));
+        h.observe(1.5);
+        h.observe_with_exemplar(5.0, "00000000deadbeef");
+        let text = render_prometheus(&reg);
+        // The 5.0 observation overflows the last finite bound (4) into +Inf.
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2 # {trace_id=\"00000000deadbeef\"} 5\n"));
+        assert!(text.contains("lat_us_bucket{le=\"2\"} 1\n"), "{text}");
+        // Exemplars are a text-exposition feature; JSON shape is unchanged.
+        assert!(!render_json(&reg).contains("deadbeef"));
     }
 
     #[test]

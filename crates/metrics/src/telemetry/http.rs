@@ -10,10 +10,18 @@ use std::time::Duration;
 use super::export::{render_json, render_prometheus};
 use super::registry::Registry;
 
+/// An extra route table for [`TelemetryServer::bind_with_routes`]: given a
+/// request path, returns `Some((content_type, body))` to serve it, or `None`
+/// to fall through to the 404. Lets subsystems the metrics crate cannot
+/// depend on (the flight recorder lives in `trtsim-core`) expose endpoints
+/// like `GET /traces` on the same scrape port.
+pub type RouteHandler = Arc<dyn Fn(&str) -> Option<(String, String)> + Send + Sync>;
+
 /// A minimal HTTP/1.1 endpoint exposing a [`Registry`]:
 ///
 /// * `GET /metrics` — Prometheus text exposition
 /// * `GET /metrics.json` — JSON snapshot
+/// * any extra routes installed via [`bind_with_routes`]
 ///
 /// One accept-loop thread, one connection at a time, `Connection: close` —
 /// exactly enough for a scraper, with no dependency beyond `std`. The
@@ -21,6 +29,7 @@ use super::registry::Registry;
 /// called explicitly).
 ///
 /// [`shutdown`]: TelemetryServer::shutdown
+/// [`bind_with_routes`]: TelemetryServer::bind_with_routes
 #[derive(Debug)]
 pub struct TelemetryServer {
     addr: SocketAddr,
@@ -34,13 +43,33 @@ impl TelemetryServer {
     ///
     /// [`local_addr`]: TelemetryServer::local_addr
     pub fn bind(addr: SocketAddr, registry: Arc<Registry>) -> std::io::Result<Self> {
+        Self::bind_inner(addr, registry, None)
+    }
+
+    /// Like [`bind`], but consults `routes` for any path the built-in
+    /// endpoints do not handle before answering 404.
+    ///
+    /// [`bind`]: TelemetryServer::bind
+    pub fn bind_with_routes(
+        addr: SocketAddr,
+        registry: Arc<Registry>,
+        routes: RouteHandler,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, registry, Some(routes))
+    }
+
+    fn bind_inner(
+        addr: SocketAddr,
+        registry: Arc<Registry>,
+        routes: Option<RouteHandler>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("telemetry-http".into())
-            .spawn(move || accept_loop(listener, &registry, &stop_flag))
+            .spawn(move || accept_loop(listener, &registry, routes.as_ref(), &stop_flag))
             .expect("spawn telemetry thread");
         Ok(Self {
             addr,
@@ -80,7 +109,12 @@ impl Drop for TelemetryServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, registry: &Registry, stop: &AtomicBool) {
+fn accept_loop(
+    listener: TcpListener,
+    registry: &Registry,
+    routes: Option<&RouteHandler>,
+    stop: &AtomicBool,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -89,22 +123,38 @@ fn accept_loop(listener: TcpListener, registry: &Registry, stop: &AtomicBool) {
         // A slow or stuck client must not wedge the scrape endpoint.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = serve_one(stream, registry);
+        let _ = serve_one(stream, registry, routes);
     }
 }
 
-fn serve_one(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    routes: Option<&RouteHandler>,
+) -> std::io::Result<()> {
     let path = read_request_path(&mut stream)?;
     let (status, content_type, body) = match path.as_deref() {
         Some("/metrics") | Some("/") => (
             "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
+            "text/plain; version=0.0.4; charset=utf-8".to_string(),
             render_prometheus(registry),
         ),
-        Some("/metrics.json") => ("200 OK", "application/json", render_json(registry)),
-        _ => (
+        Some("/metrics.json") => (
+            "200 OK",
+            "application/json".to_string(),
+            render_json(registry),
+        ),
+        Some(other) => match routes.and_then(|r| r(other)) {
+            Some((content_type, body)) => ("200 OK", content_type, body),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8".to_string(),
+                "not found: try /metrics or /metrics.json\n".to_string(),
+            ),
+        },
+        None => (
             "404 Not Found",
-            "text/plain; charset=utf-8",
+            "text/plain; charset=utf-8".to_string(),
             "not found: try /metrics or /metrics.json\n".to_string(),
         ),
     };
@@ -190,5 +240,30 @@ mod tests {
         server.shutdown();
         server.shutdown(); // idempotent
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn custom_routes_answer_and_miss_falls_to_404() {
+        let registry = Arc::new(Registry::new());
+        let routes: RouteHandler = Arc::new(|path: &str| {
+            (path == "/traces").then(|| ("application/json".to_string(), "[]\n".to_string()))
+        });
+        let mut server = TelemetryServer::bind_with_routes(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::clone(&registry),
+            routes,
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let hit = scrape(addr, "/traces");
+        assert!(hit.starts_with("HTTP/1.1 200 OK\r\n"), "{hit}");
+        assert!(hit.contains("application/json"));
+        assert!(hit.ends_with("[]\n"));
+
+        // Built-in endpoints still win, and unknown paths still 404.
+        assert!(scrape(addr, "/metrics").contains("version=0.0.4"));
+        assert!(scrape(addr, "/nope").starts_with("HTTP/1.1 404"));
+        server.shutdown();
     }
 }

@@ -25,5 +25,5 @@ mod http;
 mod registry;
 
 pub use export::{render_json, render_prometheus};
-pub use http::TelemetryServer;
+pub use http::{RouteHandler, TelemetryServer};
 pub use registry::{log_buckets, Counter, Gauge, Histogram, Registry};

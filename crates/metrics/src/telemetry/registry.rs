@@ -77,6 +77,9 @@ impl Gauge {
 }
 
 /// Shared state behind a [`Histogram`] handle.
+/// One optional `(trace_id, value)` exemplar slot per histogram bucket.
+pub(crate) type ExemplarSlots = Box<[Option<(String, f64)>]>;
+
 #[derive(Debug)]
 pub(crate) struct HistogramCore {
     /// Finite upper bounds, strictly increasing. The implicit final bucket
@@ -89,6 +92,10 @@ pub(crate) struct HistogramCore {
     pub(crate) sum_bits: AtomicU64,
     /// Total number of observations.
     pub(crate) count: AtomicU64,
+    /// Per-bucket OpenMetrics exemplars (`trace_id`, observed value), one
+    /// slot per bucket, latest-wins. Behind a mutex: exemplars are only
+    /// attached for retained traces (rare), never on the plain hot path.
+    pub(crate) exemplars: Mutex<ExemplarSlots>,
 }
 
 /// A bounded log-bucket histogram handle.
@@ -120,6 +127,21 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Records one observation and attaches an OpenMetrics exemplar — a
+    /// `trace_id` pointing at a retained flight-recorder trace — to the
+    /// bucket the value lands in (latest exemplar wins). Costs one short
+    /// mutex hold on top of [`observe`]; call it only for the minority of
+    /// observations that actually have a retained trace behind them.
+    ///
+    /// [`observe`]: Histogram::observe
+    pub fn observe_with_exemplar(&self, value: f64, trace_id: &str) {
+        self.observe(value);
+        let core = &self.0;
+        let idx = core.bounds.partition_point(|b| *b < value);
+        let mut slots = core.exemplars.lock().expect("exemplars poisoned");
+        slots[idx] = Some((trace_id.to_string(), value));
     }
 
     /// Total number of observations.
@@ -302,11 +324,13 @@ impl Registry {
                         .map(|_| AtomicU64::new(0))
                         .collect::<Vec<_>>()
                         .into_boxed_slice();
+                    let exemplars = vec![None; bounds.len() + 1].into_boxed_slice();
                     Series::Histogram(Arc::new(HistogramCore {
                         bounds,
                         buckets,
                         sum_bits: AtomicU64::new(0f64.to_bits()),
                         count: AtomicU64::new(0),
+                        exemplars: Mutex::new(exemplars),
                     }))
                 }
             })
@@ -341,6 +365,7 @@ impl Registry {
                                     .collect(),
                                 sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
                                 count: h.count.load(Ordering::Relaxed),
+                                exemplars: h.exemplars.lock().expect("exemplars poisoned").to_vec(),
                             },
                         },
                     })
@@ -383,6 +408,8 @@ pub(crate) enum SeriesValue {
         buckets: Vec<u64>,
         sum: f64,
         count: u64,
+        /// One optional `(trace_id, value)` exemplar per bucket.
+        exemplars: Vec<Option<(String, f64)>>,
     },
 }
 
@@ -450,6 +477,20 @@ mod tests {
         // 1e9 overflows the last finite bound (512) and reports it.
         assert_eq!(h.quantile(1.0), 512.0);
         assert!(reg.histogram("h_us", "h", &[], &[1.0]).quantile(0.5) == 4.0);
+    }
+
+    #[test]
+    fn exemplar_lands_in_the_observed_bucket_latest_wins() {
+        let reg = Registry::new();
+        let h = reg.histogram("h_us", "h", &[], &log_buckets(1.0, 2.0, 4));
+        h.observe_with_exemplar(3.0, "aaaa");
+        h.observe_with_exemplar(3.5, "bbbb");
+        h.observe(100.0); // plain observe never writes an exemplar
+        assert_eq!(h.count(), 3);
+        let slots = h.0.exemplars.lock().unwrap();
+        // 3.0 and 3.5 land in the (2,4] bucket (index 2); latest wins.
+        assert_eq!(slots[2], Some(("bbbb".to_string(), 3.5)));
+        assert!(slots.iter().enumerate().all(|(i, s)| i == 2 || s.is_none()));
     }
 
     #[test]

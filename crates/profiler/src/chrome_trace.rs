@@ -31,6 +31,33 @@ pub const CAT_KERNEL: &str = "kernel";
 pub const CAT_MEMCPY: &str = "memcpy";
 /// Category label of host-glue events.
 pub const CAT_HOST: &str = "host";
+/// Category label of request-phase overlay events (serving-layer traces).
+pub const CAT_REQUEST: &str = "request";
+
+/// A caller-supplied span overlaid on a timeline's chrome export — e.g. one
+/// phase of a request trace, stitched onto the device timeline by the same
+/// `(stream, seq)` span-id scheme the GPU records use. Overlay spans render
+/// as ordinary complete events in the stream's lane, interleaved with
+/// kernels/copies in deterministic span-id order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlaySpan {
+    /// Event name (e.g. `"execute f=12 trace=4f2a…"`).
+    pub name: String,
+    /// Category label (e.g. [`CAT_REQUEST`]).
+    pub cat: String,
+    /// Stream (= `tid`) the span renders in.
+    pub stream: usize,
+    /// Span sequence number used for deterministic tie-breaking against the
+    /// timeline's own records.
+    pub seq: u64,
+    /// Start on the simulated clock, µs.
+    pub start_us: f64,
+    /// Duration, µs.
+    pub duration_us: f64,
+    /// Pre-rendered JSON object for the event's `args` (must be valid JSON;
+    /// `{}` when there is nothing to attach).
+    pub args: String,
+}
 
 /// Serializes one timeline as a chrome://tracing JSON document.
 ///
@@ -46,10 +73,24 @@ pub fn chrome_trace_json(timeline: &GpuTimeline, process_name: &str) -> String {
 /// timeline — e.g. the same model's engines from different builds, side by
 /// side.
 pub fn chrome_trace_json_multi(timelines: &[(&str, &GpuTimeline)]) -> String {
+    let with_overlays: Vec<(&str, &GpuTimeline, &[OverlaySpan])> = timelines
+        .iter()
+        .map(|&(name, tl)| (name, tl, &[] as &[OverlaySpan]))
+        .collect();
+    chrome_trace_json_multi_with_spans(&with_overlays)
+}
+
+/// [`chrome_trace_json_multi`] with caller-supplied overlay spans per
+/// timeline — how the serving layer stitches request-phase spans onto the
+/// device timelines that served them (joined by stream + span id).
+pub fn chrome_trace_json_multi_with_spans(
+    timelines: &[(&str, &GpuTimeline, &[OverlaySpan])],
+) -> String {
     let mut events: Vec<String> = Vec::new();
-    for (pid, (name, timeline)) in timelines.iter().enumerate() {
+    for (pid, (name, timeline, overlays)) in timelines.iter().enumerate() {
         events.push(metadata_event(pid, None, "process_name", name));
-        let streams = 1 + stream_count(timeline);
+        let overlay_max = overlays.iter().map(|o| o.stream).max().unwrap_or(0);
+        let streams = 1 + stream_count(timeline).max(overlay_max);
         for stream in 0..streams {
             let label = format!("stream {stream}");
             events.push(metadata_event(pid, Some(stream), "thread_name", &label));
@@ -116,6 +157,22 @@ pub fn chrome_trace_json_multi(timelines: &[(&str, &GpuTimeline)]) -> String {
                     pid,
                     h.stream,
                     &args,
+                ),
+            ));
+        }
+        for o in overlays.iter() {
+            spans.push((
+                o.start_us,
+                o.stream,
+                o.seq,
+                complete_event(
+                    &o.name,
+                    &o.cat,
+                    o.start_us,
+                    o.duration_us,
+                    pid,
+                    o.stream,
+                    &o.args,
                 ),
             ));
         }
@@ -285,6 +342,32 @@ mod tests {
         assert!(json.contains("\"pid\":0"));
         assert!(json.contains("\"pid\":1"));
         assert!(json.contains("build0") && json.contains("build1"));
+    }
+
+    #[test]
+    fn overlay_spans_render_in_their_stream_lane() {
+        let tl = timeline();
+        let overlays = vec![OverlaySpan {
+            name: "execute f=3".to_string(),
+            cat: CAT_REQUEST.to_string(),
+            stream: 2,
+            seq: 0,
+            start_us: 10.0,
+            duration_us: 250.0,
+            args: "{\"trace_id\":\"00000000000000aa\"}".to_string(),
+        }];
+        let json = chrome_trace_json_multi_with_spans(&[("dev", &tl, &overlays)]);
+        assert!(json.contains("\"cat\":\"request\""));
+        assert!(json.contains("execute f=3"));
+        assert!(json.contains("00000000000000aa"));
+        // The overlay's stream gets a named lane even though no GPU record
+        // touches it.
+        assert!(json.contains("stream 2"));
+        // Delegation keeps the no-overlay document unchanged.
+        assert_eq!(
+            chrome_trace_json_multi(&[("dev", &tl)]),
+            chrome_trace_json_multi_with_spans(&[("dev", &tl, &[])])
+        );
     }
 
     #[test]

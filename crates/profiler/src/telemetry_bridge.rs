@@ -13,10 +13,13 @@
 //! counts it twice. Callers own the once-per-run discipline (the repro
 //! harnesses publish at the end of each serving run).
 
+use std::collections::BTreeMap;
+
 use trtsim_gpu::timeline::GpuTimeline;
 use trtsim_metrics::Registry;
 
 use crate::anomaly::AnomalyReport;
+use crate::chrome_trace::OverlaySpan;
 
 /// Folds an [`AnomalyReport`]'s finding counts into `registry` as
 /// `trtsim_anomaly_total{kind="h2d_outlier"|"kernel_slowdown"}`.
@@ -64,6 +67,29 @@ pub fn publish_timeline(registry: &Registry, timeline: &GpuTimeline) {
     }
 }
 
+/// Folds overlay spans (e.g. request-phase spans from the serving layer's
+/// flight recorder) into the same two families as [`publish_timeline`],
+/// grouped by each span's category: `trtsim_trace_spans_total{kind=<cat>}`
+/// and `trtsim_trace_span_us_total{kind=<cat>}`.
+pub fn publish_overlay_spans(registry: &Registry, spans: &[OverlaySpan]) {
+    let spans_help = "Timeline spans published, by kind";
+    let us_help = "Total span busy time published, microseconds by kind";
+    let mut by_cat: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    for span in spans {
+        let entry = by_cat.entry(span.cat.as_str()).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += span.duration_us;
+    }
+    for (cat, (count, total_us)) in by_cat {
+        registry
+            .counter("trtsim_trace_spans_total", spans_help, &[("kind", cat)])
+            .add(count);
+        registry
+            .counter("trtsim_trace_span_us_total", us_help, &[("kind", cat)])
+            .add(total_us.round() as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +132,35 @@ mod tests {
         // Additive on repeat publish.
         publish_timeline(&reg, &tl);
         assert_eq!(kernels.get(), 6);
+    }
+
+    #[test]
+    fn overlay_publish_groups_by_category() {
+        let reg = Registry::new();
+        let spans = vec![
+            OverlaySpan {
+                name: "execute f=1".into(),
+                cat: "request".into(),
+                stream: 0,
+                seq: 0,
+                start_us: 0.0,
+                duration_us: 100.0,
+                args: "{}".into(),
+            },
+            OverlaySpan {
+                name: "execute f=2".into(),
+                cat: "request".into(),
+                stream: 1,
+                seq: 0,
+                start_us: 50.0,
+                duration_us: 150.4,
+                args: "{}".into(),
+            },
+        ];
+        publish_overlay_spans(&reg, &spans);
+        let count = reg.counter("trtsim_trace_spans_total", "", &[("kind", "request")]);
+        let us = reg.counter("trtsim_trace_span_us_total", "", &[("kind", "request")]);
+        assert_eq!((count.get(), us.get()), (2, 250));
     }
 
     #[test]

@@ -20,7 +20,8 @@ use trtsim_scenario::{check_src, compile_src, driver, emit, CompileOptions};
 const USAGE: &str = "usage:
   scenario check <file.scn | dir>...
   scenario list  <file.scn | dir>...
-  scenario run   <file.scn> [--smoke] [--out REPORT.json] [--md REPORT.md] [--git-rev SHA]";
+  scenario run   <file.scn> [--smoke] [--out REPORT.json] [--md REPORT.md]
+                 [--trace-out DIR] [--git-rev SHA]";
 
 /// Expands each argument into `.scn` files (directories scan one level).
 fn scn_files(paths: &[String]) -> Vec<PathBuf> {
@@ -118,11 +119,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut smoke = false;
     let mut out = None;
     let mut md = None;
+    let mut trace_out = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
-            "--out" | "--md" | "--git-rev" => {
+            "--out" | "--md" | "--trace-out" | "--git-rev" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("{} needs a value\n{USAGE}", args[i]);
                     return ExitCode::from(2);
@@ -130,6 +132,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 match args[i].as_str() {
                     "--out" => out = Some(value.clone()),
                     "--md" => md = Some(value.clone()),
+                    "--trace-out" => trace_out = Some(value.clone()),
                     _ => {} // --git-rev is re-read via bench::report::git_rev
                 }
                 i += 1;
@@ -193,11 +196,53 @@ fn cmd_run(args: &[String]) -> ExitCode {
         emit::to_bench_report(&report, mode, &git_rev(args)).write(&out_path);
         eprintln!("report written to {out_path}");
     }
+    if let Some(dir) = trace_out {
+        if let Err(e) = write_traces(Path::new(&dir), &report) {
+            eprintln!("error writing traces to {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if report.passed() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Dumps each unit's retained flight-recorder traces under `dir`: a JSON
+/// array (`<unit>_traces.json`) plus a chrome://tracing document
+/// (`<unit>_trace.chrome.json`) per serving/fleet unit that retained any.
+fn write_traces(dir: &Path, report: &driver::ScenarioReport) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut dumped = 0usize;
+    for unit in &report.units {
+        if unit.traces.is_empty() {
+            continue;
+        }
+        // Unit labels may contain path-hostile characters; keep [a-z0-9_-].
+        let stem: String = unit
+            .label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        std::fs::write(
+            dir.join(format!("{stem}_traces.json")),
+            trtsim_core::reqtrace::traces_json(&unit.traces),
+        )?;
+        std::fs::write(
+            dir.join(format!("{stem}_trace.chrome.json")),
+            trtsim_core::reqtrace::chrome_trace_all(&unit.traces),
+        )?;
+        dumped += 1;
+    }
+    eprintln!("traces for {dumped} unit(s) written to {}", dir.display());
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -22,7 +22,11 @@ use std::sync::Arc;
 use trtsim_core::fleet::{FleetBuilder, FleetConfig};
 use trtsim_core::runtime::{ExecutionContext, TimingOptions};
 use trtsim_core::serving::{InferenceServer, ServerConfig, ServingError};
-use trtsim_core::{Builder, BuilderConfig, Engine};
+use trtsim_core::{Builder, BuilderConfig, Engine, RequestTrace};
+
+/// What a serving/fleet unit returns: its metric rows plus the flight
+/// recorder's retained request traces.
+type ServingUnitResult = (Vec<(String, f64)>, Vec<RequestTrace>);
 use trtsim_data::traffic::ArrivalTrace;
 use trtsim_gpu::contention;
 use trtsim_gpu::device::Platform;
@@ -102,6 +106,9 @@ pub struct UnitResult {
     pub metrics: Vec<(String, f64)>,
     /// Raw per-build samples (latency traffic; empty for serving).
     pub builds: Vec<BuildRuns>,
+    /// Request traces the serving/fleet flight recorder retained (empty for
+    /// latency and concurrency units). Dumped by `scenario run --trace-out`.
+    pub traces: Vec<RequestTrace>,
 }
 
 impl UnitResult {
@@ -263,7 +270,7 @@ fn run_serving_unit(
     timeout_us: f64,
     arrival: Option<(f64, u64)>,
     deadline_us: Option<f64>,
-) -> Result<Vec<(String, f64)>, DriverError> {
+) -> Result<ServingUnitResult, DriverError> {
     let engine = engine_for(unit, 0);
     let device = unit.device_spec();
     // Serving is deterministic (jitter 0), matching exp_serving.
@@ -284,6 +291,7 @@ fn run_serving_unit(
         config = config.with_deadline_us(d).with_predictive(true);
     }
     let server = InferenceServer::start(&engine, &device, config)?;
+    let recorder = server.flight_recorder();
     let mut rejected = 0u64;
     for frame in 0..u64::from(frames) {
         match server.submit(frame) {
@@ -293,7 +301,7 @@ fn run_serving_unit(
         }
     }
     let stats = server.drain();
-    Ok(vec![
+    let metrics = vec![
         ("fps".to_string(), stats.aggregate_fps),
         ("mean_us".to_string(), stats.latency.mean_us),
         ("p50_us".to_string(), stats.latency.p50_us),
@@ -309,7 +317,8 @@ fn run_serving_unit(
             "deadline_miss_rate".to_string(),
             stats.deadline_missed as f64 / (stats.completed.max(1)) as f64,
         ),
-    ])
+    ];
+    Ok((metrics, recorder.traces()))
 }
 
 /// Lowers a fleet unit's arrival-trace declaration into timestamps.
@@ -351,7 +360,7 @@ fn run_fleet_unit(
     seed: u64,
     tenant: Option<&str>,
     deadline_us: Option<f64>,
-) -> Result<Vec<(String, f64)>, DriverError> {
+) -> Result<ServingUnitResult, DriverError> {
     let engine = engine_for(unit, 0);
     let mut config = ServerConfig::default()
         .with_workers(workers as usize)
@@ -374,6 +383,7 @@ fn run_fleet_unit(
     // learned model across replicas and scores by predicted finish time.
     let fleet_config = FleetConfig::default().with_predictive(deadline_us.is_some());
     let fleet = builder.start(fleet_config)?;
+    let recorder = fleet.flight_recorder();
     let arrivals = fleet_arrivals(trace, frames, seed);
     let tenant = tenant.unwrap_or("default");
     for (i, &t) in arrivals.arrivals_us.iter().enumerate() {
@@ -398,7 +408,7 @@ fn run_fleet_unit(
             .sum::<f64>()
             / total_completed as f64
     };
-    Ok(vec![
+    let metrics = vec![
         ("fps".to_string(), stats.aggregate_fps),
         ("mean_us".to_string(), stats.latency.mean_us),
         ("p50_us".to_string(), stats.latency.p50_us),
@@ -428,7 +438,8 @@ fn run_fleet_unit(
             "deadline_miss_rate".to_string(),
             stats.deadline_missed as f64 / (stats.completed.max(1)) as f64,
         ),
-    ])
+    ];
+    Ok((metrics, recorder.traces()))
 }
 
 /// One concurrency unit: the closed-form saturation sweep, mirroring
@@ -458,7 +469,7 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
     let mut units = Vec::with_capacity(plan.units.len());
     for unit in &plan.units {
         let started = std::time::Instant::now();
-        let (kind, metrics, builds) = match &unit.kind {
+        let (kind, metrics, builds, traces) = match &unit.kind {
             TrafficKind::Latency {
                 runs,
                 jitter_sd,
@@ -466,18 +477,18 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
             } => {
                 let (metrics, builds) =
                     run_latency_unit(unit, *runs, *jitter_sd, *compare_unoptimized);
-                ("latency", metrics, builds)
+                ("latency", metrics, builds, Vec::new())
             }
             TrafficKind::Closed {
                 frames,
                 workers,
                 queue,
                 timeout_us,
-            } => (
-                "closed",
-                run_serving_unit(unit, *frames, *workers, *queue, *timeout_us, None, None)?,
-                Vec::new(),
-            ),
+            } => {
+                let (metrics, traces) =
+                    run_serving_unit(unit, *frames, *workers, *queue, *timeout_us, None, None)?;
+                ("closed", metrics, Vec::new(), traces)
+            }
             TrafficKind::Poisson {
                 frames,
                 workers,
@@ -485,9 +496,8 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                 period_us,
                 seed,
                 deadline_us,
-            } => (
-                "poisson",
-                run_serving_unit(
+            } => {
+                let (metrics, traces) = run_serving_unit(
                     unit,
                     *frames,
                     *workers,
@@ -495,9 +505,9 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                     f64::INFINITY,
                     Some((*period_us, *seed)),
                     *deadline_us,
-                )?,
-                Vec::new(),
-            ),
+                )?;
+                ("poisson", metrics, Vec::new(), traces)
+            }
             TrafficKind::Fleet {
                 trace,
                 frames,
@@ -506,9 +516,8 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                 seed,
                 tenant,
                 deadline_us,
-            } => (
-                "fleet",
-                run_fleet_unit(
+            } => {
+                let (metrics, traces) = run_fleet_unit(
                     unit,
                     trace,
                     *frames,
@@ -517,10 +526,15 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
                     *seed,
                     tenant.as_deref(),
                     *deadline_us,
-                )?,
+                )?;
+                ("fleet", metrics, Vec::new(), traces)
+            }
+            TrafficKind::Concurrency => (
+                "concurrency",
+                run_concurrency_unit(unit),
+                Vec::new(),
                 Vec::new(),
             ),
-            TrafficKind::Concurrency => ("concurrency", run_concurrency_unit(unit), Vec::new()),
         };
         scenario_counter("units", kind).inc();
         units.push(UnitResult {
@@ -535,6 +549,7 @@ pub fn run(plan: &ExecutionPlan) -> Result<ScenarioReport, DriverError> {
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
             metrics,
             builds,
+            traces,
         });
     }
     let mut asserts = Vec::new();

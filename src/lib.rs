@@ -89,6 +89,15 @@
 //! text) or `GET /metrics.json`, or snapshot to disk with
 //! [`Registry::write_json`] — see [`metrics::telemetry`].
 //!
+//! Beyond metrics, every served request carries a trace: admission mints a
+//! deterministic [`TraceId`], the span tree of its pipeline phases
+//! (queueing, batch wait, execution) lands in an always-on [`FlightRecorder`]
+//! with tail-based retention (deadline misses, rejections, drops, and the
+//! slowest decile always survive), and the same telemetry endpoint serves
+//! `GET /traces`, `GET /traces/<id>`, and a per-trace chrome://tracing
+//! export. Retained trace ids also appear as OpenMetrics exemplars on the
+//! server latency histogram — see [`engine::reqtrace`].
+//!
 //! # Scenarios
 //!
 //! Experiments are described declaratively in `.scn` files — graphs of
@@ -122,9 +131,10 @@ pub use trtsim_core::autotune::AutotuneOptions;
 pub use trtsim_core::serving::ArrivalProcess;
 pub use trtsim_core::{
     Builder, BuilderConfig, Engine, EngineError, ExecutionContext, Fleet, FleetBuilder,
-    FleetConfig, FleetStats, InferencePlan, InferenceServer, KernelTime, PlanScratch,
-    ProfileOptions, ReplicaStats, RequestRecord, ServerConfig, ServerStats, ServingError,
-    ServingLabels, ServingReport, TimingCache, TimingOptions,
+    FleetConfig, FleetStats, FlightRecorder, InferencePlan, InferenceServer, KernelTime, PhaseKind,
+    PhaseSpan, PlanScratch, ProfileOptions, ReplicaStats, RequestRecord, RequestTrace,
+    ServerConfig, ServerStats, ServingError, ServingLabels, ServingReport, TimingCache,
+    TimingOptions, TraceId, TraceOptions, TraceOutcome,
 };
 pub use trtsim_gpu::device::{DeviceSpec, Platform};
 pub use trtsim_gpu::timeline::ProfilingOverhead;

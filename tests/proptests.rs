@@ -225,6 +225,72 @@ proptest! {
     }
 
     #[test]
+    fn request_traces_conserve_and_partition_latency(
+        seed in 0u64..200,
+        workers in 1usize..4,
+        frames in 1u64..48,
+        batch in 1usize..5,
+    ) {
+        // Trace conservation: every accepted request produces exactly one
+        // completed-or-dropped trace, and each completed trace's phase spans
+        // are monotone, non-overlapping, and partition the end-to-end
+        // latency exactly.
+        let mut g = Graph::new("trace", [1, 4, 4]);
+        let c = g.add_layer("c", LayerKind::conv_seeded(2, 1, 3, 1, 1, 0), &[Graph::INPUT]);
+        g.mark_output(c);
+        let device = DeviceSpec::xavier_nx();
+        let engine = Builder::new(
+            device.clone(),
+            BuilderConfig::default().with_build_seed(seed),
+        )
+        .build(&g)
+        .unwrap();
+        let server = trtsim::InferenceServer::start(
+            &engine,
+            &device,
+            trtsim::ServerConfig::default()
+                .with_workers(workers)
+                .with_queue_capacity(frames as usize)
+                .with_max_batch_size(batch)
+                .with_batch_timeout_us(f64::INFINITY)
+                .with_timing(trtsim::TimingOptions::default().without_engine_upload())
+                .with_trace(
+                    trtsim::TraceOptions::default()
+                        .with_capacity(frames as usize)
+                        .with_sample_every(1),
+                ),
+        )
+        .unwrap();
+        let recorder = server.flight_recorder();
+        for frame in 0..frames {
+            server.submit(frame).unwrap();
+        }
+        let stats = server.drain();
+        prop_assert_eq!(stats.completed, frames);
+        prop_assert_eq!(recorder.completed_seen() + recorder.dropped_seen(), frames);
+        prop_assert_eq!(recorder.rejected_seen(), 0);
+        let traces = recorder.traces();
+        // sample_every=1 with ample capacity keeps every trace.
+        prop_assert_eq!(traces.len() as u64, frames);
+        let mut ids = std::collections::HashSet::new();
+        for t in &traces {
+            prop_assert!(ids.insert(t.id), "duplicate trace id {}", t.id);
+            let mut prev_end = f64::NEG_INFINITY;
+            for p in &t.phases {
+                prop_assert!(p.end_us >= p.start_us - 1e-9, "negative phase in {}", t.id);
+                prop_assert!(p.start_us >= prev_end - 1e-9, "overlapping phases in {}", t.id);
+                prev_end = p.end_us;
+            }
+            let latency = t.latency_us();
+            prop_assert!(
+                (t.phase_sum_us() - latency).abs() <= 1e-6 * latency.max(1.0),
+                "phases of {} sum to {} but latency is {}",
+                t.id, t.phase_sum_us(), latency
+            );
+        }
+    }
+
+    #[test]
     fn plan_deserialize_never_panics_on_mutation(seed in 0u64..200, flips in 1usize..8) {
         let mut g = Graph::new("m", [1, 4, 4]);
         let c = g.add_layer("c", LayerKind::conv_seeded(2, 1, 3, 1, 1, 0), &[Graph::INPUT]);

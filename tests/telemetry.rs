@@ -31,8 +31,9 @@ struct Sample {
 }
 
 /// Minimal parser for the Prometheus text exposition format: skips `#`
-/// comment lines, splits `name{k="v",...} value`, and un-escapes label
-/// values (`\\`, `\"`, `\n`).
+/// comment lines, strips OpenMetrics exemplar suffixes
+/// (`... N # {trace_id="..."} v`), splits `name{k="v",...} value`, and
+/// un-escapes label values (`\\`, `\"`, `\n`).
 fn parse_prometheus(text: &str) -> Vec<Sample> {
     let mut samples = Vec::new();
     for line in text.lines() {
@@ -40,6 +41,10 @@ fn parse_prometheus(text: &str) -> Vec<Sample> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let line = match line.split_once(" # ") {
+            Some((sample, _exemplar)) => sample.trim_end(),
+            None => line,
+        };
         let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
         let value = match value {
             "+Inf" => f64::INFINITY,
@@ -183,6 +188,8 @@ fn live_endpoint_covers_every_subsystem() {
         "trtsim_gpu_gr3d_percent",
         "trtsim_gpu_stream_busy_percent",
         "trtsim_gpu_memcpy_bytes_per_second",
+        "trtsim_trace_recorded_total",
+        "trtsim_trace_retained_total",
     ];
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
     let text = loop {
@@ -332,6 +339,113 @@ fn endpoint_serves_json_and_404s_unknown_paths() {
     stream.read_to_string(&mut response).expect("reads");
     assert!(response.starts_with("HTTP/1.1 404"), "got: {response}");
     drop(server.drain());
+}
+
+/// Retained traces surface on the wire: a latency-histogram bucket carries
+/// an OpenMetrics `trace_id` exemplar that resolves to a trace in the
+/// server's flight recorder, the exemplar suffix still parses as a plain
+/// bucket sample, the `trtsim_trace_*` retention counters publish
+/// consistently, and the predictor's MAPE + calibration gauges ride along.
+#[test]
+fn exemplar_trace_ids_resolve_and_trace_families_publish() {
+    let mut g = Graph::new("exemplar_probe", [3, 8, 8]);
+    let conv = g.add_layer(
+        "c0",
+        LayerKind::conv_seeded(4, 3, 3, 1, 1, 3),
+        &[Graph::INPUT],
+    );
+    g.mark_output(conv);
+    let engine = Builder::new(
+        DeviceSpec::xavier_nx(),
+        BuilderConfig::default().with_build_seed(0x7e20),
+    )
+    .build(&g)
+    .expect("probe builds");
+    let server = InferenceServer::start(
+        &engine,
+        &DeviceSpec::xavier_nx(),
+        ServerConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(256)
+            .with_max_batch_size(4)
+            .with_batch_timeout_us(f64::INFINITY)
+            .with_timing(
+                TimingOptions::default()
+                    .without_engine_upload()
+                    .with_run_jitter_sd(0.0),
+            )
+            .with_predictive(true)
+            .with_predictor_min_obs(8)
+            .with_trace(trtsim::TraceOptions::default().with_sample_every(1)),
+    )
+    .expect("server starts");
+    let recorder = server.flight_recorder();
+    for frame in 0..96 {
+        server.submit(frame).expect("accepting");
+    }
+    let stats = server.drain();
+    assert_eq!(stats.completed, 96);
+
+    // Exemplar syntax on a latency bucket of this model's series, and the
+    // id resolves to a trace the flight recorder actually holds.
+    let text = render_prometheus(Registry::global());
+    let exemplar_line = text
+        .lines()
+        .find(|l| {
+            l.starts_with("trtsim_server_latency_us_bucket")
+                && l.contains("model=\"exemplar_probe\"")
+                && l.contains("# {trace_id=\"")
+        })
+        .expect("no trace_id exemplar on any exemplar_probe latency bucket");
+    let id = exemplar_line
+        .split("trace_id=\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("exemplar carries a quoted trace_id");
+    let trace_id: trtsim::TraceId = id.parse().expect("exemplar id is hex");
+    assert!(
+        recorder.get(trace_id).is_some(),
+        "exemplar {id} not in the flight recorder"
+    );
+
+    // The parser sees through the exemplar suffix: the same line is still a
+    // plain cumulative bucket sample.
+    let samples = parse_prometheus(&text);
+    assert!(
+        samples.iter().any(|s| {
+            s.name == "trtsim_server_latency_us_bucket"
+                && s.labels.get("model").map(String::as_str) == Some("exemplar_probe")
+        }),
+        "exemplar-decorated buckets failed to parse"
+    );
+
+    // Retention counters: recorded bounds retained bounds sampled.
+    let recorded = value_of(&samples, "trtsim_trace_recorded_total").expect("recorded family");
+    let retained = value_of(&samples, "trtsim_trace_retained_total").expect("retained family");
+    let sampled = value_of(&samples, "trtsim_trace_sampled_total").expect("sampled family");
+    value_of(&samples, "trtsim_trace_evicted_total").expect("evicted family");
+    assert!(
+        recorded.value >= retained.value,
+        "retained exceeds recorded"
+    );
+    assert!(retained.value >= sampled.value, "sampled exceeds retained");
+    assert!(recorded.value >= 96.0, "this run alone recorded 96 traces");
+
+    // Predictor gauges from the same snapshot: prequential MAPE plus the
+    // residual-calibration multipliers.
+    let mape = value_of(&samples, "trtsim_predictor_mape_percent").expect("mape gauge");
+    assert!(mape.value >= 0.0, "MAPE must be non-negative");
+    for name in [
+        "trtsim_predictor_calibration_p50",
+        "trtsim_predictor_calibration_p99",
+    ] {
+        let cal = value_of(&samples, name).unwrap_or_else(|| panic!("{name} missing"));
+        assert!(
+            cal.value > 0.0,
+            "{name} must be a positive multiplier, got {}",
+            cal.value
+        );
+    }
 }
 
 /// Label values survive the render → parse round trip through the

@@ -3,6 +3,7 @@
 //! and the anomaly detectors recovering the paper's §V findings from the
 //! repro experiments' own timelines.
 
+use trtsim::engine::reqtrace::{chrome_trace_all, traces_json};
 use trtsim::gpu::device::Platform;
 use trtsim::gpu::timeline::CopyKind;
 use trtsim::models::ModelId;
@@ -13,7 +14,7 @@ use trtsim::repro::exp_memcpy::memcpy_trace_timeline;
 use trtsim::repro::exp_variability::variability_trace_timelines;
 use trtsim::{
     Builder, BuilderConfig, DeviceSpec, InferenceServer, ProfileOptions, ServerConfig, ServerStats,
-    TimingOptions,
+    TimingOptions, TraceOptions,
 };
 
 /// Minimal recursive-descent JSON validity checker (RFC 8259 grammar, no
@@ -215,6 +216,103 @@ fn request_span_ranges_resolve_to_captured_records() {
     // The breakdown reconciles with the captured timeline.
     let total: u64 = stats.kernel_breakdown.iter().map(|k| k.calls).sum();
     assert_eq!(total as usize, timeline.kernels().len());
+}
+
+/// Scrapes `path` from `addr`, asserting a 200 and returning the body.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("endpoint accepts");
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .expect("request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response reads");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+    assert!(head.starts_with("HTTP/1.1 200"), "non-200 scrape: {head}");
+    body.to_string()
+}
+
+/// The flight recorder's HTTP surface end to end: `/traces` serves a valid
+/// JSON index naming every retained trace, `/traces/<id>` serves the span
+/// tree, `/traces/<id>/chrome` serves a chrome://tracing document that the
+/// mini-parser accepts, and the bulk exports the scenario runner's
+/// `--trace-out` writes are equally loadable.
+#[test]
+fn flight_recorder_routes_serve_loadable_trace_documents() {
+    let device = DeviceSpec::xavier_nx();
+    let engine = Builder::new(
+        device.clone(),
+        BuilderConfig::default().with_build_seed(0xace),
+    )
+    .build(&ModelId::TinyYolov3.descriptor())
+    .expect("zoo model builds");
+    let server = InferenceServer::start(
+        &engine,
+        &device,
+        ServerConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(32)
+            .with_max_batch_size(4)
+            .with_batch_timeout_us(f64::INFINITY)
+            .with_timing(
+                TimingOptions::default()
+                    .without_engine_upload()
+                    .with_host_glue_us(ModelId::TinyYolov3.info().host_glue_us)
+                    .with_run_jitter_sd(0.0),
+            )
+            .with_telemetry("127.0.0.1:0".parse().expect("addr"))
+            .with_trace(TraceOptions::default().with_sample_every(1)),
+    )
+    .expect("server starts");
+    let recorder = server.flight_recorder();
+    for frame in 0..32 {
+        server.submit(frame).expect("accepting");
+    }
+    // Scrape while the endpoint is still up (drain shuts it down), but only
+    // once every request has its trace.
+    while recorder.completed_seen() + recorder.dropped_seen() < 32 {
+        std::thread::yield_now();
+    }
+    let addr = server.telemetry_addr().expect("endpoint bound");
+
+    let index = scrape(addr, "/traces");
+    assert_valid_json(&index);
+    let traces = recorder.traces();
+    assert_eq!(traces.len(), 32, "sample_every=1 keeps all 32 traces");
+    for t in &traces {
+        assert!(
+            index.contains(&t.id.to_string()),
+            "trace {} missing from the /traces index",
+            t.id
+        );
+    }
+
+    let id = traces.last().expect("non-empty").id.to_string();
+    let detail = scrape(addr, &format!("/traces/{id}"));
+    assert_valid_json(&detail);
+    for needle in ["\"phases\"", "\"outcome\"", "\"arrival_us\""] {
+        assert!(detail.contains(needle), "{needle} missing from trace JSON");
+    }
+
+    let chrome = scrape(addr, &format!("/traces/{id}/chrome"));
+    assert_valid_json(&chrome);
+    assert!(chrome.contains("\"traceEvents\""));
+    for phase in ["replica_queue", "batch_wait", "execute"] {
+        assert!(
+            chrome.contains(phase),
+            "phase {phase} missing from the chrome export"
+        );
+    }
+
+    // The bulk exports behind `scenario run --trace-out` parse too.
+    assert_valid_json(&traces_json(&traces));
+    let all = chrome_trace_all(&traces);
+    assert_valid_json(&all);
+    assert!(all.contains("\"ph\":\"X\""));
+    server.drain();
 }
 
 #[test]
